@@ -1,0 +1,60 @@
+// Reproduces the paper's Section 5 area experiment: the RTL area overhead
+// of the speculative GCD schedule relative to the non-speculative one
+// ("The area overhead for the circuit produced from Wavesched-spec was
+// found to be 3.1%").
+//
+// The in-repo synthesis substrate (binding + measured-lifetime register
+// allocation + one-hot FSM; see src/rtl/) replaces the authors' in-house
+// system + MSU library. Both designs are charged the full Table 2
+// allocation, as in the paper's flow. We additionally sweep the speculation
+// depth (lookahead) — an ablation showing that the overhead is bought by
+// speculative-result registers and controller states, the costs the paper's
+// companion register-synthesis technique [20] targets.
+#include <cstdio>
+
+#include "analysis/metrics.h"
+#include "rtl/rtl.h"
+#include "sched/scheduler.h"
+#include "sim/stg_sim.h"
+#include "suite/benchmarks.h"
+
+int main() {
+  using namespace ws;
+  Benchmark b = MakeGcd(40, 2024);
+
+  SchedulerOptions ws_opts;
+  ws_opts.mode = SpeculationMode::kWavesched;
+  ws_opts.lookahead = b.lookahead;
+  const ScheduleResult ws = Schedule(b.graph, b.library, b.allocation,
+                                     ws_opts);
+  const AreaReport base = EstimateArea(ws.stg, b.graph, b.library,
+                                       b.stimuli[0], AreaModel{},
+                                       &b.allocation);
+  const double enc_ws = MeasureExpectedCycles(ws.stg, b.graph, b.stimuli);
+  std::printf("=== GCD area overhead (paper: 3.1%%) ===\n");
+  std::printf("WS          : enc=%6.1f  %s\n", enc_ws,
+              base.ToString().c_str());
+
+  for (int lookahead : {1, 2, 3}) {
+    SchedulerOptions sp_opts = ws_opts;
+    sp_opts.mode = SpeculationMode::kWaveschedSpec;
+    sp_opts.lookahead = lookahead;
+    const ScheduleResult sp = Schedule(b.graph, b.library, b.allocation,
+                                       sp_opts);
+    const AreaReport area = EstimateArea(sp.stg, b.graph, b.library,
+                                         b.stimuli[0], AreaModel{},
+                                         &b.allocation);
+    const double enc = MeasureExpectedCycles(sp.stg, b.graph, b.stimuli);
+    std::printf("WS-spec la=%d: enc=%6.1f  %s\n", lookahead, enc,
+                area.ToString().c_str());
+    std::printf("              speedup=%.2fx  area overhead=%+.1f%%\n",
+                enc_ws / enc, 100.0 * (area.total - base.total) / base.total);
+  }
+  std::printf(
+      "\n(The overhead is dominated by speculative-result registers and\n"
+      "extra controller states; the paper pairs this scheduler with the\n"
+      "shift-register speculative storage of [Herrmann & Ernst 97] to keep\n"
+      "it at 3.1%% — our conservative per-value register bound is the\n"
+      "uppermost curve of that trade-off.)\n");
+  return 0;
+}

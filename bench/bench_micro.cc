@@ -1,0 +1,113 @@
+// Microbenchmarks (google-benchmark): runtime of the scheduler and its
+// substrates. Not a paper artifact — engineering data for the library
+// itself (the paper reports no tool runtimes).
+#include <benchmark/benchmark.h>
+
+#include "analysis/metrics.h"
+#include "bdd/bdd.h"
+#include "sched/scheduler.h"
+#include "sim/interpreter.h"
+#include "sim/stg_sim.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+void BM_BddConjunction(benchmark::State& state) {
+  for (auto _ : state) {
+    BddManager mgr;
+    std::vector<int> vars;
+    for (int i = 0; i < 24; ++i) vars.push_back(mgr.NewVar("v"));
+    Bdd f = mgr.True();
+    for (int i = 0; i < 24; ++i) {
+      f = mgr.And(f, i % 2 == 0 ? mgr.Var(vars[static_cast<std::size_t>(i)])
+                                : mgr.NotVar(vars[static_cast<std::size_t>(i)]));
+    }
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_BddConjunction);
+
+void BM_BddProbability(benchmark::State& state) {
+  BddManager mgr;
+  std::vector<int> vars;
+  for (int i = 0; i < 16; ++i) vars.push_back(mgr.NewVar("v"));
+  Bdd f = mgr.False();
+  for (int i = 0; i + 1 < 16; i += 2) {
+    f = mgr.Or(f, mgr.And(mgr.Var(vars[static_cast<std::size_t>(i)]),
+                          mgr.Var(vars[static_cast<std::size_t>(i + 1)])));
+  }
+  std::vector<double> probs(16, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.Probability(f, probs));
+  }
+}
+BENCHMARK(BM_BddProbability);
+
+void ScheduleBenchmark(benchmark::State& state, const char* which,
+                       SpeculationMode mode) {
+  Benchmark b = [&] {
+    if (std::string(which) == "gcd") return MakeGcd(4, 7);
+    if (std::string(which) == "test1") return MakeTest1(4, 7);
+    return MakeFindmin(4, 7);
+  }();
+  for (auto _ : state) {
+    SchedulerOptions opts;
+    opts.mode = mode;
+    opts.lookahead = b.lookahead;
+    benchmark::DoNotOptimize(
+        Schedule(b.graph, b.library, b.allocation, opts));
+  }
+}
+
+void BM_ScheduleGcdWs(benchmark::State& state) {
+  ScheduleBenchmark(state, "gcd", SpeculationMode::kWavesched);
+}
+BENCHMARK(BM_ScheduleGcdWs);
+
+void BM_ScheduleGcdSpec(benchmark::State& state) {
+  ScheduleBenchmark(state, "gcd", SpeculationMode::kWaveschedSpec);
+}
+BENCHMARK(BM_ScheduleGcdSpec);
+
+void BM_ScheduleTest1Spec(benchmark::State& state) {
+  ScheduleBenchmark(state, "test1", SpeculationMode::kWaveschedSpec);
+}
+BENCHMARK(BM_ScheduleTest1Spec);
+
+void BM_InterpretGcd(benchmark::State& state) {
+  Benchmark b = MakeGcd(4, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Interpret(b.graph, b.stimuli[0]));
+  }
+}
+BENCHMARK(BM_InterpretGcd);
+
+void BM_SimulateGcdSpec(benchmark::State& state) {
+  Benchmark b = MakeGcd(4, 7);
+  SchedulerOptions opts;
+  opts.mode = SpeculationMode::kWaveschedSpec;
+  opts.lookahead = b.lookahead;
+  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulateStg(r.stg, b.graph, b.stimuli[0]));
+  }
+}
+BENCHMARK(BM_SimulateGcdSpec);
+
+void BM_MarkovExpectedCycles(benchmark::State& state) {
+  Benchmark b = MakeBarcode(4, 7);
+  SchedulerOptions opts;
+  opts.mode = SpeculationMode::kWaveschedSpec;
+  opts.lookahead = b.lookahead;
+  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExpectedCycles(r.stg, b.graph));
+  }
+}
+BENCHMARK(BM_MarkovExpectedCycles);
+
+}  // namespace
+}  // namespace ws
+
+BENCHMARK_MAIN();

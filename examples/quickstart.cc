@@ -1,0 +1,97 @@
+// Quickstart: build a small control-flow intensive design with the CDFG
+// builder API, schedule it with and without speculative execution, simulate
+// both schedules, and print the state transition graphs.
+//
+//   $ ./quickstart
+//
+// The design: clamp-accumulate — walk an array until the running sum
+// exceeds a threshold, doubling negative entries on the way:
+//
+//   input  threshold;
+//   array  A[64];
+//   sum = 0; i = 0;
+//   while (sum < threshold) {
+//     v = A[i];
+//     if (v < 0) { v2 = v * 2; } else { v2 = v; }
+//     sum = sum + v2;
+//     i = i + 1;
+//   }
+//   output steps = i;
+#include <cstdio>
+
+#include "analysis/metrics.h"
+#include "base/rng.h"
+#include "cdfg/builder.h"
+#include "sched/scheduler.h"
+#include "sim/stg_sim.h"
+#include "stg/dot.h"
+
+int main() {
+  using namespace ws;
+
+  // --- 1. Describe the behavior as a CDFG -----------------------------------
+  CdfgBuilder b("quickstart");
+  const NodeId threshold = b.Input("threshold");
+  const ArrayId arr = b.Array("A", 64);
+  const NodeId zero = b.Konst(0);
+  const NodeId two = b.Konst(2);
+
+  b.BeginLoop("accumulate");
+  const NodeId sum = b.LoopPhi("sum", zero);
+  const NodeId i = b.LoopPhi("i", zero);
+  const NodeId cond = b.Op(OpKind::kLt, "<1", {sum, threshold});
+  b.SetLoopCondition(cond);
+  const NodeId v = b.MemRead("A", arr, i);
+  const NodeId neg = b.Op(OpKind::kLt, "<2", {v, zero});
+  b.BeginIf(neg);
+  const NodeId doubled = b.Op(OpKind::kMul, "*1", {v, two});
+  b.EndIf();
+  const NodeId v2 = b.Select("selv", neg, doubled, v);
+  const NodeId sum1 = b.Op(OpKind::kAdd, "+1", {sum, v2});
+  const NodeId i1 = b.Op(OpKind::kInc, "++1", {i});
+  b.SetLoopBack(sum, sum1);
+  b.SetLoopBack(i, i1);
+  b.EndLoop();
+  b.Output("steps", i);
+  b.Output("sum", sum);
+  Cdfg g = b.Finish();
+
+  // --- 2. Pick resources and schedule both ways ------------------------------
+  const FuLibrary lib = FuLibrary::PaperLibrary();
+  Allocation alloc = Allocation::None(lib);
+  alloc.Set(lib, "add1", 1);
+  alloc.Set(lib, "mult1", 1);
+  alloc.Set(lib, "comp1", 2);
+  alloc.Set(lib, "inc1", 1);
+
+  SchedulerOptions opts;
+  opts.lookahead = 6;
+  opts.mode = SpeculationMode::kWavesched;
+  const ScheduleResult ws = Schedule(g, lib, alloc, opts);
+  opts.mode = SpeculationMode::kWaveschedSpec;
+  const ScheduleResult spec = Schedule(g, lib, alloc, opts);
+
+  std::printf("=== non-speculative schedule (Wavesched) ===\n%s\n",
+              StgToText(ws.stg, g).c_str());
+  std::printf("=== speculative schedule (Wavesched-spec) ===\n%s\n",
+              StgToText(spec.stg, g).c_str());
+
+  // --- 3. Simulate on random traces and compare ------------------------------
+  Rng rng(7);
+  double total_ws = 0, total_spec = 0;
+  const int kRuns = 20;
+  for (int run = 0; run < kRuns; ++run) {
+    Stimulus st;
+    st.inputs[threshold] = 40 + static_cast<std::int64_t>(rng.NextBelow(80));
+    std::vector<std::int64_t> contents(64);
+    for (auto& x : contents) x = rng.NextGaussianInt(4.0) + 2;
+    st.arrays[arr] = std::move(contents);
+    total_ws += static_cast<double>(SimulateStg(ws.stg, g, st).cycles);
+    total_spec += static_cast<double>(SimulateStg(spec.stg, g, st).cycles);
+  }
+  std::printf("average cycles over %d traces: WS %.1f, WS-spec %.1f "
+              "(%.2fx faster)\n",
+              kRuns, total_ws / kRuns, total_spec / kRuns,
+              total_ws / total_spec);
+  return 0;
+}

@@ -1,0 +1,134 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "base/status.h"
+
+namespace ws {
+
+double TransitionProbability(const Cdfg& g, const Transition& t) {
+  double p = 0.0;
+  for (const auto& cube : t.cubes) {
+    double cube_p = 1.0;
+    for (const CondLiteral& lit : cube) {
+      const double pt = g.cond_probability(lit.cond.node);
+      cube_p *= lit.value ? pt : 1.0 - pt;
+    }
+    p += cube_p;  // cubes of one transition are disjoint by construction
+  }
+  return p;
+}
+
+double ExpectedCycles(const Stg& stg, const Cdfg& g) {
+  const std::size_t n = stg.num_states();
+  // Linear system A * E = b over non-stop states:
+  //   E[s] - sum_t P(s->t) E[t] = 1.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n + 1, 0.0));
+  for (const State& s : stg.states()) {
+    const std::size_t i = s.id.value();
+    if (s.is_stop) {
+      a[i][i] = 1.0;
+      a[i][n] = 0.0;
+      continue;
+    }
+    a[i][i] += 1.0;
+    a[i][n] = 1.0;
+    double total = 0.0;
+    for (const Transition& t : s.out) {
+      const double p = TransitionProbability(g, t);
+      total += p;
+      a[i][t.to.value()] -= p;
+    }
+    WS_CHECK_MSG(std::abs(total - 1.0) < 1e-6,
+                 "state " << i << " transition probabilities sum to "
+                          << total);
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    WS_CHECK_MSG(std::abs(a[pivot][col]) > 1e-12,
+                 "singular Markov system: chain does not absorb");
+    std::swap(a[col], a[pivot]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c <= n; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  return a[stg.entry().value()][n] / a[stg.entry().value()][stg.entry().value()];
+}
+
+std::int64_t BestCaseCycles(const Stg& stg) {
+  const std::size_t n = stg.num_states();
+  std::vector<std::int64_t> dist(n, -1);
+  std::deque<StateId> queue;
+  dist[stg.entry().value()] = 0;
+  queue.push_back(stg.entry());
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    const State& state = stg.state(s);
+    if (state.is_stop) return dist[s.value()];
+    for (const Transition& t : state.out) {
+      if (dist[t.to.value()] < 0) {
+        dist[t.to.value()] = dist[s.value()] + 1;
+        queue.push_back(t.to);
+      }
+    }
+  }
+  WS_THROW("STOP unreachable from entry");
+}
+
+namespace {
+
+int ShiftWeight(const Transition& t) {
+  int w = 0;
+  for (const auto& [loop, delta] : t.iter_shift) w += std::max(0, delta);
+  return w;
+}
+
+}  // namespace
+
+std::int64_t WorstCaseCycles(const Stg& stg, int iteration_budget) {
+  WS_CHECK(iteration_budget >= 0);
+  const std::size_t n = stg.num_states();
+  const std::size_t budgets = static_cast<std::size_t>(iteration_budget) + 1;
+  // memo[s][b]: longest cycles from s with b budget; -2 unvisited, -3 on
+  // stack (cycle detection), -1 means "STOP unreachable within budget".
+  std::vector<std::vector<std::int64_t>> memo(
+      n, std::vector<std::int64_t>(budgets, -2));
+
+  auto rec = [&](auto&& self, std::uint32_t s, int b) -> std::int64_t {
+    const State& state = stg.state(StateId(s));
+    if (state.is_stop) return 0;
+    auto& slot = memo[s][static_cast<std::size_t>(b)];
+    if (slot == -3) {
+      WS_THROW("worst case unbounded: cycle without loop-back shift");
+    }
+    if (slot != -2) return slot;
+    slot = -3;
+    std::int64_t best = -1;
+    for (const Transition& t : state.out) {
+      const int w = ShiftWeight(t);
+      if (w > b) continue;
+      const std::int64_t sub = self(self, t.to.value(), b - w);
+      if (sub >= 0) best = std::max(best, 1 + sub);
+    }
+    slot = best;
+    return best;
+  };
+  const std::int64_t result =
+      rec(rec, stg.entry().value(), iteration_budget);
+  WS_CHECK_MSG(result >= 0, "STOP unreachable within iteration budget");
+  return result;
+}
+
+}  // namespace ws

@@ -1,0 +1,44 @@
+// Analytic schedule metrics — the four columns of the paper's Table 1.
+//
+//  * Expected number of cycles (E.N.C.): the STG is an absorbing Markov
+//    chain. Each transition cube's probability is the product of the
+//    annotated branch probabilities of its literals (conditional-operation
+//    outcomes are treated as independent across instances — the same
+//    assumption behind the paper's Equations 1-4); the expected
+//    steps-to-absorption are obtained by solving the linear system
+//    E[s] = 1 + sum_t P(s->t) E[t] with Gaussian elimination. This is the
+//    noise-free counterpart of the paper's trace-driven VHDL measurement
+//    (and is cross-checked against trace simulation in the tests).
+//  * Best case: fewest cycles on any entry->STOP path (BFS).
+//  * Worst case: most cycles over executions in which loops iterate at most
+//    `iteration_budget` times in total, computed by dynamic programming over
+//    (state, remaining budget); loop-closing edges (those carrying an
+//    iteration shift) consume budget. A cycle of shift-free edges would make
+//    the worst case unbounded and raises ws::Error.
+#ifndef WS_ANALYSIS_METRICS_H
+#define WS_ANALYSIS_METRICS_H
+
+#include <cstdint>
+
+#include "cdfg/cdfg.h"
+#include "stg/stg.h"
+
+namespace ws {
+
+// Probability that a single transition is taken, from the CDFG branch
+// annotations.
+double TransitionProbability(const Cdfg& g, const Transition& t);
+
+// Expected cycles from entry to STOP. Throws if the chain does not absorb
+// (e.g. a probability-1 cycle).
+double ExpectedCycles(const Stg& stg, const Cdfg& g);
+
+// Minimum cycles over all entry->STOP paths.
+std::int64_t BestCaseCycles(const Stg& stg);
+
+// Maximum cycles when at most `iteration_budget` loop-back traversals occur.
+std::int64_t WorstCaseCycles(const Stg& stg, int iteration_budget);
+
+}  // namespace ws
+
+#endif  // WS_ANALYSIS_METRICS_H

@@ -1,0 +1,55 @@
+// Strongly typed integer identifiers.
+//
+// Graph-heavy EDA code passes many kinds of small integer handles around
+// (node ids, state ids, BDD node indices, ...). Using a distinct wrapper type
+// per id space turns accidental cross-space mixups into compile errors while
+// keeping the runtime representation a plain 32-bit integer.
+#ifndef WS_BASE_IDS_H
+#define WS_BASE_IDS_H
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace ws {
+
+// Tagged id. `Tag` is any (possibly incomplete) type used only to make each
+// instantiation a distinct type.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalidValue =
+      std::numeric_limits<value_type>::max();
+
+  constexpr Id() : value_(kInvalidValue) {}
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalidValue; }
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+
+  static constexpr Id invalid() { return Id(); }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value_ >= b.value_; }
+
+ private:
+  value_type value_;
+};
+
+}  // namespace ws
+
+namespace std {
+template <typename Tag>
+struct hash<ws::Id<Tag>> {
+  size_t operator()(ws::Id<Tag> id) const noexcept {
+    return std::hash<typename ws::Id<Tag>::value_type>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // WS_BASE_IDS_H

@@ -1,0 +1,53 @@
+// Deterministic random number generation for workload traces.
+//
+// The paper drives its expected-cycle measurements with "zero-mean Gaussian
+// sequences". All randomness in this repository flows through this class so
+// every experiment is reproducible from a seed.
+#ifndef WS_BASE_RNG_H
+#define WS_BASE_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ws {
+
+// Deterministic RNG (xoshiro256** core) with convenience distributions.
+// Not thread-safe; create one per thread / experiment.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // true with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Standard normal via Box-Muller (deterministic; caches the second draw).
+  double NextGaussian();
+
+  // Zero-mean Gaussian with standard deviation sigma, rounded to the nearest
+  // integer — the paper's input-trace distribution.
+  std::int64_t NextGaussianInt(double sigma);
+
+  // Vector of n zero-mean Gaussian integers.
+  std::vector<std::int64_t> GaussianTrace(int n, double sigma);
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace ws
+
+#endif  // WS_BASE_RNG_H

@@ -1,0 +1,65 @@
+// Error handling for the library.
+//
+// The library throws `ws::Error` for user-facing failures (malformed input,
+// violated constraints, exhausted exploration caps). Internal invariants are
+// checked with WS_CHECK, which also throws so tests can assert on them.
+#ifndef WS_BASE_STATUS_H
+#define WS_BASE_STATUS_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ws {
+
+// Exception type for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+namespace internal {
+// Accumulates a message and throws on destruction-by-value via Throw().
+class ErrorStream {
+ public:
+  template <typename T>
+  ErrorStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  [[noreturn]] void Throw() const { throw Error(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace ws
+
+// Throws ws::Error with a streamed message:
+//   WS_THROW("bad node " << id.value());
+#define WS_THROW(msg)                           \
+  do {                                          \
+    ::ws::internal::ErrorStream ws_err_stream_; \
+    ws_err_stream_ << msg;                      \
+    ws_err_stream_.Throw();                     \
+  } while (0)
+
+// Invariant check; always on (the library is not performance critical enough
+// to justify stripping checks in release builds).
+#define WS_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      WS_THROW("check failed: " #cond " at " << __FILE__ << ":" << __LINE__); \
+    }                                                                      \
+  } while (0)
+
+#define WS_CHECK_MSG(cond, msg)                                 \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      WS_THROW("check failed: " #cond " at " << __FILE__ << ":" \
+                                             << __LINE__ << ": " << msg); \
+    }                                                           \
+  } while (0)
+
+#endif  // WS_BASE_STATUS_H

@@ -1,0 +1,36 @@
+// Small string helpers shared across the library.
+#ifndef WS_BASE_STRINGS_H
+#define WS_BASE_STRINGS_H
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ws {
+
+// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Streams all arguments into one string: StrCat(1, "+", 2.5).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+// Escapes a string for use as a DOT (graphviz) label.
+std::string DotEscape(const std::string& s);
+
+}  // namespace ws
+
+#endif  // WS_BASE_STRINGS_H

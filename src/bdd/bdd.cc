@@ -1,0 +1,256 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/strings.h"
+
+namespace ws {
+
+BddManager::BddManager() {
+  // Node 0 = constant false, node 1 = constant true.
+  nodes_.push_back({kTerminalVar, 0, 0});
+  nodes_.push_back({kTerminalVar, 1, 1});
+}
+
+int BddManager::NewVar(const std::string& name) {
+  var_names_.push_back(name);
+  return static_cast<int>(var_names_.size()) - 1;
+}
+
+const std::string& BddManager::var_name(int var) const {
+  WS_CHECK(var >= 0 && var < num_vars());
+  return var_names_[static_cast<std::size_t>(var)];
+}
+
+Bdd BddManager::Var(int var) {
+  WS_CHECK(var >= 0 && var < num_vars());
+  return Bdd(MakeNode(var, 0, 1));
+}
+
+Bdd BddManager::NotVar(int var) {
+  WS_CHECK(var >= 0 && var < num_vars());
+  return Bdd(MakeNode(var, 1, 0));
+}
+
+std::uint32_t BddManager::MakeNode(int var, std::uint32_t low,
+                                   std::uint32_t high) {
+  if (low == high) return low;  // reduction rule
+  const auto key = std::make_tuple(var, low, high);
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back({var, low, high});
+  unique_.emplace(key, index);
+  return index;
+}
+
+Bdd BddManager::And(Bdd a, Bdd b) { return Ite(a, b, False()); }
+Bdd BddManager::Or(Bdd a, Bdd b) { return Ite(a, True(), b); }
+Bdd BddManager::Not(Bdd a) { return Ite(a, False(), True()); }
+Bdd BddManager::Xor(Bdd a, Bdd b) { return Ite(a, Not(b), b); }
+Bdd BddManager::Implies(Bdd a, Bdd b) { return Ite(a, b, True()); }
+
+Bdd BddManager::Ite(Bdd f, Bdd g, Bdd h) {
+  WS_CHECK(f.valid() && g.valid() && h.valid());
+  return Bdd(IteRec(f.index(), g.index(), h.index()));
+}
+
+std::uint32_t BddManager::IteRec(std::uint32_t f, std::uint32_t g,
+                                 std::uint32_t h) {
+  // Terminal cases.
+  if (f == 1) return g;
+  if (f == 0) return h;
+  if (g == h) return g;
+  if (g == 1 && h == 0) return f;
+
+  const auto key = std::make_tuple(f, g, h);
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const int vf = var_of(f);
+  const int vg = var_of(g);
+  const int vh = var_of(h);
+  const int top = std::min({vf, vg, vh});
+
+  const std::uint32_t f0 = (vf == top) ? nodes_[f].low : f;
+  const std::uint32_t f1 = (vf == top) ? nodes_[f].high : f;
+  const std::uint32_t g0 = (vg == top) ? nodes_[g].low : g;
+  const std::uint32_t g1 = (vg == top) ? nodes_[g].high : g;
+  const std::uint32_t h0 = (vh == top) ? nodes_[h].low : h;
+  const std::uint32_t h1 = (vh == top) ? nodes_[h].high : h;
+
+  const std::uint32_t low = IteRec(f0, g0, h0);
+  const std::uint32_t high = IteRec(f1, g1, h1);
+  const std::uint32_t result = MakeNode(top, low, high);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+Bdd BddManager::AndAll(const std::vector<Bdd>& fs) {
+  Bdd acc = True();
+  for (Bdd f : fs) acc = And(acc, f);
+  return acc;
+}
+
+Bdd BddManager::OrAll(const std::vector<Bdd>& fs) {
+  Bdd acc = False();
+  for (Bdd f : fs) acc = Or(acc, f);
+  return acc;
+}
+
+Bdd BddManager::Restrict(Bdd f, int var, bool value) {
+  std::unordered_map<std::uint32_t, std::uint32_t> memo;
+  return Bdd(RestrictRec(f.index(), var, value, memo));
+}
+
+std::uint32_t BddManager::RestrictRec(
+    std::uint32_t f, int var, bool value,
+    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
+  if (f <= 1) return f;
+  const int v = var_of(f);
+  if (v > var) return f;  // var does not occur below this node
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  std::uint32_t result;
+  if (v == var) {
+    result = value ? nodes_[f].high : nodes_[f].low;
+  } else {
+    const std::uint32_t low = RestrictRec(nodes_[f].low, var, value, memo);
+    const std::uint32_t high = RestrictRec(nodes_[f].high, var, value, memo);
+    result = MakeNode(v, low, high);
+  }
+  memo.emplace(f, result);
+  return result;
+}
+
+Bdd BddManager::RestrictAll(
+    Bdd f, const std::vector<std::pair<int, bool>>& assignment) {
+  Bdd out = f;
+  for (const auto& [var, value] : assignment) out = Restrict(out, var, value);
+  return out;
+}
+
+bool BddManager::Covers(Bdd b, Bdd a) { return IsFalse(And(a, Not(b))); }
+
+bool BddManager::Eval(Bdd f,
+                      const std::unordered_map<int, bool>& values) const {
+  std::uint32_t n = f.index();
+  while (n > 1) {
+    auto it = values.find(var_of(n));
+    const bool v = (it != values.end()) && it->second;
+    n = v ? nodes_[n].high : nodes_[n].low;
+  }
+  return n == 1;
+}
+
+std::vector<int> BddManager::Support(Bdd f) const {
+  std::vector<int> vars;
+  std::vector<std::uint32_t> stack{f.index()};
+  std::unordered_map<std::uint32_t, bool> seen;
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (n <= 1 || seen[n]) continue;
+    seen[n] = true;
+    vars.push_back(var_of(n));
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+double BddManager::Probability(Bdd f,
+                               const std::vector<double>& prob_true) const {
+  std::unordered_map<std::uint32_t, double> memo;
+  return ProbRec(f.index(), prob_true, memo);
+}
+
+double BddManager::ProbRec(std::uint32_t f,
+                           const std::vector<double>& prob_true,
+                           std::unordered_map<std::uint32_t, double>& memo)
+    const {
+  if (f == 0) return 0.0;
+  if (f == 1) return 1.0;
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  const int v = var_of(f);
+  const double p =
+      (v < static_cast<int>(prob_true.size())) ? prob_true[v] : 0.5;
+  const double result = p * ProbRec(nodes_[f].high, prob_true, memo) +
+                        (1.0 - p) * ProbRec(nodes_[f].low, prob_true, memo);
+  memo.emplace(f, result);
+  return result;
+}
+
+double BddManager::SatCount(Bdd f, int num_vars) const {
+  // P(f) under uniform probabilities times 2^num_vars.
+  std::vector<double> half(static_cast<std::size_t>(num_vars), 0.5);
+  std::unordered_map<std::uint32_t, double> memo;
+  const double p = ProbRec(f.index(), half, memo);
+  return p * std::pow(2.0, num_vars);
+}
+
+Bdd BddManager::Rename(Bdd f, const std::unordered_map<int, int>& var_map) {
+  // Rebuild bottom-up through ITE so order-changing maps stay canonical.
+  std::unordered_map<std::uint32_t, Bdd> memo;
+  // Recursive lambda.
+  auto rec = [&](auto&& self, std::uint32_t n) -> Bdd {
+    if (n == 0) return False();
+    if (n == 1) return True();
+    auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    const int old_var = var_of(n);
+    auto mapped = var_map.find(old_var);
+    const int new_var = (mapped != var_map.end()) ? mapped->second : old_var;
+    WS_CHECK(new_var >= 0 && new_var < num_vars());
+    const Bdd low = self(self, nodes_[n].low);
+    const Bdd high = self(self, nodes_[n].high);
+    const Bdd result = Ite(Var(new_var), high, low);
+    memo.emplace(n, result);
+    return result;
+  };
+  return rec(rec, f.index());
+}
+
+std::vector<BddCube> BddManager::ToSop(Bdd f) const {
+  std::vector<BddCube> cubes;
+  std::vector<std::pair<int, bool>> path;
+  auto rec = [&](auto&& self, std::uint32_t n) -> void {
+    if (n == 0) return;
+    if (n == 1) {
+      cubes.push_back(BddCube{path});
+      return;
+    }
+    path.emplace_back(var_of(n), false);
+    self(self, nodes_[n].low);
+    path.back().second = true;
+    self(self, nodes_[n].high);
+    path.pop_back();
+  };
+  rec(rec, f.index());
+  return cubes;
+}
+
+std::string BddManager::ToString(Bdd f) const {
+  if (IsFalse(f)) return "0";
+  if (IsTrue(f)) return "1";
+  const auto cubes = ToSop(f);
+  std::vector<std::string> terms;
+  terms.reserve(cubes.size());
+  for (const auto& cube : cubes) {
+    std::vector<std::string> lits;
+    lits.reserve(cube.literals.size());
+    for (const auto& [var, pos] : cube.literals) {
+      lits.push_back((pos ? "" : "!") + var_name(var));
+    }
+    const std::string body = Join(lits, " & ");
+    terms.push_back(cubes.size() > 1 && lits.size() > 1 ? "(" + body + ")"
+                                                        : body);
+  }
+  return Join(terms, " | ");
+}
+
+}  // namespace ws

@@ -1,0 +1,188 @@
+// A reduced ordered binary decision diagram (ROBDD) package.
+//
+// Speculation guards in the scheduler are Boolean functions over the results
+// of conditional-operation instances (the paper's c_i variables). Guards are
+// not just conjunctions — e.g. ">=1_1 / (c1_0 OR c2_0)" appears in the
+// paper's GCD walkthrough — so we manipulate them as ROBDDs: canonical,
+// cheap to conjoin/cofactor, and they support exact probability evaluation
+// P(f) given independent per-variable probabilities (used by the criticality
+// heuristic, Eq. 5, and by the Markov-chain expected-cycle analysis).
+//
+// Design notes:
+//  * No complement edges, no garbage collection: managers are short-lived
+//    (one per scheduling run) and the graphs involved are tiny by BDD
+//    standards, so a monotonically growing node table keeps the code simple.
+//  * Variable order equals variable creation order.
+#ifndef WS_BDD_BDD_H
+#define WS_BDD_BDD_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+
+namespace ws {
+
+class BddManager;
+
+// A handle to a BDD node. Value-semantic; only meaningful with the manager
+// that produced it. Handles are canonical: two equal handles from the same
+// manager denote the same Boolean function.
+class Bdd {
+ public:
+  Bdd() : index_(kInvalid) {}
+
+  [[nodiscard]] bool valid() const { return index_ != kInvalid; }
+  [[nodiscard]] std::uint32_t index() const { return index_; }
+
+  friend bool operator==(Bdd a, Bdd b) { return a.index_ == b.index_; }
+  friend bool operator!=(Bdd a, Bdd b) { return a.index_ != b.index_; }
+  friend bool operator<(Bdd a, Bdd b) { return a.index_ < b.index_; }
+
+ private:
+  friend class BddManager;
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  explicit Bdd(std::uint32_t index) : index_(index) {}
+  std::uint32_t index_;
+};
+
+// A conjunction/product term: (variable, polarity) literals, sorted by
+// variable. Used when exporting functions as sum-of-products covers.
+struct BddCube {
+  // (var, true for positive literal).
+  std::vector<std::pair<int, bool>> literals;
+};
+
+// The node store and operation engine.
+class BddManager {
+ public:
+  BddManager();
+
+  // --- Variables -----------------------------------------------------------
+
+  // Creates a fresh variable, ordered after all existing ones. `name` is used
+  // only for printing.
+  int NewVar(const std::string& name);
+
+  int num_vars() const { return static_cast<int>(var_names_.size()); }
+  const std::string& var_name(int var) const;
+
+  // --- Constants and literals ----------------------------------------------
+
+  Bdd True() const { return Bdd(1); }
+  Bdd False() const { return Bdd(0); }
+  Bdd Var(int var);      // the function "var"
+  Bdd NotVar(int var);   // the function "!var"
+
+  // --- Boolean operations ---------------------------------------------------
+
+  Bdd And(Bdd a, Bdd b);
+  Bdd Or(Bdd a, Bdd b);
+  Bdd Not(Bdd a);
+  Bdd Xor(Bdd a, Bdd b);
+  Bdd Implies(Bdd a, Bdd b);
+  Bdd Ite(Bdd f, Bdd g, Bdd h);
+
+  // Variadic conveniences.
+  Bdd AndAll(const std::vector<Bdd>& fs);
+  Bdd OrAll(const std::vector<Bdd>& fs);
+
+  // --- Queries ---------------------------------------------------------------
+
+  bool IsTrue(Bdd f) const { return f == True(); }
+  bool IsFalse(Bdd f) const { return f == False(); }
+
+  // f restricted with var := value (Shannon cofactor).
+  Bdd Restrict(Bdd f, int var, bool value);
+
+  // Simultaneous restriction by a partial assignment (var -> value).
+  Bdd RestrictAll(Bdd f, const std::vector<std::pair<int, bool>>& assignment);
+
+  // True iff a => b (i.e. a AND NOT b == false).
+  bool Covers(Bdd b, Bdd a);
+
+  // Evaluates f under a total assignment over its support. Variables missing
+  // from `values` default to false.
+  bool Eval(Bdd f, const std::unordered_map<int, bool>& values) const;
+
+  // The set of variables f depends on, ascending.
+  std::vector<int> Support(Bdd f) const;
+
+  // P(f = 1) when variable v is independently true with probability
+  // `prob_true[v]` (vector indexed by variable; missing entries => 0.5).
+  double Probability(Bdd f, const std::vector<double>& prob_true) const;
+
+  // Number of satisfying assignments over the first `num_vars` variables.
+  double SatCount(Bdd f, int num_vars) const;
+
+  // Rebuilds f with variables renamed per `var_map` (old var -> new var).
+  // Variables absent from the map are kept. Handles arbitrary (even
+  // order-changing) maps.
+  Bdd Rename(Bdd f, const std::unordered_map<int, int>& var_map);
+
+  // A disjoint sum-of-products cover of f (one cube per 1-path of the BDD).
+  // Deterministic for a given manager, so usable in canonical signatures.
+  std::vector<BddCube> ToSop(Bdd f) const;
+
+  // Human-readable rendering, e.g. "(c1_0 & !c2_0) | (c1_1)".
+  // Returns "1"/"0" for constants.
+  std::string ToString(Bdd f) const;
+
+  // Node count statistics (for microbenchmarks / tests).
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int var;             // variable index; terminals use var = kTerminalVar
+    std::uint32_t low;   // var = 0 child
+    std::uint32_t high;  // var = 1 child
+  };
+  static constexpr int kTerminalVar = 0x7fffffff;
+
+  std::uint32_t MakeNode(int var, std::uint32_t low, std::uint32_t high);
+  std::uint32_t IteRec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
+  std::uint32_t RestrictRec(std::uint32_t f, int var, bool value,
+                            std::unordered_map<std::uint32_t, std::uint32_t>&
+                                memo);
+  double ProbRec(std::uint32_t f, const std::vector<double>& prob_true,
+                 std::unordered_map<std::uint32_t, double>& memo) const;
+
+  int var_of(std::uint32_t n) const { return nodes_[n].var; }
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> var_names_;
+
+  struct TripleHash {
+    std::size_t operator()(const std::tuple<int, std::uint32_t,
+                                            std::uint32_t>& t) const {
+      auto [v, l, h] = t;
+      std::size_t s = std::hash<int>()(v);
+      s = s * 1000003u ^ std::hash<std::uint32_t>()(l);
+      s = s * 1000003u ^ std::hash<std::uint32_t>()(h);
+      return s;
+    }
+  };
+  std::unordered_map<std::tuple<int, std::uint32_t, std::uint32_t>,
+                     std::uint32_t, TripleHash>
+      unique_;
+
+  struct IteKeyHash {
+    std::size_t operator()(const std::tuple<std::uint32_t, std::uint32_t,
+                                            std::uint32_t>& t) const {
+      auto [f, g, h] = t;
+      std::size_t s = std::hash<std::uint32_t>()(f);
+      s = s * 1000003u ^ std::hash<std::uint32_t>()(g);
+      s = s * 1000003u ^ std::hash<std::uint32_t>()(h);
+      return s;
+    }
+  };
+  std::unordered_map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>,
+                     std::uint32_t, IteKeyHash>
+      ite_cache_;
+};
+
+}  // namespace ws
+
+#endif  // WS_BDD_BDD_H

@@ -1,0 +1,290 @@
+#include "cdfg/builder.h"
+
+#include <sstream>
+#include <utility>
+
+#include "cdfg/eval.h"
+
+namespace ws {
+
+CdfgBuilder::CdfgBuilder(const std::string& name) { graph_.name_ = name; }
+
+NodeId CdfgBuilder::NewNode(OpKind kind, const std::string& name,
+                            std::vector<NodeId> inputs) {
+  WS_CHECK_MSG(!finished_, "builder already finished");
+  Node n;
+  n.id = NodeId(static_cast<NodeId::value_type>(graph_.nodes_.size()));
+  n.kind = kind;
+  n.name = name;
+  n.inputs = std::move(inputs);
+  n.loop = current_loop_;
+  if (kind != OpKind::kLoopPhi) {
+    for (const IfFrame& frame : if_stack_) {
+      n.ctrl.push_back(ControlLiteral{frame.cond, !frame.in_else});
+    }
+  }
+  graph_.nodes_.push_back(n);
+  if (current_loop_.valid()) {
+    graph_.loops_[current_loop_.value()].body.push_back(n.id);
+  }
+  return n.id;
+}
+
+NodeId CdfgBuilder::Input(const std::string& name) {
+  WS_CHECK_MSG(!current_loop_.valid() && if_stack_.empty(),
+               "inputs must be declared at top level");
+  NodeId id = NewNode(OpKind::kInput, name, {});
+  graph_.inputs_.push_back(id);
+  return id;
+}
+
+NodeId CdfgBuilder::Konst(std::int64_t value) {
+  if (simplify_) {
+    auto it = const_pool_.find(value);
+    if (it != const_pool_.end()) return it->second;
+  }
+  NodeId id = NewNode(OpKind::kConst, "#" + std::to_string(value), {});
+  graph_.nodes_[id.value()].const_value = value;
+  // Constants are always available; scope them to top level so they can be
+  // referenced from anywhere.
+  graph_.nodes_[id.value()].loop = LoopId::invalid();
+  graph_.nodes_[id.value()].ctrl.clear();
+  if (current_loop_.valid()) {
+    auto& body = graph_.loops_[current_loop_.value()].body;
+    body.pop_back();  // NewNode appended it to the loop body; undo
+  }
+  if (simplify_) const_pool_.emplace(value, id);
+  return id;
+}
+
+std::string CdfgBuilder::ScopeKey(OpKind kind,
+                                  const std::vector<NodeId>& inputs) const {
+  // Common subexpressions may only merge within the same control scope
+  // (same loop, same if-nest): a guarded op executes conditionally and must
+  // not be hoisted by sharing.
+  std::ostringstream os;
+  os << static_cast<int>(kind) << "/";
+  for (NodeId in : inputs) os << in.value() << ",";
+  os << "L" << (current_loop_.valid() ? current_loop_.value() : ~0u);
+  for (const IfFrame& frame : if_stack_) {
+    os << (frame.in_else ? "!" : "") << frame.cond.value() << ";";
+  }
+  return os.str();
+}
+
+NodeId CdfgBuilder::TrySimplify(OpKind kind,
+                                const std::vector<NodeId>& inputs) {
+  if (!simplify_) return NodeId::invalid();
+  auto const_of = [&](NodeId id) -> const Node* {
+    const Node& n = graph_.nodes_[id.value()];
+    return n.kind == OpKind::kConst ? &n : nullptr;
+  };
+
+  // Constant folding (pure computational kinds only).
+  if (kind != OpKind::kSelect) {
+    bool all_const = !inputs.empty();
+    for (NodeId in : inputs) all_const &= const_of(in) != nullptr;
+    if (all_const) {
+      const std::int64_t a = const_of(inputs[0])->const_value;
+      const std::int64_t b =
+          inputs.size() > 1 ? const_of(inputs[1])->const_value : 0;
+      return Konst(EvalOp(kind, a, b));
+    }
+  }
+
+  // Algebraic identities.
+  if (inputs.size() == 2) {
+    const Node* rc = const_of(inputs[1]);
+    if (rc != nullptr) {
+      const std::int64_t c = rc->const_value;
+      if (c == 0 && (kind == OpKind::kAdd || kind == OpKind::kSub ||
+                     kind == OpKind::kShl || kind == OpKind::kShr ||
+                     kind == OpKind::kOr2 || kind == OpKind::kXor2)) {
+        return inputs[0];
+      }
+      if (c == 1 && kind == OpKind::kMul) return inputs[0];
+      if (c == 0 && (kind == OpKind::kMul || kind == OpKind::kAnd2)) {
+        return Konst(0);
+      }
+    }
+    const Node* lc = const_of(inputs[0]);
+    if (lc != nullptr) {
+      const std::int64_t c = lc->const_value;
+      if (c == 0 && kind == OpKind::kAdd) return inputs[1];
+      if (c == 1 && kind == OpKind::kMul) return inputs[1];
+      if (c == 0 && (kind == OpKind::kMul || kind == OpKind::kAnd2)) {
+        return Konst(0);
+      }
+    }
+  }
+  if (inputs.size() == 2 && inputs[0] == inputs[1]) {
+    switch (kind) {
+      case OpKind::kSub:
+      case OpKind::kXor2:
+      case OpKind::kNe:
+      case OpKind::kLt:
+      case OpKind::kGt:
+        return Konst(0);
+      case OpKind::kEq:
+      case OpKind::kLe:
+      case OpKind::kGe:
+        return Konst(1);
+      default:
+        break;
+    }
+  }
+  if (kind == OpKind::kSelect) {
+    if (inputs[1] == inputs[2]) return inputs[1];  // both arms equal
+    if (const Node* sc = const_of(inputs[0])) {
+      return sc->const_value != 0 ? inputs[1] : inputs[2];
+    }
+  }
+
+  // Common subexpression within the current control scope.
+  auto it = cse_.find(ScopeKey(kind, inputs));
+  if (it != cse_.end()) return it->second;
+  return NodeId::invalid();
+}
+
+NodeId CdfgBuilder::Op(OpKind kind, const std::string& name,
+                       const std::vector<NodeId>& inputs) {
+  WS_CHECK_MSG(IsScheduledKind(kind) || kind == OpKind::kSelect,
+               "use the dedicated builder method for this kind");
+  WS_CHECK_MSG(kind != OpKind::kMemRead && kind != OpKind::kMemWrite,
+               "use MemRead/MemWrite for memory accesses");
+  if (const NodeId simplified = TrySimplify(kind, inputs);
+      simplified.valid()) {
+    return simplified;
+  }
+  const NodeId id = NewNode(kind, name, inputs);
+  if (simplify_) cse_.emplace(ScopeKey(kind, inputs), id);
+  return id;
+}
+
+NodeId CdfgBuilder::Select(const std::string& name, NodeId sel,
+                           NodeId on_true, NodeId on_false) {
+  const std::vector<NodeId> inputs{sel, on_true, on_false};
+  if (const NodeId simplified = TrySimplify(OpKind::kSelect, inputs);
+      simplified.valid()) {
+    return simplified;
+  }
+  const NodeId id = NewNode(OpKind::kSelect, name, inputs);
+  if (simplify_) cse_.emplace(ScopeKey(OpKind::kSelect, inputs), id);
+  return id;
+}
+
+ArrayId CdfgBuilder::Array(const std::string& name, int size,
+                           std::vector<std::int64_t> init) {
+  WS_CHECK(size > 0);
+  WS_CHECK(static_cast<int>(init.size()) <= size);
+  MemArray a;
+  a.id = ArrayId(static_cast<ArrayId::value_type>(graph_.arrays_.size()));
+  a.name = name;
+  a.size = size;
+  a.init = std::move(init);
+  graph_.arrays_.push_back(a);
+  return a.id;
+}
+
+NodeId CdfgBuilder::MemRead(const std::string& name, ArrayId array,
+                            NodeId addr) {
+  NodeId id = NewNode(OpKind::kMemRead, name, {addr});
+  graph_.nodes_[id.value()].array = array;
+  return id;
+}
+
+NodeId CdfgBuilder::MemWrite(const std::string& name, ArrayId array,
+                             NodeId addr, NodeId value) {
+  NodeId id = NewNode(OpKind::kMemWrite, name, {addr, value});
+  graph_.nodes_[id.value()].array = array;
+  return id;
+}
+
+LoopId CdfgBuilder::BeginLoop(const std::string& name) {
+  WS_CHECK_MSG(!current_loop_.valid(), "loops cannot nest");
+  WS_CHECK_MSG(if_stack_.empty(), "loops inside conditionals unsupported");
+  Loop l;
+  l.id = LoopId(static_cast<LoopId::value_type>(graph_.loops_.size()));
+  l.name = name;
+  graph_.loops_.push_back(l);
+  current_loop_ = l.id;
+  return l.id;
+}
+
+NodeId CdfgBuilder::LoopPhi(const std::string& name, NodeId init) {
+  WS_CHECK_MSG(current_loop_.valid(), "LoopPhi outside a loop");
+  // The back edge is patched by SetLoopBack; temporarily self-referential.
+  NodeId id = NewNode(OpKind::kLoopPhi, name, {init, NodeId::invalid()});
+  graph_.loops_[current_loop_.value()].phis.push_back(id);
+  return id;
+}
+
+void CdfgBuilder::SetLoopCondition(NodeId cond) {
+  WS_CHECK_MSG(current_loop_.valid(), "SetLoopCondition outside a loop");
+  Loop& l = graph_.loops_[current_loop_.value()];
+  WS_CHECK_MSG(!l.cond.valid(), "loop condition already set");
+  l.cond = cond;
+}
+
+void CdfgBuilder::SetLoopBack(NodeId phi, NodeId back) {
+  WS_CHECK_MSG(current_loop_.valid(), "SetLoopBack outside a loop");
+  Node& p = graph_.nodes_[phi.value()];
+  WS_CHECK_MSG(p.kind == OpKind::kLoopPhi, "SetLoopBack on non-phi");
+  WS_CHECK_MSG(!p.inputs[1].valid(), "back edge already set");
+  p.inputs[1] = back;
+}
+
+void CdfgBuilder::EndLoop() {
+  WS_CHECK_MSG(current_loop_.valid(), "EndLoop without BeginLoop");
+  WS_CHECK_MSG(if_stack_.empty(), "unclosed if inside loop");
+  const Loop& l = graph_.loops_[current_loop_.value()];
+  WS_CHECK_MSG(l.cond.valid(), "loop has no condition");
+  for (NodeId phi : l.phis) {
+    WS_CHECK_MSG(graph_.nodes_[phi.value()].inputs[1].valid(),
+                 "loop-phi " << graph_.nodes_[phi.value()].name
+                             << " has no back edge");
+  }
+  current_loop_ = LoopId::invalid();
+}
+
+void CdfgBuilder::BeginIf(NodeId cond) {
+  const Node& c = graph_.nodes_[cond.value()];
+  WS_CHECK_MSG(c.loop == current_loop_,
+               "if condition must be in the current loop scope");
+  if_stack_.push_back(IfFrame{cond, false});
+}
+
+void CdfgBuilder::BeginElse() {
+  WS_CHECK_MSG(!if_stack_.empty(), "BeginElse without BeginIf");
+  WS_CHECK_MSG(!if_stack_.back().in_else, "duplicate BeginElse");
+  if_stack_.back().in_else = true;
+}
+
+void CdfgBuilder::EndIf() {
+  WS_CHECK_MSG(!if_stack_.empty(), "EndIf without BeginIf");
+  if_stack_.pop_back();
+}
+
+NodeId CdfgBuilder::Output(const std::string& name, NodeId value) {
+  WS_CHECK_MSG(!current_loop_.valid() && if_stack_.empty(),
+               "outputs must be declared at top level");
+  NodeId id = NewNode(OpKind::kOutput, name, {value});
+  graph_.outputs_.push_back(id);
+  return id;
+}
+
+void CdfgBuilder::SetProbability(NodeId cond, double p) {
+  graph_.set_cond_probability(cond, p);
+}
+
+Cdfg CdfgBuilder::Finish() {
+  WS_CHECK_MSG(!current_loop_.valid(), "unclosed loop");
+  WS_CHECK_MSG(if_stack_.empty(), "unclosed if");
+  WS_CHECK_MSG(!finished_, "Finish called twice");
+  finished_ = true;
+  graph_.RebuildDerived();
+  graph_.Validate();
+  return std::move(graph_);
+}
+
+}  // namespace ws

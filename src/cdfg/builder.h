@@ -1,0 +1,114 @@
+// Fluent construction API for CDFGs.
+//
+// Usage sketch (the paper's Figure 1 loop):
+//
+//   CdfgBuilder b("test1");
+//   NodeId k = b.Input("k");
+//   NodeId i0 = b.Konst(0), t4_0 = b.Konst(0);
+//   auto loop = b.BeginLoop("main");
+//   NodeId i = b.LoopPhi("i", i0);
+//   NodeId t4 = b.LoopPhi("t4", t4_0);
+//   NodeId c = b.Op(OpKind::kGt, ">1", {k, t4});
+//   b.SetLoopCondition(c);
+//   NodeId i1 = b.Op(OpKind::kInc, "++1", {i});
+//   ... body ops ...
+//   b.SetLoopBack(i, i1);
+//   b.SetLoopBack(t4, t4n);
+//   b.EndLoop();
+//   b.Output("t4_out", t4);   // exit value of t4
+//   Cdfg g = b.Finish();
+//
+// Conditionals: b.BeginIf(cond) / b.BeginElse() / b.EndIf() push control
+// literals onto nodes created inside; b.Select(...) builds explicit joins.
+#ifndef WS_CDFG_BUILDER_H
+#define WS_CDFG_BUILDER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cdfg/cdfg.h"
+
+namespace ws {
+
+class CdfgBuilder {
+ public:
+  explicit CdfgBuilder(const std::string& name);
+
+  // --- Sources ---------------------------------------------------------------
+  NodeId Input(const std::string& name);
+  NodeId Konst(std::int64_t value);
+
+  // --- Operations -------------------------------------------------------------
+  // Generic operation; arity checked against `kind`.
+  NodeId Op(OpKind kind, const std::string& name,
+            const std::vector<NodeId>& inputs);
+  // sel != 0 ? on_true : on_false. Never occupies a functional unit.
+  NodeId Select(const std::string& name, NodeId sel, NodeId on_true,
+                NodeId on_false);
+
+  // --- Memory ------------------------------------------------------------------
+  ArrayId Array(const std::string& name, int size,
+                std::vector<std::int64_t> init = {});
+  NodeId MemRead(const std::string& name, ArrayId array, NodeId addr);
+  NodeId MemWrite(const std::string& name, ArrayId array, NodeId addr,
+                  NodeId value);
+
+  // --- Control: loops -----------------------------------------------------------
+  LoopId BeginLoop(const std::string& name);
+  // Declares a loop-carried value with initial value `init` (defined outside
+  // the loop). The back-edge value is attached later with SetLoopBack.
+  NodeId LoopPhi(const std::string& name, NodeId init);
+  // Marks `cond` (a node in the current loop) as the continue condition.
+  void SetLoopCondition(NodeId cond);
+  // Attaches the back-edge value of `phi`.
+  void SetLoopBack(NodeId phi, NodeId back);
+  void EndLoop();
+
+  // --- Control: conditionals -----------------------------------------------------
+  void BeginIf(NodeId cond);
+  void BeginElse();
+  void EndIf();
+
+  // --- Sinks ------------------------------------------------------------------
+  NodeId Output(const std::string& name, NodeId value);
+
+  // Annotates P(cond == true).
+  void SetProbability(NodeId cond, double p);
+
+  // Enables on-the-fly simplification: constant folding, algebraic
+  // identities (x+0, x*1, x*0, shifts by 0, selects with equal arms or
+  // constant steering), and common-subexpression elimination within the
+  // same control scope. Used by the language frontend; off by default so
+  // hand-built graphs keep their exact shape.
+  void EnableSimplify() { simplify_ = true; }
+
+  // Validates and returns the finished graph. The builder is left empty.
+  Cdfg Finish();
+
+ private:
+  NodeId NewNode(OpKind kind, const std::string& name,
+                 std::vector<NodeId> inputs);
+  // Returns the simplified replacement for an op about to be created, or
+  // an invalid id if it must be materialized.
+  NodeId TrySimplify(OpKind kind, const std::vector<NodeId>& inputs);
+  std::string ScopeKey(OpKind kind, const std::vector<NodeId>& inputs) const;
+
+  struct IfFrame {
+    NodeId cond;
+    bool in_else = false;
+  };
+
+  Cdfg graph_;
+  LoopId current_loop_;
+  std::vector<IfFrame> if_stack_;
+  bool finished_ = false;
+  bool simplify_ = false;
+  std::map<std::string, NodeId> cse_;           // scope-qualified expr -> node
+  std::map<std::int64_t, NodeId> const_pool_;   // value -> kConst node
+};
+
+}  // namespace ws
+
+#endif  // WS_CDFG_BUILDER_H

@@ -1,0 +1,267 @@
+#include "cdfg/cdfg.h"
+
+#include <algorithm>
+
+namespace ws {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConst: return "const";
+    case OpKind::kInput: return "in";
+    case OpKind::kAdd: return "+";
+    case OpKind::kSub: return "-";
+    case OpKind::kMul: return "*";
+    case OpKind::kInc: return "++";
+    case OpKind::kDec: return "--";
+    case OpKind::kLt: return "<";
+    case OpKind::kGt: return ">";
+    case OpKind::kLe: return "<=";
+    case OpKind::kGe: return ">=";
+    case OpKind::kEq: return "==";
+    case OpKind::kNe: return "!=";
+    case OpKind::kNot: return "!";
+    case OpKind::kAnd2: return "&&";
+    case OpKind::kOr2: return "||";
+    case OpKind::kXor2: return "^";
+    case OpKind::kShl: return "<<";
+    case OpKind::kShr: return ">>";
+    case OpKind::kSelect: return "sel";
+    case OpKind::kLoopPhi: return "phi";
+    case OpKind::kMemRead: return "mrd";
+    case OpKind::kMemWrite: return "mwr";
+    case OpKind::kOutput: return "out";
+  }
+  return "?";
+}
+
+bool IsScheduledKind(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConst:
+    case OpKind::kInput:
+    case OpKind::kLoopPhi:
+    case OpKind::kOutput:
+      return false;
+    // Selects are scheduled as zero-delay register transfers (mux + register
+    // write) once their steering condition has resolved; before resolution,
+    // consumers speculate through them per Observation 1.
+    case OpKind::kSelect:
+      return true;
+    default:
+      return true;
+  }
+}
+
+bool IsBinaryKind(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kLt:
+    case OpKind::kGt:
+    case OpKind::kLe:
+    case OpKind::kGe:
+    case OpKind::kEq:
+    case OpKind::kNe:
+    case OpKind::kAnd2:
+    case OpKind::kOr2:
+    case OpKind::kXor2:
+    case OpKind::kShl:
+    case OpKind::kShr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsCompareKind(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLt:
+    case OpKind::kGt:
+    case OpKind::kLe:
+    case OpKind::kGe:
+    case OpKind::kEq:
+    case OpKind::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double Cdfg::cond_probability(NodeId cond) const {
+  auto it = cond_prob_.find(cond);
+  return it == cond_prob_.end() ? 0.5 : it->second;
+}
+
+void Cdfg::set_cond_probability(NodeId cond, double p) {
+  WS_CHECK_MSG(p >= 0.0 && p <= 1.0, "probability out of range");
+  cond_prob_[cond] = p;
+}
+
+const std::vector<NodeId>& Cdfg::consumers(NodeId id) const {
+  WS_CHECK(id.valid() && id.value() < consumers_.size());
+  return consumers_[id.value()];
+}
+
+bool Cdfg::is_condition_node(NodeId id) const {
+  return cond_node_set_.contains(id);
+}
+
+bool Cdfg::is_control_condition(NodeId id) const {
+  return control_cond_set_.contains(id);
+}
+
+const std::vector<NodeId>& Cdfg::array_accesses(ArrayId id) const {
+  WS_CHECK(id.valid() && id.value() < array_accesses_.size());
+  return array_accesses_[id.value()];
+}
+
+bool Cdfg::InLoop(NodeId node_id, LoopId loop_id) const {
+  if (!loop_id.valid()) return false;
+  return node(node_id).loop == loop_id;
+}
+
+void Cdfg::RebuildDerived() {
+  consumers_.assign(nodes_.size(), {});
+  for (const Node& n : nodes_) {
+    for (NodeId in : n.inputs) {
+      WS_CHECK(in.valid() && in.value() < nodes_.size());
+      consumers_[in.value()].push_back(n.id);
+    }
+  }
+
+  cond_node_set_.clear();
+  control_cond_set_.clear();
+  for (const Node& n : nodes_) {
+    if (n.kind == OpKind::kSelect) cond_node_set_.insert(n.inputs[0]);
+    for (const ControlLiteral& lit : n.ctrl) {
+      cond_node_set_.insert(lit.cond);
+      control_cond_set_.insert(lit.cond);
+    }
+  }
+  for (const Loop& l : loops_) {
+    cond_node_set_.insert(l.cond);
+    control_cond_set_.insert(l.cond);
+  }
+  cond_nodes_.assign(cond_node_set_.begin(), cond_node_set_.end());
+  std::sort(cond_nodes_.begin(), cond_nodes_.end());
+
+  array_accesses_.assign(arrays_.size(), {});
+  for (const Node& n : nodes_) {
+    if (n.kind == OpKind::kMemRead || n.kind == OpKind::kMemWrite) {
+      WS_CHECK(n.array.valid() && n.array.value() < arrays_.size());
+      array_accesses_[n.array.value()].push_back(n.id);
+    }
+  }
+
+  // Loop headers: backward closure from each loop condition through
+  // intra-iteration data edges (phis and nodes outside the loop stop the
+  // walk).
+  loop_header_.clear();
+  for (const Loop& l : loops_) {
+    std::vector<NodeId> stack{l.cond};
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      const Node& n = node(id);
+      if (n.loop != l.id || n.kind == OpKind::kLoopPhi) continue;
+      if (!loop_header_.insert(id).second) continue;
+      for (NodeId in : n.inputs) stack.push_back(in);
+    }
+  }
+}
+
+bool Cdfg::InLoopHeader(NodeId node_id) const {
+  return loop_header_.contains(node_id);
+}
+
+void Cdfg::Validate() const {
+  for (const Node& n : nodes_) {
+    // Arity.
+    std::size_t arity = 0;
+    switch (n.kind) {
+      case OpKind::kConst:
+      case OpKind::kInput:
+        arity = 0;
+        break;
+      case OpKind::kInc:
+      case OpKind::kDec:
+      case OpKind::kNot:
+      case OpKind::kMemRead:
+      case OpKind::kOutput:
+        arity = 1;
+        break;
+      case OpKind::kSelect:
+        arity = 3;
+        break;
+      case OpKind::kLoopPhi:
+      case OpKind::kMemWrite:
+        arity = 2;
+        break;
+      default:
+        arity = 2;
+        break;
+    }
+    WS_CHECK_MSG(n.inputs.size() == arity,
+                 "node " << n.name << " has wrong arity");
+
+    // Scope rules: a node's operand must be visible — same loop, outside any
+    // loop, or a phi/cond of another loop (exit value).
+    for (NodeId in_id : n.inputs) {
+      const Node& in = node(in_id);
+      if (in.loop == n.loop) continue;
+      if (!in.loop.valid()) continue;  // top-level value used anywhere: ok
+      // Cross-loop use: only exit values (phi or condition of a finished
+      // loop) may be read from outside that loop.
+      WS_CHECK_MSG(!n.loop.valid() || n.loop != in.loop,
+                   "unexpected scope");
+      const Loop& src_loop = loop(in.loop);
+      const bool is_exit_value =
+          in.kind == OpKind::kLoopPhi || in_id == src_loop.cond;
+      WS_CHECK_MSG(is_exit_value,
+                   "node " << n.name << " reads non-exit value " << in.name
+                           << " from inside loop " << src_loop.name);
+    }
+
+    // Control literal scope: guard conditions must live in the same loop
+    // scope as the guarded node.
+    for (const ControlLiteral& lit : n.ctrl) {
+      const Node& c = node(lit.cond);
+      WS_CHECK_MSG(c.loop == n.loop,
+                   "guard of " << n.name << " crosses loop boundary");
+    }
+
+    if (n.kind == OpKind::kLoopPhi) {
+      WS_CHECK_MSG(n.loop.valid(), "loop-phi outside a loop");
+      const Node& init = node(n.inputs[0]);
+      WS_CHECK_MSG(init.loop != n.loop, "phi init defined inside the loop");
+      const Node& back = node(n.inputs[1]);
+      WS_CHECK_MSG(back.loop == n.loop, "phi back-edge defined outside loop");
+      WS_CHECK_MSG(n.ctrl.empty(), "loop-phi must be unguarded");
+    }
+  }
+
+  for (const Loop& l : loops_) {
+    WS_CHECK_MSG(l.cond.valid(), "loop " << l.name << " has no condition");
+    WS_CHECK_MSG(node(l.cond).loop == l.id,
+                 "loop condition outside the loop body");
+    WS_CHECK_MSG(node(l.cond).ctrl.empty(),
+                 "loop condition must be unguarded");
+    for (NodeId b : l.body) {
+      WS_CHECK_MSG(node(b).loop == l.id, "body list mismatch");
+      // Header nodes compute the continue decision; an if-nest guard on them
+      // would make the decision itself conditional.
+      if (InLoopHeader(b)) {
+        WS_CHECK_MSG(node(b).ctrl.empty(),
+                     "loop-header node " << node(b).name
+                                         << " must be unguarded");
+      }
+    }
+  }
+
+  for (NodeId out : outputs_) {
+    WS_CHECK_MSG(node(out).kind == OpKind::kOutput, "bad output node");
+    WS_CHECK_MSG(!node(out).loop.valid(), "outputs must be top-level");
+  }
+}
+
+}  // namespace ws

@@ -1,0 +1,220 @@
+// Control-data flow graph (CDFG) intermediate representation.
+//
+// This is the scheduler's input, mirroring the paper's Figure 1 / Figure 4
+// style graphs: operation vertices, data edges (operand lists), and control
+// dependencies expressed as guards over the results of conditional
+// operations. Control joins are explicit `select` operations (the paper's
+// Sel nodes) and loop-carried values are explicit `loop-phi` merges, so the
+// graph is in SSA-like form and the speculative scheduler can apply the
+// paper's Observation 1 (binding operands through chains of selects).
+//
+// Structural conventions:
+//  * `while` loops are first-class: a Loop owns its body nodes, a designated
+//    continue-condition node, and the loop-phi nodes that merge initial and
+//    back-edge values. Iteration i of the body executes iff the condition
+//    evaluated true in iterations 0..i.
+//  * Conditionals are encoded by guards: each node carries the if-nest
+//    control literals (condition node, polarity) under which it executes
+//    within its innermost loop (or at top level).
+//  * Loops do not nest (checked by Validate) — every Table 1 benchmark of the
+//    paper is expressible with sequential top-level loops; nested-loop
+//    scheduling is documented future work.
+//  * Reading a loop-phi (or the loop condition) from outside the loop yields
+//    its value at loop exit.
+#ifndef WS_CDFG_CDFG_H
+#define WS_CDFG_CDFG_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/ids.h"
+#include "base/status.h"
+
+namespace ws {
+
+struct NodeTag;
+struct LoopTag;
+struct ArrayTag;
+using NodeId = Id<NodeTag>;
+using LoopId = Id<LoopTag>;
+using ArrayId = Id<ArrayTag>;
+
+// Operation kinds. Arithmetic/comparison/logic/shift ops are scheduled on
+// functional units; kSelect and kLoopPhi are structural (zero-delay, resolved
+// by the scheduler's value-version propagation); kConst/kInput are sources;
+// kOutput is a sink.
+enum class OpKind {
+  kConst,
+  kInput,
+  kAdd,
+  kSub,
+  kMul,
+  kInc,   // ++
+  kDec,   // --
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kEq,
+  kNe,
+  kNot,   // logical not (1-bit)
+  kAnd2,  // logical and
+  kOr2,   // logical or
+  kXor2,
+  kShl,
+  kShr,
+  kSelect,   // inputs: [s, l, r]; yields l if s != 0 else r
+  kLoopPhi,  // inputs: [init, back]; init outside the loop, back inside
+  kMemRead,  // inputs: [addr]
+  kMemWrite, // inputs: [addr, value]; side effect on `array`
+  kOutput,   // inputs: [value]
+};
+
+// Printable mnemonic ("+", ">", "sel", ...).
+const char* OpKindName(OpKind kind);
+
+// True for kinds that occupy a functional unit when scheduled.
+bool IsScheduledKind(OpKind kind);
+// True for two-operand arithmetic/compare/logic/shift kinds.
+bool IsBinaryKind(OpKind kind);
+// True for comparison kinds (kLt..kNe).
+bool IsCompareKind(OpKind kind);
+
+// One literal of an if-nest guard: `cond` evaluated with this `polarity`.
+struct ControlLiteral {
+  NodeId cond;
+  bool polarity = true;
+
+  friend bool operator==(const ControlLiteral&, const ControlLiteral&) =
+      default;
+};
+
+// An operation vertex.
+struct Node {
+  NodeId id;
+  OpKind kind = OpKind::kConst;
+  std::string name;             // display name, e.g. "*1", ">1"
+  std::vector<NodeId> inputs;   // data operands, see OpKind for arity
+  std::int64_t const_value = 0; // kConst only
+  LoopId loop;                  // enclosing loop; invalid when top-level
+  std::vector<ControlLiteral> ctrl;  // if-nest guard within `loop` scope
+  ArrayId array;                // kMemRead/kMemWrite only
+};
+
+// A `while` loop.
+struct Loop {
+  LoopId id;
+  std::string name;
+  NodeId cond;                // continue condition, member of the loop body
+  std::vector<NodeId> phis;   // loop-phi nodes (members of the body)
+  std::vector<NodeId> body;   // every node in the loop, including cond & phis
+};
+
+// A memory array (scratchpad / ROM). One port per array: at most one access
+// per cycle; accesses to the same array are kept in program order by the
+// scheduler via a token chain.
+struct MemArray {
+  ArrayId id;
+  std::string name;
+  int size = 0;
+  std::vector<std::int64_t> init;  // size() <= size; rest zero
+};
+
+// The graph. Construct through CdfgBuilder (builder.h); read-only afterward.
+class Cdfg {
+ public:
+  const std::string& name() const { return name_; }
+
+  const Node& node(NodeId id) const {
+    WS_CHECK(id.valid() && id.value() < nodes_.size());
+    return nodes_[id.value()];
+  }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  const Loop& loop(LoopId id) const {
+    WS_CHECK(id.valid() && id.value() < loops_.size());
+    return loops_[id.value()];
+  }
+  std::size_t num_loops() const { return loops_.size(); }
+  const std::vector<Loop>& loops() const { return loops_; }
+
+  const MemArray& array(ArrayId id) const {
+    WS_CHECK(id.valid() && id.value() < arrays_.size());
+    return arrays_[id.value()];
+  }
+  const std::vector<MemArray>& arrays() const { return arrays_; }
+
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  // Branch probability annotation: P(cond node evaluates true). Defaults to
+  // 0.5 for unannotated conditions. For loop conditions this is the
+  // stationary continue probability.
+  double cond_probability(NodeId cond) const;
+  void set_cond_probability(NodeId cond, double p);
+
+  // --- Derived structure -----------------------------------------------------
+
+  // All nodes that consume `id` as a data operand.
+  const std::vector<NodeId>& consumers(NodeId id) const;
+
+  // Condition nodes: nodes whose result steers control (select `s` inputs,
+  // loop conditions, if-nest guards). Sorted by id.
+  const std::vector<NodeId>& condition_nodes() const { return cond_nodes_; }
+  bool is_condition_node(NodeId id) const;
+
+  // Control conditions: loop conditions and if-nest guards — the conditions
+  // whose outcomes decide which operations execute, and therefore fork the
+  // controller (STG). Conditions that only steer selects are datapath (mux
+  // select lines) and never fork states.
+  bool is_control_condition(NodeId id) const;
+
+  // Nodes of `array`, in program (creation) order; defines the memory token
+  // chain.
+  const std::vector<NodeId>& array_accesses(ArrayId id) const;
+
+  // True if `node` is a member of `loop`'s body.
+  bool InLoop(NodeId node, LoopId loop) const;
+
+  // Loop-header nodes: members of a loop body from which the loop condition
+  // is reachable through intra-iteration data edges (including the condition
+  // itself). They compute the continue decision of iteration i, so they
+  // execute whenever the condition does — one iteration beyond the rest of
+  // the body (guarded by c_0..c_{i-1} instead of c_0..c_i).
+  bool InLoopHeader(NodeId node) const;
+
+  // Structural sanity checks; throws ws::Error on violation. Called by the
+  // builder on Finish().
+  void Validate() const;
+
+ private:
+  friend class CdfgBuilder;
+  friend Cdfg EliminateDeadCode(const Cdfg& g, struct DceStats* stats);
+
+  void RebuildDerived();
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Loop> loops_;
+  std::vector<MemArray> arrays_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::unordered_map<NodeId, double> cond_prob_;
+
+  // Derived.
+  std::vector<std::vector<NodeId>> consumers_;
+  std::vector<NodeId> cond_nodes_;
+  std::unordered_set<NodeId> cond_node_set_;
+  std::unordered_set<NodeId> control_cond_set_;
+  std::vector<std::vector<NodeId>> array_accesses_;
+  std::unordered_set<NodeId> loop_header_;
+};
+
+}  // namespace ws
+
+#endif  // WS_CDFG_CDFG_H

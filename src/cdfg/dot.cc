@@ -1,0 +1,55 @@
+#include "cdfg/dot.h"
+
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace ws {
+
+std::string CdfgToDot(const Cdfg& g) {
+  std::ostringstream os;
+  os << "digraph \"" << DotEscape(g.name()) << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n";
+
+  for (const Node& n : g.nodes()) {
+    std::string label = n.name;
+    if (n.kind == OpKind::kConst) {
+      label = std::to_string(n.const_value);
+    }
+    std::string shape = "ellipse";
+    if (n.kind == OpKind::kSelect) shape = "trapezium";
+    if (n.kind == OpKind::kLoopPhi) shape = "diamond";
+    if (n.kind == OpKind::kInput || n.kind == OpKind::kOutput ||
+        n.kind == OpKind::kConst) {
+      shape = "box";
+    }
+    os << "  n" << n.id.value() << " [label=\"" << DotEscape(label)
+       << "\", shape=" << shape << "];\n";
+  }
+
+  for (const Node& n : g.nodes()) {
+    for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+      const bool back_edge = n.kind == OpKind::kLoopPhi && i == 1;
+      os << "  n" << n.inputs[i].value() << " -> n" << n.id.value();
+      if (back_edge) os << " [constraint=false, color=blue]";
+      os << ";\n";
+    }
+    for (const ControlLiteral& lit : n.ctrl) {
+      os << "  n" << lit.cond.value() << " -> n" << n.id.value()
+         << " [style=dashed, label=\"" << (lit.polarity ? "" : "!") << "c\"];\n";
+    }
+  }
+
+  // Cluster loops for readability.
+  for (const Loop& l : g.loops()) {
+    os << "  subgraph cluster_loop" << l.id.value() << " {\n    label=\""
+       << DotEscape(l.name) << "\";\n    style=dotted;\n";
+    for (NodeId b : l.body) os << "    n" << b.value() << ";\n";
+    os << "  }\n";
+  }
+
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ws

@@ -1,0 +1,16 @@
+// Graphviz export of CDFGs (solid data edges, dashed control edges — the
+// paper's Figure 1 drawing convention).
+#ifndef WS_CDFG_DOT_H
+#define WS_CDFG_DOT_H
+
+#include <string>
+
+#include "cdfg/cdfg.h"
+
+namespace ws {
+
+std::string CdfgToDot(const Cdfg& g);
+
+}  // namespace ws
+
+#endif  // WS_CDFG_DOT_H

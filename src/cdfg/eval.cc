@@ -1,0 +1,41 @@
+#include "cdfg/eval.h"
+
+#include "base/status.h"
+
+namespace ws {
+
+std::int64_t EvalOp(OpKind kind, std::int64_t a, std::int64_t b) {
+  using U = std::uint64_t;
+  switch (kind) {
+    case OpKind::kAdd: return static_cast<std::int64_t>(U(a) + U(b));
+    case OpKind::kSub: return static_cast<std::int64_t>(U(a) - U(b));
+    case OpKind::kMul: return static_cast<std::int64_t>(U(a) * U(b));
+    case OpKind::kInc: return static_cast<std::int64_t>(U(a) + 1);
+    case OpKind::kDec: return static_cast<std::int64_t>(U(a) - 1);
+    case OpKind::kLt: return a < b ? 1 : 0;
+    case OpKind::kGt: return a > b ? 1 : 0;
+    case OpKind::kLe: return a <= b ? 1 : 0;
+    case OpKind::kGe: return a >= b ? 1 : 0;
+    case OpKind::kEq: return a == b ? 1 : 0;
+    case OpKind::kNe: return a != b ? 1 : 0;
+    case OpKind::kNot: return a == 0 ? 1 : 0;
+    case OpKind::kAnd2: return (a != 0 && b != 0) ? 1 : 0;
+    case OpKind::kOr2: return (a != 0 || b != 0) ? 1 : 0;
+    case OpKind::kXor2: return ((a != 0) != (b != 0)) ? 1 : 0;
+    case OpKind::kShl:
+      return static_cast<std::int64_t>(U(a) << (U(b) & 63u));
+    case OpKind::kShr:
+      return static_cast<std::int64_t>(U(a) >> (U(b) & 63u));
+    default:
+      WS_THROW("EvalOp on non-computational kind " << OpKindName(kind));
+  }
+}
+
+int WrapAddress(std::int64_t addr, int size) {
+  WS_CHECK(size > 0);
+  std::int64_t m = addr % size;
+  if (m < 0) m += size;
+  return static_cast<int>(m);
+}
+
+}  // namespace ws

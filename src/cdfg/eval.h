@@ -1,0 +1,27 @@
+// Shared functional semantics of CDFG operations.
+//
+// Both the golden CDFG interpreter and the cycle-accurate STG simulator call
+// EvalOp, so a scheduled design is checked against the reference semantics
+// bit-for-bit.
+#ifndef WS_CDFG_EVAL_H
+#define WS_CDFG_EVAL_H
+
+#include <cstdint>
+
+#include "cdfg/cdfg.h"
+
+namespace ws {
+
+// Evaluates a scheduled-kind operation (arith/compare/logic/shift) on 64-bit
+// two's-complement values. Comparisons and logic ops return 0/1. Shift
+// amounts are masked to [0, 63]. kMemRead/kMemWrite/kSelect/etc. are handled
+// by the callers, not here.
+std::int64_t EvalOp(OpKind kind, std::int64_t a, std::int64_t b);
+
+// Maps a memory address onto a valid array index (wraps modulo size, which
+// both the interpreter and the simulator apply identically).
+int WrapAddress(std::int64_t addr, int size);
+
+}  // namespace ws
+
+#endif  // WS_CDFG_EVAL_H

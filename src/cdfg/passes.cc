@@ -1,0 +1,124 @@
+#include "cdfg/passes.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace ws {
+
+Cdfg EliminateDeadCode(const Cdfg& g, DceStats* stats) {
+  const std::size_t n = g.num_nodes();
+  std::vector<bool> live(n, false);
+
+  // Seeds: outputs and memory writes (side effects).
+  std::vector<NodeId> work;
+  for (NodeId out : g.outputs()) {
+    live[out.value()] = true;
+    work.push_back(out);
+  }
+  for (const Node& node : g.nodes()) {
+    if (node.kind == OpKind::kMemWrite) {
+      live[node.id.value()] = true;
+      work.push_back(node.id);
+    }
+  }
+
+  // Backward closure over data inputs, control conditions, and loop
+  // conditions (a live loop member keeps the loop's continue condition,
+  // which keeps the condition's own inputs).
+  auto mark = [&](NodeId id) {
+    if (!live[id.value()]) {
+      live[id.value()] = true;
+      work.push_back(id);
+    }
+  };
+  while (!work.empty()) {
+    const NodeId id = work.back();
+    work.pop_back();
+    const Node& node = g.node(id);
+    for (NodeId in : node.inputs) mark(in);
+    for (const ControlLiteral& lit : node.ctrl) mark(lit.cond);
+    if (node.loop.valid()) mark(g.loop(node.loop).cond);
+  }
+
+  // Compact: rebuild every structure with remapped ids.
+  Cdfg out;
+  out.name_ = g.name();
+  std::unordered_map<NodeId::value_type, NodeId> remap;
+  std::vector<bool> loop_live(g.num_loops(), false);
+  for (const Node& node : g.nodes()) {
+    if (!live[node.id.value()]) continue;
+    Node copy = node;
+    copy.id = NodeId(static_cast<NodeId::value_type>(out.nodes_.size()));
+    remap.emplace(node.id.value(), copy.id);
+    out.nodes_.push_back(std::move(copy));
+    if (node.loop.valid()) loop_live[node.loop.value()] = true;
+  }
+  auto remap_id = [&](NodeId id) {
+    auto it = remap.find(id.value());
+    WS_CHECK_MSG(it != remap.end(), "dangling reference after DCE");
+    return it->second;
+  };
+
+  // Loops: keep those with live members.
+  std::unordered_map<LoopId::value_type, LoopId> loop_remap;
+  for (const Loop& loop : g.loops()) {
+    if (!loop_live[loop.id.value()]) continue;
+    Loop copy;
+    copy.id = LoopId(static_cast<LoopId::value_type>(out.loops_.size()));
+    copy.name = loop.name;
+    copy.cond = remap_id(loop.cond);
+    for (NodeId phi : loop.phis) {
+      if (live[phi.value()]) copy.phis.push_back(remap_id(phi));
+    }
+    for (NodeId b : loop.body) {
+      if (live[b.value()]) copy.body.push_back(remap_id(b));
+    }
+    loop_remap.emplace(loop.id.value(), copy.id);
+    out.loops_.push_back(std::move(copy));
+  }
+
+  // Patch node references.
+  for (Node& node : out.nodes_) {
+    for (NodeId& in : node.inputs) in = remap_id(in);
+    for (ControlLiteral& lit : node.ctrl) lit.cond = remap_id(lit.cond);
+    if (node.loop.valid()) {
+      auto it = loop_remap.find(node.loop.value());
+      WS_CHECK(it != loop_remap.end());
+      node.loop = it->second;
+    }
+  }
+
+  out.arrays_ = g.arrays();
+  for (NodeId in : g.inputs()) {
+    // Inputs stay declared even if unread (they are the design's ports).
+    if (!live[in.value()]) {
+      Node port = g.node(in);
+      port.id = NodeId(static_cast<NodeId::value_type>(out.nodes_.size()));
+      remap.emplace(in.value(), port.id);
+      out.nodes_.push_back(std::move(port));
+    }
+    out.inputs_.push_back(remap_id(in));
+  }
+  for (NodeId o : g.outputs()) out.outputs_.push_back(remap_id(o));
+
+  // Preserve probability annotations on surviving conditions.
+  for (const Node& node : g.nodes()) {
+    if (!live[node.id.value()]) continue;
+    if (g.is_condition_node(node.id)) {
+      out.cond_prob_[remap_id(node.id)] = g.cond_probability(node.id);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->removed_nodes =
+        static_cast<int>(n) - static_cast<int>(out.nodes_.size());
+    stats->removed_loops =
+        static_cast<int>(g.num_loops()) - static_cast<int>(out.loops_.size());
+  }
+
+  out.RebuildDerived();
+  out.Validate();
+  return out;
+}
+
+}  // namespace ws

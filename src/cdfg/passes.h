@@ -1,0 +1,30 @@
+// CDFG optimization passes.
+//
+// The behavioral frontend emits literal, unoptimized graphs; these passes
+// clean them up before scheduling:
+//  * builder-level simplification (constant folding, algebraic identities,
+//    common-subexpression elimination) — enabled via
+//    CdfgBuilder::EnableSimplify() and used by the frontend lowering;
+//  * dead-code elimination — drops every node that cannot reach an output,
+//    a memory write, or control (rebuilding the graph with compact ids).
+#ifndef WS_CDFG_PASSES_H
+#define WS_CDFG_PASSES_H
+
+#include "cdfg/cdfg.h"
+
+namespace ws {
+
+struct DceStats {
+  int removed_nodes = 0;
+  int removed_loops = 0;
+};
+
+// Returns a copy of `g` without dead nodes. Liveness seeds: outputs, memory
+// writes, loop conditions of loops with live members, and the control
+// conditions of live nodes. Probability annotations on surviving condition
+// nodes are preserved.
+Cdfg EliminateDeadCode(const Cdfg& g, DceStats* stats = nullptr);
+
+}  // namespace ws
+
+#endif  // WS_CDFG_PASSES_H

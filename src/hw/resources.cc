@@ -1,0 +1,151 @@
+#include "hw/resources.h"
+
+namespace ws {
+
+int FuLibrary::AddType(FuType type) {
+  WS_CHECK_MSG(type.latency >= 1, "unit latency must be at least 1 cycle");
+  types_.push_back(std::move(type));
+  return static_cast<int>(types_.size()) - 1;
+}
+
+void FuLibrary::Select(OpKind kind, const std::string& fu_name) {
+  selection_[kind] = IndexOf(fu_name);
+}
+
+const FuType& FuLibrary::type(int index) const {
+  WS_CHECK(index >= 0 && index < num_types());
+  return types_[static_cast<std::size_t>(index)];
+}
+
+int FuLibrary::TypeFor(OpKind kind) const {
+  auto it = selection_.find(kind);
+  WS_CHECK_MSG(it != selection_.end(),
+               "no functional unit selected for op kind "
+                   << OpKindName(kind));
+  return it->second;
+}
+
+bool FuLibrary::HasTypeFor(OpKind kind) const {
+  return selection_.contains(kind);
+}
+
+int FuLibrary::IndexOf(const std::string& fu_name) const {
+  for (int i = 0; i < num_types(); ++i) {
+    if (types_[static_cast<std::size_t>(i)].name == fu_name) return i;
+  }
+  WS_THROW("unknown functional unit type: " << fu_name);
+}
+
+FuLibrary FuLibrary::PaperLibrary() {
+  FuLibrary lib;
+  // Delays are normalized to a 1.0 ns target period. Arithmetic units take
+  // (nearly) the whole cycle, so arithmetic never chains. Logic-gate delays
+  // admit exactly the chains the paper allows for GCD: !1->||1 (0.50+0.35)
+  // and ==1->||1 (0.60+0.35) fit; >=1->||1 (0.70+0.35) does not.
+  lib.AddType({.name = "add1", .latency = 1, .pipelined = false,
+               .delay_ns = 0.99, .area = 280});
+  lib.AddType({.name = "sub1", .latency = 1, .pipelined = false,
+               .delay_ns = 0.99, .area = 280});
+  lib.AddType({.name = "mult1", .latency = 2, .pipelined = true,
+               .delay_ns = 0.99, .area = 2400});
+  lib.AddType({.name = "comp1", .latency = 1, .pipelined = false,
+               .delay_ns = 0.70, .area = 140});
+  lib.AddType({.name = "eqc1", .latency = 1, .pipelined = false,
+               .delay_ns = 0.60, .area = 100});
+  lib.AddType({.name = "inc1", .latency = 1, .pipelined = false,
+               .delay_ns = 0.70, .area = 140});
+  lib.AddType({.name = "shift1", .latency = 1, .pipelined = false,
+               .delay_ns = 0.80, .area = 180});
+  lib.AddType({.name = "not1", .latency = 1, .pipelined = false,
+               .delay_ns = 0.50, .area = 6});
+  lib.AddType({.name = "or1", .latency = 1, .pipelined = false,
+               .delay_ns = 0.35, .area = 12});
+  lib.AddType({.name = "and1", .latency = 1, .pipelined = false,
+               .delay_ns = 0.35, .area = 12});
+  lib.AddType({.name = "xor1", .latency = 1, .pipelined = false,
+               .delay_ns = 0.40, .area = 16});
+  lib.AddType({.name = "mem1", .latency = 1, .pipelined = false,
+               .delay_ns = 0.99, .area = 0});
+  // Muxes: resolved selects scheduled as zero-delay register transfers.
+  lib.AddType({.name = "mux1", .latency = 1, .pipelined = false,
+               .delay_ns = 0.0, .area = 24});
+
+  lib.Select(OpKind::kAdd, "add1");
+  lib.Select(OpKind::kSub, "sub1");
+  lib.Select(OpKind::kMul, "mult1");
+  lib.Select(OpKind::kInc, "inc1");
+  lib.Select(OpKind::kDec, "inc1");
+  lib.Select(OpKind::kLt, "comp1");
+  lib.Select(OpKind::kGt, "comp1");
+  lib.Select(OpKind::kLe, "comp1");
+  lib.Select(OpKind::kGe, "comp1");
+  lib.Select(OpKind::kEq, "eqc1");
+  lib.Select(OpKind::kNe, "eqc1");
+  lib.Select(OpKind::kShl, "shift1");
+  lib.Select(OpKind::kShr, "shift1");
+  lib.Select(OpKind::kNot, "not1");
+  lib.Select(OpKind::kOr2, "or1");
+  lib.Select(OpKind::kAnd2, "and1");
+  lib.Select(OpKind::kXor2, "xor1");
+  lib.Select(OpKind::kMemRead, "mem1");
+  lib.Select(OpKind::kMemWrite, "mem1");
+  lib.Select(OpKind::kSelect, "mux1");
+  return lib;
+}
+
+FuLibrary FuLibrary::SingleCycleLibrary() {
+  FuLibrary lib = PaperLibrary();
+  FuLibrary out;
+  for (int i = 0; i < lib.num_types(); ++i) {
+    FuType t = lib.type(i);
+    t.latency = 1;
+    t.pipelined = false;
+    // Muxes stay zero-delay register transfers; every real unit fills the
+    // cycle so that no operation chaining is possible.
+    if (t.name != "mux1") t.delay_ns = 0.99;
+    out.AddType(t);
+  }
+  out.selection_ = lib.selection_;
+  return out;
+}
+
+Allocation Allocation::Unlimited(const FuLibrary& lib) {
+  Allocation a;
+  a.counts_.assign(static_cast<std::size_t>(lib.num_types()), kUnlimited);
+  return a;
+}
+
+Allocation Allocation::None(const FuLibrary& lib) {
+  Allocation a;
+  a.counts_.assign(static_cast<std::size_t>(lib.num_types()), 0);
+  // Single logic gates and memory ports are unconstrained in the paper's
+  // experimental setup.
+  for (int i = 0; i < lib.num_types(); ++i) {
+    const std::string& name = lib.type(i).name;
+    if (name == "not1" || name == "or1" || name == "and1" ||
+        name == "xor1" || name == "mem1" || name == "mux1") {
+      a.counts_[static_cast<std::size_t>(i)] = kUnlimited;
+    }
+  }
+  return a;
+}
+
+void Allocation::Set(const FuLibrary& lib, const std::string& fu_name,
+                     int count) {
+  WS_CHECK(count == kUnlimited || count >= 0);
+  const int idx = lib.IndexOf(fu_name);
+  if (static_cast<std::size_t>(idx) >= counts_.size()) {
+    counts_.resize(static_cast<std::size_t>(lib.num_types()), 0);
+  }
+  counts_[static_cast<std::size_t>(idx)] = count;
+}
+
+int Allocation::Count(int type_index) const {
+  if (type_index < 0 ||
+      static_cast<std::size_t>(type_index) >= counts_.size()) {
+    return 0;
+  }
+  return counts_[static_cast<std::size_t>(type_index)];
+}
+
+}  // namespace ws

@@ -1,0 +1,102 @@
+// Functional-unit library, allocation constraints, and the clock/chaining
+// model — the scheduler inputs described in the paper's Section 2:
+//   * "A constraint on the number of resources of each type available".
+//   * "The target clock period ... or constraints that limit the extent of
+//      data and control chaining allowed".
+//
+// The default library reproduces the paper's Section 5 experimental setup:
+// add1, sub1, mult1 (2-cycle pipelined), comp1 (<), eqc1 (=), inc1, shift1,
+// unlimited logic gates, with combinational delays chosen so that exactly the
+// paper's GCD chains (Not1+Or1 and Eq1+Or1 within one cycle) are legal.
+#ifndef WS_HW_RESOURCES_H
+#define WS_HW_RESOURCES_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdfg/cdfg.h"
+
+namespace ws {
+
+// A functional-unit type in the module library.
+struct FuType {
+  std::string name;      // e.g. "add1"
+  int latency = 1;       // cycles from initiation to result
+  bool pipelined = false;  // can initiate a new operation every cycle
+  double delay_ns = 1.0;   // combinational delay of the result stage (for
+                           // chaining feasibility checks)
+  double area = 0.0;       // gate equivalents (RTL area model)
+};
+
+// The module library plus module selection (operation kind -> unit type).
+class FuLibrary {
+ public:
+  // Adds a unit type; returns its index.
+  int AddType(FuType type);
+
+  // Maps an operation kind onto a unit type by name.
+  void Select(OpKind kind, const std::string& fu_name);
+
+  const FuType& type(int index) const;
+  int num_types() const { return static_cast<int>(types_.size()); }
+
+  // Unit type index implementing `kind`; throws if unmapped.
+  int TypeFor(OpKind kind) const;
+  bool HasTypeFor(OpKind kind) const;
+
+  int IndexOf(const std::string& fu_name) const;
+
+  // The paper's Section 5 library (see file comment).
+  static FuLibrary PaperLibrary();
+
+  // Every unit single-cycle with no chaining slack — the premise of the
+  // paper's Examples 2/3/9 ("All units require one clock cycle, and no
+  // chaining is allowed").
+  static FuLibrary SingleCycleLibrary();
+
+ private:
+  std::vector<FuType> types_;
+  std::map<OpKind, int> selection_;
+};
+
+// Resource allocation constraint: number of instances available per unit
+// type. kUnlimited means no constraint (the paper gives unlimited single
+// logic gates, and Example 1 is scheduled with no resource constraints at
+// all).
+class Allocation {
+ public:
+  static constexpr int kUnlimited = -1;
+
+  // Everything unlimited.
+  static Allocation Unlimited(const FuLibrary& lib);
+  // Everything zero except unlimited logic/memory; set the rest explicitly.
+  static Allocation None(const FuLibrary& lib);
+
+  void Set(const FuLibrary& lib, const std::string& fu_name, int count);
+  int Count(int type_index) const;
+  bool IsUnlimited(int type_index) const {
+    return Count(type_index) == kUnlimited;
+  }
+
+ private:
+  std::vector<int> counts_;  // indexed by unit type; kUnlimited allowed
+};
+
+// Clock period and chaining policy.
+struct ClockModel {
+  double period_ns = 1.0;
+  bool allow_chaining = true;  // if false, every result registers at a cycle
+                               // boundary regardless of slack
+
+  // True if an operation with combinational delay `delay` may start at
+  // `start_offset` ns into a cycle and still meet the period.
+  bool Fits(double start_offset, double delay) const {
+    return start_offset + delay <= period_ns + 1e-9;
+  }
+};
+
+}  // namespace ws
+
+#endif  // WS_HW_RESOURCES_H

@@ -1,0 +1,83 @@
+// Abstract syntax tree for the behavioral language.
+#ifndef WS_LANG_AST_H
+#define WS_LANG_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ws {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kNumber,
+  kVar,
+  kArrayRead,  // name[index]
+  kUnary,      // op in {'!', '-'}
+  kBinary,     // op: lexer token spelling, e.g. "+", "==", "<<"
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  std::int64_t number = 0;              // kNumber
+  std::string name;                     // kVar / kArrayRead
+  std::string op;                       // kUnary / kBinary
+  ExprPtr lhs, rhs;                     // kUnary uses lhs; kArrayRead: index in lhs
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind {
+  kAssign,      // name = expr
+  kArrayWrite,  // name[index] = expr
+  kIf,
+  kWhile,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  std::string name;   // kAssign / kArrayWrite target
+  ExprPtr index;      // kArrayWrite
+  ExprPtr value;      // kAssign / kArrayWrite
+  ExprPtr cond;       // kIf / kWhile
+  std::vector<StmtPtr> then_body;  // kIf then / kWhile body
+  std::vector<StmtPtr> else_body;  // kIf else
+};
+
+struct InputDecl {
+  std::string name;
+  int line = 0;
+};
+
+struct ArrayDecl {
+  std::string name;
+  int size = 0;
+  std::vector<std::int64_t> init;
+  int line = 0;
+};
+
+struct OutputDecl {
+  std::string name;  // output port name
+  ExprPtr value;
+  int line = 0;
+};
+
+struct Program {
+  std::string name;
+  std::vector<InputDecl> inputs;
+  std::vector<ArrayDecl> arrays;
+  std::vector<StmtPtr> body;
+  std::vector<OutputDecl> outputs;
+};
+
+}  // namespace ws
+
+#endif  // WS_LANG_AST_H

@@ -1,0 +1,168 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+#include "base/status.h"
+
+namespace ws {
+
+const char* TokKindName(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEnd: return "<eof>";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kNumber: return "number";
+    case TokKind::kInput: return "'input'";
+    case TokKind::kArray: return "'array'";
+    case TokKind::kOutput: return "'output'";
+    case TokKind::kIf: return "'if'";
+    case TokKind::kElse: return "'else'";
+    case TokKind::kWhile: return "'while'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kSemicolon: return "';'";
+    case TokKind::kComma: return "','";
+    case TokKind::kAssign: return "'='";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kShl: return "'<<'";
+    case TokKind::kShr: return "'>>'";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kNot: return "'!'";
+    case TokKind::kAndAnd: return "'&&'";
+    case TokKind::kOrOr: return "'||'";
+    case TokKind::kXorXor: return "'^'";
+  }
+  return "?";
+}
+
+std::vector<Token> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1, column = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < n ? source[i + off] : '\0';
+  };
+  auto advance = [&]() {
+    if (source[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    ++i;
+  };
+  auto push = [&](TokKind kind, int tl, int tc) {
+    Token t;
+    t.kind = kind;
+    t.line = tl;
+    t.column = tc;
+    tokens.push_back(t);
+  };
+
+  while (i < n) {
+    const char c = peek();
+    const int tl = line, tc = column;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '#' || (c == '/' && peek(1) == '/')) {
+      while (i < n && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t value = 0;
+      while (i < n && std::isdigit(static_cast<unsigned char>(peek()))) {
+        value = value * 10 + (peek() - '0');
+        advance();
+      }
+      Token t;
+      t.kind = TokKind::kNumber;
+      t.number = value;
+      t.line = tl;
+      t.column = tc;
+      tokens.push_back(t);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                       peek() == '_')) {
+        word += peek();
+        advance();
+      }
+      Token t;
+      t.line = tl;
+      t.column = tc;
+      if (word == "input") {
+        t.kind = TokKind::kInput;
+      } else if (word == "array") {
+        t.kind = TokKind::kArray;
+      } else if (word == "output") {
+        t.kind = TokKind::kOutput;
+      } else if (word == "if") {
+        t.kind = TokKind::kIf;
+      } else if (word == "else") {
+        t.kind = TokKind::kElse;
+      } else if (word == "while") {
+        t.kind = TokKind::kWhile;
+      } else {
+        t.kind = TokKind::kIdent;
+        t.text = word;
+      }
+      tokens.push_back(t);
+      continue;
+    }
+    // Operators / punctuation.
+    auto two = [&](char a, char b) { return c == a && peek(1) == b; };
+    if (two('<', '<')) { push(TokKind::kShl, tl, tc); advance(); advance(); continue; }
+    if (two('>', '>')) { push(TokKind::kShr, tl, tc); advance(); advance(); continue; }
+    if (two('<', '=')) { push(TokKind::kLe, tl, tc); advance(); advance(); continue; }
+    if (two('>', '=')) { push(TokKind::kGe, tl, tc); advance(); advance(); continue; }
+    if (two('=', '=')) { push(TokKind::kEq, tl, tc); advance(); advance(); continue; }
+    if (two('!', '=')) { push(TokKind::kNe, tl, tc); advance(); advance(); continue; }
+    if (two('&', '&')) { push(TokKind::kAndAnd, tl, tc); advance(); advance(); continue; }
+    if (two('|', '|')) { push(TokKind::kOrOr, tl, tc); advance(); advance(); continue; }
+    switch (c) {
+      case '(': push(TokKind::kLParen, tl, tc); advance(); continue;
+      case ')': push(TokKind::kRParen, tl, tc); advance(); continue;
+      case '{': push(TokKind::kLBrace, tl, tc); advance(); continue;
+      case '}': push(TokKind::kRBrace, tl, tc); advance(); continue;
+      case '[': push(TokKind::kLBracket, tl, tc); advance(); continue;
+      case ']': push(TokKind::kRBracket, tl, tc); advance(); continue;
+      case ';': push(TokKind::kSemicolon, tl, tc); advance(); continue;
+      case ',': push(TokKind::kComma, tl, tc); advance(); continue;
+      case '=': push(TokKind::kAssign, tl, tc); advance(); continue;
+      case '+': push(TokKind::kPlus, tl, tc); advance(); continue;
+      case '-': push(TokKind::kMinus, tl, tc); advance(); continue;
+      case '*': push(TokKind::kStar, tl, tc); advance(); continue;
+      case '<': push(TokKind::kLt, tl, tc); advance(); continue;
+      case '>': push(TokKind::kGt, tl, tc); advance(); continue;
+      case '!': push(TokKind::kNot, tl, tc); advance(); continue;
+      case '^': push(TokKind::kXorXor, tl, tc); advance(); continue;
+      default:
+        WS_THROW("lex error at " << line << ":" << column
+                                 << ": unexpected character '" << c << "'");
+    }
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace ws

@@ -1,0 +1,69 @@
+// Lexer for the behavioral description language (.beh).
+//
+// The language is a small C-like subset sufficient for control-flow
+// intensive behavioral descriptions: integer variables, arrays,
+// assignments, if/else, while, and the CDFG operator set.
+#ifndef WS_LANG_LEXER_H
+#define WS_LANG_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ws {
+
+enum class TokKind {
+  kEnd,
+  kIdent,
+  kNumber,
+  // Keywords.
+  kInput,
+  kArray,
+  kOutput,
+  kIf,
+  kElse,
+  kWhile,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemicolon,
+  kComma,
+  kAssign,   // =
+  kPlus,
+  kMinus,
+  kStar,
+  kShl,      // <<
+  kShr,      // >>
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kEq,       // ==
+  kNe,       // !=
+  kNot,      // !
+  kAndAnd,   // &&
+  kOrOr,     // ||
+  kXorXor,   // ^
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;          // identifier spelling
+  std::int64_t number = 0;   // kNumber value
+  int line = 1;
+  int column = 1;
+};
+
+// Tokenizes `source`; throws ws::Error with line/column on bad input.
+// '#' and '//' start line comments.
+std::vector<Token> Lex(const std::string& source);
+
+const char* TokKindName(TokKind kind);
+
+}  // namespace ws
+
+#endif  // WS_LANG_LEXER_H

@@ -1,0 +1,234 @@
+#include "lang/lower.h"
+
+#include <map>
+#include <set>
+
+#include "base/status.h"
+#include "base/strings.h"
+#include "cdfg/builder.h"
+#include "cdfg/passes.h"
+#include "lang/parser.h"
+
+namespace ws {
+namespace {
+
+class Lowerer {
+ public:
+  explicit Lowerer(const Program& prog)
+      : prog_(prog), builder_(prog.name) {
+    builder_.EnableSimplify();
+  }
+
+  Cdfg Run() {
+    for (const InputDecl& in : prog_.inputs) {
+      WS_CHECK_MSG(!env_.contains(in.name),
+                   "line " << in.line << ": duplicate input " << in.name);
+      env_[in.name] = builder_.Input(in.name);
+    }
+    for (const ArrayDecl& arr : prog_.arrays) {
+      WS_CHECK_MSG(!arrays_.contains(arr.name),
+                   "line " << arr.line << ": duplicate array " << arr.name);
+      arrays_[arr.name] = builder_.Array(arr.name, arr.size, arr.init);
+    }
+    LowerStmts(prog_.body);
+    for (const OutputDecl& out : prog_.outputs) {
+      builder_.Output(out.name, LowerExpr(*out.value));
+    }
+    return builder_.Finish();
+  }
+
+ private:
+  using Env = std::map<std::string, NodeId>;
+
+  NodeId Lookup(const std::string& name, int line) {
+    auto it = env_.find(name);
+    WS_CHECK_MSG(it != env_.end(),
+                 "line " << line << ": use of undefined variable " << name);
+    WS_CHECK_MSG(it->second.valid(),
+                 "line " << line << ": variable " << name
+                         << " is not defined on all paths reaching here");
+    return it->second;
+  }
+
+  std::string OpName(const std::string& mnemonic) {
+    return mnemonic + std::to_string(++op_counter_[mnemonic]);
+  }
+
+  NodeId LowerExpr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kNumber:
+        return builder_.Konst(e.number);
+      case ExprKind::kVar:
+        return Lookup(e.name, e.line);
+      case ExprKind::kArrayRead: {
+        auto it = arrays_.find(e.name);
+        WS_CHECK_MSG(it != arrays_.end(),
+                     "line " << e.line << ": unknown array " << e.name);
+        return builder_.MemRead(OpName("rd_" + e.name + "_"), it->second,
+                                LowerExpr(*e.lhs));
+      }
+      case ExprKind::kUnary: {
+        const NodeId v = LowerExpr(*e.lhs);
+        if (e.op == "!") {
+          return builder_.Op(OpKind::kNot, OpName("!"), {v});
+        }
+        // Unary minus: 0 - v.
+        return builder_.Op(OpKind::kSub, OpName("-"),
+                           {builder_.Konst(0), v});
+      }
+      case ExprKind::kBinary: {
+        // x+1 / x-1 map onto the incrementer, as in the paper's examples.
+        if ((e.op == "+" || e.op == "-") &&
+            e.rhs->kind == ExprKind::kNumber && e.rhs->number == 1) {
+          const NodeId v = LowerExpr(*e.lhs);
+          return builder_.Op(e.op == "+" ? OpKind::kInc : OpKind::kDec,
+                             OpName(e.op == "+" ? "++" : "--"), {v});
+        }
+        const NodeId a = LowerExpr(*e.lhs);
+        const NodeId b = LowerExpr(*e.rhs);
+        OpKind kind;
+        if (e.op == "+") kind = OpKind::kAdd;
+        else if (e.op == "-") kind = OpKind::kSub;
+        else if (e.op == "*") kind = OpKind::kMul;
+        else if (e.op == "<") kind = OpKind::kLt;
+        else if (e.op == ">") kind = OpKind::kGt;
+        else if (e.op == "<=") kind = OpKind::kLe;
+        else if (e.op == ">=") kind = OpKind::kGe;
+        else if (e.op == "==") kind = OpKind::kEq;
+        else if (e.op == "!=") kind = OpKind::kNe;
+        else if (e.op == "&&") kind = OpKind::kAnd2;
+        else if (e.op == "||") kind = OpKind::kOr2;
+        else if (e.op == "^") kind = OpKind::kXor2;
+        else if (e.op == "<<") kind = OpKind::kShl;
+        else if (e.op == ">>") kind = OpKind::kShr;
+        else WS_THROW("line " << e.line << ": unknown operator " << e.op);
+        return builder_.Op(kind, OpName(e.op), {a, b});
+      }
+    }
+    WS_THROW("unreachable");
+  }
+
+  // Variables (syntactically) assigned anywhere in `stmts`.
+  static void CollectAssigned(const std::vector<StmtPtr>& stmts,
+                              std::set<std::string>* out) {
+    for (const StmtPtr& s : stmts) {
+      switch (s->kind) {
+        case StmtKind::kAssign:
+          out->insert(s->name);
+          break;
+        case StmtKind::kArrayWrite:
+          break;
+        case StmtKind::kIf:
+          CollectAssigned(s->then_body, out);
+          CollectAssigned(s->else_body, out);
+          break;
+        case StmtKind::kWhile:
+          CollectAssigned(s->then_body, out);
+          break;
+      }
+    }
+  }
+
+  void LowerStmts(const std::vector<StmtPtr>& stmts) {
+    for (const StmtPtr& s : stmts) LowerStmt(*s);
+  }
+
+  void LowerStmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kAssign:
+        env_[s.name] = LowerExpr(*s.value);
+        return;
+      case StmtKind::kArrayWrite: {
+        auto it = arrays_.find(s.name);
+        WS_CHECK_MSG(it != arrays_.end(),
+                     "line " << s.line << ": unknown array " << s.name);
+        const NodeId addr = LowerExpr(*s.index);
+        const NodeId value = LowerExpr(*s.value);
+        builder_.MemWrite(OpName("wr_" + s.name + "_"), it->second, addr,
+                          value);
+        return;
+      }
+      case StmtKind::kIf: {
+        const NodeId cond = LowerExpr(*s.cond);
+        const Env before = env_;
+        builder_.BeginIf(cond);
+        LowerStmts(s.then_body);
+        Env then_env = env_;
+        env_ = before;
+        builder_.BeginElse();
+        LowerStmts(s.else_body);
+        Env else_env = env_;
+        builder_.EndIf();
+        // Join: select per variable whose definition differs across arms.
+        env_ = before;
+        std::set<std::string> names;
+        for (const auto& [n, v] : then_env) names.insert(n);
+        for (const auto& [n, v] : else_env) names.insert(n);
+        for (const std::string& name : names) {
+          auto tit = then_env.find(name);
+          auto eit = else_env.find(name);
+          const bool in_then = tit != then_env.end();
+          const bool in_else = eit != else_env.end();
+          if (in_then && in_else) {
+            if (tit->second == eit->second) {
+              env_[name] = tit->second;
+            } else {
+              env_[name] = builder_.Select(OpName("sel_" + name + "_"),
+                                           cond, tit->second, eit->second);
+            }
+          } else {
+            // Defined on one arm only: poison — usable nowhere after the if.
+            env_[name] = before.contains(name) ? before.at(name)
+                                               : NodeId::invalid();
+          }
+        }
+        return;
+      }
+      case StmtKind::kWhile: {
+        std::set<std::string> assigned;
+        CollectAssigned(s.then_body, &assigned);
+        const Env before = env_;
+        builder_.BeginLoop(OpName("loop"));
+        std::map<std::string, NodeId> phis;
+        for (const std::string& name : assigned) {
+          auto it = before.find(name);
+          if (it == before.end() || !it->second.valid()) continue;
+          const NodeId phi = builder_.LoopPhi(name, it->second);
+          phis[name] = phi;
+          env_[name] = phi;
+        }
+        const NodeId cond = LowerExpr(*s.cond);
+        builder_.SetLoopCondition(cond);
+        LowerStmts(s.then_body);
+        for (const auto& [name, phi] : phis) {
+          builder_.SetLoopBack(phi, Lookup(name, s.line));
+        }
+        builder_.EndLoop();
+        // After the loop: loop-carried variables read their exit value (the
+        // phi); loop-local variables go out of scope.
+        env_ = before;
+        for (const auto& [name, phi] : phis) env_[name] = phi;
+        return;
+      }
+    }
+  }
+
+  const Program& prog_;
+  CdfgBuilder builder_;
+  Env env_;
+  std::map<std::string, ArrayId> arrays_;
+  std::map<std::string, int> op_counter_;
+};
+
+}  // namespace
+
+Cdfg LowerProgram(const Program& program) {
+  Lowerer lowerer(program);
+  return lowerer.Run();
+}
+
+Cdfg CompileBehavioral(const std::string& name, const std::string& source) {
+  return EliminateDeadCode(LowerProgram(ParseProgram(name, source)));
+}
+
+}  // namespace ws

@@ -1,0 +1,25 @@
+// AST -> CDFG lowering: SSA construction with explicit selects at if-joins
+// and loop-phis for loop-carried variables (the forms the speculative
+// scheduler consumes).
+#ifndef WS_LANG_LOWER_H
+#define WS_LANG_LOWER_H
+
+#include <string>
+
+#include "cdfg/cdfg.h"
+#include "lang/ast.h"
+
+namespace ws {
+
+// Lowers a parsed program with builder-level simplification (constant
+// folding, identities, scoped CSE). Throws ws::Error on semantic problems
+// (undefined variables, nested loops, variables defined on only one branch
+// of an if and used after it, ...).
+Cdfg LowerProgram(const Program& program);
+
+// Convenience: parse + lower + dead-code elimination.
+Cdfg CompileBehavioral(const std::string& name, const std::string& source);
+
+}  // namespace ws
+
+#endif  // WS_LANG_LOWER_H

@@ -1,0 +1,276 @@
+#include "lang/parser.h"
+
+#include "base/status.h"
+#include "lang/lexer.h"
+
+namespace ws {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string name, const std::string& source)
+      : name_(std::move(name)), tokens_(Lex(source)) {}
+
+  Program Run() {
+    Program prog;
+    prog.name = name_;
+    while (!At(TokKind::kEnd)) {
+      if (At(TokKind::kInput)) {
+        Next();
+        InputDecl d;
+        d.line = Cur().line;
+        d.name = Expect(TokKind::kIdent).text;
+        Expect(TokKind::kSemicolon);
+        prog.inputs.push_back(std::move(d));
+      } else if (At(TokKind::kArray)) {
+        Next();
+        ArrayDecl d;
+        d.line = Cur().line;
+        d.name = Expect(TokKind::kIdent).text;
+        Expect(TokKind::kLBracket);
+        d.size = static_cast<int>(Expect(TokKind::kNumber).number);
+        Expect(TokKind::kRBracket);
+        if (At(TokKind::kAssign)) {
+          Next();
+          Expect(TokKind::kLBrace);
+          if (!At(TokKind::kRBrace)) {
+            d.init.push_back(Expect(TokKind::kNumber).number);
+            while (At(TokKind::kComma)) {
+              Next();
+              d.init.push_back(Expect(TokKind::kNumber).number);
+            }
+          }
+          Expect(TokKind::kRBrace);
+        }
+        Expect(TokKind::kSemicolon);
+        prog.arrays.push_back(std::move(d));
+      } else if (At(TokKind::kOutput)) {
+        Next();
+        OutputDecl d;
+        d.line = Cur().line;
+        d.name = Expect(TokKind::kIdent).text;
+        Expect(TokKind::kAssign);
+        d.value = ParseExpr();
+        Expect(TokKind::kSemicolon);
+        prog.outputs.push_back(std::move(d));
+      } else {
+        prog.body.push_back(ParseStmt());
+      }
+    }
+    return prog;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokKind kind) const { return Cur().kind == kind; }
+  void Next() { ++pos_; }
+  Token Expect(TokKind kind) {
+    if (!At(kind)) {
+      WS_THROW("parse error at " << Cur().line << ":" << Cur().column
+                                 << ": expected " << TokKindName(kind)
+                                 << ", found " << TokKindName(Cur().kind));
+    }
+    Token t = Cur();
+    Next();
+    return t;
+  }
+
+  StmtPtr ParseStmt() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = Cur().line;
+    if (At(TokKind::kIf)) {
+      Next();
+      stmt->kind = StmtKind::kIf;
+      Expect(TokKind::kLParen);
+      stmt->cond = ParseExpr();
+      Expect(TokKind::kRParen);
+      stmt->then_body = ParseBlock();
+      if (At(TokKind::kElse)) {
+        Next();
+        stmt->else_body = ParseBlock();
+      }
+      return stmt;
+    }
+    if (At(TokKind::kWhile)) {
+      Next();
+      stmt->kind = StmtKind::kWhile;
+      Expect(TokKind::kLParen);
+      stmt->cond = ParseExpr();
+      Expect(TokKind::kRParen);
+      stmt->then_body = ParseBlock();
+      return stmt;
+    }
+    const Token target = Expect(TokKind::kIdent);
+    stmt->name = target.text;
+    if (At(TokKind::kLBracket)) {
+      Next();
+      stmt->kind = StmtKind::kArrayWrite;
+      stmt->index = ParseExpr();
+      Expect(TokKind::kRBracket);
+    } else {
+      stmt->kind = StmtKind::kAssign;
+    }
+    Expect(TokKind::kAssign);
+    stmt->value = ParseExpr();
+    Expect(TokKind::kSemicolon);
+    return stmt;
+  }
+
+  std::vector<StmtPtr> ParseBlock() {
+    Expect(TokKind::kLBrace);
+    std::vector<StmtPtr> body;
+    while (!At(TokKind::kRBrace)) body.push_back(ParseStmt());
+    Expect(TokKind::kRBrace);
+    return body;
+  }
+
+  ExprPtr MakeBinary(const char* op, ExprPtr lhs, ExprPtr rhs, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    e->line = line;
+    return e;
+  }
+
+  ExprPtr ParseExpr() { return ParseOr(); }
+
+  ExprPtr ParseOr() {
+    ExprPtr e = ParseAnd();
+    while (At(TokKind::kOrOr)) {
+      const int line = Cur().line;
+      Next();
+      e = MakeBinary("||", std::move(e), ParseAnd(), line);
+    }
+    return e;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr e = ParseXor();
+    while (At(TokKind::kAndAnd)) {
+      const int line = Cur().line;
+      Next();
+      e = MakeBinary("&&", std::move(e), ParseXor(), line);
+    }
+    return e;
+  }
+
+  ExprPtr ParseXor() {
+    ExprPtr e = ParseCmp();
+    while (At(TokKind::kXorXor)) {
+      const int line = Cur().line;
+      Next();
+      e = MakeBinary("^", std::move(e), ParseCmp(), line);
+    }
+    return e;
+  }
+
+  ExprPtr ParseCmp() {
+    ExprPtr e = ParseAdd();
+    const char* op = nullptr;
+    switch (Cur().kind) {
+      case TokKind::kEq: op = "=="; break;
+      case TokKind::kNe: op = "!="; break;
+      case TokKind::kLt: op = "<"; break;
+      case TokKind::kGt: op = ">"; break;
+      case TokKind::kLe: op = "<="; break;
+      case TokKind::kGe: op = ">="; break;
+      default: return e;
+    }
+    const int line = Cur().line;
+    Next();
+    return MakeBinary(op, std::move(e), ParseAdd(), line);
+  }
+
+  ExprPtr ParseAdd() {
+    ExprPtr e = ParseMul();
+    while (At(TokKind::kPlus) || At(TokKind::kMinus)) {
+      const bool plus = At(TokKind::kPlus);
+      const int line = Cur().line;
+      Next();
+      e = MakeBinary(plus ? "+" : "-", std::move(e), ParseMul(), line);
+    }
+    return e;
+  }
+
+  ExprPtr ParseMul() {
+    ExprPtr e = ParseShift();
+    while (At(TokKind::kStar)) {
+      const int line = Cur().line;
+      Next();
+      e = MakeBinary("*", std::move(e), ParseShift(), line);
+    }
+    return e;
+  }
+
+  ExprPtr ParseShift() {
+    ExprPtr e = ParseUnary();
+    while (At(TokKind::kShl) || At(TokKind::kShr)) {
+      const bool left = At(TokKind::kShl);
+      const int line = Cur().line;
+      Next();
+      e = MakeBinary(left ? "<<" : ">>", std::move(e), ParseUnary(), line);
+    }
+    return e;
+  }
+
+  ExprPtr ParseUnary() {
+    if (At(TokKind::kNot) || At(TokKind::kMinus)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->op = At(TokKind::kNot) ? "!" : "-";
+      e->line = Cur().line;
+      Next();
+      e->lhs = ParseUnary();
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  ExprPtr ParsePrimary() {
+    auto e = std::make_unique<Expr>();
+    e->line = Cur().line;
+    if (At(TokKind::kNumber)) {
+      e->kind = ExprKind::kNumber;
+      e->number = Cur().number;
+      Next();
+      return e;
+    }
+    if (At(TokKind::kIdent)) {
+      e->name = Cur().text;
+      Next();
+      if (At(TokKind::kLBracket)) {
+        Next();
+        e->kind = ExprKind::kArrayRead;
+        e->lhs = ParseExpr();
+        Expect(TokKind::kRBracket);
+      } else {
+        e->kind = ExprKind::kVar;
+      }
+      return e;
+    }
+    if (At(TokKind::kLParen)) {
+      Next();
+      ExprPtr inner = ParseExpr();
+      Expect(TokKind::kRParen);
+      return inner;
+    }
+    WS_THROW("parse error at " << Cur().line << ":" << Cur().column
+                               << ": expected expression, found "
+                               << TokKindName(Cur().kind));
+  }
+
+  std::string name_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program ParseProgram(const std::string& name, const std::string& source) {
+  Parser parser(name, source);
+  return parser.Run();
+}
+
+}  // namespace ws

@@ -1,0 +1,36 @@
+// Recursive-descent parser for the behavioral language.
+//
+// Grammar (EBNF):
+//   program  := item*
+//   item     := "input" IDENT ";"
+//             | "array" IDENT "[" NUMBER "]" ("=" "{" NUMBER ("," NUMBER)* "}")? ";"
+//             | "output" IDENT "=" expr ";"
+//             | stmt
+//   stmt     := IDENT "=" expr ";"
+//             | IDENT "[" expr "]" "=" expr ";"
+//             | "if" "(" expr ")" block ("else" block)?
+//             | "while" "(" expr ")" block
+//   block    := "{" stmt* "}"
+//   expr     := or ;  or := and ("||" and)* ;  and := xor ("&&" xor)*
+//   xor      := cmp ("^" cmp)*
+//   cmp      := add (("=="|"!="|"<"|">"|"<="|">=") add)?
+//   add      := mul (("+"|"-") mul)* ;  mul := shift ("*" shift)*
+//   shift    := unary (("<<"|">>") unary)*
+//   unary    := ("!"|"-") unary | primary
+//   primary  := NUMBER | IDENT | IDENT "[" expr "]" | "(" expr ")"
+#ifndef WS_LANG_PARSER_H
+#define WS_LANG_PARSER_H
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace ws {
+
+// Parses `source` into an AST; `name` becomes the design name. Throws
+// ws::Error with line/column diagnostics.
+Program ParseProgram(const std::string& name, const std::string& source);
+
+}  // namespace ws
+
+#endif  // WS_LANG_PARSER_H

@@ -1,0 +1,168 @@
+#include "rtl/rtl.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "base/strings.h"
+#include "sim/stg_sim.h"
+
+namespace ws {
+namespace {
+
+// Identity of an operation instance within the STG (display refs are unique
+// per (node, iter, version) in a given recording frame).
+std::uint64_t InstKey(const InstRef& ref) {
+  return (static_cast<std::uint64_t>(ref.node.value()) << 40) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ref.iter))
+          << 8) ^
+         static_cast<std::uint64_t>(ref.version & 0xff);
+}
+
+}  // namespace
+
+std::string AreaReport::ToString() const {
+  std::ostringstream os;
+  os << "units:";
+  for (const auto& [name, count] : units_used) {
+    os << " " << name << "x" << count;
+  }
+  os << StrPrintf(
+      "; fu=%.0f regs=%d (%.0f) mux_in=%d (%.0f) ctrl=%.0f total=%.0f",
+      fu_area, registers, reg_area, mux_inputs, mux_area, ctrl_area, total);
+  return os.str();
+}
+
+AreaReport EstimateArea(const Stg& stg, const Cdfg& g, const FuLibrary& lib,
+                        const Stimulus& representative,
+                        const AreaModel& model, const Allocation* alloc) {
+  AreaReport report;
+
+  // --- Functional-unit binding via greedy conflict coloring ------------------
+  // op instance -> states it occupies; grouped per unit type.
+  std::map<int, std::map<std::uint64_t, std::set<std::uint32_t>>> occupancy;
+  for (const State& s : stg.states()) {
+    for (const ScheduledOp& op : s.ops) {
+      occupancy[op.fu_type][InstKey(op.inst)].insert(s.id.value());
+    }
+  }
+  // unit -> color; color count per type = instantiated units.
+  std::map<std::uint64_t, int> unit_of;  // instance -> unit index
+  for (const auto& [type, instances] : occupancy) {
+    const FuType& fu = lib.type(type);
+    // Muxes are interconnect, not functional units; handled below.
+    const bool is_mux = fu.name == "mux1";
+    std::vector<std::pair<std::uint64_t, const std::set<std::uint32_t>*>>
+        items;
+    items.reserve(instances.size());
+    for (const auto& [inst, states] : instances) {
+      items.emplace_back(inst, &states);
+    }
+    // Greedy: assign each instance the lowest unit whose current occupancy
+    // does not intersect its states.
+    std::vector<std::set<std::uint32_t>> units;
+    for (const auto& [inst, states] : items) {
+      int chosen = -1;
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        bool clash = false;
+        for (std::uint32_t st : *states) {
+          if (units[u].contains(st)) {
+            clash = true;
+            break;
+          }
+        }
+        if (!clash) {
+          chosen = static_cast<int>(u);
+          break;
+        }
+      }
+      if (chosen < 0) {
+        chosen = static_cast<int>(units.size());
+        units.emplace_back();
+      }
+      units[static_cast<std::size_t>(chosen)].insert(states->begin(),
+                                                     states->end());
+      unit_of[inst] = chosen;
+    }
+    if (!is_mux) {
+      int count = static_cast<int>(units.size());
+      if (alloc != nullptr && !alloc->IsUnlimited(type)) {
+        count = std::max(count, alloc->Count(type));
+      }
+      report.units_used[fu.name] = count;
+      report.fu_area += fu.area * static_cast<double>(count);
+    } else {
+      // One 2:1 mux per bound mux "unit" (they time-share like FUs).
+      report.mux_inputs += static_cast<int>(units.size());
+    }
+  }
+
+  // --- Input interconnect: distinct sources per bound unit port ---------------
+  std::map<std::pair<int, int>, std::map<int, std::set<std::uint32_t>>>
+      port_sources;  // (type, unit) -> port -> distinct source nodes
+  for (const State& s : stg.states()) {
+    for (const ScheduledOp& op : s.ops) {
+      if (op.stage != 0) continue;
+      auto uit = unit_of.find(InstKey(op.inst));
+      if (uit == unit_of.end()) continue;
+      for (std::size_t p = 0; p < op.operands.size(); ++p) {
+        port_sources[{op.fu_type, uit->second}][static_cast<int>(p)].insert(
+            op.operands[p].node.value());
+      }
+    }
+  }
+  for (const auto& [unit, ports] : port_sources) {
+    for (const auto& [port, sources] : ports) {
+      if (sources.size() > 1) {
+        report.mux_inputs += static_cast<int>(sources.size()) - 1;
+      }
+    }
+  }
+  report.mux_area =
+      model.mux_per_input * static_cast<double>(model.data_width) / 16.0 *
+      static_cast<double>(report.mux_inputs);
+
+  // --- Registers via measured lifetimes ----------------------------------------
+  StgSimOptions sim_opts;
+  sim_opts.record_lifetimes = true;
+  const StgSimResult sim = SimulateStg(stg, g, representative, sim_opts);
+  // Sweep over cycles of the register occupancy. A value needs a register
+  // only if it survives a cycle boundary: values produced and fully
+  // consumed within one cycle (chained, e.g. through muxes) stay in wires,
+  // and mispredicted speculative values that are never read are not
+  // retained either.
+  std::map<std::int64_t, int> delta;
+  for (const auto& [key, life] : sim.lifetimes) {
+    if (life.second <= life.first) continue;
+    delta[life.first + 1] += 1;
+    delta[life.second + 1] -= 1;
+  }
+  int live = 0, peak = 0;
+  for (const auto& [cycle, d] : delta) {
+    live += d;
+    peak = std::max(peak, live);
+  }
+  report.registers = peak;
+  report.reg_area = static_cast<double>(peak) * model.reg_bit *
+                    static_cast<double>(model.data_width);
+
+  // --- Controller ------------------------------------------------------------------
+  int literals = 0;
+  for (const State& s : stg.states()) {
+    for (const Transition& t : s.out) {
+      for (const auto& cube : t.cubes) {
+        literals += static_cast<int>(cube.size());
+      }
+    }
+  }
+  report.ctrl_area =
+      model.fsm_per_state * static_cast<double>(stg.num_work_states()) +
+      model.fsm_per_literal * static_cast<double>(literals);
+
+  report.total =
+      report.fu_area + report.reg_area + report.mux_area + report.ctrl_area;
+  return report;
+}
+
+}  // namespace ws

@@ -1,0 +1,73 @@
+#include "sched/bounds.h"
+
+#include <algorithm>
+
+namespace ws {
+namespace {
+
+int LatencyOf(const Cdfg& g, const FuLibrary& lib, NodeId id) {
+  const Node& n = g.node(id);
+  if (!IsScheduledKind(n.kind) || n.kind == OpKind::kSelect) return 0;
+  if (!lib.HasTypeFor(n.kind)) return 1;
+  return lib.type(lib.TypeFor(n.kind)).latency;
+}
+
+bool IsBackEdge(const Cdfg& g, NodeId from, NodeId to) {
+  const Node& t = g.node(to);
+  return t.kind == OpKind::kLoopPhi && t.inputs[1] == from;
+}
+
+}  // namespace
+
+ScheduleBounds ComputeBounds(const Cdfg& g, const FuLibrary& lib) {
+  const std::size_t n = g.num_nodes();
+  ScheduleBounds bounds;
+  bounds.asap.assign(n, 0);
+  bounds.alap.assign(n, 0);
+
+  // Topological order of the acyclic view via DFS over consumers.
+  std::vector<int> state(n, 0);
+  std::vector<NodeId> reverse_topo;
+  reverse_topo.reserve(n);
+  auto dfs = [&](auto&& self, NodeId id) -> void {
+    state[id.value()] = 1;
+    for (NodeId c : g.consumers(id)) {
+      if (IsBackEdge(g, id, c)) continue;
+      if (state[c.value()] == 0) self(self, c);
+    }
+    state[id.value()] = 2;
+    reverse_topo.push_back(id);
+  };
+  for (const Node& node : g.nodes()) {
+    if (state[node.id.value()] == 0) dfs(dfs, node.id);
+  }
+
+  // ASAP: forward over producers (iterate reverse of reverse_topo).
+  for (auto it = reverse_topo.rbegin(); it != reverse_topo.rend(); ++it) {
+    const Node& node = g.node(*it);
+    int start = 0;
+    for (std::size_t k = 0; k < node.inputs.size(); ++k) {
+      if (node.kind == OpKind::kLoopPhi && k == 1) continue;  // back edge
+      const NodeId in = node.inputs[k];
+      start = std::max(start,
+                       bounds.asap[in.value()] + LatencyOf(g, lib, in));
+    }
+    bounds.asap[node.id.value()] = start;
+    bounds.critical_path =
+        std::max(bounds.critical_path, start + LatencyOf(g, lib, *it));
+  }
+
+  // ALAP: backward over consumers, anchored at the critical path.
+  for (NodeId id : reverse_topo) {
+    const int lat = LatencyOf(g, lib, id);
+    int latest = bounds.critical_path - lat;
+    for (NodeId c : g.consumers(id)) {
+      if (IsBackEdge(g, id, c)) continue;
+      latest = std::min(latest, bounds.alap[c.value()] - lat);
+    }
+    bounds.alap[id.value()] = latest;
+  }
+  return bounds;
+}
+
+}  // namespace ws

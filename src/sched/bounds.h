@@ -1,0 +1,41 @@
+// Classic ASAP / ALAP schedule bounds (Section 2 of the paper surveys them
+// as the simplest scheduling techniques). Computed on the acyclic view of
+// the CDFG (loop back edges cut, one iteration), with unit latencies taken
+// from the module library; selects are zero-delay register transfers.
+//
+// Uses:
+//  * ASAP length = the resource-unconstrained critical path — a lower bound
+//    on any schedule of one iteration.
+//  * mobility(op) = ALAP(op) - ASAP(op) — the slack metric classic list
+//    schedulers prioritize by, and a useful diagnostic for why the
+//    criticality heuristic picks what it picks.
+#ifndef WS_SCHED_BOUNDS_H
+#define WS_SCHED_BOUNDS_H
+
+#include <vector>
+
+#include "cdfg/cdfg.h"
+#include "hw/resources.h"
+
+namespace ws {
+
+struct ScheduleBounds {
+  // Indexed by NodeId::value(); start cycles of each operation. Structural
+  // nodes inherit their producers' finish times.
+  std::vector<int> asap;
+  std::vector<int> alap;
+  int critical_path = 0;  // cycles for one acyclic pass / iteration
+
+  int mobility(NodeId id) const {
+    return alap[id.value()] - asap[id.value()];
+  }
+};
+
+// Computes ASAP/ALAP on the acyclic view (phi back edges cut). Control
+// dependencies are ignored — these are the data-flow bounds that
+// speculative execution can reach but never beat.
+ScheduleBounds ComputeBounds(const Cdfg& g, const FuLibrary& lib);
+
+}  // namespace ws
+
+#endif  // WS_SCHED_BOUNDS_H

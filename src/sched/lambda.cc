@@ -1,0 +1,98 @@
+#include "sched/lambda.h"
+
+#include <algorithm>
+
+namespace ws {
+namespace {
+
+// Weight of a node in cycles. Selects are register transfers that chain
+// within their producer's cycle, so they add no path length.
+double Weight(const Cdfg& g, const FuLibrary& lib, NodeId id) {
+  const Node& n = g.node(id);
+  if (!IsScheduledKind(n.kind) || n.kind == OpKind::kSelect) return 0.0;
+  if (!lib.HasTypeFor(n.kind)) return 1.0;
+  return static_cast<double>(lib.type(lib.TypeFor(n.kind)).latency);
+}
+
+}  // namespace
+
+std::vector<double> ComputeLambda(const Cdfg& g, const FuLibrary& lib,
+                                  double max_expected_iters) {
+  const std::size_t n = g.num_nodes();
+  std::vector<double> lambda(n, 0.0);
+
+  // Acyclic view: drop loop-phi back edges (input index 1). Process in
+  // reverse topological order computed by DFS over consumer edges.
+  std::vector<int> state(n, 0);  // 0=unvisited, 1=on stack, 2=done
+  std::vector<NodeId> order;
+  order.reserve(n);
+
+  auto is_back_edge = [&](NodeId from, NodeId to) {
+    const Node& t = g.node(to);
+    return t.kind == OpKind::kLoopPhi && t.inputs[1] == from;
+  };
+
+  auto dfs = [&](auto&& self, NodeId id) -> void {
+    state[id.value()] = 1;
+    for (NodeId c : g.consumers(id)) {
+      if (is_back_edge(id, c)) continue;
+      if (state[c.value()] == 0) {
+        self(self, c);
+      } else {
+        WS_CHECK_MSG(state[c.value()] == 2,
+                     "data cycle without loop-phi near node "
+                         << g.node(id).name);
+      }
+    }
+    state[id.value()] = 2;
+    order.push_back(id);
+  };
+  for (const Node& node : g.nodes()) {
+    if (state[node.id.value()] == 0) dfs(dfs, node.id);
+  }
+
+  // `order` is in reverse topological order of the consumer relation already
+  // (a node is pushed after all its forward consumers).
+  for (NodeId id : order) {
+    double best = 0.0;
+    for (NodeId c : g.consumers(id)) {
+      if (is_back_edge(id, c)) continue;
+      best = std::max(best, lambda[c.value()]);
+    }
+    lambda[id.value()] = Weight(g, lib, id) + best;
+  }
+
+  // Loop contribution: every node of loop L gains E[remaining iterations] *
+  // critical-path(body). The additive constant preserves relative order
+  // within a loop while ranking loop work above short post-loop tails.
+  for (const Loop& loop : g.loops()) {
+    // Critical path of one iteration: longest weighted path from any phi to
+    // the corresponding back-edge producer, within the body.
+    std::vector<double> longest_from(n, -1.0);
+    auto path = [&](auto&& self, NodeId id) -> double {
+      if (longest_from[id.value()] >= 0.0) return longest_from[id.value()];
+      double best = 0.0;
+      for (NodeId c : g.consumers(id)) {
+        if (is_back_edge(id, c)) continue;
+        if (g.node(c).loop != loop.id) continue;
+        best = std::max(best, self(self, c));
+      }
+      longest_from[id.value()] = Weight(g, lib, id) + best;
+      return longest_from[id.value()];
+    };
+    double cp = 1.0;
+    for (NodeId phi : loop.phis) cp = std::max(cp, path(path, phi));
+
+    const double p = g.cond_probability(loop.cond);
+    double expected_iters =
+        p >= 1.0 ? max_expected_iters : p / (1.0 - p);
+    expected_iters = std::min(expected_iters, max_expected_iters);
+
+    for (NodeId b : loop.body) {
+      lambda[b.value()] += expected_iters * cp;
+    }
+  }
+  return lambda;
+}
+
+}  // namespace ws

@@ -1,0 +1,31 @@
+// The path-length half of the paper's criticality heuristic (Section 4.3,
+// Step 3 / Equation 5):
+//
+//   criticality(op) = lambda(op) * P(guard(op))
+//
+// lambda(op) is the expected length of the longest delay path from `op` to a
+// primary output. For acyclic regions this is the classic longest-path
+// metric; for operations inside data-dependent loops the path length is
+// input-dependent, so — following the paper's "expected length" definition —
+// we add the expected number of remaining loop iterations times the loop
+// body's critical path (expected iterations derived from the loop-continue
+// probability annotation, E = p / (1 - p)).
+#ifndef WS_SCHED_LAMBDA_H
+#define WS_SCHED_LAMBDA_H
+
+#include <vector>
+
+#include "cdfg/cdfg.h"
+#include "hw/resources.h"
+
+namespace ws {
+
+// lambda values indexed by NodeId::value(). Weights are operation latencies
+// in cycles (structural nodes weigh 0). Expected loop iterations are capped
+// at `max_expected_iters` to keep runaway annotations (p -> 1) finite.
+std::vector<double> ComputeLambda(const Cdfg& g, const FuLibrary& lib,
+                                  double max_expected_iters = 64.0);
+
+}  // namespace ws
+
+#endif  // WS_SCHED_LAMBDA_H

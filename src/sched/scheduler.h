@@ -1,0 +1,89 @@
+// The scheduling engine: the paper's generic scheduler (Figure 8 / Figure 12
+// flow) with the three speculative-execution extensions of Section 4:
+//
+//  1. Schedulable-successor computation through select chains (Lemma 1 /
+//     Observation 1), realized by value-version propagation: every completed
+//     operation instance publishes a version of its result tagged with a
+//     residual speculation guard (a BDD over unresolved condition-instance
+//     variables); candidates are formed from every guard-consistent operand
+//     binding.
+//  2. Validation/invalidation (Step 2): when conditional operations resolve
+//     at a state boundary, the STG forks per condition combination and every
+//     guard is cofactored; guard == 0 discards the work (squashing in-flight
+//     speculative operations), guard == 1 validates it.
+//  3. Operation selection by criticality = lambda(op) * P(guard) (Step 3 /
+//     Eq. 5), with branch probabilities taken from the CDFG profile
+//     annotations.
+//
+// Loop handling follows Wavesched: implicit dynamic unrolling via iteration
+// indices on operation instances, and STG closure by detecting state
+// equivalence modulo a uniform per-loop iteration shift (the paper's
+// register-relabeling map M).
+//
+// Three modes reproduce the paper's comparisons:
+//   kWavesched      — no speculation (the WS baseline of Table 1),
+//   kSinglePath     — speculate only along the most probable path (the
+//                     coarse-grain scheme the paper argues against, Fig. 7),
+//   kWaveschedSpec  — fine-grained multi-path speculation (WS-spec).
+#ifndef WS_SCHED_SCHEDULER_H
+#define WS_SCHED_SCHEDULER_H
+
+#include <string>
+
+#include "cdfg/cdfg.h"
+#include "hw/resources.h"
+#include "stg/stg.h"
+
+namespace ws {
+
+enum class SpeculationMode {
+  kWavesched,      // no speculative execution
+  kSinglePath,     // speculation along the single most probable path
+  kWaveschedSpec,  // fine-grained speculation along multiple paths
+};
+
+const char* SpeculationModeName(SpeculationMode mode);
+
+struct SchedulerOptions {
+  SpeculationMode mode = SpeculationMode::kWaveschedSpec;
+  ClockModel clock;
+
+  // How many loop iterations beyond the first unresolved condition the
+  // scheduler may speculate into. Bounds guard sizes and the candidate
+  // window; must be at least the pipeline depth of the steady state for
+  // maximal throughput (Example 1 needs ~8).
+  int lookahead = 8;
+
+  // Iterations older than (first unresolved - gc_window) are garbage
+  // collected from the symbolic frontier; must exceed the largest
+  // cross-iteration dependence distance plus the longest unit latency.
+  int gc_window = 4;
+
+  // Exploration caps; exceeded => ws::Error (closure not found).
+  int max_states = 2000;
+  int max_ops_per_state = 256;
+};
+
+struct ScheduleStats {
+  int states_created = 0;
+  int closure_hits = 0;       // successors folded onto equivalent states
+  int speculative_ops = 0;    // stage-0 ops scheduled with residual guard != 1
+  int squashed_ops = 0;       // in-flight ops invalidated at a fork
+  int total_ops = 0;          // stage-0 ops across all states
+};
+
+struct ScheduleResult {
+  Stg stg;
+  ScheduleStats stats;
+};
+
+// Schedules `g` under the given library/allocation/options. Throws ws::Error
+// if the description cannot be scheduled (unsatisfiable constraints, caps
+// exceeded).
+ScheduleResult Schedule(const Cdfg& g, const FuLibrary& lib,
+                        const Allocation& alloc,
+                        const SchedulerOptions& options);
+
+}  // namespace ws
+
+#endif  // WS_SCHED_SCHEDULER_H

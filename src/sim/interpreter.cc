@@ -1,0 +1,241 @@
+#include "sim/interpreter.h"
+
+#include <unordered_map>
+
+#include "cdfg/eval.h"
+
+namespace ws {
+namespace {
+
+using Key = std::pair<std::uint32_t, int>;
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    return std::hash<std::uint64_t>()(
+        (static_cast<std::uint64_t>(k.first) << 32) ^
+        static_cast<std::uint32_t>(k.second));
+  }
+};
+
+class Interp {
+ public:
+  Interp(const Cdfg& g, const Stimulus& stimulus,
+         const InterpOptions& options)
+      : g_(g), stim_(stimulus), opts_(options) {
+    for (const MemArray& arr : g_.arrays()) {
+      const auto* override_contents = stim_.array_or_null(arr.id);
+      std::vector<std::int64_t> contents(
+          static_cast<std::size_t>(arr.size), 0);
+      if (override_contents != nullptr) {
+        WS_CHECK(override_contents->size() <=
+                 static_cast<std::size_t>(arr.size));
+        std::copy(override_contents->begin(), override_contents->end(),
+                  contents.begin());
+      } else {
+        std::copy(arr.init.begin(), arr.init.end(), contents.begin());
+      }
+      arrays_.push_back(std::move(contents));
+    }
+    loop_exit_.assign(g_.num_loops(), -1);
+  }
+
+  InterpResult Run() {
+    // Top-level nodes execute in creation order (the builder guarantees
+    // defs-before-uses); a loop executes fully when its first member node is
+    // reached.
+    std::vector<bool> loop_started(g_.num_loops(), false);
+    for (const Node& n : g_.nodes()) {
+      if (n.loop.valid()) {
+        if (!loop_started[n.loop.value()]) {
+          loop_started[n.loop.value()] = true;
+          RunLoop(g_.loop(n.loop));
+        }
+        continue;
+      }
+      ExecNode(n, /*iter=*/0);
+    }
+
+    InterpResult result;
+    for (NodeId out : g_.outputs()) {
+      result.outputs[out] = values_.at(MakeKey(out, 0));
+    }
+    for (const Loop& loop : g_.loops()) {
+      result.loop_iterations[loop.id] = loop_exit_[loop.id.value()];
+    }
+    result.cond_outcomes = std::move(cond_outcomes_);
+    for (const MemArray& arr : g_.arrays()) {
+      result.arrays[arr.id] = arrays_[arr.id.value()];
+    }
+    return result;
+  }
+
+ private:
+  static Key MakeKey(NodeId n, int iter) { return {n.value(), iter}; }
+
+  // Value of operand `m` as read by a consumer in (loop, iter) scope.
+  std::int64_t OperandValue(NodeId m, LoopId consumer_loop,
+                            int consumer_iter) {
+    const Node& n = g_.node(m);
+    // Sources evaluate directly: constants hoisted out of loop bodies may
+    // appear later in creation order than their first in-loop consumer.
+    if (n.kind == OpKind::kConst) return n.const_value;
+    if (n.kind == OpKind::kInput) return stim_.input(m);
+    int iter = 0;
+    if (n.loop == consumer_loop) {
+      iter = consumer_iter;
+    } else if (n.loop.valid()) {
+      // Exit value of a finished loop.
+      const int exit = loop_exit_[n.loop.value()];
+      WS_CHECK_MSG(exit >= 0, "reading exit value of unfinished loop");
+      iter = exit;
+    }
+    auto it = values_.find(MakeKey(m, iter));
+    WS_CHECK_MSG(it != values_.end(), "read of unexecuted node "
+                                          << n.name << " iter " << iter);
+    return it->second;
+  }
+
+  bool GuardHolds(const Node& n, int iter) {
+    for (const ControlLiteral& lit : n.ctrl) {
+      const int citer = g_.node(lit.cond).loop == n.loop ? iter : 0;
+      auto it = values_.find(MakeKey(lit.cond, citer));
+      if (it == values_.end()) return false;  // guard cond itself skipped
+      if ((it->second != 0) != lit.polarity) return false;
+    }
+    return true;
+  }
+
+  void ExecNode(const Node& n, int iter) {
+    if (!GuardHolds(n, iter)) return;
+    std::int64_t value = 0;
+    switch (n.kind) {
+      case OpKind::kConst:
+        value = n.const_value;
+        break;
+      case OpKind::kInput:
+        value = stim_.input(n.id);
+        break;
+      case OpKind::kSelect: {
+        const std::int64_t s = OperandValue(n.inputs[0], n.loop, iter);
+        value = OperandValue(n.inputs[s != 0 ? 1 : 2], n.loop, iter);
+        break;
+      }
+      case OpKind::kLoopPhi: {
+        if (iter == 0) {
+          value = OperandValue(n.inputs[0], n.loop, iter);
+        } else {
+          // Back value from the previous iteration.
+          const Node& back = g_.node(n.inputs[1]);
+          auto it = values_.find(MakeKey(back.id, iter - 1));
+          WS_CHECK_MSG(it != values_.end(),
+                       "loop-phi back value missing for " << n.name);
+          value = it->second;
+        }
+        break;
+      }
+      case OpKind::kMemRead: {
+        const std::int64_t addr = OperandValue(n.inputs[0], n.loop, iter);
+        auto& mem = arrays_[n.array.value()];
+        value = mem[static_cast<std::size_t>(
+            WrapAddress(addr, static_cast<int>(mem.size())))];
+        break;
+      }
+      case OpKind::kMemWrite: {
+        const std::int64_t addr = OperandValue(n.inputs[0], n.loop, iter);
+        const std::int64_t v = OperandValue(n.inputs[1], n.loop, iter);
+        auto& mem = arrays_[n.array.value()];
+        mem[static_cast<std::size_t>(
+            WrapAddress(addr, static_cast<int>(mem.size())))] = v;
+        value = 0;  // token
+        break;
+      }
+      case OpKind::kOutput:
+        value = OperandValue(n.inputs[0], n.loop, iter);
+        break;
+      case OpKind::kNot:
+        value = EvalOp(n.kind, OperandValue(n.inputs[0], n.loop, iter), 0);
+        break;
+      case OpKind::kInc:
+      case OpKind::kDec:
+        value = EvalOp(n.kind, OperandValue(n.inputs[0], n.loop, iter), 0);
+        break;
+      default:
+        value = EvalOp(n.kind, OperandValue(n.inputs[0], n.loop, iter),
+                       OperandValue(n.inputs[1], n.loop, iter));
+        break;
+    }
+    values_[MakeKey(n.id, iter)] = value;
+    if (g_.is_condition_node(n.id)) {
+      cond_outcomes_[n.id].push_back(value != 0);
+    }
+  }
+
+  void RunLoop(const Loop& loop) {
+    for (int iter = 0;; ++iter) {
+      WS_CHECK_MSG(iter <= opts_.max_loop_iterations,
+                   "loop " << loop.name << " exceeded max iterations");
+      // Phis merge the previous iteration's back values; header nodes
+      // compute the continue decision (they run on every iteration the
+      // condition does, including the final failing one); the rest of the
+      // body runs only when the condition held.
+      for (NodeId phi : loop.phis) ExecNode(g_.node(phi), iter);
+      for (NodeId b : loop.body) {
+        if (g_.InLoopHeader(b)) ExecNode(g_.node(b), iter);
+      }
+      if (values_.at(MakeKey(loop.cond, iter)) == 0) {
+        loop_exit_[loop.id.value()] = iter;
+        return;
+      }
+      for (NodeId b : loop.body) {
+        const Node& n = g_.node(b);
+        if (n.kind == OpKind::kLoopPhi || g_.InLoopHeader(b)) continue;
+        ExecNode(n, iter);
+      }
+    }
+  }
+
+  const Cdfg& g_;
+  const Stimulus& stim_;
+  const InterpOptions& opts_;
+  std::unordered_map<Key, std::int64_t, KeyHash> values_;
+  std::vector<std::vector<std::int64_t>> arrays_;
+  std::vector<int> loop_exit_;
+  std::map<NodeId, std::vector<bool>> cond_outcomes_;
+};
+
+}  // namespace
+
+InterpResult Interpret(const Cdfg& g, const Stimulus& stimulus,
+                       const InterpOptions& options) {
+  Interp interp(g, stimulus, options);
+  return interp.Run();
+}
+
+std::map<NodeId, double> ProfileBranchProbabilities(
+    Cdfg& g, const std::vector<Stimulus>& stimuli,
+    const InterpOptions& options) {
+  std::map<NodeId, std::pair<std::int64_t, std::int64_t>> counts;
+  for (const Stimulus& s : stimuli) {
+    const InterpResult r = Interpret(g, s, options);
+    for (const auto& [cond, outcomes] : r.cond_outcomes) {
+      auto& [trues, total] = counts[cond];
+      for (bool b : outcomes) {
+        trues += b ? 1 : 0;
+        total += 1;
+      }
+    }
+  }
+  std::map<NodeId, double> probs;
+  for (const auto& [cond, tc] : counts) {
+    const auto& [trues, total] = tc;
+    if (total == 0) continue;
+    double p = static_cast<double>(trues) / static_cast<double>(total);
+    // Keep probabilities away from the extremes: the scheduler's expected
+    // iteration counts and criticality products must stay finite.
+    p = std::min(0.995, std::max(0.005, p));
+    probs[cond] = p;
+    g.set_cond_probability(cond, p);
+  }
+  return probs;
+}
+
+}  // namespace ws

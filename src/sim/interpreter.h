@@ -1,0 +1,46 @@
+// Golden functional interpreter for CDFGs.
+//
+// Executes the structured semantics directly — loops iterate, guarded nodes
+// run only when their if-nest holds, memory accesses happen in program
+// order — independent of any schedule. The STG simulator's results are
+// checked against this interpreter, and the branch-probability profiler is
+// built on top of it.
+#ifndef WS_SIM_INTERPRETER_H
+#define WS_SIM_INTERPRETER_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cdfg/cdfg.h"
+#include "sim/stimulus.h"
+
+namespace ws {
+
+struct InterpResult {
+  std::map<NodeId, std::int64_t> outputs;    // per kOutput node
+  std::map<LoopId, int> loop_iterations;     // body executions per loop
+  // Condition-instance outcomes, in execution order per condition node (for
+  // profiling).
+  std::map<NodeId, std::vector<bool>> cond_outcomes;
+  // Final contents of each array.
+  std::map<ArrayId, std::vector<std::int64_t>> arrays;
+};
+
+struct InterpOptions {
+  int max_loop_iterations = 100000;  // per loop; exceeded => ws::Error
+};
+
+InterpResult Interpret(const Cdfg& g, const Stimulus& stimulus,
+                       const InterpOptions& options = {});
+
+// Runs the interpreter over `stimuli` and annotates `g` with the measured
+// P(true) of every condition node (the scheduler's profile input). Returns
+// the per-condition probabilities.
+std::map<NodeId, double> ProfileBranchProbabilities(
+    Cdfg& g, const std::vector<Stimulus>& stimuli,
+    const InterpOptions& options = {});
+
+}  // namespace ws
+
+#endif  // WS_SIM_INTERPRETER_H

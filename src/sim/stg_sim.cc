@@ -1,0 +1,211 @@
+#include "sim/stg_sim.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "cdfg/eval.h"
+#include "sim/interpreter.h"
+
+namespace ws {
+namespace {
+
+// (node, actual iteration, version) packed for the environment map.
+std::uint64_t PackKey(NodeId node, int iter, int version) {
+  return (static_cast<std::uint64_t>(node.value()) << 40) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(iter))
+          << 8) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(version) &
+                                    0xffu);
+}
+
+class StgSim {
+ public:
+  StgSim(const Stg& stg, const Cdfg& g, const Stimulus& stimulus,
+         const StgSimOptions& options)
+      : stg_(stg), g_(g), stim_(stimulus), opts_(options) {
+    offsets_.assign(g_.num_loops(), 0);
+    for (const MemArray& arr : g_.arrays()) {
+      const auto* override_contents = stim_.array_or_null(arr.id);
+      std::vector<std::int64_t> contents(
+          static_cast<std::size_t>(arr.size), 0);
+      if (override_contents != nullptr) {
+        std::copy(override_contents->begin(), override_contents->end(),
+                  contents.begin());
+      } else {
+        std::copy(arr.init.begin(), arr.init.end(), contents.begin());
+      }
+      arrays_.push_back(std::move(contents));
+    }
+  }
+
+  StgSimResult Run() {
+    StgSimResult result;
+    StateId cur = stg_.entry();
+    while (!stg_.state(cur).is_stop) {
+      WS_CHECK_MSG(result.cycles < opts_.max_cycles,
+                   "simulation exceeded max_cycles");
+      const State& s = stg_.state(cur);
+      cycle_ = result.cycles;
+      result.cycles++;
+      if (opts_.record_visited) result.visited.push_back(cur);
+
+      for (const ScheduledOp& op : s.ops) {
+        if (op.stage != 0) continue;  // value written at initiation
+        Execute(op);
+      }
+
+      // Resolve the transition.
+      const Transition* taken = nullptr;
+      for (const Transition& t : s.out) {
+        if (Matches(t)) {
+          WS_CHECK_MSG(taken == nullptr,
+                       "multiple transitions match in state "
+                           << s.id.value());
+          taken = &t;
+        }
+      }
+      WS_CHECK_MSG(taken != nullptr,
+                   "no transition matches in state " << s.id.value());
+      for (const auto& [loop, delta] : taken->iter_shift) {
+        offsets_[loop.value()] += delta;
+      }
+      if (stg_.state(taken->to).is_stop) {
+        for (const OutputBinding& ob : taken->outputs) {
+          result.outputs[ob.output] = Value(ob.value);
+        }
+      }
+      cur = taken->to;
+    }
+    if (opts_.record_lifetimes) result.lifetimes = std::move(lifetimes_);
+    return result;
+  }
+
+ private:
+  int ActualIter(NodeId node, int recorded_iter) const {
+    const Node& n = g_.node(node);
+    if (!n.loop.valid()) return recorded_iter;
+    return recorded_iter + offsets_[n.loop.value()];
+  }
+
+  std::int64_t Value(const InstRef& ref) const {
+    const Node& n = g_.node(ref.node);
+    if (n.kind == OpKind::kConst) return n.const_value;
+    if (n.kind == OpKind::kInput) return stim_.input(ref.node);
+    const auto key = PackKey(ref.node, ActualIter(ref.node, ref.iter),
+                             ref.version);
+    auto it = env_.find(key);
+    WS_CHECK_MSG(it != env_.end(),
+                 "operand " << InstRefToString(g_, ref)
+                            << " read before execution");
+    if (opts_.record_lifetimes) {
+      auto lt = lifetimes_.find(key);
+      if (lt != lifetimes_.end()) lt->second.second = cycle_;
+    }
+    return it->second;
+  }
+
+  void Execute(const ScheduledOp& op) {
+    const Node& n = g_.node(op.inst.node);
+    std::int64_t value = 0;
+    switch (n.kind) {
+      case OpKind::kMemRead: {
+        const std::int64_t addr = Value(op.operands[0]);
+        auto& mem = arrays_[n.array.value()];
+        value = mem[static_cast<std::size_t>(
+            WrapAddress(addr, static_cast<int>(mem.size())))];
+        break;
+      }
+      case OpKind::kMemWrite: {
+        const std::int64_t addr = Value(op.operands[0]);
+        const std::int64_t v = Value(op.operands[1]);
+        auto& mem = arrays_[n.array.value()];
+        mem[static_cast<std::size_t>(
+            WrapAddress(addr, static_cast<int>(mem.size())))] = v;
+        value = 0;  // token
+        break;
+      }
+      case OpKind::kSelect:
+        if (op.operands.size() == 3) {
+          // Full datapath mux: [steer, on_true, on_false].
+          value = Value(op.operands[0]) != 0 ? Value(op.operands[1])
+                                             : Value(op.operands[2]);
+        } else {
+          // Guarded copy of the (speculated or resolved) chosen side.
+          value = Value(op.operands[0]);
+        }
+        break;
+      case OpKind::kNot:
+      case OpKind::kInc:
+      case OpKind::kDec:
+        value = EvalOp(n.kind, Value(op.operands[0]), 0);
+        break;
+      default:
+        value = EvalOp(n.kind, Value(op.operands[0]),
+                       Value(op.operands[1]));
+        break;
+    }
+    const std::uint64_t key = PackKey(
+        op.inst.node, ActualIter(op.inst.node, op.inst.iter),
+        op.inst.version);
+    env_[key] = value;
+    if (opts_.record_lifetimes) lifetimes_[key] = {cycle_, cycle_};
+  }
+
+  bool Matches(const Transition& t) const {
+    for (const auto& cube : t.cubes) {
+      bool ok = true;
+      for (const CondLiteral& lit : cube) {
+        if ((Value(lit.cond) != 0) != lit.value) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return true;
+    }
+    return false;
+  }
+
+  const Stg& stg_;
+  const Cdfg& g_;
+  const Stimulus& stim_;
+  const StgSimOptions& opts_;
+  std::unordered_map<std::uint64_t, std::int64_t> env_;
+  mutable std::map<std::uint64_t, std::pair<std::int64_t, std::int64_t>>
+      lifetimes_;
+  std::int64_t cycle_ = 0;
+  std::vector<int> offsets_;
+  std::vector<std::vector<std::int64_t>> arrays_;
+};
+
+}  // namespace
+
+StgSimResult SimulateStg(const Stg& stg, const Cdfg& g,
+                         const Stimulus& stimulus,
+                         const StgSimOptions& options) {
+  StgSim sim(stg, g, stimulus, options);
+  return sim.Run();
+}
+
+double MeasureExpectedCycles(const Stg& stg, const Cdfg& g,
+                             const std::vector<Stimulus>& stimuli,
+                             const StgSimOptions& options) {
+  WS_CHECK(!stimuli.empty());
+  double total = 0.0;
+  for (const Stimulus& s : stimuli) {
+    const StgSimResult r = SimulateStg(stg, g, s, options);
+    const InterpResult golden = Interpret(g, s);
+    for (const auto& [out, value] : golden.outputs) {
+      auto it = r.outputs.find(out);
+      WS_CHECK_MSG(it != r.outputs.end(),
+                   "schedule lost output " << g.node(out).name);
+      WS_CHECK_MSG(it->second == value,
+                   "schedule computes wrong value for "
+                       << g.node(out).name << ": got " << it->second
+                       << ", want " << value);
+    }
+    total += static_cast<double>(r.cycles);
+  }
+  return total / static_cast<double>(stimuli.size());
+}
+
+}  // namespace ws

@@ -1,0 +1,54 @@
+// Cycle-accurate simulation of a scheduled design (STG).
+//
+// Plays the controller: executes every operation instance bound into the
+// current state (speculative ones included — that is what the hardware
+// does), resolves the transition condition from the computed values of the
+// conditional-operation instances, follows the matching edge (applying any
+// register-relabel iteration shift), and counts clock cycles until STOP.
+//
+// This is the in-repo replacement for the paper's Synopsys VSS VHDL
+// simulation: it both measures cycle counts and verifies that the schedule
+// computes the same outputs as the golden CDFG interpreter.
+#ifndef WS_SIM_STG_SIM_H
+#define WS_SIM_STG_SIM_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cdfg/cdfg.h"
+#include "sim/stimulus.h"
+#include "stg/stg.h"
+
+namespace ws {
+
+struct StgSimResult {
+  std::int64_t cycles = 0;                  // states visited before STOP
+  std::map<NodeId, std::int64_t> outputs;   // per kOutput node
+  std::vector<StateId> visited;             // state sequence, entry..last
+  // With record_lifetimes: per value instance, the cycle it was produced and
+  // the last cycle it was read (register-allocation input for the RTL area
+  // model). Key packs (node, actual iteration, version).
+  std::map<std::uint64_t, std::pair<std::int64_t, std::int64_t>> lifetimes;
+};
+
+struct StgSimOptions {
+  std::int64_t max_cycles = 2000000;
+  bool record_visited = false;
+  bool record_lifetimes = false;
+};
+
+StgSimResult SimulateStg(const Stg& stg, const Cdfg& g,
+                         const Stimulus& stimulus,
+                         const StgSimOptions& options = {});
+
+// Convenience: average cycle count over a stimulus set (the paper's E.N.C.
+// measurement). Checks every run's outputs against the interpreter and
+// throws on mismatch.
+double MeasureExpectedCycles(const Stg& stg, const Cdfg& g,
+                             const std::vector<Stimulus>& stimuli,
+                             const StgSimOptions& options = {});
+
+}  // namespace ws
+
+#endif  // WS_SIM_STG_SIM_H

@@ -1,0 +1,66 @@
+#include "sim/stimulus.h"
+
+#include <cstdlib>
+
+#include "base/status.h"
+
+namespace ws {
+
+std::int64_t Stimulus::input(NodeId id) const {
+  auto it = inputs.find(id);
+  WS_CHECK_MSG(it != inputs.end(), "no stimulus for input node "
+                                       << id.value());
+  return it->second;
+}
+
+const std::vector<std::int64_t>* Stimulus::array_or_null(ArrayId id) const {
+  auto it = arrays.find(id);
+  return it == arrays.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+std::int64_t Draw(const StimulusSpec::InputSpec& spec, Rng& rng) {
+  switch (spec.kind) {
+    case StimulusSpec::Kind::kGaussian: {
+      std::int64_t v = rng.NextGaussianInt(spec.sigma);
+      if (spec.non_negative) v = std::llabs(v);
+      return v;
+    }
+    case StimulusSpec::Kind::kUniform:
+      return rng.NextInt(spec.lo, spec.hi);
+    case StimulusSpec::Kind::kConstant:
+      return spec.lo;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<Stimulus> GenerateStimuli(const Cdfg& g, const StimulusSpec& spec,
+                                      int count, Rng& rng) {
+  std::vector<Stimulus> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Stimulus s;
+    for (NodeId in : g.inputs()) {
+      auto it = spec.inputs.find(in);
+      const auto& ispec = it == spec.inputs.end() ? spec.default_spec
+                                                  : it->second;
+      s.inputs[in] = Draw(ispec, rng);
+    }
+    for (const MemArray& arr : g.arrays()) {
+      auto it = spec.arrays.find(arr.id);
+      const auto& aspec = it == spec.arrays.end() ? spec.default_spec
+                                                  : it->second;
+      std::vector<std::int64_t> contents(
+          static_cast<std::size_t>(arr.size));
+      for (auto& v : contents) v = Draw(aspec, rng);
+      s.arrays[arr.id] = std::move(contents);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace ws

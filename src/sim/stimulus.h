@@ -1,0 +1,51 @@
+// Stimuli (input vectors) for the interpreter and the STG simulator, plus
+// the trace generators used by the paper's evaluation ("input traces ...
+// obtained as zero-mean Gaussian sequences") and the branch-probability
+// profiler that feeds the scheduler's criticality heuristic.
+#ifndef WS_SIM_STIMULUS_H
+#define WS_SIM_STIMULUS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "cdfg/cdfg.h"
+
+namespace ws {
+
+// One execution's worth of inputs: a value per kInput node and (optionally)
+// contents overriding each array's static initializer.
+struct Stimulus {
+  std::map<NodeId, std::int64_t> inputs;
+  std::map<ArrayId, std::vector<std::int64_t>> arrays;
+
+  // Lookup helpers; throw if missing.
+  std::int64_t input(NodeId id) const;
+  const std::vector<std::int64_t>* array_or_null(ArrayId id) const;
+};
+
+// Per-input generation policy for random stimuli.
+struct StimulusSpec {
+  enum class Kind { kGaussian, kUniform, kConstant };
+  struct InputSpec {
+    Kind kind = Kind::kGaussian;
+    double sigma = 16.0;        // Gaussian
+    std::int64_t lo = 0, hi = 0;  // Uniform / Constant (lo)
+    bool non_negative = false;  // clamp Gaussian to |x|
+  };
+  std::map<NodeId, InputSpec> inputs;
+  std::map<ArrayId, InputSpec> arrays;
+
+  // Defaults for unmentioned inputs/arrays.
+  InputSpec default_spec;
+};
+
+// Draws `count` stimuli for graph `g` under `spec`.
+std::vector<Stimulus> GenerateStimuli(const Cdfg& g, const StimulusSpec& spec,
+                                      int count, Rng& rng);
+
+}  // namespace ws
+
+#endif  // WS_SIM_STIMULUS_H

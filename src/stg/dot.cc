@@ -1,0 +1,78 @@
+#include "stg/dot.h"
+
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace ws {
+namespace {
+
+std::string OpLabel(const Cdfg& g, const ScheduledOp& op) {
+  std::string s = InstRefToString(g, op.inst);
+  if (op.stage > 0) s += "~" + std::to_string(op.stage);
+  if (op.guard != "1" && !op.guard.empty()) s += " / " + op.guard;
+  return s;
+}
+
+std::string ShiftLabel(const Transition& t) {
+  if (t.iter_shift.empty()) return "";
+  std::vector<std::string> parts;
+  for (const auto& [loop, delta] : t.iter_shift) {
+    parts.push_back(StrPrintf("L%u-=%d", loop.value(), delta));
+  }
+  return " [" + Join(parts, ",") + "]";
+}
+
+}  // namespace
+
+std::string StgToDot(const Stg& stg, const Cdfg& g) {
+  std::ostringstream os;
+  os << "digraph \"" << DotEscape(stg.name()) << "\" {\n";
+  os << "  node [shape=box, fontsize=10];\n";
+  for (const State& s : stg.states()) {
+    os << "  s" << s.id.value() << " [label=\"";
+    if (s.is_stop) {
+      os << "STOP";
+    } else {
+      os << "S" << s.id.value();
+      for (const ScheduledOp& op : s.ops) {
+        os << "\\n" << DotEscape(OpLabel(g, op));
+      }
+    }
+    os << "\"";
+    if (s.id == stg.entry()) os << ", penwidth=2";
+    os << "];\n";
+  }
+  for (const State& s : stg.states()) {
+    for (const Transition& t : s.out) {
+      os << "  s" << t.from.value() << " -> s" << t.to.value()
+         << " [label=\"" << DotEscape(TransitionLabel(g, t) + ShiftLabel(t))
+         << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string StgToText(const Stg& stg, const Cdfg& g) {
+  std::ostringstream os;
+  for (const State& s : stg.states()) {
+    if (s.is_stop) {
+      os << "S" << s.id.value() << ": STOP\n";
+      continue;
+    }
+    os << "S" << s.id.value() << (s.id == stg.entry() ? " (entry)" : "")
+       << ":";
+    for (const ScheduledOp& op : s.ops) {
+      os << " " << OpLabel(g, op) << ";";
+    }
+    os << "\n";
+    for (const Transition& t : s.out) {
+      os << "    --[" << TransitionLabel(g, t) << ShiftLabel(t) << "]--> S"
+         << t.to.value() << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ws

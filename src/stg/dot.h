@@ -1,0 +1,22 @@
+// Graphviz export of STGs, drawn in the paper's Figure 2 style: states list
+// their operation instances with speculation annotations; edges carry
+// resolution conditions and (for loop-closing edges) the register relabel
+// shift.
+#ifndef WS_STG_DOT_H
+#define WS_STG_DOT_H
+
+#include <string>
+
+#include "cdfg/cdfg.h"
+#include "stg/stg.h"
+
+namespace ws {
+
+std::string StgToDot(const Stg& stg, const Cdfg& g);
+
+// Text rendering, one line per state — convenient for logs and tests.
+std::string StgToText(const Stg& stg, const Cdfg& g);
+
+}  // namespace ws
+
+#endif  // WS_STG_DOT_H

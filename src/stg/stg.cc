@@ -1,0 +1,84 @@
+#include "stg/stg.h"
+
+#include <unordered_set>
+
+#include "base/strings.h"
+
+namespace ws {
+
+StateId Stg::AddState() {
+  State s;
+  s.id = StateId(static_cast<StateId::value_type>(states_.size()));
+  states_.push_back(std::move(s));
+  if (!entry_.valid()) entry_ = states_.back().id;
+  return states_.back().id;
+}
+
+StateId Stg::AddStopState() {
+  if (stop_.valid()) return stop_;
+  stop_ = AddState();
+  states_[stop_.value()].is_stop = true;
+  return stop_;
+}
+
+std::size_t Stg::num_work_states() const {
+  std::size_t n = 0;
+  for (const State& s : states_) {
+    if (!s.is_stop) ++n;
+  }
+  return n;
+}
+
+std::size_t Stg::num_op_initiations() const {
+  std::size_t n = 0;
+  for (const State& s : states_) {
+    for (const ScheduledOp& op : s.ops) {
+      if (op.stage == 0) ++n;
+    }
+  }
+  return n;
+}
+
+void Stg::Validate() const {
+  WS_CHECK_MSG(entry_.valid(), "STG has no entry state");
+  for (const State& s : states_) {
+    for (const Transition& t : s.out) {
+      WS_CHECK(t.from == s.id);
+      WS_CHECK(t.to.valid() && t.to.value() < states_.size());
+      WS_CHECK_MSG(!t.cubes.empty(), "transition with no condition cubes");
+    }
+    if (!s.is_stop) {
+      WS_CHECK_MSG(!s.out.empty(),
+                   "non-stop state " << s.id.value() << " has no successor");
+    } else {
+      WS_CHECK_MSG(s.out.empty(), "stop state has successors");
+      WS_CHECK_MSG(s.ops.empty(), "stop state performs operations");
+    }
+  }
+}
+
+std::string InstRefToString(const Cdfg& g, const InstRef& ref) {
+  std::string s = g.node(ref.node).name + "_" + std::to_string(ref.iter);
+  if (ref.version != 0) s += "." + std::to_string(ref.version);
+  return s;
+}
+
+std::string TransitionLabel(const Cdfg& g, const Transition& t) {
+  if (t.cubes.size() == 1 && t.cubes[0].empty()) return "1";
+  std::vector<std::string> terms;
+  terms.reserve(t.cubes.size());
+  for (const auto& cube : t.cubes) {
+    if (cube.empty()) return "1";
+    std::vector<std::string> lits;
+    lits.reserve(cube.size());
+    for (const CondLiteral& lit : cube) {
+      lits.push_back((lit.value ? "" : "!") + InstRefToString(g, lit.cond));
+    }
+    const std::string body = Join(lits, " & ");
+    terms.push_back(t.cubes.size() > 1 && lits.size() > 1 ? "(" + body + ")"
+                                                          : body);
+  }
+  return Join(terms, " | ");
+}
+
+}  // namespace ws

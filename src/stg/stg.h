@@ -1,0 +1,146 @@
+// State transition graph (STG) — the scheduled behavioral description.
+//
+// Mirrors the paper's Figure 2 drawings: vertices are controller states
+// annotated with the operation instances performed in that state (each
+// carrying a symbolic loop-iteration index and, for speculative operations,
+// the residual speculation condition, e.g. "++1_2 / (c_1 & c_2)"); edges are
+// controller transitions labeled with conditions over the results of
+// conditional operations resolved in the source state.
+//
+// Iteration frames: operation instances record the absolute iteration index
+// seen on the exploration path that created their state. When the scheduler
+// closes the graph by linking back to an equivalent earlier state, the edge
+// carries a per-loop iteration shift (the paper's register-relabeling map M:
+// "variable v_i is relabelled as v_(i-1)"). A simulator traversing such an
+// edge adds the shift to its running per-loop offset; `recorded iteration +
+// offset` is the actual iteration.
+#ifndef WS_STG_STG_H
+#define WS_STG_STG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/ids.h"
+#include "base/status.h"
+#include "cdfg/cdfg.h"
+
+namespace ws {
+
+struct StgStateTag;
+using StateId = Id<StgStateTag>;
+
+// Identifies one executed operation instance: CDFG node, absolute iteration
+// (in the recording frame), and a version index distinguishing re-executions
+// of the same (node, iteration) with different operand bindings (the paper's
+// op7' / op7'' in Example 6).
+struct InstRef {
+  NodeId node;
+  int iter = 0;
+  int version = 0;
+
+  friend bool operator==(const InstRef&, const InstRef&) = default;
+};
+
+// An operation instance bound into a state.
+struct ScheduledOp {
+  InstRef inst;
+  std::vector<InstRef> operands;  // producing instances, in CDFG input order
+                                  // (memory ops carry an extra trailing token
+                                  // operand referencing the previous access)
+  std::string guard;              // residual speculation condition at the time
+                                  // of scheduling; "1" when non-speculative
+  int fu_type = -1;               // functional-unit type index (FuLibrary)
+  int stage = 0;                  // 0 = initiated in this state; k>0 = k-th
+                                  // continuation cycle of a multi-cycle op
+  double start_offset_ns = 0.0;   // within-cycle start time (chaining)
+};
+
+// One literal of a transition condition: the resolved value of a conditional
+// operation instance.
+struct CondLiteral {
+  InstRef cond;
+  bool value = true;
+
+  friend bool operator==(const CondLiteral&, const CondLiteral&) = default;
+};
+
+// Binding of a CDFG output to the instance that holds its final value.
+struct OutputBinding {
+  NodeId output;    // kOutput node
+  InstRef value;    // instance producing the value (source nodes allowed)
+};
+
+struct Transition {
+  StateId from;
+  StateId to;
+  // Disjunction of conjunctions over the condition instances resolved in
+  // `from`. An unconditional transition has a single empty cube.
+  std::vector<std::vector<CondLiteral>> cubes;
+  // Per-loop iteration shift applied when traversing this edge (loop id,
+  // delta >= 0). Empty for forward edges.
+  std::vector<std::pair<LoopId, int>> iter_shift;
+  // Set when `to` is the STOP state: where each CDFG output's value lives.
+  std::vector<OutputBinding> outputs;
+};
+
+struct State {
+  StateId id;
+  std::vector<ScheduledOp> ops;
+  std::vector<Transition> out;
+  bool is_stop = false;
+};
+
+// The scheduled design.
+class Stg {
+ public:
+  explicit Stg(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  StateId AddState();
+  StateId AddStopState();
+
+  State& state(StateId id) {
+    WS_CHECK(id.valid() && id.value() < states_.size());
+    return states_[id.value()];
+  }
+  const State& state(StateId id) const {
+    WS_CHECK(id.valid() && id.value() < states_.size());
+    return states_[id.value()];
+  }
+  std::size_t num_states() const { return states_.size(); }
+  const std::vector<State>& states() const { return states_; }
+
+  StateId entry() const { return entry_; }
+  void set_entry(StateId id) { entry_ = id; }
+  StateId stop() const { return stop_; }
+
+  // Number of states excluding the STOP pseudo-state (the paper's "#states"
+  // column counts controller states that perform work).
+  std::size_t num_work_states() const;
+
+  // Total operation initiations (stage-0 ScheduledOps) across all states.
+  std::size_t num_op_initiations() const;
+
+  // Structural checks: transitions reference valid states, stop edges carry
+  // output bindings, non-stop states have at least one outgoing edge.
+  void Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<State> states_;
+  StateId entry_;
+  StateId stop_;
+};
+
+// Renders an instance as the paper does: "name_iter" (version suffixed as
+// ".v" when nonzero), e.g. "++1_2" or "*1_0.1".
+std::string InstRefToString(const Cdfg& g, const InstRef& ref);
+
+// Renders a transition label, e.g. "c_1 & !c_2 | !c_1".
+std::string TransitionLabel(const Cdfg& g, const Transition& t);
+
+}  // namespace ws
+
+#endif  // WS_STG_STG_H

@@ -1,0 +1,362 @@
+#include "suite/benchmarks.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "cdfg/builder.h"
+#include "sim/interpreter.h"
+
+namespace ws {
+namespace {
+
+// |N(0, sigma)| clamped to [lo, hi].
+std::int64_t AbsGauss(Rng& rng, double sigma, std::int64_t lo,
+                      std::int64_t hi) {
+  const std::int64_t v = std::llabs(rng.NextGaussianInt(sigma));
+  return std::clamp(v, lo, hi);
+}
+
+void Profile(Benchmark& b) {
+  ProfileBranchProbabilities(b.graph, b.stimuli);
+}
+
+}  // namespace
+
+Benchmark MakeTest1(int num_stimuli, std::uint64_t seed) {
+  CdfgBuilder b("test1");
+  const NodeId k = b.Input("k");
+  const NodeId i0 = b.Konst(0);
+  const NodeId t40 = b.Konst(0);
+  const NodeId c1 = b.Konst(3);
+  const NodeId c2 = b.Konst(5);
+  const NodeId c3 = b.Konst(1);
+  const ArrayId m1 = b.Array("M1", 256);
+  const ArrayId m2 = b.Array("M2", 256);
+
+  b.BeginLoop("main");
+  const NodeId i = b.LoopPhi("i", i0);
+  const NodeId t4 = b.LoopPhi("t4", t40);
+  const NodeId cond = b.Op(OpKind::kGt, ">1", {k, t4});
+  b.SetLoopCondition(cond);
+  const NodeId i1 = b.Op(OpKind::kInc, "++1", {i});
+  const NodeId t1 = b.MemRead("M1", m1, i1);
+  const NodeId t2 = b.Op(OpKind::kMul, "*1", {t1, c1});
+  const NodeId t3 = b.Op(OpKind::kMul, "*2", {t2, c2});
+  const NodeId t4n = b.Op(OpKind::kAdd, "+1", {t3, c3});
+  b.MemWrite("M2", m2, i1, t4n);
+  b.SetLoopBack(i, i1);
+  b.SetLoopBack(t4, t4n);
+  b.EndLoop();
+  b.Output("t4_out", t4);
+  b.Output("iters", i);
+
+  Benchmark bench;
+  bench.name = "Test1";
+  bench.graph = b.Finish();
+  bench.library = FuLibrary::PaperLibrary();
+  bench.allocation = Allocation::None(bench.library);
+  bench.allocation.Set(bench.library, "add1", 1);
+  bench.allocation.Set(bench.library, "mult1", 4);
+  bench.allocation.Set(bench.library, "comp1", 1);
+  bench.allocation.Set(bench.library, "inc1", 1);
+  bench.worst_case_budget = 600;
+  bench.lookahead = 10;
+
+  // Gaussian traces tuned so the loop runs for tens of iterations on
+  // average: t4 jumps to 15*M1[i]+1 each iteration and the loop continues
+  // while k > t4, so with M1 ~ N(0,5) the per-iteration exit probability is
+  // a few percent for k near its mean.
+  Rng rng(seed);
+  for (int s = 0; s < num_stimuli; ++s) {
+    Stimulus st;
+    st.inputs[k] = AbsGauss(rng, 120.0, 60, 200);
+    std::vector<std::int64_t> contents(256);
+    for (auto& v : contents) v = rng.NextGaussianInt(5.0);
+    // Termination guarantee: at least one element large enough to push t4
+    // past any k in range (addresses wrap modulo the array size).
+    contents[rng.NextBelow(contents.size())] = 14;
+    st.arrays[m1] = std::move(contents);
+    st.arrays[m2] = std::vector<std::int64_t>(256, 0);
+    bench.stimuli.push_back(std::move(st));
+  }
+  Profile(bench);
+  return bench;
+}
+
+Benchmark MakeGcd(int num_stimuli, std::uint64_t seed) {
+  CdfgBuilder b("gcd");
+  const NodeId x = b.Input("x");
+  const NodeId y = b.Input("y");
+
+  b.BeginLoop("main");
+  const NodeId xp = b.LoopPhi("x", x);
+  const NodeId yp = b.LoopPhi("y", y);
+  const NodeId cond = b.Op(OpKind::kNe, "!=1", {xp, yp});
+  b.SetLoopCondition(cond);
+  const NodeId cg = b.Op(OpKind::kGt, ">1", {xp, yp});
+  b.BeginIf(cg);
+  const NodeId d1 = b.Op(OpKind::kSub, "-1", {xp, yp});
+  b.BeginElse();
+  const NodeId d2 = b.Op(OpKind::kSub, "-2", {yp, xp});
+  b.EndIf();
+  const NodeId xn = b.Select("selx", cg, d1, xp);
+  const NodeId yn = b.Select("sely", cg, yp, d2);
+  b.SetLoopBack(xp, xn);
+  b.SetLoopBack(yp, yn);
+  b.EndLoop();
+  b.Output("gcd", xp);
+
+  Benchmark bench;
+  bench.name = "GCD";
+  bench.graph = b.Finish();
+  bench.library = FuLibrary::PaperLibrary();
+  bench.allocation = Allocation::None(bench.library);
+  bench.allocation.Set(bench.library, "sub1", 2);
+  bench.allocation.Set(bench.library, "comp1", 1);
+  bench.allocation.Set(bench.library, "eqc1", 2);
+  bench.worst_case_budget = 255;
+  bench.lookahead = 3;
+
+  Rng rng(seed);
+  for (int s = 0; s < num_stimuli; ++s) {
+    Stimulus st;
+    st.inputs[x] = 1 + AbsGauss(rng, 90.0, 0, 254);
+    st.inputs[y] = 1 + AbsGauss(rng, 90.0, 0, 254);
+    bench.stimuli.push_back(std::move(st));
+  }
+  Profile(bench);
+  return bench;
+}
+
+Benchmark MakeBarcode(int num_stimuli, std::uint64_t seed) {
+  CdfgBuilder b("barcode");
+  const ArrayId sig = b.Array("S", 256);
+  const NodeId i0 = b.Konst(0);
+  const NodeId run0 = b.Konst(0);
+  const NodeId val0 = b.Konst(0);
+  const NodeId tot0 = b.Konst(0);
+  const NodeId prev0 = b.Konst(0);
+  const NodeId sentinel = b.Konst(2);
+  const NodeId one = b.Konst(1);
+  const NodeId thr = b.Konst(3);
+
+  b.BeginLoop("scan");
+  const NodeId i = b.LoopPhi("i", i0);
+  const NodeId run = b.LoopPhi("run", run0);
+  const NodeId val = b.LoopPhi("val", val0);
+  const NodeId tot = b.LoopPhi("tot", tot0);
+  const NodeId prev = b.LoopPhi("prev", prev0);
+  const NodeId s = b.MemRead("S", sig, i);
+  const NodeId cond = b.Op(OpKind::kNe, "!=1", {s, sentinel});
+  b.SetLoopCondition(cond);
+  const NodeId chg = b.Op(OpKind::kNe, "!=2", {s, prev});
+  const NodeId run1 = b.Op(OpKind::kInc, "++r", {run});
+  const NodeId wide = b.Op(OpKind::kGt, ">w", {run1, thr});
+  const NodeId val1 = b.Op(OpKind::kAdd, "+v", {val, wide});
+  const NodeId tot1 = b.Op(OpKind::kAdd, "+t", {tot, s});
+  const NodeId i1 = b.Op(OpKind::kInc, "++i", {i});
+  const NodeId runn = b.Select("selr", chg, one, run1);
+  const NodeId valn = b.Select("selv", chg, val1, val);
+  b.SetLoopBack(i, i1);
+  b.SetLoopBack(run, runn);
+  b.SetLoopBack(val, valn);
+  b.SetLoopBack(tot, tot1);
+  b.SetLoopBack(prev, s);
+  b.EndLoop();
+  b.Output("val", val);
+  b.Output("tot", tot);
+
+  Benchmark bench;
+  bench.name = "Barcode";
+  bench.graph = b.Finish();
+  bench.library = FuLibrary::PaperLibrary();
+  bench.allocation = Allocation::None(bench.library);
+  bench.allocation.Set(bench.library, "add1", 2);
+  bench.allocation.Set(bench.library, "sub1", 2);
+  bench.allocation.Set(bench.library, "comp1", 3);
+  bench.allocation.Set(bench.library, "eqc1", 3);
+  bench.allocation.Set(bench.library, "inc1", 3);
+  bench.worst_case_budget = 256;
+  bench.lookahead = 8;
+
+  Rng rng(seed);
+  for (int st_idx = 0; st_idx < num_stimuli; ++st_idx) {
+    Stimulus st;
+    std::vector<std::int64_t> contents(256);
+    for (auto& v : contents) v = static_cast<std::int64_t>(rng.NextBelow(2));
+    const std::int64_t end = AbsGauss(rng, 120.0, 1, 250);
+    for (std::size_t j = static_cast<std::size_t>(end); j < contents.size();
+         ++j) {
+      contents[j] = 2;
+    }
+    st.arrays[sig] = std::move(contents);
+    bench.stimuli.push_back(std::move(st));
+  }
+  Profile(bench);
+  return bench;
+}
+
+Benchmark MakeTlc(int num_stimuli, std::uint64_t seed) {
+  CdfgBuilder b("tlc");
+  const NodeId w = b.Input("sensor");
+  const NodeId t0 = b.Konst(0);
+  const NodeId ph0 = b.Konst(0);
+  const NodeId l0 = b.Konst(0);
+  const NodeId limit = b.Konst(253);
+  const NodeId wrap = b.Konst(9);
+  const NodeId green = b.Konst(5);
+  const NodeId zero = b.Konst(0);
+  const NodeId one = b.Konst(1);
+
+  b.BeginLoop("timer");
+  const NodeId t = b.LoopPhi("t", t0);
+  const NodeId ph = b.LoopPhi("ph", ph0);
+  const NodeId l = b.LoopPhi("l", l0);
+  const NodeId cond = b.Op(OpKind::kLt, "<1", {t, limit});
+  b.SetLoopCondition(cond);
+  const NodeId t1 = b.Op(OpKind::kInc, "++t", {t});
+  const NodeId a1 = b.Op(OpKind::kAdd, "+a", {ph, one});
+  const NodeId a2 = b.Op(OpKind::kAdd, "+b", {a1, w});
+  const NodeId e1 = b.Op(OpKind::kEq, "==1", {ph, wrap});
+  const NodeId e2 = b.Op(OpKind::kEq, "==2", {ph, green});
+  const NodeId phn = b.Select("selp", e1, zero, a2);
+  const NodeId ln = b.Select("sell", e2, one, zero);
+  b.SetLoopBack(t, t1);
+  b.SetLoopBack(ph, phn);
+  b.SetLoopBack(l, ln);
+  b.EndLoop();
+  b.Output("phase", ph);
+  b.Output("light", l);
+
+  Benchmark bench;
+  bench.name = "TLC";
+  bench.graph = b.Finish();
+  bench.library = FuLibrary::PaperLibrary();
+  bench.allocation = Allocation::None(bench.library);
+  bench.allocation.Set(bench.library, "add1", 2);
+  bench.allocation.Set(bench.library, "comp1", 1);
+  bench.allocation.Set(bench.library, "eqc1", 2);
+  bench.allocation.Set(bench.library, "inc1", 1);
+  bench.worst_case_budget = 256;
+  bench.lookahead = 6;
+
+  Rng rng(seed);
+  for (int s = 0; s < num_stimuli; ++s) {
+    Stimulus st;
+    st.inputs[w] = AbsGauss(rng, 2.0, 0, 3);
+    bench.stimuli.push_back(std::move(st));
+  }
+  Profile(bench);
+  return bench;
+}
+
+Benchmark MakeFindmin(int num_stimuli, std::uint64_t seed) {
+  CdfgBuilder b("findmin");
+  const NodeId n = b.Input("n");
+  const ArrayId arr = b.Array("A", 256);
+  const NodeId i0 = b.Konst(0);
+  const NodeId big = b.Konst(1 << 20);
+  const NodeId idx0 = b.Konst(0);
+
+  b.BeginLoop("scan");
+  const NodeId i = b.LoopPhi("i", i0);
+  const NodeId mn = b.LoopPhi("min", big);
+  const NodeId idx = b.LoopPhi("idx", idx0);
+  const NodeId cond = b.Op(OpKind::kLt, "<1", {i, n});
+  b.SetLoopCondition(cond);
+  const NodeId v = b.MemRead("A", arr, i);
+  const NodeId less = b.Op(OpKind::kLt, "<2", {v, mn});
+  const NodeId mnn = b.Select("selm", less, v, mn);
+  const NodeId idxn = b.Select("seli", less, i, idx);
+  const NodeId i1 = b.Op(OpKind::kInc, "++i", {i});
+  b.SetLoopBack(i, i1);
+  b.SetLoopBack(mn, mnn);
+  b.SetLoopBack(idx, idxn);
+  b.EndLoop();
+  b.Output("idx", idx);
+  b.Output("min", mn);
+
+  Benchmark bench;
+  bench.name = "Findmin";
+  bench.graph = b.Finish();
+  bench.library = FuLibrary::PaperLibrary();
+  bench.allocation = Allocation::None(bench.library);
+  bench.allocation.Set(bench.library, "comp1", 2);
+  bench.allocation.Set(bench.library, "eqc1", 1);
+  bench.allocation.Set(bench.library, "inc1", 1);
+  bench.worst_case_budget = 256;
+  bench.lookahead = 6;
+
+  Rng rng(seed);
+  for (int s = 0; s < num_stimuli; ++s) {
+    Stimulus st;
+    st.inputs[n] = AbsGauss(rng, 120.0, 1, 236);
+    std::vector<std::int64_t> contents(256);
+    for (auto& val : contents) val = rng.NextGaussianInt(100.0);
+    st.arrays[arr] = std::move(contents);
+    bench.stimuli.push_back(std::move(st));
+  }
+  Profile(bench);
+  return bench;
+}
+
+std::vector<Benchmark> MakeTable1Suite(int num_stimuli, std::uint64_t seed) {
+  std::vector<Benchmark> suite;
+  suite.push_back(MakeBarcode(num_stimuli, seed + 1));
+  suite.push_back(MakeGcd(num_stimuli, seed + 2));
+  suite.push_back(MakeTest1(num_stimuli, seed + 3));
+  suite.push_back(MakeTlc(num_stimuli, seed + 4));
+  suite.push_back(MakeFindmin(num_stimuli, seed + 5));
+  return suite;
+}
+
+Benchmark MakeFig4(double p_true, int num_stimuli, std::uint64_t seed) {
+  CdfgBuilder b("fig4");
+  const NodeId in_b = b.Input("b");
+  const NodeId in_d = b.Input("d");
+  const NodeId in_e = b.Input("e");
+  const NodeId in_f = b.Input("f");
+  const NodeId in_g = b.Input("g");
+  const NodeId in_h = b.Input("h");
+  const NodeId in_s = b.Input("s");
+  const NodeId in_k = b.Input("k");
+
+  const NodeId x = b.Op(OpKind::kInc, "++1", {in_b});
+  const NodeId c = b.Op(OpKind::kGt, ">1", {x, in_d});
+  b.BeginIf(c);
+  const NodeId t1 = b.Op(OpKind::kAdd, "+1", {in_e, in_f});
+  const NodeId t2 = b.Op(OpKind::kMul, "*1", {t1, in_k});
+  b.BeginElse();
+  const NodeId u1 = b.Op(OpKind::kAdd, "+2", {in_g, in_h});
+  const NodeId u2 = b.Op(OpKind::kShr, ">>1", {u1, in_s});
+  b.EndIf();
+  const NodeId out = b.Select("Sel1", c, t2, u2);
+  b.Output("out", out);
+  b.SetProbability(c, p_true);
+
+  Benchmark bench;
+  bench.name = "Fig4";
+  bench.graph = b.Finish();
+  bench.library = FuLibrary::SingleCycleLibrary();
+  bench.allocation = Allocation::None(bench.library);
+  bench.allocation.Set(bench.library, "add1", 1);
+  bench.allocation.Set(bench.library, "mult1", 1);
+  bench.allocation.Set(bench.library, "comp1", 1);
+  bench.allocation.Set(bench.library, "inc1", 1);
+  bench.allocation.Set(bench.library, "shift1", 1);
+  bench.worst_case_budget = 4;
+  bench.lookahead = 4;
+
+  Rng rng(seed);
+  for (int s = 0; s < num_stimuli; ++s) {
+    Stimulus st;
+    for (NodeId in : bench.graph.inputs()) {
+      st.inputs[in] = rng.NextGaussianInt(16.0);
+    }
+    bench.stimuli.push_back(std::move(st));
+  }
+  // The branch probability is the experiment's parameter — do not profile.
+  return bench;
+}
+
+}  // namespace ws

@@ -1,0 +1,119 @@
+// Tests for the schedule analyses: Markov expected cycles, best case, worst
+// case — on hand-built STGs with known closed forms, and cross-checked
+// against trace simulation on scheduled benchmarks.
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "cdfg/builder.h"
+#include "sched/scheduler.h"
+#include "sim/stg_sim.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+// A two-state chain: S0 --p--> S0 (shift), S0 --(1-p)--> STOP.
+// E[cycles] = 1 / (1 - p).
+struct GeometricFixture {
+  Cdfg graph;
+  Stg stg{"geom"};
+
+  explicit GeometricFixture(double p) : graph(MakeGraph()) {
+    const NodeId cond = graph.loops()[0].cond;
+    graph.set_cond_probability(cond, p);
+    const StateId s0 = stg.AddState();
+    const StateId stop = stg.AddStopState();
+    stg.set_entry(s0);
+    Transition back;
+    back.from = s0;
+    back.to = s0;
+    back.cubes.push_back({CondLiteral{InstRef{cond, 0, 0}, true}});
+    back.iter_shift.emplace_back(LoopId(0), 1);
+    Transition exit;
+    exit.from = s0;
+    exit.to = stop;
+    exit.cubes.push_back({CondLiteral{InstRef{cond, 0, 0}, false}});
+    stg.state(s0).out.push_back(back);
+    stg.state(s0).out.push_back(exit);
+  }
+
+  static Cdfg MakeGraph() {
+    CdfgBuilder b("geom");
+    const NodeId n = b.Input("n");
+    b.BeginLoop("l");
+    const NodeId i = b.LoopPhi("i", n);
+    const NodeId c = b.Op(OpKind::kGt, "c", {i, n});
+    b.SetLoopCondition(c);
+    b.SetLoopBack(i, b.Op(OpKind::kDec, "--", {i}));
+    b.EndLoop();
+    b.Output("o", i);
+    return b.Finish();
+  }
+};
+
+TEST(MarkovTest, GeometricChainClosedForm) {
+  for (const double p : {0.0, 0.25, 0.5, 0.9}) {
+    GeometricFixture fx(p);
+    EXPECT_NEAR(ExpectedCycles(fx.stg, fx.graph), 1.0 / (1.0 - p), 1e-9)
+        << "p=" << p;
+  }
+}
+
+TEST(MarkovTest, TransitionProbabilityOfCubes) {
+  GeometricFixture fx(0.3);
+  const State& s0 = fx.stg.state(fx.stg.entry());
+  EXPECT_NEAR(TransitionProbability(fx.graph, s0.out[0]), 0.3, 1e-12);
+  EXPECT_NEAR(TransitionProbability(fx.graph, s0.out[1]), 0.7, 1e-12);
+}
+
+TEST(BestWorstTest, GeometricChain) {
+  GeometricFixture fx(0.5);
+  EXPECT_EQ(BestCaseCycles(fx.stg), 1);
+  EXPECT_EQ(WorstCaseCycles(fx.stg, 10), 11);  // 10 loop-backs + exit state
+  EXPECT_EQ(WorstCaseCycles(fx.stg, 0), 1);
+}
+
+TEST(BestWorstTest, UnshiftedCycleIsUnboundedWorstCase) {
+  GeometricFixture fx(0.5);
+  // Drop the shift annotation: the back edge no longer consumes budget.
+  fx.stg.state(fx.stg.entry()).out[0].iter_shift.clear();
+  EXPECT_THROW(WorstCaseCycles(fx.stg, 4), Error);
+}
+
+TEST(MarkovTest, ProbabilitiesMustSumToOne) {
+  GeometricFixture fx(0.5);
+  // Remove the exit edge: the state's probabilities no longer sum to 1.
+  fx.stg.state(fx.stg.entry()).out.pop_back();
+  EXPECT_THROW(ExpectedCycles(fx.stg, fx.graph), Error);
+}
+
+// On real scheduled benchmarks, the analytic expectation must track the
+// trace-measured average within sampling error (and exactly match the
+// geometric-iteration assumption for memoryless loops like Test1's).
+class MarkovVsSimTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MarkovVsSimTest, AnalyticTracksSimulation) {
+  const std::string which = GetParam();
+  Benchmark b = which == "gcd" ? MakeGcd(60, 11)
+               : which == "findmin" ? MakeFindmin(60, 11)
+                                    : MakeBarcode(60, 11);
+  SchedulerOptions opts;
+  opts.mode = SpeculationMode::kWaveschedSpec;
+  opts.lookahead = b.lookahead;
+  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+  const double sim = MeasureExpectedCycles(r.stg, b.graph, b.stimuli);
+  const double markov = ExpectedCycles(r.stg, b.graph);
+  // Loose bound: the Markov model assumes per-iteration independence, which
+  // only approximates the empirical trace distribution.
+  EXPECT_NEAR(markov / sim, 1.0, 0.35) << "sim=" << sim
+                                       << " markov=" << markov;
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, MarkovVsSimTest,
+                         ::testing::Values("gcd", "findmin", "barcode"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ws

@@ -1,0 +1,122 @@
+// Tests for base utilities: deterministic RNG, strings, typed ids.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/ids.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace ws {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextBelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsAreSane) {
+  Rng rng(42);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianTraceIsDeterministicAndZeroMeanScaled) {
+  Rng a(5), b(5);
+  const auto ta = a.GaussianTrace(500, 16.0);
+  const auto tb = b.GaussianTrace(500, 16.0);
+  EXPECT_EQ(ta, tb);
+  double sum = 0;
+  for (auto v : ta) sum += static_cast<double>(v);
+  EXPECT_NEAR(sum / 500.0, 0.0, 3.0);
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, " & "), "a & b & c");
+}
+
+TEST(StringsTest, StrPrintfAndStrCat) {
+  EXPECT_EQ(StrPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("wavesched", "wave"));
+  EXPECT_FALSE(StartsWith("wave", "wavesched"));
+  EXPECT_TRUE(EndsWith("design.beh", ".beh"));
+  EXPECT_FALSE(EndsWith("beh", "design.beh"));
+}
+
+TEST(StringsTest, DotEscape) {
+  EXPECT_EQ(DotEscape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(IdsTest, StrongTypingAndInvalid) {
+  struct TagA;
+  using IdA = Id<TagA>;
+  IdA a;
+  EXPECT_FALSE(a.valid());
+  IdA b(3);
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_NE(a, b);
+  EXPECT_LT(IdA(1), IdA(2));
+  EXPECT_EQ(IdA::invalid(), IdA());
+}
+
+TEST(StatusTest, CheckThrowsWithMessage) {
+  EXPECT_THROW(
+      [] { WS_CHECK_MSG(1 == 2, "math broke"); }(), Error);
+  try {
+    WS_THROW("value " << 42);
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("value 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ws

@@ -1,0 +1,202 @@
+// Unit and property tests for the ROBDD engine.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "bdd/bdd.h"
+
+namespace ws {
+namespace {
+
+TEST(BddTest, ConstantsAreDistinctAndFixed) {
+  BddManager mgr;
+  EXPECT_TRUE(mgr.IsTrue(mgr.True()));
+  EXPECT_TRUE(mgr.IsFalse(mgr.False()));
+  EXPECT_NE(mgr.True(), mgr.False());
+}
+
+TEST(BddTest, VariableAndNegation) {
+  BddManager mgr;
+  const int v = mgr.NewVar("a");
+  EXPECT_EQ(mgr.Not(mgr.Var(v)), mgr.NotVar(v));
+  EXPECT_EQ(mgr.Not(mgr.NotVar(v)), mgr.Var(v));
+}
+
+TEST(BddTest, BasicIdentities) {
+  BddManager mgr;
+  const Bdd a = mgr.Var(mgr.NewVar("a"));
+  const Bdd b = mgr.Var(mgr.NewVar("b"));
+  EXPECT_EQ(mgr.And(a, mgr.True()), a);
+  EXPECT_EQ(mgr.And(a, mgr.False()), mgr.False());
+  EXPECT_EQ(mgr.Or(a, mgr.False()), a);
+  EXPECT_EQ(mgr.Or(a, mgr.True()), mgr.True());
+  EXPECT_EQ(mgr.And(a, a), a);
+  EXPECT_EQ(mgr.Or(a, a), a);
+  EXPECT_EQ(mgr.And(a, mgr.Not(a)), mgr.False());
+  EXPECT_EQ(mgr.Or(a, mgr.Not(a)), mgr.True());
+  EXPECT_EQ(mgr.And(a, b), mgr.And(b, a));  // canonical commutativity
+  EXPECT_EQ(mgr.Xor(a, a), mgr.False());
+  EXPECT_EQ(mgr.Implies(a, a), mgr.True());
+}
+
+TEST(BddTest, RestrictIsShannonCofactor) {
+  BddManager mgr;
+  const int va = mgr.NewVar("a");
+  const int vb = mgr.NewVar("b");
+  const Bdd f = mgr.And(mgr.Var(va), mgr.Var(vb));
+  EXPECT_EQ(mgr.Restrict(f, va, true), mgr.Var(vb));
+  EXPECT_EQ(mgr.Restrict(f, va, false), mgr.False());
+  // Restricting a variable not in the support is a no-op.
+  const int vc = mgr.NewVar("c");
+  EXPECT_EQ(mgr.Restrict(f, vc, true), f);
+}
+
+TEST(BddTest, CoversIsImplication) {
+  BddManager mgr;
+  const Bdd a = mgr.Var(mgr.NewVar("a"));
+  const Bdd b = mgr.Var(mgr.NewVar("b"));
+  const Bdd ab = mgr.And(a, b);
+  EXPECT_TRUE(mgr.Covers(a, ab));   // ab => a
+  EXPECT_FALSE(mgr.Covers(ab, a));  // a  !=> ab
+  EXPECT_TRUE(mgr.Covers(mgr.True(), a));
+  EXPECT_TRUE(mgr.Covers(a, mgr.False()));
+}
+
+TEST(BddTest, SupportListsExactlyTheDependentVariables) {
+  BddManager mgr;
+  const int va = mgr.NewVar("a");
+  const int vb = mgr.NewVar("b");
+  const int vc = mgr.NewVar("c");
+  (void)vc;
+  const Bdd f = mgr.Or(mgr.Var(va), mgr.Var(vb));
+  EXPECT_EQ(mgr.Support(f), (std::vector<int>{va, vb}));
+  // a | !a collapses: no support.
+  EXPECT_TRUE(mgr.Support(mgr.Or(mgr.Var(va), mgr.NotVar(va))).empty());
+}
+
+TEST(BddTest, ProbabilityOfIndependentConjunction) {
+  BddManager mgr;
+  const int va = mgr.NewVar("a");
+  const int vb = mgr.NewVar("b");
+  const Bdd f = mgr.And(mgr.Var(va), mgr.NotVar(vb));
+  EXPECT_NEAR(mgr.Probability(f, {0.8, 0.3}), 0.8 * 0.7, 1e-12);
+  const Bdd g = mgr.Or(mgr.Var(va), mgr.Var(vb));
+  EXPECT_NEAR(mgr.Probability(g, {0.8, 0.3}), 1 - 0.2 * 0.7, 1e-12);
+}
+
+TEST(BddTest, SatCountMatchesEnumeration) {
+  BddManager mgr;
+  const int va = mgr.NewVar("a");
+  const int vb = mgr.NewVar("b");
+  const int vc = mgr.NewVar("c");
+  // Majority function of three variables: 4 satisfying assignments.
+  const Bdd maj = mgr.OrAll({mgr.And(mgr.Var(va), mgr.Var(vb)),
+                             mgr.And(mgr.Var(vb), mgr.Var(vc)),
+                             mgr.And(mgr.Var(va), mgr.Var(vc))});
+  EXPECT_NEAR(mgr.SatCount(maj, 3), 4.0, 1e-9);
+}
+
+TEST(BddTest, EvalAgainstTruthTable) {
+  BddManager mgr;
+  const int va = mgr.NewVar("a");
+  const int vb = mgr.NewVar("b");
+  const Bdd f = mgr.Xor(mgr.Var(va), mgr.Var(vb));
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      EXPECT_EQ(mgr.Eval(f, {{va, a}, {vb, b}}), a != b);
+    }
+  }
+}
+
+TEST(BddTest, RenameRelabelsSupport) {
+  BddManager mgr;
+  const int va = mgr.NewVar("a");
+  const int vb = mgr.NewVar("b");
+  const int vc = mgr.NewVar("c");
+  const Bdd f = mgr.And(mgr.Var(va), mgr.NotVar(vb));
+  const Bdd g = mgr.Rename(f, {{va, vb}, {vb, vc}});
+  EXPECT_EQ(g, mgr.And(mgr.Var(vb), mgr.NotVar(vc)));
+  // Order-reversing rename stays canonical.
+  const Bdd h = mgr.Rename(f, {{va, vc}, {vb, va}});
+  EXPECT_EQ(h, mgr.And(mgr.Var(vc), mgr.NotVar(va)));
+}
+
+TEST(BddTest, ToStringRendersCompactForms) {
+  BddManager mgr;
+  const int va = mgr.NewVar("x");
+  EXPECT_EQ(mgr.ToString(mgr.True()), "1");
+  EXPECT_EQ(mgr.ToString(mgr.False()), "0");
+  EXPECT_EQ(mgr.ToString(mgr.Var(va)), "x");
+  EXPECT_EQ(mgr.ToString(mgr.NotVar(va)), "!x");
+}
+
+// Property sweep: random 6-variable expressions obey Boolean algebra and
+// agree with direct truth-table evaluation.
+class BddPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddPropertyTest, RandomExpressionsMatchTruthTables) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  BddManager mgr;
+  constexpr int kVars = 6;
+  std::vector<int> vars;
+  for (int i = 0; i < kVars; ++i) {
+    vars.push_back(mgr.NewVar("v" + std::to_string(i)));
+  }
+
+  // Random expression tree, evaluated in parallel as a 64-bit truth table
+  // (one bit per assignment of the six variables).
+  auto var_table = [&](int v) {
+    std::uint64_t t = 0;
+    for (int row = 0; row < 64; ++row) {
+      if ((row >> v) & 1) t |= 1ULL << row;
+    }
+    return t;
+  };
+  struct Val {
+    Bdd f;
+    std::uint64_t table;
+  };
+  auto rec = [&](auto&& self, int depth) -> Val {
+    if (depth >= 4 || rng.NextBool(0.3)) {
+      const int v = static_cast<int>(rng.NextBelow(kVars));
+      if (rng.NextBool(0.5)) {
+        return {mgr.Var(vars[static_cast<std::size_t>(v)]), var_table(v)};
+      }
+      return {mgr.NotVar(vars[static_cast<std::size_t>(v)]),
+              ~var_table(v)};
+    }
+    const Val a = self(self, depth + 1);
+    const Val b = self(self, depth + 1);
+    switch (rng.NextBelow(3)) {
+      case 0: return {mgr.And(a.f, b.f), a.table & b.table};
+      case 1: return {mgr.Or(a.f, b.f), a.table | b.table};
+      default: return {mgr.Xor(a.f, b.f), a.table ^ b.table};
+    }
+  };
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const Val v = rec(rec, 0);
+    // Canonicity: equal truth table <=> equal handle.
+    const Val w = rec(rec, 0);
+    EXPECT_EQ(v.table == w.table, v.f == w.f);
+    // Spot-check Eval on random assignments.
+    for (int probe = 0; probe < 8; ++probe) {
+      const int row = static_cast<int>(rng.NextBelow(64));
+      std::unordered_map<int, bool> assignment;
+      for (int i = 0; i < kVars; ++i) {
+        assignment[vars[static_cast<std::size_t>(i)]] = (row >> i) & 1;
+      }
+      EXPECT_EQ(mgr.Eval(v.f, assignment), ((v.table >> row) & 1) != 0);
+    }
+    // Probability under uniform probabilities = popcount / 64.
+    std::vector<double> uniform(kVars, 0.5);
+    EXPECT_NEAR(mgr.Probability(v.f, uniform),
+                static_cast<double>(__builtin_popcountll(v.table)) / 64.0,
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddPropertyTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ws

@@ -1,0 +1,74 @@
+// Tests for the ASAP/ALAP bound analysis.
+#include <gtest/gtest.h>
+
+#include "cdfg/builder.h"
+#include "sched/bounds.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+TEST(BoundsTest, ChainAndDiamond) {
+  // a -> b -> d; a -> c -> d (c is 2-cycle via mult in the paper library):
+  //   ASAP: a=0, b=1, c=1, d=3 (waits for the multiply)
+  //   ALAP: b slides to 2 (mobility 1), c is critical (mobility 0).
+  CdfgBuilder bld("diamond");
+  const NodeId x = bld.Input("x");
+  const NodeId a = bld.Op(OpKind::kInc, "a", {x});
+  const NodeId b = bld.Op(OpKind::kAdd, "b", {a, x});
+  const NodeId c = bld.Op(OpKind::kMul, "c", {a, x});
+  const NodeId d = bld.Op(OpKind::kSub, "d", {b, c});
+  bld.Output("o", d);
+  const Cdfg g = bld.Finish();
+  const FuLibrary lib = FuLibrary::PaperLibrary();
+  const ScheduleBounds bounds = ComputeBounds(g, lib);
+
+  EXPECT_EQ(bounds.asap[a.value()], 0);
+  EXPECT_EQ(bounds.asap[b.value()], 1);
+  EXPECT_EQ(bounds.asap[c.value()], 1);
+  EXPECT_EQ(bounds.asap[d.value()], 3);
+  EXPECT_EQ(bounds.critical_path, 4);
+
+  EXPECT_EQ(bounds.mobility(a), 0);
+  EXPECT_EQ(bounds.mobility(c), 0);
+  EXPECT_EQ(bounds.mobility(d), 0);
+  EXPECT_EQ(bounds.mobility(b), 1);
+}
+
+TEST(BoundsTest, SelectsAreZeroDelay) {
+  CdfgBuilder bld("sel");
+  const NodeId x = bld.Input("x");
+  const NodeId y = bld.Input("y");
+  const NodeId c = bld.Op(OpKind::kLt, "<", {x, y});
+  const NodeId s = bld.Select("s", c, x, y);
+  const NodeId z = bld.Op(OpKind::kAdd, "+", {s, x});
+  bld.Output("o", z);
+  const Cdfg g = bld.Finish();
+  const ScheduleBounds bounds =
+      ComputeBounds(g, FuLibrary::PaperLibrary());
+  // s adds no latency: z starts right after the comparison completes.
+  EXPECT_EQ(bounds.asap[s.value()], 1);
+  EXPECT_EQ(bounds.asap[z.value()], 1);
+  EXPECT_EQ(bounds.critical_path, 2);
+}
+
+TEST(BoundsTest, InvariantsOnBenchmarks) {
+  for (const Benchmark& b : MakeTable1Suite(2, 10)) {
+    const ScheduleBounds bounds = ComputeBounds(b.graph, b.library);
+    for (const Node& n : b.graph.nodes()) {
+      EXPECT_LE(bounds.asap[n.id.value()], bounds.alap[n.id.value()])
+          << b.name << " " << n.name;
+      EXPECT_GE(bounds.asap[n.id.value()], 0);
+      EXPECT_LE(bounds.alap[n.id.value()], bounds.critical_path);
+      // Every producer finishes before its consumer's ALAP start.
+      for (std::size_t k = 0; k < n.inputs.size(); ++k) {
+        if (n.kind == OpKind::kLoopPhi && k == 1) continue;
+        EXPECT_LE(bounds.asap[n.inputs[k].value()],
+                  bounds.asap[n.id.value()]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ws

@@ -1,0 +1,194 @@
+// Tests for the CDFG IR, builder, and structural analyses.
+#include <gtest/gtest.h>
+
+#include "cdfg/builder.h"
+#include "cdfg/dot.h"
+#include "cdfg/eval.h"
+
+namespace ws {
+namespace {
+
+Cdfg TinyLoop() {
+  CdfgBuilder b("tiny");
+  const NodeId n = b.Input("n");
+  const NodeId zero = b.Konst(0);
+  b.BeginLoop("l");
+  const NodeId i = b.LoopPhi("i", zero);
+  const NodeId c = b.Op(OpKind::kLt, "<1", {i, n});
+  b.SetLoopCondition(c);
+  const NodeId i1 = b.Op(OpKind::kInc, "++1", {i});
+  b.SetLoopBack(i, i1);
+  b.EndLoop();
+  b.Output("count", i);
+  return b.Finish();
+}
+
+TEST(CdfgBuilderTest, BuildsTinyLoop) {
+  const Cdfg g = TinyLoop();
+  EXPECT_EQ(g.num_loops(), 1u);
+  EXPECT_EQ(g.inputs().size(), 1u);
+  EXPECT_EQ(g.outputs().size(), 1u);
+  const Loop& loop = g.loop(LoopId(0));
+  EXPECT_TRUE(loop.cond.valid());
+  EXPECT_EQ(loop.phis.size(), 1u);
+}
+
+TEST(CdfgBuilderTest, HeaderDetection) {
+  const Cdfg g = TinyLoop();
+  const Loop& loop = g.loop(LoopId(0));
+  // The condition is a header node; the increment is body.
+  EXPECT_TRUE(g.InLoopHeader(loop.cond));
+  for (NodeId b : loop.body) {
+    if (g.node(b).kind == OpKind::kInc) {
+      EXPECT_FALSE(g.InLoopHeader(b));
+    }
+  }
+}
+
+TEST(CdfgBuilderTest, ConditionClassification) {
+  CdfgBuilder b("conds");
+  const NodeId x = b.Input("x");
+  const NodeId y = b.Input("y");
+  const NodeId c1 = b.Op(OpKind::kGt, "c1", {x, y});   // if-guard: control
+  const NodeId c2 = b.Op(OpKind::kLt, "c2", {x, y});   // select-only: datapath
+  b.BeginIf(c1);
+  const NodeId s = b.Op(OpKind::kSub, "-1", {x, y});
+  b.EndIf();
+  const NodeId j = b.Select("j", c1, s, x);
+  const NodeId k = b.Select("k", c2, j, y);
+  b.Output("o", k);
+  const Cdfg g = b.Finish();
+  EXPECT_TRUE(g.is_condition_node(c1));
+  EXPECT_TRUE(g.is_condition_node(c2));
+  EXPECT_TRUE(g.is_control_condition(c1));
+  EXPECT_FALSE(g.is_control_condition(c2));
+}
+
+TEST(CdfgBuilderTest, ConsumersAndArrayOrder) {
+  CdfgBuilder b("mem");
+  const NodeId a = b.Input("a");
+  const ArrayId arr = b.Array("M", 8);
+  const NodeId r1 = b.MemRead("r1", arr, a);
+  const NodeId sum = b.Op(OpKind::kAdd, "+1", {r1, a});
+  b.MemWrite("w1", arr, a, sum);
+  b.Output("o", sum);
+  const Cdfg g = b.Finish();
+  EXPECT_EQ(g.consumers(r1).size(), 1u);
+  EXPECT_EQ(g.consumers(a).size(), 3u);  // r1 addr, sum operand, w1 addr
+  EXPECT_EQ(g.array_accesses(arr).size(), 2u);
+  EXPECT_EQ(g.array_accesses(arr)[0], r1);
+}
+
+TEST(CdfgBuilderTest, RejectsNestedLoops) {
+  CdfgBuilder b("nested");
+  const NodeId n = b.Input("n");
+  b.BeginLoop("outer");
+  const NodeId i = b.LoopPhi("i", n);
+  const NodeId c = b.Op(OpKind::kGt, "c", {i, n});
+  b.SetLoopCondition(c);
+  b.SetLoopBack(i, b.Op(OpKind::kDec, "--1", {i}));
+  EXPECT_THROW(b.BeginLoop("inner"), Error);
+}
+
+TEST(CdfgBuilderTest, RejectsLoopWithoutCondition) {
+  CdfgBuilder b("nocond");
+  const NodeId n = b.Input("n");
+  b.BeginLoop("l");
+  const NodeId i = b.LoopPhi("i", n);
+  b.SetLoopBack(i, b.Op(OpKind::kInc, "++", {i}));
+  EXPECT_THROW(b.EndLoop(), Error);
+}
+
+TEST(CdfgBuilderTest, RejectsUnpatchedPhi) {
+  CdfgBuilder b("nophi");
+  const NodeId n = b.Input("n");
+  b.BeginLoop("l");
+  const NodeId i = b.LoopPhi("i", n);
+  const NodeId c = b.Op(OpKind::kGt, "c", {i, n});
+  b.SetLoopCondition(c);
+  EXPECT_THROW(b.EndLoop(), Error);
+}
+
+TEST(CdfgBuilderTest, RejectsWrongArity) {
+  CdfgBuilder b("arity");
+  const NodeId x = b.Input("x");
+  const NodeId bad = b.Op(OpKind::kAdd, "+", {x});  // malformed: 1 operand
+  b.Output("o", bad);
+  EXPECT_THROW(b.Finish(), Error);  // arity is validated at Finish
+}
+
+TEST(CdfgBuilderTest, RejectsCrossLoopNonExitRead) {
+  CdfgBuilder b("scope");
+  const NodeId n = b.Input("n");
+  b.BeginLoop("l");
+  const NodeId i = b.LoopPhi("i", n);
+  const NodeId c = b.Op(OpKind::kGt, "c", {i, n});
+  b.SetLoopCondition(c);
+  const NodeId dec = b.Op(OpKind::kDec, "--", {i});
+  b.SetLoopBack(i, dec);
+  b.EndLoop();
+  // Reading a non-phi, non-cond body node from outside the loop is invalid.
+  b.Output("bad", dec);
+  EXPECT_THROW(b.Finish(), Error);
+}
+
+TEST(CdfgBuilderTest, GuardedHeaderRejected) {
+  CdfgBuilder b("ghdr");
+  const NodeId n = b.Input("n");
+  b.BeginLoop("l");
+  const NodeId i = b.LoopPhi("i", n);
+  const NodeId p = b.Op(OpKind::kGt, "p", {i, n});
+  b.BeginIf(p);
+  // A guarded node feeding the loop condition is illegal.
+  const NodeId q = b.Op(OpKind::kLt, "q", {i, n});
+  b.EndIf();
+  b.SetLoopCondition(q);
+  b.SetLoopBack(i, b.Op(OpKind::kInc, "++", {i}));
+  b.EndLoop();
+  b.Output("o", i);
+  EXPECT_THROW(b.Finish(), Error);  // guarded condition caught at Finish
+}
+
+TEST(CdfgDotTest, EmitsAllNodes) {
+  const Cdfg g = TinyLoop();
+  const std::string dot = CdfgToDot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("++1"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_loop"), std::string::npos);
+}
+
+TEST(EvalOpTest, ArithmeticAndComparisons) {
+  EXPECT_EQ(EvalOp(OpKind::kAdd, 3, 4), 7);
+  EXPECT_EQ(EvalOp(OpKind::kSub, 3, 4), -1);
+  EXPECT_EQ(EvalOp(OpKind::kMul, -3, 4), -12);
+  EXPECT_EQ(EvalOp(OpKind::kInc, 9, 0), 10);
+  EXPECT_EQ(EvalOp(OpKind::kDec, 9, 0), 8);
+  EXPECT_EQ(EvalOp(OpKind::kLt, 1, 2), 1);
+  EXPECT_EQ(EvalOp(OpKind::kGe, 1, 2), 0);
+  EXPECT_EQ(EvalOp(OpKind::kEq, 5, 5), 1);
+  EXPECT_EQ(EvalOp(OpKind::kNe, 5, 5), 0);
+  EXPECT_EQ(EvalOp(OpKind::kNot, 0, 0), 1);
+  EXPECT_EQ(EvalOp(OpKind::kNot, 3, 0), 0);
+  EXPECT_EQ(EvalOp(OpKind::kAnd2, 2, 0), 0);
+  EXPECT_EQ(EvalOp(OpKind::kOr2, 2, 0), 1);
+  EXPECT_EQ(EvalOp(OpKind::kXor2, 2, 3), 0);
+  EXPECT_EQ(EvalOp(OpKind::kShl, 1, 4), 16);
+  EXPECT_EQ(EvalOp(OpKind::kShr, 16, 4), 1);
+}
+
+TEST(EvalOpTest, WrapAddress) {
+  EXPECT_EQ(WrapAddress(0, 8), 0);
+  EXPECT_EQ(WrapAddress(7, 8), 7);
+  EXPECT_EQ(WrapAddress(8, 8), 0);
+  EXPECT_EQ(WrapAddress(-1, 8), 7);
+  EXPECT_EQ(WrapAddress(-9, 8), 7);
+}
+
+TEST(EvalOpTest, OverflowWrapsTwosComplement) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(EvalOp(OpKind::kAdd, max, 1),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+}  // namespace
+}  // namespace ws

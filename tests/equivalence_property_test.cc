@@ -1,0 +1,109 @@
+// The library's strongest property: every schedule, in every mode, computes
+// bit-for-bit the same outputs as the golden CDFG interpreter on every
+// trace. This is the functional-correctness guarantee behind all of the
+// paper's performance claims (a speculative schedule that computed wrong
+// values would be meaningless).
+//
+// Parameterized sweep: benchmark x speculation mode x stimulus seed.
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+#include "sim/interpreter.h"
+#include "sim/stg_sim.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+const char* ModeTag(int mode) {
+  switch (mode) {
+    case 0: return "ws";
+    case 1: return "single";
+    default: return "spec";
+  }
+}
+
+class EquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int, int>> {};
+
+TEST_P(EquivalenceTest, ScheduleMatchesInterpreter) {
+  const auto [name, mode_int, seed] = GetParam();
+  Benchmark b = [&, n = std::string(name)]() -> Benchmark {
+    const std::uint64_t s = static_cast<std::uint64_t>(seed) * 7919 + 13;
+    if (n == "gcd") return MakeGcd(12, s);
+    if (n == "test1") return MakeTest1(12, s);
+    if (n == "barcode") return MakeBarcode(12, s);
+    if (n == "tlc") return MakeTlc(12, s);
+    if (n == "findmin") return MakeFindmin(12, s);
+    return MakeFig4(0.4 + 0.1 * seed, 12, s);
+  }();
+  SchedulerOptions opts;
+  opts.mode = static_cast<SpeculationMode>(mode_int);
+  opts.lookahead = b.lookahead;
+  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+
+  for (const Stimulus& st : b.stimuli) {
+    const StgSimResult sim = SimulateStg(r.stg, b.graph, st);
+    const InterpResult golden = Interpret(b.graph, st);
+    ASSERT_EQ(sim.outputs.size(), golden.outputs.size());
+    for (const auto& [out, want] : golden.outputs) {
+      auto it = sim.outputs.find(out);
+      ASSERT_NE(it, sim.outputs.end());
+      EXPECT_EQ(it->second, want)
+          << b.name << " output " << b.graph.node(out).name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquivalenceTest,
+    ::testing::Combine(::testing::Values("gcd", "test1", "barcode", "tlc",
+                                         "findmin", "fig4"),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             ModeTag(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Lookahead must never change functional behavior, only performance.
+class LookaheadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LookaheadTest, DepthIndependentCorrectness) {
+  Benchmark b = MakeGcd(10, 31);
+  SchedulerOptions opts;
+  opts.mode = SpeculationMode::kWaveschedSpec;
+  opts.lookahead = GetParam();
+  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+  for (const Stimulus& st : b.stimuli) {
+    const StgSimResult sim = SimulateStg(r.stg, b.graph, st);
+    const InterpResult golden = Interpret(b.graph, st);
+    for (const auto& [out, want] : golden.outputs) {
+      EXPECT_EQ(sim.outputs.at(out), want);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, LookaheadTest,
+                         ::testing::Values(0, 1, 2, 4, 6));
+
+// Deeper speculation is monotonically not-slower (up to closure artifacts,
+// the ENC must not regress by more than noise).
+TEST(LookaheadMonotonicityTest, DeeperIsNotSlower) {
+  Benchmark b = MakeTest1(10, 97);
+  double prev = 1e18;
+  for (const int lookahead : {0, 2, 4, 8}) {
+    SchedulerOptions opts;
+    opts.mode = SpeculationMode::kWaveschedSpec;
+    opts.lookahead = lookahead;
+    const ScheduleResult r =
+        Schedule(b.graph, b.library, b.allocation, opts);
+    const double enc = MeasureExpectedCycles(r.stg, b.graph, b.stimuli);
+    EXPECT_LE(enc, prev * 1.02 + 1e-9) << "lookahead " << lookahead;
+    prev = enc;
+  }
+}
+
+}  // namespace
+}  // namespace ws

@@ -1,0 +1,133 @@
+// Tests for the resource model and the RTL area back-end.
+#include <gtest/gtest.h>
+
+#include "hw/resources.h"
+#include "rtl/rtl.h"
+#include "sched/scheduler.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+TEST(FuLibraryTest, PaperLibraryCoversAllScheduledKinds) {
+  const FuLibrary lib = FuLibrary::PaperLibrary();
+  for (const OpKind kind :
+       {OpKind::kAdd, OpKind::kSub, OpKind::kMul, OpKind::kInc, OpKind::kDec,
+        OpKind::kLt, OpKind::kGt, OpKind::kLe, OpKind::kGe, OpKind::kEq,
+        OpKind::kNe, OpKind::kNot, OpKind::kAnd2, OpKind::kOr2, OpKind::kXor2,
+        OpKind::kShl, OpKind::kShr, OpKind::kSelect, OpKind::kMemRead,
+        OpKind::kMemWrite}) {
+    EXPECT_TRUE(lib.HasTypeFor(kind)) << OpKindName(kind);
+  }
+}
+
+TEST(FuLibraryTest, PaperChainingBudget) {
+  // The paper's GCD allows Not1+Or1 and Eq1+Or1 chains in one cycle, but
+  // comparator+Or must not fit.
+  const FuLibrary lib = FuLibrary::PaperLibrary();
+  const ClockModel clock;
+  const auto delay = [&](const char* name) {
+    return lib.type(lib.IndexOf(name)).delay_ns;
+  };
+  EXPECT_TRUE(clock.Fits(delay("not1"), delay("or1")));
+  EXPECT_TRUE(clock.Fits(delay("eqc1"), delay("or1")));
+  EXPECT_FALSE(clock.Fits(delay("comp1"), delay("or1") + delay("not1")));
+  EXPECT_FALSE(clock.Fits(delay("add1"), delay("add1")));
+}
+
+TEST(FuLibraryTest, MultiplierIsTwoCyclePipelined) {
+  const FuLibrary lib = FuLibrary::PaperLibrary();
+  const FuType& mult = lib.type(lib.TypeFor(OpKind::kMul));
+  EXPECT_EQ(mult.latency, 2);
+  EXPECT_TRUE(mult.pipelined);
+  // The single-cycle variant flattens it.
+  const FuLibrary single = FuLibrary::SingleCycleLibrary();
+  EXPECT_EQ(single.type(single.TypeFor(OpKind::kMul)).latency, 1);
+}
+
+TEST(FuLibraryTest, UnknownUnitThrows) {
+  const FuLibrary lib = FuLibrary::PaperLibrary();
+  EXPECT_THROW(lib.IndexOf("warp_core"), Error);
+}
+
+TEST(AllocationTest, DefaultsAndOverrides) {
+  const FuLibrary lib = FuLibrary::PaperLibrary();
+  Allocation a = Allocation::None(lib);
+  EXPECT_EQ(a.Count(lib.IndexOf("add1")), 0);
+  EXPECT_TRUE(a.IsUnlimited(lib.IndexOf("or1")));
+  EXPECT_TRUE(a.IsUnlimited(lib.IndexOf("mux1")));
+  a.Set(lib, "add1", 3);
+  EXPECT_EQ(a.Count(lib.IndexOf("add1")), 3);
+  const Allocation u = Allocation::Unlimited(lib);
+  EXPECT_TRUE(u.IsUnlimited(lib.IndexOf("add1")));
+}
+
+TEST(AreaTest, ReportComponentsArePositiveAndSum) {
+  Benchmark b = MakeGcd(8, 3);
+  SchedulerOptions opts;
+  opts.mode = SpeculationMode::kWavesched;
+  opts.lookahead = 2;
+  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+  const AreaReport a =
+      EstimateArea(r.stg, b.graph, b.library, b.stimuli[0]);
+  EXPECT_GT(a.fu_area, 0.0);
+  EXPECT_GT(a.registers, 0);
+  EXPECT_GT(a.ctrl_area, 0.0);
+  EXPECT_NEAR(a.total, a.fu_area + a.reg_area + a.mux_area + a.ctrl_area,
+              1e-9);
+  EXPECT_FALSE(a.ToString().empty());
+}
+
+TEST(AreaTest, AllocationChargingIsAFloor) {
+  Benchmark b = MakeGcd(8, 3);
+  SchedulerOptions opts;
+  opts.mode = SpeculationMode::kWavesched;
+  opts.lookahead = 2;
+  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+  const AreaReport used =
+      EstimateArea(r.stg, b.graph, b.library, b.stimuli[0]);
+  const AreaReport charged = EstimateArea(
+      r.stg, b.graph, b.library, b.stimuli[0], AreaModel{}, &b.allocation);
+  // GCD WS uses 1 subtracter but the Table 2 allocation gives 2.
+  EXPECT_EQ(used.units_used.at("sub1"), 1);
+  EXPECT_EQ(charged.units_used.at("sub1"), 2);
+  EXPECT_GE(charged.fu_area, used.fu_area);
+}
+
+TEST(AreaTest, BindingRespectsConcurrency) {
+  // The speculative GCD schedule runs two subtractions concurrently, so the
+  // binder must instantiate two subtracters.
+  Benchmark b = MakeGcd(8, 3);
+  SchedulerOptions opts;
+  opts.mode = SpeculationMode::kWaveschedSpec;
+  opts.lookahead = 2;
+  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+  const AreaReport a =
+      EstimateArea(r.stg, b.graph, b.library, b.stimuli[0]);
+  EXPECT_EQ(a.units_used.at("sub1"), 2);
+}
+
+TEST(AreaTest, SpeculationCostsArea) {
+  Benchmark b = MakeGcd(8, 3);
+  SchedulerOptions ws;
+  ws.mode = SpeculationMode::kWavesched;
+  ws.lookahead = 2;
+  SchedulerOptions sp = ws;
+  sp.mode = SpeculationMode::kWaveschedSpec;
+  const ScheduleResult rw = Schedule(b.graph, b.library, b.allocation, ws);
+  const ScheduleResult rs = Schedule(b.graph, b.library, b.allocation, sp);
+  const AreaReport aw = EstimateArea(rw.stg, b.graph, b.library,
+                                     b.stimuli[0], AreaModel{},
+                                     &b.allocation);
+  const AreaReport as = EstimateArea(rs.stg, b.graph, b.library,
+                                     b.stimuli[0], AreaModel{},
+                                     &b.allocation);
+  // More live speculative values and controller states, identical FU area
+  // (both charged the allocation).
+  EXPECT_EQ(aw.fu_area, as.fu_area);
+  EXPECT_GE(as.registers, aw.registers);
+  EXPECT_GT(as.total, aw.total);
+}
+
+}  // namespace
+}  // namespace ws

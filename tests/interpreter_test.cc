@@ -1,0 +1,193 @@
+// Tests for the golden CDFG interpreter and the branch profiler.
+#include <gtest/gtest.h>
+
+#include "cdfg/builder.h"
+#include "sim/interpreter.h"
+
+namespace ws {
+namespace {
+
+TEST(InterpreterTest, StraightLineArithmetic) {
+  CdfgBuilder b("straight");
+  const NodeId x = b.Input("x");
+  const NodeId y = b.Input("y");
+  const NodeId s = b.Op(OpKind::kAdd, "+1", {x, y});
+  const NodeId p = b.Op(OpKind::kMul, "*1", {s, x});
+  b.Output("o", p);
+  const Cdfg g = b.Finish();
+
+  Stimulus st;
+  st.inputs[x] = 3;
+  st.inputs[y] = 4;
+  const InterpResult r = Interpret(g, st);
+  EXPECT_EQ(r.outputs.begin()->second, 21);
+}
+
+TEST(InterpreterTest, ConditionalTakesOnlyOneArm) {
+  CdfgBuilder b("cond");
+  const NodeId x = b.Input("x");
+  const NodeId y = b.Input("y");
+  const NodeId c = b.Op(OpKind::kGt, "c", {x, y});
+  b.BeginIf(c);
+  const NodeId t = b.Op(OpKind::kSub, "-1", {x, y});
+  b.BeginElse();
+  const NodeId e = b.Op(OpKind::kSub, "-2", {y, x});
+  b.EndIf();
+  const NodeId j = b.Select("j", c, t, e);
+  b.Output("diff", j);
+  const Cdfg g = b.Finish();
+
+  Stimulus st;
+  st.inputs[x] = 10;
+  st.inputs[y] = 3;
+  EXPECT_EQ(Interpret(g, st).outputs.begin()->second, 7);
+  st.inputs[x] = 3;
+  st.inputs[y] = 10;
+  EXPECT_EQ(Interpret(g, st).outputs.begin()->second, 7);
+}
+
+Cdfg GcdGraph(NodeId* x_out, NodeId* y_out) {
+  CdfgBuilder b("gcd");
+  const NodeId x = b.Input("x");
+  const NodeId y = b.Input("y");
+  b.BeginLoop("main");
+  const NodeId xp = b.LoopPhi("x", x);
+  const NodeId yp = b.LoopPhi("y", y);
+  const NodeId cond = b.Op(OpKind::kNe, "!=1", {xp, yp});
+  b.SetLoopCondition(cond);
+  const NodeId cg = b.Op(OpKind::kGt, ">1", {xp, yp});
+  b.BeginIf(cg);
+  const NodeId d1 = b.Op(OpKind::kSub, "-1", {xp, yp});
+  b.BeginElse();
+  const NodeId d2 = b.Op(OpKind::kSub, "-2", {yp, xp});
+  b.EndIf();
+  b.SetLoopBack(xp, b.Select("sx", cg, d1, xp));
+  b.SetLoopBack(yp, b.Select("sy", cg, yp, d2));
+  b.EndLoop();
+  b.Output("gcd", xp);
+  *x_out = x;
+  *y_out = y;
+  return b.Finish();
+}
+
+TEST(InterpreterTest, GcdMatchesEuclid) {
+  NodeId x, y;
+  const Cdfg g = GcdGraph(&x, &y);
+  const auto gcd_ref = [](std::int64_t a, std::int64_t b) {
+    while (b != 0) {
+      const std::int64_t t = a % b;
+      a = b;
+      b = t;
+    }
+    return a;
+  };
+  for (const auto& [a, bb] : std::vector<std::pair<int, int>>{
+           {48, 36}, {7, 13}, {100, 100}, {1, 99}, {255, 34}}) {
+    Stimulus st;
+    st.inputs[x] = a;
+    st.inputs[y] = bb;
+    EXPECT_EQ(Interpret(g, st).outputs.begin()->second, gcd_ref(a, bb))
+        << a << "," << bb;
+  }
+}
+
+TEST(InterpreterTest, LoopIterationCountAndCondOutcomes) {
+  NodeId x, y;
+  const Cdfg g = GcdGraph(&x, &y);
+  Stimulus st;
+  st.inputs[x] = 8;
+  st.inputs[y] = 2;  // 8,2 -> 6,2 -> 4,2 -> 2,2: 3 subtractions
+  const InterpResult r = Interpret(g, st);
+  EXPECT_EQ(r.loop_iterations.begin()->second, 3);
+  // The loop condition evaluated 4 times: true,true,true,false.
+  bool found = false;
+  for (const auto& [cond, outcomes] : r.cond_outcomes) {
+    if (g.node(cond).name == "!=1") {
+      found = true;
+      ASSERT_EQ(outcomes.size(), 4u);
+      EXPECT_FALSE(outcomes.back());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InterpreterTest, MemoryReadsWritesAndFinalContents) {
+  CdfgBuilder b("mem");
+  const NodeId n = b.Input("n");
+  const ArrayId arr = b.Array("A", 8, {5, 6, 7});
+  const NodeId zero = b.Konst(0);
+  b.BeginLoop("l");
+  const NodeId i = b.LoopPhi("i", zero);
+  const NodeId c = b.Op(OpKind::kLt, "<1", {i, n});
+  b.SetLoopCondition(c);
+  const NodeId v = b.MemRead("rd", arr, i);
+  const NodeId v2 = b.Op(OpKind::kMul, "*2", {v, b.Konst(2)});
+  b.MemWrite("wr", arr, i, v2);
+  const NodeId i1 = b.Op(OpKind::kInc, "++", {i});
+  b.SetLoopBack(i, i1);
+  b.EndLoop();
+  b.Output("steps", i);
+  const Cdfg g = b.Finish();
+
+  Stimulus st;
+  st.inputs[n] = 3;
+  const InterpResult r = Interpret(g, st);
+  const auto& mem = r.arrays.at(arr);
+  EXPECT_EQ(mem[0], 10);
+  EXPECT_EQ(mem[1], 12);
+  EXPECT_EQ(mem[2], 14);
+  EXPECT_EQ(mem[3], 0);
+}
+
+TEST(InterpreterTest, StimulusArrayOverridesInit) {
+  CdfgBuilder b("ovr");
+  const ArrayId arr = b.Array("A", 4, {9, 9, 9, 9});
+  const NodeId v = b.MemRead("rd", arr, b.Konst(1));
+  b.Output("o", v);
+  const Cdfg g = b.Finish();
+  Stimulus st;
+  EXPECT_EQ(Interpret(g, st).outputs.begin()->second, 9);
+  st.arrays[arr] = {1, 2, 3, 4};
+  EXPECT_EQ(Interpret(g, st).outputs.begin()->second, 2);
+}
+
+TEST(InterpreterTest, InfiniteLoopHitsIterationCap) {
+  CdfgBuilder b("inf");
+  const NodeId x = b.Input("x");
+  b.BeginLoop("l");
+  const NodeId i = b.LoopPhi("i", x);
+  const NodeId c = b.Op(OpKind::kGe, ">=", {i, x});  // always true for i>=x
+  b.SetLoopCondition(c);
+  b.SetLoopBack(i, b.Op(OpKind::kInc, "++", {i}));
+  b.EndLoop();
+  b.Output("o", i);
+  const Cdfg g = b.Finish();
+  Stimulus st;
+  st.inputs[x] = 0;
+  InterpOptions opts;
+  opts.max_loop_iterations = 100;
+  EXPECT_THROW(Interpret(g, st, opts), Error);
+}
+
+TEST(ProfilerTest, MeasuresBranchProbabilities) {
+  NodeId x, y;
+  Cdfg g = GcdGraph(&x, &y);
+  std::vector<Stimulus> stimuli;
+  for (int a = 1; a <= 12; ++a) {
+    Stimulus st;
+    st.inputs[x] = a;
+    st.inputs[y] = 13 - a;
+    stimuli.push_back(st);
+  }
+  const auto probs = ProfileBranchProbabilities(g, stimuli);
+  ASSERT_EQ(probs.size(), 2u);
+  for (const auto& [cond, p] : probs) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+    // The annotation landed on the graph too.
+    EXPECT_DOUBLE_EQ(g.cond_probability(cond), p);
+  }
+}
+
+}  // namespace
+}  // namespace ws

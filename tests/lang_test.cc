@@ -1,0 +1,200 @@
+// Tests for the behavioral-language frontend: lexer, parser, lowering, and
+// end-to-end semantics (compiled CDFG interpreted == expected).
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+#include "lang/lower.h"
+#include "lang/parser.h"
+#include "sim/interpreter.h"
+
+namespace ws {
+namespace {
+
+TEST(LexerTest, TokenizesOperatorsAndKeywords) {
+  const auto toks = Lex("while (a <= b0) { x = x << 2; } // tail");
+  std::vector<TokKind> kinds;
+  for (const Token& t : toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokKind>{
+                       TokKind::kWhile, TokKind::kLParen, TokKind::kIdent,
+                       TokKind::kLe, TokKind::kIdent, TokKind::kRParen,
+                       TokKind::kLBrace, TokKind::kIdent, TokKind::kAssign,
+                       TokKind::kIdent, TokKind::kShl, TokKind::kNumber,
+                       TokKind::kSemicolon, TokKind::kRBrace,
+                       TokKind::kEnd}));
+}
+
+TEST(LexerTest, TracksLinesAndRejectsGarbage) {
+  const auto toks = Lex("a\nb");
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_THROW(Lex("a = $;"), Error);
+}
+
+TEST(ParserTest, ParsesDeclarationsAndPrecedence) {
+  const Program p = ParseProgram("t", R"(
+    input a;
+    array M[16] = {1, 2, 3};
+    x = a + 2 * 3;
+    output o = x;
+  )");
+  EXPECT_EQ(p.inputs.size(), 1u);
+  ASSERT_EQ(p.arrays.size(), 1u);
+  EXPECT_EQ(p.arrays[0].size, 16);
+  EXPECT_EQ(p.arrays[0].init.size(), 3u);
+  ASSERT_EQ(p.body.size(), 1u);
+  // a + (2*3): the top binary is '+'.
+  EXPECT_EQ(p.body[0]->value->op, "+");
+  EXPECT_EQ(p.body[0]->value->rhs->op, "*");
+}
+
+TEST(ParserTest, ReportsErrorsWithLocation) {
+  try {
+    ParseProgram("t", "x = ;");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1:5"), std::string::npos);
+  }
+  EXPECT_THROW(ParseProgram("t", "if x { }"), Error);
+  EXPECT_THROW(ParseProgram("t", "input ;"), Error);
+}
+
+std::int64_t RunProgram(const std::string& src,
+                        const std::map<std::string, std::int64_t>& ins) {
+  Cdfg g = CompileBehavioral("t", src);
+  Stimulus st;
+  for (NodeId in : g.inputs()) {
+    st.inputs[in] = ins.at(g.node(in).name);
+  }
+  const InterpResult r = Interpret(g, st);
+  return r.outputs.begin()->second;
+}
+
+TEST(LowerTest, StraightLine) {
+  EXPECT_EQ(RunProgram("input a; input b; output o = a * b + 1;",
+                       {{"a", 6}, {"b", 7}}),
+            43);
+}
+
+TEST(LowerTest, IfJoinSelectsCorrectArm) {
+  const std::string src = R"(
+    input a;
+    m = 0;
+    if (a > 10) { m = a - 10; } else { m = 10 - a; }
+    output o = m;
+  )";
+  EXPECT_EQ(RunProgram(src, {{"a", 25}}), 15);
+  EXPECT_EQ(RunProgram(src, {{"a", 4}}), 6);
+}
+
+TEST(LowerTest, NestedIfs) {
+  const std::string src = R"(
+    input a;
+    r = 0;
+    if (a > 0) {
+      if (a > 100) { r = 2; } else { r = 1; }
+    } else { r = 0 - 1; }
+    output o = r;
+  )";
+  EXPECT_EQ(RunProgram(src, {{"a", 500}}), 2);
+  EXPECT_EQ(RunProgram(src, {{"a", 5}}), 1);
+  EXPECT_EQ(RunProgram(src, {{"a", -5}}), -1);
+}
+
+TEST(LowerTest, WhileLoopAccumulates) {
+  const std::string src = R"(
+    input n;
+    i = 0; acc = 0;
+    while (i < n) { acc = acc + i; i = i + 1; }
+    output sum = acc;
+  )";
+  EXPECT_EQ(RunProgram(src, {{"n", 5}}), 10);
+  EXPECT_EQ(RunProgram(src, {{"n", 0}}), 0);
+}
+
+TEST(LowerTest, SequentialLoops) {
+  const std::string src = R"(
+    input n;
+    i = 0; a = 0;
+    while (i < n) { a = a + 2; i = i + 1; }
+    j = 0; b = a;
+    while (j < n) { b = b + 1; j = j + 1; }
+    output o = b;
+  )";
+  EXPECT_EQ(RunProgram(src, {{"n", 4}}), 12);
+}
+
+TEST(LowerTest, IncrementMapsToIncrementer) {
+  const Cdfg g = CompileBehavioral("t", R"(
+    input a;
+    output o = a + 1;
+  )");
+  bool has_inc = false;
+  for (const Node& n : g.nodes()) has_inc |= n.kind == OpKind::kInc;
+  EXPECT_TRUE(has_inc);
+}
+
+TEST(LowerTest, ArraysReadWrite) {
+  const std::string src = R"(
+    input n;
+    array A[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+    i = 0; acc = 0;
+    while (i < n) { acc = acc + A[i]; i = i + 1; }
+    A[0] = acc;
+    output o = A[0];
+  )";
+  EXPECT_EQ(RunProgram(src, {{"n", 4}}), 9);
+}
+
+TEST(LowerTest, UndefinedVariableIsAnError) {
+  EXPECT_THROW(CompileBehavioral("t", "output o = ghost;"), Error);
+  EXPECT_THROW(CompileBehavioral("t", "x = y + 1; output o = x;"), Error);
+}
+
+TEST(LowerTest, OneArmedDefinitionIsPoisonAfterJoin) {
+  // `m` is defined only on the then-arm and did not exist before the if;
+  // using it afterwards is an error.
+  EXPECT_THROW(CompileBehavioral("t", R"(
+    input a;
+    if (a > 0) { m = 1; }
+    output o = m;
+  )"),
+               Error);
+}
+
+TEST(LowerTest, NestedWhileRejected) {
+  EXPECT_THROW(CompileBehavioral("t", R"(
+    input n;
+    i = 0;
+    while (i < n) {
+      j = 0;
+      while (j < n) { j = j + 1; }
+      i = i + 1;
+    }
+    output o = i;
+  )"),
+               Error);
+}
+
+TEST(LowerTest, LoopLocalVariableOutOfScopeAfterLoop) {
+  EXPECT_THROW(CompileBehavioral("t", R"(
+    input n;
+    i = 0;
+    while (i < n) { t = i * 2; i = i + 1; }
+    output o = t;
+  )"),
+               Error);
+}
+
+TEST(LowerTest, GcdEndToEnd) {
+  const std::string src = R"(
+    input x; input y;
+    a = x; b = y;
+    while (a != b) {
+      if (a > b) { a = a - b; } else { b = b - a; }
+    }
+    output g = a;
+  )";
+  EXPECT_EQ(RunProgram(src, {{"x", 252}, {"y", 105}}), 21);
+}
+
+}  // namespace
+}  // namespace ws

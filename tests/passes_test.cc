@@ -1,0 +1,172 @@
+// Tests for CDFG optimization: builder simplification (constant folding,
+// identities, scoped CSE) and dead-code elimination.
+#include <gtest/gtest.h>
+
+#include "cdfg/builder.h"
+#include "cdfg/passes.h"
+#include "lang/lower.h"
+#include "sim/interpreter.h"
+
+namespace ws {
+namespace {
+
+TEST(SimplifyTest, ConstantFolding) {
+  CdfgBuilder b("fold");
+  b.EnableSimplify();
+  const NodeId v = b.Op(OpKind::kMul, "*", {b.Konst(6), b.Konst(7)});
+  EXPECT_EQ(b.Op(OpKind::kAdd, "+", {v, b.Konst(0)}), v);  // x+0 == x
+  const Node& n = [&]() -> const Node& {
+    b.Output("o", v);
+    static Cdfg g = b.Finish();
+    return g.node(g.node(g.outputs()[0]).inputs[0]);
+  }();
+  EXPECT_EQ(n.kind, OpKind::kConst);
+  EXPECT_EQ(n.const_value, 42);
+}
+
+TEST(SimplifyTest, Identities) {
+  CdfgBuilder b("ident");
+  b.EnableSimplify();
+  const NodeId x = b.Input("x");
+  EXPECT_EQ(b.Op(OpKind::kAdd, "+", {x, b.Konst(0)}), x);
+  EXPECT_EQ(b.Op(OpKind::kAdd, "+", {b.Konst(0), x}), x);
+  EXPECT_EQ(b.Op(OpKind::kMul, "*", {x, b.Konst(1)}), x);
+  EXPECT_EQ(b.Op(OpKind::kShl, "<<", {x, b.Konst(0)}), x);
+  // x*0 folds to the constant 0.
+  const NodeId zero = b.Op(OpKind::kMul, "*", {x, b.Konst(0)});
+  EXPECT_EQ(b.Konst(0), zero);  // pooled constant
+  // x - x == 0, x == x is 1.
+  EXPECT_EQ(b.Op(OpKind::kSub, "-", {x, x}), zero);
+  const NodeId one = b.Op(OpKind::kEq, "==", {x, x});
+  EXPECT_EQ(b.Konst(1), one);
+}
+
+TEST(SimplifyTest, SelectSimplification) {
+  CdfgBuilder b("sel");
+  b.EnableSimplify();
+  const NodeId x = b.Input("x");
+  const NodeId y = b.Input("y");
+  const NodeId c = b.Op(OpKind::kLt, "<", {x, y});
+  EXPECT_EQ(b.Select("s1", c, x, x), x);            // equal arms
+  EXPECT_EQ(b.Select("s2", b.Konst(1), x, y), x);   // constant steering
+  EXPECT_EQ(b.Select("s3", b.Konst(0), x, y), y);
+}
+
+TEST(SimplifyTest, CseMergesWithinScopeOnly) {
+  CdfgBuilder b("cse");
+  b.EnableSimplify();
+  const NodeId x = b.Input("x");
+  const NodeId y = b.Input("y");
+  const NodeId s1 = b.Op(OpKind::kAdd, "+", {x, y});
+  const NodeId s2 = b.Op(OpKind::kAdd, "+", {x, y});
+  EXPECT_EQ(s1, s2);  // same scope: merged
+  const NodeId c = b.Op(OpKind::kLt, "<", {x, y});
+  b.BeginIf(c);
+  const NodeId s3 = b.Op(OpKind::kAdd, "+", {x, y});
+  b.EndIf();
+  EXPECT_NE(s1, s3);  // guarded copy must not merge with unguarded one
+}
+
+TEST(SimplifyTest, ConstantPooling) {
+  CdfgBuilder b("pool");
+  b.EnableSimplify();
+  EXPECT_EQ(b.Konst(5), b.Konst(5));
+  EXPECT_NE(b.Konst(5), b.Konst(6));
+}
+
+TEST(DceTest, RemovesUnreachableWork) {
+  CdfgBuilder b("dce");
+  const NodeId x = b.Input("x");
+  const NodeId used = b.Op(OpKind::kInc, "++", {x});
+  b.Op(OpKind::kMul, "*dead", {x, x});  // dead
+  b.Op(OpKind::kAdd, "+dead", {x, x});  // dead
+  b.Output("o", used);
+  const Cdfg g = b.Finish();
+  DceStats stats;
+  const Cdfg opt = EliminateDeadCode(g, &stats);
+  EXPECT_EQ(stats.removed_nodes, 2);
+  EXPECT_EQ(opt.outputs().size(), 1u);
+  // Semantics preserved.
+  Stimulus st;
+  st.inputs[opt.inputs()[0]] = 7;
+  EXPECT_EQ(Interpret(opt, st).outputs.begin()->second, 8);
+}
+
+TEST(DceTest, KeepsMemoryWritesAndTheirAddresses) {
+  CdfgBuilder b("dcemem");
+  const NodeId x = b.Input("x");
+  const ArrayId arr = b.Array("A", 4);
+  const NodeId addr = b.Op(OpKind::kInc, "++", {x});
+  b.MemWrite("wr", arr, addr, x);  // side effect: must survive
+  b.Output("o", x);
+  const Cdfg g = b.Finish();
+  DceStats stats;
+  const Cdfg opt = EliminateDeadCode(g, &stats);
+  EXPECT_EQ(stats.removed_nodes, 0);
+  Stimulus st;
+  st.inputs[opt.inputs()[0]] = 2;
+  EXPECT_EQ(Interpret(opt, st).arrays.at(arr)[3], 2);
+}
+
+TEST(DceTest, DropsWhollyDeadLoop) {
+  CdfgBuilder b("dceloop");
+  const NodeId x = b.Input("x");
+  b.BeginLoop("dead");
+  const NodeId i = b.LoopPhi("i", x);
+  const NodeId c = b.Op(OpKind::kGt, "c", {i, x});
+  b.SetLoopCondition(c);
+  b.SetLoopBack(i, b.Op(OpKind::kDec, "--", {i}));
+  b.EndLoop();
+  b.Output("o", x);  // nothing reads the loop
+  const Cdfg g = b.Finish();
+  DceStats stats;
+  const Cdfg opt = EliminateDeadCode(g, &stats);
+  EXPECT_EQ(stats.removed_loops, 1);
+  EXPECT_EQ(opt.num_loops(), 0u);
+}
+
+TEST(DceTest, PreservesProbabilityAnnotations) {
+  CdfgBuilder b("dceprob");
+  const NodeId x = b.Input("x");
+  const NodeId y = b.Input("y");
+  const NodeId c = b.Op(OpKind::kLt, "<", {x, y});
+  const NodeId s = b.Select("s", c, x, y);
+  b.SetProbability(c, 0.85);
+  b.Op(OpKind::kMul, "*dead", {x, x});  // dead
+  b.Output("o", s);
+  const Cdfg opt = EliminateDeadCode(b.Finish());
+  bool found = false;
+  for (const Node& n : opt.nodes()) {
+    if (n.kind == OpKind::kLt) {
+      EXPECT_DOUBLE_EQ(opt.cond_probability(n.id), 0.85);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DceTest, FrontendPipelineShrinksRedundantSource) {
+  // The same subexpression three times plus an unused variable: the
+  // compiled graph should carry one multiply and no dead adds.
+  const Cdfg g = CompileBehavioral("opt", R"(
+    input a; input b;
+    x = a * b;
+    y = a * b;
+    unused = a + b + 17;
+    output o = x + y;
+  )");
+  int muls = 0, adds = 0;
+  for (const Node& n : g.nodes()) {
+    muls += n.kind == OpKind::kMul;
+    adds += n.kind == OpKind::kAdd;
+  }
+  EXPECT_EQ(muls, 1);  // CSE merged x and y
+  EXPECT_EQ(adds, 1);  // only the live x+y remains
+  Stimulus st;
+  st.inputs[g.inputs()[0]] = 3;
+  st.inputs[g.inputs()[1]] = 5;
+  EXPECT_EQ(Interpret(g, st).outputs.begin()->second, 30);
+}
+
+}  // namespace
+}  // namespace ws

@@ -1,0 +1,71 @@
+// End-to-end smoke tests: schedule each benchmark in every mode, simulate
+// against the golden interpreter, and sanity-check the paper's headline
+// inequalities (spec never slower than non-spec).
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "sched/scheduler.h"
+#include "sim/stg_sim.h"
+#include "stg/dot.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+ScheduleResult ScheduleBench(const Benchmark& b, SpeculationMode mode) {
+  SchedulerOptions opts;
+  opts.mode = mode;
+  opts.lookahead = b.lookahead;
+  return Schedule(b.graph, b.library, b.allocation, opts);
+}
+
+class SmokeTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static Benchmark Make(const std::string& name) {
+    const int kStimuli = 8;
+    const std::uint64_t kSeed = 42;
+    if (name == "gcd") return MakeGcd(kStimuli, kSeed);
+    if (name == "test1") return MakeTest1(kStimuli, kSeed);
+    if (name == "barcode") return MakeBarcode(kStimuli, kSeed);
+    if (name == "tlc") return MakeTlc(kStimuli, kSeed);
+    if (name == "findmin") return MakeFindmin(kStimuli, kSeed);
+    if (name == "fig4") return MakeFig4(0.6, kStimuli, kSeed);
+    throw Error("unknown benchmark " + name);
+  }
+};
+
+TEST_P(SmokeTest, NonSpeculativeSchedulesAndSimulates) {
+  Benchmark b = Make(GetParam());
+  ScheduleResult r = ScheduleBench(b, SpeculationMode::kWavesched);
+  SCOPED_TRACE(StgToText(r.stg, b.graph));
+  const double enc = MeasureExpectedCycles(r.stg, b.graph, b.stimuli);
+  EXPECT_GT(enc, 0.0);
+}
+
+TEST_P(SmokeTest, SpeculativeSchedulesAndSimulates) {
+  Benchmark b = Make(GetParam());
+  ScheduleResult r = ScheduleBench(b, SpeculationMode::kWaveschedSpec);
+  SCOPED_TRACE(StgToText(r.stg, b.graph));
+  const double enc = MeasureExpectedCycles(r.stg, b.graph, b.stimuli);
+  EXPECT_GT(enc, 0.0);
+}
+
+TEST_P(SmokeTest, SpeculationNeverSlower) {
+  Benchmark b = Make(GetParam());
+  ScheduleResult ws = ScheduleBench(b, SpeculationMode::kWavesched);
+  ScheduleResult spec = ScheduleBench(b, SpeculationMode::kWaveschedSpec);
+  const double enc_ws = MeasureExpectedCycles(ws.stg, b.graph, b.stimuli);
+  const double enc_spec = MeasureExpectedCycles(spec.stg, b.graph, b.stimuli);
+  EXPECT_LE(enc_spec, enc_ws + 1e-9)
+      << "WS=" << enc_ws << " WS-spec=" << enc_spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, SmokeTest,
+                         ::testing::Values("fig4", "gcd", "test1", "barcode",
+                                           "tlc", "findmin"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ws

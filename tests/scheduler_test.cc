@@ -1,0 +1,267 @@
+// Scheduler behavior tests: paper-example schedule shapes, criticality
+// preferences, structural invariants of every produced STG (resource
+// constraints honored, chaining legal, transitions exhaustive and
+// disjoint), and mode orderings.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/metrics.h"
+#include "sched/scheduler.h"
+#include "sim/stg_sim.h"
+#include "stg/dot.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+const char* ModeTag(int mode) {
+  switch (mode) {
+    case 0: return "ws";
+    case 1: return "single";
+    default: return "spec";
+  }
+}
+
+ScheduleResult Sched(const Benchmark& b, SpeculationMode mode,
+                     int lookahead = -1) {
+  SchedulerOptions opts;
+  opts.mode = mode;
+  opts.lookahead = lookahead < 0 ? b.lookahead : lookahead;
+  return Schedule(b.graph, b.library, b.allocation, opts);
+}
+
+// Checks the STG against the resource/clock constraints it was built under.
+void VerifyStructure(const Stg& stg, const Cdfg& g, const FuLibrary& lib,
+                     const Allocation& alloc, const ClockModel& clock) {
+  for (const State& s : stg.states()) {
+    std::map<int, int> initiations, active;
+    for (const ScheduledOp& op : s.ops) {
+      if (op.stage == 0) initiations[op.fu_type]++;
+      active[op.fu_type]++;
+      // Chaining legality.
+      const FuType& fu = lib.type(op.fu_type);
+      if (op.stage == 0) {
+        EXPECT_TRUE(clock.Fits(op.start_offset_ns, fu.delay_ns))
+            << "op " << InstRefToString(g, op.inst) << " misses the period";
+      }
+    }
+    for (const auto& [type, count] : initiations) {
+      const int limit = alloc.Count(type);
+      if (limit == Allocation::kUnlimited) continue;
+      EXPECT_LE(count, limit) << "state " << s.id.value()
+                              << " over-initiates "
+                              << lib.type(type).name;
+      if (!lib.type(type).pipelined) {
+        EXPECT_LE(active[type], limit)
+            << "state " << s.id.value() << " over-occupies "
+            << lib.type(type).name;
+      }
+    }
+  }
+}
+
+// Transitions out of each state must be disjoint and exhaustive over the
+// resolved conditions (exactly one matches under every assignment).
+void VerifyTransitions(const Stg& stg) {
+  for (const State& s : stg.states()) {
+    if (s.is_stop) continue;
+    std::set<std::pair<std::uint64_t, int>> cond_ids;
+    for (const Transition& t : s.out) {
+      for (const auto& cube : t.cubes) {
+        for (const CondLiteral& lit : cube) {
+          cond_ids.insert({static_cast<std::uint64_t>(
+                               lit.cond.node.value()) << 20 ^
+                               static_cast<unsigned>(lit.cond.iter),
+                           lit.cond.version});
+        }
+      }
+    }
+    std::vector<std::pair<std::uint64_t, int>> conds(cond_ids.begin(),
+                                                     cond_ids.end());
+    ASSERT_LE(conds.size(), 12u) << "too many conditions to enumerate";
+    const std::size_t combos = 1ull << conds.size();
+    for (std::size_t mask = 0; mask < combos; ++mask) {
+      auto value_of = [&](const CondLiteral& lit) {
+        for (std::size_t i = 0; i < conds.size(); ++i) {
+          const auto key = std::make_pair(
+              static_cast<std::uint64_t>(lit.cond.node.value()) << 20 ^
+                  static_cast<unsigned>(lit.cond.iter),
+              lit.cond.version);
+          if (conds[i] == key) return ((mask >> i) & 1) != 0;
+        }
+        ADD_FAILURE() << "unknown literal";
+        return false;
+      };
+      int matching = 0;
+      for (const Transition& t : s.out) {
+        bool t_matches = false;
+        for (const auto& cube : t.cubes) {
+          bool ok = true;
+          for (const CondLiteral& lit : cube) {
+            if (value_of(lit) != lit.value) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) {
+            t_matches = true;
+            break;
+          }
+        }
+        if (t_matches) ++matching;
+      }
+      EXPECT_EQ(matching, 1)
+          << "state " << s.id.value() << " assignment mask " << mask;
+    }
+  }
+}
+
+// --- Paper Example 2/9: criticality steers the adder --------------------------
+
+TEST(SchedulerTest, Fig4PreferenceFollowsBranchProbability) {
+  // P(c1) = 0.7: the true-path add (+1) must win the single adder in the
+  // first state (paper Fig. 5(b) / Example 9).
+  Benchmark hi = MakeFig4(0.7, 4, 3);
+  const ScheduleResult r_hi = Sched(hi, SpeculationMode::kWaveschedSpec);
+  const State& s0_hi = r_hi.stg.state(r_hi.stg.entry());
+  bool plus1_first = false;
+  for (const ScheduledOp& op : s0_hi.ops) {
+    if (hi.graph.node(op.inst.node).name == "+1") plus1_first = true;
+    if (hi.graph.node(op.inst.node).name == "+2") {
+      FAIL() << "+2 scheduled first despite P(c1)=0.7";
+    }
+  }
+  EXPECT_TRUE(plus1_first);
+
+  // P(c1) = 0.3: the false-path add (+2) wins instead (Fig. 5(a)).
+  Benchmark lo = MakeFig4(0.3, 4, 3);
+  const ScheduleResult r_lo = Sched(lo, SpeculationMode::kWaveschedSpec);
+  const State& s0_lo = r_lo.stg.state(r_lo.stg.entry());
+  bool plus2_first = false;
+  for (const ScheduledOp& op : s0_lo.ops) {
+    if (lo.graph.node(op.inst.node).name == "+2") plus2_first = true;
+  }
+  EXPECT_TRUE(plus2_first);
+}
+
+TEST(SchedulerTest, Fig4TwoAddersSpeculateBothPaths) {
+  Benchmark b = MakeFig4(0.5, 4, 3);
+  b.allocation.Set(b.library, "add1", 2);
+  const ScheduleResult r = Sched(b, SpeculationMode::kWaveschedSpec);
+  const State& s0 = r.stg.state(r.stg.entry());
+  int adds = 0;
+  for (const ScheduledOp& op : s0.ops) {
+    const std::string& name = b.graph.node(op.inst.node).name;
+    if (name == "+1" || name == "+2") ++adds;
+  }
+  EXPECT_EQ(adds, 2) << StgToText(r.stg, b.graph);
+  // Both-path speculation dominates: expected cycles == 2 at every P.
+  EXPECT_NEAR(ExpectedCycles(r.stg, b.graph), 2.0, 1e-9);
+}
+
+TEST(SchedulerTest, NonSpeculativeModeNeverSpeculates) {
+  for (const char* which : {"gcd", "fig4"}) {
+    Benchmark b = std::string(which) == "gcd" ? MakeGcd(4, 5)
+                                              : MakeFig4(0.6, 4, 5);
+    const ScheduleResult r = Sched(b, SpeculationMode::kWavesched);
+    EXPECT_EQ(r.stats.speculative_ops, 0) << which;
+    EXPECT_EQ(r.stats.squashed_ops, 0) << which;
+  }
+}
+
+TEST(SchedulerTest, SpeculativeModeSpeculates) {
+  Benchmark b = MakeGcd(4, 5);
+  const ScheduleResult r = Sched(b, SpeculationMode::kWaveschedSpec);
+  EXPECT_GT(r.stats.speculative_ops, 0);
+}
+
+TEST(SchedulerTest, SinglePathBetweenWsAndMultiPath) {
+  Benchmark b = MakeFig4(0.7, 8, 5);
+  const double ws =
+      ExpectedCycles(Sched(b, SpeculationMode::kWavesched).stg, b.graph);
+  const double single =
+      ExpectedCycles(Sched(b, SpeculationMode::kSinglePath).stg, b.graph);
+  const double multi =
+      ExpectedCycles(Sched(b, SpeculationMode::kWaveschedSpec).stg,
+                     b.graph);
+  EXPECT_LE(multi, single + 1e-9);
+  EXPECT_LE(single, ws + 1e-9);
+}
+
+TEST(SchedulerTest, MultiCycleMultiplierOccupiesTwoStates) {
+  Benchmark b = MakeTest1(4, 5);
+  const ScheduleResult r = Sched(b, SpeculationMode::kWavesched);
+  // Every *1/*2 initiation must be followed by a stage-1 continuation in
+  // each successor state.
+  int continuations = 0;
+  for (const State& s : r.stg.states()) {
+    for (const ScheduledOp& op : s.ops) {
+      if (op.stage == 1) {
+        ++continuations;
+        EXPECT_EQ(b.graph.node(op.inst.node).kind, OpKind::kMul);
+      }
+    }
+  }
+  EXPECT_GT(continuations, 0);
+}
+
+TEST(SchedulerTest, UnsatisfiableAllocationIsLoudError) {
+  Benchmark b = MakeGcd(4, 5);
+  Allocation none = Allocation::None(b.library);
+  none.Set(b.library, "comp1", 1);
+  none.Set(b.library, "eqc1", 1);
+  // No subtracter at all: the loop body cannot be scheduled.
+  SchedulerOptions opts;
+  opts.lookahead = 2;
+  EXPECT_THROW(Schedule(b.graph, b.library, none, opts), Error);
+}
+
+TEST(SchedulerTest, StateCapIsEnforced) {
+  Benchmark b = MakeBarcode(4, 5);
+  SchedulerOptions opts;
+  opts.lookahead = b.lookahead;
+  opts.max_states = 2;
+  EXPECT_THROW(Schedule(b.graph, b.library, b.allocation, opts), Error);
+}
+
+// --- Structural invariants across the whole suite ------------------------------
+
+struct CaseParam {
+  const char* bench;
+  SpeculationMode mode;
+};
+
+class StructureTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(StructureTest, ResourcesChainingTransitions) {
+  const auto [name, mode_int] = GetParam();
+  const SpeculationMode mode = static_cast<SpeculationMode>(mode_int);
+  Benchmark b = [&]() -> Benchmark {
+    const std::string which = name;
+    if (which == "gcd") return MakeGcd(6, 21);
+    if (which == "test1") return MakeTest1(6, 21);
+    if (which == "barcode") return MakeBarcode(6, 21);
+    if (which == "tlc") return MakeTlc(6, 21);
+    if (which == "findmin") return MakeFindmin(6, 21);
+    return MakeFig4(0.6, 6, 21);
+  }();
+  const ScheduleResult r = Sched(b, mode);
+  r.stg.Validate();
+  VerifyStructure(r.stg, b.graph, b.library, b.allocation, ClockModel{});
+  VerifyTransitions(r.stg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllModes, StructureTest,
+    ::testing::Combine(::testing::Values("gcd", "test1", "barcode", "tlc",
+                                         "findmin", "fig4"),
+                       ::testing::Values(0, 1, 2)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             ModeTag(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace ws

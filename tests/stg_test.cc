@@ -1,0 +1,160 @@
+// Tests for the STG IR, its validation, rendering, and the cycle-accurate
+// simulator's bookkeeping (visited trace, lifetimes, mismatch detection).
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+#include "sim/stg_sim.h"
+#include "stg/dot.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+TEST(StgTest, AddStateAndStop) {
+  Stg stg("t");
+  const StateId s0 = stg.AddState();
+  const StateId stop = stg.AddStopState();
+  EXPECT_EQ(stg.entry(), s0);
+  EXPECT_EQ(stg.stop(), stop);
+  EXPECT_TRUE(stg.state(stop).is_stop);
+  EXPECT_EQ(stg.num_states(), 2u);
+  EXPECT_EQ(stg.num_work_states(), 1u);
+  // Idempotent stop creation.
+  EXPECT_EQ(stg.AddStopState(), stop);
+}
+
+TEST(StgTest, ValidateRejectsDeadEnds) {
+  Stg stg("t");
+  const StateId s0 = stg.AddState();
+  stg.AddStopState();
+  (void)s0;
+  // s0 has no outgoing transition.
+  EXPECT_THROW(stg.Validate(), Error);
+}
+
+TEST(StgTest, InstRefRendering) {
+  Benchmark b = MakeFig4(0.5, 2, 1);
+  // Find the ++1 node.
+  NodeId inc;
+  for (const Node& n : b.graph.nodes()) {
+    if (n.kind == OpKind::kInc) inc = n.id;
+  }
+  EXPECT_EQ(InstRefToString(b.graph, InstRef{inc, 2, 0}), "++1_2");
+  EXPECT_EQ(InstRefToString(b.graph, InstRef{inc, 2, 1}), "++1_2.1");
+}
+
+TEST(StgTest, TextAndDotRendering) {
+  Benchmark b = MakeFig4(0.6, 2, 1);
+  SchedulerOptions opts;
+  opts.mode = SpeculationMode::kWaveschedSpec;
+  opts.lookahead = 2;
+  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+  const std::string text = StgToText(r.stg, b.graph);
+  EXPECT_NE(text.find("STOP"), std::string::npos);
+  EXPECT_NE(text.find("/"), std::string::npos);  // speculative annotation
+  const std::string dot = StgToDot(r.stg, b.graph);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(StgSimTest, RecordsVisitedSequence) {
+  Benchmark b = MakeGcd(1, 5);
+  Stimulus st;
+  st.inputs[b.graph.inputs()[0]] = 12;
+  st.inputs[b.graph.inputs()[1]] = 8;
+  SchedulerOptions opts;
+  opts.mode = SpeculationMode::kWavesched;
+  opts.lookahead = 2;
+  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+  StgSimOptions so;
+  so.record_visited = true;
+  const StgSimResult sim = SimulateStg(r.stg, b.graph, st, so);
+  EXPECT_EQ(static_cast<std::int64_t>(sim.visited.size()), sim.cycles);
+  EXPECT_EQ(sim.visited.front(), r.stg.entry());
+}
+
+TEST(StgSimTest, LifetimesArePlausible) {
+  Benchmark b = MakeGcd(1, 5);
+  Stimulus st;
+  st.inputs[b.graph.inputs()[0]] = 48;
+  st.inputs[b.graph.inputs()[1]] = 18;
+  SchedulerOptions opts;
+  opts.mode = SpeculationMode::kWavesched;
+  opts.lookahead = 2;
+  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+  StgSimOptions so;
+  so.record_lifetimes = true;
+  const StgSimResult sim = SimulateStg(r.stg, b.graph, st, so);
+  EXPECT_FALSE(sim.lifetimes.empty());
+  for (const auto& [key, life] : sim.lifetimes) {
+    EXPECT_LE(life.first, life.second);
+    EXPECT_LT(life.second, sim.cycles);
+  }
+}
+
+TEST(StgSimTest, MaxCyclesGuard) {
+  Benchmark b = MakeGcd(1, 5);
+  Stimulus st;
+  st.inputs[b.graph.inputs()[0]] = 1;
+  st.inputs[b.graph.inputs()[1]] = 255;  // many iterations
+  SchedulerOptions opts;
+  opts.mode = SpeculationMode::kWavesched;
+  opts.lookahead = 2;
+  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+  StgSimOptions so;
+  so.max_cycles = 10;
+  EXPECT_THROW(SimulateStg(r.stg, b.graph, st, so), Error);
+}
+
+TEST(StgSimTest, MeasureChecksOutputsAgainstInterpreter) {
+  Benchmark b = MakeGcd(6, 5);
+  SchedulerOptions opts;
+  opts.mode = SpeculationMode::kWaveschedSpec;
+  opts.lookahead = 2;
+  ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+  // Sanity path first.
+  EXPECT_GT(MeasureExpectedCycles(r.stg, b.graph, b.stimuli), 0.0);
+  // Corrupt every stop-edge output binding: the cross-check must fire on
+  // whichever exit path a stimulus takes. Pointing the output at the raw x
+  // input yields a wrong value whenever gcd(x, y) != x.
+  bool corrupted = false;
+  for (std::size_t i = 0; i < r.stg.num_states(); ++i) {
+    State& s = r.stg.state(StateId(static_cast<std::uint32_t>(i)));
+    for (Transition& t : s.out) {
+      for (OutputBinding& ob : t.outputs) {
+        ob.value = InstRef{b.graph.inputs()[0], 0, 0};
+        corrupted = true;
+      }
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_THROW(MeasureExpectedCycles(r.stg, b.graph, b.stimuli), Error);
+}
+
+TEST(StgSimTest, StimulusGenerationIsDeterministic) {
+  const Benchmark a = MakeFindmin(5, 99);
+  const Benchmark b = MakeFindmin(5, 99);
+  ASSERT_EQ(a.stimuli.size(), b.stimuli.size());
+  for (std::size_t i = 0; i < a.stimuli.size(); ++i) {
+    EXPECT_EQ(a.stimuli[i].inputs, b.stimuli[i].inputs);
+    EXPECT_EQ(a.stimuli[i].arrays, b.stimuli[i].arrays);
+  }
+}
+
+TEST(GenerateStimuliTest, RespectsSpecs) {
+  Benchmark b = MakeFindmin(1, 1);
+  StimulusSpec spec;
+  spec.default_spec.kind = StimulusSpec::Kind::kConstant;
+  spec.default_spec.lo = 42;
+  Rng rng(1);
+  const auto stimuli = GenerateStimuli(b.graph, spec, 3, rng);
+  ASSERT_EQ(stimuli.size(), 3u);
+  for (const Stimulus& st : stimuli) {
+    for (const auto& [in, v] : st.inputs) EXPECT_EQ(v, 42);
+    for (const auto& [arr, contents] : st.arrays) {
+      for (const auto v : contents) EXPECT_EQ(v, 42);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ws
