@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcd_explorer.dir/gcd_explorer.cc.o"
+  "CMakeFiles/gcd_explorer.dir/gcd_explorer.cc.o.d"
+  "gcd_explorer"
+  "gcd_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcd_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

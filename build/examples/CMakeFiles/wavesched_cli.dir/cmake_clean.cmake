@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesched_cli.dir/wavesched_cli.cc.o"
+  "CMakeFiles/wavesched_cli.dir/wavesched_cli.cc.o.d"
+  "wavesched_cli"
+  "wavesched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("bdd")
+subdirs("cdfg")
+subdirs("lang")
+subdirs("sim")
+subdirs("hw")
+subdirs("stg")
+subdirs("sched")
+subdirs("analysis")
+subdirs("rtl")
+subdirs("suite")

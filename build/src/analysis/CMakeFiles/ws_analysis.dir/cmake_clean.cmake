@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_analysis.dir/metrics.cc.o"
+  "CMakeFiles/ws_analysis.dir/metrics.cc.o.d"
+  "libws_analysis.a"
+  "libws_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

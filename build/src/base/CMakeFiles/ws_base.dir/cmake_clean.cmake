@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_base.dir/rng.cc.o"
+  "CMakeFiles/ws_base.dir/rng.cc.o.d"
+  "CMakeFiles/ws_base.dir/strings.cc.o"
+  "CMakeFiles/ws_base.dir/strings.cc.o.d"
+  "libws_base.a"
+  "libws_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_bdd.dir/bdd.cc.o"
+  "CMakeFiles/ws_bdd.dir/bdd.cc.o.d"
+  "libws_bdd.a"
+  "libws_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

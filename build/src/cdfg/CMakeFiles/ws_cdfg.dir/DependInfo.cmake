@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdfg/builder.cc" "src/cdfg/CMakeFiles/ws_cdfg.dir/builder.cc.o" "gcc" "src/cdfg/CMakeFiles/ws_cdfg.dir/builder.cc.o.d"
+  "/root/repo/src/cdfg/cdfg.cc" "src/cdfg/CMakeFiles/ws_cdfg.dir/cdfg.cc.o" "gcc" "src/cdfg/CMakeFiles/ws_cdfg.dir/cdfg.cc.o.d"
+  "/root/repo/src/cdfg/dot.cc" "src/cdfg/CMakeFiles/ws_cdfg.dir/dot.cc.o" "gcc" "src/cdfg/CMakeFiles/ws_cdfg.dir/dot.cc.o.d"
+  "/root/repo/src/cdfg/eval.cc" "src/cdfg/CMakeFiles/ws_cdfg.dir/eval.cc.o" "gcc" "src/cdfg/CMakeFiles/ws_cdfg.dir/eval.cc.o.d"
+  "/root/repo/src/cdfg/passes.cc" "src/cdfg/CMakeFiles/ws_cdfg.dir/passes.cc.o" "gcc" "src/cdfg/CMakeFiles/ws_cdfg.dir/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ws_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

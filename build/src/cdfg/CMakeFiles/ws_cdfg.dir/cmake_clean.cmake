@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_cdfg.dir/builder.cc.o"
+  "CMakeFiles/ws_cdfg.dir/builder.cc.o.d"
+  "CMakeFiles/ws_cdfg.dir/cdfg.cc.o"
+  "CMakeFiles/ws_cdfg.dir/cdfg.cc.o.d"
+  "CMakeFiles/ws_cdfg.dir/dot.cc.o"
+  "CMakeFiles/ws_cdfg.dir/dot.cc.o.d"
+  "CMakeFiles/ws_cdfg.dir/eval.cc.o"
+  "CMakeFiles/ws_cdfg.dir/eval.cc.o.d"
+  "CMakeFiles/ws_cdfg.dir/passes.cc.o"
+  "CMakeFiles/ws_cdfg.dir/passes.cc.o.d"
+  "libws_cdfg.a"
+  "libws_cdfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_cdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

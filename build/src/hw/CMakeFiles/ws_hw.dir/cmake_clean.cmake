@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_hw.dir/resources.cc.o"
+  "CMakeFiles/ws_hw.dir/resources.cc.o.d"
+  "libws_hw.a"
+  "libws_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

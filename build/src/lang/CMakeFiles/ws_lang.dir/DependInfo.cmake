@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/lexer.cc" "src/lang/CMakeFiles/ws_lang.dir/lexer.cc.o" "gcc" "src/lang/CMakeFiles/ws_lang.dir/lexer.cc.o.d"
+  "/root/repo/src/lang/lower.cc" "src/lang/CMakeFiles/ws_lang.dir/lower.cc.o" "gcc" "src/lang/CMakeFiles/ws_lang.dir/lower.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/lang/CMakeFiles/ws_lang.dir/parser.cc.o" "gcc" "src/lang/CMakeFiles/ws_lang.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ws_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdfg/CMakeFiles/ws_cdfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_lang.dir/lexer.cc.o"
+  "CMakeFiles/ws_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/ws_lang.dir/lower.cc.o"
+  "CMakeFiles/ws_lang.dir/lower.cc.o.d"
+  "CMakeFiles/ws_lang.dir/parser.cc.o"
+  "CMakeFiles/ws_lang.dir/parser.cc.o.d"
+  "libws_lang.a"
+  "libws_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_rtl.dir/rtl.cc.o"
+  "CMakeFiles/ws_rtl.dir/rtl.cc.o.d"
+  "libws_rtl.a"
+  "libws_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bounds.cc" "src/sched/CMakeFiles/ws_sched.dir/bounds.cc.o" "gcc" "src/sched/CMakeFiles/ws_sched.dir/bounds.cc.o.d"
+  "/root/repo/src/sched/lambda.cc" "src/sched/CMakeFiles/ws_sched.dir/lambda.cc.o" "gcc" "src/sched/CMakeFiles/ws_sched.dir/lambda.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/ws_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/ws_sched.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ws_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/ws_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdfg/CMakeFiles/ws_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ws_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/stg/CMakeFiles/ws_stg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_sched.dir/bounds.cc.o"
+  "CMakeFiles/ws_sched.dir/bounds.cc.o.d"
+  "CMakeFiles/ws_sched.dir/lambda.cc.o"
+  "CMakeFiles/ws_sched.dir/lambda.cc.o.d"
+  "CMakeFiles/ws_sched.dir/scheduler.cc.o"
+  "CMakeFiles/ws_sched.dir/scheduler.cc.o.d"
+  "libws_sched.a"
+  "libws_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_sim.dir/interpreter.cc.o"
+  "CMakeFiles/ws_sim.dir/interpreter.cc.o.d"
+  "CMakeFiles/ws_sim.dir/stg_sim.cc.o"
+  "CMakeFiles/ws_sim.dir/stg_sim.cc.o.d"
+  "CMakeFiles/ws_sim.dir/stimulus.cc.o"
+  "CMakeFiles/ws_sim.dir/stimulus.cc.o.d"
+  "libws_sim.a"
+  "libws_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_stg.dir/dot.cc.o"
+  "CMakeFiles/ws_stg.dir/dot.cc.o.d"
+  "CMakeFiles/ws_stg.dir/stg.cc.o"
+  "CMakeFiles/ws_stg.dir/stg.cc.o.d"
+  "libws_stg.a"
+  "libws_stg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_stg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

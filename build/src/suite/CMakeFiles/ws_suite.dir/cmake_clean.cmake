@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_suite.dir/benchmarks.cc.o"
+  "CMakeFiles/ws_suite.dir/benchmarks.cc.o.d"
+  "libws_suite.a"
+  "libws_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_rtl_test.dir/hw_rtl_test.cc.o"
+  "CMakeFiles/hw_rtl_test.dir/hw_rtl_test.cc.o.d"
+  "hw_rtl_test"
+  "hw_rtl_test.pdb"
+  "hw_rtl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_rtl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/interpreter_test.cc" "tests/CMakeFiles/interpreter_test.dir/interpreter_test.cc.o" "gcc" "tests/CMakeFiles/interpreter_test.dir/interpreter_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/ws_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ws_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/ws_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ws_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ws_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/suite/CMakeFiles/ws_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ws_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stg/CMakeFiles/ws_stg.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ws_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdfg/CMakeFiles/ws_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ws_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
