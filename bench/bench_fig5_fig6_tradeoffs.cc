@@ -7,13 +7,22 @@
 //   (b) one adder, P(c1) > 0.5 — the true-path addition wins;
 //   (c) two adders — both additions are speculated in the first cycle.
 //
+// The three configurations are one explore-engine grid — designs
+// {fig4:0.3, fig4:0.7} × allocations {add1=1, add1=2} under
+// Wavesched-spec — and the (a)/(b)/(c) schedules are picked out of the
+// report by their grid coordinates. The fourth grid point (0.3 with two
+// adders) is schedule (c) again, by symmetry: with no resource conflict the
+// branch probability no longer matters.
+//
 // Each schedule is then evaluated analytically (absorbing Markov chain) for
 // P(c1) swept over [0,1] — the paper's Figure 6 plot. Expected shape:
 // (a) and (b) cross at P = 0.5, and (c) dominates both everywhere.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "analysis/metrics.h"
-#include "sched/scheduler.h"
+#include "explore/explore.h"
 #include "stg/dot.h"
 #include "suite/benchmarks.h"
 
@@ -31,34 +40,54 @@ NodeId FindCond(const Cdfg& g) {
 }  // namespace
 }  // namespace ws
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ws;
+
+  ExploreSpec spec;
+  spec.designs = {{"fig4:0.3", ""}, {"fig4:0.7", ""}};
+  spec.modes = {SpeculationMode::kWaveschedSpec};
+  spec.allocations = {{"add1=1", "add1=1"}, {"add1=2", "add1=2"}};
+  spec.num_stimuli = 8;
+  spec.seed = 1998;
+  spec.workers = argc > 2 && std::string(argv[1]) == "--workers"
+                     ? std::atoi(argv[2])
+                     : 4;
+  const Result<ExploreReport> report = RunExplore(spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.error().c_str());
+    return 1;
+  }
 
   struct Config {
     const char* label;
-    double p_at_schedule;
-    int adders;
+    const char* design;
+    const char* alloc;
   };
   const Config configs[] = {
-      {"(a) 1 adder, scheduled for P(c1)=0.3", 0.3, 1},
-      {"(b) 1 adder, scheduled for P(c1)=0.7", 0.7, 1},
-      {"(c) 2 adders", 0.7, 2},
+      {"(a) 1 adder, scheduled for P(c1)=0.3", "fig4:0.3", "add1=1"},
+      {"(b) 1 adder, scheduled for P(c1)=0.7", "fig4:0.7", "add1=1"},
+      {"(c) 2 adders", "fig4:0.7", "add1=2"},
   };
 
-  std::vector<ScheduleResult> schedules;
+  std::vector<const ExploreRun*> picked;
   std::vector<Benchmark> benches;
   std::printf("=== Figure 5: three speculative schedules ===\n");
   for (const Config& c : configs) {
-    Benchmark b = MakeFig4(c.p_at_schedule, 8, 1998);
-    b.allocation.Set(b.library, "add1", c.adders);
-    SchedulerOptions opts;
-    opts.mode = SpeculationMode::kWaveschedSpec;
-    opts.lookahead = b.lookahead;
-    ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+    const ExploreRun* run = report->Find(c.design, SpeculationMode::kWaveschedSpec,
+                                         c.alloc, "default");
+    if (run == nullptr || !run->ok) {
+      std::fprintf(stderr, "missing/failed run %s/%s: %s\n", c.design, c.alloc,
+                   run != nullptr ? run->error.c_str() : "not found");
+      return 1;
+    }
+    // The report carries the STG; the CDFG it refers to is rebuilt locally
+    // (benchmark construction is deterministic in the seed, so node ids
+    // line up with the worker's copy).
+    const double p = std::atof(c.design + 5);  // "fig4:<p>"
+    benches.push_back(MakeFig4(p, spec.num_stimuli, spec.seed));
     std::printf("--- %s ---\n%s\n", c.label,
-                StgToText(r.stg, b.graph).c_str());
-    schedules.push_back(std::move(r));
-    benches.push_back(std::move(b));
+                StgToText(run->stg, benches.back().graph).c_str());
+    picked.push_back(run);
   }
 
   std::printf("=== Figure 6: expected cycles vs P(c1) "
@@ -69,10 +98,9 @@ int main() {
     const double p = step / 10.0;
     double cc[3];
     for (int i = 0; i < 3; ++i) {
-      benches[static_cast<std::size_t>(i)].graph.set_cond_probability(
-          FindCond(benches[static_cast<std::size_t>(i)].graph), p);
-      cc[i] = ExpectedCycles(schedules[static_cast<std::size_t>(i)].stg,
-                             benches[static_cast<std::size_t>(i)].graph);
+      Cdfg& g = benches[static_cast<std::size_t>(i)].graph;
+      g.set_cond_probability(FindCond(g), p);
+      cc[i] = ExpectedCycles(picked[static_cast<std::size_t>(i)]->stg, g);
     }
     std::printf("%5.2f %8.3f %8.3f %8.3f\n", p, cc[0], cc[1], cc[2]);
     if (p < 0.49 && cc[0] <= cc[1] + 1e-9) ++cross_checks;
@@ -81,5 +109,7 @@ int main() {
   }
   std::printf("\nshape checks (a better below 0.5, b better above, c "
               "dominates): %d/21 hold\n", cross_checks);
+  std::printf("[explore: %zu runs on %d workers in %.1f ms]\n",
+              report->runs.size(), report->workers, report->wall_ms);
   return 0;
 }

@@ -4,6 +4,12 @@
 //    number of cycles results" for Barcode, GCD, Test1, TLC, Findmin under
 //   Wavesched (WS) and Wavesched-spec (WS-spec).
 //
+// Built on the design-space exploration engine: the benchmark × mode grid
+// is fanned out over a worker pool (`--workers N`, default 4; results are
+// identical for any worker count) and the rows are read back out of the
+// ExploreReport. `--json` dumps the full report — including the
+// per-phase scheduler timing attribution — instead of the tables.
+//
 // E.N.C. is reported twice: measured by trace simulation over the
 // deterministic Gaussian stimulus set (the paper's methodology, via the
 // in-repo cycle-accurate simulator instead of Synopsys VSS), and computed
@@ -15,60 +21,60 @@
 // shows the largest speedup (paper: 7.2x); TLC shows none (507 = 507);
 // GCD/Barcode/Findmin improve ~2-3x; average speedup ~2.8x.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
-#include "analysis/metrics.h"
-#include "sched/scheduler.h"
-#include "sim/stg_sim.h"
+#include "explore/explore.h"
+#include "explore/report.h"
 #include "suite/benchmarks.h"
 
-namespace ws {
-namespace {
-
-struct Row {
-  const char* label;
-  double enc_sim = 0.0;
-  double enc_markov = 0.0;
-  std::size_t states = 0;
-  std::int64_t best = 0;
-  std::int64_t worst = 0;
-};
-
-Row Measure(const Benchmark& b, SpeculationMode mode) {
-  SchedulerOptions opts;
-  opts.mode = mode;
-  opts.lookahead = b.lookahead;
-  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
-  Row row;
-  row.enc_sim = MeasureExpectedCycles(r.stg, b.graph, b.stimuli);
-  row.enc_markov = ExpectedCycles(r.stg, b.graph);
-  row.states = r.stg.num_work_states();
-  row.best = BestCaseCycles(r.stg);
-  row.worst = WorstCaseCycles(r.stg, b.worst_case_budget);
-  return row;
-}
-
-}  // namespace
-}  // namespace ws
-
-int main() {
+int main(int argc, char** argv) {
   using namespace ws;
   const int kStimuli = 50;
   const std::uint64_t kSeed = 1998;
 
+  int workers = 4;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_table1 [--workers N] [--json]\n");
+      return 2;
+    }
+  }
+
+  ExploreSpec spec;
+  spec.designs = {{"barcode", ""}, {"gcd", ""}, {"test1", ""},
+                  {"tlc", ""},     {"findmin", ""}};
+  spec.modes = {SpeculationMode::kWavesched, SpeculationMode::kWaveschedSpec};
+  spec.num_stimuli = kStimuli;
+  spec.seed = kSeed;
+  spec.workers = workers;
+  const Result<ExploreReport> report = RunExplore(spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.error().c_str());
+    return 1;
+  }
+  if (json) {
+    std::fputs(ExploreReportToJson(*report).c_str(), stdout);
+    return 0;
+  }
+
   std::printf("=== Table 2: allocation constraints (paper's, reconstructed) ===\n");
   std::printf("%-9s %5s %5s %6s %6s %5s %5s\n", "circuit", "add1", "sub1",
               "mult1", "comp1", "eqc1", "inc1");
-  auto suite = MakeTable1Suite(kStimuli, kSeed);
-  for (const Benchmark& b : suite) {
-    auto count = [&](const char* name) {
-      const int c = b.allocation.Count(b.library.IndexOf(name));
-      return c;
-    };
+  // The constraints live on the benchmarks; stimuli are irrelevant here, so
+  // rebuild with a single stimulus.
+  for (const DesignSpec& d : spec.designs) {
+    const Benchmark b = MakeBenchmarkByName(d.name, 1, kSeed).value();
     auto cell = [&](const char* name) {
       static char buf[8][16];
       static int slot = 0;
       slot = (slot + 1) % 8;
-      const int c = count(name);
+      const int c = b.allocation.Count(b.library.IndexOf(name));
       if (c == Allocation::kUnlimited) {
         std::snprintf(buf[slot], sizeof(buf[slot]), "inf");
       } else if (c == 0) {
@@ -88,25 +94,38 @@ int main() {
               "circuit", "ENC(WS)", "ENC(sp)", "st(WS)", "st(sp)", "bc(WS)",
               "bc(sp)", "wc(WS)", "wc(sp)", "speedup");
   double speedup_sum = 0.0;
-  for (const Benchmark& b : suite) {
-    const Row ws = Measure(b, SpeculationMode::kWavesched);
-    const Row sp = Measure(b, SpeculationMode::kWaveschedSpec);
-    const double speedup = ws.enc_sim / sp.enc_sim;
+  int rows = 0;
+  for (const DesignSpec& d : spec.designs) {
+    const ExploreRun* ws = report->Find(d.name, SpeculationMode::kWavesched,
+                                        "default", "default");
+    const ExploreRun* sp = report->Find(
+        d.name, SpeculationMode::kWaveschedSpec, "default", "default");
+    if (ws == nullptr || sp == nullptr || !ws->ok || !sp->ok) {
+      std::printf("%-9s | error: %s\n", d.name.c_str(),
+                  ws != nullptr && !ws->ok ? ws->error.c_str()
+                                           : sp->error.c_str());
+      continue;
+    }
+    const double speedup = ws->enc_sim / sp->enc_sim;
     speedup_sum += speedup;
+    ++rows;
     std::printf(
         "%-9s | %9.1f %9.1f | %7zu %7zu | %6lld %6lld | %7lld %7lld | "
         "%6.2fx\n",
-        b.name.c_str(), ws.enc_sim, sp.enc_sim, ws.states, sp.states,
-        static_cast<long long>(ws.best), static_cast<long long>(sp.best),
-        static_cast<long long>(ws.worst), static_cast<long long>(sp.worst),
-        speedup);
+        d.name.c_str(), ws->enc_sim, sp->enc_sim, ws->states, sp->states,
+        static_cast<long long>(ws->best_case),
+        static_cast<long long>(sp->best_case),
+        static_cast<long long>(ws->worst_case),
+        static_cast<long long>(sp->worst_case), speedup);
     std::printf(
         "%-9s | (Markov: WS %.1f, WS-spec %.1f; worst case uses a loop "
         "budget of %d)\n",
-        "", ws.enc_markov, sp.enc_markov, b.worst_case_budget);
+        "", ws->enc_markov, sp->enc_markov, ws->worst_case_budget);
   }
   std::printf("\naverage E.N.C. speedup of WS-spec over WS: %.2fx "
               "(paper: 2.8x)\n",
-              speedup_sum / static_cast<double>(suite.size()));
+              speedup_sum / static_cast<double>(rows));
+  std::printf("[explore: %zu runs on %d workers in %.1f ms]\n",
+              report->runs.size(), report->workers, report->wall_ms);
   return 0;
 }

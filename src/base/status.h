@@ -1,14 +1,22 @@
 // Error handling for the library.
 //
-// The library throws `ws::Error` for user-facing failures (malformed input,
-// violated constraints, exhausted exploration caps). Internal invariants are
-// checked with WS_CHECK, which also throws so tests can assert on them.
+// Two interoperable styles:
+//  * Throwing: `ws::Error` for user-facing failures (malformed input,
+//    violated constraints, exhausted exploration caps). Internal invariants
+//    are checked with WS_CHECK, which also throws so tests can assert on
+//    them.
+//  * Value-based: `ws::Status` / `ws::Result<T>` for call sites that must
+//    not unwind (worker threads, request/response APIs). `Result<T>::value()`
+//    on an error re-enters the throwing world with the carried message, so
+//    the two styles compose.
 #ifndef WS_BASE_STATUS_H
 #define WS_BASE_STATUS_H
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace ws {
 
@@ -16,6 +24,73 @@ namespace ws {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+// The outcome of an operation that can fail without throwing: OK, or an
+// error with a human-readable message.
+class Status {
+ public:
+  Status() = default;  // OK
+  static Status Ok() { return Status(); }
+  static Status MakeError(std::string message) {
+    Status s;
+    s.error_ = true;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const { return !error_; }
+  const std::string& message() const { return message_; }
+
+  // Throws ws::Error if not OK.
+  void ThrowIfError() const {
+    if (error_) throw Error(message_);
+  }
+
+ private:
+  bool error_ = false;
+  std::string message_;
+};
+
+// A value or an error (StatusOr-style). Implicitly constructible from either
+// a T or a non-OK Status, so functions can `return value;` and
+// `return Status::MakeError(...)` interchangeably.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit
+  Result(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    if (status_.ok()) {
+      status_ = Status::MakeError("Result constructed from an OK status");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+  const std::string& error() const { return status_.message(); }
+
+  // Accessors throw ws::Error with the carried message on an error result.
+  T& value() & {
+    status_.ThrowIfError();
+    return *value_;
+  }
+  const T& value() const& {
+    status_.ThrowIfError();
+    return *value_;
+  }
+  T&& value() && {
+    status_.ThrowIfError();
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds
 };
 
 namespace internal {

@@ -1,0 +1,68 @@
+// A fixed-size worker pool over a FIFO work queue.
+//
+// Built for the design-space exploration engine: tasks are shared-nothing
+// closures (each scheduling run owns its CDFG copy, BDD manager, and RNG),
+// so the pool needs no result plumbing — callers write into pre-sized slots
+// and synchronize through Wait().
+//
+// Semantics:
+//  * Submit() enqueues a task; worker threads drain the queue in FIFO order.
+//  * Wait() blocks until every submitted task has finished, then rethrows
+//    the first exception any task raised (once; subsequent Wait()s are
+//    clean). The remaining tasks still run — an exploration run failing must
+//    not abandon the rest of the sweep.
+//  * Shutdown() (also run by the destructor) drains the queue, joins the
+//    workers, and rejects further Submit() calls. A task exception pending
+//    at destruction is swallowed — call Wait() first if you care.
+//  * num_threads == 0 degenerates to inline execution in Submit(), which
+//    makes "sequential" exactly the same code path minus the threads.
+#ifndef WS_BASE_THREAD_POOL_H
+#define WS_BASE_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ws {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task`. Throws ws::Error after Shutdown().
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and all workers are idle; rethrows the
+  // first task exception, if any.
+  void Wait();
+
+  // Finishes all queued tasks, joins the workers, and closes the queue.
+  // Idempotent.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: work or shutdown
+  std::condition_variable idle_cv_;   // signals Wait(): everything drained
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;          // tasks currently executing
+  bool shutdown_ = false;   // no further Submit(); workers exit when drained
+  std::exception_ptr first_error_;
+};
+
+}  // namespace ws
+
+#endif  // WS_BASE_THREAD_POOL_H

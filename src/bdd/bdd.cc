@@ -53,6 +53,7 @@ Bdd BddManager::Implies(Bdd a, Bdd b) { return Ite(a, b, True()); }
 
 Bdd BddManager::Ite(Bdd f, Bdd g, Bdd h) {
   WS_CHECK(f.valid() && g.valid() && h.valid());
+  ++num_ops_;
   return Bdd(IteRec(f.index(), g.index(), h.index()));
 }
 
@@ -100,6 +101,7 @@ Bdd BddManager::OrAll(const std::vector<Bdd>& fs) {
 }
 
 Bdd BddManager::Restrict(Bdd f, int var, bool value) {
+  ++num_ops_;
   std::unordered_map<std::uint32_t, std::uint32_t> memo;
   return Bdd(RestrictRec(f.index(), var, value, memo));
 }

@@ -133,6 +133,12 @@ class BddManager {
   // Node count statistics (for microbenchmarks / tests).
   std::size_t num_nodes() const { return nodes_.size(); }
 
+  // Number of Boolean operations performed so far: every top-level
+  // Ite/Restrict/Rename call (And/Or/Not/Xor/Implies funnel through Ite).
+  // Scheduling instrumentation reads this to attribute work to BDD
+  // manipulation.
+  std::uint64_t num_ops() const { return num_ops_; }
+
  private:
   struct Node {
     int var;             // variable index; terminals use var = kTerminalVar
@@ -153,6 +159,7 @@ class BddManager {
 
   std::vector<Node> nodes_;
   std::vector<std::string> var_names_;
+  std::uint64_t num_ops_ = 0;
 
   struct TripleHash {
     std::size_t operator()(const std::tuple<int, std::uint32_t,

@@ -1,0 +1,274 @@
+#include "explore/explore.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "analysis/metrics.h"
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "lang/lower.h"
+#include "rtl/rtl.h"
+#include "sim/interpreter.h"
+#include "sim/stg_sim.h"
+#include "sim/stimulus.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Builds the task's private benchmark copy: registry lookup for named
+// designs, a full compile + stimulus generation + profiling pass for inline
+// behavioral sources. Deterministic in (design, spec.num_stimuli,
+// spec.seed), so every worker count produces the same benchmark.
+Result<Benchmark> BuildDesign(const DesignSpec& design,
+                              const ExploreSpec& spec) {
+  if (design.source.empty()) {
+    return MakeBenchmarkByName(design.name, spec.num_stimuli, spec.seed);
+  }
+  try {
+    Benchmark b;
+    b.name = design.name;
+    b.graph = CompileBehavioral(design.name, design.source);
+    b.library = FuLibrary::PaperLibrary();
+    b.allocation = Allocation::Unlimited(b.library);
+    b.lookahead = spec.base_options.lookahead;
+    StimulusSpec stim;
+    stim.default_spec.kind = StimulusSpec::Kind::kGaussian;
+    stim.default_spec.sigma = 32.0;
+    stim.default_spec.non_negative = true;
+    // Floor of 1 like the suite's generators: 0-valued inputs make designs
+    // with convergence loops (e.g. GCD) diverge in the golden interpreter.
+    stim.default_spec.lo = 1;
+    Rng rng(spec.seed);
+    b.stimuli = GenerateStimuli(b.graph, stim, spec.num_stimuli, rng);
+    ProfileBranchProbabilities(b.graph, b.stimuli);
+    return b;
+  } catch (const Error& e) {
+    return Status::MakeError("design " + design.name + ": " + e.what());
+  }
+}
+
+Result<Allocation> BuildAllocation(const Benchmark& b,
+                                   const AllocationSpec& alloc) {
+  if (alloc.spec.empty() || alloc.spec == "default") return b.allocation;
+  if (alloc.spec == "unlimited") return Allocation::Unlimited(b.library);
+  if (alloc.spec == "none") return Allocation::None(b.library);
+  Allocation out = b.allocation;
+  std::size_t pos = 0;
+  try {
+    while (pos < alloc.spec.size()) {
+      std::size_t comma = alloc.spec.find(',', pos);
+      if (comma == std::string::npos) comma = alloc.spec.size();
+      const std::string item = alloc.spec.substr(pos, comma - pos);
+      pos = comma + 1;
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Status::MakeError("allocation item \"" + item +
+                                 "\" is not unit=count");
+      }
+      const std::string unit = item.substr(0, eq);
+      const std::string count = item.substr(eq + 1);
+      if (count == "inf") {
+        out.Set(b.library, unit, Allocation::kUnlimited);
+      } else {
+        char* end = nullptr;
+        const long n = std::strtol(count.c_str(), &end, 10);
+        if (end == count.c_str() || *end != '\0' || n < 0) {
+          return Status::MakeError("allocation count \"" + count +
+                                   "\" for unit " + unit +
+                                   " is not a non-negative integer");
+        }
+        out.Set(b.library, unit, static_cast<int>(n));
+      }
+    }
+  } catch (const Error& e) {
+    return Status::MakeError("allocation \"" + alloc.spec + "\": " +
+                             e.what());
+  }
+  return out;
+}
+
+// One grid point, start to finish, on the calling thread. Everything it
+// touches is task-local.
+ExploreRun RunOne(const ExploreSpec& spec, const DesignSpec& design,
+                  SpeculationMode mode, const AllocationSpec& alloc,
+                  const ClockSpec& clock) {
+  const auto start = std::chrono::steady_clock::now();
+  ExploreRun run;
+  run.design = design.name;
+  run.mode = mode;
+  run.allocation = alloc.label;
+  run.clock = clock.label;
+
+  Result<Benchmark> bench = BuildDesign(design, spec);
+  if (!bench.ok()) {
+    run.error = bench.error();
+    run.wall_ms = MillisSince(start);
+    return run;
+  }
+  const Benchmark& b = *bench;
+
+  Result<Allocation> allocation = BuildAllocation(b, alloc);
+  if (!allocation.ok()) {
+    run.error = allocation.error();
+    run.wall_ms = MillisSince(start);
+    return run;
+  }
+
+  ScheduleRequest request;
+  request.graph = &b.graph;
+  request.library = &b.library;
+  request.allocation = &*allocation;
+  request.options = spec.base_options;
+  request.options.mode = mode;
+  request.options.clock = clock.clock;
+  request.options.lookahead = b.lookahead;
+
+  Result<ScheduleReport> report = ScheduleOrError(request);
+  if (!report.ok()) {
+    run.error = report.error();
+    run.wall_ms = MillisSince(start);
+    return run;
+  }
+
+  run.stats = report->stats;
+  run.states = report->stg.num_work_states();
+  run.op_initiations = report->stg.num_op_initiations();
+  run.worst_case_budget = b.worst_case_budget;
+  try {
+    run.enc_markov = ExpectedCycles(report->stg, b.graph);
+    run.best_case = BestCaseCycles(report->stg);
+    run.worst_case = WorstCaseCycles(report->stg, b.worst_case_budget);
+    if (spec.measure_sim_enc) {
+      run.enc_sim = MeasureExpectedCycles(report->stg, b.graph, b.stimuli);
+    }
+    if (spec.measure_area) {
+      const AreaReport area =
+          EstimateArea(report->stg, b.graph, b.library, b.stimuli.at(0),
+                       AreaModel{}, &*allocation);
+      run.area = area.total;
+    }
+  } catch (const Error& e) {
+    run.error = std::string("analysis: ") + e.what();
+    run.wall_ms = MillisSince(start);
+    return run;
+  }
+  run.ok = true;
+  run.stg = std::move(report->stg);
+  run.wall_ms = MillisSince(start);
+  return run;
+}
+
+}  // namespace
+
+Status ExploreSpec::Validate() const {
+  if (designs.empty()) {
+    return Status::MakeError("ExploreSpec: no designs to explore");
+  }
+  for (const DesignSpec& d : designs) {
+    if (d.name.empty()) {
+      return Status::MakeError("ExploreSpec: design with an empty name");
+    }
+  }
+  if (modes.empty()) {
+    return Status::MakeError("ExploreSpec: no speculation modes");
+  }
+  if (workers < 0) {
+    return Status::MakeError("ExploreSpec: workers must be >= 0");
+  }
+  if (num_stimuli < 1) {
+    return Status::MakeError("ExploreSpec: num_stimuli must be >= 1");
+  }
+  // The per-run mode/clock/lookahead are grid-driven; validate the rest once
+  // here so misconfiguration fails the call instead of every run.
+  SchedulerOptions probe = base_options;
+  probe.mode = modes.front();
+  return probe.Validate();
+}
+
+const ExploreRun* ExploreReport::Find(const std::string& design,
+                                      SpeculationMode mode,
+                                      const std::string& allocation_label,
+                                      const std::string& clock_label) const {
+  for (const ExploreRun& run : runs) {
+    if (run.design == design && run.mode == mode &&
+        run.allocation == allocation_label && run.clock == clock_label) {
+      return &run;
+    }
+  }
+  return nullptr;
+}
+
+Result<ExploreReport> RunExplore(const ExploreSpec& spec) {
+  if (const Status s = spec.Validate(); !s.ok()) return s;
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::vector<AllocationSpec> allocations =
+      spec.allocations.empty() ? std::vector<AllocationSpec>{{}}
+                               : spec.allocations;
+  const std::vector<ClockSpec> clocks =
+      spec.clocks.empty() ? std::vector<ClockSpec>{{}} : spec.clocks;
+
+  // Materialize the grid in its canonical order; slot i of `runs` belongs to
+  // task i, so collection needs no synchronization beyond the pool's Wait().
+  struct Task {
+    const DesignSpec* design;
+    SpeculationMode mode;
+    const AllocationSpec* alloc;
+    const ClockSpec* clock;
+  };
+  std::vector<Task> grid;
+  for (const DesignSpec& d : spec.designs) {
+    for (const SpeculationMode mode : spec.modes) {
+      for (const AllocationSpec& a : allocations) {
+        for (const ClockSpec& c : clocks) {
+          grid.push_back(Task{&d, mode, &a, &c});
+        }
+      }
+    }
+  }
+
+  ExploreReport report;
+  report.workers = spec.workers;
+  report.runs.resize(grid.size());
+
+  {
+    ThreadPool pool(spec.workers);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const Task& task = grid[i];
+      ExploreRun* slot = &report.runs[i];
+      pool.Submit([&spec, task, slot] {
+        *slot = RunOne(spec, *task.design, task.mode, *task.alloc,
+                       *task.clock);
+      });
+    }
+    pool.Wait();
+  }
+
+  // Cross-run metric: speculative area overhead vs. the non-speculative
+  // schedule of the same configuration.
+  if (spec.measure_area) {
+    for (ExploreRun& run : report.runs) {
+      if (!run.ok || run.mode == SpeculationMode::kWavesched) continue;
+      const ExploreRun* base = report.Find(
+          run.design, SpeculationMode::kWavesched, run.allocation, run.clock);
+      if (base != nullptr && base->ok && base->area > 0.0) {
+        run.area_overhead_pct =
+            100.0 * (run.area - base->area) / base->area;
+        run.has_area_overhead = true;
+      }
+    }
+  }
+
+  report.wall_ms = MillisSince(start);
+  return report;
+}
+
+}  // namespace ws

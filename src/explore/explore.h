@@ -1,0 +1,132 @@
+// Design-space exploration: schedule a set of designs across the
+// cross-product of speculation modes, allocation variants, and clock
+// models, in parallel, and collect every run's schedule, analysis metrics,
+// and per-phase scheduler instrumentation into one report.
+//
+// This is the paper's experimental methodology (Table 1, Figs. 5-7) as a
+// subsystem instead of hand-rolled per-figure loops: the same engine drives
+// the Table 1 reproduction, the Fig. 5/6 trade-off study, a CLI
+// (`ws_explore`), and the tests.
+//
+// Concurrency model: the task grid is fanned out over a fixed-size
+// ThreadPool. Every task is shared-nothing — it rebuilds its own benchmark
+// (CDFG, library, stimuli; construction is deterministic in the spec's
+// seed), owns its scheduler instance and BDD manager, and writes to a
+// pre-sized result slot. Reports are therefore byte-identical (modulo
+// timing fields) for any worker count, including the sequential
+// `workers == 0` path.
+#ifndef WS_EXPLORE_EXPLORE_H
+#define WS_EXPLORE_EXPLORE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "hw/resources.h"
+#include "sched/scheduler.h"
+#include "stg/stg.h"
+
+namespace ws {
+
+// A design to explore: a suite benchmark referenced by registry name
+// ("gcd", "fig4:0.3", ...) or an inline behavioral description, compiled
+// per worker.
+struct DesignSpec {
+  std::string name;
+  std::string source;  // empty => suite registry lookup by `name`
+};
+
+// One point of the allocation grid.
+//   spec == "" or "default"  -> the benchmark's own (Table 2) allocation
+//   spec == "unlimited"      -> no resource constraints
+//   otherwise                -> "unit=count,..." overrides applied on top of
+//                               the benchmark's default ("inf" = unlimited)
+struct AllocationSpec {
+  std::string label = "default";
+  std::string spec;
+};
+
+// One point of the clock grid.
+struct ClockSpec {
+  std::string label = "default";
+  ClockModel clock;
+};
+
+struct ExploreSpec {
+  std::vector<DesignSpec> designs;
+  std::vector<SpeculationMode> modes = {SpeculationMode::kWavesched,
+                                        SpeculationMode::kWaveschedSpec};
+  // Empty grids fall back to a single default entry.
+  std::vector<AllocationSpec> allocations;
+  std::vector<ClockSpec> clocks;
+
+  int num_stimuli = 50;
+  std::uint64_t seed = 1998;
+
+  // Worker threads; 0 runs every task inline in the calling thread.
+  int workers = 0;
+
+  // Trace-driven E.N.C. over the stimulus set (cross-checked against the
+  // golden interpreter) in addition to the analytic Markov value.
+  bool measure_sim_enc = true;
+  // RTL area model per run, plus overhead vs. the kWavesched run of the
+  // same (design, allocation, clock) when present.
+  bool measure_area = false;
+
+  // Per-run options; mode and clock come from the grid, lookahead from the
+  // benchmark.
+  SchedulerOptions base_options;
+
+  Status Validate() const;
+};
+
+// One grid point's outcome. Metric fields are valid only when ok.
+struct ExploreRun {
+  // Key (grid coordinates, in spec order).
+  std::string design;
+  SpeculationMode mode = SpeculationMode::kWavesched;
+  std::string allocation;  // AllocationSpec label
+  std::string clock;       // ClockSpec label
+
+  bool ok = false;
+  std::string error;
+
+  ScheduleStats stats;
+  std::size_t states = 0;           // work states (the paper's #states)
+  std::size_t op_initiations = 0;
+  double enc_markov = 0.0;          // absorbing-Markov-chain E.N.C.
+  double enc_sim = 0.0;             // trace-driven E.N.C. (measure_sim_enc)
+  std::int64_t best_case = 0;
+  std::int64_t worst_case = 0;
+  int worst_case_budget = 0;
+  double area = 0.0;                // measure_area
+  double area_overhead_pct = 0.0;   // vs. same-config kWavesched run
+  bool has_area_overhead = false;
+
+  double wall_ms = 0.0;  // whole-task wall clock; excluded from canonical
+                         // report renderings
+
+  Stg stg{""};  // the schedule itself, for downstream renderers
+};
+
+struct ExploreReport {
+  std::vector<ExploreRun> runs;  // cross-product order: design-major, then
+                                 // mode, allocation, clock
+  int workers = 0;
+  double wall_ms = 0.0;
+
+  // The run at the given grid coordinates, or null.
+  const ExploreRun* Find(const std::string& design, SpeculationMode mode,
+                         const std::string& allocation_label,
+                         const std::string& clock_label) const;
+};
+
+// Runs the whole grid. Per-run failures (unschedulable configurations,
+// exceeded caps) are recorded in their ExploreRun, not propagated; only a
+// malformed spec makes the call itself fail.
+Result<ExploreReport> RunExplore(const ExploreSpec& spec);
+
+}  // namespace ws
+
+#endif  // WS_EXPLORE_EXPLORE_H

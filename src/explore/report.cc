@@ -1,0 +1,141 @@
+#include "explore/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace ws {
+namespace {
+
+// Shortest-round-trip-ish deterministic double rendering. %.10g is exact for
+// every metric the engine produces (cycle counts, probabilities-of-few-vars,
+// gate areas) and avoids 17-digit noise.
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string Quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void AppendPhase(std::ostringstream& os, const SchedulePhaseTimes& phase) {
+  os << "{\"successor_ns\":" << phase.successor_ns
+     << ",\"cofactor_ns\":" << phase.cofactor_ns
+     << ",\"closure_ns\":" << phase.closure_ns
+     << ",\"gc_ns\":" << phase.gc_ns
+     << ",\"total_ns\":" << phase.total_ns << "}";
+}
+
+void AppendRun(std::ostringstream& os, const ExploreRun& run,
+               const ReportRenderOptions& options) {
+  os << "{\"design\":" << Quoted(run.design)
+     << ",\"mode\":" << Quoted(SpeculationModeName(run.mode))
+     << ",\"allocation\":" << Quoted(run.allocation)
+     << ",\"clock\":" << Quoted(run.clock)
+     << ",\"ok\":" << (run.ok ? "true" : "false");
+  if (!run.ok) {
+    os << ",\"error\":" << Quoted(run.error) << "}";
+    return;
+  }
+  os << ",\"states\":" << run.states
+     << ",\"op_initiations\":" << run.op_initiations
+     << ",\"speculative_ops\":" << run.stats.speculative_ops
+     << ",\"squashed_ops\":" << run.stats.squashed_ops
+     << ",\"closure_hits\":" << run.stats.closure_hits
+     << ",\"candidates_generated\":" << run.stats.candidates_generated
+     << ",\"bdd_ops\":" << run.stats.bdd_ops
+     << ",\"bdd_nodes\":" << run.stats.bdd_nodes
+     << ",\"enc_markov\":" << Num(run.enc_markov);
+  if (run.enc_sim > 0.0) os << ",\"enc_sim\":" << Num(run.enc_sim);
+  os << ",\"best_case\":" << run.best_case
+     << ",\"worst_case\":" << run.worst_case
+     << ",\"worst_case_budget\":" << run.worst_case_budget;
+  if (run.area > 0.0) {
+    os << ",\"area\":" << Num(run.area);
+    if (run.has_area_overhead) {
+      os << ",\"area_overhead_pct\":" << Num(run.area_overhead_pct);
+    }
+  }
+  if (options.include_timing) {
+    os << ",\"wall_ms\":" << Num(run.wall_ms) << ",\"phase\":";
+    AppendPhase(os, run.stats.phase);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string ExploreReportToJson(const ExploreReport& report,
+                                const ReportRenderOptions& options) {
+  std::ostringstream os;
+  os << "{\"schema\":\"ws-explore-report-v1\"";
+  if (options.include_timing) {
+    os << ",\"workers\":" << report.workers
+       << ",\"wall_ms\":" << Num(report.wall_ms);
+  }
+  os << ",\"runs\":[";
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\n  ";
+    AppendRun(os, report.runs[i], options);
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string ExploreReportToTable(const ExploreReport& report) {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-10s %-14s %-10s %-8s %6s %9s %9s %6s %7s %6s %8s\n",
+                "design", "mode", "alloc", "clock", "states", "enc(sim)",
+                "enc(mkv)", "best", "worst", "spec", "time_ms");
+  os << line;
+  for (const ExploreRun& run : report.runs) {
+    if (!run.ok) {
+      std::snprintf(line, sizeof(line), "%-10s %-14s %-10s %-8s ERROR %s\n",
+                    run.design.c_str(), SpeculationModeName(run.mode),
+                    run.allocation.c_str(), run.clock.c_str(),
+                    run.error.c_str());
+      os << line;
+      continue;
+    }
+    std::snprintf(
+        line, sizeof(line),
+        "%-10s %-14s %-10s %-8s %6zu %9.1f %9.1f %6lld %7lld %6d %8.1f\n",
+        run.design.c_str(), SpeculationModeName(run.mode),
+        run.allocation.c_str(), run.clock.c_str(), run.states, run.enc_sim,
+        run.enc_markov, static_cast<long long>(run.best_case),
+        static_cast<long long>(run.worst_case), run.stats.speculative_ops,
+        run.wall_ms);
+    os << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total: %zu runs, %d workers, %.1f ms wall\n",
+                report.runs.size(), report.workers, report.wall_ms);
+  os << line;
+  return os.str();
+}
+
+}  // namespace ws

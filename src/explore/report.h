@@ -1,0 +1,30 @@
+// Renderers for exploration reports: a machine-readable JSON document and a
+// human-readable aligned table.
+//
+// The JSON rendering is canonical: key order is fixed, doubles are formatted
+// deterministically, and runs appear in grid order. With
+// `include_timing == false` every wall-clock field (per-run wall time, the
+// scheduler's per-phase attribution, report totals, worker count) is
+// omitted, making reports from different worker counts byte-comparable —
+// the determinism tests diff exactly this rendering.
+#ifndef WS_EXPLORE_REPORT_H
+#define WS_EXPLORE_REPORT_H
+
+#include <string>
+
+#include "explore/explore.h"
+
+namespace ws {
+
+struct ReportRenderOptions {
+  bool include_timing = true;
+};
+
+std::string ExploreReportToJson(const ExploreReport& report,
+                                const ReportRenderOptions& options = {});
+
+std::string ExploreReportToTable(const ExploreReport& report);
+
+}  // namespace ws
+
+#endif  // WS_EXPLORE_REPORT_H

@@ -1,6 +1,7 @@
 #include "sched/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +27,26 @@ const char* SpeculationModeName(SpeculationMode mode) {
 }
 
 namespace {
+
+// Accumulates elapsed wall time into a ScheduleStats phase counter on scope
+// exit. Phases re-enter (GenerateCandidates runs once per admission), so the
+// sink is additive.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::int64_t* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    *sink_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::int64_t* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 // (node value, iteration) — the identity of an operation/value instance.
 using Key = std::pair<std::uint32_t, int>;
@@ -489,6 +510,7 @@ void SchedulerImpl::GenerateSelectCandidates(PathState& ps, const Node& n,
 }
 
 std::vector<Candidate> SchedulerImpl::GenerateCandidates(PathState& ps) {
+  const PhaseTimer timer(&stats_.phase.successor_ns);
   // Speculation is throttled relative to the oldest pending committed work:
   // without this, a loop whose condition chain is faster than its slowest
   // data recurrence would let the resolution frontier race arbitrarily far
@@ -665,6 +687,7 @@ std::vector<Candidate> SchedulerImpl::GenerateCandidates(PathState& ps) {
                     mgr_.Probability(c.guard, var_probs_);
     filtered.push_back(std::move(c));
   }
+  stats_.candidates_generated += static_cast<std::int64_t>(filtered.size());
   return filtered;
 }
 
@@ -1216,6 +1239,7 @@ std::string SchedulerImpl::Signature(const PathState& ps,
 }
 
 SchedulerImpl::GetResult SchedulerImpl::CreateOrGet(PathState ps) {
+  const PhaseTimer timer(&stats_.phase.closure_ns);
   std::vector<int> bases;
   const std::string sig = Signature(ps, &bases);
   if (std::getenv("WS_DEBUG_SIG") != nullptr) {
@@ -1247,6 +1271,7 @@ SchedulerImpl::GetResult SchedulerImpl::CreateOrGet(PathState ps) {
 }
 
 ScheduleResult SchedulerImpl::Run() {
+  const auto run_start = std::chrono::steady_clock::now();
   lambda_ = ComputeLambda(g_, lib_);
   ComputeHardUses();
 
@@ -1284,13 +1309,19 @@ ScheduleResult SchedulerImpl::Run() {
 
     std::vector<CondLiteral> cube;
     std::vector<Leaf> leaves;
-    PartitionLeaves(ps, cube, leaves, 0);
+    {
+      const PhaseTimer timer(&stats_.phase.cofactor_ns);
+      PartitionLeaves(ps, cube, leaves, 0);
+    }
 
     // Merge leaves that land on the same successor (same target, same
     // relabel shift, and — for stop edges — the same output bindings).
     std::map<std::string, std::size_t> merged;  // key -> index in state.out
     for (Leaf& leaf : leaves) {
-      GarbageCollect(leaf.ps);
+      {
+        const PhaseTimer timer(&stats_.phase.gc_ns);
+        GarbageCollect(leaf.ps);
+      }
       std::vector<OutputBinding> outs;
       StateId target;
       std::vector<std::pair<LoopId, int>> shift;
@@ -1328,16 +1359,73 @@ ScheduleResult SchedulerImpl::Run() {
   }
 
   stg_.Validate();
+  stats_.bdd_ops = mgr_.num_ops();
+  stats_.bdd_nodes = mgr_.num_nodes();
+  stats_.phase.total_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - run_start)
+          .count();
   return ScheduleResult{std::move(stg_), stats_};
 }
 
 }  // namespace
 
+Status SchedulerOptions::Validate() const {
+  if (lookahead < 0) {
+    return Status::MakeError(
+        StrCat("SchedulerOptions: lookahead must be >= 0, got ", lookahead));
+  }
+  if (gc_window < 1) {
+    return Status::MakeError(
+        StrCat("SchedulerOptions: gc_window must be >= 1, got ", gc_window));
+  }
+  if (max_states < 1) {
+    return Status::MakeError(
+        StrCat("SchedulerOptions: max_states must be >= 1, got ",
+               max_states));
+  }
+  if (max_ops_per_state < 1) {
+    return Status::MakeError(
+        StrCat("SchedulerOptions: max_ops_per_state must be >= 1, got ",
+               max_ops_per_state));
+  }
+  if (!(clock.period_ns > 0.0)) {
+    return Status::MakeError(
+        StrCat("SchedulerOptions: clock period must be > 0, got ",
+               clock.period_ns));
+  }
+  return Status::Ok();
+}
+
+Result<ScheduleReport> ScheduleOrError(const ScheduleRequest& request) {
+  if (request.graph == nullptr) {
+    return Status::MakeError("ScheduleRequest: graph is null");
+  }
+  if (request.library == nullptr) {
+    return Status::MakeError("ScheduleRequest: library is null");
+  }
+  if (request.allocation == nullptr) {
+    return Status::MakeError("ScheduleRequest: allocation is null");
+  }
+  if (const Status s = request.options.Validate(); !s.ok()) return s;
+  try {
+    SchedulerImpl impl(*request.graph, *request.library, *request.allocation,
+                       request.options);
+    return impl.Run();
+  } catch (const Error& e) {
+    return Status::MakeError(e.what());
+  }
+}
+
 ScheduleResult Schedule(const Cdfg& g, const FuLibrary& lib,
                         const Allocation& alloc,
                         const SchedulerOptions& options) {
-  SchedulerImpl impl(g, lib, alloc, options);
-  return impl.Run();
+  ScheduleRequest request;
+  request.graph = &g;
+  request.library = &lib;
+  request.allocation = &alloc;
+  request.options = options;
+  return ScheduleOrError(request).value();
 }
 
 }  // namespace ws

@@ -28,8 +28,10 @@
 #ifndef WS_SCHED_SCHEDULER_H
 #define WS_SCHED_SCHEDULER_H
 
+#include <cstdint>
 #include <string>
 
+#include "base/status.h"
 #include "cdfg/cdfg.h"
 #include "hw/resources.h"
 #include "stg/stg.h"
@@ -62,6 +64,27 @@ struct SchedulerOptions {
   // Exploration caps; exceeded => ws::Error (closure not found).
   int max_states = 2000;
   int max_ops_per_state = 256;
+
+  // Rejects out-of-range fields with a descriptive error. Every scheduling
+  // entry point validates; call directly to fail fast at construction time.
+  Status Validate() const;
+};
+
+// Wall-clock attribution of a scheduling run to its algorithmic phases.
+// All figures in nanoseconds of std::chrono::steady_clock. The phases nest
+// inside total_ns but do not partition it (state bookkeeping, leaf merging
+// and the worklist loop are unattributed).
+struct SchedulePhaseTimes {
+  std::int64_t successor_ns = 0;  // schedulable-successor computation:
+                                  // candidate generation through select
+                                  // chains (Lemma 1 / Observation 1)
+  std::int64_t cofactor_ns = 0;   // validation/invalidation: partitioning on
+                                  // resolved conditions and guard cofactoring
+                                  // (Step 2)
+  std::int64_t closure_ns = 0;    // canonical signatures + equivalent-state
+                                  // lookup (the relabeling map M)
+  std::int64_t gc_ns = 0;         // symbolic-frontier garbage collection
+  std::int64_t total_ns = 0;      // the whole run
 };
 
 struct ScheduleStats {
@@ -70,16 +93,38 @@ struct ScheduleStats {
   int speculative_ops = 0;    // stage-0 ops scheduled with residual guard != 1
   int squashed_ops = 0;       // in-flight ops invalidated at a fork
   int total_ops = 0;          // stage-0 ops across all states
+  // Instrumentation (filled by every run):
+  std::int64_t candidates_generated = 0;  // candidates across all passes
+  std::uint64_t bdd_ops = 0;              // BddManager::num_ops() at the end
+  std::uint64_t bdd_nodes = 0;            // unique BDD nodes built
+  SchedulePhaseTimes phase;
 };
 
-struct ScheduleResult {
+// A scheduling request: the CDFG plus everything Section 2 lists as
+// scheduler inputs. The pointees are borrowed for the duration of the call
+// and never mutated; requests are cheap to copy and queue.
+struct ScheduleRequest {
+  const Cdfg* graph = nullptr;
+  const FuLibrary* library = nullptr;
+  const Allocation* allocation = nullptr;
+  SchedulerOptions options;
+};
+
+struct ScheduleReport {
   Stg stg;
   ScheduleStats stats;
 };
 
-// Schedules `g` under the given library/allocation/options. Throws ws::Error
-// if the description cannot be scheduled (unsatisfiable constraints, caps
-// exceeded).
+// The historical name for the response; kept as an alias for existing code.
+using ScheduleResult = ScheduleReport;
+
+// Schedules request.graph under the given library/allocation/options without
+// throwing: every failure (invalid request or options, unsatisfiable
+// constraints, exhausted exploration caps) is returned as an error Result.
+// Safe to call from worker threads; runs share nothing.
+Result<ScheduleReport> ScheduleOrError(const ScheduleRequest& request);
+
+// Throwing shim over ScheduleOrError: raises ws::Error on failure.
 ScheduleResult Schedule(const Cdfg& g, const FuLibrary& lib,
                         const Allocation& alloc,
                         const SchedulerOptions& options);

@@ -25,6 +25,7 @@ std::int64_t Draw(const StimulusSpec::InputSpec& spec, Rng& rng) {
     case StimulusSpec::Kind::kGaussian: {
       std::int64_t v = rng.NextGaussianInt(spec.sigma);
       if (spec.non_negative) v = std::llabs(v);
+      if (v < spec.lo) v = spec.lo;
       return v;
     }
     case StimulusSpec::Kind::kUniform:

@@ -32,7 +32,8 @@ struct StimulusSpec {
   struct InputSpec {
     Kind kind = Kind::kGaussian;
     double sigma = 16.0;        // Gaussian
-    std::int64_t lo = 0, hi = 0;  // Uniform / Constant (lo)
+    std::int64_t lo = 0, hi = 0;  // Uniform / Constant (lo); for Gaussian,
+                                  // lo is a floor (0 keeps legacy behavior)
     bool non_negative = false;  // clamp Gaussian to |x|
   };
   std::map<NodeId, InputSpec> inputs;

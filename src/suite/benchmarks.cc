@@ -1,6 +1,7 @@
 #include "suite/benchmarks.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 
 #include "cdfg/builder.h"
@@ -308,6 +309,74 @@ std::vector<Benchmark> MakeTable1Suite(int num_stimuli, std::uint64_t seed) {
   suite.push_back(MakeTlc(num_stimuli, seed + 4));
   suite.push_back(MakeFindmin(num_stimuli, seed + 5));
   return suite;
+}
+
+std::vector<std::string> BenchmarkNames() {
+  return {"barcode", "gcd", "test1", "tlc", "findmin", "fig4"};
+}
+
+Result<Benchmark> MakeBenchmarkByName(const std::string& name,
+                                      int num_stimuli, std::uint64_t seed) {
+  std::string key;
+  key.reserve(name.size());
+  for (char c : name) {
+    key.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  // Optional ":<param>" suffix (only fig4 takes one).
+  std::string param;
+  if (const std::size_t colon = key.find(':'); colon != std::string::npos) {
+    param = key.substr(colon + 1);
+    key.resize(colon);
+  }
+  if (key == "fig4") {
+    double p = 0.5;
+    if (!param.empty()) {
+      char* end = nullptr;
+      p = std::strtod(param.c_str(), &end);
+      if (end == param.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+        return Status::MakeError("fig4 parameter must be a probability in "
+                                 "[0,1], got \"" + param + "\"");
+      }
+    }
+    return MakeFig4(p, num_stimuli, seed);
+  }
+  if (!param.empty()) {
+    return Status::MakeError("benchmark \"" + key +
+                             "\" takes no parameter");
+  }
+  // The seed offsets match MakeTable1Suite so per-name construction agrees
+  // with the whole-suite constructor.
+  if (key == "barcode") return MakeBarcode(num_stimuli, seed + 1);
+  if (key == "gcd") return MakeGcd(num_stimuli, seed + 2);
+  if (key == "test1") return MakeTest1(num_stimuli, seed + 3);
+  if (key == "tlc") return MakeTlc(num_stimuli, seed + 4);
+  if (key == "findmin") return MakeFindmin(num_stimuli, seed + 5);
+  std::string known;
+  for (const std::string& n : BenchmarkNames()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return Status::MakeError("unknown benchmark \"" + name +
+                           "\"; known: " + known);
+}
+
+Result<ScheduleReport> ScheduleBenchmark(const Benchmark& b,
+                                         const SchedulerOptions& options) {
+  ScheduleRequest request;
+  request.graph = &b.graph;
+  request.library = &b.library;
+  request.allocation = &b.allocation;
+  request.options = options;
+  return ScheduleOrError(request);
+}
+
+Result<ScheduleReport> ScheduleBenchmark(const Benchmark& b,
+                                         SpeculationMode mode) {
+  SchedulerOptions options;
+  options.mode = mode;
+  options.lookahead = b.lookahead;
+  return ScheduleBenchmark(b, options);
 }
 
 Benchmark MakeFig4(double p_true, int num_stimuli, std::uint64_t seed) {

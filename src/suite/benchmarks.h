@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "base/status.h"
 #include "cdfg/cdfg.h"
 #include "hw/resources.h"
+#include "sched/scheduler.h"
 #include "sim/stimulus.h"
 
 namespace ws {
@@ -63,6 +65,31 @@ std::vector<Benchmark> MakeTable1Suite(int num_stimuli, std::uint64_t seed);
 // conditional feeding a select. `p_true` annotates P(c1). All units
 // single-cycle (the example's premise).
 Benchmark MakeFig4(double p_true, int num_stimuli, std::uint64_t seed);
+
+// --- Registry -------------------------------------------------------------
+//
+// Name-based construction, so sweeps (the explore engine, CLIs) can carry
+// benchmarks as strings and every worker can rebuild its own shared-nothing
+// copy deterministically.
+
+// Registered names, lower-case: the five Table 1 rows plus "fig4".
+std::vector<std::string> BenchmarkNames();
+
+// Builds a benchmark by (case-insensitive) name. "fig4" takes an optional
+// branch-probability parameter as "fig4:<p>", e.g. "fig4:0.3" (default 0.5).
+// Unknown names produce an error listing the registry.
+Result<Benchmark> MakeBenchmarkByName(const std::string& name,
+                                      int num_stimuli, std::uint64_t seed);
+
+// Schedules a benchmark through the request/response API with the given
+// options, taken verbatim.
+Result<ScheduleReport> ScheduleBenchmark(const Benchmark& b,
+                                         const SchedulerOptions& options);
+
+// Convenience: schedules with defaults plus the given mode and the
+// benchmark's own lookahead (its steady-state pipeline depth).
+Result<ScheduleReport> ScheduleBenchmark(const Benchmark& b,
+                                         SpeculationMode mode);
 
 }  // namespace ws
 

@@ -1,0 +1,56 @@
+// Standalone (non-gtest) determinism check: the explore engine must produce
+// byte-identical canonical reports for any worker count. Used directly as a
+// smoke test and as the workload of the TSan-instrumented sub-build
+// (tests/run_tsan_check.cmake), where the worker pool's synchronization is
+// what is actually under test.
+#include <cstdio>
+#include <string>
+
+#include "explore/explore.h"
+#include "explore/report.h"
+
+int main() {
+  using namespace ws;
+
+  ExploreSpec spec;
+  spec.designs = {{"gcd", ""}, {"findmin", ""}, {"tlc", ""}};
+  spec.modes = {SpeculationMode::kWavesched, SpeculationMode::kWaveschedSpec};
+  spec.num_stimuli = 10;
+  spec.seed = 1998;
+
+  ReportRenderOptions render;
+  render.include_timing = false;
+
+  std::string golden;
+  for (const int workers : {0, 1, 4}) {
+    spec.workers = workers;
+    const Result<ExploreReport> report = RunExplore(spec);
+    if (!report.ok()) {
+      std::fprintf(stderr, "FAIL: workers=%d: %s\n", workers,
+                   report.error().c_str());
+      return 1;
+    }
+    for (const ExploreRun& run : report->runs) {
+      if (!run.ok) {
+        std::fprintf(stderr, "FAIL: workers=%d run %s/%s: %s\n", workers,
+                     run.design.c_str(), SpeculationModeName(run.mode),
+                     run.error.c_str());
+        return 1;
+      }
+    }
+    const std::string json = ExploreReportToJson(*report, render);
+    if (workers == 0) {
+      golden = json;
+    } else if (json != golden) {
+      std::fprintf(stderr,
+                   "FAIL: workers=%d report differs from sequential "
+                   "(%zu vs %zu bytes)\n",
+                   workers, json.size(), golden.size());
+      return 1;
+    }
+  }
+  std::printf("OK: explore reports byte-identical for workers {0,1,4} "
+              "(%zu bytes)\n",
+              golden.size());
+  return 0;
+}

@@ -1,0 +1,175 @@
+// The design-space exploration engine: grid materialization, parallel
+// determinism, per-run error capture, and report rendering.
+#include "explore/explore.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "explore/report.h"
+
+namespace ws {
+namespace {
+
+ExploreSpec SmallSpec() {
+  ExploreSpec spec;
+  spec.designs = {{"gcd", ""}, {"findmin", ""}};
+  spec.modes = {SpeculationMode::kWavesched, SpeculationMode::kWaveschedSpec};
+  spec.num_stimuli = 10;
+  spec.seed = 1998;
+  return spec;
+}
+
+std::string CanonicalJson(const ExploreReport& report) {
+  ReportRenderOptions render;
+  render.include_timing = false;  // wall-clock fields differ run to run
+  return ExploreReportToJson(report, render);
+}
+
+TEST(ExploreTest, EmptyDesignListIsASpecError) {
+  ExploreSpec spec;
+  const Result<ExploreReport> r = RunExplore(spec);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ExploreTest, GridIsCrossProductInSpecOrder) {
+  ExploreSpec spec = SmallSpec();
+  spec.allocations = {{"default", ""}, {"unlimited", "unlimited"}};
+  const Result<ExploreReport> r = RunExplore(spec);
+  ASSERT_TRUE(r.ok()) << r.error();
+  ASSERT_EQ(r->runs.size(), 2u * 2u * 2u);
+  // Design-major, then mode, then allocation.
+  EXPECT_EQ(r->runs[0].design, "gcd");
+  EXPECT_EQ(r->runs[0].allocation, "default");
+  EXPECT_EQ(r->runs[1].allocation, "unlimited");
+  EXPECT_EQ(r->runs[4].design, "findmin");
+  for (const ExploreRun& run : r->runs) {
+    EXPECT_TRUE(run.ok) << run.design << ": " << run.error;
+    EXPECT_GT(run.states, 0u);
+    EXPECT_GT(run.enc_markov, 0.0);
+  }
+}
+
+TEST(ExploreTest, ParallelReportIsByteIdenticalToSequential) {
+  ExploreSpec spec = SmallSpec();
+  spec.workers = 0;
+  const Result<ExploreReport> sequential = RunExplore(spec);
+  ASSERT_TRUE(sequential.ok()) << sequential.error();
+
+  spec.workers = 4;
+  const Result<ExploreReport> parallel = RunExplore(spec);
+  ASSERT_TRUE(parallel.ok()) << parallel.error();
+
+  spec.workers = 1;
+  const Result<ExploreReport> single = RunExplore(spec);
+  ASSERT_TRUE(single.ok()) << single.error();
+
+  EXPECT_EQ(CanonicalJson(*sequential), CanonicalJson(*parallel));
+  EXPECT_EQ(CanonicalJson(*sequential), CanonicalJson(*single));
+}
+
+TEST(ExploreTest, UnknownBenchmarkIsAPerRunError) {
+  ExploreSpec spec = SmallSpec();
+  spec.designs.push_back({"no_such_design", ""});
+  const Result<ExploreReport> r = RunExplore(spec);
+  ASSERT_TRUE(r.ok()) << r.error();  // the sweep itself succeeds
+  const ExploreRun* bad = r->Find("no_such_design",
+                                  SpeculationMode::kWavesched, "default",
+                                  "default");
+  ASSERT_NE(bad, nullptr);
+  EXPECT_FALSE(bad->ok);
+  EXPECT_FALSE(bad->error.empty());
+  // Healthy runs are unaffected.
+  const ExploreRun* good =
+      r->Find("gcd", SpeculationMode::kWavesched, "default", "default");
+  ASSERT_NE(good, nullptr);
+  EXPECT_TRUE(good->ok);
+}
+
+TEST(ExploreTest, ExhaustedCapIsAPerRunError) {
+  ExploreSpec spec = SmallSpec();
+  spec.base_options.max_states = 1;
+  const Result<ExploreReport> r = RunExplore(spec);
+  ASSERT_TRUE(r.ok()) << r.error();
+  for (const ExploreRun& run : r->runs) {
+    EXPECT_FALSE(run.ok);
+    EXPECT_FALSE(run.error.empty());
+  }
+  // Error runs still render.
+  EXPECT_NE(CanonicalJson(*r).find("\"ok\":false"), std::string::npos);
+}
+
+TEST(ExploreTest, InvalidBaseOptionsAreASpecError) {
+  ExploreSpec spec = SmallSpec();
+  spec.base_options.gc_window = 0;
+  EXPECT_FALSE(RunExplore(spec).ok());
+}
+
+TEST(ExploreTest, JsonCarriesPhaseTimingWhenRequested) {
+  ExploreSpec spec = SmallSpec();
+  spec.designs.resize(1);
+  spec.modes.resize(1);
+  const Result<ExploreReport> r = RunExplore(spec);
+  ASSERT_TRUE(r.ok()) << r.error();
+  ASSERT_EQ(r->runs.size(), 1u);
+  EXPECT_GT(r->runs[0].stats.phase.total_ns, 0);
+
+  const std::string timed = ExploreReportToJson(*r);
+  EXPECT_NE(timed.find("\"phase\""), std::string::npos);
+  EXPECT_NE(timed.find("\"successor_ns\""), std::string::npos);
+  EXPECT_NE(timed.find("\"closure_ns\""), std::string::npos);
+  EXPECT_NE(timed.find("\"bdd_ops\""), std::string::npos);
+
+  const std::string canonical = CanonicalJson(*r);
+  EXPECT_EQ(canonical.find("\"phase\""), std::string::npos);
+  EXPECT_EQ(canonical.find("wall_ms"), std::string::npos);
+}
+
+TEST(ExploreTest, SimEncMatchesMarkovOnDataIndependentDesign) {
+  // TLC's control flow is data-independent of the schedule, so the
+  // trace-driven and analytic E.N.C. agree in shape; on findmin with
+  // enough stimuli they track within a few percent.
+  ExploreSpec spec;
+  spec.designs = {{"findmin", ""}};
+  spec.modes = {SpeculationMode::kWaveschedSpec};
+  spec.num_stimuli = 50;
+  const Result<ExploreReport> r = RunExplore(spec);
+  ASSERT_TRUE(r.ok()) << r.error();
+  const ExploreRun& run = r->runs[0];
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_GT(run.enc_sim, 0.0);
+  EXPECT_NEAR(run.enc_sim / run.enc_markov, 1.0, 0.25);
+}
+
+TEST(ExploreTest, AreaOverheadComparesAgainstWavesched) {
+  ExploreSpec spec;
+  spec.designs = {{"gcd", ""}};
+  spec.modes = {SpeculationMode::kWavesched, SpeculationMode::kWaveschedSpec};
+  spec.num_stimuli = 10;
+  spec.measure_area = true;
+  const Result<ExploreReport> r = RunExplore(spec);
+  ASSERT_TRUE(r.ok()) << r.error();
+  const ExploreRun* base =
+      r->Find("gcd", SpeculationMode::kWavesched, "default", "default");
+  const ExploreRun* sp =
+      r->Find("gcd", SpeculationMode::kWaveschedSpec, "default", "default");
+  ASSERT_NE(base, nullptr);
+  ASSERT_NE(sp, nullptr);
+  EXPECT_GT(base->area, 0.0);
+  EXPECT_GT(sp->area, 0.0);
+  EXPECT_TRUE(sp->has_area_overhead);
+  EXPECT_FALSE(base->has_area_overhead);  // no overhead vs itself
+}
+
+TEST(ExploreTest, TableRendererCoversEveryRun) {
+  ExploreSpec spec = SmallSpec();
+  const Result<ExploreReport> r = RunExplore(spec);
+  ASSERT_TRUE(r.ok()) << r.error();
+  const std::string table = ExploreReportToTable(*r);
+  EXPECT_NE(table.find("gcd"), std::string::npos);
+  EXPECT_NE(table.find("findmin"), std::string::npos);
+  EXPECT_NE(table.find("wavesched-spec"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ws

@@ -1,0 +1,36 @@
+# Configures and builds a ThreadSanitizer-instrumented copy of the tree in a
+# nested build directory, then runs the explore determinism check under it.
+# Driven as a ctest test (see tests/CMakeLists.txt) so the tier-1 flow
+# exercises the worker pool's synchronization under TSan without sanitizing
+# the main build.
+#
+# Expects: -DSOURCE_DIR=<repo root> -DWORK_DIR=<scratch build dir>
+if(NOT DEFINED SOURCE_DIR OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "run_tsan_check.cmake needs -DSOURCE_DIR and -DWORK_DIR")
+endif()
+
+message(STATUS "TSan sub-build: configuring ${WORK_DIR}")
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${WORK_DIR}"
+          -DWS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE configure_rc)
+if(NOT configure_rc EQUAL 0)
+  message(FATAL_ERROR "TSan sub-build: configure failed (${configure_rc})")
+endif()
+
+message(STATUS "TSan sub-build: building explore_determinism_check")
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" --build "${WORK_DIR}"
+          --target explore_determinism_check
+  RESULT_VARIABLE build_rc)
+if(NOT build_rc EQUAL 0)
+  message(FATAL_ERROR "TSan sub-build: build failed (${build_rc})")
+endif()
+
+message(STATUS "TSan sub-build: running determinism check")
+execute_process(
+  COMMAND "${WORK_DIR}/tests/explore_determinism_check"
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "TSan determinism check failed (${run_rc})")
+endif()

@@ -1,0 +1,122 @@
+// The request/response scheduling API: SchedulerOptions validation,
+// non-throwing ScheduleOrError, and its equivalence with the throwing
+// Schedule() shim.
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "sched/scheduler.h"
+#include "stg/dot.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+TEST(SchedulerOptionsTest, DefaultIsValid) {
+  EXPECT_TRUE(SchedulerOptions{}.Validate().ok());
+}
+
+TEST(SchedulerOptionsTest, RejectsNegativeLookahead) {
+  SchedulerOptions opts;
+  opts.lookahead = -1;
+  const Status s = opts.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("lookahead"), std::string::npos);
+}
+
+TEST(SchedulerOptionsTest, RejectsGcWindowBelowOne) {
+  SchedulerOptions opts;
+  opts.gc_window = 0;
+  const Status s = opts.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("gc_window"), std::string::npos);
+}
+
+TEST(SchedulerOptionsTest, RejectsMaxStatesBelowOne) {
+  SchedulerOptions opts;
+  opts.max_states = 0;
+  const Status s = opts.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("max_states"), std::string::npos);
+}
+
+TEST(SchedulerOptionsTest, RejectsNonPositiveClockPeriod) {
+  SchedulerOptions opts;
+  opts.clock.period_ns = 0.0;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+TEST(ScheduleOrErrorTest, NullGraphIsAnErrorNotAThrow) {
+  ScheduleRequest req;  // all pointers null
+  const Result<ScheduleReport> r = ScheduleOrError(req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("graph"), std::string::npos);
+}
+
+TEST(ScheduleOrErrorTest, InvalidOptionsAreAnError) {
+  const Benchmark b = MakeBenchmarkByName("gcd", 1, 1998).value();
+  ScheduleRequest req{&b.graph, &b.library, &b.allocation, {}};
+  req.options.lookahead = -5;
+  const Result<ScheduleReport> r = ScheduleOrError(req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("lookahead"), std::string::npos);
+}
+
+TEST(ScheduleOrErrorTest, ExhaustedStateCapIsAnError) {
+  const Benchmark b = MakeBenchmarkByName("gcd", 1, 1998).value();
+  ScheduleRequest req{&b.graph, &b.library, &b.allocation, {}};
+  req.options.lookahead = b.lookahead;
+  req.options.max_states = 1;  // closure can never be reached
+  const Result<ScheduleReport> r = ScheduleOrError(req);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.error().empty());
+}
+
+TEST(ScheduleOrErrorTest, SuccessMatchesThrowingShim) {
+  const Benchmark b = MakeBenchmarkByName("findmin", 1, 1998).value();
+  SchedulerOptions opts;
+  opts.lookahead = b.lookahead;
+
+  ScheduleRequest req{&b.graph, &b.library, &b.allocation, opts};
+  const Result<ScheduleReport> r = ScheduleOrError(req);
+  ASSERT_TRUE(r.ok()) << r.error();
+
+  const ScheduleResult via_shim =
+      Schedule(b.graph, b.library, b.allocation, opts);
+  EXPECT_EQ(StgToText(r->stg, b.graph), StgToText(via_shim.stg, b.graph));
+  EXPECT_EQ(r->stats.states_created, via_shim.stats.states_created);
+  EXPECT_EQ(r->stats.total_ops, via_shim.stats.total_ops);
+}
+
+TEST(ScheduleOrErrorTest, FillsInstrumentation) {
+  const Benchmark b = MakeBenchmarkByName("tlc", 1, 1998).value();
+  ScheduleRequest req{&b.graph, &b.library, &b.allocation, {}};
+  req.options.lookahead = b.lookahead;
+  const Result<ScheduleReport> r = ScheduleOrError(req);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_GT(r->stats.candidates_generated, 0);
+  EXPECT_GT(r->stats.bdd_nodes, 0u);
+  EXPECT_GT(r->stats.phase.total_ns, 0);
+}
+
+TEST(ScheduleShimTest, ThrowsOnFailure) {
+  ScheduleRequest req;
+  SchedulerOptions opts;
+  opts.max_states = 0;
+  const Benchmark b = MakeBenchmarkByName("gcd", 1, 1998).value();
+  EXPECT_THROW(Schedule(b.graph, b.library, b.allocation, opts), Error);
+}
+
+TEST(ResultTest, ValueAndErrorAccessors) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_EQ(good.value(), 42);
+
+  Result<int> bad(Status::MakeError("boom"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "boom");
+  EXPECT_THROW(bad.value(), Error);
+}
+
+}  // namespace
+}  // namespace ws

@@ -13,10 +13,8 @@ namespace ws {
 namespace {
 
 ScheduleResult ScheduleBench(const Benchmark& b, SpeculationMode mode) {
-  SchedulerOptions opts;
-  opts.mode = mode;
-  opts.lookahead = b.lookahead;
-  return Schedule(b.graph, b.library, b.allocation, opts);
+  // The suite's request/response entry point; throws only via value().
+  return ScheduleBenchmark(b, mode).value();
 }
 
 class SmokeTest : public ::testing::TestWithParam<const char*> {

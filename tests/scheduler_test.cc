@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
 
 #include "analysis/metrics.h"
 #include "sched/scheduler.h"
@@ -25,10 +26,15 @@ const char* ModeTag(int mode) {
 
 ScheduleResult Sched(const Benchmark& b, SpeculationMode mode,
                      int lookahead = -1) {
-  SchedulerOptions opts;
-  opts.mode = mode;
-  opts.lookahead = lookahead < 0 ? b.lookahead : lookahead;
-  return Schedule(b.graph, b.library, b.allocation, opts);
+  ScheduleRequest req;
+  req.graph = &b.graph;
+  req.library = &b.library;
+  req.allocation = &b.allocation;
+  req.options.mode = mode;
+  req.options.lookahead = lookahead < 0 ? b.lookahead : lookahead;
+  Result<ScheduleReport> r = ScheduleOrError(req);
+  EXPECT_TRUE(r.ok()) << r.error();
+  return std::move(r).value();
 }
 
 // Checks the STG against the resource/clock constraints it was built under.

@@ -1,0 +1,102 @@
+#include "base/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+
+namespace ws {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  int count = 0;  // no synchronization needed: inline execution
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  EXPECT_EQ(count, 10);
+  pool.Wait();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(ThreadPoolTest, ResultSlotsSeeNoRaces) {
+  ThreadPool pool(4);
+  std::vector<std::int64_t> slots(200, 0);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    pool.Submit([&slots, i] { slots[i] = static_cast<std::int64_t>(i * i); });
+  }
+  pool.Wait();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], static_cast<std::int64_t>(i * i));
+  }
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&count, i] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error is delivered once; subsequent waits succeed.
+  pool.Wait();
+  EXPECT_EQ(count.load(), 9);
+}
+
+TEST(ThreadPoolTest, InlineModeAlsoCapturesExceptions) {
+  ThreadPool pool(0);
+  pool.Submit([] { throw std::runtime_error("inline failure"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Shutdown();
+    EXPECT_EQ(count.load(), 50);
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([] {}), Error);
+  // Shutdown is idempotent.
+  pool.Shutdown();
+}
+
+}  // namespace
+}  // namespace ws

@@ -1,0 +1,162 @@
+// ws_explore — design-space exploration driver.
+//
+// Sweeps benchmark × speculation-mode × allocation × clock grids through
+// the parallel explore engine and emits a JSON report (stdout), optionally
+// with a human-readable table on stderr.
+//
+// Usage:
+//   ws_explore [design.beh ...] [--suite] [--bench name,name,...]
+//              [--modes ws,single,spec] [--alloc spec]... [--clocks p,p,...]
+//              [--workers N] [--stimuli N] [--seed S]
+//              [--area] [--no-sim] [--no-timing] [--table]
+//
+//   design.beh     behavioral sources, compiled per worker
+//   --suite        add the five Table 1 suite benchmarks
+//   --bench        add suite benchmarks by name (gcd, test1, fig4:0.3, ...)
+//   --alloc        one allocation grid point per flag: "default",
+//                  "unlimited", "none", or "unit=count,..." overrides
+//                  ("inf" = unlimited); default grid is the benchmark's own
+//   --clocks       comma list of clock periods in ns; default 1.0
+//   --workers      worker threads (0 = sequential); default 4
+//   --no-timing    canonical output: omit wall-clock fields (diffable
+//                  across worker counts)
+//
+// Example — the full Table 1 sweep on 4 workers with area accounting:
+//   ws_explore --suite --modes ws,spec --area --workers 4 --table
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explore/explore.h"
+#include "explore/report.h"
+
+namespace {
+
+[[noreturn]] void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ws_explore [design.beh ...] [--suite] [--bench names]\n"
+      "                  [--modes ws,single,spec] [--alloc spec]...\n"
+      "                  [--clocks p,p,...] [--workers N] [--stimuli N]\n"
+      "                  [--seed S] [--area] [--no-sim] [--no-timing]\n"
+      "                  [--table]\n");
+  std::exit(2);
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ws;
+
+  ExploreSpec spec;
+  spec.workers = 4;
+  spec.modes.clear();
+  bool want_table = false;
+  ReportRenderOptions render;
+
+  std::vector<std::string> beh_files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (arg == "--suite") {
+      for (const char* name : {"barcode", "gcd", "test1", "tlc", "findmin"}) {
+        spec.designs.push_back(DesignSpec{name, ""});
+      }
+    } else if (arg == "--bench") {
+      for (const std::string& name : SplitCommas(next())) {
+        spec.designs.push_back(DesignSpec{name, ""});
+      }
+    } else if (arg == "--modes") {
+      for (const std::string& m : SplitCommas(next())) {
+        if (m == "ws") spec.modes.push_back(SpeculationMode::kWavesched);
+        else if (m == "single") spec.modes.push_back(SpeculationMode::kSinglePath);
+        else if (m == "spec") spec.modes.push_back(SpeculationMode::kWaveschedSpec);
+        else Usage();
+      }
+    } else if (arg == "--alloc") {
+      const std::string a = next();
+      spec.allocations.push_back(AllocationSpec{a, a});
+    } else if (arg == "--clocks") {
+      for (const std::string& p : SplitCommas(next())) {
+        ClockSpec c;
+        c.label = p + "ns";
+        c.clock.period_ns = std::atof(p.c_str());
+        spec.clocks.push_back(c);
+      }
+    } else if (arg == "--workers") {
+      spec.workers = std::atoi(next().c_str());
+    } else if (arg == "--stimuli") {
+      spec.num_stimuli = std::atoi(next().c_str());
+    } else if (arg == "--seed") {
+      spec.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--area") {
+      spec.measure_area = true;
+    } else if (arg == "--no-sim") {
+      spec.measure_sim_enc = false;
+    } else if (arg == "--no-timing") {
+      render.include_timing = false;
+    } else if (arg == "--table") {
+      want_table = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      Usage();
+    } else {
+      beh_files.push_back(arg);
+    }
+  }
+
+  for (const std::string& path : beh_files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    const std::size_t from = slash == std::string::npos ? 0 : slash + 1;
+    DesignSpec d;
+    d.name = path.substr(
+        from, dot == std::string::npos || dot < from ? std::string::npos
+                                                     : dot - from);
+    d.source = ss.str();
+    spec.designs.push_back(std::move(d));
+  }
+
+  if (spec.modes.empty()) {
+    spec.modes = {SpeculationMode::kWavesched,
+                  SpeculationMode::kWaveschedSpec};
+  }
+  if (spec.designs.empty()) Usage();
+
+  const Result<ExploreReport> report = RunExplore(spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.error().c_str());
+    return 1;
+  }
+  std::fputs(ExploreReportToJson(*report, render).c_str(), stdout);
+  if (want_table) {
+    std::fputs(ExploreReportToTable(*report).c_str(), stderr);
+  }
+  // Partial failures are in the report; reflect them in the exit code so
+  // sweeps in CI notice.
+  for (const ExploreRun& run : report->runs) {
+    if (!run.ok) return 3;
+  }
+  return 0;
+}
