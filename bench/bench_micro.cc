@@ -1,13 +1,22 @@
 // Microbenchmarks (google-benchmark): runtime of the scheduler and its
 // substrates. Not a paper artifact — engineering data for the library
 // itself (the paper reports no tool runtimes).
+//
+// JSON output mode: `bench_micro --ws_json[=PATH]` skips google-benchmark
+// entirely and writes the suite-level perf snapshot (the same document
+// `tools/bench_to_json` produces for BENCH_sched.json) to PATH or stdout.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "analysis/metrics.h"
 #include "bdd/bdd.h"
 #include "sched/scheduler.h"
 #include "sim/interpreter.h"
 #include "sim/stg_sim.h"
+#include "suite/bench_json.h"
 #include "suite/benchmarks.h"
 
 namespace ws {
@@ -27,6 +36,107 @@ void BM_BddConjunction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BddConjunction);
+
+// Unique-table throughput: builds a fresh manager per iteration and creates
+// a few thousand distinct nodes (disjunction of conjunction pairs keeps the
+// graph wide, defeating the ITE cache's trivial hits), so the timing is
+// dominated by MakeNode's find-or-insert path including growth/rehashing.
+void BM_BddUniqueTableChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    BddManager mgr;
+    std::vector<int> vars;
+    for (int i = 0; i < 32; ++i) vars.push_back(mgr.NewVar("v"));
+    Bdd f = mgr.False();
+    for (int i = 0; i < 31; ++i) {
+      for (int j = i + 1; j < 32; ++j) {
+        f = mgr.Or(f, mgr.And(mgr.Var(vars[static_cast<std::size_t>(i)]),
+                              mgr.Var(vars[static_cast<std::size_t>(j)])));
+      }
+    }
+    benchmark::DoNotOptimize(f);
+    state.counters["nodes"] = static_cast<double>(mgr.num_nodes());
+  }
+}
+BENCHMARK(BM_BddUniqueTableChurn);
+
+// ITE-cache hit path: repeats the same conjunction sweep on one manager, so
+// after the first pass every operation is a pure cache probe.
+void BM_BddIteCacheHits(benchmark::State& state) {
+  BddManager mgr;
+  std::vector<Bdd> lits;
+  for (int i = 0; i < 24; ++i) {
+    const int v = mgr.NewVar("v");
+    lits.push_back(i % 2 == 0 ? mgr.Var(v) : mgr.NotVar(v));
+  }
+  for (auto _ : state) {
+    Bdd f = mgr.True();
+    for (const Bdd lit : lits) f = mgr.And(f, lit);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_BddIteCacheHits);
+
+// Balanced AndAll over a deep literal list (the guard-conjunction shape the
+// scheduler produces when speculation runs many iterations ahead).
+void BM_BddAndAllDeep(benchmark::State& state) {
+  BddManager mgr;
+  std::vector<Bdd> lits;
+  for (int i = 0; i < 48; ++i) {
+    const int v = mgr.NewVar("v");
+    lits.push_back(i % 3 == 0 ? mgr.NotVar(v) : mgr.Var(v));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.AndAll(lits));
+  }
+}
+BENCHMARK(BM_BddAndAllDeep);
+
+// Cofactor sweep with the reused member memo: the shape Fold() produces at
+// every controller fork (restrict every live guard by one variable).
+void BM_BddRestrictSweep(benchmark::State& state) {
+  BddManager mgr;
+  std::vector<int> vars;
+  for (int i = 0; i < 20; ++i) vars.push_back(mgr.NewVar("v"));
+  std::vector<Bdd> guards;
+  Bdd acc = mgr.True();
+  for (int i = 0; i + 1 < 20; ++i) {
+    acc = mgr.And(acc, mgr.Or(mgr.Var(vars[static_cast<std::size_t>(i)]),
+                              mgr.Var(vars[static_cast<std::size_t>(i + 1)])));
+    guards.push_back(acc);
+  }
+  for (auto _ : state) {
+    for (const Bdd g : guards) {
+      benchmark::DoNotOptimize(mgr.Restrict(g, vars[7], true));
+      benchmark::DoNotOptimize(mgr.Restrict(g, vars[8], false));
+    }
+  }
+}
+BENCHMARK(BM_BddRestrictSweep);
+
+// Shift-canonical rename, the guard-canonicalization primitive of the
+// closure fingerprint: every live guard renamed down by one iteration.
+void BM_BddRenameDense(benchmark::State& state) {
+  BddManager mgr;
+  std::vector<int> vars;
+  for (int i = 0; i < 24; ++i) vars.push_back(mgr.NewVar("v"));
+  std::vector<Bdd> guards;
+  for (int i = 0; i + 2 < 24; i += 3) {
+    guards.push_back(mgr.Or(
+        mgr.And(mgr.Var(vars[static_cast<std::size_t>(i)]),
+                mgr.Var(vars[static_cast<std::size_t>(i + 1)])),
+        mgr.NotVar(vars[static_cast<std::size_t>(i + 2)])));
+  }
+  std::vector<int> shift_map(24);
+  for (int i = 0; i < 24; ++i) shift_map[static_cast<std::size_t>(i)] = (i + 8) % 24;
+  for (auto _ : state) {
+    bool fresh = true;
+    for (const Bdd g : guards) {
+      benchmark::DoNotOptimize(mgr.RenameDense(g, shift_map, fresh));
+      fresh = false;
+    }
+  }
+}
+BENCHMARK(BM_BddRenameDense);
 
 void BM_BddProbability(benchmark::State& state) {
   BddManager mgr;
@@ -110,4 +220,38 @@ BENCHMARK(BM_MarkovExpectedCycles);
 }  // namespace
 }  // namespace ws
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--ws_json") == 0 ||
+        std::strncmp(arg, "--ws_json=", 10) == 0) {
+      ws::BenchJsonOptions opts;
+      opts.label = "bench_micro";
+      const ws::Result<std::string> doc = ws::RenderBenchJson(opts);
+      if (!doc.ok()) {
+        std::fprintf(stderr, "bench_micro: %s\n",
+                     doc.status().message().c_str());
+        return 1;
+      }
+      const std::string path =
+          std::strlen(arg) > 10 ? std::string(arg + 10) : std::string();
+      if (path.empty()) {
+        std::fputs(doc.value().c_str(), stdout);
+        return 0;
+      }
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "bench_micro: cannot open %s\n", path.c_str());
+        return 1;
+      }
+      std::fputs(doc.value().c_str(), f);
+      std::fclose(f);
+      return 0;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Deterministic, platform-independent hashing primitives.
+//
+// Everything here is defined purely over fixed-width integers — no
+// std::hash, no size_t-dependent behavior — so hashes are bit-identical
+// across platforms, compilers and standard libraries. That property is
+// load-bearing: the scheduler's closure detection keys canonical state
+// fingerprints on these mixers, and the explore engine guarantees
+// byte-identical reports at any worker count.
+#ifndef WS_BASE_HASHING_H
+#define WS_BASE_HASHING_H
+
+#include <cstdint>
+
+namespace ws {
+
+// SplitMix64 finalizer (Steele, Lea, Flood; public domain). A full-avalanche
+// 64-bit mixer: every input bit affects every output bit with ~50%
+// probability. Used both as a standalone integer hash and as the combining
+// step of larger hashes.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Order-dependent combine: fold `value` into `seed`. Unlike the classic
+// `seed * 1000003 ^ value` pattern this has no fixed points near zero and
+// avalanches fully, so low-entropy keys (small dense integers, which is all
+// BDD node indices are) spread across the whole table.
+constexpr std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value) {
+  return SplitMix64(seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                            (seed >> 2)));
+}
+
+// Convenience mixers for the BDD flat tables: hash 2/3 packed u32 keys into
+// one well-distributed u64.
+constexpr std::uint64_t Hash2(std::uint32_t a, std::uint32_t b) {
+  return SplitMix64((static_cast<std::uint64_t>(a) << 32) | b);
+}
+constexpr std::uint64_t Hash3(std::uint32_t a, std::uint32_t b,
+                              std::uint32_t c) {
+  return HashCombine(Hash2(a, b), c);
+}
+
+// A 128-bit structural fingerprint, accumulated token-by-token. Two
+// independently-seeded 64-bit lanes; the probability that two distinct token
+// streams collide is ~2^-128, and every consumer that cannot tolerate even
+// that performs an exact comparison on fingerprint hits (see
+// SchedulerImpl::CreateOrGet).
+struct Fp128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Fp128& a, const Fp128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Fp128& a, const Fp128& b) { return !(a == b); }
+};
+
+// Streaming fingerprint builder. Order-dependent: Mix(a); Mix(b) differs
+// from Mix(b); Mix(a). Deterministic for a given token sequence on every
+// platform.
+class FpHasher {
+ public:
+  FpHasher() = default;
+
+  void Mix(std::uint64_t token) {
+    state_.lo = HashCombine(state_.lo, token);
+    state_.hi = HashCombine(state_.hi, token ^ 0xa5a5a5a5a5a5a5a5ull);
+  }
+
+  [[nodiscard]] Fp128 digest() const {
+    // Finalize so short streams don't expose raw combiner state.
+    return Fp128{SplitMix64(state_.lo), SplitMix64(state_.hi ^ state_.lo)};
+  }
+
+ private:
+  Fp128 state_{0x6a09e667f3bcc908ull, 0xbb67ae8584caa73bull};
+};
+
+// Hash functor for keying std::unordered_map on Fp128. The lanes are already
+// fully mixed, so truncation to size_t is safe.
+struct Fp128Hash {
+  std::size_t operator()(const Fp128& fp) const {
+    return static_cast<std::size_t>(fp.lo ^ (fp.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+}  // namespace ws
+
+#endif  // WS_BASE_HASHING_H

@@ -3,14 +3,34 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/hashing.h"
 #include "base/strings.h"
 
 namespace ws {
+namespace {
+
+// Initial capacities for the flat tables and the node store. Sized so a
+// typical scheduling run (a few thousand nodes) never rehashes; power of two
+// is a table invariant.
+constexpr std::size_t kInitialUniqueCapacity = 1u << 12;
+constexpr std::size_t kInitialIteCapacity = 1u << 12;
+constexpr std::size_t kInitialNodeReserve = 1u << 12;
+
+// Grow when a table passes 70% load: linear probing stays short and the
+// doubling cadence keeps rehash cost amortized O(1) per insert.
+constexpr bool NeedsGrow(std::size_t size, std::size_t capacity) {
+  return size * 10 >= capacity * 7;
+}
+
+}  // namespace
 
 BddManager::BddManager() {
+  nodes_.reserve(kInitialNodeReserve);
   // Node 0 = constant false, node 1 = constant true.
   nodes_.push_back({kTerminalVar, 0, 0});
   nodes_.push_back({kTerminalVar, 1, 1});
+  unique_slots_.assign(kInitialUniqueCapacity, kEmptySlot);
+  ite_slots_.assign(kInitialIteCapacity, IteEntry{});
 }
 
 int BddManager::NewVar(const std::string& name) {
@@ -33,15 +53,39 @@ Bdd BddManager::NotVar(int var) {
   return Bdd(MakeNode(var, 1, 0));
 }
 
+void BddManager::GrowUnique() {
+  std::vector<std::uint32_t> old = std::move(unique_slots_);
+  unique_slots_.assign(old.size() * 2, kEmptySlot);
+  const std::size_t mask = unique_slots_.size() - 1;
+  for (const std::uint32_t n : old) {
+    if (n == kEmptySlot) continue;
+    const Node& node = nodes_[n];
+    std::size_t i = Hash3(static_cast<std::uint32_t>(node.var), node.low,
+                          node.high) &
+                    mask;
+    while (unique_slots_[i] != kEmptySlot) i = (i + 1) & mask;
+    unique_slots_[i] = n;
+  }
+}
+
 std::uint32_t BddManager::MakeNode(int var, std::uint32_t low,
                                    std::uint32_t high) {
   if (low == high) return low;  // reduction rule
-  const auto key = std::make_tuple(var, low, high);
-  auto it = unique_.find(key);
-  if (it != unique_.end()) return it->second;
+  if (NeedsGrow(unique_size_, unique_slots_.size())) GrowUnique();
+  const std::size_t mask = unique_slots_.size() - 1;
+  std::size_t i =
+      Hash3(static_cast<std::uint32_t>(var), low, high) & mask;
+  for (;;) {
+    const std::uint32_t slot = unique_slots_[i];
+    if (slot == kEmptySlot) break;
+    const Node& node = nodes_[slot];
+    if (node.var == var && node.low == low && node.high == high) return slot;
+    i = (i + 1) & mask;
+  }
   const auto index = static_cast<std::uint32_t>(nodes_.size());
   nodes_.push_back({var, low, high});
-  unique_.emplace(key, index);
+  unique_slots_[i] = index;
+  ++unique_size_;
   return index;
 }
 
@@ -57,6 +101,18 @@ Bdd BddManager::Ite(Bdd f, Bdd g, Bdd h) {
   return Bdd(IteRec(f.index(), g.index(), h.index()));
 }
 
+void BddManager::GrowIte() {
+  std::vector<IteEntry> old = std::move(ite_slots_);
+  ite_slots_.assign(old.size() * 2, IteEntry{});
+  const std::size_t mask = ite_slots_.size() - 1;
+  for (const IteEntry& e : old) {
+    if (e.f == kEmptySlot) continue;
+    std::size_t i = Hash3(e.f, e.g, e.h) & mask;
+    while (ite_slots_[i].f != kEmptySlot) i = (i + 1) & mask;
+    ite_slots_[i] = e;
+  }
+}
+
 std::uint32_t BddManager::IteRec(std::uint32_t f, std::uint32_t g,
                                  std::uint32_t h) {
   // Terminal cases.
@@ -65,9 +121,16 @@ std::uint32_t BddManager::IteRec(std::uint32_t f, std::uint32_t g,
   if (g == h) return g;
   if (g == 1 && h == 0) return f;
 
-  const auto key = std::make_tuple(f, g, h);
-  auto it = ite_cache_.find(key);
-  if (it != ite_cache_.end()) return it->second;
+  {
+    const std::size_t mask = ite_slots_.size() - 1;
+    std::size_t i = Hash3(f, g, h) & mask;
+    for (;;) {
+      const IteEntry& e = ite_slots_[i];
+      if (e.f == kEmptySlot) break;
+      if (e.f == f && e.g == g && e.h == h) return e.result;
+      i = (i + 1) & mask;
+    }
+  }
 
   const int vf = var_of(f);
   const int vg = var_of(g);
@@ -84,45 +147,85 @@ std::uint32_t BddManager::IteRec(std::uint32_t f, std::uint32_t g,
   const std::uint32_t low = IteRec(f0, g0, h0);
   const std::uint32_t high = IteRec(f1, g1, h1);
   const std::uint32_t result = MakeNode(top, low, high);
-  ite_cache_.emplace(key, result);
+
+  // Re-probe: the recursive calls may have grown/rehashed the cache.
+  if (NeedsGrow(ite_size_, ite_slots_.size())) GrowIte();
+  const std::size_t mask = ite_slots_.size() - 1;
+  std::size_t i = Hash3(f, g, h) & mask;
+  while (ite_slots_[i].f != kEmptySlot) i = (i + 1) & mask;
+  ite_slots_[i] = IteEntry{f, g, h, result};
+  ++ite_size_;
   return result;
 }
 
 Bdd BddManager::AndAll(const std::vector<Bdd>& fs) {
-  Bdd acc = True();
-  for (Bdd f : fs) acc = And(acc, f);
-  return acc;
+  // Balanced pairwise reduction (see header). Scratch is a member so the
+  // scheduler's per-candidate calls do not allocate in steady state.
+  if (fs.empty()) return True();
+  reduce_scratch_.assign(fs.begin(), fs.end());
+  std::size_t n = reduce_scratch_.size();
+  while (n > 1) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+      reduce_scratch_[out++] =
+          And(reduce_scratch_[i], reduce_scratch_[i + 1]);
+    }
+    if (n % 2 == 1) reduce_scratch_[out++] = reduce_scratch_[n - 1];
+    n = out;
+  }
+  return reduce_scratch_[0];
 }
 
 Bdd BddManager::OrAll(const std::vector<Bdd>& fs) {
-  Bdd acc = False();
-  for (Bdd f : fs) acc = Or(acc, f);
-  return acc;
+  if (fs.empty()) return False();
+  reduce_scratch_.assign(fs.begin(), fs.end());
+  std::size_t n = reduce_scratch_.size();
+  while (n > 1) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+      reduce_scratch_[out++] = Or(reduce_scratch_[i], reduce_scratch_[i + 1]);
+    }
+    if (n % 2 == 1) reduce_scratch_[out++] = reduce_scratch_[n - 1];
+    n = out;
+  }
+  return reduce_scratch_[0];
+}
+
+void BddManager::BeginMemoEpoch() {
+  ++memo_epoch_;
+  if (memo_epoch_ == 0) {
+    // Stamp wrap-around: every stale stamp could now alias the live epoch.
+    // Reset (happens once per 2^32 epochs).
+    std::fill(memo_stamp_.begin(), memo_stamp_.end(), 0u);
+    memo_epoch_ = 1;
+  }
+  if (memo_stamp_.size() < nodes_.size()) {
+    memo_stamp_.resize(nodes_.size(), 0u);
+    memo_value_.resize(nodes_.size());
+  }
 }
 
 Bdd BddManager::Restrict(Bdd f, int var, bool value) {
   ++num_ops_;
-  std::unordered_map<std::uint32_t, std::uint32_t> memo;
-  return Bdd(RestrictRec(f.index(), var, value, memo));
+  BeginMemoEpoch();
+  return Bdd(RestrictRec(f.index(), var, value));
 }
 
-std::uint32_t BddManager::RestrictRec(
-    std::uint32_t f, int var, bool value,
-    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
+std::uint32_t BddManager::RestrictRec(std::uint32_t f, int var, bool value) {
   if (f <= 1) return f;
   const int v = var_of(f);
   if (v > var) return f;  // var does not occur below this node
-  auto it = memo.find(f);
-  if (it != memo.end()) return it->second;
+  if (memo_stamp_[f] == memo_epoch_) return memo_value_[f];
   std::uint32_t result;
   if (v == var) {
     result = value ? nodes_[f].high : nodes_[f].low;
   } else {
-    const std::uint32_t low = RestrictRec(nodes_[f].low, var, value, memo);
-    const std::uint32_t high = RestrictRec(nodes_[f].high, var, value, memo);
+    const std::uint32_t low = RestrictRec(nodes_[f].low, var, value);
+    const std::uint32_t high = RestrictRec(nodes_[f].high, var, value);
     result = MakeNode(v, low, high);
   }
-  memo.emplace(f, result);
+  memo_stamp_[f] = memo_epoch_;
+  memo_value_[f] = result;
   return result;
 }
 
@@ -196,25 +299,40 @@ double BddManager::SatCount(Bdd f, int num_vars) const {
 }
 
 Bdd BddManager::Rename(Bdd f, const std::unordered_map<int, int>& var_map) {
+  // Adapter over the dense-map implementation.
+  std::vector<int> dense(static_cast<std::size_t>(num_vars()), -1);
+  for (const auto& [from, to] : var_map) {
+    WS_CHECK(from >= 0 && from < num_vars());
+    dense[static_cast<std::size_t>(from)] = to;
+  }
+  return RenameDense(f, dense, /*fresh_map=*/true);
+}
+
+Bdd BddManager::RenameDense(Bdd f, const std::vector<int>& var_map,
+                            bool fresh_map) {
   // Rebuild bottom-up through ITE so order-changing maps stay canonical.
-  std::unordered_map<std::uint32_t, Bdd> memo;
-  // Recursive lambda.
-  auto rec = [&](auto&& self, std::uint32_t n) -> Bdd {
-    if (n == 0) return False();
-    if (n == 1) return True();
-    auto it = memo.find(n);
-    if (it != memo.end()) return it->second;
-    const int old_var = var_of(n);
-    auto mapped = var_map.find(old_var);
-    const int new_var = (mapped != var_map.end()) ? mapped->second : old_var;
-    WS_CHECK(new_var >= 0 && new_var < num_vars());
-    const Bdd low = self(self, nodes_[n].low);
-    const Bdd high = self(self, nodes_[n].high);
-    const Bdd result = Ite(Var(new_var), high, low);
-    memo.emplace(n, result);
-    return result;
-  };
-  return rec(rec, f.index());
+  ++num_ops_;
+  if (fresh_map) BeginMemoEpoch();
+  return Bdd(RenameDenseRec(f.index(), var_map));
+}
+
+std::uint32_t BddManager::RenameDenseRec(std::uint32_t n,
+                                         const std::vector<int>& var_map) {
+  if (n <= 1) return n;
+  if (memo_stamp_[n] == memo_epoch_) return memo_value_[n];
+  const int old_var = var_of(n);
+  const int mapped = (static_cast<std::size_t>(old_var) < var_map.size())
+                         ? var_map[static_cast<std::size_t>(old_var)]
+                         : -1;
+  const int new_var = (mapped >= 0) ? mapped : old_var;
+  WS_CHECK(new_var >= 0 && new_var < num_vars());
+  const std::uint32_t low = RenameDenseRec(nodes_[n].low, var_map);
+  const std::uint32_t high = RenameDenseRec(nodes_[n].high, var_map);
+  const std::uint32_t result =
+      IteRec(MakeNode(new_var, 0, 1), high, low);
+  memo_stamp_[n] = memo_epoch_;
+  memo_value_[n] = result;
+  return result;
 }
 
 std::vector<BddCube> BddManager::ToSop(Bdd f) const {

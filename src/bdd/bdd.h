@@ -13,6 +13,14 @@
 //    (one per scheduling run) and the graphs involved are tiny by BDD
 //    standards, so a monotonically growing node table keeps the code simple.
 //  * Variable order equals variable creation order.
+//  * The unique table and the ITE cache are open-addressed flat tables
+//    (power-of-two capacity, linear probing, SplitMix64-grade mixing from
+//    base/hashing.h) rather than std::unordered_map: the scheduler hammers
+//    MakeNode/IteRec in its inner loop and the node-per-bucket allocation,
+//    pointer chasing and weak tuple hashing of the map versions dominated
+//    its profile. The unique table stores bare node indices (the key is
+//    re-read from the node store), the ITE cache stores 16-byte entries;
+//    both grow by doubling and never shrink.
 #ifndef WS_BDD_BDD_H
 #define WS_BDD_BDD_H
 
@@ -85,7 +93,10 @@ class BddManager {
   Bdd Implies(Bdd a, Bdd b);
   Bdd Ite(Bdd f, Bdd g, Bdd h);
 
-  // Variadic conveniences.
+  // Variadic conveniences. Reduced as a balanced tree, not a left fold: deep
+  // guard conjunctions otherwise degenerate into skewed ITE chains whose
+  // intermediate results defeat the ITE cache. The result is identical
+  // either way (AND/OR are associative and ROBDDs are canonical).
   Bdd AndAll(const std::vector<Bdd>& fs);
   Bdd OrAll(const std::vector<Bdd>& fs);
 
@@ -94,7 +105,9 @@ class BddManager {
   bool IsTrue(Bdd f) const { return f == True(); }
   bool IsFalse(Bdd f) const { return f == False(); }
 
-  // f restricted with var := value (Shannon cofactor).
+  // f restricted with var := value (Shannon cofactor). The memo table is a
+  // node-indexed epoch-stamped member reused across calls — the per-fork
+  // cofactor sweep in the scheduler calls this in a tight loop.
   Bdd Restrict(Bdd f, int var, bool value);
 
   // Simultaneous restriction by a partial assignment (var -> value).
@@ -122,6 +135,14 @@ class BddManager {
   // order-changing) maps.
   Bdd Rename(Bdd f, const std::unordered_map<int, int>& var_map);
 
+  // Rename with a dense map: variable v maps to var_map[v]; entries < 0 (or
+  // past the end) mean "keep v". The allocation-light variant used by the
+  // scheduler's shift-canonical state fingerprinting, which renames every
+  // live guard once per closure probe: the memo is a node-indexed
+  // epoch-stamped member shared across consecutive calls with the same map
+  // (`fresh_map` starts a new epoch).
+  Bdd RenameDense(Bdd f, const std::vector<int>& var_map, bool fresh_map);
+
   // A disjoint sum-of-products cover of f (one cube per 1-path of the BDD).
   // Deterministic for a given manager, so usable in canonical signatures.
   std::vector<BddCube> ToSop(Bdd f) const;
@@ -146,14 +167,26 @@ class BddManager {
     std::uint32_t high;  // var = 1 child
   };
   static constexpr int kTerminalVar = 0x7fffffff;
+  // Empty-slot sentinel for the flat tables; never a valid node index
+  // (coincides with Bdd::kInvalid).
+  static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
 
   std::uint32_t MakeNode(int var, std::uint32_t low, std::uint32_t high);
   std::uint32_t IteRec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
-  std::uint32_t RestrictRec(std::uint32_t f, int var, bool value,
-                            std::unordered_map<std::uint32_t, std::uint32_t>&
-                                memo);
+  std::uint32_t RestrictRec(std::uint32_t f, int var, bool value);
+  std::uint32_t RenameDenseRec(std::uint32_t f,
+                               const std::vector<int>& var_map);
   double ProbRec(std::uint32_t f, const std::vector<double>& prob_true,
                  std::unordered_map<std::uint32_t, double>& memo) const;
+
+  // Flat-table plumbing.
+  void GrowUnique();
+  void GrowIte();
+
+  // Starts a fresh epoch of the node-indexed scratch memo (value table
+  // `memo_value_` guarded by `memo_stamp_`), sized for the current node
+  // count. O(1) amortized: stamps invalidate without clearing.
+  void BeginMemoEpoch();
 
   int var_of(std::uint32_t n) const { return nodes_[n].var; }
 
@@ -161,33 +194,33 @@ class BddManager {
   std::vector<std::string> var_names_;
   std::uint64_t num_ops_ = 0;
 
-  struct TripleHash {
-    std::size_t operator()(const std::tuple<int, std::uint32_t,
-                                            std::uint32_t>& t) const {
-      auto [v, l, h] = t;
-      std::size_t s = std::hash<int>()(v);
-      s = s * 1000003u ^ std::hash<std::uint32_t>()(l);
-      s = s * 1000003u ^ std::hash<std::uint32_t>()(h);
-      return s;
-    }
-  };
-  std::unordered_map<std::tuple<int, std::uint32_t, std::uint32_t>,
-                     std::uint32_t, TripleHash>
-      unique_;
+  // Unique table: open-addressed, power-of-two, linear probing. Slots hold
+  // node indices (kEmptySlot = free); the (var, low, high) key lives in
+  // nodes_, so the table costs 4 bytes per slot.
+  std::vector<std::uint32_t> unique_slots_;
+  std::size_t unique_size_ = 0;
 
-  struct IteKeyHash {
-    std::size_t operator()(const std::tuple<std::uint32_t, std::uint32_t,
-                                            std::uint32_t>& t) const {
-      auto [f, g, h] = t;
-      std::size_t s = std::hash<std::uint32_t>()(f);
-      s = s * 1000003u ^ std::hash<std::uint32_t>()(g);
-      s = s * 1000003u ^ std::hash<std::uint32_t>()(h);
-      return s;
-    }
+  // ITE cache: open-addressed (f, g, h) -> result. Exact (grows instead of
+  // evicting) so operation results never get recomputed; 16 bytes per slot.
+  struct IteEntry {
+    std::uint32_t f = kEmptySlot;
+    std::uint32_t g = 0;
+    std::uint32_t h = 0;
+    std::uint32_t result = 0;
   };
-  std::unordered_map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>,
-                     std::uint32_t, IteKeyHash>
-      ite_cache_;
+  std::vector<IteEntry> ite_slots_;
+  std::size_t ite_size_ = 0;
+
+  // Node-indexed scratch memo shared by Restrict and RenameDense (both
+  // traverse only nodes that existed when their epoch began, so entries
+  // cannot alias nodes created mid-operation). memo_stamp_[n] == memo_epoch_
+  // marks memo_value_[n] live.
+  std::vector<std::uint32_t> memo_value_;
+  std::vector<std::uint32_t> memo_stamp_;
+  std::uint32_t memo_epoch_ = 0;
+
+  // Scratch for the balanced AndAll/OrAll reduction.
+  std::vector<Bdd> reduce_scratch_;
 };
 
 }  // namespace ws

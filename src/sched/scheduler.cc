@@ -11,6 +11,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "base/hashing.h"
 #include "base/strings.h"
 #include "bdd/bdd.h"
 #include "sched/lambda.h"
@@ -160,7 +161,9 @@ class SchedulerImpl {
                        bool require_completed);
 
   // --- Candidate generation / state filling ---------------------------------------
-  std::vector<Candidate> GenerateCandidates(PathState& ps);
+  // Clears and refills `*out` (caller-owned so its capacity is reused across
+  // the greedy admission loop).
+  void GenerateCandidates(PathState& ps, std::vector<Candidate>* out);
   void GenerateSelectCandidates(PathState& ps, const Node& n, int iter,
                                 Bdd ctrl, std::vector<Candidate>* cands);
   void FillState(StateId sid, PathState& ps);
@@ -182,7 +185,29 @@ class SchedulerImpl {
   void ComputeHardUses();
   void GarbageCollect(PathState& ps);
   bool IsDone(const PathState& ps, std::vector<OutputBinding>* outputs);
-  std::string Signature(const PathState& ps, std::vector<int>* bases);
+
+  // --- Canonical state signatures ---------------------------------------------
+  //
+  // Closure detection (the paper's relabeling map M) keys states on a
+  // shift-canonical structural fingerprint. TokenizeState serializes the
+  // PathState into `sig_tokens_` — a length-prefixed u64 token stream whose
+  // vector equality is exactly "same state modulo a uniform per-loop
+  // iteration shift" — and the closure map keys a 128-bit hash of that
+  // stream, falling back to exact token comparison on hash hits. Guards
+  // enter the stream as the node index of their shift-canonicalized BDD
+  // (BddManager::RenameDense), never as strings.
+  void TokenizeState(const PathState& ps, std::vector<int>* bases);
+  // Prepares the var shift map for `bases` (creating shifted condition
+  // variables as needed); leaves the result in shift_var_map_ /
+  // shift_identity_.
+  void PrepareShift(const std::vector<int>& bases);
+  // The canonical token of `guard` under the prepared shift.
+  std::uint64_t GuardToken(Bdd guard);
+
+  // Legacy human-readable signature, kept for WS_DEBUG_SIG dumps, deadlock
+  // diagnostics, and the WS_CHECK_SIG cross-validation of the fingerprint
+  // path (tests/signature_test.cc). Not on the hot path.
+  std::string DebugSignature(const PathState& ps, std::vector<int>* bases);
   std::string CanonGuard(Bdd guard, const std::vector<int>& bases);
 
   struct GetResult {
@@ -219,9 +244,37 @@ class SchedulerImpl {
 
   Stg stg_;
   ScheduleStats stats_;
-  std::unordered_map<std::string, std::pair<StateId, std::vector<int>>>
-      canon_;
+
+  // Closure map: state fingerprint -> canonical entries. Buckets are vectors
+  // so true 128-bit collisions degrade to an exact comparison, never to a
+  // wrong merge. Each entry keeps the full token stream for that comparison
+  // plus the loop bases the tokens were canonicalized at (needed to compute
+  // the relabel shift on a hit).
+  struct CanonEntry {
+    std::vector<std::uint64_t> tokens;
+    StateId sid;
+    std::vector<int> bases;
+  };
+  std::unordered_map<Fp128, std::vector<CanonEntry>, Fp128Hash> canon_;
+  // WS_CHECK_SIG cross-validation: legacy string signature -> StateId,
+  // maintained only when the env var is set.
+  std::unordered_map<std::string, StateId> canon_check_;
+  const bool check_signatures_ = std::getenv("WS_CHECK_SIG") != nullptr;
+
   std::deque<std::pair<StateId, PathState>> worklist_;
+
+  // Scratch buffers reused across hot-path calls (cleared, never shrunk, so
+  // steady-state scheduling does not allocate in these paths).
+  std::vector<std::uint64_t> sig_tokens_;            // TokenizeState output
+  std::vector<int> shift_var_map_;                   // var -> shifted var
+  std::vector<std::pair<int, Key>> shift_wanted_;    // PrepareShift scratch
+  bool shift_identity_ = true;                       // all bases zero
+  bool shift_epoch_open_ = false;                    // RenameDense memo state
+  std::vector<std::pair<int, int>> pending_iters_;   // (loop, iter), sorted
+  std::vector<std::uint64_t> pend_tokens_;           // pending-work section
+  std::vector<int> spec_base_;                       // GenerateCandidates
+  std::vector<Candidate> cand_scratch_;              // raw candidates
+  std::vector<bool> is_loop_cond_;                   // by node, built once
 
   static constexpr int kMaxResolvePerState = 4;
   static constexpr int kMaxRecursionDepth = 64;
@@ -509,7 +562,8 @@ void SchedulerImpl::GenerateSelectCandidates(PathState& ps, const Node& n,
   }
 }
 
-std::vector<Candidate> SchedulerImpl::GenerateCandidates(PathState& ps) {
+void SchedulerImpl::GenerateCandidates(PathState& ps,
+                                       std::vector<Candidate>* out) {
   const PhaseTimer timer(&stats_.phase.successor_ns);
   // Speculation is throttled relative to the oldest pending committed work:
   // without this, a loop whose condition chain is faster than its slowest
@@ -518,7 +572,8 @@ std::vector<Candidate> SchedulerImpl::GenerateCandidates(PathState& ps) {
   // would grow without bound (preventing STG closure). The window advances
   // only as the backlog drains — which is also what bounded control/datapath
   // buffering in the synthesized hardware requires.
-  std::vector<int> spec_base(g_.num_loops(), 0);
+  std::vector<int>& spec_base = spec_base_;
+  spec_base.assign(static_cast<std::size_t>(g_.num_loops()), 0);
   for (const Loop& loop : g_.loops()) {
     const LoopState& ls = ps.loops[loop.id.value()];
     int oldest = ls.exited ? ls.exit_iter : ls.next_unresolved;
@@ -540,7 +595,8 @@ std::vector<Candidate> SchedulerImpl::GenerateCandidates(PathState& ps) {
     spec_base[loop.id.value()] = oldest;
   }
 
-  std::vector<Candidate> cands;
+  std::vector<Candidate>& cands = cand_scratch_;
+  cands.clear();
   for (const Node& n : g_.nodes()) {
     if (!IsScheduledKind(n.kind)) continue;
     int hi = 0;
@@ -666,7 +722,8 @@ std::vector<Candidate> SchedulerImpl::GenerateCandidates(PathState& ps) {
   }
 
   // Mode filters and the speculative-store prohibition.
-  std::vector<Candidate> filtered;
+  std::vector<Candidate>& filtered = *out;
+  filtered.clear();
   filtered.reserve(cands.size());
   for (Candidate& c : cands) {
     const OpKind kind = g_.node(c.node).kind;
@@ -688,7 +745,6 @@ std::vector<Candidate> SchedulerImpl::GenerateCandidates(PathState& ps) {
     filtered.push_back(std::move(c));
   }
   stats_.candidates_generated += static_cast<std::int64_t>(filtered.size());
-  return filtered;
 }
 
 void SchedulerImpl::FillState(StateId sid, PathState& ps) {
@@ -722,10 +778,12 @@ void SchedulerImpl::FillState(StateId sid, PathState& ps) {
   ps.inflight = std::move(still_flying);
 
   // Greedy admission by criticality (Eq. 5), regenerating candidates after
-  // each admission so newly chainable consumers are considered.
+  // each admission so newly chainable consumers are considered. The
+  // candidate vector lives outside the loop so its capacity is reused.
+  std::vector<Candidate> cands;
   for (;;) {
     if (static_cast<int>(state.ops.size()) >= opts_.max_ops_per_state) break;
-    std::vector<Candidate> cands = GenerateCandidates(ps);
+    GenerateCandidates(ps, &cands);
 
     // Admission filters: resources and clock period.
     const Candidate* best = nullptr;
@@ -1096,8 +1154,257 @@ std::string SchedulerImpl::CanonGuard(Bdd guard,
   return Join(cubes, "|");
 }
 
-std::string SchedulerImpl::Signature(const PathState& ps,
-                                     std::vector<int>* bases_out) {
+// ---------------------------------------------------------------------------
+// Fingerprint state signatures (the hot path).
+//
+// The token grammar is length-prefixed throughout — every section and every
+// variable-arity entry starts with a count — so the flattened u64 stream is
+// prefix-unambiguous: two streams are elementwise equal iff the canonical
+// state structures are equal. Guard tokens are the node indices of
+// shift-canonicalized BDDs, which within one manager are equal iff the
+// shifted Boolean functions are equal. This makes token-stream equality
+// coincide with equality of the legacy string signature (DebugSignature
+// below), which WS_CHECK_SIG verifies at runtime.
+
+namespace {
+// Section tags: high-bit-set constants so a tag can never be confused with a
+// count or payload produced by the (dense, small) ids that follow it.
+constexpr std::uint64_t kSigLoops = 0xf100000000000001ull;
+constexpr std::uint64_t kSigResolved = 0xf100000000000002ull;
+constexpr std::uint64_t kSigAvailable = 0xf100000000000003ull;
+constexpr std::uint64_t kSigBindings = 0xf100000000000004ull;
+constexpr std::uint64_t kSigInflight = 0xf100000000000005ull;
+constexpr std::uint64_t kSigLatched = 0xf100000000000006ull;
+constexpr std::uint64_t kSigPending = 0xf100000000000007ull;
+
+// Signed-int token: sign-extended into the u64 space (shifted iterations can
+// be negative once a loop has exited).
+constexpr std::uint64_t IntToken(int v) {
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+}
+}  // namespace
+
+void SchedulerImpl::PrepareShift(const std::vector<int>& bases) {
+  shift_identity_ = true;
+  for (const int b : bases) {
+    if (b != 0) shift_identity_ = false;
+  }
+  shift_epoch_open_ = false;
+  if (shift_identity_) return;
+
+  // Dense var -> shifted var map. Building it may mint new condition
+  // variables for shifted (even negative) iterations, which mutates
+  // cond_vars_; collect the targets first, then create. Variables at
+  // negative iterations are themselves shift targets minted by earlier
+  // probes — they never occur in a real guard (CondLit only mints
+  // iteration >= 0), so they are skipped rather than re-shifted (otherwise
+  // every probe would mint shifted copies of the previous probe's targets
+  // and the variable universe would snowball).
+  shift_var_map_.assign(static_cast<std::size_t>(mgr_.num_vars()), -1);
+  std::vector<std::pair<int, Key>>& wanted = shift_wanted_;
+  wanted.clear();
+  for (const auto& [key, var] : cond_vars_) {
+    if (key.second < 0) continue;  // synthetic shift target
+    const Node& cn = g_.node(NodeId(key.first));
+    if (!cn.loop.valid()) continue;
+    const int base = bases[cn.loop.value()];
+    if (base == 0) continue;
+    wanted.emplace_back(var, Key{key.first, key.second - base});
+  }
+  for (const auto& [var, skey] : wanted) {
+    const int shifted = CondVar(NodeId(skey.first), skey.second);
+    shift_var_map_[static_cast<std::size_t>(var)] = shifted;
+  }
+}
+
+std::uint64_t SchedulerImpl::GuardToken(Bdd guard) {
+  if (shift_identity_ || mgr_.IsTrue(guard) || mgr_.IsFalse(guard)) {
+    return guard.index();
+  }
+  const Bdd renamed =
+      mgr_.RenameDense(guard, shift_var_map_, /*fresh_map=*/!shift_epoch_open_);
+  shift_epoch_open_ = true;
+  return renamed.index();
+}
+
+void SchedulerImpl::TokenizeState(const PathState& ps,
+                                  std::vector<int>* bases_out) {
+  std::vector<int>& bases = *bases_out;
+  bases.assign(static_cast<std::size_t>(g_.num_loops()), 0);
+  for (const Loop& loop : g_.loops()) {
+    bases[loop.id.value()] = ps.loops[loop.id.value()].base();
+  }
+  PrepareShift(bases);
+
+  std::vector<std::uint64_t>& t = sig_tokens_;
+  t.clear();
+  auto begin_count = [&]() {
+    t.push_back(0);
+    return t.size() - 1;
+  };
+
+  auto shift = [&](const Key& key) -> std::pair<std::uint32_t, int> {
+    const Node& n = g_.node(NodeId(key.first));
+    const int base = n.loop.valid() ? bases[n.loop.value()] : 0;
+    return {key.first, key.second - base};
+  };
+  auto push_key = [&](const Key& key) {
+    const auto [node, iter] = shift(key);
+    t.push_back(node);
+    t.push_back(IntToken(iter));
+  };
+  auto push_ref = [&](const InstRef& ref) {
+    push_key(MakeKey(ref));
+    t.push_back(IntToken(ref.version));
+  };
+
+  // Pending required work in the committed region (kept explicit so states
+  // are never merged across unfinished obligations). Computed first because
+  // the resolution section below keeps only history that pending work can
+  // still observe; emitted last to mirror the legacy section order.
+  pending_iters_.clear();
+  std::vector<std::uint64_t>& pend_tokens = pend_tokens_;
+  pend_tokens.clear();
+  for (const Node& n : g_.nodes()) {
+    if (!IsScheduledKind(n.kind)) continue;
+    int hi = 0;
+    if (n.loop.valid()) {
+      hi = bases[n.loop.value()] - 1;
+    }
+    for (int iter = 0; iter <= hi; ++iter) {
+      const Bdd ctrl = CtrlGuard(ps, n.id, iter);
+      if (mgr_.IsFalse(ctrl)) continue;
+      if (!InstanceCovered(ps, MakeKey(n.id, iter), ctrl,
+                           /*require_completed=*/false)) {
+        const auto [node, siter] = shift(MakeKey(n.id, iter));
+        pend_tokens.push_back(node);
+        pend_tokens.push_back(IntToken(siter));
+        if (n.loop.valid()) {
+          pending_iters_.emplace_back(n.loop.value(), iter);
+        }
+      }
+    }
+  }
+  std::sort(pending_iters_.begin(), pending_iters_.end());
+  pending_iters_.erase(
+      std::unique(pending_iters_.begin(), pending_iters_.end()),
+      pending_iters_.end());
+  auto pending_contains = [&](int loop, int iter) {
+    return std::binary_search(pending_iters_.begin(), pending_iters_.end(),
+                              std::pair<int, int>{loop, iter});
+  };
+
+  t.push_back(kSigLoops);
+  for (const Loop& loop : g_.loops()) {
+    t.push_back(ps.loops[loop.id.value()].exited ? 1u : 0u);
+  }
+
+  t.push_back(kSigResolved);
+  {
+    const std::size_t count_at = begin_count();
+    for (const auto& [key, value] : ps.resolved) {
+      const NodeId cn(key.first);
+      const Node& cnode = g_.node(cn);
+      if (cnode.loop.valid()) {
+        const LoopState& ls = ps.loops[cnode.loop.value()];
+        // Loop-condition resolutions are fully derivable from the frontier
+        // position (true below next_unresolved / exit_iter, false at the
+        // exit), so they never appear.
+        if (is_loop_cond_[cn.value()]) continue;
+        // Other in-loop resolutions matter only at the frontier or where
+        // pending work still consults them.
+        if (key.second < ls.base() &&
+            !pending_contains(cnode.loop.value(), key.second)) {
+          continue;
+        }
+      }
+      push_key(key);
+      t.push_back(value ? 1u : 0u);
+      ++t[count_at];
+    }
+  }
+
+  t.push_back(kSigAvailable);
+  {
+    const std::size_t count_at = begin_count();
+    for (const auto& [key, versions] : ps.available) {
+      push_key(key);
+      t.push_back(versions.size());
+      for (const VersionRec& v : versions) {
+        t.push_back(IntToken(v.version));
+        t.push_back(GuardToken(BindingGuard(ps, key, v.version)));
+      }
+      ++t[count_at];
+    }
+  }
+
+  t.push_back(kSigBindings);
+  {
+    const std::size_t count_at = begin_count();
+    for (const auto& [key, blist] : ps.bindings) {
+      // A binding list is future-relevant only while an execution is still in
+      // flight or the instance is not fully covered (new candidates may still
+      // be generated and deduplicated against it). Fully covered, completed
+      // instances influence the future only through their published versions,
+      // which the available section already canonicalizes — omitting them
+      // here is what lets steady-state signatures converge.
+      bool in_flight = false;
+      for (const Binding& b : blist) {
+        if (!b.completed && !mgr_.IsFalse(b.guard)) in_flight = true;
+      }
+      const Bdd ctrl = CtrlGuard(ps, NodeId(key.first), key.second);
+      if (!in_flight &&
+          InstanceCovered(ps, key, ctrl, /*require_completed=*/false)) {
+        continue;
+      }
+      push_key(key);
+      const std::size_t nlive_at = begin_count();
+      for (std::size_t v = 0; v < blist.size(); ++v) {
+        const Binding& b = blist[v];
+        if (mgr_.IsFalse(b.guard)) continue;  // scrubbed mispredictions
+        t.push_back(v);
+        t.push_back(b.operands.size());
+        for (const InstRef& ref : b.operands) push_ref(ref);
+        t.push_back(GuardToken(b.guard));
+        t.push_back(b.completed ? 1u : 0u);
+        ++t[nlive_at];
+      }
+      ++t[count_at];
+    }
+  }
+
+  t.push_back(kSigInflight);
+  {
+    const std::size_t count_at = begin_count();
+    for (const InFlight& f : ps.inflight) {
+      push_ref(f.inst);
+      t.push_back(IntToken(f.remaining));
+      t.push_back(GuardToken(f.guard));
+      ++t[count_at];
+    }
+  }
+
+  t.push_back(kSigLatched);
+  {
+    const std::size_t count_at = begin_count();
+    for (const auto& [key, versions] : ps.latched) {
+      push_key(key);
+      t.push_back(versions.size());
+      for (const LatchedVersion& v : versions) {
+        t.push_back(IntToken(v.version));
+        t.push_back(GuardToken(BindingGuard(ps, key, v.version)));
+      }
+      ++t[count_at];
+    }
+  }
+
+  t.push_back(kSigPending);
+  t.push_back(pend_tokens.size());
+  t.insert(t.end(), pend_tokens.begin(), pend_tokens.end());
+}
+
+std::string SchedulerImpl::DebugSignature(const PathState& ps,
+                                          std::vector<int>* bases_out) {
   std::vector<int> bases(g_.num_loops(), 0);
   for (const Loop& loop : g_.loops()) {
     bases[loop.id.value()] = ps.loops[loop.id.value()].base();
@@ -1241,23 +1548,62 @@ std::string SchedulerImpl::Signature(const PathState& ps,
 SchedulerImpl::GetResult SchedulerImpl::CreateOrGet(PathState ps) {
   const PhaseTimer timer(&stats_.phase.closure_ns);
   std::vector<int> bases;
-  const std::string sig = Signature(ps, &bases);
+  TokenizeState(ps, &bases);
+
+  FpHasher hasher;
+  for (const std::uint64_t token : sig_tokens_) hasher.Mix(token);
+  const Fp128 fp = hasher.digest();
+
   if (std::getenv("WS_DEBUG_SIG") != nullptr) {
-    std::fprintf(stderr, "SIG[%d]: %s\n", stats_.states_created,
-                 sig.c_str());
+    std::vector<int> dbg_bases;
+    std::fprintf(stderr, "SIG[%d] fp=%016llx%016llx: %s\n",
+                 stats_.states_created,
+                 static_cast<unsigned long long>(fp.hi),
+                 static_cast<unsigned long long>(fp.lo),
+                 DebugSignature(ps, &dbg_bases).c_str());
   }
-  auto it = canon_.find(sig);
-  if (it != canon_.end()) {
+
+  std::vector<CanonEntry>& bucket = canon_[fp];
+  const CanonEntry* match = nullptr;
+  for (const CanonEntry& entry : bucket) {
+    if (entry.tokens == sig_tokens_) {
+      match = &entry;
+      break;
+    }
+    // Same 128-bit fingerprint, different canonical state: resolved exactly
+    // by the token comparison, counted for visibility.
+    stats_.signature_collisions++;
+  }
+
+  if (check_signatures_) {
+    // Cross-validate the fingerprint decision against the legacy string
+    // signature: both paths must agree on whether this state is new and on
+    // which state it folds onto.
+    std::vector<int> legacy_bases;
+    const std::string legacy = DebugSignature(ps, &legacy_bases);
+    auto lit = canon_check_.find(legacy);
+    WS_CHECK_MSG((match != nullptr) == (lit != canon_check_.end()),
+                 "fingerprint/legacy closure disagreement for: " << legacy);
+    if (match != nullptr) {
+      WS_CHECK_MSG(match->sid == lit->second,
+                   "fingerprint folded onto state "
+                       << match->sid.value() << " but legacy says "
+                       << lit->second.value() << " for: " << legacy);
+    }
+  }
+
+  if (match != nullptr) {
     GetResult r;
-    r.sid = it->second.first;
-    const std::vector<int>& stored = it->second.second;
+    r.sid = match->sid;
     for (const Loop& loop : g_.loops()) {
-      const int delta = bases[loop.id.value()] - stored[loop.id.value()];
+      const int delta =
+          bases[loop.id.value()] - match->bases[loop.id.value()];
       if (delta != 0) r.shift.emplace_back(loop.id, delta);
     }
     stats_.closure_hits++;
     return r;
   }
+
   GetResult r;
   r.sid = stg_.AddState();
   r.fresh = true;
@@ -1265,7 +1611,11 @@ SchedulerImpl::GetResult SchedulerImpl::CreateOrGet(PathState ps) {
   WS_CHECK_MSG(stats_.states_created <= opts_.max_states,
                "state cap exceeded (" << opts_.max_states
                                       << "); no closure found");
-  canon_.emplace(sig, std::make_pair(r.sid, bases));
+  bucket.push_back(CanonEntry{sig_tokens_, r.sid, bases});
+  if (check_signatures_) {
+    std::vector<int> legacy_bases;
+    canon_check_.emplace(DebugSignature(ps, &legacy_bases), r.sid);
+  }
   worklist_.emplace_back(r.sid, std::move(ps));
   return r;
 }
@@ -1274,6 +1624,11 @@ ScheduleResult SchedulerImpl::Run() {
   const auto run_start = std::chrono::steady_clock::now();
   lambda_ = ComputeLambda(g_, lib_);
   ComputeHardUses();
+
+  is_loop_cond_.assign(g_.num_nodes(), false);
+  for (const Loop& loop : g_.loops()) {
+    is_loop_cond_[loop.cond.value()] = true;
+  }
 
   // Speculative stores are forbidden; conditional memory accesses would make
   // the token chain control-dependent, which this scheduler does not model.
@@ -1303,7 +1658,7 @@ ScheduleResult SchedulerImpl::Run() {
                  << sid.value()
                  << " schedules nothing but work remains (check "
                     "allocation); state: "
-                 << Signature(ps, &bases));
+                 << DebugSignature(ps, &bases));
       }
     }
 

@@ -97,6 +97,11 @@ struct ScheduleStats {
   std::int64_t candidates_generated = 0;  // candidates across all passes
   std::uint64_t bdd_ops = 0;              // BddManager::num_ops() at the end
   std::uint64_t bdd_nodes = 0;            // unique BDD nodes built
+  // Closure probes whose 128-bit state fingerprint matched an existing
+  // state's but whose full canonical signatures differed (resolved by the
+  // exact-comparison fallback, so never a correctness event). Expected to be
+  // 0 in practice; tests assert it.
+  std::int64_t signature_collisions = 0;
   SchedulePhaseTimes phase;
 };
 

@@ -1,0 +1,126 @@
+#include "suite/bench_json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "base/strings.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+struct Cell {
+  std::string benchmark;
+  std::string mode;
+  std::int64_t wall_ns_min = 0;
+  std::int64_t wall_ns_max = 0;
+  ScheduleStats stats;  // from the fastest repetition
+};
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendStats(std::ostringstream& os, const ScheduleStats& s,
+                 const char* indent) {
+  os << indent << "\"states_created\": " << s.states_created << ",\n"
+     << indent << "\"closure_hits\": " << s.closure_hits << ",\n"
+     << indent << "\"total_ops\": " << s.total_ops << ",\n"
+     << indent << "\"speculative_ops\": " << s.speculative_ops << ",\n"
+     << indent << "\"squashed_ops\": " << s.squashed_ops << ",\n"
+     << indent << "\"candidates_generated\": " << s.candidates_generated
+     << ",\n"
+     << indent << "\"bdd_ops\": " << s.bdd_ops << ",\n"
+     << indent << "\"bdd_nodes\": " << s.bdd_nodes << ",\n"
+     << indent << "\"phase\": {\n"
+     << indent << "  \"successor_ns\": " << s.phase.successor_ns << ",\n"
+     << indent << "  \"cofactor_ns\": " << s.phase.cofactor_ns << ",\n"
+     << indent << "  \"closure_ns\": " << s.phase.closure_ns << ",\n"
+     << indent << "  \"gc_ns\": " << s.phase.gc_ns << ",\n"
+     << indent << "  \"total_ns\": " << s.phase.total_ns << "\n"
+     << indent << "}\n";
+}
+
+}  // namespace
+
+Result<std::string> RenderBenchJson(const BenchJsonOptions& options) {
+  if (options.repetitions < 1) {
+    return Status::MakeError("BenchJsonOptions: repetitions must be >= 1");
+  }
+  const SpeculationMode kModes[] = {SpeculationMode::kWavesched,
+                                    SpeculationMode::kSinglePath,
+                                    SpeculationMode::kWaveschedSpec};
+  std::vector<Cell> cells;
+  for (const std::string& name : BenchmarkNames()) {
+    if (name == "fig4") continue;  // parameterized motivating example, not a
+                                   // perf-tracked suite row
+    Result<Benchmark> b =
+        MakeBenchmarkByName(name, options.num_stimuli, options.seed);
+    if (!b.ok()) return b.status();
+    for (const SpeculationMode mode : kModes) {
+      Cell cell;
+      cell.benchmark = name;
+      cell.mode = SpeculationModeName(mode);
+      for (int rep = 0; rep < options.repetitions; ++rep) {
+        const std::int64_t start = NowNs();
+        Result<ScheduleReport> r = ScheduleBenchmark(b.value(), mode);
+        const std::int64_t elapsed = NowNs() - start;
+        if (!r.ok()) return r.status();
+        if (rep == 0 || elapsed < cell.wall_ns_min) {
+          cell.wall_ns_min = elapsed;
+          cell.stats = r.value().stats;
+        }
+        cell.wall_ns_max = std::max(cell.wall_ns_max, elapsed);
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema\": \"ws-bench-sched-v1\",\n"
+     << "  \"label\": \"" << options.label << "\",\n"
+     << "  \"config\": {\n"
+     << "    \"repetitions\": " << options.repetitions << ",\n"
+     << "    \"num_stimuli\": " << options.num_stimuli << ",\n"
+     << "    \"seed\": " << options.seed << "\n"
+     << "  },\n"
+     << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    os << "    {\n"
+       << "      \"benchmark\": \"" << c.benchmark << "\",\n"
+       << "      \"mode\": \"" << c.mode << "\",\n"
+       << "      \"wall_ns_min\": " << c.wall_ns_min << ",\n"
+       << "      \"wall_ns_max\": " << c.wall_ns_max << ",\n"
+       << "      \"stats\": {\n";
+    AppendStats(os, c.stats, "        ");
+    os << "      }\n"
+       << "    }" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+Status WriteBenchJson(const BenchJsonOptions& options,
+                      const std::string& path) {
+  Result<std::string> json = RenderBenchJson(options);
+  if (!json.ok()) return json.status();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::MakeError(StrCat("bench_json: cannot open ", path));
+  }
+  out << json.value();
+  out.close();
+  if (!out) {
+    return Status::MakeError(StrCat("bench_json: write failed for ", path));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ws

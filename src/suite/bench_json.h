@@ -1,0 +1,44 @@
+// Canonical JSON rendering of scheduler performance over the Table-1 suite.
+//
+// This is the repo's perf-trajectory artifact: `tools/bench_to_json` (and
+// `bench_micro --ws_json`) time every suite benchmark under every
+// speculation mode, collect the per-phase `ScheduleStats` counters, and
+// render one JSON document. Committed snapshots live in `BENCH_sched.json`
+// at the repo root so before/after comparisons survive across PRs.
+//
+// Wall times are the *minimum* over `repetitions` runs (minimum is the
+// standard noise-robust estimator for a deterministic workload); the stats
+// counters are taken from the same run and are themselves deterministic.
+#ifndef WS_SUITE_BENCH_JSON_H
+#define WS_SUITE_BENCH_JSON_H
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+
+namespace ws {
+
+struct BenchJsonOptions {
+  // Timed repetitions per (benchmark, mode) cell; the minimum wall time wins.
+  int repetitions = 5;
+  // Suite construction parameters (stimuli are irrelevant to scheduling time
+  // but part of the Benchmark bundle).
+  int num_stimuli = 2;
+  std::uint64_t seed = 7;
+  // Free-form tag recorded in the document, e.g. "baseline" or a git SHA.
+  std::string label = "current";
+};
+
+// Schedules every suite benchmark under every speculation mode and renders
+// the timings + ScheduleStats as a canonical JSON object (stable key order,
+// LF line endings). Returns an error if any scheduling run fails.
+Result<std::string> RenderBenchJson(const BenchJsonOptions& options);
+
+// RenderBenchJson + write to `path`. Creates/overwrites the file.
+Status WriteBenchJson(const BenchJsonOptions& options,
+                      const std::string& path);
+
+}  // namespace ws
+
+#endif  // WS_SUITE_BENCH_JSON_H

@@ -198,5 +198,175 @@ TEST_P(BddPropertyTest, RandomExpressionsMatchTruthTables) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BddPropertyTest,
                          ::testing::Range(1, 9));
 
+// Differential tests for the traversal operations that share the manager's
+// epoch-stamped memo (Restrict / RestrictAll / Rename / RenameDense):
+// random expressions are checked against direct truth-table semantics, and
+// the operations are deliberately interleaved so a stale memo entry leaking
+// across epochs (or across the two operations) would surface as a wrong
+// canonical handle.
+class BddDifferentialTest : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr int kVars = 6;
+
+  void SetUp() override {
+    for (int i = 0; i < kVars; ++i) {
+      vars_.push_back(mgr_.NewVar("v" + std::to_string(i)));
+    }
+  }
+
+  // Truth table of variable v over all 2^kVars assignments (bit `row` is the
+  // value under the assignment where variable i takes bit i of `row`).
+  static std::uint64_t VarTable(int v) {
+    std::uint64_t t = 0;
+    for (int row = 0; row < 64; ++row) {
+      if ((row >> v) & 1) t |= 1ULL << row;
+    }
+    return t;
+  }
+
+  struct Val {
+    Bdd f;
+    std::uint64_t table;
+  };
+
+  Val RandomExpr(Rng& rng, int depth = 0) {
+    if (depth >= 5 || rng.NextBool(0.25)) {
+      const int v = static_cast<int>(rng.NextBelow(kVars));
+      if (rng.NextBool(0.5)) {
+        return {mgr_.Var(vars_[static_cast<std::size_t>(v)]), VarTable(v)};
+      }
+      return {mgr_.NotVar(vars_[static_cast<std::size_t>(v)]), ~VarTable(v)};
+    }
+    const Val a = RandomExpr(rng, depth + 1);
+    const Val b = RandomExpr(rng, depth + 1);
+    switch (rng.NextBelow(3)) {
+      case 0: return {mgr_.And(a.f, b.f), a.table & b.table};
+      case 1: return {mgr_.Or(a.f, b.f), a.table | b.table};
+      default: return {mgr_.Xor(a.f, b.f), a.table ^ b.table};
+    }
+  }
+
+  // Builds the canonical BDD of a truth table directly from minterms,
+  // bypassing the operation under test.
+  Bdd FromTable(std::uint64_t table) {
+    std::vector<Bdd> minterms;
+    for (int row = 0; row < 64; ++row) {
+      if (((table >> row) & 1) == 0) continue;
+      std::vector<Bdd> lits;
+      for (int i = 0; i < kVars; ++i) {
+        lits.push_back((row >> i) & 1
+                           ? mgr_.Var(vars_[static_cast<std::size_t>(i)])
+                           : mgr_.NotVar(vars_[static_cast<std::size_t>(i)]));
+      }
+      minterms.push_back(mgr_.AndAll(lits));
+    }
+    return mgr_.OrAll(minterms);
+  }
+
+  BddManager mgr_;
+  std::vector<int> vars_;
+};
+
+TEST_P(BddDifferentialTest, RestrictAndRestrictAllMatchTruthTables) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977u + 13u);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Val v = RandomExpr(rng);
+
+    // Single-variable cofactor: mask the table down to the rows consistent
+    // with the restriction and duplicate them over the freed variable.
+    const int rv = static_cast<int>(rng.NextBelow(kVars));
+    const bool rval = rng.NextBool(0.5);
+    std::uint64_t cof = 0;
+    for (int row = 0; row < 64; ++row) {
+      const int src = rval ? (row | (1 << rv)) : (row & ~(1 << rv));
+      if ((v.table >> src) & 1) cof |= 1ULL << row;
+    }
+    EXPECT_EQ(mgr_.Restrict(v.f, vars_[static_cast<std::size_t>(rv)], rval),
+              FromTable(cof));
+
+    // Multi-variable restriction == iterated single-variable restriction,
+    // and matches the truth table.
+    std::vector<std::pair<int, bool>> assignment;
+    std::uint64_t multi = v.table;
+    Bdd iterated = v.f;
+    for (int i = 0; i < kVars; ++i) {
+      if (!rng.NextBool(0.4)) continue;
+      const bool value = rng.NextBool(0.5);
+      assignment.push_back({vars_[static_cast<std::size_t>(i)], value});
+      std::uint64_t next = 0;
+      for (int row = 0; row < 64; ++row) {
+        const int src = value ? (row | (1 << i)) : (row & ~(1 << i));
+        if ((multi >> src) & 1) next |= 1ULL << row;
+      }
+      multi = next;
+      iterated =
+          mgr_.Restrict(iterated, vars_[static_cast<std::size_t>(i)], value);
+    }
+    const Bdd all = mgr_.RestrictAll(v.f, assignment);
+    EXPECT_EQ(all, iterated);
+    EXPECT_EQ(all, FromTable(multi));
+  }
+}
+
+TEST_P(BddDifferentialTest, RenameRoundTripsAndMatchesDense) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919u + 5u);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Val v = RandomExpr(rng);
+
+    // Random permutation of the variables.
+    std::vector<int> perm(kVars);
+    for (int i = 0; i < kVars; ++i) perm[static_cast<std::size_t>(i)] = i;
+    for (int i = kVars - 1; i > 0; --i) {
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[static_cast<std::size_t>(rng.NextBelow(
+                    static_cast<std::uint64_t>(i + 1)))]);
+    }
+
+    std::unordered_map<int, int> fwd, inv;
+    std::vector<int> dense(static_cast<std::size_t>(mgr_.num_vars()), -1);
+    for (int i = 0; i < kVars; ++i) {
+      const int from = vars_[static_cast<std::size_t>(i)];
+      const int to = vars_[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])];
+      fwd[from] = to;
+      inv[to] = from;
+      dense[static_cast<std::size_t>(from)] = to;
+    }
+
+    const Bdd renamed = mgr_.Rename(v.f, fwd);
+    // Dense and map-based rename agree (canonical handles).
+    EXPECT_EQ(renamed, mgr_.RenameDense(v.f, dense, /*fresh_map=*/true));
+    // Round trip through the inverse permutation restores the handle.
+    EXPECT_EQ(mgr_.Rename(renamed, inv), v.f);
+    // The renamed function's truth table is the source table with rows
+    // re-indexed through the permutation.
+    std::uint64_t expect = 0;
+    for (int row = 0; row < 64; ++row) {
+      int src = 0;
+      for (int i = 0; i < kVars; ++i) {
+        if ((row >> perm[static_cast<std::size_t>(i)]) & 1) src |= 1 << i;
+      }
+      if ((v.table >> src) & 1) expect |= 1ULL << row;
+    }
+    EXPECT_EQ(renamed, FromTable(expect));
+
+    // Shared-epoch mode (the scheduler renames every live guard with one
+    // map, reusing the memo across calls): must agree with fresh-epoch
+    // renames of the same functions.
+    const Val w = RandomExpr(rng);
+    const Bdd first = mgr_.RenameDense(v.f, dense, /*fresh_map=*/true);
+    const Bdd second = mgr_.RenameDense(w.f, dense, /*fresh_map=*/false);
+    EXPECT_EQ(first, renamed);
+    EXPECT_EQ(second, mgr_.Rename(w.f, fwd));
+
+    // Interleave a Restrict between RenameDense calls: the two operations
+    // share the memo, so epoch handling must keep them apart.
+    (void)mgr_.Restrict(v.f, vars_[0], trial % 2 == 0);
+    EXPECT_EQ(mgr_.RenameDense(v.f, dense, /*fresh_map=*/true), renamed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddDifferentialTest,
+                         ::testing::Range(1, 7));
+
 }  // namespace
 }  // namespace ws

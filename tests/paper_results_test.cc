@@ -123,8 +123,12 @@ TEST(PaperResultsTest, Fig6CrossoverAndDominance) {
     const double cca = ExpectedCycles(sa, ba.graph);
     const double ccb = ExpectedCycles(sb, bb.graph);
     const double ccc = ExpectedCycles(sc, bc.graph);
-    if (p < 0.5) EXPECT_LT(cca, ccb) << "P=" << p;
-    if (p > 0.5) EXPECT_LT(ccb, cca) << "P=" << p;
+    if (p < 0.5) {
+      EXPECT_LT(cca, ccb) << "P=" << p;
+    }
+    if (p > 0.5) {
+      EXPECT_LT(ccb, cca) << "P=" << p;
+    }
     EXPECT_LE(ccc, cca + 1e-9);
     EXPECT_LE(ccc, ccb + 1e-9);
   }

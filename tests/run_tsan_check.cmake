@@ -1,36 +1,43 @@
-# Configures and builds a ThreadSanitizer-instrumented copy of the tree in a
+# Configures and builds a sanitizer-instrumented copy of the tree in a
 # nested build directory, then runs the explore determinism check under it.
 # Driven as a ctest test (see tests/CMakeLists.txt) so the tier-1 flow
-# exercises the worker pool's synchronization under TSan without sanitizing
-# the main build.
+# exercises the worker pool's synchronization (TSan) and the scheduler/BDD
+# hot paths' memory safety (ASan) without sanitizing the main build.
 #
 # Expects: -DSOURCE_DIR=<repo root> -DWORK_DIR=<scratch build dir>
+#          -DSANITIZER=<thread|address> (defaults to thread)
 if(NOT DEFINED SOURCE_DIR OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "run_tsan_check.cmake needs -DSOURCE_DIR and -DWORK_DIR")
 endif()
-
-message(STATUS "TSan sub-build: configuring ${WORK_DIR}")
-execute_process(
-  COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${WORK_DIR}"
-          -DWS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  RESULT_VARIABLE configure_rc)
-if(NOT configure_rc EQUAL 0)
-  message(FATAL_ERROR "TSan sub-build: configure failed (${configure_rc})")
+if(NOT DEFINED SANITIZER)
+  set(SANITIZER thread)
 endif()
 
-message(STATUS "TSan sub-build: building explore_determinism_check")
+message(STATUS "${SANITIZER}-sanitizer sub-build: configuring ${WORK_DIR}")
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${WORK_DIR}"
+          -DWS_SANITIZE=${SANITIZER} -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE configure_rc)
+if(NOT configure_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${SANITIZER}-sanitizer sub-build: configure failed (${configure_rc})")
+endif()
+
+message(STATUS "${SANITIZER}-sanitizer sub-build: building explore_determinism_check")
 execute_process(
   COMMAND "${CMAKE_COMMAND}" --build "${WORK_DIR}"
           --target explore_determinism_check
   RESULT_VARIABLE build_rc)
 if(NOT build_rc EQUAL 0)
-  message(FATAL_ERROR "TSan sub-build: build failed (${build_rc})")
+  message(FATAL_ERROR
+          "${SANITIZER}-sanitizer sub-build: build failed (${build_rc})")
 endif()
 
-message(STATUS "TSan sub-build: running determinism check")
+message(STATUS "${SANITIZER}-sanitizer sub-build: running determinism check")
 execute_process(
   COMMAND "${WORK_DIR}/tests/explore_determinism_check"
   RESULT_VARIABLE run_rc)
 if(NOT run_rc EQUAL 0)
-  message(FATAL_ERROR "TSan determinism check failed (${run_rc})")
+  message(FATAL_ERROR
+          "${SANITIZER} determinism check failed (${run_rc})")
 endif()

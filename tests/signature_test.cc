@@ -1,0 +1,92 @@
+// Regression tests for the fingerprint-based closure signature.
+//
+// The scheduler keys its closure map on a 128-bit structural fingerprint of
+// the canonical (shift-relabeled) state; a fingerprint hit falls back to an
+// exact token-stream comparison, and `WS_CHECK_SIG=1` additionally
+// cross-validates every closure decision against the legacy string-signature
+// path inside the scheduler itself (a mismatch throws). These tests sweep
+// the whole suite under every speculation mode with that cross-check armed,
+// and pin the collision counter at zero.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "base/hashing.h"
+#include "sched/scheduler.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  // The scheduler samples WS_CHECK_SIG at construction, i.e. per Schedule
+  // call, so setting it here arms the cross-check for every run below.
+  void SetUp() override { setenv("WS_CHECK_SIG", "1", 1); }
+  void TearDown() override { unsetenv("WS_CHECK_SIG"); }
+};
+
+TEST_F(SignatureTest, SuiteClosuresMatchLegacySignaturesWithNoCollisions) {
+  const SpeculationMode kModes[] = {SpeculationMode::kWavesched,
+                                    SpeculationMode::kSinglePath,
+                                    SpeculationMode::kWaveschedSpec};
+  for (const Benchmark& b : MakeTable1Suite(2, 7)) {
+    for (const SpeculationMode mode : kModes) {
+      const Result<ScheduleReport> r = ScheduleBenchmark(b, mode);
+      ASSERT_TRUE(r.ok()) << b.name << "/" << SpeculationModeName(mode)
+                          << ": " << r.error();
+      EXPECT_EQ(r.value().stats.signature_collisions, 0)
+          << b.name << "/" << SpeculationModeName(mode);
+      EXPECT_GT(r.value().stats.closure_hits, 0)
+          << b.name << "/" << SpeculationModeName(mode)
+          << ": closure never exercised, test is vacuous";
+    }
+  }
+}
+
+TEST_F(SignatureTest, Fig4ClosuresMatchLegacySignatures) {
+  for (const double p : {0.3, 0.5, 0.7}) {
+    const Benchmark b = MakeFig4(p, 2, 9);
+    const Result<ScheduleReport> r =
+        ScheduleBenchmark(b, SpeculationMode::kWaveschedSpec);
+    ASSERT_TRUE(r.ok()) << "fig4 p=" << p << ": " << r.error();
+    EXPECT_EQ(r.value().stats.signature_collisions, 0) << "fig4 p=" << p;
+  }
+}
+
+// The fingerprint hasher itself: structural properties the closure map
+// depends on. (Collision resistance is probabilistic; what we can pin is
+// determinism, sensitivity, and independence from accumulation order
+// aliasing.)
+TEST(FpHasherTest, DeterministicAndSensitive) {
+  auto fp_of = [](std::initializer_list<std::uint64_t> tokens) {
+    FpHasher h;
+    for (const std::uint64_t t : tokens) h.Mix(t);
+    return h.digest();
+  };
+  // Same stream, same digest.
+  EXPECT_EQ(fp_of({1, 2, 3}), fp_of({1, 2, 3}));
+  // Order matters.
+  EXPECT_NE(fp_of({1, 2, 3}), fp_of({3, 2, 1}));
+  // Length matters: a prefix does not alias its extension, and appending a
+  // zero token changes the digest (no absorbing state).
+  EXPECT_NE(fp_of({1, 2}), fp_of({1, 2, 3}));
+  EXPECT_NE(fp_of({1, 2}), fp_of({1, 2, 0}));
+  // Single-bit sensitivity.
+  EXPECT_NE(fp_of({1, 2, 3}), fp_of({1, 2, 2}));
+  EXPECT_NE(fp_of({0}), fp_of({1}));
+  // The empty stream has a well-defined digest distinct from {0}.
+  EXPECT_NE(fp_of({}), fp_of({0}));
+}
+
+TEST(FpHasherTest, LanesAreNotMirrored) {
+  // The two 64-bit lanes evolve with different tweaks; if they ever
+  // collapsed to equal values the fingerprint would degrade to 64 bits.
+  FpHasher h;
+  for (std::uint64_t t = 0; t < 64; ++t) h.Mix(t);
+  const Fp128 fp = h.digest();
+  EXPECT_NE(fp.lo, fp.hi);
+}
+
+}  // namespace
+}  // namespace ws

@@ -1,0 +1,41 @@
+// Writes the scheduler perf-trajectory snapshot (BENCH_sched.json).
+//
+// Usage: bench_to_json [output.json] [--label=NAME] [--reps=N]
+//
+// Times every Table-1 suite benchmark under every speculation mode
+// (minimum-of-N wall time) and records the full per-phase ScheduleStats,
+// so perf regressions in closure detection / BDD manipulation show up as
+// diffs of a committed JSON file rather than anecdotes.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "base/strings.h"
+#include "suite/bench_json.h"
+
+int main(int argc, char** argv) {
+  std::string path = "BENCH_sched.json";
+  ws::BenchJsonOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (ws::StartsWith(arg, "--label=")) {
+      options.label = arg.substr(8);
+    } else if (ws::StartsWith(arg, "--reps=")) {
+      options.repetitions = std::atoi(arg.c_str() + 7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [output.json] [--label=NAME] [--reps=N]\n",
+                  argv[0]);
+      return 0;
+    } else {
+      path = arg;
+    }
+  }
+  const ws::Status s = ws::WriteBenchJson(options, path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench_to_json: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (label=%s, reps=%d)\n", path.c_str(),
+              options.label.c_str(), options.repetitions);
+  return 0;
+}
