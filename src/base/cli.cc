@@ -1,0 +1,28 @@
+#include "base/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ws {
+
+void HandleStandardFlags(const ToolInfo& tool, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::fputs(tool.usage, stdout);
+      std::exit(0);
+    }
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s %s\n", tool.name, kWsVersion);
+      std::exit(0);
+    }
+  }
+}
+
+void UsageError(const ToolInfo& tool, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n%s", tool.name, message.c_str(), tool.usage);
+  std::exit(2);
+}
+
+}  // namespace ws

@@ -1,0 +1,31 @@
+// Uniform command-line conventions for the repo's tools.
+//
+// Every binary in tools/ handles `--help`/`-h` (usage to stdout, exit 0),
+// `--version` (one line to stdout, exit 0), and reports bad arguments with
+// its usage on stderr and exit code 2 — the conventional "usage error" code,
+// distinct from runtime failures (1) and partial sweep failures (3).
+#ifndef WS_BASE_CLI_H
+#define WS_BASE_CLI_H
+
+#include <string>
+
+namespace ws {
+
+// One version string for the whole toolchain; bumped per release line.
+inline constexpr const char kWsVersion[] = "0.3.0";
+
+struct ToolInfo {
+  const char* name;   // e.g. "ws_explore"
+  const char* usage;  // full usage text, newline-terminated
+};
+
+// Scans argv for --help/-h/--version and, when found, prints and exits 0.
+// Call before real argument parsing so the standard flags win everywhere.
+void HandleStandardFlags(const ToolInfo& tool, int argc, char** argv);
+
+// Prints "name: message", then the usage, to stderr; exits 2.
+[[noreturn]] void UsageError(const ToolInfo& tool, const std::string& message);
+
+}  // namespace ws
+
+#endif  // WS_BASE_CLI_H

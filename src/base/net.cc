@@ -1,0 +1,261 @@
+#include "base/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace ws {
+namespace {
+
+Status Unavailable(const std::string& what) {
+  return Status::MakeError(StatusCode::kUnavailable,
+                           what + ": " + std::strerror(errno));
+}
+
+Result<Socket> NewSocket(int domain) {
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) return Unavailable("socket");
+  return Socket(fd);
+}
+
+Result<sockaddr_in> MakeTcpAddr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::MakeError(StatusCode::kInvalidArgument,
+                             "not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+Result<sockaddr_un> MakeUnixAddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        StrCat("unix socket path must be 1..", sizeof(addr.sun_path) - 1,
+               " bytes, got ", path.size()));
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string ServeAddress::ToString() const {
+  if (is_unix) return "unix:" + unix_path;
+  return StrCat(host, ":", port);
+}
+
+Result<ServeAddress> ParseServeAddress(const std::string& text) {
+  ServeAddress out;
+  if (StartsWith(text, "unix:")) {
+    out.is_unix = true;
+    out.unix_path = text.substr(5);
+    if (out.unix_path.empty()) {
+      return Status::MakeError(StatusCode::kInvalidArgument,
+                               "empty unix socket path in \"" + text + "\"");
+    }
+    return out;
+  }
+  const std::size_t colon = text.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? text : text.substr(colon + 1);
+  if (colon != std::string::npos && colon > 0) out.host = text.substr(0, colon);
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (port_text.empty() || end == port_text.c_str() || *end != '\0' ||
+      port < 0 || port > 65535) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        "address \"" + text + "\" is neither unix:PATH nor [host:]port");
+  }
+  out.port = static_cast<int>(port);
+  return out;
+}
+
+Result<Socket> ListenTcp(const std::string& host, int port, int backlog) {
+  Result<Socket> sock = NewSocket(AF_INET);
+  if (!sock.ok()) return sock;
+  const int one = 1;
+  ::setsockopt(sock->fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  Result<sockaddr_in> addr = MakeTcpAddr(host, port);
+  if (!addr.ok()) return addr.status();
+  if (::bind(sock->fd(), reinterpret_cast<const sockaddr*>(&*addr),
+             sizeof(*addr)) != 0) {
+    return Unavailable("bind " + host + ":" + StrCat(port));
+  }
+  if (::listen(sock->fd(), backlog) != 0) return Unavailable("listen");
+  return sock;
+}
+
+Result<Socket> ListenUnix(const std::string& path, int backlog) {
+  Result<sockaddr_un> addr = MakeUnixAddr(path);
+  if (!addr.ok()) return addr.status();
+  Result<Socket> sock = NewSocket(AF_UNIX);
+  if (!sock.ok()) return sock;
+  ::unlink(path.c_str());  // a stale socket file from a previous run
+  if (::bind(sock->fd(), reinterpret_cast<const sockaddr*>(&*addr),
+             sizeof(*addr)) != 0) {
+    return Unavailable("bind " + path);
+  }
+  if (::listen(sock->fd(), backlog) != 0) return Unavailable("listen");
+  return sock;
+}
+
+Result<int> BoundPort(const Socket& listener) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    return Unavailable("getsockname");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+Result<Socket> Accept(const Socket& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    return Unavailable("accept");
+  }
+}
+
+Result<bool> WaitReadable(const Socket& socket, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = socket.fd();
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    return Unavailable("poll");
+  }
+}
+
+Result<Socket> ConnectTcp(const std::string& host, int port) {
+  Result<sockaddr_in> addr = MakeTcpAddr(host, port);
+  if (!addr.ok()) return addr.status();
+  Result<Socket> sock = NewSocket(AF_INET);
+  if (!sock.ok()) return sock;
+  if (::connect(sock->fd(), reinterpret_cast<const sockaddr*>(&*addr),
+                sizeof(*addr)) != 0) {
+    return Unavailable("connect " + host + ":" + StrCat(port));
+  }
+  const int one = 1;
+  ::setsockopt(sock->fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Result<Socket> ConnectUnix(const std::string& path) {
+  Result<sockaddr_un> addr = MakeUnixAddr(path);
+  if (!addr.ok()) return addr.status();
+  Result<Socket> sock = NewSocket(AF_UNIX);
+  if (!sock.ok()) return sock;
+  if (::connect(sock->fd(), reinterpret_cast<const sockaddr*>(&*addr),
+                sizeof(*addr)) != 0) {
+    return Unavailable("connect " + path);
+  }
+  return sock;
+}
+
+Result<Socket> ConnectAddress(const ServeAddress& address) {
+  return address.is_unix ? ConnectUnix(address.unix_path)
+                         : ConnectTcp(address.host, address.port);
+}
+
+Status SendAll(const Socket& socket, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(socket.fd(), p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable("send");
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status RecvAll(const Socket& socket, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(socket.fd(), p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable("recv");
+    }
+    if (n == 0) {
+      return Status::MakeError(
+          StatusCode::kUnavailable,
+          got == 0 ? "connection closed"
+                   : StrCat("connection closed mid-frame (", got, "/", size,
+                            " bytes)"));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status SendFrame(const Socket& socket, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        StrCat("frame of ", payload.size(), " bytes exceeds the ",
+               kMaxFrameBytes, "-byte cap"));
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  unsigned char prefix[4] = {
+      static_cast<unsigned char>(n & 0xff),
+      static_cast<unsigned char>((n >> 8) & 0xff),
+      static_cast<unsigned char>((n >> 16) & 0xff),
+      static_cast<unsigned char>((n >> 24) & 0xff),
+  };
+  if (Status s = SendAll(socket, prefix, sizeof(prefix)); !s.ok()) return s;
+  return SendAll(socket, payload.data(), payload.size());
+}
+
+Result<std::string> RecvFrame(const Socket& socket) {
+  unsigned char prefix[4];
+  if (Status s = RecvAll(socket, prefix, sizeof(prefix)); !s.ok()) return s;
+  const std::uint32_t n = static_cast<std::uint32_t>(prefix[0]) |
+                          (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                          (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                          (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (n > kMaxFrameBytes) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        StrCat("incoming frame claims ", n, " bytes (cap ", kMaxFrameBytes,
+               ")"));
+  }
+  std::string payload(n, '\0');
+  if (n > 0) {
+    if (Status s = RecvAll(socket, payload.data(), n); !s.ok()) return s;
+  }
+  return payload;
+}
+
+}  // namespace ws

@@ -1,0 +1,95 @@
+// Minimal POSIX socket layer for the serving subsystem: RAII descriptors,
+// localhost TCP and Unix-domain listeners/connectors, whole-buffer I/O, and
+// the length-prefixed framing every ws protocol message rides in.
+//
+// Error handling is value-based throughout (ws::Status / ws::Result):
+// sockets fail for environmental reasons and the serving layer must not
+// unwind worker threads. Transient I/O failures carry StatusCode::
+// kUnavailable, address/parse problems kInvalidArgument.
+#ifndef WS_BASE_NET_H
+#define WS_BASE_NET_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "base/status.h"
+
+namespace ws {
+
+// An owned socket descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// A served address, written "unix:/path/to.sock" or "host:port"
+// (host defaults to 127.0.0.1 when written ":port" or just "port").
+struct ServeAddress {
+  bool is_unix = false;
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  std::string ToString() const;
+};
+
+// Parses the textual forms above; kInvalidArgument on nonsense.
+Result<ServeAddress> ParseServeAddress(const std::string& text);
+
+// Listeners. TCP binds host:port (port 0 = ephemeral; BoundPort recovers the
+// kernel's pick). Unix unlinks a stale socket file first and binds `path`
+// (length-checked against sockaddr_un limits).
+Result<Socket> ListenTcp(const std::string& host, int port, int backlog);
+Result<Socket> ListenUnix(const std::string& path, int backlog);
+Result<int> BoundPort(const Socket& listener);
+
+// Blocking accept. kUnavailable on EINTR/shutdown-style failures.
+Result<Socket> Accept(const Socket& listener);
+
+// Waits up to timeout_ms for `socket` to become readable. Returns true if
+// readable, false on timeout; kUnavailable on poll failure.
+Result<bool> WaitReadable(const Socket& socket, int timeout_ms);
+
+// Blocking connectors.
+Result<Socket> ConnectTcp(const std::string& host, int port);
+Result<Socket> ConnectUnix(const std::string& path);
+Result<Socket> ConnectAddress(const ServeAddress& address);
+
+// Whole-buffer I/O: retries short reads/writes and EINTR until done.
+// RecvAll returns kUnavailable with "closed" in the message on clean EOF at
+// offset 0 so callers can distinguish peer departure from corruption.
+Status SendAll(const Socket& socket, const void* data, std::size_t size);
+Status RecvAll(const Socket& socket, void* data, std::size_t size);
+
+// Length-prefixed frames: a little-endian u32 payload size, then the
+// payload. The size cap bounds a malicious or corrupted peer.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+Status SendFrame(const Socket& socket, const std::string& payload);
+Result<std::string> RecvFrame(const Socket& socket);
+
+}  // namespace ws
+
+#endif  // WS_BASE_NET_H

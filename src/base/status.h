@@ -26,31 +26,84 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& message) : std::runtime_error(message) {}
 };
 
+// Cooperative cancellation outcomes, raised by the scheduler when a
+// per-request deadline expires or a caller-owned cancel flag is set. They
+// subclass Error so legacy catch sites keep working, but carry a distinct
+// type so request/response layers (ScheduleOrError, the serving daemon) can
+// map them to typed statuses instead of generic failures.
+class DeadlineExceededError : public Error {
+ public:
+  using Error::Error;
+};
+class CancelledError : public Error {
+ public:
+  using Error::Error;
+};
+
+// Machine-readable error category. Most call sites only care about ok vs.
+// not; the serving layer routes on the code (a DeadlineExceeded schedule is
+// a typed response, not a run failure).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed request/options; retrying is pointless
+  kDeadlineExceeded,  // cooperative deadline expired mid-run
+  kCancelled,         // caller-owned cancel flag observed
+  kUnavailable,       // transient resource pressure (queue full, I/O)
+  kInternal,          // everything else (the pre-StatusCode default)
+};
+
+const char* StatusCodeName(StatusCode code);
+
 // The outcome of an operation that can fail without throwing: OK, or an
-// error with a human-readable message.
+// error with a code and a human-readable message.
 class Status {
  public:
   Status() = default;  // OK
   static Status Ok() { return Status(); }
   static Status MakeError(std::string message) {
+    return MakeError(StatusCode::kInternal, std::move(message));
+  }
+  static Status MakeError(StatusCode code, std::string message) {
     Status s;
-    s.error_ = true;
+    s.code_ = code == StatusCode::kOk ? StatusCode::kInternal : code;
     s.message_ = std::move(message);
     return s;
   }
 
-  [[nodiscard]] bool ok() const { return !error_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  // Throws ws::Error if not OK.
+  // Throws ws::Error (or the matching cancellation subclass) if not OK.
   void ThrowIfError() const {
-    if (error_) throw Error(message_);
+    switch (code_) {
+      case StatusCode::kOk:
+        return;
+      case StatusCode::kDeadlineExceeded:
+        throw DeadlineExceededError(message_);
+      case StatusCode::kCancelled:
+        throw CancelledError(message_);
+      default:
+        throw Error(message_);
+    }
   }
 
  private:
-  bool error_ = false;
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
 
 // A value or an error (StatusOr-style). Implicitly constructible from either
 // a T or a non-OK Status, so functions can `return value;` and

@@ -23,12 +23,10 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-// Builds the task's private benchmark copy: registry lookup for named
-// designs, a full compile + stimulus generation + profiling pass for inline
-// behavioral sources. Deterministic in (design, spec.num_stimuli,
-// spec.seed), so every worker count produces the same benchmark.
-Result<Benchmark> BuildDesign(const DesignSpec& design,
-                              const ExploreSpec& spec) {
+}  // namespace
+
+Result<Benchmark> BuildExploreDesign(const DesignSpec& design,
+                                     const ExploreSpec& spec) {
   if (design.source.empty()) {
     return MakeBenchmarkByName(design.name, spec.num_stimuli, spec.seed);
   }
@@ -55,8 +53,8 @@ Result<Benchmark> BuildDesign(const DesignSpec& design,
   }
 }
 
-Result<Allocation> BuildAllocation(const Benchmark& b,
-                                   const AllocationSpec& alloc) {
+Result<Allocation> BuildExploreAllocation(const Benchmark& b,
+                                          const AllocationSpec& alloc) {
   if (alloc.spec.empty() || alloc.spec == "default") return b.allocation;
   if (alloc.spec == "unlimited") return Allocation::Unlimited(b.library);
   if (alloc.spec == "none") return Allocation::None(b.library);
@@ -95,45 +93,29 @@ Result<Allocation> BuildAllocation(const Benchmark& b,
   return out;
 }
 
-// One grid point, start to finish, on the calling thread. Everything it
-// touches is task-local.
-ExploreRun RunOne(const ExploreSpec& spec, const DesignSpec& design,
-                  SpeculationMode mode, const AllocationSpec& alloc,
-                  const ClockSpec& clock) {
+ExploreRun RunBenchmarkCell(const ExploreSpec& spec, const Benchmark& b,
+                            const Allocation& allocation,
+                            const ExploreCell& cell) {
   const auto start = std::chrono::steady_clock::now();
   ExploreRun run;
-  run.design = design.name;
-  run.mode = mode;
-  run.allocation = alloc.label;
-  run.clock = clock.label;
-
-  Result<Benchmark> bench = BuildDesign(design, spec);
-  if (!bench.ok()) {
-    run.error = bench.error();
-    run.wall_ms = MillisSince(start);
-    return run;
-  }
-  const Benchmark& b = *bench;
-
-  Result<Allocation> allocation = BuildAllocation(b, alloc);
-  if (!allocation.ok()) {
-    run.error = allocation.error();
-    run.wall_ms = MillisSince(start);
-    return run;
-  }
+  run.design = cell.design.name;
+  run.mode = cell.mode;
+  run.allocation = cell.alloc.label;
+  run.clock = cell.clock.label;
 
   ScheduleRequest request;
   request.graph = &b.graph;
   request.library = &b.library;
-  request.allocation = &*allocation;
+  request.allocation = &allocation;
   request.options = spec.base_options;
-  request.options.mode = mode;
-  request.options.clock = clock.clock;
+  request.options.mode = cell.mode;
+  request.options.clock = cell.clock.clock;
   request.options.lookahead = b.lookahead;
 
   Result<ScheduleReport> report = ScheduleOrError(request);
   if (!report.ok()) {
     run.error = report.error();
+    run.error_code = report.status().code();
     run.wall_ms = MillisSince(start);
     return run;
   }
@@ -152,11 +134,12 @@ ExploreRun RunOne(const ExploreSpec& spec, const DesignSpec& design,
     if (spec.measure_area) {
       const AreaReport area =
           EstimateArea(report->stg, b.graph, b.library, b.stimuli.at(0),
-                       AreaModel{}, &*allocation);
+                       AreaModel{}, &allocation);
       run.area = area.total;
     }
   } catch (const Error& e) {
     run.error = std::string("analysis: ") + e.what();
+    run.error_code = StatusCode::kInternal;
     run.wall_ms = MillisSince(start);
     return run;
   }
@@ -166,7 +149,39 @@ ExploreRun RunOne(const ExploreSpec& spec, const DesignSpec& design,
   return run;
 }
 
-}  // namespace
+ExploreRun RunExploreCell(const ExploreSpec& spec, const ExploreCell& cell) {
+  const auto start = std::chrono::steady_clock::now();
+
+  Result<Benchmark> bench = BuildExploreDesign(cell.design, spec);
+  if (!bench.ok()) {
+    ExploreRun run;
+    run.design = cell.design.name;
+    run.mode = cell.mode;
+    run.allocation = cell.alloc.label;
+    run.clock = cell.clock.label;
+    run.error = bench.error();
+    run.error_code = bench.status().code();
+    run.wall_ms = MillisSince(start);
+    return run;
+  }
+
+  Result<Allocation> allocation = BuildExploreAllocation(*bench, cell.alloc);
+  if (!allocation.ok()) {
+    ExploreRun run;
+    run.design = cell.design.name;
+    run.mode = cell.mode;
+    run.allocation = cell.alloc.label;
+    run.clock = cell.clock.label;
+    run.error = allocation.error();
+    run.error_code = allocation.status().code();
+    run.wall_ms = MillisSince(start);
+    return run;
+  }
+
+  ExploreRun run = RunBenchmarkCell(spec, *bench, *allocation, cell);
+  run.wall_ms = MillisSince(start);
+  return run;
+}
 
 Status ExploreSpec::Validate() const {
   if (designs.empty()) {
@@ -206,34 +221,49 @@ const ExploreRun* ExploreReport::Find(const std::string& design,
   return nullptr;
 }
 
-Result<ExploreReport> RunExplore(const ExploreSpec& spec) {
-  if (const Status s = spec.Validate(); !s.ok()) return s;
-  const auto start = std::chrono::steady_clock::now();
-
+std::vector<ExploreCell> ExpandExploreGrid(const ExploreSpec& spec) {
   const std::vector<AllocationSpec> allocations =
       spec.allocations.empty() ? std::vector<AllocationSpec>{{}}
                                : spec.allocations;
   const std::vector<ClockSpec> clocks =
       spec.clocks.empty() ? std::vector<ClockSpec>{{}} : spec.clocks;
 
-  // Materialize the grid in its canonical order; slot i of `runs` belongs to
-  // task i, so collection needs no synchronization beyond the pool's Wait().
-  struct Task {
-    const DesignSpec* design;
-    SpeculationMode mode;
-    const AllocationSpec* alloc;
-    const ClockSpec* clock;
-  };
-  std::vector<Task> grid;
+  std::vector<ExploreCell> grid;
+  grid.reserve(spec.designs.size() * spec.modes.size() * allocations.size() *
+               clocks.size());
   for (const DesignSpec& d : spec.designs) {
     for (const SpeculationMode mode : spec.modes) {
       for (const AllocationSpec& a : allocations) {
         for (const ClockSpec& c : clocks) {
-          grid.push_back(Task{&d, mode, &a, &c});
+          grid.push_back(ExploreCell{d, mode, a, c});
         }
       }
     }
   }
+  return grid;
+}
+
+void ApplyAreaOverheads(ExploreReport* report) {
+  // Cross-run metric: speculative area overhead vs. the non-speculative
+  // schedule of the same configuration.
+  for (ExploreRun& run : report->runs) {
+    if (!run.ok || run.mode == SpeculationMode::kWavesched) continue;
+    const ExploreRun* base = report->Find(
+        run.design, SpeculationMode::kWavesched, run.allocation, run.clock);
+    if (base != nullptr && base->ok && base->area > 0.0) {
+      run.area_overhead_pct = 100.0 * (run.area - base->area) / base->area;
+      run.has_area_overhead = true;
+    }
+  }
+}
+
+Result<ExploreReport> RunExplore(const ExploreSpec& spec) {
+  if (const Status s = spec.Validate(); !s.ok()) return s;
+  const auto start = std::chrono::steady_clock::now();
+
+  // The grid in its canonical order; slot i of `runs` belongs to task i, so
+  // collection needs no synchronization beyond the pool's Wait().
+  const std::vector<ExploreCell> grid = ExpandExploreGrid(spec);
 
   ExploreReport report;
   report.workers = spec.workers;
@@ -242,30 +272,14 @@ Result<ExploreReport> RunExplore(const ExploreSpec& spec) {
   {
     ThreadPool pool(spec.workers);
     for (std::size_t i = 0; i < grid.size(); ++i) {
-      const Task& task = grid[i];
+      const ExploreCell* cell = &grid[i];
       ExploreRun* slot = &report.runs[i];
-      pool.Submit([&spec, task, slot] {
-        *slot = RunOne(spec, *task.design, task.mode, *task.alloc,
-                       *task.clock);
-      });
+      pool.Submit([&spec, cell, slot] { *slot = RunExploreCell(spec, *cell); });
     }
     pool.Wait();
   }
 
-  // Cross-run metric: speculative area overhead vs. the non-speculative
-  // schedule of the same configuration.
-  if (spec.measure_area) {
-    for (ExploreRun& run : report.runs) {
-      if (!run.ok || run.mode == SpeculationMode::kWavesched) continue;
-      const ExploreRun* base = report.Find(
-          run.design, SpeculationMode::kWavesched, run.allocation, run.clock);
-      if (base != nullptr && base->ok && base->area > 0.0) {
-        run.area_overhead_pct =
-            100.0 * (run.area - base->area) / base->area;
-        run.has_area_overhead = true;
-      }
-    }
-  }
+  if (spec.measure_area) ApplyAreaOverheads(&report);
 
   report.wall_ms = MillisSince(start);
   return report;

@@ -26,6 +26,7 @@
 #include "hw/resources.h"
 #include "sched/scheduler.h"
 #include "stg/stg.h"
+#include "suite/benchmarks.h"
 
 namespace ws {
 
@@ -91,6 +92,10 @@ struct ExploreRun {
 
   bool ok = false;
   std::string error;
+  // Category of `error` (kOk while ok): lets the serving layer route
+  // deadline expiries to typed responses while ordinary scheduling failures
+  // stay embedded in the run. Never rendered, so reports stay byte-stable.
+  StatusCode error_code = StatusCode::kOk;
 
   ScheduleStats stats;
   std::size_t states = 0;           // work states (the paper's #states)
@@ -126,6 +131,50 @@ struct ExploreReport {
 // exceeded caps) are recorded in their ExploreRun, not propagated; only a
 // malformed spec makes the call itself fail.
 Result<ExploreReport> RunExplore(const ExploreSpec& spec);
+
+// --- Cell-level building blocks -------------------------------------------
+//
+// RunExplore fans these out over its pool; the scheduling service executes
+// the same functions per request, which is what makes `ws_explore --server`
+// byte-identical to in-process sweeps.
+
+// One grid cell in the canonical cross-product order.
+struct ExploreCell {
+  DesignSpec design;
+  SpeculationMode mode = SpeculationMode::kWavesched;
+  AllocationSpec alloc;
+  ClockSpec clock;
+};
+
+// The spec's full task grid, design-major then mode/allocation/clock, with
+// empty allocation/clock grids already defaulted — exactly the order of
+// ExploreReport::runs.
+std::vector<ExploreCell> ExpandExploreGrid(const ExploreSpec& spec);
+
+// The task-local benchmark build: registry lookup for named designs, a full
+// compile + stimulus + profiling pass for inline sources. Deterministic in
+// (design, spec.num_stimuli, spec.seed).
+Result<Benchmark> BuildExploreDesign(const DesignSpec& design,
+                                     const ExploreSpec& spec);
+
+// Applies an AllocationSpec on top of the benchmark's own allocation.
+Result<Allocation> BuildExploreAllocation(const Benchmark& b,
+                                          const AllocationSpec& alloc);
+
+// Schedule + analysis on prebuilt inputs; never throws. Labels come from the
+// cell, the mode/clock/lookahead land in the scheduler options.
+ExploreRun RunBenchmarkCell(const ExploreSpec& spec, const Benchmark& b,
+                            const Allocation& allocation,
+                            const ExploreCell& cell);
+
+// One cell start to finish on the calling thread (build + schedule +
+// analysis); the unit RunExplore fans out.
+ExploreRun RunExploreCell(const ExploreSpec& spec, const ExploreCell& cell);
+
+// The cross-run post-pass: fills area_overhead_pct of speculative runs from
+// the kWavesched run of the same (design, allocation, clock). A no-op unless
+// runs carry area figures.
+void ApplyAreaOverheads(ExploreReport* report);
 
 }  // namespace ws
 

@@ -86,6 +86,13 @@ void AppendRun(std::ostringstream& os, const ExploreRun& run,
 
 }  // namespace
 
+std::string ExploreRunToJson(const ExploreRun& run,
+                             const ReportRenderOptions& options) {
+  std::ostringstream os;
+  AppendRun(os, run, options);
+  return os.str();
+}
+
 std::string ExploreReportToJson(const ExploreReport& report,
                                 const ReportRenderOptions& options) {
   std::ostringstream os;

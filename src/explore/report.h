@@ -23,6 +23,12 @@ struct ReportRenderOptions {
 std::string ExploreReportToJson(const ExploreReport& report,
                                 const ReportRenderOptions& options = {});
 
+// One run as a standalone canonical JSON object — the same rendering a run
+// gets inside the full report, reused by `ws_client schedule` and the
+// serving golden tests.
+std::string ExploreRunToJson(const ExploreRun& run,
+                             const ReportRenderOptions& options = {});
+
 std::string ExploreReportToTable(const ExploreReport& report);
 
 }  // namespace ws

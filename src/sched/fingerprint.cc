@@ -1,0 +1,134 @@
+#include "sched/fingerprint.h"
+
+#include <bit>
+#include <cstdint>
+
+#include "base/status.h"
+
+namespace ws {
+namespace {
+
+// Doubles are mixed by bit pattern: the scheduler compares and multiplies
+// them exactly as stored, so bit-identical inputs are the right equality.
+void MixDouble(FpHasher& h, double v) {
+  h.Mix(std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+void MixString(FpHasher& h, const std::string& s) {
+  h.Mix(s.size());
+  std::uint64_t word = 0;
+  int shift = 0;
+  for (const char c : s) {
+    word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+            << shift;
+    shift += 8;
+    if (shift == 64) {
+      h.Mix(word);
+      word = 0;
+      shift = 0;
+    }
+  }
+  if (shift != 0) h.Mix(word);
+}
+
+void MixCdfg(FpHasher& h, const Cdfg& g) {
+  MixString(h, g.name());
+  h.Mix(g.num_nodes());
+  for (const Node& n : g.nodes()) {
+    h.Mix(static_cast<std::uint64_t>(n.kind));
+    h.Mix(n.inputs.size());
+    for (const NodeId in : n.inputs) h.Mix(in.value());
+    h.Mix(static_cast<std::uint64_t>(n.const_value));
+    h.Mix(n.loop.value());
+    h.Mix(n.ctrl.size());
+    for (const ControlLiteral& lit : n.ctrl) {
+      h.Mix(lit.cond.value());
+      h.Mix(lit.polarity ? 1 : 0);
+    }
+    h.Mix(n.array.value());
+  }
+  h.Mix(g.num_loops());
+  for (const Loop& loop : g.loops()) {
+    h.Mix(loop.cond.value());
+    h.Mix(loop.phis.size());
+    for (const NodeId phi : loop.phis) h.Mix(phi.value());
+    h.Mix(loop.body.size());
+    for (const NodeId b : loop.body) h.Mix(b.value());
+  }
+  h.Mix(g.arrays().size());
+  for (const MemArray& a : g.arrays()) {
+    h.Mix(static_cast<std::uint64_t>(a.size));
+    h.Mix(a.init.size());
+    for (const std::int64_t v : a.init) {
+      h.Mix(static_cast<std::uint64_t>(v));
+    }
+  }
+  h.Mix(g.inputs().size());
+  for (const NodeId in : g.inputs()) h.Mix(in.value());
+  h.Mix(g.outputs().size());
+  for (const NodeId out : g.outputs()) h.Mix(out.value());
+  // Branch probabilities drive criticality (Eq. 5) and the single-path
+  // likely assignment, so they are result-affecting inputs. condition_nodes()
+  // is sorted by id — a canonical order.
+  h.Mix(g.condition_nodes().size());
+  for (const NodeId cond : g.condition_nodes()) {
+    h.Mix(cond.value());
+    MixDouble(h, g.cond_probability(cond));
+  }
+}
+
+void MixLibrary(FpHasher& h, const FuLibrary& lib) {
+  h.Mix(static_cast<std::uint64_t>(lib.num_types()));
+  for (int i = 0; i < lib.num_types(); ++i) {
+    const FuType& t = lib.type(i);
+    MixString(h, t.name);
+    h.Mix(static_cast<std::uint64_t>(t.latency));
+    h.Mix(t.pipelined ? 1 : 0);
+    MixDouble(h, t.delay_ns);
+    MixDouble(h, t.area);
+  }
+  // Kind -> unit selection, enumerated in OpKind declaration order.
+  for (int k = 0; k <= static_cast<int>(OpKind::kOutput); ++k) {
+    const OpKind kind = static_cast<OpKind>(k);
+    h.Mix(lib.HasTypeFor(kind)
+              ? static_cast<std::uint64_t>(lib.TypeFor(kind))
+              : ~0ull);
+  }
+}
+
+void MixAllocation(FpHasher& h, const Allocation& alloc,
+                   const FuLibrary& lib) {
+  h.Mix(static_cast<std::uint64_t>(lib.num_types()));
+  for (int i = 0; i < lib.num_types(); ++i) {
+    h.Mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(alloc.Count(i))));
+  }
+}
+
+void MixOptions(FpHasher& h, const SchedulerOptions& options) {
+  h.Mix(static_cast<std::uint64_t>(options.mode));
+  MixDouble(h, options.clock.period_ns);
+  h.Mix(options.clock.allow_chaining ? 1 : 0);
+  h.Mix(static_cast<std::uint64_t>(options.lookahead));
+  h.Mix(static_cast<std::uint64_t>(options.gc_window));
+  h.Mix(static_cast<std::uint64_t>(options.max_states));
+  h.Mix(static_cast<std::uint64_t>(options.max_ops_per_state));
+  // options.deadline / options.cancel intentionally excluded: per-call
+  // bounds, not result-affecting inputs.
+}
+
+Fp128 FingerprintScheduleRequest(const ScheduleRequest& request) {
+  WS_CHECK_MSG(request.graph != nullptr && request.library != nullptr &&
+                   request.allocation != nullptr,
+               "FingerprintScheduleRequest: null request member");
+  FpHasher h;
+  MixCdfg(h, *request.graph);
+  MixLibrary(h, *request.library);
+  MixAllocation(h, *request.allocation, *request.library);
+  MixOptions(h, request.options);
+  return h.digest();
+}
+
+}  // namespace ws

@@ -1,0 +1,42 @@
+// Canonical 128-bit fingerprints of scheduling requests.
+//
+// The serving layer's result cache needs a key with two properties: two
+// requests with the same fingerprint must schedule identically, and the
+// fingerprint must be cheap next to a scheduling run. Both hold by
+// construction here: the token stream enumerates exactly the inputs the
+// scheduler reads — the CDFG's structure (nodes, operands, guards, loops,
+// arrays, I/O) and its branch-probability annotations, the functional-unit
+// library and kind selection, the allocation counts, and every
+// result-affecting SchedulerOptions field — folded through the same FpHasher
+// that backs closure-detection state signatures (base/hashing.h), so the
+// collision probability is the same ~2^-128 the scheduler already accepts
+// (and the serving cache, like closure detection, tolerates: a stale hit
+// returns a well-formed report for the colliding request, never corruption).
+//
+// Deliberately excluded: SchedulerOptions::deadline and ::cancel (they bound
+// a particular call, not its result) and every display-only string except
+// the graph name (unit names participate because error messages and
+// allocation specs reference them; node display names do not).
+#ifndef WS_SCHED_FINGERPRINT_H
+#define WS_SCHED_FINGERPRINT_H
+
+#include "base/hashing.h"
+#include "sched/scheduler.h"
+
+namespace ws {
+
+// Fingerprint of a fully-formed request (all pointers non-null; throws
+// ws::Error otherwise). Deterministic across platforms and processes.
+Fp128 FingerprintScheduleRequest(const ScheduleRequest& request);
+
+// The building blocks, for callers that key on a superset of the request
+// (the serving cache also mixes in stimulus counts and analysis flags).
+void MixString(FpHasher& h, const std::string& s);
+void MixCdfg(FpHasher& h, const Cdfg& g);
+void MixLibrary(FpHasher& h, const FuLibrary& lib);
+void MixAllocation(FpHasher& h, const Allocation& alloc, const FuLibrary& lib);
+void MixOptions(FpHasher& h, const SchedulerOptions& options);
+
+}  // namespace ws
+
+#endif  // WS_SCHED_FINGERPRINT_H

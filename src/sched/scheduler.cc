@@ -126,6 +126,21 @@ class SchedulerImpl {
   ScheduleResult Run();
 
  private:
+  // Cooperative cancellation: polls the caller-owned cancel flag and the
+  // deadline. Called once per worklist state and once per candidate
+  // admission pass, so a run is abandoned within one state's work of the
+  // trigger and never yields a partial STG.
+  void CheckCancellation() const {
+    if (opts_.cancel != nullptr &&
+        opts_.cancel->load(std::memory_order_relaxed)) {
+      throw CancelledError("schedule cancelled by caller");
+    }
+    if (opts_.deadline.has_value() &&
+        std::chrono::steady_clock::now() >= *opts_.deadline) {
+      throw DeadlineExceededError("schedule deadline exceeded");
+    }
+  }
+
   // --- Condition variables ---------------------------------------------------
   int CondVar(NodeId cond, int iter);
   Bdd CondLit(const PathState& ps, NodeId cond, int iter, bool polarity);
@@ -783,6 +798,7 @@ void SchedulerImpl::FillState(StateId sid, PathState& ps) {
   std::vector<Candidate> cands;
   for (;;) {
     if (static_cast<int>(state.ops.size()) >= opts_.max_ops_per_state) break;
+    CheckCancellation();
     GenerateCandidates(ps, &cands);
 
     // Admission filters: resources and clock period.
@@ -1646,6 +1662,7 @@ ScheduleResult SchedulerImpl::Run() {
   stg_.set_entry(entry.sid);
 
   while (!worklist_.empty()) {
+    CheckCancellation();
     auto [sid, ps] = std::move(worklist_.front());
     worklist_.pop_front();
 
@@ -1728,24 +1745,29 @@ ScheduleResult SchedulerImpl::Run() {
 Status SchedulerOptions::Validate() const {
   if (lookahead < 0) {
     return Status::MakeError(
+        StatusCode::kInvalidArgument,
         StrCat("SchedulerOptions: lookahead must be >= 0, got ", lookahead));
   }
   if (gc_window < 1) {
     return Status::MakeError(
+        StatusCode::kInvalidArgument,
         StrCat("SchedulerOptions: gc_window must be >= 1, got ", gc_window));
   }
   if (max_states < 1) {
     return Status::MakeError(
+        StatusCode::kInvalidArgument,
         StrCat("SchedulerOptions: max_states must be >= 1, got ",
                max_states));
   }
   if (max_ops_per_state < 1) {
     return Status::MakeError(
+        StatusCode::kInvalidArgument,
         StrCat("SchedulerOptions: max_ops_per_state must be >= 1, got ",
                max_ops_per_state));
   }
   if (!(clock.period_ns > 0.0)) {
     return Status::MakeError(
+        StatusCode::kInvalidArgument,
         StrCat("SchedulerOptions: clock period must be > 0, got ",
                clock.period_ns));
   }
@@ -1754,19 +1776,26 @@ Status SchedulerOptions::Validate() const {
 
 Result<ScheduleReport> ScheduleOrError(const ScheduleRequest& request) {
   if (request.graph == nullptr) {
-    return Status::MakeError("ScheduleRequest: graph is null");
+    return Status::MakeError(StatusCode::kInvalidArgument,
+                             "ScheduleRequest: graph is null");
   }
   if (request.library == nullptr) {
-    return Status::MakeError("ScheduleRequest: library is null");
+    return Status::MakeError(StatusCode::kInvalidArgument,
+                             "ScheduleRequest: library is null");
   }
   if (request.allocation == nullptr) {
-    return Status::MakeError("ScheduleRequest: allocation is null");
+    return Status::MakeError(StatusCode::kInvalidArgument,
+                             "ScheduleRequest: allocation is null");
   }
   if (const Status s = request.options.Validate(); !s.ok()) return s;
   try {
     SchedulerImpl impl(*request.graph, *request.library, *request.allocation,
                        request.options);
     return impl.Run();
+  } catch (const DeadlineExceededError& e) {
+    return Status::MakeError(StatusCode::kDeadlineExceeded, e.what());
+  } catch (const CancelledError& e) {
+    return Status::MakeError(StatusCode::kCancelled, e.what());
   } catch (const Error& e) {
     return Status::MakeError(e.what());
   }
@@ -1780,7 +1809,14 @@ ScheduleResult Schedule(const Cdfg& g, const FuLibrary& lib,
   request.library = &lib;
   request.allocation = &alloc;
   request.options = options;
-  return ScheduleOrError(request).value();
+  Result<ScheduleReport> result = ScheduleOrError(request);
+  if (!result.ok()) {
+    // Re-enter the throwing world with the carried Status intact: the code
+    // picks the exception type (deadline/cancel stay distinguishable) and
+    // the message is ScheduleOrError's, verbatim.
+    result.status().ThrowIfError();
+  }
+  return *std::move(result);
 }
 
 }  // namespace ws

@@ -28,7 +28,10 @@
 #ifndef WS_SCHED_SCHEDULER_H
 #define WS_SCHED_SCHEDULER_H
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "base/status.h"
@@ -64,6 +67,16 @@ struct SchedulerOptions {
   // Exploration caps; exceeded => ws::Error (closure not found).
   int max_states = 2000;
   int max_ops_per_state = 256;
+
+  // Cooperative cancellation, checked between worklist states and candidate
+  // passes (millisecond granularity on the paper suite). When the deadline
+  // passes, ScheduleOrError returns a kDeadlineExceeded Status — never a
+  // partial STG. `cancel` is borrowed, may be null, and is polled with
+  // relaxed loads; setting it from another thread makes the run return
+  // kCancelled. Neither field participates in request fingerprints (see
+  // sched/fingerprint.h): they bound a particular call, not its result.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  const std::atomic<bool>* cancel = nullptr;
 
   // Rejects out-of-range fields with a descriptive error. Every scheduling
   // entry point validates; call directly to fail fast at construction time.

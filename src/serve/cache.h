@@ -1,0 +1,55 @@
+// Bounded LRU result cache for the scheduling service.
+//
+// Keys are 128-bit request fingerprints (sched/fingerprint.h); values are
+// encoded response payloads, stored verbatim so a hit replays the exact
+// bytes of the original response. Thread-safe; every public member takes the
+// one internal mutex (entries are small strings — metrics, not STGs — so
+// the critical sections are copies, not computation).
+#ifndef WS_SERVE_CACHE_H
+#define WS_SERVE_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "base/hashing.h"
+
+namespace ws {
+
+class ResultCache {
+ public:
+  // capacity == 0 disables caching (every Get misses, Put is a no-op).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  // Returns the cached payload and refreshes the entry's recency.
+  std::optional<std::string> Get(const Fp128& key);
+
+  // Inserts or refreshes; evicts the least-recently-used entry beyond
+  // capacity.
+  void Put(const Fp128& key, std::string payload);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::int64_t hits() const;
+  std::int64_t misses() const;
+  std::int64_t evictions() const;
+
+ private:
+  using Entry = std::pair<Fp128, std::string>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Fp128, std::list<Entry>::iterator, Fp128Hash> index_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+};
+
+}  // namespace ws
+
+#endif  // WS_SERVE_CACHE_H

@@ -1,0 +1,160 @@
+#include "serve/client.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/thread_pool.h"
+
+namespace ws {
+namespace {
+
+// Overload shedding is transient by design; a handful of exponential-backoff
+// retries rides out bursts without building server-side backlog.
+constexpr int kOverloadRetries = 5;
+
+ExploreRun FailedRun(const ExploreCell& cell, std::string error,
+                     StatusCode code) {
+  ExploreRun run;
+  run.design = cell.design.name;
+  run.mode = cell.mode;
+  run.allocation = cell.alloc.label;
+  run.clock = cell.clock.label;
+  run.error = std::move(error);
+  run.error_code = code;
+  return run;
+}
+
+ExploreRun RunRemoteCell(const ExploreSpec& spec, const ServeAddress& address,
+                         const ExploreCell& cell, std::int64_t deadline_ms) {
+  CellRequest request = MakeCellRequest(spec, cell);
+  request.deadline_ms = deadline_ms;
+
+  for (int attempt = 0;; ++attempt) {
+    Result<ServeClient> client = ServeClient::Connect(address);
+    if (!client.ok()) {
+      return FailedRun(cell, client.error(), StatusCode::kUnavailable);
+    }
+    Result<WireResponse> response = client->Schedule(request);
+    if (!response.ok()) {
+      return FailedRun(cell, response.error(), StatusCode::kUnavailable);
+    }
+    switch (response->status) {
+      case ResponseStatus::kOk: {
+        Result<ExploreRun> run = DecodeRun(response->payload);
+        if (!run.ok()) {
+          return FailedRun(cell, run.error(), StatusCode::kInternal);
+        }
+        return *std::move(run);
+      }
+      case ResponseStatus::kInvalidRequest:
+        // The server ran the same build path and failed the same way a local
+        // sweep would; its message is the exact local error string.
+        return FailedRun(cell, response->payload,
+                         StatusCode::kInvalidArgument);
+      case ResponseStatus::kDeadlineExceeded:
+        return FailedRun(cell, response->payload,
+                         StatusCode::kDeadlineExceeded);
+      case ResponseStatus::kOverloaded:
+        if (attempt < kOverloadRetries) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(5LL << attempt));
+          continue;
+        }
+        return FailedRun(cell, response->payload, StatusCode::kUnavailable);
+      case ResponseStatus::kInternalError:
+        return FailedRun(cell, response->payload, StatusCode::kInternal);
+    }
+    return FailedRun(cell, "unrecognized response status",
+                     StatusCode::kInternal);
+  }
+}
+
+}  // namespace
+
+Result<ServeClient> ServeClient::Connect(const std::string& address_text) {
+  Result<ServeAddress> address = ParseServeAddress(address_text);
+  if (!address.ok()) return address.status();
+  return Connect(*address);
+}
+
+Result<ServeClient> ServeClient::Connect(const ServeAddress& address) {
+  Result<Socket> socket = ConnectAddress(address);
+  if (!socket.ok()) return socket.status();
+  return ServeClient(std::move(socket).value());
+}
+
+Result<WireResponse> ServeClient::Call(Verb verb, const std::string& body) {
+  if (const Status s = SendFrame(socket_, EncodeRequestFrame(verb, body));
+      !s.ok()) {
+    return s;
+  }
+  Result<std::string> frame = RecvFrame(socket_);
+  if (!frame.ok()) return frame.status();
+  return DecodeResponseFrame(*frame);
+}
+
+Result<WireResponse> ServeClient::Schedule(const CellRequest& request) {
+  return Call(Verb::kSchedule, EncodeCellRequest(request));
+}
+
+namespace {
+Result<std::string> ExpectOk(Result<WireResponse> response) {
+  if (!response.ok()) return response.status();
+  if (response->status != ResponseStatus::kOk) {
+    return Status::MakeError(
+        StatusCode::kUnavailable,
+        std::string("server replied ") + ResponseStatusName(response->status) +
+            ": " + response->payload);
+  }
+  return std::move(response->payload);
+}
+}  // namespace
+
+Result<std::string> ServeClient::Ping() { return ExpectOk(Call(Verb::kPing, "")); }
+
+Result<std::string> ServeClient::Stats() {
+  return ExpectOk(Call(Verb::kStats, ""));
+}
+
+Result<std::string> ServeClient::Shutdown() {
+  return ExpectOk(Call(Verb::kShutdown, ""));
+}
+
+Result<ExploreReport> RunExploreRemote(const ExploreSpec& spec,
+                                       const ServeAddress& address,
+                                       std::int64_t deadline_ms) {
+  if (const Status s = spec.Validate(); !s.ok()) return s;
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::vector<ExploreCell> grid = ExpandExploreGrid(spec);
+
+  ExploreReport report;
+  report.workers = spec.workers;
+  report.runs.resize(grid.size());
+
+  {
+    ThreadPool pool(spec.workers);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const ExploreCell* cell = &grid[i];
+      ExploreRun* slot = &report.runs[i];
+      pool.Submit([&spec, &address, cell, slot, deadline_ms] {
+        *slot = RunRemoteCell(spec, address, *cell, deadline_ms);
+      });
+    }
+    pool.Wait();
+  }
+
+  // Same cross-run post-pass as RunExplore; runs carry per-run area figures
+  // from the server, the overhead comparison is a client-side report step.
+  if (spec.measure_area) ApplyAreaOverheads(&report);
+
+  report.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace ws

@@ -1,0 +1,60 @@
+// Client side of the serving protocol: a blocking one-connection client and
+// the remote explore backend (`ws_explore --server`).
+//
+// A ServeClient owns one connection and speaks strict request/response; a
+// caller that wants parallelism opens more clients (RunExploreRemote opens
+// one per in-flight cell). All failures are value-based — a dead server is
+// an environmental condition, not a programming error.
+#ifndef WS_SERVE_CLIENT_H
+#define WS_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "base/net.h"
+#include "base/status.h"
+#include "explore/explore.h"
+#include "serve/protocol.h"
+
+namespace ws {
+
+class ServeClient {
+ public:
+  // Connects to "unix:/path" or "[host:]port" (ParseServeAddress forms).
+  static Result<ServeClient> Connect(const std::string& address_text);
+  static Result<ServeClient> Connect(const ServeAddress& address);
+
+  ServeClient(ServeClient&&) = default;
+  ServeClient& operator=(ServeClient&&) = default;
+
+  // One request/response round trip. Transport failures only; protocol-level
+  // failures come back inside the WireResponse.
+  Result<WireResponse> Call(Verb verb, const std::string& body);
+
+  // Verb shorthands. The string-returning ones demand a kOk reply and
+  // surface anything else as an error status.
+  Result<WireResponse> Schedule(const CellRequest& request);
+  Result<std::string> Ping();
+  Result<std::string> Stats();
+  Result<std::string> Shutdown();
+
+ private:
+  explicit ServeClient(Socket socket) : socket_(std::move(socket)) {}
+
+  Socket socket_;
+};
+
+// Runs the explore grid against a remote server instead of the in-process
+// pool: same cells, same canonical order, same report — byte-identical to
+// RunExplore (modulo timing fields) because the server executes the same
+// RunBenchmarkCell path and doubles travel as bit patterns. spec.workers
+// bounds the number of in-flight requests (0 = sequential). deadline_ms > 0
+// attaches a per-request deadline; expiries surface as failed runs with
+// StatusCode::kDeadlineExceeded. Overloaded sheds are retried with backoff.
+Result<ExploreReport> RunExploreRemote(const ExploreSpec& spec,
+                                       const ServeAddress& address,
+                                       std::int64_t deadline_ms = 0);
+
+}  // namespace ws
+
+#endif  // WS_SERVE_CLIENT_H

@@ -1,0 +1,96 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace ws {
+namespace {
+
+int BucketOf(std::int64_t sample) {
+  if (sample <= 0) return 0;
+  return std::bit_width(static_cast<std::uint64_t>(sample));
+}
+
+// Geometric midpoint of bucket b's range [2^(b-1), 2^b).
+double BucketMid(int b) {
+  if (b == 0) return 0.0;
+  const double lo = static_cast<double>(1ull << (b - 1));
+  return lo * 1.5;
+}
+
+}  // namespace
+
+void Histogram::Record(std::int64_t sample) {
+  if (sample < 0) sample = 0;
+  buckets_[BucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  std::int64_t prev = max_.load(std::memory_order_relaxed);
+  while (sample > prev &&
+         !max_.compare_exchange_weak(prev, sample,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  const std::int64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double seen = 0.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::int64_t in_bucket =
+        buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    seen += static_cast<double>(in_bucket);
+    if (seen >= target) return BucketMid(b);
+  }
+  return static_cast<double>(max());
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::int64_t n = h->count();
+    const double mean =
+        n == 0 ? 0.0 : static_cast<double>(h->sum()) / static_cast<double>(n);
+    os << name << StrPrintf(
+        " count=%lld mean=%.1f p50=%.1f p90=%.1f p99=%.1f max=%lld\n",
+        static_cast<long long>(n), mean, h->Quantile(0.5), h->Quantile(0.9),
+        h->Quantile(0.99), static_cast<long long>(h->max()));
+  }
+  return os.str();
+}
+
+}  // namespace ws

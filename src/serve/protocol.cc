@@ -1,0 +1,337 @@
+#include "serve/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+#include "base/strings.h"
+
+namespace ws {
+namespace {
+
+// Little-endian primitive writers/readers over std::string. The reader is
+// fail-soft: overruns latch an error and subsequent reads return zeros, so
+// decoders validate once at the end instead of after every field.
+class WireWriter {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t U8() {
+    if (pos_ + 1 > data_.size()) return Fail<std::uint8_t>();
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t U32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(U8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t U64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(U8()) << (8 * i);
+    return v;
+  }
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+  double F64() { return std::bit_cast<double>(U64()); }
+  std::string Str() {
+    const std::uint32_t n = U32();
+    if (pos_ + n > data_.size()) return Fail<std::string>();
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  T Fail() {
+    ok_ = false;
+    pos_ = data_.size();
+    return T{};
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+Status Malformed(const char* what) {
+  return Status::MakeError(StatusCode::kInvalidArgument,
+                           StrCat("malformed ", what, " message"));
+}
+
+void WriteRequestHeader(WireWriter& w, Verb verb) {
+  w.U32(kWireMagic);
+  w.U8(kWireVersion);
+  w.U8(static_cast<std::uint8_t>(verb));
+}
+
+void WriteStats(WireWriter& w, const ScheduleStats& s) {
+  w.U32(static_cast<std::uint32_t>(s.states_created));
+  w.U32(static_cast<std::uint32_t>(s.closure_hits));
+  w.U32(static_cast<std::uint32_t>(s.speculative_ops));
+  w.U32(static_cast<std::uint32_t>(s.squashed_ops));
+  w.U32(static_cast<std::uint32_t>(s.total_ops));
+  w.I64(s.candidates_generated);
+  w.U64(s.bdd_ops);
+  w.U64(s.bdd_nodes);
+  w.I64(s.signature_collisions);
+  w.I64(s.phase.successor_ns);
+  w.I64(s.phase.cofactor_ns);
+  w.I64(s.phase.closure_ns);
+  w.I64(s.phase.gc_ns);
+  w.I64(s.phase.total_ns);
+}
+
+ScheduleStats ReadStats(WireReader& r) {
+  ScheduleStats s;
+  s.states_created = static_cast<int>(r.U32());
+  s.closure_hits = static_cast<int>(r.U32());
+  s.speculative_ops = static_cast<int>(r.U32());
+  s.squashed_ops = static_cast<int>(r.U32());
+  s.total_ops = static_cast<int>(r.U32());
+  s.candidates_generated = r.I64();
+  s.bdd_ops = r.U64();
+  s.bdd_nodes = r.U64();
+  s.signature_collisions = r.I64();
+  s.phase.successor_ns = r.I64();
+  s.phase.cofactor_ns = r.I64();
+  s.phase.closure_ns = r.I64();
+  s.phase.gc_ns = r.I64();
+  s.phase.total_ns = r.I64();
+  return s;
+}
+
+}  // namespace
+
+const char* ResponseStatusName(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kInvalidRequest: return "invalid_request";
+    case ResponseStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case ResponseStatus::kOverloaded: return "overloaded";
+    case ResponseStatus::kInternalError: return "internal_error";
+  }
+  return "unknown";
+}
+
+ExploreSpec CellRequest::ToSpec() const {
+  ExploreSpec spec;
+  spec.designs = {design};
+  spec.modes = {mode};
+  spec.allocations = {alloc};
+  spec.clocks = {clock};
+  spec.num_stimuli = num_stimuli;
+  spec.seed = seed;
+  spec.workers = 0;
+  spec.measure_sim_enc = measure_sim_enc;
+  spec.measure_area = measure_area;
+  spec.base_options.mode = mode;
+  spec.base_options.clock = clock.clock;
+  spec.base_options.lookahead = lookahead;
+  spec.base_options.gc_window = gc_window;
+  spec.base_options.max_states = max_states;
+  spec.base_options.max_ops_per_state = max_ops_per_state;
+  return spec;
+}
+
+ExploreCell CellRequest::ToCell() const {
+  return ExploreCell{design, mode, alloc, clock};
+}
+
+CellRequest MakeCellRequest(const ExploreSpec& spec, const ExploreCell& cell) {
+  CellRequest req;
+  req.design = cell.design;
+  req.mode = cell.mode;
+  req.alloc = cell.alloc;
+  req.clock = cell.clock;
+  req.lookahead = spec.base_options.lookahead;
+  req.gc_window = spec.base_options.gc_window;
+  req.max_states = spec.base_options.max_states;
+  req.max_ops_per_state = spec.base_options.max_ops_per_state;
+  req.num_stimuli = spec.num_stimuli;
+  req.seed = spec.seed;
+  req.measure_sim_enc = spec.measure_sim_enc;
+  req.measure_area = spec.measure_area;
+  return req;
+}
+
+std::string EncodeRequestFrame(Verb verb, const std::string& body) {
+  WireWriter w;
+  WriteRequestHeader(w, verb);
+  std::string out = w.Take();
+  out += body;
+  return out;
+}
+
+std::string EncodeResponseFrame(ResponseStatus status, bool cache_hit,
+                                const std::string& body) {
+  WireWriter w;
+  w.U32(kWireMagic);
+  w.U8(kWireVersion);
+  w.U8(static_cast<std::uint8_t>(status));
+  w.U8(cache_hit ? 1 : 0);
+  std::string out = w.Take();
+  out += body;
+  return out;
+}
+
+Result<std::pair<Verb, std::string>> DecodeRequestFrame(
+    std::string_view frame) {
+  WireReader r(frame);
+  if (r.U32() != kWireMagic) return Malformed("request (bad magic)");
+  if (r.U8() != kWireVersion) return Malformed("request (bad version)");
+  const std::uint8_t verb = r.U8();
+  if (!r.ok() || verb < static_cast<std::uint8_t>(Verb::kSchedule) ||
+      verb > static_cast<std::uint8_t>(Verb::kShutdown)) {
+    return Malformed("request (bad verb)");
+  }
+  return std::make_pair(static_cast<Verb>(verb),
+                        std::string(frame.substr(6)));
+}
+
+Result<WireResponse> DecodeResponseFrame(std::string_view frame) {
+  WireReader r(frame);
+  if (r.U32() != kWireMagic) return Malformed("response (bad magic)");
+  if (r.U8() != kWireVersion) return Malformed("response (bad version)");
+  const std::uint8_t status = r.U8();
+  const std::uint8_t cache_hit = r.U8();
+  if (!r.ok() || status > static_cast<std::uint8_t>(
+                              ResponseStatus::kInternalError)) {
+    return Malformed("response (bad status)");
+  }
+  WireResponse out;
+  out.status = static_cast<ResponseStatus>(status);
+  out.cache_hit = cache_hit != 0;
+  out.payload = std::string(frame.substr(7));
+  return out;
+}
+
+std::string EncodeCellRequest(const CellRequest& req) {
+  WireWriter w;
+  w.Str(req.design.name);
+  w.Str(req.design.source);
+  w.U8(static_cast<std::uint8_t>(req.mode));
+  w.Str(req.alloc.label);
+  w.Str(req.alloc.spec);
+  w.Str(req.clock.label);
+  w.F64(req.clock.clock.period_ns);
+  w.U8(req.clock.clock.allow_chaining ? 1 : 0);
+  w.U32(static_cast<std::uint32_t>(req.lookahead));
+  w.U32(static_cast<std::uint32_t>(req.gc_window));
+  w.U32(static_cast<std::uint32_t>(req.max_states));
+  w.U32(static_cast<std::uint32_t>(req.max_ops_per_state));
+  w.U32(static_cast<std::uint32_t>(req.num_stimuli));
+  w.U64(req.seed);
+  w.U8(req.measure_sim_enc ? 1 : 0);
+  w.U8(req.measure_area ? 1 : 0);
+  w.I64(req.deadline_ms);
+  return w.Take();
+}
+
+Result<CellRequest> DecodeCellRequest(std::string_view body) {
+  WireReader r(body);
+  CellRequest req;
+  req.design.name = r.Str();
+  req.design.source = r.Str();
+  const std::uint8_t mode = r.U8();
+  req.alloc.label = r.Str();
+  req.alloc.spec = r.Str();
+  req.clock.label = r.Str();
+  req.clock.clock.period_ns = r.F64();
+  req.clock.clock.allow_chaining = r.U8() != 0;
+  req.lookahead = static_cast<int>(r.U32());
+  req.gc_window = static_cast<int>(r.U32());
+  req.max_states = static_cast<int>(r.U32());
+  req.max_ops_per_state = static_cast<int>(r.U32());
+  req.num_stimuli = static_cast<int>(r.U32());
+  req.seed = r.U64();
+  req.measure_sim_enc = r.U8() != 0;
+  req.measure_area = r.U8() != 0;
+  req.deadline_ms = r.I64();
+  if (!r.AtEnd() ||
+      mode > static_cast<std::uint8_t>(SpeculationMode::kWaveschedSpec)) {
+    return Malformed("CellRequest");
+  }
+  req.mode = static_cast<SpeculationMode>(mode);
+  return req;
+}
+
+std::string EncodeRun(const ExploreRun& run) {
+  WireWriter w;
+  w.Str(run.design);
+  w.U8(static_cast<std::uint8_t>(run.mode));
+  w.Str(run.allocation);
+  w.Str(run.clock);
+  w.U8(run.ok ? 1 : 0);
+  w.Str(run.error);
+  w.U8(static_cast<std::uint8_t>(run.error_code));
+  WriteStats(w, run.stats);
+  w.U64(run.states);
+  w.U64(run.op_initiations);
+  w.F64(run.enc_markov);
+  w.F64(run.enc_sim);
+  w.I64(run.best_case);
+  w.I64(run.worst_case);
+  w.U32(static_cast<std::uint32_t>(run.worst_case_budget));
+  w.F64(run.area);
+  w.F64(run.area_overhead_pct);
+  w.U8(run.has_area_overhead ? 1 : 0);
+  w.F64(run.wall_ms);
+  return w.Take();
+}
+
+Result<ExploreRun> DecodeRun(std::string_view body) {
+  WireReader r(body);
+  ExploreRun run;
+  run.design = r.Str();
+  const std::uint8_t mode = r.U8();
+  run.allocation = r.Str();
+  run.clock = r.Str();
+  run.ok = r.U8() != 0;
+  run.error = r.Str();
+  const std::uint8_t code = r.U8();
+  run.stats = ReadStats(r);
+  run.states = r.U64();
+  run.op_initiations = r.U64();
+  run.enc_markov = r.F64();
+  run.enc_sim = r.F64();
+  run.best_case = r.I64();
+  run.worst_case = r.I64();
+  run.worst_case_budget = static_cast<int>(r.U32());
+  run.area = r.F64();
+  run.area_overhead_pct = r.F64();
+  run.has_area_overhead = r.U8() != 0;
+  run.wall_ms = r.F64();
+  if (!r.AtEnd() ||
+      mode > static_cast<std::uint8_t>(SpeculationMode::kWaveschedSpec) ||
+      code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+    return Malformed("ExploreRun");
+  }
+  run.mode = static_cast<SpeculationMode>(mode);
+  run.error_code = static_cast<StatusCode>(code);
+  return run;
+}
+
+}  // namespace ws

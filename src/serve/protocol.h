@@ -1,0 +1,117 @@
+// The ws serving protocol: length-prefixed binary messages over TCP
+// (localhost) or a Unix domain socket.
+//
+// Framing (base/net.h): every message is one frame — a little-endian u32
+// payload length, then the payload. Request payloads open with a fixed
+// header {u32 magic, u8 version, u8 verb}; response payloads with
+// {u32 magic, u8 version, u8 status, u8 cache_hit}. All integers are
+// little-endian; doubles travel as their IEEE-754 bit pattern, so a
+// round-tripped ScheduleReport is bit-identical to the server's — the
+// property the `ws_explore --server` byte-identity guarantee rests on.
+//
+// Verbs:
+//   kSchedule  body = CellRequest; reply kOk carries an encoded ExploreRun
+//              (schedule + analysis metrics; scheduling failures such as
+//              exhausted caps ride inside the run, they are not transport
+//              errors). Typed non-Ok replies: kInvalidRequest (undecodable
+//              or unvalidatable request), kDeadlineExceeded (the request's
+//              deadline_ms expired in queue or mid-run), kOverloaded
+//              (admission queue full — retry later), kInternalError.
+//   kStats     body empty; reply carries the metrics registry rendered as
+//              text (see serve/metrics.h).
+//   kPing      body empty; reply carries "pong".
+//   kShutdown  body empty; reply acknowledges, then the server drains.
+#ifndef WS_SERVE_PROTOCOL_H
+#define WS_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "explore/explore.h"
+
+namespace ws {
+
+inline constexpr std::uint32_t kWireMagic = 0x57535256;  // "WSRV"
+inline constexpr std::uint8_t kWireVersion = 1;
+
+enum class Verb : std::uint8_t {
+  kSchedule = 1,
+  kStats = 2,
+  kPing = 3,
+  kShutdown = 4,
+};
+
+enum class ResponseStatus : std::uint8_t {
+  kOk = 0,
+  kInvalidRequest = 1,
+  kDeadlineExceeded = 2,
+  kOverloaded = 3,
+  kInternalError = 4,
+};
+
+const char* ResponseStatusName(ResponseStatus status);
+
+// One scheduling request at the explore-cell granularity: everything a
+// worker needs to rebuild the benchmark deterministically (the explore
+// engine's shared-nothing convention) plus the per-request deadline. The
+// design travels by registry name or inline behavioral source, never as a
+// serialized CDFG — construction is deterministic in (name/source,
+// num_stimuli, seed), which keeps requests small and the cache key honest.
+struct CellRequest {
+  DesignSpec design;
+  SpeculationMode mode = SpeculationMode::kWaveschedSpec;
+  AllocationSpec alloc;
+  ClockSpec clock;
+
+  // Result-affecting SchedulerOptions fields (mode/clock come from above;
+  // lookahead applies to inline sources — named benchmarks carry their own).
+  int lookahead = 8;
+  int gc_window = 4;
+  int max_states = 2000;
+  int max_ops_per_state = 256;
+
+  int num_stimuli = 50;
+  std::uint64_t seed = 1998;
+  bool measure_sim_enc = true;
+  bool measure_area = false;
+
+  // Relative deadline budget, measured from server-side admission (queue
+  // wait included). <= 0 means none.
+  std::int64_t deadline_ms = 0;
+
+  // The equivalent single-cell ExploreSpec (workers ignored).
+  ExploreSpec ToSpec() const;
+  ExploreCell ToCell() const;
+};
+
+// Builds the CellRequest for one cell of a sweep.
+CellRequest MakeCellRequest(const ExploreSpec& spec, const ExploreCell& cell);
+
+// A decoded response frame.
+struct WireResponse {
+  ResponseStatus status = ResponseStatus::kInternalError;
+  bool cache_hit = false;
+  std::string payload;  // encoded ExploreRun (kOk SCHEDULE), text otherwise
+};
+
+// --- Encoding --------------------------------------------------------------
+
+std::string EncodeRequestFrame(Verb verb, const std::string& body);
+std::string EncodeResponseFrame(ResponseStatus status, bool cache_hit,
+                                const std::string& body);
+Result<std::pair<Verb, std::string>> DecodeRequestFrame(
+    std::string_view frame);
+Result<WireResponse> DecodeResponseFrame(std::string_view frame);
+
+std::string EncodeCellRequest(const CellRequest& request);
+Result<CellRequest> DecodeCellRequest(std::string_view body);
+
+// ExploreRun minus the STG (schedules stay server-side; metrics travel).
+std::string EncodeRun(const ExploreRun& run);
+Result<ExploreRun> DecodeRun(std::string_view body);
+
+}  // namespace ws
+
+#endif  // WS_SERVE_PROTOCOL_H

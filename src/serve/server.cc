@@ -1,0 +1,368 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <future>
+#include <unistd.h>
+#include <utility>
+
+#include "base/strings.h"
+#include "explore/explore.h"
+#include "sched/fingerprint.h"
+
+namespace ws {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t MicrosSince(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start)
+      .count();
+}
+
+// The cache key: the canonical ScheduleRequest fingerprint plus every
+// wire-level field that shapes the response bytes but not the schedule
+// (labels, stimulus count/seed for the simulated E.N.C., analysis flags).
+Fp128 CacheKey(const ScheduleRequest& request, const CellRequest& cell) {
+  FpHasher h;
+  const Fp128 base = FingerprintScheduleRequest(request);
+  h.Mix(base.lo);
+  h.Mix(base.hi);
+  MixString(h, cell.design.name);
+  MixString(h, cell.alloc.label);
+  MixString(h, cell.clock.label);
+  h.Mix(static_cast<std::uint64_t>(cell.num_stimuli));
+  h.Mix(cell.seed);
+  h.Mix((cell.measure_sim_enc ? 1u : 0u) | (cell.measure_area ? 2u : 0u));
+  return h.digest();
+}
+
+}  // namespace
+
+Status ServerOptions::Validate() const {
+  if (tcp_port < 0 && unix_path.empty()) {
+    return Status::MakeError(StatusCode::kInvalidArgument,
+                             "ServerOptions: no listener (need a TCP port "
+                             "and/or a unix socket path)");
+  }
+  if (tcp_port > 65535) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        StrCat("ServerOptions: tcp_port out of range: ", tcp_port));
+  }
+  if (workers < 1) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        StrCat("ServerOptions: workers must be >= 1, got ", workers));
+  }
+  if (max_queue < 1) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        StrCat("ServerOptions: max_queue must be >= 1, got ", max_queue));
+  }
+  return Status::Ok();
+}
+
+ServeServer::ServeServer(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity) {
+  req_total_ = metrics_.counter("serve.requests_total");
+  resp_ok_ = metrics_.counter("serve.responses_ok");
+  resp_invalid_ = metrics_.counter("serve.responses_invalid_request");
+  resp_deadline_ = metrics_.counter("serve.responses_deadline_exceeded");
+  resp_overloaded_ = metrics_.counter("serve.responses_overloaded");
+  resp_internal_ = metrics_.counter("serve.responses_internal_error");
+  cache_hits_ = metrics_.counter("serve.cache_hits");
+  cache_misses_ = metrics_.counter("serve.cache_misses");
+  connections_total_ = metrics_.counter("serve.connections_total");
+  queue_depth_ = metrics_.gauge("serve.queue_depth");
+  open_connections_ = metrics_.gauge("serve.open_connections");
+  latency_us_ = metrics_.histogram("serve.latency_us");
+  sched_total_us_ = metrics_.histogram("serve.sched_total_us");
+  sched_successor_us_ = metrics_.histogram("serve.sched_successor_us");
+  sched_cofactor_us_ = metrics_.histogram("serve.sched_cofactor_us");
+  sched_closure_us_ = metrics_.histogram("serve.sched_closure_us");
+  sched_gc_us_ = metrics_.histogram("serve.sched_gc_us");
+}
+
+ServeServer::~ServeServer() { Stop(); }
+
+Status ServeServer::Start() {
+  if (const Status s = options_.Validate(); !s.ok()) return s;
+  WS_CHECK_MSG(!started_, "ServeServer::Start called twice");
+
+  if (options_.tcp_port >= 0) {
+    Result<Socket> listener =
+        ListenTcp(options_.tcp_host, options_.tcp_port, /*backlog=*/64);
+    if (!listener.ok()) return listener.status();
+    tcp_listener_ = std::move(listener).value();
+    Result<int> port = BoundPort(tcp_listener_);
+    if (!port.ok()) return port.status();
+    bound_tcp_port_ = *port;
+  }
+  if (!options_.unix_path.empty()) {
+    Result<Socket> listener = ListenUnix(options_.unix_path, /*backlog=*/64);
+    if (!listener.ok()) return listener.status();
+    unix_listener_ = std::move(listener).value();
+  }
+
+  pool_ = std::make_unique<ThreadPool>(options_.workers);
+  if (tcp_listener_.valid()) {
+    acceptors_.emplace_back([this] { AcceptLoop(&tcp_listener_); });
+  }
+  if (unix_listener_.valid()) {
+    acceptors_.emplace_back([this] { AcceptLoop(&unix_listener_); });
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+void ServeServer::Wait() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [this] { return stop_requested_; });
+}
+
+void ServeServer::RequestStop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+bool ServeServer::stop_requested() const {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  return stop_requested_;
+}
+
+void ServeServer::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  RequestStop();
+  stopping_.store(true, std::memory_order_relaxed);
+  for (std::thread& t : acceptors_) t.join();
+  acceptors_.clear();
+  // Connection threads exit at their next poll tick, after finishing any
+  // in-flight request (whose pool task the thread is blocked on).
+  for (;;) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      batch.swap(connections_);
+    }
+    if (batch.empty()) break;
+    for (std::thread& t : batch) t.join();
+  }
+  pool_->Shutdown();
+  tcp_listener_.Close();
+  unix_listener_.Close();
+  if (!options_.unix_path.empty()) {
+    ::unlink(options_.unix_path.c_str());
+  }
+}
+
+void ServeServer::AcceptLoop(Socket* listener) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Result<bool> readable = WaitReadable(*listener, /*timeout_ms=*/100);
+    if (!readable.ok() || !*readable) continue;
+    Result<Socket> conn = Accept(*listener);
+    if (!conn.ok()) continue;
+    connections_total_->Increment();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.emplace_back(
+        [this, c = std::make_shared<Socket>(std::move(conn).value())]() mutable {
+          HandleConnection(std::move(*c));
+        });
+  }
+}
+
+void ServeServer::HandleConnection(Socket conn) {
+  open_connections_->Add(1);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Result<bool> readable = WaitReadable(conn, /*timeout_ms=*/100);
+    if (!readable.ok()) break;
+    if (!*readable) continue;
+    Result<std::string> frame = RecvFrame(conn);
+    if (!frame.ok()) break;  // peer closed or corrupted the stream
+
+    const auto admitted = Clock::now();
+    req_total_->Increment();
+
+    Result<std::pair<Verb, std::string>> decoded = DecodeRequestFrame(*frame);
+    if (!decoded.ok()) {
+      resp_invalid_->Increment();
+      SendFrame(conn, EncodeResponseFrame(ResponseStatus::kInvalidRequest,
+                                          false, decoded.error()));
+      continue;
+    }
+
+    switch (decoded->first) {
+      case Verb::kPing:
+        SendFrame(conn,
+                  EncodeResponseFrame(ResponseStatus::kOk, false, "pong"));
+        break;
+      case Verb::kStats:
+        SendFrame(conn,
+                  EncodeResponseFrame(ResponseStatus::kOk, false,
+                                      StatsText()));
+        break;
+      case Verb::kShutdown:
+        SendFrame(conn, EncodeResponseFrame(ResponseStatus::kOk, false,
+                                            "draining"));
+        RequestStop();
+        break;
+      case Verb::kSchedule: {
+        ScheduleOutcome outcome;
+        Result<CellRequest> request = DecodeCellRequest(decoded->second);
+        if (!request.ok()) {
+          outcome.status = ResponseStatus::kInvalidRequest;
+          outcome.body = request.error();
+        } else if (const Status valid = request->ToSpec().Validate();
+                   !valid.ok()) {
+          outcome.status = ResponseStatus::kInvalidRequest;
+          outcome.body = valid.message();
+        } else if (admitted_.fetch_add(1, std::memory_order_acq_rel) >=
+                   options_.max_queue) {
+          admitted_.fetch_sub(1, std::memory_order_acq_rel);
+          outcome.status = ResponseStatus::kOverloaded;
+          outcome.body =
+              StrCat("admission queue full (", options_.max_queue,
+                     " requests in flight); retry later");
+        } else {
+          queue_depth_->Add(1);
+          std::promise<ScheduleOutcome> promise;
+          std::future<ScheduleOutcome> future = promise.get_future();
+          const CellRequest cell = *std::move(request);
+          pool_->Submit([this, cell, admitted, &promise] {
+            try {
+              promise.set_value(ExecuteSchedule(cell, admitted));
+            } catch (const std::exception& e) {
+              ScheduleOutcome failed;
+              failed.status = ResponseStatus::kInternalError;
+              failed.body = e.what();
+              promise.set_value(std::move(failed));
+            }
+            queue_depth_->Add(-1);
+            admitted_.fetch_sub(1, std::memory_order_acq_rel);
+          });
+          outcome = future.get();
+        }
+        switch (outcome.status) {
+          case ResponseStatus::kOk: resp_ok_->Increment(); break;
+          case ResponseStatus::kInvalidRequest:
+            resp_invalid_->Increment();
+            break;
+          case ResponseStatus::kDeadlineExceeded:
+            resp_deadline_->Increment();
+            break;
+          case ResponseStatus::kOverloaded:
+            resp_overloaded_->Increment();
+            break;
+          case ResponseStatus::kInternalError:
+            resp_internal_->Increment();
+            break;
+        }
+        latency_us_->Record(MicrosSince(admitted));
+        SendFrame(conn, EncodeResponseFrame(outcome.status,
+                                            outcome.cache_hit, outcome.body));
+        break;
+      }
+    }
+  }
+  open_connections_->Add(-1);
+}
+
+ServeServer::ScheduleOutcome ServeServer::ExecuteSchedule(
+    const CellRequest& request, Clock::time_point admitted) {
+  ScheduleOutcome outcome;
+  const std::optional<Clock::time_point> deadline =
+      request.deadline_ms > 0
+          ? std::optional<Clock::time_point>(
+                admitted + std::chrono::milliseconds(request.deadline_ms))
+          : std::nullopt;
+  if (deadline.has_value() && Clock::now() >= *deadline) {
+    outcome.status = ResponseStatus::kDeadlineExceeded;
+    outcome.body = StrCat("deadline of ", request.deadline_ms,
+                          " ms expired in the admission queue");
+    return outcome;
+  }
+
+  ExploreSpec spec = request.ToSpec();
+  const ExploreCell cell = request.ToCell();
+
+  // The same build path RunExploreCell takes; build failures are invalid
+  // requests at the protocol level (the design or allocation text itself is
+  // wrong), with the exact message local sweeps would record in the run.
+  Result<Benchmark> bench = BuildExploreDesign(cell.design, spec);
+  if (!bench.ok()) {
+    outcome.status = ResponseStatus::kInvalidRequest;
+    outcome.body = bench.error();
+    return outcome;
+  }
+  Result<Allocation> allocation = BuildExploreAllocation(*bench, cell.alloc);
+  if (!allocation.ok()) {
+    outcome.status = ResponseStatus::kInvalidRequest;
+    outcome.body = allocation.error();
+    return outcome;
+  }
+
+  // Canonical request fingerprint -> cache probe. Deadline fields never
+  // participate (fingerprint.h), so a deadline-bounded request hits results
+  // cached by unbounded ones and vice versa.
+  ScheduleRequest sched_request;
+  sched_request.graph = &bench->graph;
+  sched_request.library = &bench->library;
+  sched_request.allocation = &*allocation;
+  sched_request.options = spec.base_options;
+  sched_request.options.mode = cell.mode;
+  sched_request.options.clock = cell.clock.clock;
+  sched_request.options.lookahead = bench->lookahead;
+  const Fp128 key = CacheKey(sched_request, request);
+
+  if (std::optional<std::string> cached = cache_.Get(key);
+      cached.has_value()) {
+    cache_hits_->Increment();
+    outcome.status = ResponseStatus::kOk;
+    outcome.cache_hit = true;
+    outcome.body = *std::move(cached);
+    return outcome;
+  }
+  cache_misses_->Increment();
+
+  spec.base_options.deadline = deadline;
+  ExploreRun run = RunBenchmarkCell(spec, *bench, *allocation, cell);
+  if (run.error_code == StatusCode::kDeadlineExceeded ||
+      run.error_code == StatusCode::kCancelled) {
+    outcome.status = ResponseStatus::kDeadlineExceeded;
+    outcome.body = run.error;
+    return outcome;
+  }
+
+  sched_total_us_->Record(run.stats.phase.total_ns / 1000);
+  sched_successor_us_->Record(run.stats.phase.successor_ns / 1000);
+  sched_cofactor_us_->Record(run.stats.phase.cofactor_ns / 1000);
+  sched_closure_us_->Record(run.stats.phase.closure_ns / 1000);
+  sched_gc_us_->Record(run.stats.phase.gc_ns / 1000);
+
+  // Completed outcomes — including deterministic scheduling failures such
+  // as exhausted caps — are cacheable; deadline expiries (above) are not.
+  outcome.status = ResponseStatus::kOk;
+  outcome.body = EncodeRun(run);
+  cache_.Put(key, outcome.body);
+  return outcome;
+}
+
+std::string ServeServer::StatsText() {
+  const std::int64_t hits = cache_hits_->value();
+  const std::int64_t misses = cache_misses_->value();
+  const double rate =
+      hits + misses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(hits) /
+                static_cast<double>(hits + misses);
+  return metrics_.RenderText() +
+         StrPrintf("serve.cache_entries %lld\n",
+                   static_cast<long long>(cache_.size())) +
+         StrPrintf("serve.cache_hit_rate_pct %.2f\n", rate);
+}
+
+}  // namespace ws

@@ -1,0 +1,152 @@
+// The scheduling service: accepts length-prefixed protocol connections on
+// localhost TCP and/or a Unix domain socket, admits SCHEDULE requests into a
+// bounded queue drained by a ThreadPool, serves repeated requests from a
+// fingerprint-keyed LRU result cache, and exposes live metrics via STATS.
+//
+// Threading model:
+//  * one acceptor thread per listener;
+//  * one thread per live connection, processing its requests in order (a
+//    connection has at most one request in flight — clients open more
+//    connections for parallelism, as `ws_explore --server` does);
+//  * scheduling work runs on the shared pool; the connection thread blocks
+//    on the outcome and writes the response itself, so every socket is
+//    written by exactly one thread and every request gets exactly one
+//    response.
+//
+// Admission control: at most `max_queue` SCHEDULE requests may be admitted
+// (queued + running) at once; beyond that the server sheds immediately with
+// a typed kOverloaded response instead of building backlog. Deadlines are
+// measured from admission, so time spent queued counts against the request.
+//
+// Shutdown: RequestStop() (the SHUTDOWN verb, or the daemon's SIGTERM
+// handler via stop polling) makes Wait() return; Stop() then drains —
+// listeners close first, live connections finish their in-flight request,
+// the pool joins, and the Unix socket file is unlinked.
+#ifndef WS_SERVE_SERVER_H
+#define WS_SERVE_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/net.h"
+#include "base/status.h"
+#include "base/thread_pool.h"
+#include "serve/cache.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+
+namespace ws {
+
+struct ServerOptions {
+  // TCP listener: port < 0 disables, 0 asks the kernel for an ephemeral
+  // port (recover it with tcp_port()).
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;
+  // Unix-domain listener: empty disables. A stale socket file is replaced.
+  std::string unix_path;
+
+  int workers = 4;             // scheduling pool size
+  int max_queue = 64;          // admitted-but-unfinished SCHEDULE cap
+  std::size_t cache_capacity = 256;  // LRU entries; 0 disables the cache
+
+  Status Validate() const;
+};
+
+class ServeServer {
+ public:
+  explicit ServeServer(ServerOptions options);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  // Binds and starts listening/accepting. kInvalidArgument for bad options,
+  // kUnavailable for socket failures.
+  Status Start();
+
+  // Blocks until a stop is requested (SHUTDOWN verb or RequestStop()).
+  void Wait();
+
+  // Asks the server to stop; non-blocking, safe from any server thread.
+  void RequestStop();
+  bool stop_requested() const;
+
+  // Drains and joins everything; idempotent. Not callable from server
+  // threads (it joins them).
+  void Stop();
+
+  // The bound TCP port (after Start(); -1 when TCP is disabled).
+  int tcp_port() const { return bound_tcp_port_; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  // The outcome of one SCHEDULE request, produced on a pool worker and
+  // consumed by the connection thread.
+  struct ScheduleOutcome {
+    ResponseStatus status = ResponseStatus::kInternalError;
+    bool cache_hit = false;
+    std::string body;  // encoded ExploreRun on kOk, message otherwise
+  };
+
+  void AcceptLoop(Socket* listener);
+  void HandleConnection(Socket conn);
+  // Executes one admitted request on the calling (pool) thread.
+  ScheduleOutcome ExecuteSchedule(
+      const CellRequest& request,
+      std::chrono::steady_clock::time_point admitted);
+  std::string StatsText();
+
+  const ServerOptions options_;
+  MetricsRegistry metrics_;
+  ResultCache cache_;
+
+  Socket tcp_listener_;
+  Socket unix_listener_;
+  int bound_tcp_port_ = -1;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::thread> acceptors_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+
+  std::atomic<bool> stopping_{false};        // loops exit when set
+  std::atomic<int> admitted_{0};             // SCHEDULE requests in the system
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+
+  // Pre-registered hot-path metrics (pointers into metrics_).
+  Counter* req_total_;
+  Counter* resp_ok_;
+  Counter* resp_invalid_;
+  Counter* resp_deadline_;
+  Counter* resp_overloaded_;
+  Counter* resp_internal_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Counter* connections_total_;
+  Gauge* queue_depth_;
+  Gauge* open_connections_;
+  Histogram* latency_us_;
+  Histogram* sched_total_us_;
+  Histogram* sched_successor_us_;
+  Histogram* sched_cofactor_us_;
+  Histogram* sched_closure_us_;
+  Histogram* sched_gc_us_;
+};
+
+}  // namespace ws
+
+#endif  // WS_SERVE_SERVER_H

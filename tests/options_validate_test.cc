@@ -1,0 +1,91 @@
+// Table-driven enumeration of every SchedulerOptions field Validate()
+// rejects: one row per rejectable field with a representative bad value,
+// the expected StatusCode, and the field name the message must cite. A new
+// validated field without a row here shows up as a missing-coverage prompt
+// (the AllRowsCoverDistinctFields cross-check), not silently.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "sched/scheduler.h"
+
+namespace ws {
+namespace {
+
+struct RejectRow {
+  const char* field;                         // cited in the error message
+  void (*mutate)(SchedulerOptions*);         // makes exactly one field bad
+};
+
+const std::vector<RejectRow>& RejectTable() {
+  static const std::vector<RejectRow> table = {
+      {"lookahead", [](SchedulerOptions* o) { o->lookahead = -1; }},
+      {"gc_window", [](SchedulerOptions* o) { o->gc_window = 0; }},
+      {"max_states", [](SchedulerOptions* o) { o->max_states = 0; }},
+      {"max_ops_per_state",
+       [](SchedulerOptions* o) { o->max_ops_per_state = 0; }},
+      {"clock", [](SchedulerOptions* o) { o->clock.period_ns = 0.0; }},
+  };
+  return table;
+}
+
+TEST(OptionsValidateTable, DefaultPasses) {
+  EXPECT_TRUE(SchedulerOptions{}.Validate().ok());
+}
+
+TEST(OptionsValidateTable, EachRejectableFieldIsRejected) {
+  for (const RejectRow& row : RejectTable()) {
+    SchedulerOptions options;
+    row.mutate(&options);
+    const Status s = options.Validate();
+    ASSERT_FALSE(s.ok()) << row.field;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << row.field;
+    EXPECT_NE(s.message().find(row.field), std::string::npos)
+        << row.field << ": message was \"" << s.message() << "\"";
+  }
+}
+
+TEST(OptionsValidateTable, BoundaryValuesPass) {
+  // The exact edge of each constraint is legal.
+  SchedulerOptions options;
+  options.lookahead = 0;
+  options.gc_window = 1;
+  options.max_states = 1;
+  options.max_ops_per_state = 1;
+  options.clock.period_ns = std::numeric_limits<double>::min();
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsValidateTable, NanClockPeriodIsRejected) {
+  SchedulerOptions options;
+  options.clock.period_ns = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(OptionsValidateTable, DeadlineAndCancelAreNotValidated) {
+  // Cancellation plumbing bounds a call, not the configuration; an already
+  // expired deadline or a set cancel flag is a runtime outcome, never a
+  // validation failure.
+  SchedulerOptions options;
+  options.deadline = std::chrono::steady_clock::time_point{};  // long past
+  static const std::atomic<bool> cancelled{true};
+  options.cancel = &cancelled;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsValidateTable, AllRowsCoverDistinctFields) {
+  std::set<std::string> fields;
+  for (const RejectRow& row : RejectTable()) {
+    EXPECT_TRUE(fields.insert(row.field).second)
+        << "duplicate table row for " << row.field;
+  }
+  EXPECT_EQ(fields.size(), 5u)
+      << "SchedulerOptions::Validate rejects a new field? Add its row.";
+}
+
+}  // namespace
+}  // namespace ws

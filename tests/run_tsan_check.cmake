@@ -1,17 +1,25 @@
 # Configures and builds a sanitizer-instrumented copy of the tree in a
-# nested build directory, then runs the explore determinism check under it.
+# nested build directory, then runs a list of plain check binaries under it.
 # Driven as a ctest test (see tests/CMakeLists.txt) so the tier-1 flow
-# exercises the worker pool's synchronization (TSan) and the scheduler/BDD
-# hot paths' memory safety (ASan) without sanitizing the main build.
+# exercises the worker pool's synchronization and the serving subsystem's
+# connection/queue handling (TSan), and the scheduler/BDD hot paths' memory
+# safety (ASan), without sanitizing the main build.
 #
 # Expects: -DSOURCE_DIR=<repo root> -DWORK_DIR=<scratch build dir>
 #          -DSANITIZER=<thread|address> (defaults to thread)
+#          -DCHECKS=<comma-separated check target names>
+#          (defaults to explore_determinism_check; commas because a ctest
+#          COMMAND argument cannot carry a CMake list's semicolons)
 if(NOT DEFINED SOURCE_DIR OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "run_tsan_check.cmake needs -DSOURCE_DIR and -DWORK_DIR")
 endif()
 if(NOT DEFINED SANITIZER)
   set(SANITIZER thread)
 endif()
+if(NOT DEFINED CHECKS)
+  set(CHECKS explore_determinism_check)
+endif()
+string(REPLACE "," ";" CHECK_LIST "${CHECKS}")
 
 message(STATUS "${SANITIZER}-sanitizer sub-build: configuring ${WORK_DIR}")
 execute_process(
@@ -23,21 +31,21 @@ if(NOT configure_rc EQUAL 0)
           "${SANITIZER}-sanitizer sub-build: configure failed (${configure_rc})")
 endif()
 
-message(STATUS "${SANITIZER}-sanitizer sub-build: building explore_determinism_check")
-execute_process(
-  COMMAND "${CMAKE_COMMAND}" --build "${WORK_DIR}"
-          --target explore_determinism_check
-  RESULT_VARIABLE build_rc)
-if(NOT build_rc EQUAL 0)
-  message(FATAL_ERROR
-          "${SANITIZER}-sanitizer sub-build: build failed (${build_rc})")
-endif()
+foreach(check IN LISTS CHECK_LIST)
+  message(STATUS "${SANITIZER}-sanitizer sub-build: building ${check}")
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" --build "${WORK_DIR}" --target ${check}
+    RESULT_VARIABLE build_rc)
+  if(NOT build_rc EQUAL 0)
+    message(FATAL_ERROR
+            "${SANITIZER}-sanitizer sub-build: build of ${check} failed (${build_rc})")
+  endif()
 
-message(STATUS "${SANITIZER}-sanitizer sub-build: running determinism check")
-execute_process(
-  COMMAND "${WORK_DIR}/tests/explore_determinism_check"
-  RESULT_VARIABLE run_rc)
-if(NOT run_rc EQUAL 0)
-  message(FATAL_ERROR
-          "${SANITIZER} determinism check failed (${run_rc})")
-endif()
+  message(STATUS "${SANITIZER}-sanitizer sub-build: running ${check}")
+  execute_process(
+    COMMAND "${WORK_DIR}/tests/${check}"
+    RESULT_VARIABLE run_rc)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "${SANITIZER} ${check} failed (${run_rc})")
+  endif()
+endforeach()

@@ -3,6 +3,9 @@
 // Schedule() shim.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+
 #include "base/status.h"
 #include "sched/scheduler.h"
 #include "stg/dot.h"
@@ -104,6 +107,62 @@ TEST(ScheduleShimTest, ThrowsOnFailure) {
   opts.max_states = 0;
   const Benchmark b = MakeBenchmarkByName("gcd", 1, 1998).value();
   EXPECT_THROW(Schedule(b.graph, b.library, b.allocation, opts), Error);
+}
+
+TEST(CancellationTest, ExpiredDeadlineIsTypedError) {
+  const Benchmark b = MakeBenchmarkByName("gcd", 1, 1998).value();
+  ScheduleRequest req{&b.graph, &b.library, &b.allocation, {}};
+  req.options.lookahead = b.lookahead;
+  req.options.deadline = std::chrono::steady_clock::now();  // already over
+  const Result<ScheduleReport> r = ScheduleOrError(req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(r.error().find("deadline"), std::string::npos);
+}
+
+TEST(CancellationTest, PresetCancelFlagIsTypedError) {
+  const Benchmark b = MakeBenchmarkByName("gcd", 1, 1998).value();
+  std::atomic<bool> cancel{true};
+  ScheduleRequest req{&b.graph, &b.library, &b.allocation, {}};
+  req.options.lookahead = b.lookahead;
+  req.options.cancel = &cancel;
+  const Result<ScheduleReport> r = ScheduleOrError(req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTest, UnsetCancelFlagDoesNotPerturbTheSchedule) {
+  const Benchmark b = MakeBenchmarkByName("tlc", 1, 1998).value();
+  ScheduleRequest plain{&b.graph, &b.library, &b.allocation, {}};
+  plain.options.lookahead = b.lookahead;
+
+  std::atomic<bool> cancel{false};
+  ScheduleRequest guarded = plain;
+  guarded.options.cancel = &cancel;
+  guarded.options.deadline =
+      std::chrono::steady_clock::now() + std::chrono::hours(1);
+
+  const Result<ScheduleReport> a = ScheduleOrError(plain);
+  const Result<ScheduleReport> c = ScheduleOrError(guarded);
+  ASSERT_TRUE(a.ok()) << a.error();
+  ASSERT_TRUE(c.ok()) << c.error();
+  EXPECT_EQ(StgToText(a->stg, b.graph), StgToText(c->stg, b.graph));
+}
+
+TEST(CancellationTest, ShimThrowsTypedExceptions) {
+  const Benchmark b = MakeBenchmarkByName("gcd", 1, 1998).value();
+  SchedulerOptions opts;
+  opts.lookahead = b.lookahead;
+  opts.deadline = std::chrono::steady_clock::now();
+  EXPECT_THROW(Schedule(b.graph, b.library, b.allocation, opts),
+               DeadlineExceededError);
+
+  std::atomic<bool> cancel{true};
+  SchedulerOptions copts;
+  copts.lookahead = b.lookahead;
+  copts.cancel = &cancel;
+  EXPECT_THROW(Schedule(b.graph, b.library, b.allocation, copts),
+               CancelledError);
 }
 
 TEST(ResultTest, ValueAndErrorAccessors) {

@@ -1,0 +1,244 @@
+// Loopback stress check for the scheduling service, run both natively and
+// under the TSan sub-build (tests/run_tsan_check.cmake).
+//
+// Drives an in-process server over a Unix domain socket with concurrent
+// clients and a mixed workload — repeated cacheable requests, invalid
+// designs, tight deadlines, and a deliberate queue-overflow burst against a
+// second tiny-queue server — and asserts the service's core contract:
+//   * exactly one typed response per request
+//     (Ok / InvalidRequest / DeadlineExceeded / Overloaded);
+//   * the result cache gets hits (repeated requests don't recompute);
+//   * the overflow burst sheds with typed Overloaded, not hangs or drops;
+//   * the remote explore backend is byte-identical to the in-process one;
+//   * shutdown drains cleanly with clients still connected.
+// Exits 0 on success; prints the first failure and exits 1 otherwise.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "explore/report.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace ws;
+
+int g_failures = 0;
+
+#define CHECK_TRUE(cond, what)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__, what); \
+      ++g_failures;                                                  \
+    }                                                                \
+  } while (0)
+
+std::string SocketPath(const char* tag) {
+  return "/tmp/ws_stress_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+struct ResponseTally {
+  std::atomic<int> ok{0};
+  std::atomic<int> cache_hits{0};
+  std::atomic<int> invalid{0};
+  std::atomic<int> deadline{0};
+  std::atomic<int> overloaded{0};
+  std::atomic<int> internal{0};
+  std::atomic<int> transport{0};
+
+  int responses() const {
+    return ok + invalid + deadline + overloaded + internal;
+  }
+};
+
+void Tally(const Result<WireResponse>& response, ResponseTally* tally) {
+  if (!response.ok()) {
+    std::fprintf(stderr, "transport error: %s\n", response.error().c_str());
+    ++tally->transport;
+    return;
+  }
+  switch (response->status) {
+    case ResponseStatus::kOk:
+      ++tally->ok;
+      if (response->cache_hit) ++tally->cache_hits;
+      break;
+    case ResponseStatus::kInvalidRequest: ++tally->invalid; break;
+    case ResponseStatus::kDeadlineExceeded: ++tally->deadline; break;
+    case ResponseStatus::kOverloaded: ++tally->overloaded; break;
+    case ResponseStatus::kInternalError: ++tally->internal; break;
+  }
+}
+
+// Phase 1: 8 clients x 28 requests of mixed traffic against a comfortably
+// provisioned server. Every request must come back with exactly one typed
+// response, and the repeated cells must hit the cache.
+void MixedWorkload() {
+  ServerOptions options;
+  options.unix_path = SocketPath("mixed");
+  options.workers = 4;
+  options.max_queue = 64;
+  ServeServer server(options);
+  const Status started = server.Start();
+  CHECK_TRUE(started.ok(), started.message().c_str());
+  if (!started.ok()) return;
+  const ServeAddress address{/*is_unix=*/true, options.unix_path, "", 0};
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 28;  // 224 requests total
+  ResponseTally tally;
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&address, &tally, c] {
+      Result<ServeClient> client = ServeClient::Connect(address);
+      if (!client.ok()) {
+        std::fprintf(stderr, "connect: %s\n", client.error().c_str());
+        tally.transport += kPerClient;
+        return;
+      }
+      for (int r = 0; r < kPerClient; ++r) {
+        CellRequest request;
+        request.num_stimuli = 5;
+        switch (r % 4) {
+          case 0:  // shared cacheable cell — every client repeats it
+            request.design = DesignSpec{"gcd", ""};
+            break;
+          case 1:  // per-client cell, repeated across rounds
+            request.design = DesignSpec{"tlc", ""};
+            request.seed = 1998 + static_cast<std::uint64_t>(c);
+            break;
+          case 2:  // invalid: unknown design name
+            request.design = DesignSpec{"no_such_design", ""};
+            break;
+          case 3:  // tight deadline; Ok or DeadlineExceeded, never silence
+            request.design = DesignSpec{"gcd", ""};
+            request.seed = 4000 + static_cast<std::uint64_t>(r);
+            request.deadline_ms = 1;
+            break;
+        }
+        Tally(client->Schedule(request), &tally);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const int total = kClients * kPerClient;
+  CHECK_TRUE(tally.transport == 0, "mixed: transport failures");
+  CHECK_TRUE(tally.responses() == total,
+             "mixed: response count != request count");
+  CHECK_TRUE(tally.invalid == total / 4,
+             "mixed: every unknown-design request must be InvalidRequest");
+  CHECK_TRUE(tally.overloaded == 0,
+             "mixed: provisioned server must not shed");
+  CHECK_TRUE(tally.internal == 0, "mixed: internal errors");
+  CHECK_TRUE(tally.cache_hits.load() > 0, "mixed: no cache hits");
+  CHECK_TRUE(server.cache().hits() > 0, "mixed: server-side hit counter");
+  std::fprintf(stderr,
+               "mixed: ok=%d (hits=%d) invalid=%d deadline=%d overloaded=%d\n",
+               tally.ok.load(), tally.cache_hits.load(), tally.invalid.load(),
+               tally.deadline.load(), tally.overloaded.load());
+
+  server.Stop();
+  std::remove(options.unix_path.c_str());
+}
+
+// Phase 2: a burst of concurrent, mutually distinct requests against a
+// server with workers=1, max_queue=1 — most must shed with a typed
+// Overloaded response while the rest complete.
+void OverflowBurst() {
+  ServerOptions options;
+  options.unix_path = SocketPath("burst");
+  options.workers = 1;
+  options.max_queue = 1;
+  ServeServer server(options);
+  const Status started = server.Start();
+  CHECK_TRUE(started.ok(), started.message().c_str());
+  if (!started.ok()) return;
+  const ServeAddress address{/*is_unix=*/true, options.unix_path, "", 0};
+
+  constexpr int kBurst = 16;
+  ResponseTally tally;
+  std::vector<std::thread> clients;
+  clients.reserve(kBurst);
+  for (int c = 0; c < kBurst; ++c) {
+    clients.emplace_back([&address, &tally, c] {
+      Result<ServeClient> client = ServeClient::Connect(address);
+      if (!client.ok()) {
+        ++tally.transport;
+        return;
+      }
+      CellRequest request;
+      request.design = DesignSpec{"gcd", ""};
+      request.seed = 7000 + static_cast<std::uint64_t>(c);  // defeat the cache
+      request.num_stimuli = 5;
+      Tally(client->Schedule(request), &tally);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  CHECK_TRUE(tally.transport == 0, "burst: transport failures");
+  CHECK_TRUE(tally.responses() == kBurst,
+             "burst: response count != request count");
+  CHECK_TRUE(tally.ok.load() >= 1, "burst: at least one request completes");
+  CHECK_TRUE(tally.overloaded.load() >= 1,
+             "burst: tiny queue must shed at least one request");
+  std::fprintf(stderr, "burst: ok=%d overloaded=%d\n", tally.ok.load(),
+               tally.overloaded.load());
+
+  server.Stop();
+  std::remove(options.unix_path.c_str());
+}
+
+// Phase 3: the remote explore backend against the in-process engine —
+// byte-identical canonical reports, concurrent connections underneath.
+void RemoteByteIdentity() {
+  ServerOptions options;
+  options.unix_path = SocketPath("remote");
+  options.workers = 4;
+  ServeServer server(options);
+  const Status started = server.Start();
+  CHECK_TRUE(started.ok(), started.message().c_str());
+  if (!started.ok()) return;
+
+  ExploreSpec spec;
+  spec.designs = {DesignSpec{"gcd", ""}, DesignSpec{"tlc", ""}};
+  spec.workers = 4;
+  spec.num_stimuli = 10;
+
+  const Result<ExploreReport> local = RunExplore(spec);
+  CHECK_TRUE(local.ok(), "remote: local sweep failed");
+  const Result<ExploreReport> remote = RunExploreRemote(
+      spec, ServeAddress{/*is_unix=*/true, options.unix_path, "", 0});
+  CHECK_TRUE(remote.ok(), "remote: remote sweep failed");
+  if (local.ok() && remote.ok()) {
+    const ReportRenderOptions canonical{/*include_timing=*/false};
+    CHECK_TRUE(ExploreReportToJson(*local, canonical) ==
+                   ExploreReportToJson(*remote, canonical),
+               "remote: reports differ");
+  }
+
+  server.Stop();
+  std::remove(options.unix_path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  MixedWorkload();
+  OverflowBurst();
+  RemoteByteIdentity();
+  if (g_failures != 0) {
+    std::fprintf(stderr, "serve_stress_check: %d failure(s)\n", g_failures);
+    return 1;
+  }
+  std::fprintf(stderr, "serve_stress_check: OK\n");
+  return 0;
+}

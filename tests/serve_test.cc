@@ -1,0 +1,262 @@
+// The serving subsystem: wire protocol round trips, the LRU result cache,
+// the metrics registry, and the golden end-to-end flow — a live server on a
+// Unix domain socket scheduling two suite designs twice each, with round 2
+// served from the cache and byte-identical to round 1.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "explore/report.h"
+#include "serve/cache.h"
+#include "serve/client.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace ws {
+namespace {
+
+std::string TestSocketPath(const char* tag) {
+  return "/tmp/ws_serve_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+// --- protocol -------------------------------------------------------------
+
+TEST(ProtocolTest, CellRequestRoundTrips) {
+  CellRequest request;
+  request.design = DesignSpec{"gcd", ""};
+  request.mode = SpeculationMode::kWavesched;
+  request.alloc = AllocationSpec{"tight", "add=1,sub=2"};
+  request.clock = ClockSpec{"2.5ns", ClockModel{}};
+  request.clock.clock.period_ns = 2.5;
+  request.lookahead = 3;
+  request.gc_window = 7;
+  request.max_states = 123;
+  request.max_ops_per_state = 45;
+  request.num_stimuli = 9;
+  request.seed = 0xfeedbeefcafe1234ull;
+  request.measure_sim_enc = false;
+  request.measure_area = true;
+  request.deadline_ms = 1500;
+
+  const Result<CellRequest> round =
+      DecodeCellRequest(EncodeCellRequest(request));
+  ASSERT_TRUE(round.ok()) << round.error();
+  EXPECT_EQ(round->design.name, "gcd");
+  EXPECT_EQ(round->mode, SpeculationMode::kWavesched);
+  EXPECT_EQ(round->alloc.label, "tight");
+  EXPECT_EQ(round->alloc.spec, "add=1,sub=2");
+  EXPECT_EQ(round->clock.label, "2.5ns");
+  EXPECT_EQ(round->clock.clock.period_ns, 2.5);
+  EXPECT_EQ(round->lookahead, 3);
+  EXPECT_EQ(round->gc_window, 7);
+  EXPECT_EQ(round->max_states, 123);
+  EXPECT_EQ(round->max_ops_per_state, 45);
+  EXPECT_EQ(round->num_stimuli, 9);
+  EXPECT_EQ(round->seed, 0xfeedbeefcafe1234ull);
+  EXPECT_FALSE(round->measure_sim_enc);
+  EXPECT_TRUE(round->measure_area);
+  EXPECT_EQ(round->deadline_ms, 1500);
+}
+
+TEST(ProtocolTest, RunRoundTripsBitExactly) {
+  ExploreRun run;
+  run.design = "tlc";
+  run.mode = SpeculationMode::kWaveschedSpec;
+  run.allocation = "default";
+  run.clock = "1ns";
+  run.ok = true;
+  run.states = 17;
+  run.op_initiations = 53;
+  run.enc_markov = 3.14159265358979;
+  run.enc_sim = 2.71828182845905;
+  run.best_case = 2;
+  run.worst_case = 40;
+  run.worst_case_budget = 64;
+  run.area = 12345.6789;
+  run.area_overhead_pct = 7.5;
+  run.has_area_overhead = true;
+  run.stats.phase.total_ns = 123456;
+
+  const Result<ExploreRun> round = DecodeRun(EncodeRun(run));
+  ASSERT_TRUE(round.ok()) << round.error();
+  // Bit-exact doubles are the byte-identity guarantee's foundation.
+  EXPECT_EQ(round->enc_markov, run.enc_markov);
+  EXPECT_EQ(round->enc_sim, run.enc_sim);
+  EXPECT_EQ(round->area, run.area);
+  const ReportRenderOptions canonical{/*include_timing=*/false};
+  EXPECT_EQ(ExploreRunToJson(*round, canonical),
+            ExploreRunToJson(run, canonical));
+}
+
+TEST(ProtocolTest, MalformedFramesAreTypedErrors) {
+  EXPECT_FALSE(DecodeRequestFrame("short").ok());
+  EXPECT_FALSE(DecodeResponseFrame("short").ok());
+  EXPECT_FALSE(DecodeCellRequest("garbage").ok());
+  EXPECT_FALSE(DecodeRun("garbage").ok());
+  std::string frame = EncodeRequestFrame(Verb::kPing, "");
+  frame[0] ^= 0xff;  // corrupt the magic
+  EXPECT_FALSE(DecodeRequestFrame(frame).ok());
+}
+
+// --- cache ----------------------------------------------------------------
+
+TEST(ResultCacheTest, LruEvictionAndCounters) {
+  ResultCache cache(2);
+  const Fp128 a{1, 1}, b{2, 2}, c{3, 3};
+  EXPECT_FALSE(cache.Get(a).has_value());
+  cache.Put(a, "A");
+  cache.Put(b, "B");
+  EXPECT_EQ(cache.Get(a).value(), "A");  // refreshes a
+  cache.Put(c, "C");                     // evicts b, the LRU entry
+  EXPECT_FALSE(cache.Get(b).has_value());
+  EXPECT_EQ(cache.Get(a).value(), "A");
+  EXPECT_EQ(cache.Get(c).value(), "C");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.hits(), 3);
+  EXPECT_EQ(cache.misses(), 2);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  cache.Put(Fp128{1, 1}, "A");
+  EXPECT_FALSE(cache.Get(Fp128{1, 1}).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- metrics --------------------------------------------------------------
+
+TEST(MetricsTest, RegistryRendersDeterministically) {
+  MetricsRegistry registry;
+  registry.counter("b.count")->Increment(3);
+  registry.gauge("a.depth")->Add(2);
+  Histogram* h = registry.histogram("c.latency");
+  for (int i = 0; i < 100; ++i) h->Record(1000);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("b.count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("a.depth 2\n"), std::string::npos);
+  EXPECT_NE(text.find("c.latency count=100"), std::string::npos);
+  EXPECT_EQ(text, registry.RenderText());
+  // Same name returns the same metric.
+  EXPECT_EQ(registry.counter("b.count")->value(), 3);
+}
+
+TEST(MetricsTest, HistogramQuantilesLandInTheRightBucket) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.Record(100);
+  h.Record(100000);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.max(), 100000);
+  // p50 within the 100-sample bucket [64, 128); p99.9 reaches the outlier.
+  EXPECT_GE(h.Quantile(0.5), 64.0);
+  EXPECT_LT(h.Quantile(0.5), 128.0);
+  EXPECT_GT(h.Quantile(0.999), 65536.0);
+}
+
+// --- the golden end-to-end flow -------------------------------------------
+
+TEST(ServeEndToEndTest, SecondRoundIsCacheServedAndIdentical) {
+  ServerOptions options;
+  options.unix_path = TestSocketPath("golden");
+  options.workers = 2;
+  ServeServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<std::string> designs = {"gcd", "tlc"};
+  std::vector<std::string> first_round;
+  const ReportRenderOptions canonical{/*include_timing=*/false};
+
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+      Result<ServeClient> client = ServeClient::Connect(
+          ServeAddress{/*is_unix=*/true, options.unix_path, "", 0});
+      ASSERT_TRUE(client.ok()) << client.error();
+      CellRequest request;
+      request.design = DesignSpec{designs[i], ""};
+      const Result<WireResponse> response = client->Schedule(request);
+      ASSERT_TRUE(response.ok()) << response.error();
+      ASSERT_EQ(response->status, ResponseStatus::kOk) << response->payload;
+      const Result<ExploreRun> run = DecodeRun(response->payload);
+      ASSERT_TRUE(run.ok()) << run.error();
+      ASSERT_TRUE(run->ok) << run->error;
+      const std::string json = ExploreRunToJson(*run, canonical);
+      if (round == 0) {
+        EXPECT_FALSE(response->cache_hit) << designs[i];
+        first_round.push_back(json);
+      } else {
+        EXPECT_TRUE(response->cache_hit) << designs[i];
+        EXPECT_EQ(json, first_round[i]) << designs[i];
+      }
+    }
+  }
+  EXPECT_EQ(server.cache().hits(), 2);
+  EXPECT_EQ(server.cache().misses(), 2);
+  server.Stop();
+  std::remove(options.unix_path.c_str());
+}
+
+TEST(ServeEndToEndTest, VerbsAndTypedFailures) {
+  ServerOptions options;
+  options.unix_path = TestSocketPath("verbs");
+  options.workers = 1;
+  ServeServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const ServeAddress address{/*is_unix=*/true, options.unix_path, "", 0};
+
+  Result<ServeClient> client = ServeClient::Connect(address);
+  ASSERT_TRUE(client.ok()) << client.error();
+  EXPECT_EQ(client->Ping().value(), "pong");
+
+  // An unknown design is a typed invalid request, not a dead connection.
+  CellRequest bad;
+  bad.design = DesignSpec{"no_such_design", ""};
+  const Result<WireResponse> invalid = client->Schedule(bad);
+  ASSERT_TRUE(invalid.ok()) << invalid.error();
+  EXPECT_EQ(invalid->status, ResponseStatus::kInvalidRequest);
+  EXPECT_NE(invalid->payload.find("no_such_design"), std::string::npos);
+
+  // The connection survives; stats reflect both requests.
+  const Result<std::string> stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.error();
+  EXPECT_NE(stats->find("serve.responses_invalid_request 1"),
+            std::string::npos);
+
+  // SHUTDOWN acks, then the server drains.
+  EXPECT_EQ(client->Shutdown().value(), "draining");
+  server.Wait();
+  EXPECT_TRUE(server.stop_requested());
+  server.Stop();
+  std::remove(options.unix_path.c_str());
+}
+
+TEST(ServeEndToEndTest, RemoteExploreMatchesInProcess) {
+  ServerOptions options;
+  options.unix_path = TestSocketPath("remote");
+  options.workers = 2;
+  ServeServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ExploreSpec spec;
+  spec.designs = {DesignSpec{"gcd", ""}, DesignSpec{"tlc", ""}};
+  spec.workers = 2;
+
+  const Result<ExploreReport> local = RunExplore(spec);
+  ASSERT_TRUE(local.ok()) << local.error();
+  const Result<ExploreReport> remote = RunExploreRemote(
+      spec, ServeAddress{/*is_unix=*/true, options.unix_path, "", 0});
+  ASSERT_TRUE(remote.ok()) << remote.error();
+
+  const ReportRenderOptions canonical{/*include_timing=*/false};
+  EXPECT_EQ(ExploreReportToJson(*local, canonical),
+            ExploreReportToJson(*remote, canonical));
+  server.Stop();
+  std::remove(options.unix_path.c_str());
+}
+
+}  // namespace
+}  // namespace ws

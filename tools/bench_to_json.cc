@@ -10,10 +10,18 @@
 #include <cstdlib>
 #include <string>
 
+#include "base/cli.h"
 #include "base/strings.h"
 #include "suite/bench_json.h"
 
+namespace {
+const ws::ToolInfo kTool = {
+    "bench_to_json",
+    "usage: bench_to_json [output.json] [--label=NAME] [--reps=N]\n"};
+}  // namespace
+
 int main(int argc, char** argv) {
+  ws::HandleStandardFlags(kTool, argc, argv);
   std::string path = "BENCH_sched.json";
   ws::BenchJsonOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -22,10 +30,8 @@ int main(int argc, char** argv) {
       options.label = arg.substr(8);
     } else if (ws::StartsWith(arg, "--reps=")) {
       options.repetitions = std::atoi(arg.c_str() + 7);
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [output.json] [--label=NAME] [--reps=N]\n",
-                  argv[0]);
-      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      ws::UsageError(kTool, "unrecognized argument: " + arg);
     } else {
       path = arg;
     }

@@ -1,0 +1,154 @@
+// ws_client — command-line client for the ws_served scheduling service.
+//
+//   ws_client --server ADDR ping
+//   ws_client --server ADDR stats
+//   ws_client --server ADDR shutdown
+//   ws_client --server ADDR schedule DESIGN [options]
+//
+// `schedule` prints the run's canonical JSON (the same rendering the run
+// gets inside a ws_explore report) and exits 0 on a scheduled run, 3 when
+// the run itself failed (e.g. exhausted caps), 1 on transport or typed
+// protocol errors.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "base/cli.h"
+#include "explore/report.h"
+#include "serve/client.h"
+
+namespace {
+
+const ws::ToolInfo kTool = {
+    "ws_client",
+    "usage: ws_client --server ADDR COMMAND [args]\n"
+    "\n"
+    "  ADDR is \"unix:/path/to.sock\" or \"[host:]port\".\n"
+    "\n"
+    "commands:\n"
+    "  ping                  round-trip check; prints the server's reply\n"
+    "  stats                 print the server's live metrics\n"
+    "  shutdown              ask the server to drain and exit\n"
+    "  schedule DESIGN       schedule one design; prints the run as JSON\n"
+    "    --mode ws|single|spec   speculation mode (default spec)\n"
+    "    --alloc SPEC            allocation: default, unlimited, none, or\n"
+    "                            unit=count,... overrides\n"
+    "    --clock P               clock period in ns (default 1.0)\n"
+    "    --stimuli N             stimulus vectors (default 50)\n"
+    "    --seed S                stimulus seed (default 1998)\n"
+    "    --deadline-ms N         per-request deadline, from admission\n"
+    "    --no-sim                skip the trace-driven E.N.C. measurement\n"
+    "    --timing                include wall-clock fields in the JSON\n"};
+
+int ParseInt(const std::string& text, const char* flag) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    ws::UsageError(kTool, std::string(flag) + " wants an integer, got \"" +
+                              text + "\"");
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ws;
+  HandleStandardFlags(kTool, argc, argv);
+
+  std::string server;
+  std::string command;
+  std::string design;
+  CellRequest request;
+  ReportRenderOptions render;
+  render.include_timing = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) UsageError(kTool, arg + " wants a value");
+      return argv[++i];
+    };
+    if (arg == "--server") {
+      server = next();
+    } else if (arg == "--mode") {
+      const std::string m = next();
+      if (m == "ws") request.mode = SpeculationMode::kWavesched;
+      else if (m == "single") request.mode = SpeculationMode::kSinglePath;
+      else if (m == "spec") request.mode = SpeculationMode::kWaveschedSpec;
+      else UsageError(kTool, "unknown --mode: " + m);
+    } else if (arg == "--alloc") {
+      const std::string a = next();
+      request.alloc = AllocationSpec{a, a};
+    } else if (arg == "--clock") {
+      const std::string p = next();
+      request.clock.label = p + "ns";
+      request.clock.clock.period_ns = std::atof(p.c_str());
+    } else if (arg == "--stimuli") {
+      request.num_stimuli = ParseInt(next(), "--stimuli");
+    } else if (arg == "--seed") {
+      request.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--deadline-ms") {
+      request.deadline_ms = ParseInt(next(), "--deadline-ms");
+    } else if (arg == "--no-sim") {
+      request.measure_sim_enc = false;
+    } else if (arg == "--timing") {
+      render.include_timing = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      UsageError(kTool, "unrecognized argument: " + arg);
+    } else if (command.empty()) {
+      command = arg;
+    } else if (command == "schedule" && design.empty()) {
+      design = arg;
+    } else {
+      UsageError(kTool, "unexpected argument: " + arg);
+    }
+  }
+  if (server.empty()) UsageError(kTool, "--server ADDR is required");
+  if (command.empty()) UsageError(kTool, "no command given");
+
+  Result<ServeClient> client = ServeClient::Connect(server);
+  if (!client.ok()) {
+    std::fprintf(stderr, "ws_client: %s\n", client.error().c_str());
+    return 1;
+  }
+
+  if (command == "ping" || command == "stats" || command == "shutdown") {
+    const Result<std::string> reply = command == "ping" ? client->Ping()
+                                      : command == "stats"
+                                          ? client->Stats()
+                                          : client->Shutdown();
+    if (!reply.ok()) {
+      std::fprintf(stderr, "ws_client: %s\n", reply.error().c_str());
+      return 1;
+    }
+    std::fputs(reply->c_str(), stdout);
+    if (!reply->empty() && reply->back() != '\n') std::fputc('\n', stdout);
+    return 0;
+  }
+  if (command != "schedule") {
+    UsageError(kTool, "unknown command: " + command);
+  }
+  if (design.empty()) UsageError(kTool, "schedule wants a DESIGN name");
+  request.design = DesignSpec{design, ""};
+
+  const Result<WireResponse> response = client->Schedule(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "ws_client: %s\n", response.error().c_str());
+    return 1;
+  }
+  if (response->status != ResponseStatus::kOk) {
+    std::fprintf(stderr, "ws_client: %s: %s\n",
+                 ResponseStatusName(response->status),
+                 response->payload.c_str());
+    return 1;
+  }
+  const Result<ExploreRun> run = DecodeRun(response->payload);
+  if (!run.ok()) {
+    std::fprintf(stderr, "ws_client: %s\n", run.error().c_str());
+    return 1;
+  }
+  std::fputs(ExploreRunToJson(*run, render).c_str(), stdout);
+  if (response->cache_hit) std::fprintf(stderr, "ws_client: cache hit\n");
+  return run->ok ? 0 : 3;
+}

@@ -20,6 +20,8 @@
 //   --workers      worker threads (0 = sequential); default 4
 //   --no-timing    canonical output: omit wall-clock fields (diffable
 //                  across worker counts)
+//   --server       run the sweep against a ws_served instance instead of
+//                  in-process; byte-identical reports under --no-timing
 //
 // Example — the full Table 1 sweep on 4 workers with area accounting:
 //   ws_explore --suite --modes ws,spec --area --workers 4 --table
@@ -31,20 +33,23 @@
 #include <string>
 #include <vector>
 
+#include "base/cli.h"
 #include "explore/explore.h"
 #include "explore/report.h"
+#include "serve/client.h"
 
 namespace {
 
-[[noreturn]] void Usage() {
-  std::fprintf(
-      stderr,
-      "usage: ws_explore [design.beh ...] [--suite] [--bench names]\n"
-      "                  [--modes ws,single,spec] [--alloc spec]...\n"
-      "                  [--clocks p,p,...] [--workers N] [--stimuli N]\n"
-      "                  [--seed S] [--area] [--no-sim] [--no-timing]\n"
-      "                  [--table]\n");
-  std::exit(2);
+const ws::ToolInfo kTool = {
+    "ws_explore",
+    "usage: ws_explore [design.beh ...] [--suite] [--bench names]\n"
+    "                  [--modes ws,single,spec] [--alloc spec]...\n"
+    "                  [--clocks p,p,...] [--workers N] [--stimuli N]\n"
+    "                  [--seed S] [--area] [--no-sim] [--no-timing]\n"
+    "                  [--table] [--server ADDR] [--deadline-ms N]\n"};
+
+[[noreturn]] void Usage(const std::string& message) {
+  ws::UsageError(kTool, message);
 }
 
 std::vector<std::string> SplitCommas(const std::string& s) {
@@ -59,18 +64,21 @@ std::vector<std::string> SplitCommas(const std::string& s) {
 
 int main(int argc, char** argv) {
   using namespace ws;
+  HandleStandardFlags(kTool, argc, argv);
 
   ExploreSpec spec;
   spec.workers = 4;
   spec.modes.clear();
   bool want_table = false;
   ReportRenderOptions render;
+  std::string server;
+  std::int64_t deadline_ms = 0;
 
   std::vector<std::string> beh_files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) Usage();
+      if (i + 1 >= argc) Usage(arg + " wants a value");
       return argv[++i];
     };
     if (arg == "--suite") {
@@ -86,7 +94,7 @@ int main(int argc, char** argv) {
         if (m == "ws") spec.modes.push_back(SpeculationMode::kWavesched);
         else if (m == "single") spec.modes.push_back(SpeculationMode::kSinglePath);
         else if (m == "spec") spec.modes.push_back(SpeculationMode::kWaveschedSpec);
-        else Usage();
+        else Usage("unknown mode: " + m);
       }
     } else if (arg == "--alloc") {
       const std::string a = next();
@@ -112,8 +120,12 @@ int main(int argc, char** argv) {
       render.include_timing = false;
     } else if (arg == "--table") {
       want_table = true;
+    } else if (arg == "--server") {
+      server = next();
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::atoll(next().c_str());
     } else if (!arg.empty() && arg[0] == '-') {
-      Usage();
+      Usage("unrecognized argument: " + arg);
     } else {
       beh_files.push_back(arg);
     }
@@ -142,9 +154,16 @@ int main(int argc, char** argv) {
     spec.modes = {SpeculationMode::kWavesched,
                   SpeculationMode::kWaveschedSpec};
   }
-  if (spec.designs.empty()) Usage();
+  if (spec.designs.empty()) Usage("no designs given");
 
-  const Result<ExploreReport> report = RunExplore(spec);
+  Result<ExploreReport> report = Status::MakeError("unreachable");
+  if (server.empty()) {
+    report = RunExplore(spec);
+  } else {
+    const Result<ServeAddress> address = ParseServeAddress(server);
+    if (!address.ok()) Usage("--server: " + address.error());
+    report = RunExploreRemote(spec, *address, deadline_ms);
+  }
   if (!report.ok()) {
     std::fprintf(stderr, "error: %s\n", report.error().c_str());
     return 1;

@@ -1,0 +1,108 @@
+// ws_served — the scheduling service daemon.
+//
+// Listens on localhost TCP and/or a Unix domain socket, schedules requests
+// on a worker pool behind a bounded admission queue, caches results by
+// request fingerprint, and drains gracefully on SIGTERM/SIGINT or a
+// SHUTDOWN request.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "base/cli.h"
+#include "serve/server.h"
+
+namespace {
+
+const ws::ToolInfo kTool = {
+    "ws_served",
+    "usage: ws_served [--unix PATH] [--tcp HOST] [--port N]\n"
+    "                 [--workers N] [--queue N] [--cache N]\n"
+    "\n"
+    "  --unix PATH   listen on a Unix domain socket at PATH\n"
+    "  --tcp HOST    TCP bind host (default 127.0.0.1; implies --port 0)\n"
+    "  --port N      TCP port (0 = ephemeral; the bound port is printed)\n"
+    "  --workers N   scheduling worker threads (default 4)\n"
+    "  --queue N     max admitted-but-unfinished requests (default 64)\n"
+    "  --cache N     LRU result-cache entries, 0 disables (default 256)\n"
+    "\n"
+    "At least one of --unix / --port is required. The daemon runs until\n"
+    "SIGTERM/SIGINT or a SHUTDOWN request, then drains in-flight work.\n"};
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int) { g_signal = 1; }
+
+int ParseInt(const std::string& text, const char* flag) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    ws::UsageError(kTool, std::string(flag) + " wants an integer, got \"" +
+                              text + "\"");
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ws;
+  HandleStandardFlags(kTool, argc, argv);
+
+  ServerOptions options;
+  bool port_given = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) UsageError(kTool, arg + " wants a value");
+      return argv[++i];
+    };
+    if (arg == "--unix") {
+      options.unix_path = next();
+    } else if (arg == "--tcp") {
+      options.tcp_host = next();
+      if (!port_given) options.tcp_port = 0;
+    } else if (arg == "--port") {
+      options.tcp_port = ParseInt(next(), "--port");
+      port_given = true;
+    } else if (arg == "--workers") {
+      options.workers = ParseInt(next(), "--workers");
+    } else if (arg == "--queue") {
+      options.max_queue = ParseInt(next(), "--queue");
+    } else if (arg == "--cache") {
+      const int n = ParseInt(next(), "--cache");
+      if (n < 0) UsageError(kTool, "--cache must be >= 0");
+      options.cache_capacity = static_cast<std::size_t>(n);
+    } else {
+      UsageError(kTool, "unrecognized argument: " + arg);
+    }
+  }
+  if (options.tcp_port < 0 && options.unix_path.empty()) {
+    UsageError(kTool, "no listener: pass --unix PATH and/or --port N");
+  }
+
+  ServeServer server(std::move(options));
+  if (const Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "ws_served: %s\n", s.message().c_str());
+    return 1;
+  }
+  if (server.tcp_port() >= 0) {
+    std::fprintf(stderr, "ws_served: listening on tcp port %d\n",
+                 server.tcp_port());
+  }
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+
+  // The signal handler can only set a flag (nothing else is
+  // async-signal-safe), so the main thread polls it alongside the server's
+  // own stop request (the SHUTDOWN verb).
+  while (g_signal == 0 && !server.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "ws_served: draining\n");
+  server.Stop();
+  return 0;
+}
