@@ -1,0 +1,136 @@
+// Shared byte-packing primitives for every binary format in the system: the
+// serving wire protocol (serve/protocol.cc), the socket framing layer
+// (base/net.cc), and the on-disk artifact codecs (io/codec.cc).
+//
+// Everything is little-endian and defined purely over fixed-width integers,
+// so encodings are bit-identical across platforms and compilers. Doubles
+// travel as their IEEE-754 bit pattern — the property the explore engine's
+// byte-identity guarantees (remote == local, replay == original) rest on.
+//
+// The reader is fail-soft: an overrun latches an error and subsequent reads
+// return zeros, so decoders validate once at the end (`ok()` / `AtEnd()`)
+// instead of after every field.
+#ifndef WS_BASE_CODEC_H
+#define WS_BASE_CODEC_H
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ws {
+
+// --- raw little-endian u32 packing (the frame/length-prefix idiom) --------
+
+inline void PutU32LE(unsigned char* out, std::uint32_t v) {
+  out[0] = static_cast<unsigned char>(v & 0xff);
+  out[1] = static_cast<unsigned char>((v >> 8) & 0xff);
+  out[2] = static_cast<unsigned char>((v >> 16) & 0xff);
+  out[3] = static_cast<unsigned char>((v >> 24) & 0xff);
+}
+
+inline std::uint32_t GetU32LE(const unsigned char* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+// --- streaming writer ------------------------------------------------------
+
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+  // Length-prefixed string/blob.
+  void Str(std::string_view s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+  // Raw bytes, no length prefix.
+  void Raw(std::string_view s) { out_.append(s); }
+
+  std::size_t size() const { return out_.size(); }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+// --- fail-soft streaming reader --------------------------------------------
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t U8() {
+    if (pos_ + 1 > data_.size()) return Fail<std::uint8_t>();
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t U32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(U8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t U64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(U8()) << (8 * i);
+    return v;
+  }
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+  double F64() { return std::bit_cast<double>(U64()); }
+  std::string Str() {
+    const std::uint32_t n = U32();
+    if (pos_ + n > data_.size()) return Fail<std::string>();
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  // The next `n` raw bytes (no length prefix); empty view on overrun.
+  std::string_view Raw(std::size_t n) {
+    if (pos_ + n > data_.size()) return Fail<std::string_view>();
+    std::string_view s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  // Everything left, consumed.
+  std::string_view Rest() { return Raw(data_.size() - pos_); }
+
+  std::size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  T Fail() {
+    ok_ = false;
+    pos_ = data_.size();
+    return T{};
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- CRC-32 ----------------------------------------------------------------
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the artifact
+// store's integrity check. Chainable: pass the previous return value as
+// `seed` to checksum discontiguous buffers.
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32(std::string_view s, std::uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace ws
+
+#endif  // WS_BASE_CODEC_H

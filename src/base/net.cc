@@ -12,6 +12,7 @@
 
 #include <cstdlib>
 
+#include "base/codec.h"
 #include "base/strings.h"
 
 namespace ws {
@@ -227,13 +228,8 @@ Status SendFrame(const Socket& socket, const std::string& payload) {
         StrCat("frame of ", payload.size(), " bytes exceeds the ",
                kMaxFrameBytes, "-byte cap"));
   }
-  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
-  unsigned char prefix[4] = {
-      static_cast<unsigned char>(n & 0xff),
-      static_cast<unsigned char>((n >> 8) & 0xff),
-      static_cast<unsigned char>((n >> 16) & 0xff),
-      static_cast<unsigned char>((n >> 24) & 0xff),
-  };
+  unsigned char prefix[4];
+  PutU32LE(prefix, static_cast<std::uint32_t>(payload.size()));
   if (Status s = SendAll(socket, prefix, sizeof(prefix)); !s.ok()) return s;
   return SendAll(socket, payload.data(), payload.size());
 }
@@ -241,10 +237,7 @@ Status SendFrame(const Socket& socket, const std::string& payload) {
 Result<std::string> RecvFrame(const Socket& socket) {
   unsigned char prefix[4];
   if (Status s = RecvAll(socket, prefix, sizeof(prefix)); !s.ok()) return s;
-  const std::uint32_t n = static_cast<std::uint32_t>(prefix[0]) |
-                          (static_cast<std::uint32_t>(prefix[1]) << 8) |
-                          (static_cast<std::uint32_t>(prefix[2]) << 16) |
-                          (static_cast<std::uint32_t>(prefix[3]) << 24);
+  const std::uint32_t n = GetU32LE(prefix);
   if (n > kMaxFrameBytes) {
     return Status::MakeError(
         StatusCode::kInvalidArgument,

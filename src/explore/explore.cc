@@ -7,6 +7,8 @@
 #include "analysis/metrics.h"
 #include "base/rng.h"
 #include "base/thread_pool.h"
+#include "explore/run_codec.h"
+#include "io/artifact_store.h"
 #include "lang/lower.h"
 #include "rtl/rtl.h"
 #include "sim/interpreter.h"
@@ -93,6 +95,21 @@ Result<Allocation> BuildExploreAllocation(const Benchmark& b,
   return out;
 }
 
+ScheduleRequest MakeCellScheduleRequest(const ExploreSpec& spec,
+                                        const Benchmark& b,
+                                        const Allocation& allocation,
+                                        const ExploreCell& cell) {
+  ScheduleRequest request;
+  request.graph = &b.graph;
+  request.library = &b.library;
+  request.allocation = &allocation;
+  request.options = spec.base_options;
+  request.options.mode = cell.mode;
+  request.options.clock = cell.clock.clock;
+  request.options.lookahead = b.lookahead;
+  return request;
+}
+
 ExploreRun RunBenchmarkCell(const ExploreSpec& spec, const Benchmark& b,
                             const Allocation& allocation,
                             const ExploreCell& cell) {
@@ -103,14 +120,8 @@ ExploreRun RunBenchmarkCell(const ExploreSpec& spec, const Benchmark& b,
   run.allocation = cell.alloc.label;
   run.clock = cell.clock.label;
 
-  ScheduleRequest request;
-  request.graph = &b.graph;
-  request.library = &b.library;
-  request.allocation = &allocation;
-  request.options = spec.base_options;
-  request.options.mode = cell.mode;
-  request.options.clock = cell.clock.clock;
-  request.options.lookahead = b.lookahead;
+  const ScheduleRequest request =
+      MakeCellScheduleRequest(spec, b, allocation, cell);
 
   Result<ScheduleReport> report = ScheduleOrError(request);
   if (!report.ok()) {
@@ -178,8 +189,31 @@ ExploreRun RunExploreCell(const ExploreSpec& spec, const ExploreCell& cell) {
     return run;
   }
 
+  // Durable-store path: replay the cell if its artifact is on disk (bit for
+  // bit, including the recorded timing — nothing is recomputed), otherwise
+  // compute and write through so an interrupted sweep resumes here.
+  std::optional<Fp128> store_key;
+  if (spec.store != nullptr) {
+    const ScheduleRequest request =
+        MakeCellScheduleRequest(spec, *bench, *allocation, cell);
+    store_key = ExploreCellKey(spec, cell, request);
+    if (std::optional<std::string> artifact = spec.store->Get(*store_key);
+        artifact.has_value()) {
+      Result<ExploreRun> replay = DecodeRunArtifact(*artifact);
+      if (replay.ok()) return *std::move(replay);
+      // A corrupt or stale-format artifact degrades to recomputation.
+    }
+  }
+
   ExploreRun run = RunBenchmarkCell(spec, *bench, *allocation, cell);
   run.wall_ms = MillisSince(start);
+  if (store_key.has_value() &&
+      run.error_code != StatusCode::kDeadlineExceeded &&
+      run.error_code != StatusCode::kCancelled) {
+    // Completed outcomes — including deterministic scheduling failures such
+    // as exhausted caps — are durable; deadline expiries are not.
+    (void)spec.store->Put(*store_key, EncodeRunArtifact(run));
+  }
   return run;
 }
 

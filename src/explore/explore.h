@@ -30,6 +30,8 @@
 
 namespace ws {
 
+class ArtifactStore;  // io/artifact_store.h
+
 // A design to explore: a suite benchmark referenced by registry name
 // ("gcd", "fig4:0.3", ...) or an inline behavioral description, compiled
 // per worker.
@@ -78,6 +80,13 @@ struct ExploreSpec {
   // Per-run options; mode and clock come from the grid, lookahead from the
   // benchmark.
   SchedulerOptions base_options;
+
+  // Optional durable artifact store (io/artifact_store.h), not owned. Cells
+  // whose key is present are replayed from disk bit-for-bit instead of
+  // recomputed (minus the STG — the `ws_explore --server` convention), and
+  // completed cells are written through, which is what makes interrupted
+  // sweeps resumable.
+  ArtifactStore* store = nullptr;
 
   Status Validate() const;
 };
@@ -160,6 +169,15 @@ Result<Benchmark> BuildExploreDesign(const DesignSpec& design,
 // Applies an AllocationSpec on top of the benchmark's own allocation.
 Result<Allocation> BuildExploreAllocation(const Benchmark& b,
                                           const AllocationSpec& alloc);
+
+// The canonical ScheduleRequest for one cell on prebuilt inputs — the one
+// place the spec/cell/benchmark fields land in scheduler options, so the
+// scheduler call, the serving daemon, and the cache/store keys can never
+// drift apart. The returned request borrows b/allocation.
+ScheduleRequest MakeCellScheduleRequest(const ExploreSpec& spec,
+                                        const Benchmark& b,
+                                        const Allocation& allocation,
+                                        const ExploreCell& cell);
 
 // Schedule + analysis on prebuilt inputs; never throws. Labels come from the
 // cell, the mode/clock/lookahead land in the scheduler options.

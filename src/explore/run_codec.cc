@@ -1,0 +1,92 @@
+#include "explore/run_codec.h"
+
+#include "base/codec.h"
+#include "io/codec.h"
+#include "sched/fingerprint.h"
+
+namespace ws {
+
+std::string EncodeRunBody(const ExploreRun& run) {
+  ByteWriter w;
+  w.Str(run.design);
+  w.U8(static_cast<std::uint8_t>(run.mode));
+  w.Str(run.allocation);
+  w.Str(run.clock);
+  w.U8(run.ok ? 1 : 0);
+  w.Str(run.error);
+  w.U8(static_cast<std::uint8_t>(run.error_code));
+  WriteScheduleStats(w, run.stats);
+  w.U64(run.states);
+  w.U64(run.op_initiations);
+  w.F64(run.enc_markov);
+  w.F64(run.enc_sim);
+  w.I64(run.best_case);
+  w.I64(run.worst_case);
+  w.U32(static_cast<std::uint32_t>(run.worst_case_budget));
+  w.F64(run.area);
+  w.F64(run.area_overhead_pct);
+  w.U8(run.has_area_overhead ? 1 : 0);
+  w.F64(run.wall_ms);
+  return w.Take();
+}
+
+Result<ExploreRun> DecodeRunBody(std::string_view body) {
+  ByteReader r(body);
+  ExploreRun run;
+  run.design = r.Str();
+  const std::uint8_t mode = r.U8();
+  run.allocation = r.Str();
+  run.clock = r.Str();
+  run.ok = r.U8() != 0;
+  run.error = r.Str();
+  const std::uint8_t code = r.U8();
+  run.stats = ReadScheduleStats(r);
+  run.states = r.U64();
+  run.op_initiations = r.U64();
+  run.enc_markov = r.F64();
+  run.enc_sim = r.F64();
+  run.best_case = r.I64();
+  run.worst_case = r.I64();
+  run.worst_case_budget = static_cast<int>(r.U32());
+  run.area = r.F64();
+  run.area_overhead_pct = r.F64();
+  run.has_area_overhead = r.U8() != 0;
+  run.wall_ms = r.F64();
+  if (!r.AtEnd() ||
+      mode > static_cast<std::uint8_t>(SpeculationMode::kWaveschedSpec) ||
+      code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+    return Status::MakeError(StatusCode::kInvalidArgument,
+                             "malformed ExploreRun message");
+  }
+  run.mode = static_cast<SpeculationMode>(mode);
+  run.error_code = static_cast<StatusCode>(code);
+  return run;
+}
+
+std::string EncodeRunArtifact(const ExploreRun& run) {
+  return EncodeArtifact(ArtifactKind::kExploreRun, EncodeRunBody(run));
+}
+
+Result<ExploreRun> DecodeRunArtifact(std::string_view bytes) {
+  Result<std::string> payload =
+      DecodeArtifact(ArtifactKind::kExploreRun, bytes);
+  if (!payload.ok()) return payload.status();
+  return DecodeRunBody(*payload);
+}
+
+Fp128 ExploreCellKey(const ExploreSpec& spec, const ExploreCell& cell,
+                     const ScheduleRequest& request) {
+  FpHasher h;
+  const Fp128 base = FingerprintScheduleRequest(request);
+  h.Mix(base.lo);
+  h.Mix(base.hi);
+  MixString(h, cell.design.name);
+  MixString(h, cell.alloc.label);
+  MixString(h, cell.clock.label);
+  h.Mix(static_cast<std::uint64_t>(spec.num_stimuli));
+  h.Mix(spec.seed);
+  h.Mix((spec.measure_sim_enc ? 1u : 0u) | (spec.measure_area ? 2u : 0u));
+  return h.digest();
+}
+
+}  // namespace ws

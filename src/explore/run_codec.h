@@ -1,0 +1,50 @@
+// Binary codec for ExploreRun metric rows plus the shared cell cache key.
+//
+// The body layout is the serving protocol's SCHEDULE response payload — it
+// moved here (from serve/protocol.cc) so three consumers share one
+// definition and its byte-identity guarantee:
+//   * the wire protocol (serve/protocol.h EncodeRun/DecodeRun delegate),
+//   * the artifact store value for a cell (EncodeRunArtifact wraps the same
+//     bytes in an io/codec.h envelope, so a store hit replays the exact
+//     response payload the server once sent), and
+//   * ws_explore --store resume (a cell found in the store reproduces the
+//     uninterrupted sweep's run bit for bit).
+//
+// The STG is deliberately absent: schedules stay producer-side, metric rows
+// travel (the same convention as `ws_explore --server`), and canonical
+// report renderings never read the STG.
+#ifndef WS_EXPLORE_RUN_CODEC_H
+#define WS_EXPLORE_RUN_CODEC_H
+
+#include <string>
+#include <string_view>
+
+#include "base/hashing.h"
+#include "base/status.h"
+#include "explore/explore.h"
+#include "sched/scheduler.h"
+
+namespace ws {
+
+// ExploreRun minus the STG, as a flat little-endian field sequence.
+std::string EncodeRunBody(const ExploreRun& run);
+Result<ExploreRun> DecodeRunBody(std::string_view body);
+
+// The same body wrapped in a versioned, CRC-checked artifact envelope
+// (io/codec.h, ArtifactKind::kExploreRun) — the artifact store's value for
+// a cell.
+std::string EncodeRunArtifact(const ExploreRun& run);
+Result<ExploreRun> DecodeRunArtifact(std::string_view bytes);
+
+// The cache/store key for one explore cell: the canonical ScheduleRequest
+// fingerprint (sched/fingerprint.h) mixed with every spec field that shapes
+// the response bytes but not the schedule itself — grid labels, stimulus
+// count/seed (simulated E.N.C.), analysis flags. Shared by the serving
+// daemon's result cache, its durable store, and explore resume, so all
+// three address the same artifact for the same work.
+Fp128 ExploreCellKey(const ExploreSpec& spec, const ExploreCell& cell,
+                     const ScheduleRequest& request);
+
+}  // namespace ws
+
+#endif  // WS_EXPLORE_RUN_CODEC_H

@@ -1,0 +1,523 @@
+#include "io/artifact_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "base/codec.h"
+#include "io/codec.h"
+#include "base/strings.h"
+
+namespace ws {
+namespace {
+
+// Fixed sizes of the on-disk framing (see the header comment).
+constexpr std::size_t kSegmentHeaderBytes = 8;   // magic u32 + 4 bytes
+constexpr std::size_t kRecordHeadBytes = 24;     // magic + key + value_len
+constexpr std::size_t kRecordCrcBytes = 4;
+
+Status IoError(const std::string& what) {
+  return Status::MakeError(StatusCode::kUnavailable,
+                           what + ": " + std::strerror(errno));
+}
+
+std::string SegmentPath(const std::string& dir, std::uint64_t gen) {
+  return StrPrintf("%s/artifacts-%06llu.log", dir.c_str(),
+                   static_cast<unsigned long long>(gen));
+}
+
+// Segment files in the directory, sorted by generation (ascending).
+// Compaction scratch files (*.log.tmp) are collected separately so Open can
+// sweep leftovers from an interrupted compaction.
+struct DirListing {
+  std::vector<std::pair<std::uint64_t, std::string>> segments;  // gen, path
+  std::vector<std::string> leftovers;                           // .tmp paths
+};
+
+Result<DirListing> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return IoError("opendir " + dir);
+  DirListing out;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.rfind("artifacts-", 0) != 0) continue;
+    if (EndsWith(name, ".log.tmp")) {
+      out.leftovers.push_back(dir + "/" + name);
+      continue;
+    }
+    if (!EndsWith(name, ".log")) continue;
+    const std::string digits =
+        name.substr(10, name.size() - 10 - 4);  // between prefix and ".log"
+    char* end = nullptr;
+    const unsigned long long gen = std::strtoull(digits.c_str(), &end, 10);
+    if (end == digits.c_str() || *end != '\0') continue;
+    out.segments.emplace_back(gen, dir + "/" + name);
+  }
+  ::closedir(d);
+  std::sort(out.segments.begin(), out.segments.end());
+  return out;
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IoError("open " + path);
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return IoError("read " + path);
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return data;
+}
+
+Status WriteAllFd(int fd, std::string_view data, const std::string& what) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError("write " + what);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+std::string SegmentHeader() {
+  ByteWriter w;
+  w.U32(kSegmentMagic);
+  w.U8(kStoreVersion);
+  w.U8(kArtifactVersion);
+  w.U8(0);
+  w.U8(0);
+  return w.Take();
+}
+
+std::string RecordBytes(const Fp128& key, std::string_view value) {
+  ByteWriter w;
+  w.U32(kRecordMagic);
+  w.U64(key.lo);
+  w.U64(key.hi);
+  w.U32(static_cast<std::uint32_t>(value.size()));
+  w.Raw(value);
+  std::string body = w.Take();
+  // The CRC covers everything after the record magic.
+  const std::uint32_t crc = Crc32(std::string_view(body).substr(4));
+  ByteWriter tail;
+  tail.U32(crc);
+  body += tail.Take();
+  return body;
+}
+
+// Outcome of scanning one segment's bytes.
+struct SegmentScan {
+  enum class Header { kOk, kBad, kNewerStore, kNewerArtifacts };
+  Header header = Header::kBad;
+  std::uint8_t store_version = 0;
+  std::uint8_t artifact_version = 0;
+  std::size_t good_end = 0;  // offset just past the last CRC-clean record
+  std::int64_t records = 0;
+  bool dropped_tail = false;  // bytes past good_end failed to parse
+};
+
+// Walks `data` front to back, invoking `record` for every CRC-clean record.
+// Stops at the first record that fails magic/length/CRC: everything from
+// there on is untrusted (a bad length would desynchronize the scan).
+SegmentScan ScanSegment(
+    std::string_view data,
+    const std::function<void(const Fp128&, std::string_view)>& record) {
+  SegmentScan scan;
+  if (data.size() < kSegmentHeaderBytes) return scan;
+  ByteReader header(data.substr(0, kSegmentHeaderBytes));
+  if (header.U32() != kSegmentMagic) return scan;
+  scan.store_version = header.U8();
+  scan.artifact_version = header.U8();
+  if (scan.store_version > kStoreVersion) {
+    scan.header = SegmentScan::Header::kNewerStore;
+    return scan;
+  }
+  if (scan.artifact_version > kArtifactVersion) {
+    scan.header = SegmentScan::Header::kNewerArtifacts;
+    return scan;
+  }
+  scan.header = SegmentScan::Header::kOk;
+  scan.good_end = kSegmentHeaderBytes;
+
+  std::size_t pos = kSegmentHeaderBytes;
+  while (pos < data.size()) {
+    if (pos + kRecordHeadBytes + kRecordCrcBytes > data.size()) break;
+    ByteReader head(data.substr(pos, kRecordHeadBytes));
+    if (head.U32() != kRecordMagic) break;
+    Fp128 key;
+    key.lo = head.U64();
+    key.hi = head.U64();
+    const std::uint32_t value_len = head.U32();
+    const std::size_t total =
+        kRecordHeadBytes + value_len + kRecordCrcBytes;
+    if (value_len > data.size() || pos + total > data.size()) break;
+    const std::string_view value =
+        data.substr(pos + kRecordHeadBytes, value_len);
+    ByteReader crc_reader(data.substr(pos + kRecordHeadBytes + value_len,
+                                      kRecordCrcBytes));
+    const std::uint32_t stored_crc = crc_reader.U32();
+    const std::uint32_t actual_crc =
+        Crc32(data.substr(pos + 4, kRecordHeadBytes - 4 + value_len));
+    if (stored_crc != actual_crc) break;
+    record(key, value);
+    ++scan.records;
+    pos += total;
+    scan.good_end = pos;
+  }
+  scan.dropped_tail = scan.good_end < data.size();
+  return scan;
+}
+
+void LogStore(const std::string& dir, const std::string& message) {
+  std::fprintf(stderr, "artifact_store[%s]: %s\n", dir.c_str(),
+               message.c_str());
+}
+
+}  // namespace
+
+Status ArtifactStoreOptions::Validate() const {
+  if (dir.empty()) {
+    return Status::MakeError(StatusCode::kInvalidArgument,
+                             "ArtifactStoreOptions: empty directory");
+  }
+  if (dead_ratio < 1.0) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        StrCat("ArtifactStoreOptions: dead_ratio must be >= 1.0, got ",
+               dead_ratio));
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<ArtifactStore>> ArtifactStore::Open(
+    ArtifactStoreOptions options) {
+  if (const Status s = options.Validate(); !s.ok()) return s;
+  if (::mkdir(options.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return IoError("mkdir " + options.dir);
+  }
+  std::unique_ptr<ArtifactStore> store(new ArtifactStore(std::move(options)));
+  std::lock_guard<std::mutex> lock(store->mu_);
+  if (const Status s = store->ReplayLocked(); !s.ok()) return s;
+  return store;
+}
+
+ArtifactStore::~ArtifactStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status ArtifactStore::ReplayLocked() {
+  Result<DirListing> listing = ListDir(options_.dir);
+  if (!listing.ok()) return listing.status();
+
+  // Sweep compaction scratch from an interrupted run: a .tmp was never
+  // renamed, so it was never the store.
+  for (const std::string& leftover : listing->leftovers) {
+    LogStore(options_.dir, "removing interrupted compaction file " + leftover);
+    ::unlink(leftover.c_str());
+  }
+
+  bool needs_consolidation = listing->segments.size() > 1;
+  std::uint64_t newest_gen = 0;
+  bool newest_appendable = false;
+  std::uint64_t newest_size = 0;
+
+  for (const auto& [gen, path] : listing->segments) {
+    Result<std::string> data = ReadFileBytes(path);
+    if (!data.ok()) return data.status();
+    std::int64_t replaced = 0;
+    const SegmentScan scan =
+        ScanSegment(*data, [this, &replaced](const Fp128& key,
+                                             std::string_view value) {
+          if (index_.count(key) != 0) ++replaced;
+          IndexPutLocked(key, std::string(value));
+        });
+    counters_.loaded += scan.records;
+
+    switch (scan.header) {
+      case SegmentScan::Header::kOk:
+        break;
+      case SegmentScan::Header::kNewerStore:
+        return Status::MakeError(
+            StatusCode::kInvalidArgument,
+            StrCat(path, " uses store format version ",
+                   static_cast<int>(scan.store_version),
+                   ", newer than this build's ", static_cast<int>(kStoreVersion),
+                   "; refusing to touch it"));
+      case SegmentScan::Header::kNewerArtifacts:
+        LogStore(options_.dir,
+                 StrCat(path, " holds artifact format version ",
+                        static_cast<int>(scan.artifact_version),
+                        " (this build writes ",
+                        static_cast<int>(kArtifactVersion),
+                        "); ignoring its entries"));
+        needs_consolidation = true;
+        continue;
+      case SegmentScan::Header::kBad:
+        LogStore(options_.dir, path + " has a bad segment header; ignoring");
+        ++counters_.truncated_segments;
+        needs_consolidation = true;
+        continue;
+    }
+
+    if (scan.dropped_tail) {
+      const std::int64_t dropped_bytes =
+          static_cast<std::int64_t>(data->size() - scan.good_end);
+      LogStore(options_.dir,
+               StrCat(path, ": dropping ", dropped_bytes,
+                      " corrupt/torn byte(s) after ", scan.records,
+                      " clean record(s)"));
+      ++counters_.corrupt_dropped;
+      ++counters_.truncated_segments;
+      if (::truncate(path.c_str(), static_cast<off_t>(scan.good_end)) != 0) {
+        return IoError("truncate " + path);
+      }
+    }
+    if (replaced > 0) needs_consolidation = true;
+    newest_gen = gen;
+    newest_appendable = true;
+    newest_size = scan.good_end;
+  }
+
+  // Enforce the size bound on what we recovered before deciding whether the
+  // log needs rewriting.
+  EvictLocked();
+
+  if (listing->segments.empty() || !newest_appendable) {
+    // Fresh store (or nothing usable): start generation 1.
+    generation_ = listing->segments.empty()
+                      ? 1
+                      : listing->segments.back().first + 1;
+    const std::string path = SegmentPath(options_.dir, generation_);
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) return IoError("create " + path);
+    const std::string header = SegmentHeader();
+    if (Status s = WriteAllFd(fd_, header, path); !s.ok()) return s;
+    log_bytes_ = header.size();
+    // Stale unusable generations die at the first consolidation below or,
+    // if there is nothing to consolidate, right away.
+    for (const auto& [gen, path_old] : listing->segments) {
+      if (gen != generation_) ::unlink(path_old.c_str());
+    }
+    return Status::Ok();
+  }
+
+  generation_ = newest_gen;
+  log_bytes_ = newest_size;
+  const std::string active = SegmentPath(options_.dir, generation_);
+  fd_ = ::open(active.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) return IoError("open " + active);
+
+  if (needs_consolidation) {
+    // Multiple generations (interrupted compaction), superseded records, or
+    // unusable segments: rewrite once so the directory is a single clean
+    // generation again.
+    return CompactLocked();
+  }
+  return Status::Ok();
+}
+
+void ArtifactStore::IndexPutLocked(const Fp128& key, std::string value) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    live_bytes_ -= it->second->second.size();
+    live_bytes_ += value.size();
+    it->second->second = std::move(value);
+    // Replay/Put order is recency order: move to the back (most recent).
+    lru_.splice(lru_.end(), lru_, it->second);
+    return;
+  }
+  live_bytes_ += value.size();
+  lru_.emplace_back(key, std::move(value));
+  index_.emplace(key, std::prev(lru_.end()));
+}
+
+void ArtifactStore::EvictLocked() {
+  if (options_.max_bytes == 0) return;
+  while (live_bytes_ > options_.max_bytes && !lru_.empty()) {
+    live_bytes_ -= lru_.front().second.size();
+    index_.erase(lru_.front().first);
+    lru_.pop_front();
+    ++counters_.evictions;
+  }
+}
+
+std::optional<std::string> ArtifactStore::Get(const Fp128& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.gets;
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.end(), lru_, it->second);
+  return it->second->second;
+}
+
+Status ArtifactStore::AppendRecordLocked(const Fp128& key,
+                                         std::string_view value) {
+  const std::string record = RecordBytes(key, value);
+  if (Status s = WriteAllFd(fd_, record, "segment append"); !s.ok()) return s;
+  log_bytes_ += record.size();
+  return Status::Ok();
+}
+
+Status ArtifactStore::Put(const Fp128& key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.puts;
+  if (auto it = index_.find(key);
+      it != index_.end() && it->second->second == value) {
+    // Identical bytes already stored: refresh recency, skip the append.
+    lru_.splice(lru_.end(), lru_, it->second);
+    return Status::Ok();
+  }
+  if (Status s = AppendRecordLocked(key, value); !s.ok()) return s;
+  IndexPutLocked(key, std::string(value));
+  EvictLocked();
+  if (log_bytes_ > options_.compact_min_bytes &&
+      static_cast<double>(log_bytes_) >
+          options_.dead_ratio * static_cast<double>(live_bytes_)) {
+    return CompactLocked();
+  }
+  return Status::Ok();
+}
+
+Status ArtifactStore::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CompactLocked();
+}
+
+Status ArtifactStore::CompactLocked() {
+  const std::uint64_t next_gen = generation_ + 1;
+  const std::string final_path = SegmentPath(options_.dir, next_gen);
+  const std::string tmp_path = final_path + ".tmp";
+
+  const int tmp_fd =
+      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) return IoError("create " + tmp_path);
+
+  Status write_status = WriteAllFd(tmp_fd, SegmentHeader(), tmp_path);
+  std::uint64_t written = SegmentHeader().size();
+  if (write_status.ok()) {
+    // LRU order front to back, so a future replay reproduces recency.
+    for (const Entry& entry : lru_) {
+      const std::string record = RecordBytes(entry.first, entry.second);
+      write_status = WriteAllFd(tmp_fd, record, tmp_path);
+      if (!write_status.ok()) break;
+      written += record.size();
+    }
+  }
+  if (write_status.ok() && ::fsync(tmp_fd) != 0) {
+    write_status = IoError("fsync " + tmp_path);
+  }
+  ::close(tmp_fd);
+  if (!write_status.ok()) {
+    ::unlink(tmp_path.c_str());
+    return write_status;
+  }
+
+  // The atomic cut-over: after this rename the new generation is the store.
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return IoError("rename " + tmp_path);
+  }
+  // Persist the directory entry so the rename survives power loss.
+  if (const int dir_fd = ::open(options_.dir.c_str(), O_RDONLY);
+      dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(final_path.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) return IoError("open " + final_path);
+
+  // Old generations are dead weight now.
+  if (Result<DirListing> listing = ListDir(options_.dir); listing.ok()) {
+    for (const auto& [gen, path] : listing->segments) {
+      if (gen != next_gen) ::unlink(path.c_str());
+    }
+  }
+
+  generation_ = next_gen;
+  log_bytes_ = written;
+  ++counters_.compactions;
+  return Status::Ok();
+}
+
+void ArtifactStore::ForEachLru(
+    const std::function<void(const Fp128&, const std::string&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& entry : lru_) fn(entry.first, entry.second);
+}
+
+std::size_t ArtifactStore::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+std::uint64_t ArtifactStore::live_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_bytes_;
+}
+
+std::uint64_t ArtifactStore::log_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_bytes_;
+}
+
+ArtifactStoreCounters ArtifactStore::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+Result<StoreVerifyReport> VerifyArtifactDir(const std::string& dir) {
+  Result<DirListing> listing = ListDir(dir);
+  if (!listing.ok()) return listing.status();
+  StoreVerifyReport report;
+  for (const auto& [gen, path] : listing->segments) {
+    (void)gen;
+    Result<std::string> data = ReadFileBytes(path);
+    if (!data.ok()) return data.status();
+    ++report.segments;
+    std::int64_t bytes = 0;
+    const SegmentScan scan = ScanSegment(
+        *data, [&bytes](const Fp128&, std::string_view value) {
+          bytes += static_cast<std::int64_t>(value.size());
+        });
+    report.records += scan.records;
+    report.bytes += bytes;
+    if (scan.header != SegmentScan::Header::kOk) {
+      ++report.bad_segments;
+      report.detail += path + ": unreadable segment header\n";
+      continue;
+    }
+    if (scan.dropped_tail) {
+      ++report.bad_records;
+      report.detail +=
+          StrCat(path, ": ", data->size() - scan.good_end,
+                 " byte(s) of corrupt or torn records after offset ",
+                 scan.good_end, "\n");
+    }
+  }
+  return report;
+}
+
+}  // namespace ws

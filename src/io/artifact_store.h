@@ -1,0 +1,163 @@
+// Durable, fingerprint-addressed store for schedule artifacts.
+//
+// Maps 128-bit request fingerprints (sched/fingerprint.h — the serving
+// cache's key space) to opaque artifact byte strings (io/codec.h envelopes)
+// via an append-only segment log plus an in-memory index:
+//
+//   <dir>/artifacts-NNNNNN.log      one generation of the log
+//   <dir>/artifacts-NNNNNN.log.tmp  compaction scratch (ignored/unlinked)
+//
+// Segment layout (all integers little-endian):
+//   header: u32 "WSSG" | u8 store_version | u8 artifact_version | u16 0
+//   record: u32 "WSRC" | u64 key.lo | u64 key.hi | u32 value_len
+//           | value bytes | u32 crc32(key.lo..value bytes)
+//
+// Crash safety: appends go through a single positional write per record, so
+// a killed process leaves at most one torn record at the tail. Open() scans
+// each segment front to back; the first record whose magic, length, or CRC
+// does not check out ends the scan — the file is truncated at the last good
+// offset and the event is logged to stderr. A corrupted store therefore
+// degrades to fewer cached artifacts, never a crash or a wrong result.
+//
+// Versioning: store_version covers the record framing (reject newer, read
+// older); artifact_version pins the payload codecs — a store written by a
+// build with a different artifact format is NOT reinterpreted: Open() logs
+// and starts the store empty (stale artifacts can never be served across a
+// format change).
+//
+// Compaction: when the log grows past the dead-bytes threshold, or live
+// bytes exceed max_bytes, surviving entries (LRU order, least recent
+// evicted first under max_bytes) are rewritten into a fresh segment which
+// is fsynced and atomically renamed into place before the old generations
+// are unlinked — readers of the directory always see a complete generation.
+//
+// Concurrency: one writer process per directory (ws_served or ws_explore;
+// no advisory locking — documented operational rule), many threads within
+// it: every public member is serialized by one internal mutex.
+#ifndef WS_IO_ARTIFACT_STORE_H
+#define WS_IO_ARTIFACT_STORE_H
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/hashing.h"
+#include "base/status.h"
+
+namespace ws {
+
+inline constexpr std::uint32_t kSegmentMagic = 0x47535357;   // "WSSG"
+inline constexpr std::uint32_t kRecordMagic = 0x43525357;    // "WSRC"
+inline constexpr std::uint8_t kStoreVersion = 1;
+
+struct ArtifactStoreOptions {
+  std::string dir;
+
+  // Bound on live (indexed) value bytes; exceeding it evicts least-recently
+  // -used entries. 0 = unbounded.
+  std::uint64_t max_bytes = 0;
+
+  // Compact when the on-disk log exceeds both this floor and
+  // dead_ratio * live bytes (superseded/evicted records dominate).
+  std::uint64_t compact_min_bytes = 4u << 20;
+  double dead_ratio = 2.0;
+
+  Status Validate() const;
+};
+
+struct ArtifactStoreCounters {
+  std::int64_t gets = 0;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t puts = 0;
+  std::int64_t evictions = 0;          // LRU drops under max_bytes
+  std::int64_t compactions = 0;
+  std::int64_t corrupt_dropped = 0;    // records dropped by Open()'s scan
+  std::int64_t truncated_segments = 0; // segments cut back by Open()
+  std::int64_t loaded = 0;             // records recovered by Open()
+};
+
+// Outcome of an offline integrity scan (ws_artifacts verify).
+struct StoreVerifyReport {
+  int segments = 0;
+  std::int64_t records = 0;       // CRC-clean records
+  std::int64_t bytes = 0;         // bytes covered by clean records
+  std::int64_t bad_segments = 0;  // segments with a bad header
+  std::int64_t bad_records = 0;   // records failing magic/length/CRC
+  std::string detail;             // human-readable per-problem lines
+};
+
+class ArtifactStore {
+ public:
+  // Opens (creating the directory if needed), replays every segment into
+  // the index, repairs torn tails, and finishes any interrupted compaction.
+  // Fails only on environmental errors (unusable directory, I/O failure) —
+  // corruption is repaired, not reported as failure.
+  static Result<std::unique_ptr<ArtifactStore>> Open(
+      ArtifactStoreOptions options);
+
+  ~ArtifactStore();
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+  // Returns the stored bytes and refreshes the entry's recency.
+  std::optional<std::string> Get(const Fp128& key);
+
+  // Inserts or replaces. The record is appended and flushed to the OS
+  // before the index is updated; kUnavailable on I/O failure.
+  Status Put(const Fp128& key, std::string_view value);
+
+  // Rewrites the log to exactly the live entries (atomic rename), unlinks
+  // old generations. Also runs automatically per the options' thresholds.
+  Status Compact();
+
+  // Visits every live entry, least recently used first — replaying this
+  // order through an LRU cache reproduces the store's recency.
+  void ForEachLru(
+      const std::function<void(const Fp128&, const std::string&)>& fn) const;
+
+  std::size_t entries() const;
+  std::uint64_t live_bytes() const;
+  std::uint64_t log_bytes() const;
+  ArtifactStoreCounters counters() const;
+  const std::string& dir() const { return options_.dir; }
+
+ private:
+  explicit ArtifactStore(ArtifactStoreOptions options)
+      : options_(std::move(options)) {}
+
+  Status ReplayLocked();
+  Status AppendRecordLocked(const Fp128& key, std::string_view value);
+  Status CompactLocked();
+  void EvictLocked();
+  void IndexPutLocked(const Fp128& key, std::string value);
+
+  using Entry = std::pair<Fp128, std::string>;
+
+  const ArtifactStoreOptions options_;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = least recently used
+  std::unordered_map<Fp128, std::list<Entry>::iterator, Fp128Hash> index_;
+  std::uint64_t live_bytes_ = 0;
+  std::uint64_t log_bytes_ = 0;
+  std::uint64_t generation_ = 0;  // active segment generation
+  int fd_ = -1;                   // active segment, O_APPEND
+  ArtifactStoreCounters counters_;
+};
+
+// Offline scan of a store directory: walks every segment, checks headers
+// and record CRCs, never modifies anything. Environmental errors only.
+Result<StoreVerifyReport> VerifyArtifactDir(const std::string& dir);
+
+}  // namespace ws
+
+#endif  // WS_IO_ARTIFACT_STORE_H

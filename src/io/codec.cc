@@ -1,0 +1,353 @@
+#include "io/codec.h"
+
+#include <utility>
+
+#include "base/strings.h"
+
+namespace ws {
+namespace {
+
+Status Corrupt(const char* what) {
+  return Status::MakeError(StatusCode::kInvalidArgument,
+                           StrCat("corrupt artifact: ", what));
+}
+
+// --- id / instance helpers -------------------------------------------------
+//
+// Ids serialize as their raw 32-bit value; the invalid sentinel
+// (0xffffffff) round-trips like any other value.
+
+template <typename Tag>
+void WriteId(ByteWriter& w, Id<Tag> id) {
+  w.U32(id.value());
+}
+
+template <typename Tag>
+Id<Tag> ReadId(ByteReader& r) {
+  return Id<Tag>(r.U32());
+}
+
+void WriteInstRef(ByteWriter& w, const InstRef& inst) {
+  WriteId(w, inst.node);
+  w.U32(static_cast<std::uint32_t>(inst.iter));
+  w.U32(static_cast<std::uint32_t>(inst.version));
+}
+
+InstRef ReadInstRef(ByteReader& r) {
+  InstRef inst;
+  inst.node = ReadId<NodeTag>(r);
+  inst.iter = static_cast<int>(r.U32());
+  inst.version = static_cast<int>(r.U32());
+  return inst;
+}
+
+// --- STG payload -----------------------------------------------------------
+
+void WriteStgPayload(ByteWriter& w, const Stg& stg) {
+  w.Str(stg.name());
+  w.U32(static_cast<std::uint32_t>(stg.num_states()));
+  for (const State& s : stg.states()) {
+    w.U8(s.is_stop ? 1 : 0);
+    w.U32(static_cast<std::uint32_t>(s.ops.size()));
+    for (const ScheduledOp& op : s.ops) {
+      WriteInstRef(w, op.inst);
+      w.U32(static_cast<std::uint32_t>(op.operands.size()));
+      for (const InstRef& operand : op.operands) WriteInstRef(w, operand);
+      w.Str(op.guard);
+      w.U32(static_cast<std::uint32_t>(op.fu_type));
+      w.U32(static_cast<std::uint32_t>(op.stage));
+      w.F64(op.start_offset_ns);
+    }
+    w.U32(static_cast<std::uint32_t>(s.out.size()));
+    for (const Transition& t : s.out) {
+      WriteId(w, t.to);
+      w.U32(static_cast<std::uint32_t>(t.cubes.size()));
+      for (const auto& cube : t.cubes) {
+        w.U32(static_cast<std::uint32_t>(cube.size()));
+        for (const CondLiteral& lit : cube) {
+          WriteInstRef(w, lit.cond);
+          w.U8(lit.value ? 1 : 0);
+        }
+      }
+      w.U32(static_cast<std::uint32_t>(t.iter_shift.size()));
+      for (const auto& [loop, delta] : t.iter_shift) {
+        WriteId(w, loop);
+        w.U32(static_cast<std::uint32_t>(delta));
+      }
+      w.U32(static_cast<std::uint32_t>(t.outputs.size()));
+      for (const OutputBinding& binding : t.outputs) {
+        WriteId(w, binding.output);
+        WriteInstRef(w, binding.value);
+      }
+    }
+  }
+  WriteId(w, stg.entry());
+  WriteId(w, stg.stop());
+}
+
+Result<Stg> ReadStgPayload(ByteReader& r) {
+  const std::string name = r.Str();
+  const std::uint32_t num_states = r.U32();
+  if (!r.ok()) return Corrupt("STG header");
+
+  // First pass over the byte stream rebuilds states in index order; stop
+  // states are appended with AddStopState so the stop id lands on the same
+  // index it was recorded at (both calls append sequentially).
+  Stg stg(name);
+  for (std::uint32_t i = 0; i < num_states; ++i) {
+    // Peek the is_stop flag before creating the state.
+    const bool is_stop = r.U8() != 0;
+    const StateId id = is_stop ? stg.AddStopState() : stg.AddState();
+    if (id.value() != i) return Corrupt("STG state order");
+    State& state = stg.state(id);
+
+    const std::uint32_t num_ops = r.U32();
+    if (!r.ok()) return Corrupt("STG state");
+    state.ops.reserve(num_ops);
+    for (std::uint32_t j = 0; j < num_ops; ++j) {
+      ScheduledOp op;
+      op.inst = ReadInstRef(r);
+      const std::uint32_t num_operands = r.U32();
+      if (!r.ok()) return Corrupt("STG op");
+      op.operands.reserve(num_operands);
+      for (std::uint32_t k = 0; k < num_operands; ++k) {
+        op.operands.push_back(ReadInstRef(r));
+      }
+      op.guard = r.Str();
+      op.fu_type = static_cast<int>(r.U32());
+      op.stage = static_cast<int>(r.U32());
+      op.start_offset_ns = r.F64();
+      if (!r.ok()) return Corrupt("STG op");
+      state.ops.push_back(std::move(op));
+    }
+
+    const std::uint32_t num_out = r.U32();
+    if (!r.ok()) return Corrupt("STG transitions");
+    state.out.reserve(num_out);
+    for (std::uint32_t j = 0; j < num_out; ++j) {
+      Transition t;
+      t.from = id;
+      t.to = ReadId<StgStateTag>(r);
+      const std::uint32_t num_cubes = r.U32();
+      if (!r.ok()) return Corrupt("STG transition");
+      t.cubes.reserve(num_cubes);
+      for (std::uint32_t c = 0; c < num_cubes; ++c) {
+        const std::uint32_t num_lits = r.U32();
+        if (!r.ok()) return Corrupt("STG cube");
+        std::vector<CondLiteral> cube;
+        cube.reserve(num_lits);
+        for (std::uint32_t l = 0; l < num_lits; ++l) {
+          CondLiteral lit;
+          lit.cond = ReadInstRef(r);
+          lit.value = r.U8() != 0;
+          cube.push_back(lit);
+        }
+        t.cubes.push_back(std::move(cube));
+      }
+      const std::uint32_t num_shifts = r.U32();
+      if (!r.ok()) return Corrupt("STG transition");
+      t.iter_shift.reserve(num_shifts);
+      for (std::uint32_t s_i = 0; s_i < num_shifts; ++s_i) {
+        const LoopId loop = ReadId<LoopTag>(r);
+        const int delta = static_cast<int>(r.U32());
+        t.iter_shift.emplace_back(loop, delta);
+      }
+      const std::uint32_t num_outputs = r.U32();
+      if (!r.ok()) return Corrupt("STG transition");
+      t.outputs.reserve(num_outputs);
+      for (std::uint32_t o = 0; o < num_outputs; ++o) {
+        OutputBinding binding;
+        binding.output = ReadId<NodeTag>(r);
+        binding.value = ReadInstRef(r);
+        t.outputs.push_back(binding);
+      }
+      state.out.push_back(std::move(t));
+    }
+  }
+
+  const StateId entry = ReadId<StgStateTag>(r);
+  const StateId stop = ReadId<StgStateTag>(r);
+  if (!r.ok()) return Corrupt("STG trailer");
+  if (entry.valid()) {
+    if (entry.value() >= stg.num_states()) return Corrupt("STG entry id");
+    stg.set_entry(entry);
+  } else if (stg.num_states() != 0) {
+    return Corrupt("STG entry id");
+  }
+  // The stop id is implied by the is_stop flags (AddStopState above); the
+  // recorded one must agree or the stream is inconsistent.
+  if (stop != stg.stop()) return Corrupt("STG stop id");
+  // Structural sanity: every referenced state exists.
+  for (const State& s : stg.states()) {
+    for (const Transition& t : s.out) {
+      if (!t.to.valid() || t.to.value() >= stg.num_states()) {
+        return Corrupt("STG transition target");
+      }
+    }
+  }
+  return stg;
+}
+
+}  // namespace
+
+const char* ArtifactKindName(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kStg: return "stg";
+    case ArtifactKind::kScheduleStats: return "schedule_stats";
+    case ArtifactKind::kScheduleReport: return "schedule_report";
+    case ArtifactKind::kExploreRun: return "explore_run";
+  }
+  return "unknown";
+}
+
+std::string EncodeArtifact(ArtifactKind kind, std::string_view payload) {
+  ByteWriter w;
+  w.U32(kArtifactMagic);
+  w.U8(kArtifactVersion);
+  w.U8(static_cast<std::uint8_t>(kind));
+  w.Str(payload);
+  w.U32(Crc32(payload));
+  return w.Take();
+}
+
+namespace {
+
+// Shared header walk for Peek/Decode. On success `r` is positioned at the
+// payload length field.
+Result<ArtifactKind> ReadArtifactHeader(ByteReader& r) {
+  if (r.U32() != kArtifactMagic) {
+    if (!r.ok()) return Corrupt("truncated header");
+    return Corrupt("bad magic");
+  }
+  const std::uint8_t version = r.U8();
+  const std::uint8_t kind = r.U8();
+  if (!r.ok()) return Corrupt("truncated header");
+  if (version > kArtifactVersion) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        StrCat("artifact version ", static_cast<int>(version),
+               " is newer than this build's ",
+               static_cast<int>(kArtifactVersion),
+               "; refusing to guess at its layout"));
+  }
+  if (version == 0 ||
+      kind < static_cast<std::uint8_t>(ArtifactKind::kStg) ||
+      kind > static_cast<std::uint8_t>(ArtifactKind::kExploreRun)) {
+    return Corrupt("bad version/kind");
+  }
+  return static_cast<ArtifactKind>(kind);
+}
+
+}  // namespace
+
+Result<ArtifactKind> PeekArtifactKind(std::string_view bytes) {
+  ByteReader r(bytes);
+  return ReadArtifactHeader(r);
+}
+
+Result<std::string> DecodeArtifact(ArtifactKind expected,
+                                   std::string_view bytes) {
+  ByteReader r(bytes);
+  Result<ArtifactKind> kind = ReadArtifactHeader(r);
+  if (!kind.ok()) return kind.status();
+  if (*kind != expected) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        StrCat("artifact kind mismatch: want ", ArtifactKindName(expected),
+               ", got ", ArtifactKindName(*kind)));
+  }
+  std::string payload = r.Str();
+  const std::uint32_t stored_crc = r.U32();
+  if (!r.AtEnd()) return Corrupt("truncated or oversized body");
+  if (Crc32(payload) != stored_crc) return Corrupt("payload CRC mismatch");
+  return payload;
+}
+
+void WriteScheduleStats(ByteWriter& w, const ScheduleStats& s) {
+  w.U32(static_cast<std::uint32_t>(s.states_created));
+  w.U32(static_cast<std::uint32_t>(s.closure_hits));
+  w.U32(static_cast<std::uint32_t>(s.speculative_ops));
+  w.U32(static_cast<std::uint32_t>(s.squashed_ops));
+  w.U32(static_cast<std::uint32_t>(s.total_ops));
+  w.I64(s.candidates_generated);
+  w.U64(s.bdd_ops);
+  w.U64(s.bdd_nodes);
+  w.I64(s.signature_collisions);
+  w.I64(s.phase.successor_ns);
+  w.I64(s.phase.cofactor_ns);
+  w.I64(s.phase.closure_ns);
+  w.I64(s.phase.gc_ns);
+  w.I64(s.phase.total_ns);
+}
+
+ScheduleStats ReadScheduleStats(ByteReader& r) {
+  ScheduleStats s;
+  s.states_created = static_cast<int>(r.U32());
+  s.closure_hits = static_cast<int>(r.U32());
+  s.speculative_ops = static_cast<int>(r.U32());
+  s.squashed_ops = static_cast<int>(r.U32());
+  s.total_ops = static_cast<int>(r.U32());
+  s.candidates_generated = r.I64();
+  s.bdd_ops = r.U64();
+  s.bdd_nodes = r.U64();
+  s.signature_collisions = r.I64();
+  s.phase.successor_ns = r.I64();
+  s.phase.cofactor_ns = r.I64();
+  s.phase.closure_ns = r.I64();
+  s.phase.gc_ns = r.I64();
+  s.phase.total_ns = r.I64();
+  return s;
+}
+
+std::string EncodeStg(const Stg& stg) {
+  ByteWriter w;
+  WriteStgPayload(w, stg);
+  return EncodeArtifact(ArtifactKind::kStg, w.Take());
+}
+
+Result<Stg> DecodeStg(std::string_view bytes) {
+  Result<std::string> payload = DecodeArtifact(ArtifactKind::kStg, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r(*payload);
+  Result<Stg> stg = ReadStgPayload(r);
+  if (!stg.ok()) return stg.status();
+  if (!r.AtEnd()) return Corrupt("STG trailing bytes");
+  return stg;
+}
+
+std::string EncodeScheduleStats(const ScheduleStats& stats) {
+  ByteWriter w;
+  WriteScheduleStats(w, stats);
+  return EncodeArtifact(ArtifactKind::kScheduleStats, w.Take());
+}
+
+Result<ScheduleStats> DecodeScheduleStats(std::string_view bytes) {
+  Result<std::string> payload =
+      DecodeArtifact(ArtifactKind::kScheduleStats, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r(*payload);
+  const ScheduleStats stats = ReadScheduleStats(r);
+  if (!r.AtEnd()) return Corrupt("ScheduleStats size");
+  return stats;
+}
+
+std::string EncodeScheduleReport(const ScheduleReport& report) {
+  ByteWriter w;
+  WriteScheduleStats(w, report.stats);
+  WriteStgPayload(w, report.stg);
+  return EncodeArtifact(ArtifactKind::kScheduleReport, w.Take());
+}
+
+Result<ScheduleReport> DecodeScheduleReport(std::string_view bytes) {
+  Result<std::string> payload =
+      DecodeArtifact(ArtifactKind::kScheduleReport, bytes);
+  if (!payload.ok()) return payload.status();
+  ByteReader r(*payload);
+  const ScheduleStats stats = ReadScheduleStats(r);
+  Result<Stg> stg = ReadStgPayload(r);
+  if (!stg.ok()) return stg.status();
+  if (!r.AtEnd()) return Corrupt("ScheduleReport trailing bytes");
+  return ScheduleReport{*std::move(stg), stats};
+}
+
+}  // namespace ws

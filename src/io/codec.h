@@ -1,0 +1,88 @@
+// Versioned, CRC-checked binary codecs for persistent schedule artifacts.
+//
+// Every artifact is an *envelope* around a length-prefixed payload:
+//
+//   u32  magic    "WSAR" (0x52415357 little-endian on the wire)
+//   u8   version  on-disk format version (kArtifactVersion)
+//   u8   kind     ArtifactKind discriminator
+//   u32  length   payload byte count
+//   ...  payload  kind-specific encoding (little-endian; doubles as IEEE-754
+//                 bit patterns — the same idiom as the serving wire protocol,
+//                 so round trips are exact)
+//   u32  crc32    CRC-32 (IEEE) of the payload bytes
+//
+// Compatibility rule: a decoder REJECTS artifacts whose version is newer
+// than the build's kArtifactVersion (it cannot know what changed) and READS
+// every older version it has shipped decoders for. Bump kArtifactVersion on
+// any payload layout change; keep the old ReadX path behind a version check.
+// Version history:
+//   1  initial layout (this file).
+//
+// The codecs promise exact round trips: decode(encode(x)) is structurally
+// equal to x, and encode(decode(bytes)) == bytes for any bytes this version
+// produced. Tests enforce both over the benchmark suite's schedules.
+#ifndef WS_IO_CODEC_H
+#define WS_IO_CODEC_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/codec.h"
+#include "base/status.h"
+#include "sched/scheduler.h"
+#include "stg/stg.h"
+
+namespace ws {
+
+inline constexpr std::uint32_t kArtifactMagic = 0x52415357;  // "WSAR"
+inline constexpr std::uint8_t kArtifactVersion = 1;
+
+enum class ArtifactKind : std::uint8_t {
+  kStg = 1,
+  kScheduleStats = 2,
+  kScheduleReport = 3,
+  kExploreRun = 4,  // payload encoded by explore/run_codec.h
+};
+
+const char* ArtifactKindName(ArtifactKind kind);
+
+// --- envelope --------------------------------------------------------------
+
+// Wraps an already-encoded payload in the envelope above.
+std::string EncodeArtifact(ArtifactKind kind, std::string_view payload);
+
+// Verifies magic/version/length/CRC and returns the payload bytes.
+// `expected` must match the stored kind. Typed kInvalidArgument errors name
+// the failure (bad magic, version newer than kArtifactVersion, kind
+// mismatch, truncation, CRC mismatch) — a corrupted artifact is never a
+// crash or a silently wrong result.
+Result<std::string> DecodeArtifact(ArtifactKind expected,
+                                   std::string_view bytes);
+
+// The stored kind of an enveloped artifact (header checks only; does not
+// verify the CRC).
+Result<ArtifactKind> PeekArtifactKind(std::string_view bytes);
+
+// --- payload building blocks (shared with the wire protocol) ---------------
+
+// ScheduleStats as a flat field sequence. This is the exact layout the
+// serving protocol has always used for the stats section of an ExploreRun;
+// it lives here so the wire codec and the disk codecs share one definition.
+void WriteScheduleStats(ByteWriter& w, const ScheduleStats& s);
+ScheduleStats ReadScheduleStats(ByteReader& r);
+
+// --- whole-artifact codecs -------------------------------------------------
+
+std::string EncodeStg(const Stg& stg);
+Result<Stg> DecodeStg(std::string_view bytes);
+
+std::string EncodeScheduleStats(const ScheduleStats& stats);
+Result<ScheduleStats> DecodeScheduleStats(std::string_view bytes);
+
+std::string EncodeScheduleReport(const ScheduleReport& report);
+Result<ScheduleReport> DecodeScheduleReport(std::string_view bytes);
+
+}  // namespace ws
+
+#endif  // WS_IO_CODEC_H

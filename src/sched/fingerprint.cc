@@ -38,6 +38,10 @@ void MixCdfg(FpHasher& h, const Cdfg& g) {
   h.Mix(g.num_nodes());
   for (const Node& n : g.nodes()) {
     h.Mix(static_cast<std::uint64_t>(n.kind));
+    // Display names are artifact-affecting: they appear in the STG's guard
+    // strings and rendered reports, which now persist in the durable store —
+    // a renamed design must never replay another design's artifacts.
+    MixString(h, n.name);
     h.Mix(n.inputs.size());
     for (const NodeId in : n.inputs) h.Mix(in.value());
     h.Mix(static_cast<std::uint64_t>(n.const_value));
@@ -51,6 +55,7 @@ void MixCdfg(FpHasher& h, const Cdfg& g) {
   }
   h.Mix(g.num_loops());
   for (const Loop& loop : g.loops()) {
+    MixString(h, loop.name);
     h.Mix(loop.cond.value());
     h.Mix(loop.phis.size());
     for (const NodeId phi : loop.phis) h.Mix(phi.value());
@@ -59,6 +64,7 @@ void MixCdfg(FpHasher& h, const Cdfg& g) {
   }
   h.Mix(g.arrays().size());
   for (const MemArray& a : g.arrays()) {
+    MixString(h, a.name);
     h.Mix(static_cast<std::uint64_t>(a.size));
     h.Mix(a.init.size());
     for (const std::int64_t v : a.init) {

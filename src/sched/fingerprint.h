@@ -13,10 +13,13 @@
 // (and the serving cache, like closure detection, tolerates: a stale hit
 // returns a well-formed report for the colliding request, never corruption).
 //
-// Deliberately excluded: SchedulerOptions::deadline and ::cancel (they bound
-// a particular call, not its result) and every display-only string except
-// the graph name (unit names participate because error messages and
-// allocation specs reference them; node display names do not).
+// Deliberately excluded: SchedulerOptions::deadline and ::cancel — they
+// bound a particular call, not its result. Nothing else is: display names
+// (graph, node, loop, array, unit) all participate, because fingerprints
+// now also key the durable artifact store (io/artifact_store.h), whose
+// values embed rendered text — STG guard strings carry node names, error
+// messages carry unit names — so two designs differing only in names must
+// never replay each other's artifacts.
 #ifndef WS_SCHED_FINGERPRINT_H
 #define WS_SCHED_FINGERPRINT_H
 

@@ -1,126 +1,21 @@
 #include "serve/protocol.h"
 
-#include <bit>
-#include <cstring>
-
+#include "base/codec.h"
 #include "base/strings.h"
+#include "explore/run_codec.h"
 
 namespace ws {
 namespace {
-
-// Little-endian primitive writers/readers over std::string. The reader is
-// fail-soft: overruns latch an error and subsequent reads return zeros, so
-// decoders validate once at the end instead of after every field.
-class WireWriter {
- public:
-  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void U32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void U64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
-  void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
-  void Str(const std::string& s) {
-    U32(static_cast<std::uint32_t>(s.size()));
-    out_.append(s);
-  }
-  std::string Take() { return std::move(out_); }
-
- private:
-  std::string out_;
-};
-
-class WireReader {
- public:
-  explicit WireReader(std::string_view data) : data_(data) {}
-
-  std::uint8_t U8() {
-    if (pos_ + 1 > data_.size()) return Fail<std::uint8_t>();
-    return static_cast<std::uint8_t>(data_[pos_++]);
-  }
-  std::uint32_t U32() {
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(U8()) << (8 * i);
-    return v;
-  }
-  std::uint64_t U64() {
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(U8()) << (8 * i);
-    return v;
-  }
-  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
-  double F64() { return std::bit_cast<double>(U64()); }
-  std::string Str() {
-    const std::uint32_t n = U32();
-    if (pos_ + n > data_.size()) return Fail<std::string>();
-    std::string s(data_.substr(pos_, n));
-    pos_ += n;
-    return s;
-  }
-
-  [[nodiscard]] bool ok() const { return ok_; }
-  [[nodiscard]] bool AtEnd() const { return ok_ && pos_ == data_.size(); }
-
- private:
-  template <typename T>
-  T Fail() {
-    ok_ = false;
-    pos_ = data_.size();
-    return T{};
-  }
-
-  std::string_view data_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
 
 Status Malformed(const char* what) {
   return Status::MakeError(StatusCode::kInvalidArgument,
                            StrCat("malformed ", what, " message"));
 }
 
-void WriteRequestHeader(WireWriter& w, Verb verb) {
+void WriteRequestHeader(ByteWriter& w, Verb verb) {
   w.U32(kWireMagic);
   w.U8(kWireVersion);
   w.U8(static_cast<std::uint8_t>(verb));
-}
-
-void WriteStats(WireWriter& w, const ScheduleStats& s) {
-  w.U32(static_cast<std::uint32_t>(s.states_created));
-  w.U32(static_cast<std::uint32_t>(s.closure_hits));
-  w.U32(static_cast<std::uint32_t>(s.speculative_ops));
-  w.U32(static_cast<std::uint32_t>(s.squashed_ops));
-  w.U32(static_cast<std::uint32_t>(s.total_ops));
-  w.I64(s.candidates_generated);
-  w.U64(s.bdd_ops);
-  w.U64(s.bdd_nodes);
-  w.I64(s.signature_collisions);
-  w.I64(s.phase.successor_ns);
-  w.I64(s.phase.cofactor_ns);
-  w.I64(s.phase.closure_ns);
-  w.I64(s.phase.gc_ns);
-  w.I64(s.phase.total_ns);
-}
-
-ScheduleStats ReadStats(WireReader& r) {
-  ScheduleStats s;
-  s.states_created = static_cast<int>(r.U32());
-  s.closure_hits = static_cast<int>(r.U32());
-  s.speculative_ops = static_cast<int>(r.U32());
-  s.squashed_ops = static_cast<int>(r.U32());
-  s.total_ops = static_cast<int>(r.U32());
-  s.candidates_generated = r.I64();
-  s.bdd_ops = r.U64();
-  s.bdd_nodes = r.U64();
-  s.signature_collisions = r.I64();
-  s.phase.successor_ns = r.I64();
-  s.phase.cofactor_ns = r.I64();
-  s.phase.closure_ns = r.I64();
-  s.phase.gc_ns = r.I64();
-  s.phase.total_ns = r.I64();
-  return s;
 }
 
 }  // namespace
@@ -178,7 +73,7 @@ CellRequest MakeCellRequest(const ExploreSpec& spec, const ExploreCell& cell) {
 }
 
 std::string EncodeRequestFrame(Verb verb, const std::string& body) {
-  WireWriter w;
+  ByteWriter w;
   WriteRequestHeader(w, verb);
   std::string out = w.Take();
   out += body;
@@ -187,7 +82,7 @@ std::string EncodeRequestFrame(Verb verb, const std::string& body) {
 
 std::string EncodeResponseFrame(ResponseStatus status, bool cache_hit,
                                 const std::string& body) {
-  WireWriter w;
+  ByteWriter w;
   w.U32(kWireMagic);
   w.U8(kWireVersion);
   w.U8(static_cast<std::uint8_t>(status));
@@ -199,7 +94,7 @@ std::string EncodeResponseFrame(ResponseStatus status, bool cache_hit,
 
 Result<std::pair<Verb, std::string>> DecodeRequestFrame(
     std::string_view frame) {
-  WireReader r(frame);
+  ByteReader r(frame);
   if (r.U32() != kWireMagic) return Malformed("request (bad magic)");
   if (r.U8() != kWireVersion) return Malformed("request (bad version)");
   const std::uint8_t verb = r.U8();
@@ -212,7 +107,7 @@ Result<std::pair<Verb, std::string>> DecodeRequestFrame(
 }
 
 Result<WireResponse> DecodeResponseFrame(std::string_view frame) {
-  WireReader r(frame);
+  ByteReader r(frame);
   if (r.U32() != kWireMagic) return Malformed("response (bad magic)");
   if (r.U8() != kWireVersion) return Malformed("response (bad version)");
   const std::uint8_t status = r.U8();
@@ -229,7 +124,7 @@ Result<WireResponse> DecodeResponseFrame(std::string_view frame) {
 }
 
 std::string EncodeCellRequest(const CellRequest& req) {
-  WireWriter w;
+  ByteWriter w;
   w.Str(req.design.name);
   w.Str(req.design.source);
   w.U8(static_cast<std::uint8_t>(req.mode));
@@ -251,7 +146,7 @@ std::string EncodeCellRequest(const CellRequest& req) {
 }
 
 Result<CellRequest> DecodeCellRequest(std::string_view body) {
-  WireReader r(body);
+  ByteReader r(body);
   CellRequest req;
   req.design.name = r.Str();
   req.design.source = r.Str();
@@ -278,60 +173,13 @@ Result<CellRequest> DecodeCellRequest(std::string_view body) {
   return req;
 }
 
-std::string EncodeRun(const ExploreRun& run) {
-  WireWriter w;
-  w.Str(run.design);
-  w.U8(static_cast<std::uint8_t>(run.mode));
-  w.Str(run.allocation);
-  w.Str(run.clock);
-  w.U8(run.ok ? 1 : 0);
-  w.Str(run.error);
-  w.U8(static_cast<std::uint8_t>(run.error_code));
-  WriteStats(w, run.stats);
-  w.U64(run.states);
-  w.U64(run.op_initiations);
-  w.F64(run.enc_markov);
-  w.F64(run.enc_sim);
-  w.I64(run.best_case);
-  w.I64(run.worst_case);
-  w.U32(static_cast<std::uint32_t>(run.worst_case_budget));
-  w.F64(run.area);
-  w.F64(run.area_overhead_pct);
-  w.U8(run.has_area_overhead ? 1 : 0);
-  w.F64(run.wall_ms);
-  return w.Take();
-}
+// The response-body layout lives in explore/run_codec.h now, shared with
+// the artifact store and explore resume; these wrappers keep the protocol's
+// historical entry points.
+std::string EncodeRun(const ExploreRun& run) { return EncodeRunBody(run); }
 
 Result<ExploreRun> DecodeRun(std::string_view body) {
-  WireReader r(body);
-  ExploreRun run;
-  run.design = r.Str();
-  const std::uint8_t mode = r.U8();
-  run.allocation = r.Str();
-  run.clock = r.Str();
-  run.ok = r.U8() != 0;
-  run.error = r.Str();
-  const std::uint8_t code = r.U8();
-  run.stats = ReadStats(r);
-  run.states = r.U64();
-  run.op_initiations = r.U64();
-  run.enc_markov = r.F64();
-  run.enc_sim = r.F64();
-  run.best_case = r.I64();
-  run.worst_case = r.I64();
-  run.worst_case_budget = static_cast<int>(r.U32());
-  run.area = r.F64();
-  run.area_overhead_pct = r.F64();
-  run.has_area_overhead = r.U8() != 0;
-  run.wall_ms = r.F64();
-  if (!r.AtEnd() ||
-      mode > static_cast<std::uint8_t>(SpeculationMode::kWaveschedSpec) ||
-      code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
-    return Malformed("ExploreRun");
-  }
-  run.mode = static_cast<SpeculationMode>(mode);
-  run.error_code = static_cast<StatusCode>(code);
-  return run;
+  return DecodeRunBody(body);
 }
 
 }  // namespace ws

@@ -7,7 +7,9 @@
 
 #include "base/strings.h"
 #include "explore/explore.h"
-#include "sched/fingerprint.h"
+#include "explore/run_codec.h"
+#include "io/artifact_store.h"
+#include "io/codec.h"
 
 namespace ws {
 namespace {
@@ -18,23 +20,6 @@ std::int64_t MicrosSince(Clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                                start)
       .count();
-}
-
-// The cache key: the canonical ScheduleRequest fingerprint plus every
-// wire-level field that shapes the response bytes but not the schedule
-// (labels, stimulus count/seed for the simulated E.N.C., analysis flags).
-Fp128 CacheKey(const ScheduleRequest& request, const CellRequest& cell) {
-  FpHasher h;
-  const Fp128 base = FingerprintScheduleRequest(request);
-  h.Mix(base.lo);
-  h.Mix(base.hi);
-  MixString(h, cell.design.name);
-  MixString(h, cell.alloc.label);
-  MixString(h, cell.clock.label);
-  h.Mix(static_cast<std::uint64_t>(cell.num_stimuli));
-  h.Mix(cell.seed);
-  h.Mix((cell.measure_sim_enc ? 1u : 0u) | (cell.measure_area ? 2u : 0u));
-  return h.digest();
 }
 
 }  // namespace
@@ -73,6 +58,8 @@ ServeServer::ServeServer(ServerOptions options)
   resp_internal_ = metrics_.counter("serve.responses_internal_error");
   cache_hits_ = metrics_.counter("serve.cache_hits");
   cache_misses_ = metrics_.counter("serve.cache_misses");
+  store_hits_ = metrics_.counter("serve.store_hits");
+  store_misses_ = metrics_.counter("serve.store_misses");
   connections_total_ = metrics_.counter("serve.connections_total");
   queue_depth_ = metrics_.gauge("serve.queue_depth");
   open_connections_ = metrics_.gauge("serve.open_connections");
@@ -89,6 +76,26 @@ ServeServer::~ServeServer() { Stop(); }
 Status ServeServer::Start() {
   if (const Status s = options_.Validate(); !s.ok()) return s;
   WS_CHECK_MSG(!started_, "ServeServer::Start called twice");
+
+  if (!options_.store_dir.empty()) {
+    ArtifactStoreOptions store_options;
+    store_options.dir = options_.store_dir;
+    store_options.max_bytes = options_.store_max_bytes;
+    Result<std::unique_ptr<ArtifactStore>> store =
+        ArtifactStore::Open(std::move(store_options));
+    if (!store.ok()) return store.status();
+    store_ = std::move(store).value();
+    // Warm-start the in-memory cache: the store enumerates least recently
+    // used first, so replaying through the LRU cache reproduces recency
+    // (capacity overflow keeps exactly the most recent entries). Cache
+    // values are raw response payloads; store values wrap them in artifact
+    // envelopes — unwrap, skipping anything undecodable.
+    store_->ForEachLru([this](const Fp128& key, const std::string& artifact) {
+      Result<std::string> payload =
+          DecodeArtifact(ArtifactKind::kExploreRun, artifact);
+      if (payload.ok()) cache_.Put(key, *std::move(payload));
+    });
+  }
 
   if (options_.tcp_port >= 0) {
     Result<Socket> listener =
@@ -308,15 +315,9 @@ ServeServer::ScheduleOutcome ServeServer::ExecuteSchedule(
   // Canonical request fingerprint -> cache probe. Deadline fields never
   // participate (fingerprint.h), so a deadline-bounded request hits results
   // cached by unbounded ones and vice versa.
-  ScheduleRequest sched_request;
-  sched_request.graph = &bench->graph;
-  sched_request.library = &bench->library;
-  sched_request.allocation = &*allocation;
-  sched_request.options = spec.base_options;
-  sched_request.options.mode = cell.mode;
-  sched_request.options.clock = cell.clock.clock;
-  sched_request.options.lookahead = bench->lookahead;
-  const Fp128 key = CacheKey(sched_request, request);
+  const ScheduleRequest sched_request =
+      MakeCellScheduleRequest(spec, *bench, *allocation, cell);
+  const Fp128 key = ExploreCellKey(spec, cell, sched_request);
 
   if (std::optional<std::string> cached = cache_.Get(key);
       cached.has_value()) {
@@ -327,6 +328,26 @@ ServeServer::ScheduleOutcome ServeServer::ExecuteSchedule(
     return outcome;
   }
   cache_misses_->Increment();
+
+  // Second-level probe: the durable store (survives restarts and in-memory
+  // eviction). A hit replays the exact response payload once computed for
+  // this key and re-primes the cache.
+  if (store_ != nullptr) {
+    if (std::optional<std::string> artifact = store_->Get(key);
+        artifact.has_value()) {
+      Result<std::string> payload =
+          DecodeArtifact(ArtifactKind::kExploreRun, *artifact);
+      if (payload.ok()) {
+        store_hits_->Increment();
+        cache_.Put(key, *payload);
+        outcome.status = ResponseStatus::kOk;
+        outcome.cache_hit = true;
+        outcome.body = *std::move(payload);
+        return outcome;
+      }
+    }
+    store_misses_->Increment();
+  }
 
   spec.base_options.deadline = deadline;
   ExploreRun run = RunBenchmarkCell(spec, *bench, *allocation, cell);
@@ -348,6 +369,13 @@ ServeServer::ScheduleOutcome ServeServer::ExecuteSchedule(
   outcome.status = ResponseStatus::kOk;
   outcome.body = EncodeRun(run);
   cache_.Put(key, outcome.body);
+  if (store_ != nullptr) {
+    // Write-through: the store value is the response payload in an artifact
+    // envelope, so a later (possibly post-restart) hit replays these exact
+    // bytes. An I/O failure degrades durability, not the response.
+    (void)store_->Put(key, EncodeArtifact(ArtifactKind::kExploreRun,
+                                          outcome.body));
+  }
   return outcome;
 }
 
@@ -359,10 +387,29 @@ std::string ServeServer::StatsText() {
           ? 0.0
           : 100.0 * static_cast<double>(hits) /
                 static_cast<double>(hits + misses);
-  return metrics_.RenderText() +
-         StrPrintf("serve.cache_entries %lld\n",
-                   static_cast<long long>(cache_.size())) +
-         StrPrintf("serve.cache_hit_rate_pct %.2f\n", rate);
+  std::string text =
+      metrics_.RenderText() +
+      StrPrintf("serve.cache_entries %lld\n",
+                static_cast<long long>(cache_.size())) +
+      StrPrintf("serve.cache_hit_rate_pct %.2f\n", rate);
+  if (store_ != nullptr) {
+    const ArtifactStoreCounters c = store_->counters();
+    text += StrPrintf("serve.store_entries %lld\n",
+                      static_cast<long long>(store_->entries()));
+    text += StrPrintf("serve.store_live_bytes %llu\n",
+                      static_cast<unsigned long long>(store_->live_bytes()));
+    text += StrPrintf("serve.store_log_bytes %llu\n",
+                      static_cast<unsigned long long>(store_->log_bytes()));
+    text += StrPrintf("serve.store_loaded %lld\n",
+                      static_cast<long long>(c.loaded));
+    text += StrPrintf("serve.store_evictions %lld\n",
+                      static_cast<long long>(c.evictions));
+    text += StrPrintf("serve.store_compactions %lld\n",
+                      static_cast<long long>(c.compactions));
+    text += StrPrintf("serve.store_corrupt_dropped %lld\n",
+                      static_cast<long long>(c.corrupt_dropped));
+  }
+  return text;
 }
 
 }  // namespace ws

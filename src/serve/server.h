@@ -44,6 +44,8 @@
 
 namespace ws {
 
+class ArtifactStore;  // io/artifact_store.h
+
 struct ServerOptions {
   // TCP listener: port < 0 disables, 0 asks the kernel for an ephemeral
   // port (recover it with tcp_port()).
@@ -55,6 +57,13 @@ struct ServerOptions {
   int workers = 4;             // scheduling pool size
   int max_queue = 64;          // admitted-but-unfinished SCHEDULE cap
   std::size_t cache_capacity = 256;  // LRU entries; 0 disables the cache
+
+  // Durable artifact store directory (io/artifact_store.h); empty disables.
+  // On Start() the in-memory cache is warm-started from the store (recency
+  // preserved), misses are written through, and restarts therefore serve
+  // previously computed schedules byte-identically from disk.
+  std::string store_dir;
+  std::uint64_t store_max_bytes = 0;  // live-byte bound; 0 = unbounded
 
   Status Validate() const;
 };
@@ -87,6 +96,8 @@ class ServeServer {
 
   MetricsRegistry& metrics() { return metrics_; }
   const ResultCache& cache() const { return cache_; }
+  // The durable store, or null when store_dir is empty (set after Start()).
+  const ArtifactStore* store() const { return store_.get(); }
 
  private:
   // The outcome of one SCHEDULE request, produced on a pool worker and
@@ -108,6 +119,7 @@ class ServeServer {
   const ServerOptions options_;
   MetricsRegistry metrics_;
   ResultCache cache_;
+  std::unique_ptr<ArtifactStore> store_;  // null when store_dir is empty
 
   Socket tcp_listener_;
   Socket unix_listener_;
@@ -136,6 +148,8 @@ class ServeServer {
   Counter* resp_internal_;
   Counter* cache_hits_;
   Counter* cache_misses_;
+  Counter* store_hits_;
+  Counter* store_misses_;
   Counter* connections_total_;
   Gauge* queue_depth_;
   Gauge* open_connections_;

@@ -54,6 +54,8 @@ struct ScheduledOp {
   int stage = 0;                  // 0 = initiated in this state; k>0 = k-th
                                   // continuation cycle of a multi-cycle op
   double start_offset_ns = 0.0;   // within-cycle start time (chaining)
+
+  friend bool operator==(const ScheduledOp&, const ScheduledOp&) = default;
 };
 
 // One literal of a transition condition: the resolved value of a conditional
@@ -69,6 +71,8 @@ struct CondLiteral {
 struct OutputBinding {
   NodeId output;    // kOutput node
   InstRef value;    // instance producing the value (source nodes allowed)
+
+  friend bool operator==(const OutputBinding&, const OutputBinding&) = default;
 };
 
 struct Transition {
@@ -82,6 +86,8 @@ struct Transition {
   std::vector<std::pair<LoopId, int>> iter_shift;
   // Set when `to` is the STOP state: where each CDFG output's value lives.
   std::vector<OutputBinding> outputs;
+
+  friend bool operator==(const Transition&, const Transition&) = default;
 };
 
 struct State {
@@ -89,6 +95,8 @@ struct State {
   std::vector<ScheduledOp> ops;
   std::vector<Transition> out;
   bool is_stop = false;
+
+  friend bool operator==(const State&, const State&) = default;
 };
 
 // The scheduled design.
@@ -126,6 +134,13 @@ class Stg {
   // Structural checks: transitions reference valid states, stop edges carry
   // output bindings, non-stop states have at least one outgoing edge.
   void Validate() const;
+
+  // Structural equality: same name, states (ops, transitions, stop flags),
+  // entry and stop ids. The io codecs' round-trip tests rest on this.
+  friend bool operator==(const Stg& a, const Stg& b) {
+    return a.name_ == b.name_ && a.states_ == b.states_ &&
+           a.entry_ == b.entry_ && a.stop_ == b.stop_;
+  }
 
  private:
   std::string name_;

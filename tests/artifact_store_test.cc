@@ -1,0 +1,412 @@
+// The durable artifact store: round trips across process lifetimes, LRU
+// recency/eviction, compaction, and — the crash-safety contract — that any
+// corrupted or torn byte pattern on disk degrades to fewer cached artifacts,
+// never a failed Open, a crash, or a wrong value.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/codec.h"
+#include "io/artifact_store.h"
+#include "io/codec.h"
+
+namespace ws {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    char buf[] = "/tmp/ws_artifact_store_XXXXXX";
+    if (char* got = ::mkdtemp(buf)) path_ = got;
+  }
+  ~TempDir() {
+    if (path_.empty()) return;
+    if (DIR* d = ::opendir(path_.c_str())) {
+      while (dirent* e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((path_ + "/" + name).c_str());
+      }
+      ::closedir(d);
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void Spew(const std::string& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+Fp128 Key(std::uint64_t n) {
+  return Fp128{SplitMix64(n), SplitMix64(n ^ 0xabcdefull)};
+}
+
+std::unique_ptr<ArtifactStore> OpenOrDie(const std::string& dir,
+                                         std::uint64_t max_bytes = 0,
+                                         std::uint64_t compact_min = 4u << 20) {
+  ArtifactStoreOptions options;
+  options.dir = dir;
+  options.max_bytes = max_bytes;
+  options.compact_min_bytes = compact_min;
+  Result<std::unique_ptr<ArtifactStore>> store =
+      ArtifactStore::Open(std::move(options));
+  if (!store.ok()) {
+    ADD_FAILURE() << "ArtifactStore::Open(" << dir << "): " << store.error();
+    return nullptr;
+  }
+  return std::move(store).value();
+}
+
+// A store-format record, byte-compatible with what the store writes — used
+// to hand-craft segments for the versioning tests.
+std::string RecordFor(const Fp128& key, std::string_view value) {
+  ByteWriter w;
+  w.U32(kRecordMagic);
+  w.U64(key.lo);
+  w.U64(key.hi);
+  w.U32(static_cast<std::uint32_t>(value.size()));
+  w.Raw(value);
+  std::string body = w.Take();
+  const std::uint32_t crc = Crc32(std::string_view(body).substr(4));
+  ByteWriter tail;
+  tail.U32(crc);
+  return body + tail.Take();
+}
+
+std::string HeaderFor(std::uint8_t store_version,
+                      std::uint8_t artifact_version) {
+  ByteWriter w;
+  w.U32(kSegmentMagic);
+  w.U8(store_version);
+  w.U8(artifact_version);
+  w.U8(0);
+  w.U8(0);
+  return w.Take();
+}
+
+std::vector<Fp128> LruKeys(const ArtifactStore& store) {
+  std::vector<Fp128> keys;
+  store.ForEachLru(
+      [&keys](const Fp128& key, const std::string&) { keys.push_back(key); });
+  return keys;
+}
+
+TEST(ArtifactStoreTest, PutGetSurviveReopen) {
+  TempDir dir;
+  {
+    std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->entries(), 0u);
+    ASSERT_TRUE(store->Put(Key(1), "alpha").ok());
+    ASSERT_TRUE(store->Put(Key(2), "beta-beta").ok());
+    ASSERT_TRUE(store->Put(Key(3), "gamma").ok());
+    EXPECT_EQ(store->entries(), 3u);
+    EXPECT_EQ(store->live_bytes(), 5u + 9u + 5u);
+    EXPECT_EQ(store->Get(Key(2)).value_or("MISS"), "beta-beta");
+    EXPECT_FALSE(store->Get(Key(99)).has_value());
+    const ArtifactStoreCounters c = store->counters();
+    EXPECT_EQ(c.puts, 3);
+    EXPECT_EQ(c.hits, 1);
+    EXPECT_EQ(c.misses, 1);
+  }
+  std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->entries(), 3u);
+  EXPECT_EQ(store->counters().loaded, 3);
+  EXPECT_EQ(store->Get(Key(1)).value_or("MISS"), "alpha");
+  EXPECT_EQ(store->Get(Key(2)).value_or("MISS"), "beta-beta");
+  EXPECT_EQ(store->Get(Key(3)).value_or("MISS"), "gamma");
+}
+
+TEST(ArtifactStoreTest, OverwriteKeepsLatestAcrossReopen) {
+  TempDir dir;
+  {
+    std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->Put(Key(7), "first").ok());
+    ASSERT_TRUE(store->Put(Key(7), "second-and-final").ok());
+    EXPECT_EQ(store->entries(), 1u);
+    EXPECT_EQ(store->Get(Key(7)).value_or("MISS"), "second-and-final");
+  }
+  // Replay sees both records; the later one must win (and the superseded
+  // record triggers a consolidating compaction on open).
+  std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->entries(), 1u);
+  EXPECT_EQ(store->Get(Key(7)).value_or("MISS"), "second-and-final");
+  EXPECT_GE(store->counters().compactions, 1);
+}
+
+TEST(ArtifactStoreTest, RecencySurvivesCompactionAndReopen) {
+  TempDir dir;
+  {
+    std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->Put(Key(1), "a").ok());
+    ASSERT_TRUE(store->Put(Key(2), "b").ok());
+    ASSERT_TRUE(store->Put(Key(3), "c").ok());
+    // Touch the oldest: recency order becomes b, c, a.
+    EXPECT_TRUE(store->Get(Key(1)).has_value());
+    ASSERT_TRUE(store->Compact().ok());
+  }
+  std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+  ASSERT_NE(store, nullptr);
+  const std::vector<Fp128> keys = LruKeys(*store);
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], Key(2));  // least recently used first
+  EXPECT_EQ(keys[1], Key(3));
+  EXPECT_EQ(keys[2], Key(1));
+}
+
+TEST(ArtifactStoreTest, MaxBytesEvictsLeastRecentlyUsed) {
+  TempDir dir;
+  std::unique_ptr<ArtifactStore> store =
+      OpenOrDie(dir.path(), /*max_bytes=*/64);
+  ASSERT_NE(store, nullptr);
+  const std::string chunk(30, 'x');
+  ASSERT_TRUE(store->Put(Key(1), chunk).ok());
+  ASSERT_TRUE(store->Put(Key(2), chunk).ok());
+  EXPECT_EQ(store->entries(), 2u);
+  // Refresh 1 so 2 is the eviction victim.
+  EXPECT_TRUE(store->Get(Key(1)).has_value());
+  ASSERT_TRUE(store->Put(Key(3), chunk).ok());
+  EXPECT_EQ(store->entries(), 2u);
+  EXPECT_EQ(store->counters().evictions, 1);
+  EXPECT_FALSE(store->Get(Key(2)).has_value());
+  EXPECT_TRUE(store->Get(Key(1)).has_value());
+  EXPECT_TRUE(store->Get(Key(3)).has_value());
+}
+
+TEST(ArtifactStoreTest, CompactionShrinksLogToLiveEntries) {
+  TempDir dir;
+  std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+  ASSERT_NE(store, nullptr);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store->Put(Key(5), "version " + std::to_string(i)).ok());
+  }
+  const std::uint64_t before = store->log_bytes();
+  ASSERT_TRUE(store->Compact().ok());
+  EXPECT_LT(store->log_bytes(), before);
+  EXPECT_EQ(store->entries(), 1u);
+  EXPECT_EQ(store->Get(Key(5)).value_or("MISS"), "version 19");
+  EXPECT_GE(store->counters().compactions, 1);
+}
+
+TEST(ArtifactStoreTest, AutoCompactionBoundsTheLog) {
+  TempDir dir;
+  // Tiny floor: the dead-ratio trigger governs almost immediately.
+  std::unique_ptr<ArtifactStore> store =
+      OpenOrDie(dir.path(), /*max_bytes=*/0, /*compact_min=*/128);
+  ASSERT_NE(store, nullptr);
+  const std::string chunk(40, 'y');
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        store->Put(Key(9), chunk + static_cast<char>('a' + i % 26)).ok());
+  }
+  EXPECT_GE(store->counters().compactions, 1);
+  // Live = one 41-byte value; the log can hold at most dead_ratio times
+  // that plus one fresh append past the floor.
+  EXPECT_LT(store->log_bytes(), 1024u);
+  EXPECT_EQ(store->entries(), 1u);
+}
+
+TEST(ArtifactStoreTest, IdenticalPutSkipsTheAppend) {
+  TempDir dir;
+  std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+  ASSERT_NE(store, nullptr);
+  ASSERT_TRUE(store->Put(Key(1), "stable").ok());
+  ASSERT_TRUE(store->Put(Key(2), "other").ok());
+  const std::uint64_t log = store->log_bytes();
+  ASSERT_TRUE(store->Put(Key(1), "stable").ok());
+  EXPECT_EQ(store->log_bytes(), log);  // no new record
+  // ...but recency still refreshed: 1 is now most recent.
+  const std::vector<Fp128> keys = LruKeys(*store);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[1], Key(1));
+}
+
+TEST(ArtifactStoreTest, MidFileCorruptionDropsTheTailAndRepairs) {
+  TempDir dir;
+  const std::string v1 = "first-value";
+  {
+    std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->Put(Key(1), v1).ok());
+    ASSERT_TRUE(store->Put(Key(2), "second-value").ok());
+    ASSERT_TRUE(store->Put(Key(3), "third-value").ok());
+  }
+  const std::string path = dir.path() + "/artifacts-000001.log";
+  std::string bytes = Slurp(path);
+  ASSERT_FALSE(bytes.empty());
+  // Flip a bit inside the second record's key: records 2 and 3 are both
+  // untrusted from there on (a bad length would desynchronize the scan).
+  const std::size_t record1 = 24 + v1.size() + 4;
+  const std::size_t flip = 8 + record1 + 6;
+  ASSERT_LT(flip, bytes.size());
+  bytes[flip] ^= 0x04;
+  Spew(path, bytes);
+
+  {
+    std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->entries(), 1u);
+    EXPECT_EQ(store->Get(Key(1)).value_or("MISS"), v1);
+    EXPECT_FALSE(store->Get(Key(2)).has_value());
+    const ArtifactStoreCounters c = store->counters();
+    EXPECT_EQ(c.loaded, 1);
+    EXPECT_EQ(c.corrupt_dropped, 1);
+    EXPECT_EQ(c.truncated_segments, 1);
+    // The file was repaired in place: truncated at the last good record.
+    EXPECT_EQ(Slurp(path).size(), 8 + record1);
+    // The store stays writable after repair.
+    ASSERT_TRUE(store->Put(Key(2), "rewritten").ok());
+  }
+  // Third generation of the process: fully clean.
+  std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->entries(), 2u);
+  EXPECT_EQ(store->counters().corrupt_dropped, 0);
+  EXPECT_EQ(store->Get(Key(2)).value_or("MISS"), "rewritten");
+}
+
+TEST(ArtifactStoreTest, TornTailFromAKilledWriterIsCutBack) {
+  TempDir dir;
+  {
+    std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->Put(Key(1), "one").ok());
+    ASSERT_TRUE(store->Put(Key(2), "two").ok());
+  }
+  const std::string path = dir.path() + "/artifacts-000001.log";
+  const std::string clean = Slurp(path);
+  // Simulate a write cut mid-record: a valid record prefix with no body.
+  const std::string torn = RecordFor(Key(3), "never-finished");
+  Spew(path, clean + torn.substr(0, torn.size() / 2));
+
+  std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->entries(), 2u);
+  EXPECT_FALSE(store->Get(Key(3)).has_value());
+  EXPECT_EQ(store->counters().truncated_segments, 1);
+  EXPECT_EQ(Slurp(path).size(), clean.size());
+}
+
+TEST(ArtifactStoreTest, VerifyReportsCorruptionWithoutModifying) {
+  TempDir dir;
+  {
+    std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->Put(Key(1), "payload-one").ok());
+    ASSERT_TRUE(store->Put(Key(2), "payload-two").ok());
+  }
+  const std::string path = dir.path() + "/artifacts-000001.log";
+  {
+    const Result<StoreVerifyReport> report = VerifyArtifactDir(dir.path());
+    ASSERT_TRUE(report.ok()) << report.error();
+    EXPECT_EQ(report->segments, 1);
+    EXPECT_EQ(report->records, 2);
+    EXPECT_EQ(report->bad_records, 0);
+    EXPECT_EQ(report->bad_segments, 0);
+  }
+  std::string bytes = Slurp(path);
+  bytes.back() ^= 0x01;  // break the last record's CRC
+  Spew(path, bytes);
+  const std::size_t size_before = Slurp(path).size();
+  const Result<StoreVerifyReport> report = VerifyArtifactDir(dir.path());
+  ASSERT_TRUE(report.ok()) << report.error();
+  EXPECT_EQ(report->records, 1);
+  EXPECT_EQ(report->bad_records, 1);
+  EXPECT_NE(report->detail.find("corrupt or torn"), std::string::npos);
+  // Verify is read-only — the damaged file is untouched.
+  EXPECT_EQ(Slurp(path).size(), size_before);
+}
+
+TEST(ArtifactStoreTest, RefusesANewerStoreFormat) {
+  TempDir dir;
+  Spew(dir.path() + "/artifacts-000001.log",
+       HeaderFor(kStoreVersion + 1, kArtifactVersion) +
+           RecordFor(Key(1), "from-the-future"));
+  ArtifactStoreOptions options;
+  options.dir = dir.path();
+  const Result<std::unique_ptr<ArtifactStore>> store =
+      ArtifactStore::Open(std::move(options));
+  ASSERT_FALSE(store.ok());
+  EXPECT_NE(store.error().find("newer"), std::string::npos);
+}
+
+TEST(ArtifactStoreTest, IgnoresSegmentsWithNewerArtifactFormat) {
+  TempDir dir;
+  const std::string stale = dir.path() + "/artifacts-000001.log";
+  Spew(stale, HeaderFor(kStoreVersion, kArtifactVersion + 1) +
+                  RecordFor(Key(1), "encoded-by-a-newer-build"));
+  std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+  ASSERT_NE(store, nullptr);
+  // Entries from the incompatible segment must never be served...
+  EXPECT_EQ(store->entries(), 0u);
+  EXPECT_FALSE(store->Get(Key(1)).has_value());
+  // ...and the store starts a fresh generation and keeps working.
+  ASSERT_TRUE(store->Put(Key(2), "fresh").ok());
+  EXPECT_EQ(store->Get(Key(2)).value_or("MISS"), "fresh");
+  EXPECT_NE(::access(stale.c_str(), F_OK), 0);  // stale generation removed
+}
+
+TEST(ArtifactStoreTest, SweepsInterruptedCompactionScratch) {
+  TempDir dir;
+  const std::string tmp = dir.path() + "/artifacts-000005.log.tmp";
+  Spew(tmp, "half-written compaction scratch");
+  std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+  ASSERT_NE(store, nullptr);
+  EXPECT_NE(::access(tmp.c_str(), F_OK), 0);
+  EXPECT_EQ(store->entries(), 0u);
+}
+
+TEST(ArtifactStoreTest, StoresWholeArtifactEnvelopesUnchanged) {
+  // The intended payload class: io/codec.h envelopes must come back byte
+  // for byte, CRCs intact.
+  TempDir dir;
+  const std::string artifact =
+      EncodeArtifact(ArtifactKind::kExploreRun, std::string(1000, '\x7f'));
+  {
+    std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->Put(Key(42), artifact).ok());
+  }
+  std::unique_ptr<ArtifactStore> store = OpenOrDie(dir.path());
+  ASSERT_NE(store, nullptr);
+  const std::optional<std::string> round = store->Get(Key(42));
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(*round, artifact);
+  EXPECT_TRUE(DecodeArtifact(ArtifactKind::kExploreRun, *round).ok());
+}
+
+TEST(ArtifactStoreTest, RejectsInvalidOptions) {
+  ArtifactStoreOptions empty_dir;
+  EXPECT_FALSE(empty_dir.Validate().ok());
+  ArtifactStoreOptions bad_ratio;
+  bad_ratio.dir = "/tmp";
+  bad_ratio.dead_ratio = 0.5;
+  EXPECT_FALSE(bad_ratio.Validate().ok());
+}
+
+}  // namespace
+}  // namespace ws

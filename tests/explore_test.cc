@@ -2,11 +2,17 @@
 // determinism, per-run error capture, and report rendering.
 #include "explore/explore.h"
 
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <memory>
 #include <string>
 
 #include <gtest/gtest.h>
 
 #include "explore/report.h"
+#include "io/artifact_store.h"
 
 namespace ws {
 namespace {
@@ -159,6 +165,103 @@ TEST(ExploreTest, AreaOverheadComparesAgainstWavesched) {
   EXPECT_GT(sp->area, 0.0);
   EXPECT_TRUE(sp->has_area_overhead);
   EXPECT_FALSE(base->has_area_overhead);  // no overhead vs itself
+}
+
+TEST(ExploreTest, StoreBackedSweepsResumeByteIdentically) {
+  // ws_explore --store: a sweep against a store is byte-identical to a bare
+  // sweep, and a rerun against the populated store replays every cell from
+  // disk instead of rescheduling.
+  char dir_template[] = "/tmp/ws_explore_store_XXXXXX";
+  char* store_dir = ::mkdtemp(dir_template);
+  ASSERT_NE(store_dir, nullptr);
+
+  ExploreSpec spec = SmallSpec();
+  const Result<ExploreReport> bare = RunExplore(spec);
+  ASSERT_TRUE(bare.ok()) << bare.error();
+  const std::string golden = CanonicalJson(*bare);
+  const std::size_t cells = bare->runs.size();
+
+  ArtifactStoreOptions store_options;
+  store_options.dir = store_dir;
+  {
+    Result<std::unique_ptr<ArtifactStore>> store =
+        ArtifactStore::Open(store_options);
+    ASSERT_TRUE(store.ok()) << store.error();
+    spec.store = store->get();
+    const Result<ExploreReport> first = RunExplore(spec);
+    ASSERT_TRUE(first.ok()) << first.error();
+    EXPECT_EQ(CanonicalJson(*first), golden);
+    EXPECT_EQ((*store)->entries(), cells);
+    EXPECT_EQ((*store)->counters().hits, 0);
+  }
+
+  // Fresh process stand-in: reopen the directory and resume.
+  Result<std::unique_ptr<ArtifactStore>> store =
+      ArtifactStore::Open(store_options);
+  ASSERT_TRUE(store.ok()) << store.error();
+  spec.store = store->get();
+  const Result<ExploreReport> resumed = RunExplore(spec);
+  ASSERT_TRUE(resumed.ok()) << resumed.error();
+  EXPECT_EQ(CanonicalJson(*resumed), golden);
+  const ArtifactStoreCounters counters = (*store)->counters();
+  EXPECT_EQ(counters.hits, static_cast<std::int64_t>(cells));
+  EXPECT_EQ(counters.puts, 0);  // nothing was recomputed
+
+  if (DIR* d = ::opendir(store_dir)) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") {
+        ::unlink((std::string(store_dir) + "/" + name).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(store_dir);
+}
+
+TEST(ExploreTest, PartiallyPopulatedStoreResumesTheRemainder) {
+  // The resume semantics that matter after a killed sweep: cells already in
+  // the store replay; missing cells compute and land in the store.
+  char dir_template[] = "/tmp/ws_explore_partial_XXXXXX";
+  char* store_dir = ::mkdtemp(dir_template);
+  ASSERT_NE(store_dir, nullptr);
+
+  ArtifactStoreOptions store_options;
+  store_options.dir = store_dir;
+  Result<std::unique_ptr<ArtifactStore>> store =
+      ArtifactStore::Open(store_options);
+  ASSERT_TRUE(store.ok()) << store.error();
+
+  // "Interrupted" sweep: only gcd's two cells make it into the store.
+  ExploreSpec partial = SmallSpec();
+  partial.designs.resize(1);
+  partial.store = store->get();
+  ASSERT_TRUE(RunExplore(partial).ok());
+  EXPECT_EQ((*store)->entries(), 2u);
+
+  ExploreSpec full = SmallSpec();
+  const Result<ExploreReport> bare = RunExplore(full);
+  ASSERT_TRUE(bare.ok()) << bare.error();
+
+  full.store = store->get();
+  const Result<ExploreReport> resumed = RunExplore(full);
+  ASSERT_TRUE(resumed.ok()) << resumed.error();
+  EXPECT_EQ(CanonicalJson(*resumed), CanonicalJson(*bare));
+  const ArtifactStoreCounters counters = (*store)->counters();
+  EXPECT_EQ(counters.hits, 2);   // gcd cells replayed
+  EXPECT_EQ(counters.puts, 4);   // 2 from the partial sweep + 2 findmin cells
+  EXPECT_EQ((*store)->entries(), 4u);
+
+  if (DIR* d = ::opendir(store_dir)) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") {
+        ::unlink((std::string(store_dir) + "/" + name).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(store_dir);
 }
 
 TEST(ExploreTest, TableRendererCoversEveryRun) {

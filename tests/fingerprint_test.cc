@@ -1,0 +1,209 @@
+// Field sensitivity of the ScheduleRequest fingerprint — the durable
+// artifact store's key. Table-driven: a canonical request is rebuilt from a
+// parameter block, each parameter is perturbed in turn, and every
+// perturbation must move the fingerprint (a collision here would let the
+// store serve a stale artifact for a changed design). A deep-copied request
+// must reproduce the fingerprint bit for bit.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cdfg/builder.h"
+#include "hw/resources.h"
+#include "sched/fingerprint.h"
+#include "sched/scheduler.h"
+
+namespace ws {
+namespace {
+
+// Everything fingerprint-relevant a request is built from. One field per
+// schedule- or artifact-affecting input.
+struct RequestParams {
+  // Graph.
+  std::string graph_name = "fp_probe";
+  std::string node_name = "*1";
+  std::string loop_name = "main";
+  std::string array_name = "mem";
+  int array_size = 8;
+  std::int64_t array_init = 3;
+  std::int64_t const_value = 5;
+  double cond_prob = 0.7;
+  bool extra_output = false;
+
+  // Library: one extra unit type on top of the paper library.
+  std::string fu_name = "xfu";
+  int fu_latency = 1;
+  bool fu_pipelined = false;
+  double fu_delay_ns = 0.8;
+  double fu_area = 10.0;
+
+  // Allocation bound for that unit.
+  int fu_count = 2;
+
+  // Scheduler options.
+  SpeculationMode mode = SpeculationMode::kWaveschedSpec;
+  double period_ns = 1.0;
+  bool allow_chaining = true;
+  int lookahead = 8;
+  int gc_window = 4;
+  int max_states = 2000;
+  int max_ops_per_state = 256;
+};
+
+Cdfg BuildGraph(const RequestParams& p) {
+  CdfgBuilder b(p.graph_name);
+  NodeId k = b.Input("k");
+  NodeId zero = b.Konst(0);
+  NodeId cst = b.Konst(p.const_value);
+  ArrayId arr = b.Array(p.array_name, p.array_size, {p.array_init});
+  b.BeginLoop(p.loop_name);
+  NodeId i = b.LoopPhi("i", zero);
+  NodeId acc = b.LoopPhi("acc", zero);
+  NodeId c = b.Op(OpKind::kGt, ">1", {k, i});
+  b.SetLoopCondition(c);
+  NodeId m = b.MemRead("rd1", arr, i);
+  NodeId prod = b.Op(OpKind::kMul, p.node_name, {m, cst});
+  NodeId accn = b.Op(OpKind::kAdd, "+1", {acc, prod});
+  NodeId i1 = b.Op(OpKind::kInc, "++1", {i});
+  b.SetLoopBack(i, i1);
+  b.SetLoopBack(acc, accn);
+  b.EndLoop();
+  b.Output("acc_out", acc);
+  if (p.extra_output) b.Output("i_out", i);
+  Cdfg g = b.Finish();
+  g.set_cond_probability(c, p.cond_prob);
+  return g;
+}
+
+FuLibrary BuildLibrary(const RequestParams& p) {
+  FuLibrary lib = FuLibrary::PaperLibrary();
+  FuType extra;
+  extra.name = p.fu_name;
+  extra.latency = p.fu_latency;
+  extra.pipelined = p.fu_pipelined;
+  extra.delay_ns = p.fu_delay_ns;
+  extra.area = p.fu_area;
+  lib.AddType(extra);
+  return lib;
+}
+
+Fp128 FingerprintOf(const RequestParams& p) {
+  const Cdfg graph = BuildGraph(p);
+  const FuLibrary lib = BuildLibrary(p);
+  Allocation alloc = Allocation::Unlimited(lib);
+  alloc.Set(lib, p.fu_name, p.fu_count);
+  SchedulerOptions options;
+  options.mode = p.mode;
+  options.clock.period_ns = p.period_ns;
+  options.clock.allow_chaining = p.allow_chaining;
+  options.lookahead = p.lookahead;
+  options.gc_window = p.gc_window;
+  options.max_states = p.max_states;
+  options.max_ops_per_state = p.max_ops_per_state;
+  ScheduleRequest request;
+  request.graph = &graph;
+  request.library = &lib;
+  request.allocation = &alloc;
+  request.options = options;
+  return FingerprintScheduleRequest(request);
+}
+
+TEST(FingerprintTest, RebuildingTheSameRequestReproducesItBitForBit) {
+  const RequestParams p;
+  const Fp128 a = FingerprintOf(p);
+  const Fp128 b = FingerprintOf(p);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+}
+
+TEST(FingerprintTest, DeepCopiedRequestReproducesTheFingerprint) {
+  const RequestParams p;
+  const Cdfg graph = BuildGraph(p);
+  const FuLibrary lib = BuildLibrary(p);
+  Allocation alloc = Allocation::Unlimited(lib);
+  alloc.Set(lib, p.fu_name, p.fu_count);
+  ScheduleRequest request;
+  request.graph = &graph;
+  request.library = &lib;
+  request.allocation = &alloc;
+
+  // Deep copies at a different address must hash identically: the
+  // fingerprint reads values, never identities.
+  const Cdfg graph2 = graph;
+  const FuLibrary lib2 = lib;
+  const Allocation alloc2 = alloc;
+  ScheduleRequest request2;
+  request2.graph = &graph2;
+  request2.library = &lib2;
+  request2.allocation = &alloc2;
+
+  const Fp128 a = FingerprintScheduleRequest(request);
+  const Fp128 b = FingerprintScheduleRequest(request2);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+}
+
+TEST(FingerprintTest, EveryFieldPerturbationMovesTheFingerprint) {
+  struct Case {
+    const char* field;
+    std::function<void(RequestParams&)> perturb;
+  };
+  const std::vector<Case> cases = {
+      {"graph_name", [](RequestParams& p) { p.graph_name = "fp_probe2"; }},
+      {"node_name", [](RequestParams& p) { p.node_name = "*2"; }},
+      {"loop_name", [](RequestParams& p) { p.loop_name = "outer"; }},
+      {"array_name", [](RequestParams& p) { p.array_name = "rom"; }},
+      {"array_size", [](RequestParams& p) { p.array_size = 16; }},
+      {"array_init", [](RequestParams& p) { p.array_init = 4; }},
+      {"const_value", [](RequestParams& p) { p.const_value = 6; }},
+      {"cond_prob", [](RequestParams& p) { p.cond_prob = 0.71; }},
+      {"graph_shape", [](RequestParams& p) { p.extra_output = true; }},
+      {"fu_name", [](RequestParams& p) { p.fu_name = "yfu"; }},
+      {"fu_latency", [](RequestParams& p) { p.fu_latency = 2; }},
+      {"fu_pipelined", [](RequestParams& p) { p.fu_pipelined = true; }},
+      {"fu_delay_ns", [](RequestParams& p) { p.fu_delay_ns = 0.9; }},
+      {"fu_area", [](RequestParams& p) { p.fu_area = 11.0; }},
+      {"fu_count", [](RequestParams& p) { p.fu_count = 1; }},
+      {"mode", [](RequestParams& p) { p.mode = SpeculationMode::kWavesched; }},
+      {"period_ns", [](RequestParams& p) { p.period_ns = 2.0; }},
+      {"allow_chaining", [](RequestParams& p) { p.allow_chaining = false; }},
+      {"lookahead", [](RequestParams& p) { p.lookahead = 9; }},
+      {"gc_window", [](RequestParams& p) { p.gc_window = 5; }},
+      {"max_states", [](RequestParams& p) { p.max_states = 1999; }},
+      {"max_ops_per_state", [](RequestParams& p) { p.max_ops_per_state = 255; }},
+  };
+
+  const Fp128 base = FingerprintOf(RequestParams{});
+  for (const Case& c : cases) {
+    RequestParams p;
+    c.perturb(p);
+    const Fp128 moved = FingerprintOf(p);
+    EXPECT_TRUE(moved.lo != base.lo || moved.hi != base.hi)
+        << "perturbing " << c.field << " did not change the fingerprint — "
+        << "the store would serve a stale artifact for this change";
+  }
+}
+
+TEST(FingerprintTest, DeadlineAndCancelAreDeliberatelyExcluded) {
+  // Per-call bounds do not shape the result; a deadline-bounded request must
+  // hit artifacts cached by unbounded runs.
+  const RequestParams p;
+  const Cdfg graph = BuildGraph(p);
+  const FuLibrary lib = BuildLibrary(p);
+  const Allocation alloc = Allocation::Unlimited(lib);
+  ScheduleRequest request;
+  request.graph = &graph;
+  request.library = &lib;
+  request.allocation = &alloc;
+  const Fp128 a = FingerprintScheduleRequest(request);
+  request.options.deadline = std::chrono::steady_clock::now();
+  const Fp128 b = FingerprintScheduleRequest(request);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+}
+
+}  // namespace
+}  // namespace ws

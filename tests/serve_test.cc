@@ -4,12 +4,16 @@
 // served from the cache and byte-identical to round 1.
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <string>
+#include <dirent.h>
 #include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "explore/report.h"
+#include "io/artifact_store.h"
 #include "serve/cache.h"
 #include "serve/client.h"
 #include "serve/metrics.h"
@@ -232,6 +236,81 @@ TEST(ServeEndToEndTest, VerbsAndTypedFailures) {
   EXPECT_TRUE(server.stop_requested());
   server.Stop();
   std::remove(options.unix_path.c_str());
+}
+
+TEST(ServeEndToEndTest, RestartServesRoundTwoFromTheWarmStore) {
+  // The durable-store contract end to end: kill the daemon, start a fresh
+  // one on the same --store directory, and round 2 must be served from the
+  // warm-started cache byte-identically — no recompute.
+  char store_template[] = "/tmp/ws_serve_store_XXXXXX";
+  char* store_dir = ::mkdtemp(store_template);
+  ASSERT_NE(store_dir, nullptr);
+
+  const std::vector<std::string> designs = {"gcd", "tlc"};
+  std::vector<std::string> first_round;
+
+  {
+    ServerOptions options;
+    options.unix_path = TestSocketPath("store1");
+    options.workers = 2;
+    options.store_dir = store_dir;
+    ServeServer server(options);
+    ASSERT_TRUE(server.Start().ok());
+    for (const std::string& design : designs) {
+      Result<ServeClient> client = ServeClient::Connect(
+          ServeAddress{/*is_unix=*/true, options.unix_path, "", 0});
+      ASSERT_TRUE(client.ok()) << client.error();
+      CellRequest request;
+      request.design = DesignSpec{design, ""};
+      const Result<WireResponse> response = client->Schedule(request);
+      ASSERT_TRUE(response.ok()) << response.error();
+      ASSERT_EQ(response->status, ResponseStatus::kOk) << response->payload;
+      EXPECT_FALSE(response->cache_hit) << design;
+      first_round.push_back(response->payload);
+    }
+    ASSERT_NE(server.store(), nullptr);
+    EXPECT_EQ(server.store()->entries(), designs.size());
+    server.Stop();
+    std::remove(options.unix_path.c_str());
+  }
+
+  // A brand-new server process stand-in: nothing shared but the directory.
+  ServerOptions options;
+  options.unix_path = TestSocketPath("store2");
+  options.workers = 2;
+  options.store_dir = store_dir;
+  ServeServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    Result<ServeClient> client = ServeClient::Connect(
+        ServeAddress{/*is_unix=*/true, options.unix_path, "", 0});
+    ASSERT_TRUE(client.ok()) << client.error();
+    CellRequest request;
+    request.design = DesignSpec{designs[i], ""};
+    const Result<WireResponse> response = client->Schedule(request);
+    ASSERT_TRUE(response.ok()) << response.error();
+    ASSERT_EQ(response->status, ResponseStatus::kOk) << response->payload;
+    EXPECT_TRUE(response->cache_hit) << designs[i];
+    EXPECT_EQ(response->payload, first_round[i]) << designs[i];
+
+    const Result<std::string> stats = client->Stats();
+    ASSERT_TRUE(stats.ok()) << stats.error();
+    EXPECT_NE(stats->find("serve.store_entries 2"), std::string::npos);
+  }
+  EXPECT_EQ(server.store()->counters().loaded, 2);
+  server.Stop();
+  std::remove(options.unix_path.c_str());
+
+  if (DIR* d = ::opendir(store_dir)) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") {
+        ::unlink((std::string(store_dir) + "/" + name).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(store_dir);
 }
 
 TEST(ServeEndToEndTest, RemoteExploreMatchesInProcess) {

@@ -1,0 +1,212 @@
+// Plain exit-code check (no gtest) for the artifact store, reused by the
+// TSan/ASan sub-builds: concurrent Put/Get traffic with compactions racing
+// through, a reopen that must recover every key, then deliberate on-disk
+// corruption that must degrade to fewer entries — never a failed Open, a
+// crash, or a wrong value.
+#include <dirent.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/artifact_store.h"
+
+namespace ws {
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kKeysPerThread = 32;
+constexpr int kIterations = 40;
+
+Fp128 KeyFor(int thread, int slot) {
+  const std::uint64_t n =
+      static_cast<std::uint64_t>(thread) * 1000 + static_cast<std::uint64_t>(slot);
+  return Fp128{SplitMix64(n), SplitMix64(n ^ 0x5a5a5a5aull)};
+}
+
+std::string ValueFor(int thread, int slot, int iteration) {
+  return "t" + std::to_string(thread) + ".k" + std::to_string(slot) + ".i" +
+         std::to_string(iteration) + "." + std::string(48, 'v');
+}
+
+bool Fail(const std::string& message) {
+  std::fprintf(stderr, "store_robustness_check: FAIL: %s\n", message.c_str());
+  return false;
+}
+
+bool RunCheck(const std::string& dir) {
+  ArtifactStoreOptions options;
+  options.dir = dir;
+  options.compact_min_bytes = 8192;  // let auto-compaction race the writers
+
+  // Phase 1: concurrent writers (disjoint key ranges), readers, and an
+  // explicit compactor thread.
+  {
+    Result<std::unique_ptr<ArtifactStore>> opened =
+        ArtifactStore::Open(options);
+    if (!opened.ok()) return Fail("open: " + opened.error());
+    ArtifactStore* store = opened->get();
+
+    std::vector<std::thread> threads;
+    std::vector<int> failures(kThreads, 0);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([store, t, &failures] {
+        for (int i = 0; i < kIterations; ++i) {
+          for (int k = 0; k < kKeysPerThread; ++k) {
+            if (!store->Put(KeyFor(t, k), ValueFor(t, k, i)).ok()) {
+              ++failures[t];
+            }
+            if (k % 7 == 0) (void)store->Get(KeyFor(t, (k + 3) % kKeysPerThread));
+          }
+        }
+      });
+    }
+    std::thread compactor([store] {
+      for (int i = 0; i < 8; ++i) {
+        (void)store->Compact();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    for (std::thread& th : threads) th.join();
+    compactor.join();
+    for (int t = 0; t < kThreads; ++t) {
+      if (failures[t] != 0) return Fail("Put failures on thread " + std::to_string(t));
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      for (int k = 0; k < kKeysPerThread; ++k) {
+        const std::optional<std::string> got = store->Get(KeyFor(t, k));
+        if (!got.has_value() || *got != ValueFor(t, k, kIterations - 1)) {
+          return Fail("wrong value after concurrent phase");
+        }
+      }
+    }
+  }
+
+  // Phase 2: reopen recovers every key with its final value.
+  {
+    Result<std::unique_ptr<ArtifactStore>> opened =
+        ArtifactStore::Open(options);
+    if (!opened.ok()) return Fail("reopen: " + opened.error());
+    ArtifactStore* store = opened->get();
+    if (store->entries() !=
+        static_cast<std::size_t>(kThreads) * kKeysPerThread) {
+      return Fail("reopen lost entries");
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      for (int k = 0; k < kKeysPerThread; ++k) {
+        const std::optional<std::string> got = store->Get(KeyFor(t, k));
+        if (!got.has_value() || *got != ValueFor(t, k, kIterations - 1)) {
+          return Fail("wrong value after reopen");
+        }
+      }
+    }
+  }
+
+  // Phase 3: flip one byte mid-log; the next open must succeed with a
+  // (possibly reduced) consistent view, and every surviving value must be a
+  // value some iteration actually wrote.
+  std::string segment;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name.rfind("artifacts-", 0) == 0 &&
+          name.size() > 4 && name.compare(name.size() - 4, 4, ".log") == 0) {
+        segment = dir + "/" + name;
+      }
+    }
+    ::closedir(d);
+  }
+  if (segment.empty()) return Fail("no segment file found");
+  {
+    std::ifstream in(segment, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    if (bytes.size() < 64) return Fail("segment implausibly small");
+    bytes[bytes.size() / 2] ^= 0x20;
+    std::ofstream out(segment, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  {
+    Result<std::unique_ptr<ArtifactStore>> opened =
+        ArtifactStore::Open(options);
+    if (!opened.ok()) return Fail("open after corruption: " + opened.error());
+    ArtifactStore* store = opened->get();
+    if (store->entries() >=
+        static_cast<std::size_t>(kThreads) * kKeysPerThread) {
+      return Fail("corruption dropped nothing — the flip was not detected");
+    }
+    int survivors = 0;
+    for (int t = 0; t < kThreads; ++t) {
+      for (int k = 0; k < kKeysPerThread; ++k) {
+        const std::optional<std::string> got = store->Get(KeyFor(t, k));
+        if (!got.has_value()) continue;
+        ++survivors;
+        bool matches_some_iteration = false;
+        for (int i = 0; i < kIterations; ++i) {
+          if (*got == ValueFor(t, k, i)) {
+            matches_some_iteration = true;
+            break;
+          }
+        }
+        if (!matches_some_iteration) return Fail("corrupted value served");
+      }
+    }
+    if (static_cast<std::size_t>(survivors) != store->entries()) {
+      return Fail("index inconsistent with Get");
+    }
+  }
+
+  // Phase 4: the repaired store is fully usable again.
+  {
+    Result<std::unique_ptr<ArtifactStore>> opened =
+        ArtifactStore::Open(options);
+    if (!opened.ok()) return Fail("final open: " + opened.error());
+    ArtifactStore* store = opened->get();
+    if (store->counters().corrupt_dropped != 0) {
+      return Fail("second open still sees corruption — repair did not stick");
+    }
+    if (!store->Put(KeyFor(0, 0), "post-repair").ok()) {
+      return Fail("Put after repair");
+    }
+    const std::optional<std::string> got = store->Get(KeyFor(0, 0));
+    if (!got.has_value() || *got != "post-repair") {
+      return Fail("Get after repair");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace ws
+
+int main() {
+  char dir_template[] = "/tmp/ws_store_robustness_XXXXXX";
+  char* dir = ::mkdtemp(dir_template);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "store_robustness_check: mkdtemp failed\n");
+    return 1;
+  }
+  const bool ok = ws::RunCheck(dir);
+  if (DIR* d = ::opendir(dir)) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") {
+        ::unlink((std::string(dir) + "/" + name).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir);
+  if (!ok) return 1;
+  std::printf("store_robustness_check: PASS\n");
+  return 0;
+}

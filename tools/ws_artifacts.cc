@@ -1,0 +1,195 @@
+// ws_artifacts — inspect and maintain a schedule-artifact store directory
+// (the `--store DIR` of ws_served / ws_explore).
+//
+// Commands:
+//   ws_artifacts ls DIR            list entries (key, kind, payload bytes),
+//                                  least recently used first
+//   ws_artifacts get DIR KEY       decode one artifact; metric rows print as
+//                                  text, raw payloads dump to stdout
+//   ws_artifacts verify DIR        read-only integrity scan (headers, CRCs);
+//                                  exit 1 when anything is corrupt
+//   ws_artifacts compact DIR       rewrite the log to live entries only
+//
+// KEY is the 32-hex-digit fingerprint printed by `ls`.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "base/cli.h"
+#include "base/hashing.h"
+#include "explore/run_codec.h"
+#include "io/artifact_store.h"
+#include "io/codec.h"
+
+namespace {
+
+const ws::ToolInfo kTool = {
+    "ws_artifacts",
+    "usage: ws_artifacts ls DIR\n"
+    "       ws_artifacts get DIR KEY\n"
+    "       ws_artifacts verify DIR\n"
+    "       ws_artifacts compact DIR\n"
+    "\n"
+    "Inspects and maintains a schedule-artifact store directory (the\n"
+    "--store DIR of ws_served / ws_explore). KEY is the 32-hex-digit\n"
+    "fingerprint printed by `ls`.\n"};
+
+std::string KeyToHex(const ws::Fp128& key) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(key.hi),
+                static_cast<unsigned long long>(key.lo));
+  return buf;
+}
+
+bool HexToKey(const std::string& hex, ws::Fp128* key) {
+  if (hex.size() != 32) return false;
+  char* end = nullptr;
+  const std::string hi = hex.substr(0, 16), lo = hex.substr(16);
+  key->hi = std::strtoull(hi.c_str(), &end, 16);
+  if (end != hi.c_str() + 16) return false;
+  key->lo = std::strtoull(lo.c_str(), &end, 16);
+  return end == lo.c_str() + 16;
+}
+
+ws::Result<std::unique_ptr<ws::ArtifactStore>> OpenStore(
+    const std::string& dir) {
+  ws::ArtifactStoreOptions options;
+  options.dir = dir;
+  return ws::ArtifactStore::Open(std::move(options));
+}
+
+const char* PeekKindName(const std::string& artifact) {
+  const ws::Result<ws::ArtifactKind> kind = ws::PeekArtifactKind(artifact);
+  return kind.ok() ? ws::ArtifactKindName(*kind) : "undecodable";
+}
+
+int CmdLs(const std::string& dir) {
+  ws::Result<std::unique_ptr<ws::ArtifactStore>> store = OpenStore(dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "ws_artifacts: %s\n", store.error().c_str());
+    return 1;
+  }
+  std::printf("%-32s  %-16s  %s\n", "key", "kind", "bytes");
+  (*store)->ForEachLru([](const ws::Fp128& key, const std::string& value) {
+    std::printf("%s  %-16s  %zu\n", KeyToHex(key).c_str(),
+                PeekKindName(value), value.size());
+  });
+  const ws::ArtifactStoreCounters c = (*store)->counters();
+  std::fprintf(stderr,
+               "ws_artifacts: %zu entries, %llu live bytes, %llu log bytes"
+               "%s\n",
+               (*store)->entries(),
+               static_cast<unsigned long long>((*store)->live_bytes()),
+               static_cast<unsigned long long>((*store)->log_bytes()),
+               c.corrupt_dropped > 0 ? " (corrupt tail repaired)" : "");
+  return 0;
+}
+
+int CmdGet(const std::string& dir, const std::string& key_hex) {
+  ws::Fp128 key;
+  if (!HexToKey(key_hex, &key)) {
+    std::fprintf(stderr,
+                 "ws_artifacts: KEY must be 32 hex digits, got \"%s\"\n",
+                 key_hex.c_str());
+    return 1;
+  }
+  ws::Result<std::unique_ptr<ws::ArtifactStore>> store = OpenStore(dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "ws_artifacts: %s\n", store.error().c_str());
+    return 1;
+  }
+  const std::optional<std::string> artifact = (*store)->Get(key);
+  if (!artifact.has_value()) {
+    std::fprintf(stderr, "ws_artifacts: no artifact for key %s\n",
+                 key_hex.c_str());
+    return 1;
+  }
+  const ws::Result<ws::ArtifactKind> kind = ws::PeekArtifactKind(*artifact);
+  if (kind.ok() && *kind == ws::ArtifactKind::kExploreRun) {
+    const ws::Result<ws::ExploreRun> run = ws::DecodeRunArtifact(*artifact);
+    if (!run.ok()) {
+      std::fprintf(stderr, "ws_artifacts: %s\n", run.error().c_str());
+      return 1;
+    }
+    std::printf("kind            explore_run\n");
+    std::printf("design          %s\n", run->design.c_str());
+    std::printf("mode            %d\n", static_cast<int>(run->mode));
+    std::printf("allocation      %s\n", run->allocation.c_str());
+    std::printf("clock           %s\n", run->clock.c_str());
+    std::printf("ok              %s\n", run->ok ? "true" : "false");
+    if (!run->error.empty()) {
+      std::printf("error           %s\n", run->error.c_str());
+    }
+    std::printf("states          %zu\n", run->states);
+    std::printf("op_initiations  %zu\n", run->op_initiations);
+    std::printf("enc_markov      %.6f\n", run->enc_markov);
+    std::printf("enc_sim         %.6f\n", run->enc_sim);
+    std::printf("best_case       %lld\n",
+                static_cast<long long>(run->best_case));
+    std::printf("worst_case      %lld\n",
+                static_cast<long long>(run->worst_case));
+    return 0;
+  }
+  // Unknown payload shape: report the kind and dump the raw envelope, so
+  // the bytes stay scriptable.
+  std::fprintf(stderr, "ws_artifacts: kind %s, %zu bytes (raw to stdout)\n",
+               PeekKindName(*artifact), artifact->size());
+  std::fwrite(artifact->data(), 1, artifact->size(), stdout);
+  return 0;
+}
+
+int CmdVerify(const std::string& dir) {
+  const ws::Result<ws::StoreVerifyReport> report =
+      ws::VerifyArtifactDir(dir);
+  if (!report.ok()) {
+    std::fprintf(stderr, "ws_artifacts: %s\n", report.error().c_str());
+    return 1;
+  }
+  std::printf("segments      %d\n", report->segments);
+  std::printf("records       %lld\n",
+              static_cast<long long>(report->records));
+  std::printf("bytes         %lld\n", static_cast<long long>(report->bytes));
+  std::printf("bad_segments  %lld\n",
+              static_cast<long long>(report->bad_segments));
+  std::printf("bad_records   %lld\n",
+              static_cast<long long>(report->bad_records));
+  if (!report->detail.empty()) std::fputs(report->detail.c_str(), stderr);
+  return report->bad_segments == 0 && report->bad_records == 0 ? 0 : 1;
+}
+
+int CmdCompact(const std::string& dir) {
+  ws::Result<std::unique_ptr<ws::ArtifactStore>> store = OpenStore(dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "ws_artifacts: %s\n", store.error().c_str());
+    return 1;
+  }
+  const std::uint64_t before = (*store)->log_bytes();
+  if (const ws::Status s = (*store)->Compact(); !s.ok()) {
+    std::fprintf(stderr, "ws_artifacts: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "ws_artifacts: compacted %s: %llu -> %llu log bytes "
+               "(%zu entries)\n",
+               dir.c_str(), static_cast<unsigned long long>(before),
+               static_cast<unsigned long long>((*store)->log_bytes()),
+               (*store)->entries());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ws::HandleStandardFlags(kTool, argc, argv);
+  if (argc < 3) ws::UsageError(kTool, "want a command and a store directory");
+  const std::string command = argv[1];
+  const std::string dir = argv[2];
+  if (command == "ls" && argc == 3) return CmdLs(dir);
+  if (command == "get" && argc == 4) return CmdGet(dir, argv[3]);
+  if (command == "verify" && argc == 3) return CmdVerify(dir);
+  if (command == "compact" && argc == 3) return CmdCompact(dir);
+  ws::UsageError(kTool, "unrecognized command line");
+}

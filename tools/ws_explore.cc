@@ -22,6 +22,11 @@
 //                  across worker counts)
 //   --server       run the sweep against a ws_served instance instead of
 //                  in-process; byte-identical reports under --no-timing
+//   --store DIR    durable artifact store: cells already on disk replay
+//                  bit-for-bit without recomputation, completed cells are
+//                  written through — a killed sweep rerun with the same
+//                  flags resumes where it stopped and produces a report
+//                  byte-identical to an uninterrupted run
 //
 // Example — the full Table 1 sweep on 4 workers with area accounting:
 //   ws_explore --suite --modes ws,spec --area --workers 4 --table
@@ -29,6 +34,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,6 +42,7 @@
 #include "base/cli.h"
 #include "explore/explore.h"
 #include "explore/report.h"
+#include "io/artifact_store.h"
 #include "serve/client.h"
 
 namespace {
@@ -46,7 +53,8 @@ const ws::ToolInfo kTool = {
     "                  [--modes ws,single,spec] [--alloc spec]...\n"
     "                  [--clocks p,p,...] [--workers N] [--stimuli N]\n"
     "                  [--seed S] [--area] [--no-sim] [--no-timing]\n"
-    "                  [--table] [--server ADDR] [--deadline-ms N]\n"};
+    "                  [--table] [--server ADDR] [--deadline-ms N]\n"
+    "                  [--store DIR]\n"};
 
 [[noreturn]] void Usage(const std::string& message) {
   ws::UsageError(kTool, message);
@@ -72,6 +80,7 @@ int main(int argc, char** argv) {
   bool want_table = false;
   ReportRenderOptions render;
   std::string server;
+  std::string store_dir;
   std::int64_t deadline_ms = 0;
 
   std::vector<std::string> beh_files;
@@ -122,6 +131,8 @@ int main(int argc, char** argv) {
       want_table = true;
     } else if (arg == "--server") {
       server = next();
+    } else if (arg == "--store") {
+      store_dir = next();
     } else if (arg == "--deadline-ms") {
       deadline_ms = std::atoll(next().c_str());
     } else if (!arg.empty() && arg[0] == '-') {
@@ -155,6 +166,24 @@ int main(int argc, char** argv) {
                   SpeculationMode::kWaveschedSpec};
   }
   if (spec.designs.empty()) Usage("no designs given");
+
+  std::unique_ptr<ArtifactStore> store;
+  if (!store_dir.empty()) {
+    if (!server.empty()) {
+      Usage("--store applies to in-process sweeps; the server owns its own "
+            "store (ws_served --store)");
+    }
+    ArtifactStoreOptions store_options;
+    store_options.dir = store_dir;
+    Result<std::unique_ptr<ArtifactStore>> opened =
+        ArtifactStore::Open(std::move(store_options));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n", opened.error().c_str());
+      return 1;
+    }
+    store = std::move(opened).value();
+    spec.store = store.get();
+  }
 
   Result<ExploreReport> report = Status::MakeError("unreachable");
   if (server.empty()) {

@@ -20,6 +20,7 @@ const ws::ToolInfo kTool = {
     "ws_served",
     "usage: ws_served [--unix PATH] [--tcp HOST] [--port N]\n"
     "                 [--workers N] [--queue N] [--cache N]\n"
+    "                 [--store DIR] [--store-max-bytes N]\n"
     "\n"
     "  --unix PATH   listen on a Unix domain socket at PATH\n"
     "  --tcp HOST    TCP bind host (default 127.0.0.1; implies --port 0)\n"
@@ -27,6 +28,10 @@ const ws::ToolInfo kTool = {
     "  --workers N   scheduling worker threads (default 4)\n"
     "  --queue N     max admitted-but-unfinished requests (default 64)\n"
     "  --cache N     LRU result-cache entries, 0 disables (default 256)\n"
+    "  --store DIR   durable artifact store: warm-start the cache from DIR\n"
+    "                on startup and write every computed result through, so\n"
+    "                a restarted daemon serves prior work byte-identically\n"
+    "  --store-max-bytes N  LRU bound on stored bytes (default unbounded)\n"
     "\n"
     "At least one of --unix / --port is required. The daemon runs until\n"
     "SIGTERM/SIGINT or a SHUTDOWN request, then drains in-flight work.\n"};
@@ -75,6 +80,12 @@ int main(int argc, char** argv) {
       const int n = ParseInt(next(), "--cache");
       if (n < 0) UsageError(kTool, "--cache must be >= 0");
       options.cache_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--store") {
+      options.store_dir = next();
+    } else if (arg == "--store-max-bytes") {
+      const int n = ParseInt(next(), "--store-max-bytes");
+      if (n < 0) UsageError(kTool, "--store-max-bytes must be >= 0");
+      options.store_max_bytes = static_cast<std::uint64_t>(n);
     } else {
       UsageError(kTool, "unrecognized argument: " + arg);
     }
