@@ -1,0 +1,31 @@
+// Scoped wall-time accumulator: adds the elapsed nanoseconds of its scope to
+// a caller-owned sink on destruction. Phases may re-enter (a phase timer can
+// be constructed many times against the same sink), so the sink is additive.
+#ifndef WS_BASE_PHASE_TIMER_H
+#define WS_BASE_PHASE_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace ws {
+
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::int64_t* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    *sink_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::int64_t* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ws
+
+#endif  // WS_BASE_PHASE_TIMER_H

@@ -105,6 +105,7 @@ ScheduleRequest MakeCellScheduleRequest(const ExploreSpec& spec,
   request.allocation = &allocation;
   request.options = spec.base_options;
   request.options.mode = cell.mode;
+  request.options.policy = cell.policy;
   request.options.clock = cell.clock.clock;
   request.options.lookahead = b.lookahead;
   return request;
@@ -117,6 +118,7 @@ ExploreRun RunBenchmarkCell(const ExploreSpec& spec, const Benchmark& b,
   ExploreRun run;
   run.design = cell.design.name;
   run.mode = cell.mode;
+  run.policy = cell.policy;
   run.allocation = cell.alloc.label;
   run.clock = cell.clock.label;
 
@@ -168,6 +170,7 @@ ExploreRun RunExploreCell(const ExploreSpec& spec, const ExploreCell& cell) {
     ExploreRun run;
     run.design = cell.design.name;
     run.mode = cell.mode;
+    run.policy = cell.policy;
     run.allocation = cell.alloc.label;
     run.clock = cell.clock.label;
     run.error = bench.error();
@@ -181,6 +184,7 @@ ExploreRun RunExploreCell(const ExploreSpec& spec, const ExploreCell& cell) {
     ExploreRun run;
     run.design = cell.design.name;
     run.mode = cell.mode;
+    run.policy = cell.policy;
     run.allocation = cell.alloc.label;
     run.clock = cell.clock.label;
     run.error = allocation.error();
@@ -229,6 +233,9 @@ Status ExploreSpec::Validate() const {
   if (modes.empty()) {
     return Status::MakeError("ExploreSpec: no speculation modes");
   }
+  if (policies.empty()) {
+    return Status::MakeError("ExploreSpec: no selection policies");
+  }
   if (workers < 0) {
     return Status::MakeError("ExploreSpec: workers must be >= 0");
   }
@@ -245,9 +252,10 @@ Status ExploreSpec::Validate() const {
 const ExploreRun* ExploreReport::Find(const std::string& design,
                                       SpeculationMode mode,
                                       const std::string& allocation_label,
-                                      const std::string& clock_label) const {
+                                      const std::string& clock_label,
+                                      SelectionPolicy policy) const {
   for (const ExploreRun& run : runs) {
-    if (run.design == design && run.mode == mode &&
+    if (run.design == design && run.mode == mode && run.policy == policy &&
         run.allocation == allocation_label && run.clock == clock_label) {
       return &run;
     }
@@ -263,13 +271,15 @@ std::vector<ExploreCell> ExpandExploreGrid(const ExploreSpec& spec) {
       spec.clocks.empty() ? std::vector<ClockSpec>{{}} : spec.clocks;
 
   std::vector<ExploreCell> grid;
-  grid.reserve(spec.designs.size() * spec.modes.size() * allocations.size() *
-               clocks.size());
+  grid.reserve(spec.designs.size() * spec.modes.size() *
+               spec.policies.size() * allocations.size() * clocks.size());
   for (const DesignSpec& d : spec.designs) {
     for (const SpeculationMode mode : spec.modes) {
-      for (const AllocationSpec& a : allocations) {
-        for (const ClockSpec& c : clocks) {
-          grid.push_back(ExploreCell{d, mode, a, c});
+      for (const SelectionPolicy policy : spec.policies) {
+        for (const AllocationSpec& a : allocations) {
+          for (const ClockSpec& c : clocks) {
+            grid.push_back(ExploreCell{d, mode, policy, a, c});
+          }
         }
       }
     }
@@ -282,8 +292,9 @@ void ApplyAreaOverheads(ExploreReport* report) {
   // schedule of the same configuration.
   for (ExploreRun& run : report->runs) {
     if (!run.ok || run.mode == SpeculationMode::kWavesched) continue;
-    const ExploreRun* base = report->Find(
-        run.design, SpeculationMode::kWavesched, run.allocation, run.clock);
+    const ExploreRun* base =
+        report->Find(run.design, SpeculationMode::kWavesched, run.allocation,
+                     run.clock, run.policy);
     if (base != nullptr && base->ok && base->area > 0.0) {
       run.area_overhead_pct = 100.0 * (run.area - base->area) / base->area;
       run.has_area_overhead = true;

@@ -60,6 +60,8 @@ struct ExploreSpec {
   std::vector<DesignSpec> designs;
   std::vector<SpeculationMode> modes = {SpeculationMode::kWavesched,
                                         SpeculationMode::kWaveschedSpec};
+  // Selection-policy grid axis (sched/policy.h); must be non-empty.
+  std::vector<SelectionPolicy> policies = {SelectionPolicy::kCriticality};
   // Empty grids fall back to a single default entry.
   std::vector<AllocationSpec> allocations;
   std::vector<ClockSpec> clocks;
@@ -96,6 +98,7 @@ struct ExploreRun {
   // Key (grid coordinates, in spec order).
   std::string design;
   SpeculationMode mode = SpeculationMode::kWavesched;
+  SelectionPolicy policy = SelectionPolicy::kCriticality;
   std::string allocation;  // AllocationSpec label
   std::string clock;       // ClockSpec label
 
@@ -126,14 +129,15 @@ struct ExploreRun {
 
 struct ExploreReport {
   std::vector<ExploreRun> runs;  // cross-product order: design-major, then
-                                 // mode, allocation, clock
+                                 // mode, policy, allocation, clock
   int workers = 0;
   double wall_ms = 0.0;
 
   // The run at the given grid coordinates, or null.
-  const ExploreRun* Find(const std::string& design, SpeculationMode mode,
-                         const std::string& allocation_label,
-                         const std::string& clock_label) const;
+  const ExploreRun* Find(
+      const std::string& design, SpeculationMode mode,
+      const std::string& allocation_label, const std::string& clock_label,
+      SelectionPolicy policy = SelectionPolicy::kCriticality) const;
 };
 
 // Runs the whole grid. Per-run failures (unschedulable configurations,
@@ -151,12 +155,13 @@ Result<ExploreReport> RunExplore(const ExploreSpec& spec);
 struct ExploreCell {
   DesignSpec design;
   SpeculationMode mode = SpeculationMode::kWavesched;
+  SelectionPolicy policy = SelectionPolicy::kCriticality;
   AllocationSpec alloc;
   ClockSpec clock;
 };
 
-// The spec's full task grid, design-major then mode/allocation/clock, with
-// empty allocation/clock grids already defaulted — exactly the order of
+// The spec's full task grid, design-major then mode/policy/allocation/clock,
+// with empty allocation/clock grids already defaulted — exactly the order of
 // ExploreReport::runs.
 std::vector<ExploreCell> ExpandExploreGrid(const ExploreSpec& spec);
 

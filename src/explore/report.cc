@@ -43,6 +43,7 @@ void AppendPhase(std::ostringstream& os, const SchedulePhaseTimes& phase) {
   os << "{\"successor_ns\":" << phase.successor_ns
      << ",\"cofactor_ns\":" << phase.cofactor_ns
      << ",\"closure_ns\":" << phase.closure_ns
+     << ",\"select_ns\":" << phase.select_ns
      << ",\"gc_ns\":" << phase.gc_ns
      << ",\"total_ns\":" << phase.total_ns << "}";
 }
@@ -51,6 +52,7 @@ void AppendRun(std::ostringstream& os, const ExploreRun& run,
                const ReportRenderOptions& options) {
   os << "{\"design\":" << Quoted(run.design)
      << ",\"mode\":" << Quoted(SpeculationModeName(run.mode))
+     << ",\"policy\":" << Quoted(SelectionPolicyName(run.policy))
      << ",\"allocation\":" << Quoted(run.allocation)
      << ",\"clock\":" << Quoted(run.clock)
      << ",\"ok\":" << (run.ok ? "true" : "false");
@@ -96,7 +98,8 @@ std::string ExploreRunToJson(const ExploreRun& run,
 std::string ExploreReportToJson(const ExploreReport& report,
                                 const ReportRenderOptions& options) {
   std::ostringstream os;
-  os << "{\"schema\":\"ws-explore-report-v1\"";
+  // v2: every run row gains "policy", and timing phases gain "select_ns".
+  os << "{\"schema\":\"ws-explore-report-v2\"";
   if (options.include_timing) {
     os << ",\"workers\":" << report.workers
        << ",\"wall_ms\":" << Num(report.wall_ms);
@@ -115,25 +118,28 @@ std::string ExploreReportToTable(const ExploreReport& report) {
   std::ostringstream os;
   char line[256];
   std::snprintf(line, sizeof(line),
-                "%-10s %-14s %-10s %-8s %6s %9s %9s %6s %7s %6s %8s\n",
-                "design", "mode", "alloc", "clock", "states", "enc(sim)",
-                "enc(mkv)", "best", "worst", "spec", "time_ms");
+                "%-10s %-14s %-6s %-10s %-8s %6s %9s %9s %6s %7s %6s %8s\n",
+                "design", "mode", "policy", "alloc", "clock", "states",
+                "enc(sim)", "enc(mkv)", "best", "worst", "spec", "time_ms");
   os << line;
   for (const ExploreRun& run : report.runs) {
     if (!run.ok) {
-      std::snprintf(line, sizeof(line), "%-10s %-14s %-10s %-8s ERROR %s\n",
+      std::snprintf(line, sizeof(line),
+                    "%-10s %-14s %-6s %-10s %-8s ERROR %s\n",
                     run.design.c_str(), SpeculationModeName(run.mode),
-                    run.allocation.c_str(), run.clock.c_str(),
-                    run.error.c_str());
+                    SelectionPolicyName(run.policy), run.allocation.c_str(),
+                    run.clock.c_str(), run.error.c_str());
       os << line;
       continue;
     }
     std::snprintf(
         line, sizeof(line),
-        "%-10s %-14s %-10s %-8s %6zu %9.1f %9.1f %6lld %7lld %6d %8.1f\n",
+        "%-10s %-14s %-6s %-10s %-8s %6zu %9.1f %9.1f %6lld %7lld %6d "
+        "%8.1f\n",
         run.design.c_str(), SpeculationModeName(run.mode),
-        run.allocation.c_str(), run.clock.c_str(), run.states, run.enc_sim,
-        run.enc_markov, static_cast<long long>(run.best_case),
+        SelectionPolicyName(run.policy), run.allocation.c_str(),
+        run.clock.c_str(), run.states, run.enc_sim, run.enc_markov,
+        static_cast<long long>(run.best_case),
         static_cast<long long>(run.worst_case), run.stats.speculative_ops,
         run.wall_ms);
     os << line;

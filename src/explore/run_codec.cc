@@ -2,7 +2,7 @@
 
 #include "base/codec.h"
 #include "io/codec.h"
-#include "sched/fingerprint.h"
+#include "sched/closure.h"
 
 namespace ws {
 
@@ -10,6 +10,7 @@ std::string EncodeRunBody(const ExploreRun& run) {
   ByteWriter w;
   w.Str(run.design);
   w.U8(static_cast<std::uint8_t>(run.mode));
+  w.U8(static_cast<std::uint8_t>(run.policy));
   w.Str(run.allocation);
   w.Str(run.clock);
   w.U8(run.ok ? 1 : 0);
@@ -30,17 +31,22 @@ std::string EncodeRunBody(const ExploreRun& run) {
   return w.Take();
 }
 
-Result<ExploreRun> DecodeRunBody(std::string_view body) {
+Result<ExploreRun> DecodeRunBody(std::string_view body,
+                                 std::uint8_t version) {
   ByteReader r(body);
   ExploreRun run;
   run.design = r.Str();
   const std::uint8_t mode = r.U8();
+  // v1 predates selection policies; every v1 run was kCriticality.
+  const std::uint8_t policy =
+      version >= 2 ? r.U8()
+                   : static_cast<std::uint8_t>(SelectionPolicy::kCriticality);
   run.allocation = r.Str();
   run.clock = r.Str();
   run.ok = r.U8() != 0;
   run.error = r.Str();
   const std::uint8_t code = r.U8();
-  run.stats = ReadScheduleStats(r);
+  run.stats = ReadScheduleStats(r, version);
   run.states = r.U64();
   run.op_initiations = r.U64();
   run.enc_markov = r.F64();
@@ -54,11 +60,13 @@ Result<ExploreRun> DecodeRunBody(std::string_view body) {
   run.wall_ms = r.F64();
   if (!r.AtEnd() ||
       mode > static_cast<std::uint8_t>(SpeculationMode::kWaveschedSpec) ||
+      policy > static_cast<std::uint8_t>(kMaxSelectionPolicy) ||
       code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
     return Status::MakeError(StatusCode::kInvalidArgument,
                              "malformed ExploreRun message");
   }
   run.mode = static_cast<SpeculationMode>(mode);
+  run.policy = static_cast<SelectionPolicy>(policy);
   run.error_code = static_cast<StatusCode>(code);
   return run;
 }
@@ -68,10 +76,10 @@ std::string EncodeRunArtifact(const ExploreRun& run) {
 }
 
 Result<ExploreRun> DecodeRunArtifact(std::string_view bytes) {
-  Result<std::string> payload =
-      DecodeArtifact(ArtifactKind::kExploreRun, bytes);
-  if (!payload.ok()) return payload.status();
-  return DecodeRunBody(*payload);
+  Result<DecodedArtifact> decoded =
+      DecodeArtifactWithVersion(ArtifactKind::kExploreRun, bytes);
+  if (!decoded.ok()) return decoded.status();
+  return DecodeRunBody(decoded->payload, decoded->version);
 }
 
 Fp128 ExploreCellKey(const ExploreSpec& spec, const ExploreCell& cell,

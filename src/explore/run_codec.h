@@ -16,19 +16,25 @@
 #ifndef WS_EXPLORE_RUN_CODEC_H
 #define WS_EXPLORE_RUN_CODEC_H
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "base/hashing.h"
 #include "base/status.h"
 #include "explore/explore.h"
+#include "io/codec.h"
 #include "sched/scheduler.h"
 
 namespace ws {
 
-// ExploreRun minus the STG, as a flat little-endian field sequence.
+// ExploreRun minus the STG, as a flat little-endian field sequence. The
+// encoder always emits the current layout; the decoder takes the artifact
+// envelope's stored version (v1 predates the selection-policy byte and
+// phase.select_ns — see io/codec.h's version history).
 std::string EncodeRunBody(const ExploreRun& run);
-Result<ExploreRun> DecodeRunBody(std::string_view body);
+Result<ExploreRun> DecodeRunBody(std::string_view body,
+                                 std::uint8_t version = kArtifactVersion);
 
 // The same body wrapped in a versioned, CRC-checked artifact envelope
 // (io/codec.h, ArtifactKind::kExploreRun) — the artifact store's value for
@@ -37,7 +43,7 @@ std::string EncodeRunArtifact(const ExploreRun& run);
 Result<ExploreRun> DecodeRunArtifact(std::string_view bytes);
 
 // The cache/store key for one explore cell: the canonical ScheduleRequest
-// fingerprint (sched/fingerprint.h) mixed with every spec field that shapes
+// fingerprint (sched/closure.h) mixed with every spec field that shapes
 // the response bytes but not the schedule itself — grid labels, stimulus
 // count/seed (simulated E.N.C.), analysis flags. Shared by the serving
 // daemon's result cache, its durable store, and explore resume, so all

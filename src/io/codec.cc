@@ -213,13 +213,16 @@ std::string EncodeArtifact(ArtifactKind kind, std::string_view payload) {
 namespace {
 
 // Shared header walk for Peek/Decode. On success `r` is positioned at the
-// payload length field.
-Result<ArtifactKind> ReadArtifactHeader(ByteReader& r) {
+// payload length field and `*version_out` (when non-null) holds the stored
+// on-disk version.
+Result<ArtifactKind> ReadArtifactHeader(ByteReader& r,
+                                        std::uint8_t* version_out = nullptr) {
   if (r.U32() != kArtifactMagic) {
     if (!r.ok()) return Corrupt("truncated header");
     return Corrupt("bad magic");
   }
   const std::uint8_t version = r.U8();
+  if (version_out != nullptr) *version_out = version;
   const std::uint8_t kind = r.U8();
   if (!r.ok()) return Corrupt("truncated header");
   if (version > kArtifactVersion) {
@@ -245,10 +248,11 @@ Result<ArtifactKind> PeekArtifactKind(std::string_view bytes) {
   return ReadArtifactHeader(r);
 }
 
-Result<std::string> DecodeArtifact(ArtifactKind expected,
-                                   std::string_view bytes) {
+Result<DecodedArtifact> DecodeArtifactWithVersion(ArtifactKind expected,
+                                                  std::string_view bytes) {
   ByteReader r(bytes);
-  Result<ArtifactKind> kind = ReadArtifactHeader(r);
+  DecodedArtifact out;
+  Result<ArtifactKind> kind = ReadArtifactHeader(r, &out.version);
   if (!kind.ok()) return kind.status();
   if (*kind != expected) {
     return Status::MakeError(
@@ -256,11 +260,20 @@ Result<std::string> DecodeArtifact(ArtifactKind expected,
         StrCat("artifact kind mismatch: want ", ArtifactKindName(expected),
                ", got ", ArtifactKindName(*kind)));
   }
-  std::string payload = r.Str();
+  out.payload = r.Str();
   const std::uint32_t stored_crc = r.U32();
   if (!r.AtEnd()) return Corrupt("truncated or oversized body");
-  if (Crc32(payload) != stored_crc) return Corrupt("payload CRC mismatch");
-  return payload;
+  if (Crc32(out.payload) != stored_crc) {
+    return Corrupt("payload CRC mismatch");
+  }
+  return out;
+}
+
+Result<std::string> DecodeArtifact(ArtifactKind expected,
+                                   std::string_view bytes) {
+  Result<DecodedArtifact> decoded = DecodeArtifactWithVersion(expected, bytes);
+  if (!decoded.ok()) return decoded.status();
+  return std::move(decoded->payload);
 }
 
 void WriteScheduleStats(ByteWriter& w, const ScheduleStats& s) {
@@ -277,10 +290,11 @@ void WriteScheduleStats(ByteWriter& w, const ScheduleStats& s) {
   w.I64(s.phase.cofactor_ns);
   w.I64(s.phase.closure_ns);
   w.I64(s.phase.gc_ns);
+  w.I64(s.phase.select_ns);
   w.I64(s.phase.total_ns);
 }
 
-ScheduleStats ReadScheduleStats(ByteReader& r) {
+ScheduleStats ReadScheduleStats(ByteReader& r, std::uint8_t version) {
   ScheduleStats s;
   s.states_created = static_cast<int>(r.U32());
   s.closure_hits = static_cast<int>(r.U32());
@@ -295,6 +309,7 @@ ScheduleStats ReadScheduleStats(ByteReader& r) {
   s.phase.cofactor_ns = r.I64();
   s.phase.closure_ns = r.I64();
   s.phase.gc_ns = r.I64();
+  if (version >= 2) s.phase.select_ns = r.I64();
   s.phase.total_ns = r.I64();
   return s;
 }
@@ -322,11 +337,11 @@ std::string EncodeScheduleStats(const ScheduleStats& stats) {
 }
 
 Result<ScheduleStats> DecodeScheduleStats(std::string_view bytes) {
-  Result<std::string> payload =
-      DecodeArtifact(ArtifactKind::kScheduleStats, bytes);
-  if (!payload.ok()) return payload.status();
-  ByteReader r(*payload);
-  const ScheduleStats stats = ReadScheduleStats(r);
+  Result<DecodedArtifact> decoded =
+      DecodeArtifactWithVersion(ArtifactKind::kScheduleStats, bytes);
+  if (!decoded.ok()) return decoded.status();
+  ByteReader r(decoded->payload);
+  const ScheduleStats stats = ReadScheduleStats(r, decoded->version);
   if (!r.AtEnd()) return Corrupt("ScheduleStats size");
   return stats;
 }
@@ -339,11 +354,11 @@ std::string EncodeScheduleReport(const ScheduleReport& report) {
 }
 
 Result<ScheduleReport> DecodeScheduleReport(std::string_view bytes) {
-  Result<std::string> payload =
-      DecodeArtifact(ArtifactKind::kScheduleReport, bytes);
-  if (!payload.ok()) return payload.status();
-  ByteReader r(*payload);
-  const ScheduleStats stats = ReadScheduleStats(r);
+  Result<DecodedArtifact> decoded =
+      DecodeArtifactWithVersion(ArtifactKind::kScheduleReport, bytes);
+  if (!decoded.ok()) return decoded.status();
+  ByteReader r(decoded->payload);
+  const ScheduleStats stats = ReadScheduleStats(r, decoded->version);
   Result<Stg> stg = ReadStgPayload(r);
   if (!stg.ok()) return stg.status();
   if (!r.AtEnd()) return Corrupt("ScheduleReport trailing bytes");

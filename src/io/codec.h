@@ -16,7 +16,11 @@
 // every older version it has shipped decoders for. Bump kArtifactVersion on
 // any payload layout change; keep the old ReadX path behind a version check.
 // Version history:
-//   1  initial layout (this file).
+//   1  initial layout.
+//   2  ScheduleStats gains phase.select_ns (after gc_ns); the ExploreRun
+//      payload (explore/run_codec.h) gains the selection policy byte after
+//      the speculation mode. v1 artifacts decode with select_ns = 0 and
+//      policy = kCriticality (the only v1 behavior).
 //
 // The codecs promise exact round trips: decode(encode(x)) is structurally
 // equal to x, and encode(decode(bytes)) == bytes for any bytes this version
@@ -36,7 +40,7 @@
 namespace ws {
 
 inline constexpr std::uint32_t kArtifactMagic = 0x52415357;  // "WSAR"
-inline constexpr std::uint8_t kArtifactVersion = 1;
+inline constexpr std::uint8_t kArtifactVersion = 2;
 
 enum class ArtifactKind : std::uint8_t {
   kStg = 1,
@@ -64,13 +68,26 @@ Result<std::string> DecodeArtifact(ArtifactKind expected,
 // verify the CRC).
 Result<ArtifactKind> PeekArtifactKind(std::string_view bytes);
 
+// DecodeArtifact plus the stored on-disk version, for payload codecs whose
+// layout changed across versions (ReadScheduleStats, explore/run_codec.h).
+struct DecodedArtifact {
+  std::string payload;
+  std::uint8_t version = kArtifactVersion;
+};
+Result<DecodedArtifact> DecodeArtifactWithVersion(ArtifactKind expected,
+                                                  std::string_view bytes);
+
 // --- payload building blocks (shared with the wire protocol) ---------------
 
 // ScheduleStats as a flat field sequence. This is the exact layout the
 // serving protocol has always used for the stats section of an ExploreRun;
 // it lives here so the wire codec and the disk codecs share one definition.
+// Writers always emit the current layout; readers take the enveloping
+// artifact's stored version and apply the per-version layout (v1 lacks
+// phase.select_ns, which reads back as 0).
 void WriteScheduleStats(ByteWriter& w, const ScheduleStats& s);
-ScheduleStats ReadScheduleStats(ByteReader& r);
+ScheduleStats ReadScheduleStats(ByteReader& r,
+                                std::uint8_t version = kArtifactVersion);
 
 // --- whole-artifact codecs -------------------------------------------------
 

@@ -1,0 +1,396 @@
+#include "sched/candidates.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/phase_timer.h"
+#include "base/status.h"
+
+namespace ws {
+
+std::vector<ResolvedVersion> CandidateGenerator::Versions(
+    const PathState& ps, NodeId m, LoopId consumer_loop, int consumer_iter,
+    int depth) {
+  WS_CHECK_MSG(depth < kMaxRecursionDepth, "select/phi recursion too deep");
+  const Node& n = g_.node(m);
+  if (n.loop == consumer_loop) {
+    return VersionsAt(ps, m, consumer_iter, depth + 1);
+  }
+  if (!n.loop.valid()) {
+    return VersionsAt(ps, m, 0, depth + 1);
+  }
+  // Cross-loop read: the value of m at the producer loop's exit.
+  const LoopState& ls = ps.loops[n.loop.value()];
+  if (ls.exited) {
+    return VersionsAt(ps, m, ls.exit_iter, depth + 1);
+  }
+  // Speculate on the exit iteration within the lookahead window.
+  std::vector<ResolvedVersion> out;
+  for (int j = ls.next_unresolved;
+       j <= ls.next_unresolved + opts_.lookahead; ++j) {
+    const Bdd exit_guard = guards_.ExitGuard(ps, n.loop, j);
+    if (mgr_.IsFalse(exit_guard)) continue;
+    for (const ResolvedVersion& v : VersionsAt(ps, m, j, depth + 1)) {
+      const Bdd guard = mgr_.And(v.guard, exit_guard);
+      if (mgr_.IsFalse(guard)) continue;
+      out.push_back({v.producer, guard, v.ready_offset});
+    }
+  }
+  return out;
+}
+
+std::vector<ResolvedVersion> CandidateGenerator::VersionsAt(
+    const PathState& ps, NodeId m, int iter, int depth) {
+  WS_CHECK_MSG(depth < kMaxRecursionDepth, "select/phi recursion too deep");
+  const Node& n = g_.node(m);
+  std::vector<ResolvedVersion> out;
+  switch (n.kind) {
+    case OpKind::kConst:
+    case OpKind::kInput:
+      out.push_back({InstRef{m, 0, 0}, mgr_.True(), 0.0});
+      return out;
+    case OpKind::kSelect: {
+      // A select materialized as a register transfer publishes a version
+      // like any other operation.
+      auto ait = ps.available.find(MakeInstKey(m, iter));
+      if (ait != ps.available.end()) {
+        for (const VersionRec& v : ait->second) {
+          const Bdd guard =
+              guards_.BindingGuard(ps, MakeInstKey(m, iter), v.version);
+          if (mgr_.IsFalse(guard)) continue;
+          out.push_back({InstRef{m, iter, v.version}, guard,
+                         v.ready_offset});
+        }
+        return out;
+      }
+      const NodeId sel = n.inputs[0];
+      const Node& sel_node = g_.node(sel);
+      const int sel_iter =
+          sel_node.loop == n.loop ? iter : 0;  // same-scope or top-level
+      // Resolved but not yet materialized: forward through the chosen side
+      // only (the mux steering is known).
+      auto rit = ps.resolved.find(MakeInstKey(sel, sel_iter));
+      if (rit != ps.resolved.end()) {
+        return Versions(ps, n.inputs[rit->second ? 1 : 2], n.loop, iter,
+                        depth + 1);
+      }
+      // Speculation through an unresolved select (Observation 1) is only
+      // useful when the steering condition is control-relevant: the
+      // controller will eventually resolve it and validate/invalidate the
+      // speculative work. A datapath-only steering condition never
+      // resolves, so guards minted on it could never be discharged —
+      // consumers instead wait for the zero-delay 3-input mux.
+      if (!g_.is_control_condition(sel)) return out;
+      // Observation 1: the path through the select contributes the literal
+      // that this path is selected.
+      const Bdd lit_true = guards_.CondLit(ps, sel, sel_iter, true);
+      const Bdd lit_false = guards_.CondLit(ps, sel, sel_iter, false);
+      if (!mgr_.IsFalse(lit_true)) {
+        for (const ResolvedVersion& v :
+             Versions(ps, n.inputs[1], n.loop, iter, depth + 1)) {
+          const Bdd guard = mgr_.And(v.guard, lit_true);
+          if (!mgr_.IsFalse(guard)) {
+            out.push_back({v.producer, guard, v.ready_offset});
+          }
+        }
+      }
+      if (!mgr_.IsFalse(lit_false)) {
+        for (const ResolvedVersion& v :
+             Versions(ps, n.inputs[2], n.loop, iter, depth + 1)) {
+          const Bdd guard = mgr_.And(v.guard, lit_false);
+          if (!mgr_.IsFalse(guard)) {
+            out.push_back({v.producer, guard, v.ready_offset});
+          }
+        }
+      }
+      return out;
+    }
+    case OpKind::kLoopPhi: {
+      if (iter == 0) {
+        return Versions(ps, n.inputs[0], n.loop, 0, depth + 1);
+      }
+      return Versions(ps, n.inputs[1], n.loop, iter - 1, depth + 1);
+    }
+    case OpKind::kOutput:
+      return Versions(ps, n.inputs[0], n.loop, iter, depth + 1);
+    default: {
+      // A scheduled kind: completed bindings of (m, iter).
+      auto it = ps.available.find(MakeInstKey(m, iter));
+      if (it == ps.available.end()) return out;
+      for (const VersionRec& v : it->second) {
+        const Bdd guard =
+            guards_.BindingGuard(ps, MakeInstKey(m, iter), v.version);
+        if (mgr_.IsFalse(guard)) continue;
+        out.push_back({InstRef{m, iter, v.version}, guard, v.ready_offset});
+      }
+      return out;
+    }
+  }
+}
+
+void CandidateGenerator::GenerateSelectCandidates(
+    PathState& ps, const Node& n, int iter, Bdd ctrl,
+    std::vector<Candidate>* cands) {
+  const NodeId s = n.inputs[0];
+  const Node& s_node = g_.node(s);
+  const int sel_iter = s_node.loop == n.loop ? iter : 0;
+  const Bdd lit_t = guards_.CondLit(ps, s, sel_iter, true);
+  const Bdd lit_f = guards_.CondLit(ps, s, sel_iter, false);
+  const auto lvs = Versions(ps, n.inputs[1], n.loop, iter);
+  const auto rvs = Versions(ps, n.inputs[2], n.loop, iter);
+
+  auto emit = [&](std::vector<InstRef> operands, Bdd guard, double offset) {
+    if (mgr_.IsFalse(guard)) return;
+    auto bit = ps.bindings.find(MakeInstKey(n.id, iter));
+    if (bit != ps.bindings.end()) {
+      for (Binding& b : bit->second) {
+        if (b.operands == operands) {
+          b.guard = mgr_.Or(b.guard, guard);
+          return;
+        }
+      }
+    }
+    Candidate c;
+    c.node = n.id;
+    c.iter = iter;
+    c.operands = std::move(operands);
+    c.guard = guard;
+    c.fu_type = lib_.TypeFor(OpKind::kSelect);
+    const FuType& fu = lib_.type(c.fu_type);
+    c.latency = fu.latency;
+    c.delay = fu.delay_ns;
+    c.start_offset = offset;
+    cands->push_back(std::move(c));
+  };
+
+  // Guarded copies of one side: correct when the steering points that way.
+  // Only offered for control-relevant steering (the guard can then be
+  // discharged by a later resolution); datapath-only steering must go
+  // through the full mux below.
+  if (g_.is_control_condition(s) || mgr_.IsTrue(lit_t) ||
+      mgr_.IsTrue(lit_f)) {
+    for (const auto& lv : lvs) {
+      emit({lv.producer}, mgr_.AndAll({ctrl, lit_t, lv.guard}),
+           lv.ready_offset);
+    }
+    for (const auto& rv : rvs) {
+      emit({rv.producer}, mgr_.AndAll({ctrl, lit_f, rv.guard}),
+           rv.ready_offset);
+    }
+  }
+
+  // Full 3-input mux: needs the computed steering value; correct whichever
+  // way it points (validity is ITE-shaped, so a mux of two valid versions is
+  // unconditionally valid — datapath resolution without a controller fork).
+  // Control-steered selects never need it: the controller resolves the
+  // condition at the same cycle boundary the mux would, and the guarded
+  // copies above then validate.
+  if (!g_.is_control_condition(s) && !mgr_.IsTrue(lit_t) &&
+      !mgr_.IsFalse(lit_t)) {
+    const auto svs = Versions(ps, s, n.loop, iter);
+    for (const auto& sv : svs) {
+      for (const auto& lv : lvs) {
+        for (const auto& rv : rvs) {
+          const Bdd guard = mgr_.And(
+              ctrl, mgr_.And(sv.guard,
+                             mgr_.Or(mgr_.And(lit_t, lv.guard),
+                                     mgr_.And(lit_f, rv.guard))));
+          const double offset = std::max(
+              {sv.ready_offset, lv.ready_offset, rv.ready_offset});
+          emit({sv.producer, lv.producer, rv.producer}, guard, offset);
+        }
+      }
+    }
+  }
+}
+
+void CandidateGenerator::GenerateCandidates(PathState& ps,
+                                            std::vector<Candidate>* out) {
+  const PhaseTimer timer(&stats_.phase.successor_ns);
+  // Speculation is throttled relative to the oldest pending committed work:
+  // without this, a loop whose condition chain is faster than its slowest
+  // data recurrence would let the resolution frontier race arbitrarily far
+  // ahead of the lagging computation, and the backlog of pending instances
+  // would grow without bound (preventing STG closure). The window advances
+  // only as the backlog drains — which is also what bounded control/datapath
+  // buffering in the synthesized hardware requires.
+  std::vector<int>& spec_base = spec_base_;
+  spec_base.assign(static_cast<std::size_t>(g_.num_loops()), 0);
+  for (const Loop& loop : g_.loops()) {
+    const LoopState& ls = ps.loops[loop.id.value()];
+    int oldest = ls.exited ? ls.exit_iter : ls.next_unresolved;
+    if (!ls.exited) {
+      for (NodeId b : loop.body) {
+        const Node& bn = g_.node(b);
+        if (!IsScheduledKind(bn.kind)) continue;
+        for (int iter = 0; iter < oldest; ++iter) {
+          const Bdd ctrl = guards_.CtrlGuard(ps, b, iter);
+          if (mgr_.IsFalse(ctrl)) continue;
+          if (!guards_.InstanceCovered(ps, MakeInstKey(b, iter), ctrl,
+                                       /*require_completed=*/false)) {
+            oldest = iter;
+            break;
+          }
+        }
+      }
+    }
+    spec_base[loop.id.value()] = oldest;
+  }
+
+  std::vector<Candidate>& cands = cand_scratch_;
+  cands.clear();
+  for (const Node& n : g_.nodes()) {
+    if (!IsScheduledKind(n.kind)) continue;
+    int hi = 0;
+    if (n.loop.valid()) {
+      const LoopState& ls = ps.loops[n.loop.value()];
+      hi = ls.exited ? ls.exit_iter
+                     : spec_base[n.loop.value()] + opts_.lookahead;
+    }
+    for (int iter = 0; iter <= hi; ++iter) {
+      const Bdd ctrl = guards_.CtrlGuard(ps, n.id, iter);
+      if (mgr_.IsFalse(ctrl)) continue;
+      const InstKey key = MakeInstKey(n.id, iter);
+
+      // Coverage: skip once a single existing binding's guard covers the
+      // control guard (one execution delivers a correct value on every live
+      // branch).
+      auto bit = ps.bindings.find(key);
+      if (guards_.InstanceCovered(ps, key, ctrl,
+                                  /*require_completed=*/false)) {
+        continue;
+      }
+
+      // Operand versions.
+      std::vector<std::vector<ResolvedVersion>> operand_versions;
+      bool feasible = true;
+      if (n.kind == OpKind::kSelect) {
+        // Selects are datapath muxes, not control: they materialize either
+        // as a full 3-input mux (steer, both sides — validity is the
+        // ITE-shaped guard, so a mux over two valid versions is itself
+        // unconditionally valid and never forks the controller), or as a
+        // guarded copy of one side (when only one side has been computed,
+        // or the steering condition already resolved).
+        GenerateSelectCandidates(ps, n, iter, ctrl, &cands);
+        continue;
+      } else {
+        for (NodeId in : n.inputs) {
+          auto vs = Versions(ps, in, n.loop, iter);
+          if (vs.empty()) {
+            feasible = false;
+            break;
+          }
+          operand_versions.push_back(std::move(vs));
+        }
+      }
+      if (!feasible) continue;
+
+      // Memory token: same-array accesses execute in program order.
+      if (n.kind == OpKind::kMemRead || n.kind == OpKind::kMemWrite) {
+        const auto& accesses = g_.array_accesses(n.array);
+        auto pos = std::find(accesses.begin(), accesses.end(), n.id);
+        WS_CHECK(pos != accesses.end());
+        NodeId prev;
+        int prev_iter = iter;
+        if (pos != accesses.begin()) {
+          prev = *(pos - 1);
+        } else if (n.loop.valid() && iter > 0) {
+          prev = accesses.back();
+          prev_iter = iter - 1;
+        }
+        if (prev.valid()) {
+          std::vector<ResolvedVersion> tokens =
+              VersionsAt(ps, prev, prev_iter, 0);
+          if (tokens.empty()) continue;  // predecessor access not done yet
+          operand_versions.push_back(std::move(tokens));
+        }
+      }
+
+      // Cartesian product of operand choices.
+      std::vector<std::size_t> idx(operand_versions.size(), 0);
+      for (;;) {
+        Bdd guard = ctrl;
+        double start = 0.0;
+        std::vector<InstRef> operands;
+        operands.reserve(operand_versions.size());
+        bool dead = false;
+        for (std::size_t k = 0; k < operand_versions.size(); ++k) {
+          const ResolvedVersion& v = operand_versions[k][idx[k]];
+          guard = mgr_.And(guard, v.guard);
+          if (mgr_.IsFalse(guard)) {
+            dead = true;
+            break;
+          }
+          start = std::max(start, v.ready_offset);
+          operands.push_back(v.producer);
+        }
+        if (!dead) {
+          // Deduplicate against existing bindings with identical operands:
+          // the physical result is the same, so widen its validity guard
+          // instead of re-executing.
+          bool duplicate = false;
+          if (bit != ps.bindings.end()) {
+            for (Binding& b : bit->second) {
+              if (b.operands == operands) {
+                b.guard = mgr_.Or(b.guard, guard);
+                duplicate = true;
+                break;
+              }
+            }
+          }
+          if (!duplicate) {
+            Candidate c;
+            c.node = n.id;
+            c.iter = iter;
+            c.operands = std::move(operands);
+            c.guard = guard;
+            c.fu_type = lib_.TypeFor(n.kind);
+            const FuType& fu = lib_.type(c.fu_type);
+            c.latency = fu.latency;
+            c.delay = fu.delay_ns;
+            c.start_offset = start;
+            cands.push_back(std::move(c));
+          }
+        }
+        // Advance the product.
+        std::size_t k = 0;
+        for (; k < idx.size(); ++k) {
+          if (++idx[k] < operand_versions[k].size()) break;
+          idx[k] = 0;
+        }
+        if (k == idx.size()) break;
+        if (idx.empty()) break;
+      }
+    }
+  }
+
+  // Mode filters, the speculative-store prohibition, and policy scoring.
+  // Scoring is attributed to select_ns (nested inside successor_ns: the
+  // policy runs where the survivors materialize).
+  const PhaseTimer select_timer(&stats_.phase.select_ns);
+  const PolicyContext policy_ctx{&lambda_, &mgr_, &guards_.var_probs()};
+  std::vector<Candidate>& filtered = *out;
+  filtered.clear();
+  filtered.reserve(cands.size());
+  for (Candidate& c : cands) {
+    const OpKind kind = g_.node(c.node).kind;
+    if (kind == OpKind::kMemWrite && !mgr_.IsTrue(c.guard)) {
+      continue;  // stores are never speculative (irreversible side effect)
+    }
+    switch (opts_.mode) {
+      case SpeculationMode::kWavesched:
+        if (!mgr_.IsTrue(c.guard)) continue;
+        break;
+      case SpeculationMode::kSinglePath:
+        if (!mgr_.Eval(c.guard, guards_.likely_assignment())) continue;
+        break;
+      case SpeculationMode::kWaveschedSpec:
+        break;
+    }
+    c.priority = policy_.Priority(c, policy_ctx);
+    filtered.push_back(std::move(c));
+  }
+  stats_.candidates_generated += static_cast<std::int64_t>(filtered.size());
+}
+
+}  // namespace ws

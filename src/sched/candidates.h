@@ -1,0 +1,92 @@
+// Schedulable-successor computation (Lemma 1 / Observation 1): value-version
+// propagation and candidate generation.
+//
+// Every completed operation instance publishes a version of its result
+// tagged with a residual speculation guard; Versions() enumerates the
+// versions of an operand as seen by a consumer scope — recursing through
+// unresolved selects (conjoining path-select literals, Observation 1),
+// stepping loop-phis across iterations, and turning cross-loop reads into
+// guarded exit values. GenerateCandidates() forms a candidate from every
+// guard-consistent operand binding of every uncovered instance, applies the
+// speculation-mode filter, and scores the survivors with the active
+// selection policy (sched/policy.h).
+#ifndef WS_SCHED_CANDIDATES_H
+#define WS_SCHED_CANDIDATES_H
+
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "cdfg/cdfg.h"
+#include "hw/resources.h"
+#include "sched/engine_state.h"
+#include "sched/guards.h"
+#include "sched/policy.h"
+#include "sched/scheduler.h"
+
+namespace ws {
+
+// One usable version of an operand value: who produced it, under what
+// residual guard it is the correct value, and how far into the cycle it
+// becomes ready (operation chaining).
+struct ResolvedVersion {
+  InstRef producer;
+  Bdd guard;
+  double ready_offset = 0.0;
+};
+
+class CandidateGenerator {
+ public:
+  // All references are borrowed for the run. `lambda` may be filled after
+  // construction (the reference binds to the vector object); it must be
+  // populated before the first GenerateCandidates call. `stats` receives
+  // candidates_generated and the successor/select phase times.
+  CandidateGenerator(const Cdfg& g, const FuLibrary& lib,
+                     const SchedulerOptions& opts, BddManager& mgr,
+                     GuardEngine& guards, const SelectionPolicyImpl& policy,
+                     const std::vector<double>& lambda, ScheduleStats& stats)
+      : g_(g),
+        lib_(lib),
+        opts_(opts),
+        mgr_(mgr),
+        guards_(guards),
+        policy_(policy),
+        lambda_(lambda),
+        stats_(stats) {}
+
+  // All versions of operand `m` as seen by a consumer in scope
+  // (consumer_loop, consumer_iter).
+  std::vector<ResolvedVersion> Versions(const PathState& ps, NodeId m,
+                                        LoopId consumer_loop,
+                                        int consumer_iter, int depth = 0);
+
+  // Clears and refills `*out` with the mode-filtered, policy-scored
+  // candidates of `ps` (caller-owned so its capacity is reused across the
+  // greedy admission loop). May widen existing binding guards in `ps` when a
+  // would-be candidate duplicates a binding's operands.
+  void GenerateCandidates(PathState& ps, std::vector<Candidate>* out);
+
+ private:
+  std::vector<ResolvedVersion> VersionsAt(const PathState& ps, NodeId m,
+                                          int iter, int depth);
+  void GenerateSelectCandidates(PathState& ps, const Node& n, int iter,
+                                Bdd ctrl, std::vector<Candidate>* cands);
+
+  const Cdfg& g_;
+  const FuLibrary& lib_;
+  const SchedulerOptions& opts_;
+  BddManager& mgr_;
+  GuardEngine& guards_;
+  const SelectionPolicyImpl& policy_;
+  const std::vector<double>& lambda_;
+  ScheduleStats& stats_;
+
+  // Scratch buffers reused across hot-path calls (cleared, never shrunk).
+  std::vector<int> spec_base_;
+  std::vector<Candidate> cand_scratch_;
+
+  static constexpr int kMaxRecursionDepth = 64;
+};
+
+}  // namespace ws
+
+#endif  // WS_SCHED_CANDIDATES_H

@@ -1,0 +1,658 @@
+#include "sched/closure.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace ws {
+
+// ---------------------------------------------------------------------------
+// Fingerprint state signatures (the hot path).
+//
+// The token grammar is length-prefixed throughout — every section and every
+// variable-arity entry starts with a count — so the flattened u64 stream is
+// prefix-unambiguous: two streams are elementwise equal iff the canonical
+// state structures are equal. Guard tokens are the node indices of
+// shift-canonicalized BDDs, which within one manager are equal iff the
+// shifted Boolean functions are equal. This makes token-stream equality
+// coincide with equality of the legacy string signature (DebugSignature
+// below), which WS_CHECK_SIG verifies at runtime.
+
+namespace {
+// Section tags: high-bit-set constants so a tag can never be confused with a
+// count or payload produced by the (dense, small) ids that follow it.
+constexpr std::uint64_t kSigLoops = 0xf100000000000001ull;
+constexpr std::uint64_t kSigResolved = 0xf100000000000002ull;
+constexpr std::uint64_t kSigAvailable = 0xf100000000000003ull;
+constexpr std::uint64_t kSigBindings = 0xf100000000000004ull;
+constexpr std::uint64_t kSigInflight = 0xf100000000000005ull;
+constexpr std::uint64_t kSigLatched = 0xf100000000000006ull;
+constexpr std::uint64_t kSigPending = 0xf100000000000007ull;
+
+// Signed-int token: sign-extended into the u64 space (shifted iterations can
+// be negative once a loop has exited).
+constexpr std::uint64_t IntToken(int v) {
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+}
+}  // namespace
+
+ClosureDetector::ClosureDetector(const Cdfg& g, BddManager& mgr,
+                                 GuardEngine& guards, ScheduleStats& stats)
+    : g_(g),
+      mgr_(mgr),
+      guards_(guards),
+      stats_(stats),
+      check_signatures_(std::getenv("WS_CHECK_SIG") != nullptr) {
+  is_loop_cond_.assign(g_.num_nodes(), false);
+  for (const Loop& loop : g_.loops()) {
+    is_loop_cond_[loop.cond.value()] = true;
+  }
+}
+
+void ClosureDetector::PrepareShift(const std::vector<int>& bases) {
+  shift_identity_ = true;
+  for (const int b : bases) {
+    if (b != 0) shift_identity_ = false;
+  }
+  shift_epoch_open_ = false;
+  if (shift_identity_) return;
+
+  // Dense var -> shifted var map. Building it may mint new condition
+  // variables for shifted (even negative) iterations, which mutates the
+  // guard engine's cond_vars; collect the targets first, then create.
+  // Variables at negative iterations are themselves shift targets minted by
+  // earlier probes — they never occur in a real guard (CondLit only mints
+  // iteration >= 0), so they are skipped rather than re-shifted (otherwise
+  // every probe would mint shifted copies of the previous probe's targets
+  // and the variable universe would snowball).
+  shift_var_map_.assign(static_cast<std::size_t>(mgr_.num_vars()), -1);
+  std::vector<std::pair<int, InstKey>>& wanted = shift_wanted_;
+  wanted.clear();
+  for (const auto& [key, var] : guards_.cond_vars()) {
+    if (key.second < 0) continue;  // synthetic shift target
+    const Node& cn = g_.node(NodeId(key.first));
+    if (!cn.loop.valid()) continue;
+    const int base = bases[cn.loop.value()];
+    if (base == 0) continue;
+    wanted.emplace_back(var, InstKey{key.first, key.second - base});
+  }
+  for (const auto& [var, skey] : wanted) {
+    const int shifted = guards_.CondVar(NodeId(skey.first), skey.second);
+    shift_var_map_[static_cast<std::size_t>(var)] = shifted;
+  }
+}
+
+std::uint64_t ClosureDetector::GuardToken(Bdd guard) {
+  if (shift_identity_ || mgr_.IsTrue(guard) || mgr_.IsFalse(guard)) {
+    return guard.index();
+  }
+  const Bdd renamed =
+      mgr_.RenameDense(guard, shift_var_map_, /*fresh_map=*/!shift_epoch_open_);
+  shift_epoch_open_ = true;
+  return renamed.index();
+}
+
+void ClosureDetector::TokenizeState(const PathState& ps,
+                                    std::vector<int>* bases_out) {
+  std::vector<int>& bases = *bases_out;
+  bases.assign(static_cast<std::size_t>(g_.num_loops()), 0);
+  for (const Loop& loop : g_.loops()) {
+    bases[loop.id.value()] = ps.loops[loop.id.value()].base();
+  }
+  PrepareShift(bases);
+
+  std::vector<std::uint64_t>& t = sig_tokens_;
+  t.clear();
+  auto begin_count = [&]() {
+    t.push_back(0);
+    return t.size() - 1;
+  };
+
+  auto shift = [&](const InstKey& key) -> std::pair<std::uint32_t, int> {
+    const Node& n = g_.node(NodeId(key.first));
+    const int base = n.loop.valid() ? bases[n.loop.value()] : 0;
+    return {key.first, key.second - base};
+  };
+  auto push_key = [&](const InstKey& key) {
+    const auto [node, iter] = shift(key);
+    t.push_back(node);
+    t.push_back(IntToken(iter));
+  };
+  auto push_ref = [&](const InstRef& ref) {
+    push_key(MakeInstKey(ref));
+    t.push_back(IntToken(ref.version));
+  };
+
+  // Pending required work in the committed region (kept explicit so states
+  // are never merged across unfinished obligations). Computed first because
+  // the resolution section below keeps only history that pending work can
+  // still observe; emitted last to mirror the legacy section order.
+  pending_iters_.clear();
+  std::vector<std::uint64_t>& pend_tokens = pend_tokens_;
+  pend_tokens.clear();
+  for (const Node& n : g_.nodes()) {
+    if (!IsScheduledKind(n.kind)) continue;
+    int hi = 0;
+    if (n.loop.valid()) {
+      hi = bases[n.loop.value()] - 1;
+    }
+    for (int iter = 0; iter <= hi; ++iter) {
+      const Bdd ctrl = guards_.CtrlGuard(ps, n.id, iter);
+      if (mgr_.IsFalse(ctrl)) continue;
+      if (!guards_.InstanceCovered(ps, MakeInstKey(n.id, iter), ctrl,
+                                   /*require_completed=*/false)) {
+        const auto [node, siter] = shift(MakeInstKey(n.id, iter));
+        pend_tokens.push_back(node);
+        pend_tokens.push_back(IntToken(siter));
+        if (n.loop.valid()) {
+          pending_iters_.emplace_back(n.loop.value(), iter);
+        }
+      }
+    }
+  }
+  std::sort(pending_iters_.begin(), pending_iters_.end());
+  pending_iters_.erase(
+      std::unique(pending_iters_.begin(), pending_iters_.end()),
+      pending_iters_.end());
+  auto pending_contains = [&](int loop, int iter) {
+    return std::binary_search(pending_iters_.begin(), pending_iters_.end(),
+                              std::pair<int, int>{loop, iter});
+  };
+
+  t.push_back(kSigLoops);
+  for (const Loop& loop : g_.loops()) {
+    t.push_back(ps.loops[loop.id.value()].exited ? 1u : 0u);
+  }
+
+  t.push_back(kSigResolved);
+  {
+    const std::size_t count_at = begin_count();
+    for (const auto& [key, value] : ps.resolved) {
+      const NodeId cn(key.first);
+      const Node& cnode = g_.node(cn);
+      if (cnode.loop.valid()) {
+        const LoopState& ls = ps.loops[cnode.loop.value()];
+        // Loop-condition resolutions are fully derivable from the frontier
+        // position (true below next_unresolved / exit_iter, false at the
+        // exit), so they never appear.
+        if (is_loop_cond_[cn.value()]) continue;
+        // Other in-loop resolutions matter only at the frontier or where
+        // pending work still consults them.
+        if (key.second < ls.base() &&
+            !pending_contains(cnode.loop.value(), key.second)) {
+          continue;
+        }
+      }
+      push_key(key);
+      t.push_back(value ? 1u : 0u);
+      ++t[count_at];
+    }
+  }
+
+  t.push_back(kSigAvailable);
+  {
+    const std::size_t count_at = begin_count();
+    for (const auto& [key, versions] : ps.available) {
+      push_key(key);
+      t.push_back(versions.size());
+      for (const VersionRec& v : versions) {
+        t.push_back(IntToken(v.version));
+        t.push_back(GuardToken(guards_.BindingGuard(ps, key, v.version)));
+      }
+      ++t[count_at];
+    }
+  }
+
+  t.push_back(kSigBindings);
+  {
+    const std::size_t count_at = begin_count();
+    for (const auto& [key, blist] : ps.bindings) {
+      // A binding list is future-relevant only while an execution is still in
+      // flight or the instance is not fully covered (new candidates may still
+      // be generated and deduplicated against it). Fully covered, completed
+      // instances influence the future only through their published versions,
+      // which the available section already canonicalizes — omitting them
+      // here is what lets steady-state signatures converge.
+      bool in_flight = false;
+      for (const Binding& b : blist) {
+        if (!b.completed && !mgr_.IsFalse(b.guard)) in_flight = true;
+      }
+      const Bdd ctrl = guards_.CtrlGuard(ps, NodeId(key.first), key.second);
+      if (!in_flight &&
+          guards_.InstanceCovered(ps, key, ctrl,
+                                  /*require_completed=*/false)) {
+        continue;
+      }
+      push_key(key);
+      const std::size_t nlive_at = begin_count();
+      for (std::size_t v = 0; v < blist.size(); ++v) {
+        const Binding& b = blist[v];
+        if (mgr_.IsFalse(b.guard)) continue;  // scrubbed mispredictions
+        t.push_back(v);
+        t.push_back(b.operands.size());
+        for (const InstRef& ref : b.operands) push_ref(ref);
+        t.push_back(GuardToken(b.guard));
+        t.push_back(b.completed ? 1u : 0u);
+        ++t[nlive_at];
+      }
+      ++t[count_at];
+    }
+  }
+
+  t.push_back(kSigInflight);
+  {
+    const std::size_t count_at = begin_count();
+    for (const InFlight& f : ps.inflight) {
+      push_ref(f.inst);
+      t.push_back(IntToken(f.remaining));
+      t.push_back(GuardToken(f.guard));
+      ++t[count_at];
+    }
+  }
+
+  t.push_back(kSigLatched);
+  {
+    const std::size_t count_at = begin_count();
+    for (const auto& [key, versions] : ps.latched) {
+      push_key(key);
+      t.push_back(versions.size());
+      for (const LatchedVersion& v : versions) {
+        t.push_back(IntToken(v.version));
+        t.push_back(GuardToken(guards_.BindingGuard(ps, key, v.version)));
+      }
+      ++t[count_at];
+    }
+  }
+
+  t.push_back(kSigPending);
+  t.push_back(pend_tokens.size());
+  t.insert(t.end(), pend_tokens.begin(), pend_tokens.end());
+}
+
+std::string ClosureDetector::CanonGuard(Bdd guard,
+                                        const std::vector<int>& bases) {
+  if (mgr_.IsTrue(guard)) return "1";
+  if (mgr_.IsFalse(guard)) return "0";
+  // Render as a sorted sum of products over shift-canonical literal names.
+  std::vector<std::string> cubes;
+  for (const BddCube& cube : mgr_.ToSop(guard)) {
+    std::vector<std::string> lits;
+    for (const auto& [var, pos] : cube.literals) {
+      // Recover (cond node, iter) for this variable.
+      InstKey key{0, 0};
+      for (const auto& [k, v] : guards_.cond_vars()) {
+        if (v == var) {
+          key = k;
+          break;
+        }
+      }
+      const Node& cn = g_.node(NodeId(key.first));
+      const int base = cn.loop.valid()
+                           ? bases[cn.loop.value()]
+                           : 0;
+      lits.push_back(StrCat(pos ? "" : "!", key.first, "@",
+                            key.second - base));
+    }
+    std::sort(lits.begin(), lits.end());
+    cubes.push_back(Join(lits, "&"));
+  }
+  std::sort(cubes.begin(), cubes.end());
+  return Join(cubes, "|");
+}
+
+std::string ClosureDetector::DebugSignature(const PathState& ps,
+                                            std::vector<int>* bases_out) {
+  std::vector<int> bases(g_.num_loops(), 0);
+  for (const Loop& loop : g_.loops()) {
+    bases[loop.id.value()] = ps.loops[loop.id.value()].base();
+  }
+  *bases_out = bases;
+
+  auto shift = [&](const InstKey& key) -> std::pair<std::uint32_t, int> {
+    const Node& n = g_.node(NodeId(key.first));
+    const int base = n.loop.valid() ? bases[n.loop.value()] : 0;
+    return {key.first, key.second - base};
+  };
+  auto shift_ref = [&](const InstRef& ref) -> std::string {
+    const auto [node, iter] = shift(MakeInstKey(ref));
+    return StrCat(node, "_", iter, ".", ref.version);
+  };
+
+  // Pending required work in the committed region (kept explicit so states
+  // are never merged across unfinished obligations). Computed first because
+  // the resolution section below keeps only history that pending work can
+  // still observe.
+  std::ostringstream pend;
+  std::set<InstKey> pending_iters;  // (loop value, iter) with pending work
+  for (const Node& n : g_.nodes()) {
+    if (!IsScheduledKind(n.kind)) continue;
+    int hi = 0;
+    if (n.loop.valid()) {
+      hi = bases[n.loop.value()] - 1;
+    }
+    for (int iter = 0; iter <= hi; ++iter) {
+      const Bdd ctrl = guards_.CtrlGuard(ps, n.id, iter);
+      if (mgr_.IsFalse(ctrl)) continue;
+      if (!guards_.InstanceCovered(ps, MakeInstKey(n.id, iter), ctrl,
+                                   /*require_completed=*/false)) {
+        const auto [node, siter] = shift(MakeInstKey(n.id, iter));
+        pend << node << "_" << siter << ";";
+        if (n.loop.valid()) {
+          pending_iters.emplace(n.loop.value(), iter);
+        }
+      }
+    }
+  }
+
+  std::ostringstream os;
+  for (const Loop& loop : g_.loops()) {
+    const LoopState& ls = ps.loops[loop.id.value()];
+    os << "L" << loop.id.value() << (ls.exited ? "X" : "O") << ";";
+  }
+
+  std::set<InstKey> loop_conds;
+  for (const Loop& loop : g_.loops()) {
+    loop_conds.emplace(loop.cond.value(), 0);
+  }
+  auto is_loop_cond = [&](NodeId n) {
+    return loop_conds.contains({n.value(), 0});
+  };
+
+  os << "|R:";
+  for (const auto& [key, value] : ps.resolved) {
+    const NodeId cn(key.first);
+    const Node& cnode = g_.node(cn);
+    if (cnode.loop.valid()) {
+      const LoopState& ls = ps.loops[cnode.loop.value()];
+      // Loop-condition resolutions are fully derivable from the frontier
+      // position (true below next_unresolved / exit_iter, false at the
+      // exit), so they never appear.
+      if (is_loop_cond(cn)) continue;
+      // Other in-loop resolutions matter only at the frontier or where
+      // pending work still consults them.
+      if (key.second < ls.base() &&
+          !pending_iters.contains({cnode.loop.value(), key.second})) {
+        continue;
+      }
+    }
+    const auto [node, iter] = shift(key);
+    os << node << "_" << iter << "=" << value << ";";
+  }
+
+  os << "|A:";
+  for (const auto& [key, versions] : ps.available) {
+    const auto [node, iter] = shift(key);
+    os << node << "_" << iter << "[";
+    for (const VersionRec& v : versions) {
+      os << v.version << ":"
+         << CanonGuard(guards_.BindingGuard(ps, key, v.version), bases)
+         << ",";
+    }
+    os << "];";
+  }
+
+  os << "|B:";
+  for (const auto& [key, blist] : ps.bindings) {
+    // A binding list is future-relevant only while an execution is still in
+    // flight or the instance is not fully covered (new candidates may still
+    // be generated and deduplicated against it). Fully covered, completed
+    // instances influence the future only through their published versions,
+    // which the A section already canonicalizes — omitting them here is
+    // what lets steady-state signatures converge.
+    bool in_flight = false;
+    for (const Binding& b : blist) {
+      if (!b.completed && !mgr_.IsFalse(b.guard)) in_flight = true;
+    }
+    const Bdd ctrl = guards_.CtrlGuard(ps, NodeId(key.first), key.second);
+    if (!in_flight &&
+        guards_.InstanceCovered(ps, key, ctrl,
+                                /*require_completed=*/false)) {
+      continue;
+    }
+    const auto [node, iter] = shift(key);
+    os << node << "_" << iter << "[";
+    for (std::size_t v = 0; v < blist.size(); ++v) {
+      const Binding& b = blist[v];
+      if (mgr_.IsFalse(b.guard)) continue;  // scrubbed mispredictions
+      os << v << ":(";
+      for (const InstRef& ref : b.operands) os << shift_ref(ref) << ",";
+      os << ")" << CanonGuard(b.guard, bases) << (b.completed ? "C" : "F")
+         << ";";
+    }
+    os << "];";
+  }
+
+  os << "|I:";
+  for (const InFlight& f : ps.inflight) {
+    os << shift_ref(f.inst) << "r" << f.remaining << ":"
+       << CanonGuard(f.guard, bases) << ";";
+  }
+
+  os << "|L:";
+  for (const auto& [key, versions] : ps.latched) {
+    const auto [node, iter] = shift(key);
+    os << node << "_" << iter << "[";
+    for (const LatchedVersion& v : versions) {
+      os << v.version << ":"
+         << CanonGuard(guards_.BindingGuard(ps, key, v.version), bases)
+         << ",";
+    }
+    os << "];";
+  }
+
+  os << "|P:" << pend.str();
+
+  return os.str();
+}
+
+std::optional<ClosureDetector::Hit> ClosureDetector::Lookup(
+    const PathState& ps) {
+  TokenizeState(ps, &last_bases_);
+
+  FpHasher hasher;
+  for (const std::uint64_t token : sig_tokens_) hasher.Mix(token);
+  last_fp_ = hasher.digest();
+
+  if (std::getenv("WS_DEBUG_SIG") != nullptr) {
+    std::vector<int> dbg_bases;
+    std::fprintf(stderr, "SIG[%d] fp=%016llx%016llx: %s\n",
+                 stats_.states_created,
+                 static_cast<unsigned long long>(last_fp_.hi),
+                 static_cast<unsigned long long>(last_fp_.lo),
+                 DebugSignature(ps, &dbg_bases).c_str());
+  }
+
+  const std::vector<CanonEntry>& bucket = canon_[last_fp_];
+  const CanonEntry* match = nullptr;
+  for (const CanonEntry& entry : bucket) {
+    if (entry.tokens == sig_tokens_) {
+      match = &entry;
+      break;
+    }
+    // Same 128-bit fingerprint, different canonical state: resolved exactly
+    // by the token comparison, counted for visibility.
+    stats_.signature_collisions++;
+  }
+
+  if (check_signatures_) {
+    // Cross-validate the fingerprint decision against the legacy string
+    // signature: both paths must agree on whether this state is new and on
+    // which state it folds onto.
+    std::vector<int> legacy_bases;
+    const std::string legacy = DebugSignature(ps, &legacy_bases);
+    auto lit = canon_check_.find(legacy);
+    WS_CHECK_MSG((match != nullptr) == (lit != canon_check_.end()),
+                 "fingerprint/legacy closure disagreement for: " << legacy);
+    if (match != nullptr) {
+      WS_CHECK_MSG(match->sid == lit->second,
+                   "fingerprint folded onto state "
+                       << match->sid.value() << " but legacy says "
+                       << lit->second.value() << " for: " << legacy);
+    }
+  }
+
+  if (match == nullptr) return std::nullopt;
+
+  Hit hit;
+  hit.sid = match->sid;
+  for (const Loop& loop : g_.loops()) {
+    const int delta =
+        last_bases_[loop.id.value()] - match->bases[loop.id.value()];
+    if (delta != 0) hit.shift.emplace_back(loop.id, delta);
+  }
+  stats_.closure_hits++;
+  return hit;
+}
+
+void ClosureDetector::Insert(StateId sid, const PathState& ps) {
+  canon_[last_fp_].push_back(CanonEntry{sig_tokens_, sid, last_bases_});
+  if (check_signatures_) {
+    std::vector<int> legacy_bases;
+    canon_check_.emplace(DebugSignature(ps, &legacy_bases), sid);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request fingerprints.
+
+namespace {
+
+// Doubles are mixed by bit pattern: the scheduler compares and multiplies
+// them exactly as stored, so bit-identical inputs are the right equality.
+void MixDouble(FpHasher& h, double v) {
+  h.Mix(std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+void MixString(FpHasher& h, const std::string& s) {
+  h.Mix(s.size());
+  std::uint64_t word = 0;
+  int shift = 0;
+  for (const char c : s) {
+    word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+            << shift;
+    shift += 8;
+    if (shift == 64) {
+      h.Mix(word);
+      word = 0;
+      shift = 0;
+    }
+  }
+  if (shift != 0) h.Mix(word);
+}
+
+void MixCdfg(FpHasher& h, const Cdfg& g) {
+  MixString(h, g.name());
+  h.Mix(g.num_nodes());
+  for (const Node& n : g.nodes()) {
+    h.Mix(static_cast<std::uint64_t>(n.kind));
+    // Display names are artifact-affecting: they appear in the STG's guard
+    // strings and rendered reports, which now persist in the durable store —
+    // a renamed design must never replay another design's artifacts.
+    MixString(h, n.name);
+    h.Mix(n.inputs.size());
+    for (const NodeId in : n.inputs) h.Mix(in.value());
+    h.Mix(static_cast<std::uint64_t>(n.const_value));
+    h.Mix(n.loop.value());
+    h.Mix(n.ctrl.size());
+    for (const ControlLiteral& lit : n.ctrl) {
+      h.Mix(lit.cond.value());
+      h.Mix(lit.polarity ? 1 : 0);
+    }
+    h.Mix(n.array.value());
+  }
+  h.Mix(g.num_loops());
+  for (const Loop& loop : g.loops()) {
+    MixString(h, loop.name);
+    h.Mix(loop.cond.value());
+    h.Mix(loop.phis.size());
+    for (const NodeId phi : loop.phis) h.Mix(phi.value());
+    h.Mix(loop.body.size());
+    for (const NodeId b : loop.body) h.Mix(b.value());
+  }
+  h.Mix(g.arrays().size());
+  for (const MemArray& a : g.arrays()) {
+    MixString(h, a.name);
+    h.Mix(static_cast<std::uint64_t>(a.size));
+    h.Mix(a.init.size());
+    for (const std::int64_t v : a.init) {
+      h.Mix(static_cast<std::uint64_t>(v));
+    }
+  }
+  h.Mix(g.inputs().size());
+  for (const NodeId in : g.inputs()) h.Mix(in.value());
+  h.Mix(g.outputs().size());
+  for (const NodeId out : g.outputs()) h.Mix(out.value());
+  // Branch probabilities drive criticality (Eq. 5) and the single-path
+  // likely assignment, so they are result-affecting inputs. condition_nodes()
+  // is sorted by id — a canonical order.
+  h.Mix(g.condition_nodes().size());
+  for (const NodeId cond : g.condition_nodes()) {
+    h.Mix(cond.value());
+    MixDouble(h, g.cond_probability(cond));
+  }
+}
+
+void MixLibrary(FpHasher& h, const FuLibrary& lib) {
+  h.Mix(static_cast<std::uint64_t>(lib.num_types()));
+  for (int i = 0; i < lib.num_types(); ++i) {
+    const FuType& t = lib.type(i);
+    MixString(h, t.name);
+    h.Mix(static_cast<std::uint64_t>(t.latency));
+    h.Mix(t.pipelined ? 1 : 0);
+    MixDouble(h, t.delay_ns);
+    MixDouble(h, t.area);
+  }
+  // Kind -> unit selection, enumerated in OpKind declaration order.
+  for (int k = 0; k <= static_cast<int>(OpKind::kOutput); ++k) {
+    const OpKind kind = static_cast<OpKind>(k);
+    h.Mix(lib.HasTypeFor(kind)
+              ? static_cast<std::uint64_t>(lib.TypeFor(kind))
+              : ~0ull);
+  }
+}
+
+void MixAllocation(FpHasher& h, const Allocation& alloc,
+                   const FuLibrary& lib) {
+  h.Mix(static_cast<std::uint64_t>(lib.num_types()));
+  for (int i = 0; i < lib.num_types(); ++i) {
+    h.Mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(alloc.Count(i))));
+  }
+}
+
+void MixOptions(FpHasher& h, const SchedulerOptions& options) {
+  h.Mix(static_cast<std::uint64_t>(options.mode));
+  // The selection policy decides admission order, so it shapes every
+  // downstream byte of the schedule.
+  h.Mix(static_cast<std::uint64_t>(options.policy));
+  MixDouble(h, options.clock.period_ns);
+  h.Mix(options.clock.allow_chaining ? 1 : 0);
+  h.Mix(static_cast<std::uint64_t>(options.lookahead));
+  h.Mix(static_cast<std::uint64_t>(options.gc_window));
+  h.Mix(static_cast<std::uint64_t>(options.max_states));
+  h.Mix(static_cast<std::uint64_t>(options.max_ops_per_state));
+  // options.deadline / options.cancel intentionally excluded: per-call
+  // bounds, not result-affecting inputs.
+}
+
+Fp128 FingerprintScheduleRequest(const ScheduleRequest& request) {
+  WS_CHECK_MSG(request.graph != nullptr && request.library != nullptr &&
+                   request.allocation != nullptr,
+               "FingerprintScheduleRequest: null request member");
+  FpHasher h;
+  MixCdfg(h, *request.graph);
+  MixLibrary(h, *request.library);
+  MixAllocation(h, *request.allocation, *request.library);
+  MixOptions(h, request.options);
+  return h.digest();
+}
+
+}  // namespace ws

@@ -1,0 +1,146 @@
+// Canonical fingerprints: STG closure detection over shift-canonical state
+// signatures, and 128-bit fingerprints of whole scheduling requests.
+//
+// --- State closure (the paper's relabeling map M) --------------------------
+//
+// The scheduler folds a successor path state onto an existing STG state when
+// the two are equal modulo a uniform per-loop iteration shift. The detector
+// keys states on a shift-canonical structural fingerprint: TokenizeState
+// serializes the PathState into a length-prefixed u64 token stream whose
+// vector equality is exactly "same state modulo the shift", and the closure
+// map keys a 128-bit hash of that stream, falling back to exact token
+// comparison on hash hits (a true collision degrades to a comparison, never
+// a wrong merge). Guards enter the stream as the node index of their
+// shift-canonicalized BDD (BddManager::RenameDense), never as strings.
+//
+// A legacy human-readable signature (DebugSignature) is kept for
+// WS_DEBUG_SIG dumps, deadlock diagnostics, and the WS_CHECK_SIG
+// cross-validation of the fingerprint path (tests/signature_test.cc). Not on
+// the hot path.
+//
+// --- Request fingerprints --------------------------------------------------
+//
+// The serving layer's result cache and the durable artifact store key work
+// on a canonical 128-bit fingerprint of the whole request. Two requests with
+// the same fingerprint must schedule identically; the token stream therefore
+// enumerates exactly the inputs the scheduler reads — the CDFG's structure
+// and branch-probability annotations, the functional-unit library and kind
+// selection, the allocation counts, and every result-affecting
+// SchedulerOptions field, including the selection policy. Deliberately
+// excluded: SchedulerOptions::deadline and ::cancel — they bound a
+// particular call, not its result. Display names all participate, because
+// fingerprints also key the durable artifact store (io/artifact_store.h),
+// whose values embed rendered text — two designs differing only in names
+// must never replay each other's artifacts.
+#ifndef WS_SCHED_CLOSURE_H
+#define WS_SCHED_CLOSURE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/hashing.h"
+#include "bdd/bdd.h"
+#include "cdfg/cdfg.h"
+#include "sched/engine_state.h"
+#include "sched/guards.h"
+#include "sched/scheduler.h"
+
+namespace ws {
+
+// --- State closure ---------------------------------------------------------
+
+class ClosureDetector {
+ public:
+  // References are borrowed for the run; `stats` receives closure_hits and
+  // signature_collisions (and is read for the WS_DEBUG_SIG state counter).
+  ClosureDetector(const Cdfg& g, BddManager& mgr, GuardEngine& guards,
+                  ScheduleStats& stats);
+
+  // A successful probe: the canonical state and the per-loop iteration
+  // shift (the relabeling) from the probed state onto it.
+  struct Hit {
+    StateId sid;
+    std::vector<std::pair<LoopId, int>> shift;
+  };
+
+  // Tokenizes `ps` and probes the closure map. A hit bumps
+  // stats.closure_hits. On a miss the canonical tokens/bases/fingerprint are
+  // retained; the caller mints a state id and must call Insert next.
+  std::optional<Hit> Lookup(const PathState& ps);
+
+  // Registers the state last probed by Lookup (which must have missed)
+  // under `sid`. `ps` is only consulted for the WS_CHECK_SIG legacy map.
+  void Insert(StateId sid, const PathState& ps);
+
+  // Legacy human-readable signature; fills *bases_out with the per-loop
+  // canonical bases.
+  std::string DebugSignature(const PathState& ps, std::vector<int>* bases_out);
+
+ private:
+  void TokenizeState(const PathState& ps, std::vector<int>* bases);
+  // Prepares the var shift map for `bases` (creating shifted condition
+  // variables as needed); leaves the result in shift_var_map_ /
+  // shift_identity_.
+  void PrepareShift(const std::vector<int>& bases);
+  // The canonical token of `guard` under the prepared shift.
+  std::uint64_t GuardToken(Bdd guard);
+  std::string CanonGuard(Bdd guard, const std::vector<int>& bases);
+
+  const Cdfg& g_;
+  BddManager& mgr_;
+  GuardEngine& guards_;
+  ScheduleStats& stats_;
+
+  // Closure map: state fingerprint -> canonical entries. Buckets are vectors
+  // so true 128-bit collisions degrade to an exact comparison, never to a
+  // wrong merge. Each entry keeps the full token stream for that comparison
+  // plus the loop bases the tokens were canonicalized at (needed to compute
+  // the relabel shift on a hit).
+  struct CanonEntry {
+    std::vector<std::uint64_t> tokens;
+    StateId sid;
+    std::vector<int> bases;
+  };
+  std::unordered_map<Fp128, std::vector<CanonEntry>, Fp128Hash> canon_;
+  // WS_CHECK_SIG cross-validation: legacy string signature -> StateId,
+  // maintained only when the env var is set.
+  std::unordered_map<std::string, StateId> canon_check_;
+  const bool check_signatures_;
+
+  // Lookup-to-Insert state: the last probe's canonical form.
+  Fp128 last_fp_{};
+  std::vector<int> last_bases_;
+
+  // Scratch buffers reused across hot-path calls (cleared, never shrunk, so
+  // steady-state scheduling does not allocate in these paths).
+  std::vector<std::uint64_t> sig_tokens_;              // TokenizeState output
+  std::vector<int> shift_var_map_;                     // var -> shifted var
+  std::vector<std::pair<int, InstKey>> shift_wanted_;  // PrepareShift scratch
+  bool shift_identity_ = true;                         // all bases zero
+  bool shift_epoch_open_ = false;                      // RenameDense memo
+  std::vector<std::pair<int, int>> pending_iters_;     // (loop, iter), sorted
+  std::vector<std::uint64_t> pend_tokens_;             // pending-work section
+  std::vector<bool> is_loop_cond_;                     // by node, built once
+};
+
+// --- Request fingerprints --------------------------------------------------
+
+// Fingerprint of a fully-formed request (all pointers non-null; throws
+// ws::Error otherwise). Deterministic across platforms and processes.
+Fp128 FingerprintScheduleRequest(const ScheduleRequest& request);
+
+// The building blocks, for callers that key on a superset of the request
+// (the serving cache also mixes in stimulus counts and analysis flags).
+void MixString(FpHasher& h, const std::string& s);
+void MixCdfg(FpHasher& h, const Cdfg& g);
+void MixLibrary(FpHasher& h, const FuLibrary& lib);
+void MixAllocation(FpHasher& h, const Allocation& alloc, const FuLibrary& lib);
+void MixOptions(FpHasher& h, const SchedulerOptions& options);
+
+}  // namespace ws
+
+#endif  // WS_SCHED_CLOSURE_H

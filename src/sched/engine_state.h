@@ -1,0 +1,104 @@
+// The scheduling engine's shared working-state types: the symbolic execution
+// front along one control path (PathState) and the candidate record the
+// successor computation produces. These used to be private to the scheduler
+// monolith; they are a header so the engine's layers — guards, candidates,
+// fork, closure, policy (each in its own module under src/sched/) — can share
+// them and be tested in isolation.
+//
+// None of these types own scheduling logic. The semantics live in the
+// modules: guard construction in guards.h, Lemma 1 successor computation in
+// candidates.h, Step 2 validation/invalidation in fork.h, the relabeling map
+// M in closure.h, and Eq. 5 (plus its alternatives) in policy.h.
+#ifndef WS_SCHED_ENGINE_STATE_H
+#define WS_SCHED_ENGINE_STATE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "cdfg/cdfg.h"
+#include "stg/stg.h"
+
+namespace ws {
+
+// (node value, iteration) — the identity of an operation/value instance.
+using InstKey = std::pair<std::uint32_t, int>;
+
+inline InstKey MakeInstKey(NodeId node, int iter) {
+  return {node.value(), iter};
+}
+inline InstKey MakeInstKey(const InstRef& ref) {
+  return {ref.node.value(), ref.iter};
+}
+
+// One execution of a (node, iteration) with a concrete operand binding. The
+// guard is the operand-correctness condition: the stored physical result
+// equals the semantically correct value of the instance iff the guard holds.
+struct Binding {
+  std::vector<InstRef> operands;
+  Bdd guard;
+  bool completed = false;
+  std::string guard_at_schedule;  // paper-style annotation, frozen
+};
+
+// A published result version available for consumption: (version index into
+// bindings[key], within-cycle readiness offset for chaining).
+struct VersionRec {
+  int version = 0;
+  double ready_offset = 0.0;
+};
+
+// A multi-cycle operation still occupying its unit.
+struct InFlight {
+  InstRef inst;
+  Bdd guard;          // squashed (removed) when this folds to 0
+  int remaining = 0;  // continuation cycles still to run
+  int latency = 1;
+  int fu_type = -1;
+};
+
+struct LoopState {
+  bool exited = false;
+  int exit_iter = 0;        // valid when exited
+  int next_unresolved = 0;  // r: smallest i with condition instance unresolved
+  int base() const { return exited ? exit_iter : next_unresolved; }
+};
+
+// A completed-but-unresolved conditional execution whose value is latched in
+// a register, awaiting validation.
+struct LatchedVersion {
+  int version = 0;
+};
+
+// The symbolic execution front along one control path.
+struct PathState {
+  std::map<InstKey, std::vector<Binding>> bindings;
+  std::map<InstKey, std::vector<VersionRec>> available;
+  std::vector<InFlight> inflight;
+  std::map<InstKey, bool> resolved;                       // condition instances
+  std::map<InstKey, std::vector<LatchedVersion>> latched;  // unresolved conds
+  std::vector<LoopState> loops;
+};
+
+// A schedulable candidate produced by the successor computation
+// (candidates.h). `priority` is filled by the active selection policy
+// (policy.h); under the default kCriticality policy it is Eq. 5's
+// criticality, lambda(op) * P(guard).
+struct Candidate {
+  NodeId node;
+  int iter = 0;
+  std::vector<InstRef> operands;
+  Bdd guard;
+  int fu_type = -1;
+  int latency = 1;
+  double delay = 1.0;
+  double start_offset = 0.0;
+  double priority = 0.0;
+};
+
+}  // namespace ws
+
+#endif  // WS_SCHED_ENGINE_STATE_H

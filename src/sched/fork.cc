@@ -1,0 +1,110 @@
+#include "sched/fork.h"
+
+#include <utility>
+
+namespace ws {
+
+void ForkEngine::Fold(PathState& ps, NodeId cond, int iter, bool value) {
+  ps.resolved[MakeInstKey(cond, iter)] = value;
+  auto vit = guards_.cond_vars().find(MakeInstKey(cond, iter));
+  if (vit != guards_.cond_vars().end()) {
+    const int var = vit->second;
+    for (auto& [key, blist] : ps.bindings) {
+      for (Binding& b : blist) {
+        b.guard = mgr_.Restrict(b.guard, var, value);
+        // A dead binding's operands are never consulted again (it cannot be
+        // widened back — identical-operand candidates are rare and simply
+        // get a fresh version). Scrubbing them keeps mispredicted-history
+        // noise out of the canonical state signature.
+        if (mgr_.IsFalse(b.guard)) b.operands.clear();
+      }
+    }
+    std::vector<InFlight> kept;
+    for (InFlight& f : ps.inflight) {
+      f.guard = mgr_.Restrict(f.guard, var, value);
+      if (mgr_.IsFalse(f.guard)) {
+        stats_.squashed_ops++;
+        // Invalidate the binding too: the physical result will never be
+        // correct on this path and must not publish a version.
+        Binding& dead = ps.bindings[MakeInstKey(f.inst)]
+            [static_cast<std::size_t>(f.inst.version)];
+        dead.guard = mgr_.False();
+        dead.operands.clear();
+        continue;
+      }
+      kept.push_back(f);
+    }
+    ps.inflight = std::move(kept);
+  }
+
+  // Drop dead versions / latched values (guard folded to 0).
+  for (auto it = ps.available.begin(); it != ps.available.end();) {
+    auto& versions = it->second;
+    std::erase_if(versions, [&](const VersionRec& v) {
+      return mgr_.IsFalse(guards_.BindingGuard(ps, it->first, v.version));
+    });
+    it = versions.empty() ? ps.available.erase(it) : std::next(it);
+  }
+  for (auto it = ps.latched.begin(); it != ps.latched.end();) {
+    if (ps.resolved.contains(it->first)) {
+      it = ps.latched.erase(it);
+      continue;
+    }
+    auto& versions = it->second;
+    std::erase_if(versions, [&](const LatchedVersion& v) {
+      return mgr_.IsFalse(guards_.BindingGuard(ps, it->first, v.version));
+    });
+    it = versions.empty() ? ps.latched.erase(it) : std::next(it);
+  }
+
+  // Advance loop fronts.
+  for (const Loop& loop : g_.loops()) {
+    LoopState& ls = ps.loops[loop.id.value()];
+    if (ls.exited) continue;
+    for (;;) {
+      auto rit =
+          ps.resolved.find(MakeInstKey(loop.cond, ls.next_unresolved));
+      if (rit == ps.resolved.end()) break;
+      if (rit->second) {
+        ls.next_unresolved++;
+      } else {
+        ls.exited = true;
+        ls.exit_iter = ls.next_unresolved;
+        break;
+      }
+    }
+  }
+}
+
+void ForkEngine::PartitionLeaves(const PathState& ps,
+                                 std::vector<CondLiteral>& cube,
+                                 std::vector<Leaf>& out, int depth) {
+  // Resolvable: latched condition instances whose validity guard has become
+  // constant-true (the execution is known to have used correct operands).
+  std::vector<std::pair<InstKey, int>> resolvable;
+  for (const auto& [key, versions] : ps.latched) {
+    for (const LatchedVersion& v : versions) {
+      if (mgr_.IsTrue(guards_.BindingGuard(ps, key, v.version))) {
+        resolvable.emplace_back(key, v.version);
+        break;
+      }
+    }
+    if (static_cast<int>(resolvable.size()) >= kMaxResolvePerState) break;
+  }
+  if (resolvable.empty() || depth > 8) {
+    out.push_back(Leaf{cube, ps});
+    return;
+  }
+  const auto [key, version] = resolvable.front();
+  const NodeId cond(key.first);
+  const int iter = key.second;
+  for (const bool value : {true, false}) {
+    PathState branch = ps;
+    Fold(branch, cond, iter, value);
+    cube.push_back(CondLiteral{InstRef{cond, iter, version}, value});
+    PartitionLeaves(branch, cube, out, depth + 1);
+    cube.pop_back();
+  }
+}
+
+}  // namespace ws

@@ -1,0 +1,61 @@
+// Validation/invalidation at state boundaries (the paper's Step 2).
+//
+// When condition instances resolve at the end of a cycle, the STG forks per
+// condition combination: PartitionLeaves enumerates the resolvable latched
+// conditions of a path state and produces one leaf per outcome cube, each
+// with a copy of the state folded by Fold — which cofactors every guard on
+// the resolved variable, discards work whose guard folds to 0 (squashing
+// in-flight speculative operations and invalidating their bindings),
+// validates work whose guard folds to 1, and advances the loop resolution
+// frontiers.
+#ifndef WS_SCHED_FORK_H
+#define WS_SCHED_FORK_H
+
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "cdfg/cdfg.h"
+#include "sched/engine_state.h"
+#include "sched/guards.h"
+#include "sched/scheduler.h"
+#include "stg/stg.h"
+
+namespace ws {
+
+class ForkEngine {
+ public:
+  // One outcome of a resolution fork: the condition cube taken and the
+  // folded path state that results.
+  struct Leaf {
+    std::vector<CondLiteral> cube;
+    PathState ps;
+  };
+
+  // References are borrowed for the run; `stats` receives squashed_ops.
+  ForkEngine(const Cdfg& g, BddManager& mgr, GuardEngine& guards,
+             ScheduleStats& stats)
+      : g_(g), mgr_(mgr), guards_(guards), stats_(stats) {}
+
+  // Resolves condition instance (cond, iter) to `value` in `ps`: records
+  // the resolution, cofactors every binding/in-flight guard, drops dead
+  // versions and latched values, and advances loop fronts.
+  void Fold(PathState& ps, NodeId cond, int iter, bool value);
+
+  // Recursively splits `ps` on its resolvable latched conditions (validity
+  // guard constant-true), appending one Leaf per outcome cube to `out`.
+  // `cube` is the accumulated path (callers start it empty).
+  void PartitionLeaves(const PathState& ps, std::vector<CondLiteral>& cube,
+                       std::vector<Leaf>& out, int depth);
+
+ private:
+  const Cdfg& g_;
+  BddManager& mgr_;
+  GuardEngine& guards_;
+  ScheduleStats& stats_;
+
+  static constexpr int kMaxResolvePerState = 4;
+};
+
+}  // namespace ws
+
+#endif  // WS_SCHED_FORK_H

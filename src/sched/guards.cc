@@ -1,0 +1,97 @@
+#include "sched/guards.h"
+
+#include <string>
+
+#include "base/status.h"
+
+namespace ws {
+
+int GuardEngine::CondVar(NodeId cond, int iter) {
+  const InstKey key = MakeInstKey(cond, iter);
+  auto it = cond_vars_.find(key);
+  if (it != cond_vars_.end()) return it->second;
+  const std::string name =
+      g_.node(cond).name + "_" + std::to_string(iter);
+  const int var = mgr_.NewVar(name);
+  cond_vars_.emplace(key, var);
+  const double p = g_.cond_probability(cond);
+  var_probs_.resize(static_cast<std::size_t>(var) + 1, 0.5);
+  var_probs_[static_cast<std::size_t>(var)] = p;
+  likely_assignment_[var] = p >= 0.5;
+  return var;
+}
+
+Bdd GuardEngine::CondLit(const PathState& ps, NodeId cond, int iter,
+                         bool polarity) {
+  auto it = ps.resolved.find(MakeInstKey(cond, iter));
+  if (it != ps.resolved.end()) {
+    return it->second == polarity ? mgr_.True() : mgr_.False();
+  }
+  const int var = CondVar(cond, iter);
+  return polarity ? mgr_.Var(var) : mgr_.NotVar(var);
+}
+
+Bdd GuardEngine::CtrlGuard(const PathState& ps, NodeId node, int iter) {
+  const Node& n = g_.node(node);
+  Bdd guard = mgr_.True();
+  if (n.loop.valid()) {
+    const Loop& loop = g_.loop(n.loop);
+    // Iteration i of the body requires continue-conditions 0..i to hold;
+    // loop-header nodes (which compute the continue decision itself) only
+    // require 0..i-1.
+    const int upper = g_.InLoopHeader(node) ? iter - 1 : iter;
+    const LoopState& ls = ps.loops[n.loop.value()];
+    // Conditions below next_unresolved are resolved true; start there.
+    const int lo = ls.exited ? 0 : ls.next_unresolved;
+    for (int k = lo; k <= upper; ++k) {
+      const Bdd lit = CondLit(ps, loop.cond, k, true);
+      if (mgr_.IsFalse(lit)) return mgr_.False();
+      guard = mgr_.And(guard, lit);
+    }
+  }
+  for (const ControlLiteral& lit : n.ctrl) {
+    // Guard conditions live in the same loop scope, hence same iteration.
+    const Bdd b = CondLit(ps, lit.cond, n.loop.valid() ? iter : 0,
+                          lit.polarity);
+    if (mgr_.IsFalse(b)) return mgr_.False();
+    guard = mgr_.And(guard, b);
+  }
+  return guard;
+}
+
+Bdd GuardEngine::ExitGuard(const PathState& ps, LoopId loop_id,
+                           int exit_iter) {
+  const Loop& loop = g_.loop(loop_id);
+  const LoopState& ls = ps.loops[loop_id.value()];
+  if (ls.exited) {
+    return exit_iter == ls.exit_iter ? mgr_.True() : mgr_.False();
+  }
+  if (exit_iter < ls.next_unresolved) return mgr_.False();
+  Bdd guard = CondLit(ps, loop.cond, exit_iter, false);
+  for (int k = ls.next_unresolved; k < exit_iter; ++k) {
+    guard = mgr_.And(guard, CondLit(ps, loop.cond, k, true));
+  }
+  return guard;
+}
+
+Bdd GuardEngine::BindingGuard(const PathState& ps, const InstKey& key,
+                              int version) const {
+  auto it = ps.bindings.find(key);
+  WS_CHECK(it != ps.bindings.end());
+  WS_CHECK(version >= 0 &&
+           static_cast<std::size_t>(version) < it->second.size());
+  return it->second[static_cast<std::size_t>(version)].guard;
+}
+
+bool GuardEngine::InstanceCovered(const PathState& ps, const InstKey& key,
+                                  Bdd ctrl, bool require_completed) {
+  auto it = ps.bindings.find(key);
+  if (it == ps.bindings.end()) return false;
+  for (const Binding& b : it->second) {
+    if (require_completed && !b.completed) continue;
+    if (mgr_.Covers(b.guard, ctrl)) return true;
+  }
+  return false;
+}
+
+}  // namespace ws

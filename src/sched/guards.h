@@ -1,0 +1,87 @@
+// Guard algebra: construction and interrogation of the BDD speculation
+// guards that tag every operation instance, binding, and published value.
+//
+// A guard is a Boolean function over *condition-instance* variables — one
+// BDD variable per (condition node, iteration) pair, minted lazily with the
+// condition's profiled branch probability attached. The engine's other
+// layers build on exactly four constructions:
+//
+//   CondLit       the literal for one condition instance (constant once the
+//                 path has resolved it),
+//   CtrlGuard     the control guard of an operation instance: conjunction of
+//                 its loop's continue-conditions and its own control
+//                 literals (the paper's execution condition),
+//   ExitGuard     the condition that a loop exits at a given iteration,
+//   BindingGuard  the validity guard of a scheduled execution (stored in the
+//                 PathState, looked up here for bounds-checked access).
+//
+// InstanceCovered is the engine-wide correctness test (Lemma 1's "covered"):
+// an instance needs no further executions iff a *single* binding's validity
+// guard covers its control guard — a union of partial-guard executions does
+// not qualify, because no downstream consumer could pick between them
+// without a datapath mux, which is itself an instance that must reach single
+// coverage.
+#ifndef WS_SCHED_GUARDS_H
+#define WS_SCHED_GUARDS_H
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "cdfg/cdfg.h"
+#include "sched/engine_state.h"
+
+namespace ws {
+
+class GuardEngine {
+ public:
+  // Borrows the graph and the manager for the lifetime of the run.
+  GuardEngine(const Cdfg& g, BddManager& mgr) : g_(g), mgr_(mgr) {}
+
+  // The BDD variable for condition instance (cond, iter), minted on first
+  // use with the node's profiled probability.
+  int CondVar(NodeId cond, int iter);
+
+  // The literal for (cond, iter) as seen from `ps`: a constant when the path
+  // has resolved the instance, the (possibly negated) variable otherwise.
+  Bdd CondLit(const PathState& ps, NodeId cond, int iter, bool polarity);
+
+  // The control guard of instance (node, iter) on `ps`.
+  Bdd CtrlGuard(const PathState& ps, NodeId node, int iter);
+
+  // The guard that loop `loop_id` exits exactly at `exit_iter`.
+  Bdd ExitGuard(const PathState& ps, LoopId loop_id, int exit_iter);
+
+  // The validity guard of bindings[key][version]; checks bounds.
+  Bdd BindingGuard(const PathState& ps, const InstKey& key, int version) const;
+
+  // True iff a single binding's validity guard covers `ctrl`.
+  bool InstanceCovered(const PathState& ps, const InstKey& key, Bdd ctrl,
+                       bool require_completed);
+
+  // The (condition instance -> BDD variable) map. Mutated by CondVar; the
+  // fork engine and closure detector read it to invert variable lookups.
+  const std::map<InstKey, int>& cond_vars() const { return cond_vars_; }
+
+  // Per-variable probability of the condition instance being true, indexed
+  // by BDD variable. Grows as variables are minted; feed to
+  // BddManager::Probability.
+  const std::vector<double>& var_probs() const { return var_probs_; }
+
+  // Most-probable assignment per variable (single-path mode's filter).
+  const std::unordered_map<int, bool>& likely_assignment() const {
+    return likely_assignment_;
+  }
+
+ private:
+  const Cdfg& g_;
+  BddManager& mgr_;
+  std::map<InstKey, int> cond_vars_;
+  std::vector<double> var_probs_;
+  std::unordered_map<int, bool> likely_assignment_;  // single-path mode
+};
+
+}  // namespace ws
+
+#endif  // WS_SCHED_GUARDS_H

@@ -1,0 +1,97 @@
+#include "sched/policy.h"
+
+#include <cmath>
+#include <string>
+
+#include "bdd/bdd.h"
+#include "sched/engine_state.h"
+
+namespace ws {
+namespace {
+
+// Eq. 5: criticality = lambda(op) * P(guard). The expression must stay
+// exactly this product in this order — the default policy is contractually
+// bit-identical to the pre-modular engine.
+class CriticalityPolicy final : public SelectionPolicyImpl {
+ public:
+  double Priority(const Candidate& c, const PolicyContext& ctx) const final {
+    return (*ctx.lambda)[c.node.value()] *
+           ctx.mgr->Probability(c.guard, *ctx.var_probs);
+  }
+};
+
+class ProbabilityOnlyPolicy final : public SelectionPolicyImpl {
+ public:
+  double Priority(const Candidate& c, const PolicyContext& ctx) const final {
+    return ctx.mgr->Probability(c.guard, *ctx.var_probs);
+  }
+};
+
+class PathLengthOnlyPolicy final : public SelectionPolicyImpl {
+ public:
+  double Priority(const Candidate& c, const PolicyContext& ctx) const final {
+    return (*ctx.lambda)[c.node.value()];
+  }
+};
+
+// Constant priority: every candidate ties, so BetterCandidate resolves
+// admission purely by (iteration, node) program order.
+class FifoPolicy final : public SelectionPolicyImpl {
+ public:
+  double Priority(const Candidate&, const PolicyContext&) const final {
+    return 0.0;
+  }
+};
+
+}  // namespace
+
+const char* SelectionPolicyName(SelectionPolicy policy) {
+  switch (policy) {
+    case SelectionPolicy::kCriticality: return "crit";
+    case SelectionPolicy::kProbabilityOnly: return "prob";
+    case SelectionPolicy::kPathLengthOnly: return "lambda";
+    case SelectionPolicy::kFifo: return "fifo";
+  }
+  return "?";
+}
+
+Result<SelectionPolicy> ParseSelectionPolicy(std::string_view name) {
+  if (name == "crit" || name == "criticality") {
+    return SelectionPolicy::kCriticality;
+  }
+  if (name == "prob" || name == "probability") {
+    return SelectionPolicy::kProbabilityOnly;
+  }
+  if (name == "lambda" || name == "path-length") {
+    return SelectionPolicy::kPathLengthOnly;
+  }
+  if (name == "fifo") return SelectionPolicy::kFifo;
+  return Status::MakeError(
+      StatusCode::kInvalidArgument,
+      "unknown selection policy \"" + std::string(name) +
+          "\" (want crit, prob, lambda, or fifo)");
+}
+
+std::unique_ptr<SelectionPolicyImpl> MakeSelectionPolicy(
+    SelectionPolicy policy) {
+  switch (policy) {
+    case SelectionPolicy::kCriticality:
+      return std::make_unique<CriticalityPolicy>();
+    case SelectionPolicy::kProbabilityOnly:
+      return std::make_unique<ProbabilityOnlyPolicy>();
+    case SelectionPolicy::kPathLengthOnly:
+      return std::make_unique<PathLengthOnlyPolicy>();
+    case SelectionPolicy::kFifo:
+      return std::make_unique<FifoPolicy>();
+  }
+  return std::make_unique<CriticalityPolicy>();
+}
+
+bool BetterCandidate(const Candidate& c, const Candidate& best) {
+  return c.priority > best.priority + 1e-12 ||
+         (std::abs(c.priority - best.priority) <= 1e-12 &&
+          (c.iter < best.iter ||
+           (c.iter == best.iter && c.node < best.node)));
+}
+
+}  // namespace ws

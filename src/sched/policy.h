@@ -1,0 +1,90 @@
+// Pluggable operation-selection policies (the paper's Step 3).
+//
+// The scheduler admits candidates greedily; which candidate goes first is the
+// highest-leverage heuristic choice in the whole engine. The policy assigns
+// every mode-filtered candidate a priority; the admission loop takes the
+// highest priority, breaking ties deterministically by (iteration, node) —
+// see BetterCandidate below.
+//
+//   kCriticality     Eq. 5: lambda(op) * P(guard). The default; bit-for-bit
+//                    the pre-refactor engine's behavior.
+//   kProbabilityOnly P(guard): favor near-certain work regardless of how
+//                    long its dependent path is.
+//   kPathLengthOnly  lambda(op): classic longest-path list scheduling,
+//                    ignoring how speculative the work is.
+//   kFifo            constant priority: every candidate ties, so admission
+//                    falls through to the deterministic (iteration, node)
+//                    order — a program-order list-scheduling baseline.
+//
+// The policy is a result-affecting input: it participates in request
+// fingerprints (sched/closure.h), the wire protocol (serve/protocol.h), and
+// stored artifacts (io/codec.h, version-gated).
+#ifndef WS_SCHED_POLICY_H
+#define WS_SCHED_POLICY_H
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace ws {
+
+class BddManager;   // bdd/bdd.h
+struct Candidate;   // sched/engine_state.h
+
+enum class SelectionPolicy : std::uint8_t {
+  kCriticality = 0,      // Eq. 5 (default)
+  kProbabilityOnly = 1,  // P(guard)
+  kPathLengthOnly = 2,   // lambda
+  kFifo = 3,             // list-scheduling baseline
+};
+
+inline constexpr SelectionPolicy kMaxSelectionPolicy = SelectionPolicy::kFifo;
+
+// Canonical short name: "crit", "prob", "lambda", "fifo".
+const char* SelectionPolicyName(SelectionPolicy policy);
+
+// Inverse of SelectionPolicyName (also accepts the long spellings
+// "criticality", "probability", and "path-length"); kInvalidArgument on
+// anything else.
+Result<SelectionPolicy> ParseSelectionPolicy(std::string_view name);
+
+// What a policy may consult when scoring a candidate. All pointees are
+// borrowed for the scheduling run; the manager is non-const because
+// probability evaluation memoizes in the BDD.
+struct PolicyContext {
+  const std::vector<double>* lambda = nullptr;     // per node value
+  BddManager* mgr = nullptr;
+  const std::vector<double>* var_probs = nullptr;  // per condition variable
+};
+
+// The selection-policy interface. Implementations must be deterministic pure
+// functions of (candidate, context): the explore engine calls them from
+// concurrent shared-nothing workers and the closure map assumes identical
+// states schedule identically.
+class SelectionPolicyImpl {
+ public:
+  virtual ~SelectionPolicyImpl() = default;
+
+  // Priority of a mode-filtered candidate; higher is admitted first.
+  virtual double Priority(const Candidate& c,
+                          const PolicyContext& ctx) const = 0;
+};
+
+// Factory for the built-in policies above.
+std::unique_ptr<SelectionPolicyImpl> MakeSelectionPolicy(
+    SelectionPolicy policy);
+
+// The admission order: true iff `c` should be admitted before `best`.
+// Priorities within 1e-12 of each other tie (priorities are products of
+// profiled probabilities, so exact float equality would be fragile), and
+// ties resolve by (iteration, node) — total, deterministic, and independent
+// of candidate-generation order, which is what keeps schedules reproducible
+// across runs and explore worker counts.
+bool BetterCandidate(const Candidate& c, const Candidate& best);
+
+}  // namespace ws
+
+#endif  // WS_SCHED_POLICY_H

@@ -1,20 +1,34 @@
+// The engine driver. The algorithmic layers live in their own modules —
+// guard algebra in sched/guards.cc, successor computation in
+// sched/candidates.cc, fork-time validation/invalidation in sched/fork.cc,
+// closure detection in sched/closure.cc, selection policies in
+// sched/policy.cc. What remains here is the per-run orchestration: the
+// worklist loop, greedy candidate admission against the resource/clock
+// constraints, frontier garbage collection, termination detection, and the
+// public entry points.
 #include "sched/scheduler.h"
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
-#include <sstream>
-#include <unordered_map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
-#include "base/hashing.h"
+#include "base/phase_timer.h"
 #include "base/strings.h"
 #include "bdd/bdd.h"
+#include "sched/candidates.h"
+#include "sched/closure.h"
+#include "sched/engine_state.h"
+#include "sched/fork.h"
+#include "sched/guards.h"
 #include "sched/lambda.h"
+#include "sched/policy.h"
 
 namespace ws {
 
@@ -29,99 +43,21 @@ const char* SpeculationModeName(SpeculationMode mode) {
 
 namespace {
 
-// Accumulates elapsed wall time into a ScheduleStats phase counter on scope
-// exit. Phases re-enter (GenerateCandidates runs once per admission), so the
-// sink is additive.
-class PhaseTimer {
- public:
-  explicit PhaseTimer(std::int64_t* sink)
-      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
-  ~PhaseTimer() {
-    *sink_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - start_)
-                  .count();
-  }
-  PhaseTimer(const PhaseTimer&) = delete;
-  PhaseTimer& operator=(const PhaseTimer&) = delete;
-
- private:
-  std::int64_t* sink_;
-  std::chrono::steady_clock::time_point start_;
-};
-
-// (node value, iteration) — the identity of an operation/value instance.
-using Key = std::pair<std::uint32_t, int>;
-
-Key MakeKey(NodeId node, int iter) { return {node.value(), iter}; }
-Key MakeKey(const InstRef& ref) { return {ref.node.value(), ref.iter}; }
-
-// One execution of a (node, iteration) with a concrete operand binding. The
-// guard is the operand-correctness condition: the stored physical result
-// equals the semantically correct value of the instance iff the guard holds.
-struct Binding {
-  std::vector<InstRef> operands;
-  Bdd guard;
-  bool completed = false;
-  std::string guard_at_schedule;  // paper-style annotation, frozen
-};
-
-// A published result version available for consumption: (version index into
-// bindings[key], within-cycle readiness offset for chaining).
-struct VersionRec {
-  int version = 0;
-  double ready_offset = 0.0;
-};
-
-// A multi-cycle operation still occupying its unit.
-struct InFlight {
-  InstRef inst;
-  Bdd guard;          // squashed (removed) when this folds to 0
-  int remaining = 0;  // continuation cycles still to run
-  int latency = 1;
-  int fu_type = -1;
-};
-
-struct LoopState {
-  bool exited = false;
-  int exit_iter = 0;        // valid when exited
-  int next_unresolved = 0;  // r: smallest i with condition instance unresolved
-  int base() const { return exited ? exit_iter : next_unresolved; }
-};
-
-// A completed-but-unresolved conditional execution whose value is latched in
-// a register, awaiting validation.
-struct LatchedVersion {
-  int version = 0;
-};
-
-// The symbolic execution front along one control path.
-struct PathState {
-  std::map<Key, std::vector<Binding>> bindings;
-  std::map<Key, std::vector<VersionRec>> available;
-  std::vector<InFlight> inflight;
-  std::map<Key, bool> resolved;                      // condition instances
-  std::map<Key, std::vector<LatchedVersion>> latched;  // unresolved conds
-  std::vector<LoopState> loops;
-};
-
-// A schedulable candidate produced by the successor computation.
-struct Candidate {
-  NodeId node;
-  int iter = 0;
-  std::vector<InstRef> operands;
-  Bdd guard;
-  int fu_type = -1;
-  int latency = 1;
-  double delay = 1.0;
-  double start_offset = 0.0;
-  double criticality = 0.0;
-};
-
 class SchedulerImpl {
  public:
   SchedulerImpl(const Cdfg& g, const FuLibrary& lib, const Allocation& alloc,
                 const SchedulerOptions& options)
-      : g_(g), lib_(lib), alloc_(alloc), opts_(options), stg_(g.name()) {}
+      : g_(g),
+        lib_(lib),
+        alloc_(alloc),
+        opts_(options),
+        stg_(g.name()),
+        guards_(g, mgr_),
+        policy_(MakeSelectionPolicy(options.policy)),
+        candidates_(g, lib, options, mgr_, guards_, *policy_, lambda_,
+                    stats_),
+        fork_(g, mgr_, guards_, stats_),
+        closure_(g, mgr_, guards_, stats_) {}
 
   ScheduleResult Run();
 
@@ -141,56 +77,7 @@ class SchedulerImpl {
     }
   }
 
-  // --- Condition variables ---------------------------------------------------
-  int CondVar(NodeId cond, int iter);
-  Bdd CondLit(const PathState& ps, NodeId cond, int iter, bool polarity);
-
-  // --- Guard construction ------------------------------------------------------
-  Bdd CtrlGuard(const PathState& ps, NodeId node, int iter);
-  Bdd ExitGuard(const PathState& ps, LoopId loop, int exit_iter);
-
-  // --- Value versions -----------------------------------------------------------
-  struct ResolvedVersion {
-    InstRef producer;
-    Bdd guard;
-    double ready_offset = 0.0;
-  };
-  // All versions of operand `m` as seen by a consumer in scope
-  // (consumer_loop, consumer_iter). Implements Observation 1: recursion
-  // through selects conjoins path-select literals; loop-phis step across
-  // iterations; cross-loop reads become exit values.
-  std::vector<ResolvedVersion> Versions(const PathState& ps, NodeId m,
-                                        LoopId consumer_loop,
-                                        int consumer_iter, int depth = 0);
-  std::vector<ResolvedVersion> VersionsAt(const PathState& ps, NodeId m,
-                                          int iter, int depth);
-
-  Bdd BindingGuard(const PathState& ps, const Key& key, int version) const;
-
-  // True if a single binding's validity guard covers `ctrl` — i.e. one
-  // physical execution delivers a correct value in every case the instance
-  // executes. (A union of partial-guard executions does not qualify: no
-  // downstream consumer could pick between them without a datapath mux,
-  // which is itself an instance that must reach single coverage.)
-  bool InstanceCovered(const PathState& ps, const Key& key, Bdd ctrl,
-                       bool require_completed);
-
-  // --- Candidate generation / state filling ---------------------------------------
-  // Clears and refills `*out` (caller-owned so its capacity is reused across
-  // the greedy admission loop).
-  void GenerateCandidates(PathState& ps, std::vector<Candidate>* out);
-  void GenerateSelectCandidates(PathState& ps, const Node& n, int iter,
-                                Bdd ctrl, std::vector<Candidate>* cands);
   void FillState(StateId sid, PathState& ps);
-
-  // --- Resolution / partitioning -----------------------------------------------------
-  struct Leaf {
-    std::vector<CondLiteral> cube;
-    PathState ps;
-  };
-  void PartitionLeaves(const PathState& ps, std::vector<CondLiteral>& cube,
-                       std::vector<Leaf>& out, int depth);
-  void Fold(PathState& ps, NodeId cond, int iter, bool value);
 
   // --- Lifecycle ----------------------------------------------------------------
   struct HardUse {
@@ -201,46 +88,12 @@ class SchedulerImpl {
   void GarbageCollect(PathState& ps);
   bool IsDone(const PathState& ps, std::vector<OutputBinding>* outputs);
 
-  // --- Canonical state signatures ---------------------------------------------
-  //
-  // Closure detection (the paper's relabeling map M) keys states on a
-  // shift-canonical structural fingerprint. TokenizeState serializes the
-  // PathState into `sig_tokens_` — a length-prefixed u64 token stream whose
-  // vector equality is exactly "same state modulo a uniform per-loop
-  // iteration shift" — and the closure map keys a 128-bit hash of that
-  // stream, falling back to exact token comparison on hash hits. Guards
-  // enter the stream as the node index of their shift-canonicalized BDD
-  // (BddManager::RenameDense), never as strings.
-  void TokenizeState(const PathState& ps, std::vector<int>* bases);
-  // Prepares the var shift map for `bases` (creating shifted condition
-  // variables as needed); leaves the result in shift_var_map_ /
-  // shift_identity_.
-  void PrepareShift(const std::vector<int>& bases);
-  // The canonical token of `guard` under the prepared shift.
-  std::uint64_t GuardToken(Bdd guard);
-
-  // Legacy human-readable signature, kept for WS_DEBUG_SIG dumps, deadlock
-  // diagnostics, and the WS_CHECK_SIG cross-validation of the fingerprint
-  // path (tests/signature_test.cc). Not on the hot path.
-  std::string DebugSignature(const PathState& ps, std::vector<int>* bases);
-  std::string CanonGuard(Bdd guard, const std::vector<int>& bases);
-
   struct GetResult {
     StateId sid;
     std::vector<std::pair<LoopId, int>> shift;
     bool fresh = false;
   };
   GetResult CreateOrGet(PathState ps);
-
-  int IterBase(const PathState& ps, NodeId node) const {
-    const Node& n = g_.node(node);
-    if (!n.loop.valid()) return 0;
-    return ps.loops[n.loop.value()].base();
-  }
-
-  int LatencyOf(OpKind kind) const {
-    return lib_.type(lib_.TypeFor(kind)).latency;
-  }
 
   // --- Members -------------------------------------------------------------------
   const Cdfg& g_;
@@ -249,518 +102,25 @@ class SchedulerImpl {
   const SchedulerOptions& opts_;
 
   BddManager mgr_;
-  std::map<Key, int> cond_vars_;
-  std::vector<double> var_probs_;
-  std::unordered_map<int, bool> likely_assignment_;  // single-path mode
+  Stg stg_;
+  ScheduleStats stats_;
 
   std::vector<double> lambda_;
   std::vector<std::vector<HardUse>> hard_uses_;  // by node
   std::vector<int> escape_delta_;                // by node; -1 = no escape
 
-  Stg stg_;
-  ScheduleStats stats_;
-
-  // Closure map: state fingerprint -> canonical entries. Buckets are vectors
-  // so true 128-bit collisions degrade to an exact comparison, never to a
-  // wrong merge. Each entry keeps the full token stream for that comparison
-  // plus the loop bases the tokens were canonicalized at (needed to compute
-  // the relabel shift on a hit).
-  struct CanonEntry {
-    std::vector<std::uint64_t> tokens;
-    StateId sid;
-    std::vector<int> bases;
-  };
-  std::unordered_map<Fp128, std::vector<CanonEntry>, Fp128Hash> canon_;
-  // WS_CHECK_SIG cross-validation: legacy string signature -> StateId,
-  // maintained only when the env var is set.
-  std::unordered_map<std::string, StateId> canon_check_;
-  const bool check_signatures_ = std::getenv("WS_CHECK_SIG") != nullptr;
+  // The engine layers. Construction order matters: every layer borrows
+  // guards_ (and candidates_ additionally borrows policy_ and lambda_ — the
+  // latter an empty vector until Run() fills it, which is fine because the
+  // reference binds to the vector object, not its contents).
+  GuardEngine guards_;
+  std::unique_ptr<SelectionPolicyImpl> policy_;
+  CandidateGenerator candidates_;
+  ForkEngine fork_;
+  ClosureDetector closure_;
 
   std::deque<std::pair<StateId, PathState>> worklist_;
-
-  // Scratch buffers reused across hot-path calls (cleared, never shrunk, so
-  // steady-state scheduling does not allocate in these paths).
-  std::vector<std::uint64_t> sig_tokens_;            // TokenizeState output
-  std::vector<int> shift_var_map_;                   // var -> shifted var
-  std::vector<std::pair<int, Key>> shift_wanted_;    // PrepareShift scratch
-  bool shift_identity_ = true;                       // all bases zero
-  bool shift_epoch_open_ = false;                    // RenameDense memo state
-  std::vector<std::pair<int, int>> pending_iters_;   // (loop, iter), sorted
-  std::vector<std::uint64_t> pend_tokens_;           // pending-work section
-  std::vector<int> spec_base_;                       // GenerateCandidates
-  std::vector<Candidate> cand_scratch_;              // raw candidates
-  std::vector<bool> is_loop_cond_;                   // by node, built once
-
-  static constexpr int kMaxResolvePerState = 4;
-  static constexpr int kMaxRecursionDepth = 64;
 };
-
-int SchedulerImpl::CondVar(NodeId cond, int iter) {
-  const Key key = MakeKey(cond, iter);
-  auto it = cond_vars_.find(key);
-  if (it != cond_vars_.end()) return it->second;
-  const std::string name =
-      g_.node(cond).name + "_" + std::to_string(iter);
-  const int var = mgr_.NewVar(name);
-  cond_vars_.emplace(key, var);
-  const double p = g_.cond_probability(cond);
-  var_probs_.resize(static_cast<std::size_t>(var) + 1, 0.5);
-  var_probs_[static_cast<std::size_t>(var)] = p;
-  likely_assignment_[var] = p >= 0.5;
-  return var;
-}
-
-Bdd SchedulerImpl::CondLit(const PathState& ps, NodeId cond, int iter,
-                           bool polarity) {
-  auto it = ps.resolved.find(MakeKey(cond, iter));
-  if (it != ps.resolved.end()) {
-    return it->second == polarity ? mgr_.True() : mgr_.False();
-  }
-  const int var = CondVar(cond, iter);
-  return polarity ? mgr_.Var(var) : mgr_.NotVar(var);
-}
-
-Bdd SchedulerImpl::CtrlGuard(const PathState& ps, NodeId node, int iter) {
-  const Node& n = g_.node(node);
-  Bdd guard = mgr_.True();
-  if (n.loop.valid()) {
-    const Loop& loop = g_.loop(n.loop);
-    // Iteration i of the body requires continue-conditions 0..i to hold;
-    // loop-header nodes (which compute the continue decision itself) only
-    // require 0..i-1.
-    const int upper = g_.InLoopHeader(node) ? iter - 1 : iter;
-    const LoopState& ls = ps.loops[n.loop.value()];
-    // Conditions below next_unresolved are resolved true; start there.
-    const int lo = ls.exited ? 0 : ls.next_unresolved;
-    for (int k = lo; k <= upper; ++k) {
-      const Bdd lit = CondLit(ps, loop.cond, k, true);
-      if (mgr_.IsFalse(lit)) return mgr_.False();
-      guard = mgr_.And(guard, lit);
-    }
-  }
-  for (const ControlLiteral& lit : n.ctrl) {
-    // Guard conditions live in the same loop scope, hence same iteration.
-    const Bdd b = CondLit(ps, lit.cond, n.loop.valid() ? iter : 0,
-                          lit.polarity);
-    if (mgr_.IsFalse(b)) return mgr_.False();
-    guard = mgr_.And(guard, b);
-  }
-  return guard;
-}
-
-Bdd SchedulerImpl::ExitGuard(const PathState& ps, LoopId loop_id,
-                             int exit_iter) {
-  const Loop& loop = g_.loop(loop_id);
-  const LoopState& ls = ps.loops[loop_id.value()];
-  if (ls.exited) {
-    return exit_iter == ls.exit_iter ? mgr_.True() : mgr_.False();
-  }
-  if (exit_iter < ls.next_unresolved) return mgr_.False();
-  Bdd guard = CondLit(ps, loop.cond, exit_iter, false);
-  for (int k = ls.next_unresolved; k < exit_iter; ++k) {
-    guard = mgr_.And(guard, CondLit(ps, loop.cond, k, true));
-  }
-  return guard;
-}
-
-Bdd SchedulerImpl::BindingGuard(const PathState& ps, const Key& key,
-                                int version) const {
-  auto it = ps.bindings.find(key);
-  WS_CHECK(it != ps.bindings.end());
-  WS_CHECK(version >= 0 &&
-           static_cast<std::size_t>(version) < it->second.size());
-  return it->second[static_cast<std::size_t>(version)].guard;
-}
-
-bool SchedulerImpl::InstanceCovered(const PathState& ps, const Key& key,
-                                    Bdd ctrl, bool require_completed) {
-  auto it = ps.bindings.find(key);
-  if (it == ps.bindings.end()) return false;
-  for (const Binding& b : it->second) {
-    if (require_completed && !b.completed) continue;
-    if (mgr_.Covers(b.guard, ctrl)) return true;
-  }
-  return false;
-}
-
-std::vector<SchedulerImpl::ResolvedVersion> SchedulerImpl::Versions(
-    const PathState& ps, NodeId m, LoopId consumer_loop, int consumer_iter,
-    int depth) {
-  WS_CHECK_MSG(depth < kMaxRecursionDepth, "select/phi recursion too deep");
-  const Node& n = g_.node(m);
-  if (n.loop == consumer_loop) {
-    return VersionsAt(ps, m, consumer_iter, depth + 1);
-  }
-  if (!n.loop.valid()) {
-    return VersionsAt(ps, m, 0, depth + 1);
-  }
-  // Cross-loop read: the value of m at the producer loop's exit.
-  const LoopState& ls = ps.loops[n.loop.value()];
-  if (ls.exited) {
-    return VersionsAt(ps, m, ls.exit_iter, depth + 1);
-  }
-  // Speculate on the exit iteration within the lookahead window.
-  std::vector<ResolvedVersion> out;
-  for (int j = ls.next_unresolved;
-       j <= ls.next_unresolved + opts_.lookahead; ++j) {
-    const Bdd exit_guard = ExitGuard(ps, n.loop, j);
-    if (mgr_.IsFalse(exit_guard)) continue;
-    for (const ResolvedVersion& v : VersionsAt(ps, m, j, depth + 1)) {
-      const Bdd guard = mgr_.And(v.guard, exit_guard);
-      if (mgr_.IsFalse(guard)) continue;
-      out.push_back({v.producer, guard, v.ready_offset});
-    }
-  }
-  return out;
-}
-
-std::vector<SchedulerImpl::ResolvedVersion> SchedulerImpl::VersionsAt(
-    const PathState& ps, NodeId m, int iter, int depth) {
-  WS_CHECK_MSG(depth < kMaxRecursionDepth, "select/phi recursion too deep");
-  const Node& n = g_.node(m);
-  std::vector<ResolvedVersion> out;
-  switch (n.kind) {
-    case OpKind::kConst:
-    case OpKind::kInput:
-      out.push_back({InstRef{m, 0, 0}, mgr_.True(), 0.0});
-      return out;
-    case OpKind::kSelect: {
-      // A select materialized as a register transfer publishes a version
-      // like any other operation.
-      auto ait = ps.available.find(MakeKey(m, iter));
-      if (ait != ps.available.end()) {
-        for (const VersionRec& v : ait->second) {
-          const Bdd guard = BindingGuard(ps, MakeKey(m, iter), v.version);
-          if (mgr_.IsFalse(guard)) continue;
-          out.push_back({InstRef{m, iter, v.version}, guard,
-                         v.ready_offset});
-        }
-        return out;
-      }
-      const NodeId sel = n.inputs[0];
-      const Node& sel_node = g_.node(sel);
-      const int sel_iter =
-          sel_node.loop == n.loop ? iter : 0;  // same-scope or top-level
-      // Resolved but not yet materialized: forward through the chosen side
-      // only (the mux steering is known).
-      auto rit = ps.resolved.find(MakeKey(sel, sel_iter));
-      if (rit != ps.resolved.end()) {
-        return Versions(ps, n.inputs[rit->second ? 1 : 2], n.loop, iter,
-                        depth + 1);
-      }
-      // Speculation through an unresolved select (Observation 1) is only
-      // useful when the steering condition is control-relevant: the
-      // controller will eventually resolve it and validate/invalidate the
-      // speculative work. A datapath-only steering condition never
-      // resolves, so guards minted on it could never be discharged —
-      // consumers instead wait for the zero-delay 3-input mux.
-      if (!g_.is_control_condition(sel)) return out;
-      // Observation 1: the path through the select contributes the literal
-      // that this path is selected.
-      const Bdd lit_true = CondLit(ps, sel, sel_iter, true);
-      const Bdd lit_false = CondLit(ps, sel, sel_iter, false);
-      if (!mgr_.IsFalse(lit_true)) {
-        for (const ResolvedVersion& v :
-             Versions(ps, n.inputs[1], n.loop, iter, depth + 1)) {
-          const Bdd guard = mgr_.And(v.guard, lit_true);
-          if (!mgr_.IsFalse(guard)) {
-            out.push_back({v.producer, guard, v.ready_offset});
-          }
-        }
-      }
-      if (!mgr_.IsFalse(lit_false)) {
-        for (const ResolvedVersion& v :
-             Versions(ps, n.inputs[2], n.loop, iter, depth + 1)) {
-          const Bdd guard = mgr_.And(v.guard, lit_false);
-          if (!mgr_.IsFalse(guard)) {
-            out.push_back({v.producer, guard, v.ready_offset});
-          }
-        }
-      }
-      return out;
-    }
-    case OpKind::kLoopPhi: {
-      if (iter == 0) {
-        return Versions(ps, n.inputs[0], n.loop, 0, depth + 1);
-      }
-      return Versions(ps, n.inputs[1], n.loop, iter - 1, depth + 1);
-    }
-    case OpKind::kOutput:
-      return Versions(ps, n.inputs[0], n.loop, iter, depth + 1);
-    default: {
-      // A scheduled kind: completed bindings of (m, iter).
-      auto it = ps.available.find(MakeKey(m, iter));
-      if (it == ps.available.end()) return out;
-      for (const VersionRec& v : it->second) {
-        const Bdd guard = BindingGuard(ps, MakeKey(m, iter), v.version);
-        if (mgr_.IsFalse(guard)) continue;
-        out.push_back({InstRef{m, iter, v.version}, guard, v.ready_offset});
-      }
-      return out;
-    }
-  }
-}
-
-void SchedulerImpl::GenerateSelectCandidates(PathState& ps, const Node& n,
-                                             int iter, Bdd ctrl,
-                                             std::vector<Candidate>* cands) {
-  const NodeId s = n.inputs[0];
-  const Node& s_node = g_.node(s);
-  const int sel_iter = s_node.loop == n.loop ? iter : 0;
-  const Bdd lit_t = CondLit(ps, s, sel_iter, true);
-  const Bdd lit_f = CondLit(ps, s, sel_iter, false);
-  const auto lvs = Versions(ps, n.inputs[1], n.loop, iter);
-  const auto rvs = Versions(ps, n.inputs[2], n.loop, iter);
-
-  auto emit = [&](std::vector<InstRef> operands, Bdd guard, double offset) {
-    if (mgr_.IsFalse(guard)) return;
-    auto bit = ps.bindings.find(MakeKey(n.id, iter));
-    if (bit != ps.bindings.end()) {
-      for (Binding& b : bit->second) {
-        if (b.operands == operands) {
-          b.guard = mgr_.Or(b.guard, guard);
-          return;
-        }
-      }
-    }
-    Candidate c;
-    c.node = n.id;
-    c.iter = iter;
-    c.operands = std::move(operands);
-    c.guard = guard;
-    c.fu_type = lib_.TypeFor(OpKind::kSelect);
-    const FuType& fu = lib_.type(c.fu_type);
-    c.latency = fu.latency;
-    c.delay = fu.delay_ns;
-    c.start_offset = offset;
-    cands->push_back(std::move(c));
-  };
-
-  // Guarded copies of one side: correct when the steering points that way.
-  // Only offered for control-relevant steering (the guard can then be
-  // discharged by a later resolution); datapath-only steering must go
-  // through the full mux below.
-  if (g_.is_control_condition(s) || mgr_.IsTrue(lit_t) ||
-      mgr_.IsTrue(lit_f)) {
-    for (const auto& lv : lvs) {
-      emit({lv.producer}, mgr_.AndAll({ctrl, lit_t, lv.guard}),
-           lv.ready_offset);
-    }
-    for (const auto& rv : rvs) {
-      emit({rv.producer}, mgr_.AndAll({ctrl, lit_f, rv.guard}),
-           rv.ready_offset);
-    }
-  }
-
-  // Full 3-input mux: needs the computed steering value; correct whichever
-  // way it points (validity is ITE-shaped, so a mux of two valid versions is
-  // unconditionally valid — datapath resolution without a controller fork).
-  // Control-steered selects never need it: the controller resolves the
-  // condition at the same cycle boundary the mux would, and the guarded
-  // copies above then validate.
-  if (!g_.is_control_condition(s) && !mgr_.IsTrue(lit_t) &&
-      !mgr_.IsFalse(lit_t)) {
-    const auto svs = Versions(ps, s, n.loop, iter);
-    for (const auto& sv : svs) {
-      for (const auto& lv : lvs) {
-        for (const auto& rv : rvs) {
-          const Bdd guard = mgr_.And(
-              ctrl, mgr_.And(sv.guard,
-                             mgr_.Or(mgr_.And(lit_t, lv.guard),
-                                     mgr_.And(lit_f, rv.guard))));
-          const double offset = std::max(
-              {sv.ready_offset, lv.ready_offset, rv.ready_offset});
-          emit({sv.producer, lv.producer, rv.producer}, guard, offset);
-        }
-      }
-    }
-  }
-}
-
-void SchedulerImpl::GenerateCandidates(PathState& ps,
-                                       std::vector<Candidate>* out) {
-  const PhaseTimer timer(&stats_.phase.successor_ns);
-  // Speculation is throttled relative to the oldest pending committed work:
-  // without this, a loop whose condition chain is faster than its slowest
-  // data recurrence would let the resolution frontier race arbitrarily far
-  // ahead of the lagging computation, and the backlog of pending instances
-  // would grow without bound (preventing STG closure). The window advances
-  // only as the backlog drains — which is also what bounded control/datapath
-  // buffering in the synthesized hardware requires.
-  std::vector<int>& spec_base = spec_base_;
-  spec_base.assign(static_cast<std::size_t>(g_.num_loops()), 0);
-  for (const Loop& loop : g_.loops()) {
-    const LoopState& ls = ps.loops[loop.id.value()];
-    int oldest = ls.exited ? ls.exit_iter : ls.next_unresolved;
-    if (!ls.exited) {
-      for (NodeId b : loop.body) {
-        const Node& bn = g_.node(b);
-        if (!IsScheduledKind(bn.kind)) continue;
-        for (int iter = 0; iter < oldest; ++iter) {
-          const Bdd ctrl = CtrlGuard(ps, b, iter);
-          if (mgr_.IsFalse(ctrl)) continue;
-          if (!InstanceCovered(ps, MakeKey(b, iter), ctrl,
-                               /*require_completed=*/false)) {
-            oldest = iter;
-            break;
-          }
-        }
-      }
-    }
-    spec_base[loop.id.value()] = oldest;
-  }
-
-  std::vector<Candidate>& cands = cand_scratch_;
-  cands.clear();
-  for (const Node& n : g_.nodes()) {
-    if (!IsScheduledKind(n.kind)) continue;
-    int hi = 0;
-    if (n.loop.valid()) {
-      const LoopState& ls = ps.loops[n.loop.value()];
-      hi = ls.exited ? ls.exit_iter
-                     : spec_base[n.loop.value()] + opts_.lookahead;
-    }
-    for (int iter = 0; iter <= hi; ++iter) {
-      const Bdd ctrl = CtrlGuard(ps, n.id, iter);
-      if (mgr_.IsFalse(ctrl)) continue;
-      const Key key = MakeKey(n.id, iter);
-
-      // Coverage: skip once a single existing binding's guard covers the
-      // control guard (one execution delivers a correct value on every live
-      // branch).
-      auto bit = ps.bindings.find(key);
-      if (InstanceCovered(ps, key, ctrl, /*require_completed=*/false)) {
-        continue;
-      }
-
-      // Operand versions.
-      std::vector<std::vector<ResolvedVersion>> operand_versions;
-      bool feasible = true;
-      if (n.kind == OpKind::kSelect) {
-        // Selects are datapath muxes, not control: they materialize either
-        // as a full 3-input mux (steer, both sides — validity is the
-        // ITE-shaped guard, so a mux over two valid versions is itself
-        // unconditionally valid and never forks the controller), or as a
-        // guarded copy of one side (when only one side has been computed,
-        // or the steering condition already resolved).
-        GenerateSelectCandidates(ps, n, iter, ctrl, &cands);
-        continue;
-      } else {
-        for (NodeId in : n.inputs) {
-          auto vs = Versions(ps, in, n.loop, iter);
-          if (vs.empty()) {
-            feasible = false;
-            break;
-          }
-          operand_versions.push_back(std::move(vs));
-        }
-      }
-      if (!feasible) continue;
-
-      // Memory token: same-array accesses execute in program order.
-      if (n.kind == OpKind::kMemRead || n.kind == OpKind::kMemWrite) {
-        const auto& accesses = g_.array_accesses(n.array);
-        auto pos = std::find(accesses.begin(), accesses.end(), n.id);
-        WS_CHECK(pos != accesses.end());
-        NodeId prev;
-        int prev_iter = iter;
-        if (pos != accesses.begin()) {
-          prev = *(pos - 1);
-        } else if (n.loop.valid() && iter > 0) {
-          prev = accesses.back();
-          prev_iter = iter - 1;
-        }
-        if (prev.valid()) {
-          std::vector<ResolvedVersion> tokens =
-              VersionsAt(ps, prev, prev_iter, 0);
-          if (tokens.empty()) continue;  // predecessor access not done yet
-          operand_versions.push_back(std::move(tokens));
-        }
-      }
-
-      // Cartesian product of operand choices.
-      std::vector<std::size_t> idx(operand_versions.size(), 0);
-      for (;;) {
-        Bdd guard = ctrl;
-        double start = 0.0;
-        std::vector<InstRef> operands;
-        operands.reserve(operand_versions.size());
-        bool dead = false;
-        for (std::size_t k = 0; k < operand_versions.size(); ++k) {
-          const ResolvedVersion& v = operand_versions[k][idx[k]];
-          guard = mgr_.And(guard, v.guard);
-          if (mgr_.IsFalse(guard)) {
-            dead = true;
-            break;
-          }
-          start = std::max(start, v.ready_offset);
-          operands.push_back(v.producer);
-        }
-        if (!dead) {
-          // Deduplicate against existing bindings with identical operands:
-          // the physical result is the same, so widen its validity guard
-          // instead of re-executing.
-          bool duplicate = false;
-          if (bit != ps.bindings.end()) {
-            for (Binding& b : bit->second) {
-              if (b.operands == operands) {
-                b.guard = mgr_.Or(b.guard, guard);
-                duplicate = true;
-                break;
-              }
-            }
-          }
-          if (!duplicate) {
-            Candidate c;
-            c.node = n.id;
-            c.iter = iter;
-            c.operands = std::move(operands);
-            c.guard = guard;
-            c.fu_type = lib_.TypeFor(n.kind);
-            const FuType& fu = lib_.type(c.fu_type);
-            c.latency = fu.latency;
-            c.delay = fu.delay_ns;
-            c.start_offset = start;
-            cands.push_back(std::move(c));
-          }
-        }
-        // Advance the product.
-        std::size_t k = 0;
-        for (; k < idx.size(); ++k) {
-          if (++idx[k] < operand_versions[k].size()) break;
-          idx[k] = 0;
-        }
-        if (k == idx.size()) break;
-        if (idx.empty()) break;
-      }
-    }
-  }
-
-  // Mode filters and the speculative-store prohibition.
-  std::vector<Candidate>& filtered = *out;
-  filtered.clear();
-  filtered.reserve(cands.size());
-  for (Candidate& c : cands) {
-    const OpKind kind = g_.node(c.node).kind;
-    if (kind == OpKind::kMemWrite && !mgr_.IsTrue(c.guard)) {
-      continue;  // stores are never speculative (irreversible side effect)
-    }
-    switch (opts_.mode) {
-      case SpeculationMode::kWavesched:
-        if (!mgr_.IsTrue(c.guard)) continue;
-        break;
-      case SpeculationMode::kSinglePath:
-        if (!mgr_.Eval(c.guard, likely_assignment_)) continue;
-        break;
-      case SpeculationMode::kWaveschedSpec:
-        break;
-    }
-    c.criticality = lambda_[c.node.value()] *
-                    mgr_.Probability(c.guard, var_probs_);
-    filtered.push_back(std::move(c));
-  }
-  stats_.candidates_generated += static_cast<std::int64_t>(filtered.size());
-}
 
 void SchedulerImpl::FillState(StateId sid, PathState& ps) {
   State& state = stg_.state(sid);
@@ -771,11 +131,11 @@ void SchedulerImpl::FillState(StateId sid, PathState& ps) {
 
   // Place continuations of in-flight multi-cycle operations.
   std::vector<InFlight> still_flying;
-  std::vector<std::pair<Key, int>> completions;  // (key, version)
+  std::vector<std::pair<InstKey, int>> completions;  // (key, version)
   for (InFlight& f : ps.inflight) {
     ScheduledOp op;
     op.inst = f.inst;
-    op.guard = ps.bindings[MakeKey(f.inst)]
+    op.guard = ps.bindings[MakeInstKey(f.inst)]
                    [static_cast<std::size_t>(f.inst.version)]
                        .guard_at_schedule;
     op.fu_type = f.fu_type;
@@ -785,52 +145,55 @@ void SchedulerImpl::FillState(StateId sid, PathState& ps) {
       active[static_cast<std::size_t>(f.fu_type)]++;
     }
     if (--f.remaining == 0) {
-      completions.emplace_back(MakeKey(f.inst), f.inst.version);
+      completions.emplace_back(MakeInstKey(f.inst), f.inst.version);
     } else {
       still_flying.push_back(f);
     }
   }
   ps.inflight = std::move(still_flying);
 
-  // Greedy admission by criticality (Eq. 5), regenerating candidates after
-  // each admission so newly chainable consumers are considered. The
-  // candidate vector lives outside the loop so its capacity is reused.
+  // Greedy admission in policy-priority order (Eq. 5 criticality under the
+  // default policy), regenerating candidates after each admission so newly
+  // chainable consumers are considered. The candidate vector lives outside
+  // the loop so its capacity is reused.
   std::vector<Candidate> cands;
   for (;;) {
     if (static_cast<int>(state.ops.size()) >= opts_.max_ops_per_state) break;
     CheckCancellation();
-    GenerateCandidates(ps, &cands);
+    candidates_.GenerateCandidates(ps, &cands);
 
-    // Admission filters: resources and clock period.
+    // Admission filters: resources and clock period. The surviving argmax
+    // (with its deterministic tie-break) is the policy's Step 3 decision,
+    // attributed to select_ns.
     const Candidate* best = nullptr;
-    for (const Candidate& c : cands) {
-      const int t = c.fu_type;
-      const int count = alloc_.Count(t);
-      if (count != Allocation::kUnlimited) {
-        if (initiations[static_cast<std::size_t>(t)] >= count) continue;
-        if (!lib_.type(t).pipelined &&
-            active[static_cast<std::size_t>(t)] +
-                    initiations[static_cast<std::size_t>(t)] >=
-                count) {
-          continue;
+    {
+      const PhaseTimer select_timer(&stats_.phase.select_ns);
+      for (const Candidate& c : cands) {
+        const int t = c.fu_type;
+        const int count = alloc_.Count(t);
+        if (count != Allocation::kUnlimited) {
+          if (initiations[static_cast<std::size_t>(t)] >= count) continue;
+          if (!lib_.type(t).pipelined &&
+              active[static_cast<std::size_t>(t)] +
+                      initiations[static_cast<std::size_t>(t)] >=
+                  count) {
+            continue;
+          }
         }
-      }
-      if (c.start_offset > 0.0) {
-        if (!opts_.clock.allow_chaining) continue;
-        if (c.latency > 1) continue;  // multi-cycle starts at a boundary
-      }
-      if (!opts_.clock.Fits(c.start_offset, c.delay)) continue;
-      if (best == nullptr || c.criticality > best->criticality + 1e-12 ||
-          (std::abs(c.criticality - best->criticality) <= 1e-12 &&
-           (c.iter < best->iter ||
-            (c.iter == best->iter && c.node < best->node)))) {
-        best = &c;
+        if (c.start_offset > 0.0) {
+          if (!opts_.clock.allow_chaining) continue;
+          if (c.latency > 1) continue;  // multi-cycle starts at a boundary
+        }
+        if (!opts_.clock.Fits(c.start_offset, c.delay)) continue;
+        if (best == nullptr || BetterCandidate(c, *best)) {
+          best = &c;
+        }
       }
     }
     if (best == nullptr) break;
 
     // Admit.
-    const Key key = MakeKey(best->node, best->iter);
+    const InstKey key = MakeInstKey(best->node, best->iter);
     auto& blist = ps.bindings[key];
     const int version = static_cast<int>(blist.size());
     Binding b;
@@ -886,108 +249,6 @@ void SchedulerImpl::FillState(StateId sid, PathState& ps) {
   // Reset chaining offsets: results are registered at the cycle boundary.
   for (auto& [key, versions] : ps.available) {
     for (VersionRec& v : versions) v.ready_offset = 0.0;
-  }
-}
-
-void SchedulerImpl::Fold(PathState& ps, NodeId cond, int iter, bool value) {
-  ps.resolved[MakeKey(cond, iter)] = value;
-  auto vit = cond_vars_.find(MakeKey(cond, iter));
-  if (vit != cond_vars_.end()) {
-    const int var = vit->second;
-    for (auto& [key, blist] : ps.bindings) {
-      for (Binding& b : blist) {
-        b.guard = mgr_.Restrict(b.guard, var, value);
-        // A dead binding's operands are never consulted again (it cannot be
-        // widened back — identical-operand candidates are rare and simply
-        // get a fresh version). Scrubbing them keeps mispredicted-history
-        // noise out of the canonical state signature.
-        if (mgr_.IsFalse(b.guard)) b.operands.clear();
-      }
-    }
-    std::vector<InFlight> kept;
-    for (InFlight& f : ps.inflight) {
-      f.guard = mgr_.Restrict(f.guard, var, value);
-      if (mgr_.IsFalse(f.guard)) {
-        stats_.squashed_ops++;
-        // Invalidate the binding too: the physical result will never be
-        // correct on this path and must not publish a version.
-        Binding& dead = ps.bindings[MakeKey(f.inst)]
-            [static_cast<std::size_t>(f.inst.version)];
-        dead.guard = mgr_.False();
-        dead.operands.clear();
-        continue;
-      }
-      kept.push_back(f);
-    }
-    ps.inflight = std::move(kept);
-  }
-
-  // Drop dead versions / latched values (guard folded to 0).
-  for (auto it = ps.available.begin(); it != ps.available.end();) {
-    auto& versions = it->second;
-    std::erase_if(versions, [&](const VersionRec& v) {
-      return mgr_.IsFalse(BindingGuard(ps, it->first, v.version));
-    });
-    it = versions.empty() ? ps.available.erase(it) : std::next(it);
-  }
-  for (auto it = ps.latched.begin(); it != ps.latched.end();) {
-    if (ps.resolved.contains(it->first)) {
-      it = ps.latched.erase(it);
-      continue;
-    }
-    auto& versions = it->second;
-    std::erase_if(versions, [&](const LatchedVersion& v) {
-      return mgr_.IsFalse(BindingGuard(ps, it->first, v.version));
-    });
-    it = versions.empty() ? ps.latched.erase(it) : std::next(it);
-  }
-
-  // Advance loop fronts.
-  for (const Loop& loop : g_.loops()) {
-    LoopState& ls = ps.loops[loop.id.value()];
-    if (ls.exited) continue;
-    for (;;) {
-      auto rit = ps.resolved.find(MakeKey(loop.cond, ls.next_unresolved));
-      if (rit == ps.resolved.end()) break;
-      if (rit->second) {
-        ls.next_unresolved++;
-      } else {
-        ls.exited = true;
-        ls.exit_iter = ls.next_unresolved;
-        break;
-      }
-    }
-  }
-}
-
-void SchedulerImpl::PartitionLeaves(const PathState& ps,
-                                    std::vector<CondLiteral>& cube,
-                                    std::vector<Leaf>& out, int depth) {
-  // Resolvable: latched condition instances whose validity guard has become
-  // constant-true (the execution is known to have used correct operands).
-  std::vector<std::pair<Key, int>> resolvable;
-  for (const auto& [key, versions] : ps.latched) {
-    for (const LatchedVersion& v : versions) {
-      if (mgr_.IsTrue(BindingGuard(ps, key, v.version))) {
-        resolvable.emplace_back(key, v.version);
-        break;
-      }
-    }
-    if (static_cast<int>(resolvable.size()) >= kMaxResolvePerState) break;
-  }
-  if (resolvable.empty() || depth > 8) {
-    out.push_back(Leaf{cube, ps});
-    return;
-  }
-  const auto [key, version] = resolvable.front();
-  const NodeId cond(key.first);
-  const int iter = key.second;
-  for (const bool value : {true, false}) {
-    PathState branch = ps;
-    Fold(branch, cond, iter, value);
-    cube.push_back(CondLiteral{InstRef{cond, iter, version}, value});
-    PartitionLeaves(branch, cube, out, depth + 1);
-    cube.pop_back();
   }
 }
 
@@ -1062,7 +323,7 @@ void SchedulerImpl::GarbageCollect(PathState& ps) {
   // Exact garbage collection is what lets steady-state signatures converge,
   // closing the STG via the paper's relabeling map M.
   for (auto it = ps.available.begin(); it != ps.available.end();) {
-    const Key key = it->first;
+    const InstKey key = it->first;
     const NodeId node(key.first);
     const int iter = key.second;
     const Node& n = g_.node(node);
@@ -1080,10 +341,10 @@ void SchedulerImpl::GarbageCollect(PathState& ps) {
       bool needed = false;
       for (const HardUse& use : hard_uses_[node.value()]) {
         const int citer = iter + use.delta;
-        const Bdd ctrl = CtrlGuard(ps, use.node, citer);
+        const Bdd ctrl = guards_.CtrlGuard(ps, use.node, citer);
         if (mgr_.IsFalse(ctrl)) continue;
-        if (!InstanceCovered(ps, MakeKey(use.node, citer), ctrl,
-                             /*require_completed=*/false)) {
+        if (!guards_.InstanceCovered(ps, MakeInstKey(use.node, citer), ctrl,
+                                     /*require_completed=*/false)) {
           needed = true;
           break;
         }
@@ -1109,13 +370,13 @@ bool SchedulerImpl::IsDone(const PathState& ps,
       hi = g_.InLoopHeader(n.id) ? ls.exit_iter : ls.exit_iter - 1;
     }
     for (int iter = 0; iter <= hi; ++iter) {
-      const Bdd ctrl = CtrlGuard(ps, n.id, iter);
+      const Bdd ctrl = guards_.CtrlGuard(ps, n.id, iter);
       if (mgr_.IsFalse(ctrl)) continue;
       if (!mgr_.IsTrue(ctrl)) return false;  // unresolved control remains
       // Satisfied when a single completed execution's guard covers the
       // (here, constant-true) control guard.
-      if (!InstanceCovered(ps, MakeKey(n.id, iter), ctrl,
-                           /*require_completed=*/true)) {
+      if (!guards_.InstanceCovered(ps, MakeInstKey(n.id, iter), ctrl,
+                                   /*require_completed=*/true)) {
         return false;
       }
     }
@@ -1125,7 +386,7 @@ bool SchedulerImpl::IsDone(const PathState& ps,
   for (NodeId out : g_.outputs()) {
     const Node& n = g_.node(out);
     std::vector<ResolvedVersion> vs =
-        Versions(ps, n.inputs[0], LoopId::invalid(), 0);
+        candidates_.Versions(ps, n.inputs[0], LoopId::invalid(), 0);
     const ResolvedVersion* chosen = nullptr;
     for (const ResolvedVersion& v : vs) {
       if (mgr_.IsTrue(v.guard)) {
@@ -1139,485 +400,10 @@ bool SchedulerImpl::IsDone(const PathState& ps,
   return true;
 }
 
-std::string SchedulerImpl::CanonGuard(Bdd guard,
-                                      const std::vector<int>& bases) {
-  if (mgr_.IsTrue(guard)) return "1";
-  if (mgr_.IsFalse(guard)) return "0";
-  // Render as a sorted sum of products over shift-canonical literal names.
-  std::vector<std::string> cubes;
-  for (const BddCube& cube : mgr_.ToSop(guard)) {
-    std::vector<std::string> lits;
-    for (const auto& [var, pos] : cube.literals) {
-      // Recover (cond node, iter) for this variable.
-      Key key{0, 0};
-      for (const auto& [k, v] : cond_vars_) {
-        if (v == var) {
-          key = k;
-          break;
-        }
-      }
-      const Node& cn = g_.node(NodeId(key.first));
-      const int base = cn.loop.valid()
-                           ? bases[cn.loop.value()]
-                           : 0;
-      lits.push_back(StrCat(pos ? "" : "!", key.first, "@",
-                            key.second - base));
-    }
-    std::sort(lits.begin(), lits.end());
-    cubes.push_back(Join(lits, "&"));
-  }
-  std::sort(cubes.begin(), cubes.end());
-  return Join(cubes, "|");
-}
-
-// ---------------------------------------------------------------------------
-// Fingerprint state signatures (the hot path).
-//
-// The token grammar is length-prefixed throughout — every section and every
-// variable-arity entry starts with a count — so the flattened u64 stream is
-// prefix-unambiguous: two streams are elementwise equal iff the canonical
-// state structures are equal. Guard tokens are the node indices of
-// shift-canonicalized BDDs, which within one manager are equal iff the
-// shifted Boolean functions are equal. This makes token-stream equality
-// coincide with equality of the legacy string signature (DebugSignature
-// below), which WS_CHECK_SIG verifies at runtime.
-
-namespace {
-// Section tags: high-bit-set constants so a tag can never be confused with a
-// count or payload produced by the (dense, small) ids that follow it.
-constexpr std::uint64_t kSigLoops = 0xf100000000000001ull;
-constexpr std::uint64_t kSigResolved = 0xf100000000000002ull;
-constexpr std::uint64_t kSigAvailable = 0xf100000000000003ull;
-constexpr std::uint64_t kSigBindings = 0xf100000000000004ull;
-constexpr std::uint64_t kSigInflight = 0xf100000000000005ull;
-constexpr std::uint64_t kSigLatched = 0xf100000000000006ull;
-constexpr std::uint64_t kSigPending = 0xf100000000000007ull;
-
-// Signed-int token: sign-extended into the u64 space (shifted iterations can
-// be negative once a loop has exited).
-constexpr std::uint64_t IntToken(int v) {
-  return static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
-}
-}  // namespace
-
-void SchedulerImpl::PrepareShift(const std::vector<int>& bases) {
-  shift_identity_ = true;
-  for (const int b : bases) {
-    if (b != 0) shift_identity_ = false;
-  }
-  shift_epoch_open_ = false;
-  if (shift_identity_) return;
-
-  // Dense var -> shifted var map. Building it may mint new condition
-  // variables for shifted (even negative) iterations, which mutates
-  // cond_vars_; collect the targets first, then create. Variables at
-  // negative iterations are themselves shift targets minted by earlier
-  // probes — they never occur in a real guard (CondLit only mints
-  // iteration >= 0), so they are skipped rather than re-shifted (otherwise
-  // every probe would mint shifted copies of the previous probe's targets
-  // and the variable universe would snowball).
-  shift_var_map_.assign(static_cast<std::size_t>(mgr_.num_vars()), -1);
-  std::vector<std::pair<int, Key>>& wanted = shift_wanted_;
-  wanted.clear();
-  for (const auto& [key, var] : cond_vars_) {
-    if (key.second < 0) continue;  // synthetic shift target
-    const Node& cn = g_.node(NodeId(key.first));
-    if (!cn.loop.valid()) continue;
-    const int base = bases[cn.loop.value()];
-    if (base == 0) continue;
-    wanted.emplace_back(var, Key{key.first, key.second - base});
-  }
-  for (const auto& [var, skey] : wanted) {
-    const int shifted = CondVar(NodeId(skey.first), skey.second);
-    shift_var_map_[static_cast<std::size_t>(var)] = shifted;
-  }
-}
-
-std::uint64_t SchedulerImpl::GuardToken(Bdd guard) {
-  if (shift_identity_ || mgr_.IsTrue(guard) || mgr_.IsFalse(guard)) {
-    return guard.index();
-  }
-  const Bdd renamed =
-      mgr_.RenameDense(guard, shift_var_map_, /*fresh_map=*/!shift_epoch_open_);
-  shift_epoch_open_ = true;
-  return renamed.index();
-}
-
-void SchedulerImpl::TokenizeState(const PathState& ps,
-                                  std::vector<int>* bases_out) {
-  std::vector<int>& bases = *bases_out;
-  bases.assign(static_cast<std::size_t>(g_.num_loops()), 0);
-  for (const Loop& loop : g_.loops()) {
-    bases[loop.id.value()] = ps.loops[loop.id.value()].base();
-  }
-  PrepareShift(bases);
-
-  std::vector<std::uint64_t>& t = sig_tokens_;
-  t.clear();
-  auto begin_count = [&]() {
-    t.push_back(0);
-    return t.size() - 1;
-  };
-
-  auto shift = [&](const Key& key) -> std::pair<std::uint32_t, int> {
-    const Node& n = g_.node(NodeId(key.first));
-    const int base = n.loop.valid() ? bases[n.loop.value()] : 0;
-    return {key.first, key.second - base};
-  };
-  auto push_key = [&](const Key& key) {
-    const auto [node, iter] = shift(key);
-    t.push_back(node);
-    t.push_back(IntToken(iter));
-  };
-  auto push_ref = [&](const InstRef& ref) {
-    push_key(MakeKey(ref));
-    t.push_back(IntToken(ref.version));
-  };
-
-  // Pending required work in the committed region (kept explicit so states
-  // are never merged across unfinished obligations). Computed first because
-  // the resolution section below keeps only history that pending work can
-  // still observe; emitted last to mirror the legacy section order.
-  pending_iters_.clear();
-  std::vector<std::uint64_t>& pend_tokens = pend_tokens_;
-  pend_tokens.clear();
-  for (const Node& n : g_.nodes()) {
-    if (!IsScheduledKind(n.kind)) continue;
-    int hi = 0;
-    if (n.loop.valid()) {
-      hi = bases[n.loop.value()] - 1;
-    }
-    for (int iter = 0; iter <= hi; ++iter) {
-      const Bdd ctrl = CtrlGuard(ps, n.id, iter);
-      if (mgr_.IsFalse(ctrl)) continue;
-      if (!InstanceCovered(ps, MakeKey(n.id, iter), ctrl,
-                           /*require_completed=*/false)) {
-        const auto [node, siter] = shift(MakeKey(n.id, iter));
-        pend_tokens.push_back(node);
-        pend_tokens.push_back(IntToken(siter));
-        if (n.loop.valid()) {
-          pending_iters_.emplace_back(n.loop.value(), iter);
-        }
-      }
-    }
-  }
-  std::sort(pending_iters_.begin(), pending_iters_.end());
-  pending_iters_.erase(
-      std::unique(pending_iters_.begin(), pending_iters_.end()),
-      pending_iters_.end());
-  auto pending_contains = [&](int loop, int iter) {
-    return std::binary_search(pending_iters_.begin(), pending_iters_.end(),
-                              std::pair<int, int>{loop, iter});
-  };
-
-  t.push_back(kSigLoops);
-  for (const Loop& loop : g_.loops()) {
-    t.push_back(ps.loops[loop.id.value()].exited ? 1u : 0u);
-  }
-
-  t.push_back(kSigResolved);
-  {
-    const std::size_t count_at = begin_count();
-    for (const auto& [key, value] : ps.resolved) {
-      const NodeId cn(key.first);
-      const Node& cnode = g_.node(cn);
-      if (cnode.loop.valid()) {
-        const LoopState& ls = ps.loops[cnode.loop.value()];
-        // Loop-condition resolutions are fully derivable from the frontier
-        // position (true below next_unresolved / exit_iter, false at the
-        // exit), so they never appear.
-        if (is_loop_cond_[cn.value()]) continue;
-        // Other in-loop resolutions matter only at the frontier or where
-        // pending work still consults them.
-        if (key.second < ls.base() &&
-            !pending_contains(cnode.loop.value(), key.second)) {
-          continue;
-        }
-      }
-      push_key(key);
-      t.push_back(value ? 1u : 0u);
-      ++t[count_at];
-    }
-  }
-
-  t.push_back(kSigAvailable);
-  {
-    const std::size_t count_at = begin_count();
-    for (const auto& [key, versions] : ps.available) {
-      push_key(key);
-      t.push_back(versions.size());
-      for (const VersionRec& v : versions) {
-        t.push_back(IntToken(v.version));
-        t.push_back(GuardToken(BindingGuard(ps, key, v.version)));
-      }
-      ++t[count_at];
-    }
-  }
-
-  t.push_back(kSigBindings);
-  {
-    const std::size_t count_at = begin_count();
-    for (const auto& [key, blist] : ps.bindings) {
-      // A binding list is future-relevant only while an execution is still in
-      // flight or the instance is not fully covered (new candidates may still
-      // be generated and deduplicated against it). Fully covered, completed
-      // instances influence the future only through their published versions,
-      // which the available section already canonicalizes — omitting them
-      // here is what lets steady-state signatures converge.
-      bool in_flight = false;
-      for (const Binding& b : blist) {
-        if (!b.completed && !mgr_.IsFalse(b.guard)) in_flight = true;
-      }
-      const Bdd ctrl = CtrlGuard(ps, NodeId(key.first), key.second);
-      if (!in_flight &&
-          InstanceCovered(ps, key, ctrl, /*require_completed=*/false)) {
-        continue;
-      }
-      push_key(key);
-      const std::size_t nlive_at = begin_count();
-      for (std::size_t v = 0; v < blist.size(); ++v) {
-        const Binding& b = blist[v];
-        if (mgr_.IsFalse(b.guard)) continue;  // scrubbed mispredictions
-        t.push_back(v);
-        t.push_back(b.operands.size());
-        for (const InstRef& ref : b.operands) push_ref(ref);
-        t.push_back(GuardToken(b.guard));
-        t.push_back(b.completed ? 1u : 0u);
-        ++t[nlive_at];
-      }
-      ++t[count_at];
-    }
-  }
-
-  t.push_back(kSigInflight);
-  {
-    const std::size_t count_at = begin_count();
-    for (const InFlight& f : ps.inflight) {
-      push_ref(f.inst);
-      t.push_back(IntToken(f.remaining));
-      t.push_back(GuardToken(f.guard));
-      ++t[count_at];
-    }
-  }
-
-  t.push_back(kSigLatched);
-  {
-    const std::size_t count_at = begin_count();
-    for (const auto& [key, versions] : ps.latched) {
-      push_key(key);
-      t.push_back(versions.size());
-      for (const LatchedVersion& v : versions) {
-        t.push_back(IntToken(v.version));
-        t.push_back(GuardToken(BindingGuard(ps, key, v.version)));
-      }
-      ++t[count_at];
-    }
-  }
-
-  t.push_back(kSigPending);
-  t.push_back(pend_tokens.size());
-  t.insert(t.end(), pend_tokens.begin(), pend_tokens.end());
-}
-
-std::string SchedulerImpl::DebugSignature(const PathState& ps,
-                                          std::vector<int>* bases_out) {
-  std::vector<int> bases(g_.num_loops(), 0);
-  for (const Loop& loop : g_.loops()) {
-    bases[loop.id.value()] = ps.loops[loop.id.value()].base();
-  }
-  *bases_out = bases;
-
-  auto shift = [&](const Key& key) -> std::pair<std::uint32_t, int> {
-    const Node& n = g_.node(NodeId(key.first));
-    const int base = n.loop.valid() ? bases[n.loop.value()] : 0;
-    return {key.first, key.second - base};
-  };
-  auto shift_ref = [&](const InstRef& ref) -> std::string {
-    const auto [node, iter] = shift(MakeKey(ref));
-    return StrCat(node, "_", iter, ".", ref.version);
-  };
-
-  // Pending required work in the committed region (kept explicit so states
-  // are never merged across unfinished obligations). Computed first because
-  // the resolution section below keeps only history that pending work can
-  // still observe.
-  std::ostringstream pend;
-  std::set<Key> pending_iters;  // (loop value, iter) with pending work
-  for (const Node& n : g_.nodes()) {
-    if (!IsScheduledKind(n.kind)) continue;
-    int hi = 0;
-    if (n.loop.valid()) {
-      hi = bases[n.loop.value()] - 1;
-    }
-    for (int iter = 0; iter <= hi; ++iter) {
-      const Bdd ctrl = CtrlGuard(ps, n.id, iter);
-      if (mgr_.IsFalse(ctrl)) continue;
-      if (!InstanceCovered(ps, MakeKey(n.id, iter), ctrl,
-                           /*require_completed=*/false)) {
-        const auto [node, siter] = shift(MakeKey(n.id, iter));
-        pend << node << "_" << siter << ";";
-        if (n.loop.valid()) {
-          pending_iters.emplace(n.loop.value(), iter);
-        }
-      }
-    }
-  }
-
-  std::ostringstream os;
-  for (const Loop& loop : g_.loops()) {
-    const LoopState& ls = ps.loops[loop.id.value()];
-    os << "L" << loop.id.value() << (ls.exited ? "X" : "O") << ";";
-  }
-
-  std::set<Key> loop_conds;
-  for (const Loop& loop : g_.loops()) {
-    loop_conds.emplace(loop.cond.value(), 0);
-  }
-  auto is_loop_cond = [&](NodeId n) {
-    return loop_conds.contains({n.value(), 0});
-  };
-
-  os << "|R:";
-  for (const auto& [key, value] : ps.resolved) {
-    const NodeId cn(key.first);
-    const Node& cnode = g_.node(cn);
-    if (cnode.loop.valid()) {
-      const LoopState& ls = ps.loops[cnode.loop.value()];
-      // Loop-condition resolutions are fully derivable from the frontier
-      // position (true below next_unresolved / exit_iter, false at the
-      // exit), so they never appear.
-      if (is_loop_cond(cn)) continue;
-      // Other in-loop resolutions matter only at the frontier or where
-      // pending work still consults them.
-      if (key.second < ls.base() &&
-          !pending_iters.contains({cnode.loop.value(), key.second})) {
-        continue;
-      }
-    }
-    const auto [node, iter] = shift(key);
-    os << node << "_" << iter << "=" << value << ";";
-  }
-
-  os << "|A:";
-  for (const auto& [key, versions] : ps.available) {
-    const auto [node, iter] = shift(key);
-    os << node << "_" << iter << "[";
-    for (const VersionRec& v : versions) {
-      os << v.version << ":"
-         << CanonGuard(BindingGuard(ps, key, v.version), bases) << ",";
-    }
-    os << "];";
-  }
-
-  os << "|B:";
-  for (const auto& [key, blist] : ps.bindings) {
-    // A binding list is future-relevant only while an execution is still in
-    // flight or the instance is not fully covered (new candidates may still
-    // be generated and deduplicated against it). Fully covered, completed
-    // instances influence the future only through their published versions,
-    // which the A section already canonicalizes — omitting them here is
-    // what lets steady-state signatures converge.
-    bool in_flight = false;
-    for (const Binding& b : blist) {
-      if (!b.completed && !mgr_.IsFalse(b.guard)) in_flight = true;
-    }
-    const Bdd ctrl = CtrlGuard(ps, NodeId(key.first), key.second);
-    if (!in_flight &&
-        InstanceCovered(ps, key, ctrl, /*require_completed=*/false)) {
-      continue;
-    }
-    const auto [node, iter] = shift(key);
-    os << node << "_" << iter << "[";
-    for (std::size_t v = 0; v < blist.size(); ++v) {
-      const Binding& b = blist[v];
-      if (mgr_.IsFalse(b.guard)) continue;  // scrubbed mispredictions
-      os << v << ":(";
-      for (const InstRef& ref : b.operands) os << shift_ref(ref) << ",";
-      os << ")" << CanonGuard(b.guard, bases) << (b.completed ? "C" : "F")
-         << ";";
-    }
-    os << "];";
-  }
-
-  os << "|I:";
-  for (const InFlight& f : ps.inflight) {
-    os << shift_ref(f.inst) << "r" << f.remaining << ":"
-       << CanonGuard(f.guard, bases) << ";";
-  }
-
-  os << "|L:";
-  for (const auto& [key, versions] : ps.latched) {
-    const auto [node, iter] = shift(key);
-    os << node << "_" << iter << "[";
-    for (const LatchedVersion& v : versions) {
-      os << v.version << ":"
-         << CanonGuard(BindingGuard(ps, key, v.version), bases) << ",";
-    }
-    os << "];";
-  }
-
-  os << "|P:" << pend.str();
-
-  return os.str();
-}
-
 SchedulerImpl::GetResult SchedulerImpl::CreateOrGet(PathState ps) {
   const PhaseTimer timer(&stats_.phase.closure_ns);
-  std::vector<int> bases;
-  TokenizeState(ps, &bases);
-
-  FpHasher hasher;
-  for (const std::uint64_t token : sig_tokens_) hasher.Mix(token);
-  const Fp128 fp = hasher.digest();
-
-  if (std::getenv("WS_DEBUG_SIG") != nullptr) {
-    std::vector<int> dbg_bases;
-    std::fprintf(stderr, "SIG[%d] fp=%016llx%016llx: %s\n",
-                 stats_.states_created,
-                 static_cast<unsigned long long>(fp.hi),
-                 static_cast<unsigned long long>(fp.lo),
-                 DebugSignature(ps, &dbg_bases).c_str());
-  }
-
-  std::vector<CanonEntry>& bucket = canon_[fp];
-  const CanonEntry* match = nullptr;
-  for (const CanonEntry& entry : bucket) {
-    if (entry.tokens == sig_tokens_) {
-      match = &entry;
-      break;
-    }
-    // Same 128-bit fingerprint, different canonical state: resolved exactly
-    // by the token comparison, counted for visibility.
-    stats_.signature_collisions++;
-  }
-
-  if (check_signatures_) {
-    // Cross-validate the fingerprint decision against the legacy string
-    // signature: both paths must agree on whether this state is new and on
-    // which state it folds onto.
-    std::vector<int> legacy_bases;
-    const std::string legacy = DebugSignature(ps, &legacy_bases);
-    auto lit = canon_check_.find(legacy);
-    WS_CHECK_MSG((match != nullptr) == (lit != canon_check_.end()),
-                 "fingerprint/legacy closure disagreement for: " << legacy);
-    if (match != nullptr) {
-      WS_CHECK_MSG(match->sid == lit->second,
-                   "fingerprint folded onto state "
-                       << match->sid.value() << " but legacy says "
-                       << lit->second.value() << " for: " << legacy);
-    }
-  }
-
-  if (match != nullptr) {
-    GetResult r;
-    r.sid = match->sid;
-    for (const Loop& loop : g_.loops()) {
-      const int delta =
-          bases[loop.id.value()] - match->bases[loop.id.value()];
-      if (delta != 0) r.shift.emplace_back(loop.id, delta);
-    }
-    stats_.closure_hits++;
-    return r;
+  if (std::optional<ClosureDetector::Hit> hit = closure_.Lookup(ps)) {
+    return GetResult{hit->sid, std::move(hit->shift), /*fresh=*/false};
   }
 
   GetResult r;
@@ -1627,11 +413,7 @@ SchedulerImpl::GetResult SchedulerImpl::CreateOrGet(PathState ps) {
   WS_CHECK_MSG(stats_.states_created <= opts_.max_states,
                "state cap exceeded (" << opts_.max_states
                                       << "); no closure found");
-  bucket.push_back(CanonEntry{sig_tokens_, r.sid, bases});
-  if (check_signatures_) {
-    std::vector<int> legacy_bases;
-    canon_check_.emplace(DebugSignature(ps, &legacy_bases), r.sid);
-  }
+  closure_.Insert(r.sid, ps);
   worklist_.emplace_back(r.sid, std::move(ps));
   return r;
 }
@@ -1640,11 +422,6 @@ ScheduleResult SchedulerImpl::Run() {
   const auto run_start = std::chrono::steady_clock::now();
   lambda_ = ComputeLambda(g_, lib_);
   ComputeHardUses();
-
-  is_loop_cond_.assign(g_.num_nodes(), false);
-  for (const Loop& loop : g_.loops()) {
-    is_loop_cond_[loop.cond.value()] = true;
-  }
 
   // Speculative stores are forbidden; conditional memory accesses would make
   // the token chain control-dependent, which this scheduler does not model.
@@ -1675,21 +452,21 @@ ScheduleResult SchedulerImpl::Run() {
                  << sid.value()
                  << " schedules nothing but work remains (check "
                     "allocation); state: "
-                 << DebugSignature(ps, &bases));
+                 << closure_.DebugSignature(ps, &bases));
       }
     }
 
     std::vector<CondLiteral> cube;
-    std::vector<Leaf> leaves;
+    std::vector<ForkEngine::Leaf> leaves;
     {
       const PhaseTimer timer(&stats_.phase.cofactor_ns);
-      PartitionLeaves(ps, cube, leaves, 0);
+      fork_.PartitionLeaves(ps, cube, leaves, 0);
     }
 
     // Merge leaves that land on the same successor (same target, same
     // relabel shift, and — for stop edges — the same output bindings).
     std::map<std::string, std::size_t> merged;  // key -> index in state.out
-    for (Leaf& leaf : leaves) {
+    for (ForkEngine::Leaf& leaf : leaves) {
       {
         const PhaseTimer timer(&stats_.phase.gc_ns);
         GarbageCollect(leaf.ps);

@@ -13,7 +13,8 @@
 //     speculative operations), guard == 1 validates it.
 //  3. Operation selection by criticality = lambda(op) * P(guard) (Step 3 /
 //     Eq. 5), with branch probabilities taken from the CDFG profile
-//     annotations.
+//     annotations. The selection heuristic is pluggable (sched/policy.h);
+//     Eq. 5 is the default SelectionPolicy::kCriticality.
 //
 // Loop handling follows Wavesched: implicit dynamic unrolling via iteration
 // indices on operation instances, and STG closure by detecting state
@@ -37,6 +38,7 @@
 #include "base/status.h"
 #include "cdfg/cdfg.h"
 #include "hw/resources.h"
+#include "sched/policy.h"
 #include "stg/stg.h"
 
 namespace ws {
@@ -51,6 +53,13 @@ const char* SpeculationModeName(SpeculationMode mode);
 
 struct SchedulerOptions {
   SpeculationMode mode = SpeculationMode::kWaveschedSpec;
+
+  // Which candidate the greedy admission loop takes first (sched/policy.h).
+  // kCriticality is Eq. 5 and reproduces the paper; the alternatives are
+  // ablation baselines. Result-affecting: participates in fingerprints, the
+  // wire protocol, and stored artifacts.
+  SelectionPolicy policy = SelectionPolicy::kCriticality;
+
   ClockModel clock;
 
   // How many loop iterations beyond the first unresolved condition the
@@ -74,7 +83,7 @@ struct SchedulerOptions {
   // partial STG. `cancel` is borrowed, may be null, and is polled with
   // relaxed loads; setting it from another thread makes the run return
   // kCancelled. Neither field participates in request fingerprints (see
-  // sched/fingerprint.h): they bound a particular call, not its result.
+  // sched/closure.h): they bound a particular call, not its result.
   std::optional<std::chrono::steady_clock::time_point> deadline;
   const std::atomic<bool>* cancel = nullptr;
 
@@ -97,6 +106,9 @@ struct SchedulePhaseTimes {
   std::int64_t closure_ns = 0;    // canonical signatures + equivalent-state
                                   // lookup (the relabeling map M)
   std::int64_t gc_ns = 0;         // symbolic-frontier garbage collection
+  std::int64_t select_ns = 0;     // policy scoring + admission argmax
+                                  // (Step 3); nests inside successor_ns for
+                                  // the scoring half
   std::int64_t total_ns = 0;      // the whole run
 };
 

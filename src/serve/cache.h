@@ -1,6 +1,6 @@
 // Bounded LRU result cache for the scheduling service.
 //
-// Keys are 128-bit request fingerprints (sched/fingerprint.h); values are
+// Keys are 128-bit request fingerprints (sched/closure.h); values are
 // encoded response payloads, stored verbatim so a hit replays the exact
 // bytes of the original response. Thread-safe; every public member takes the
 // one internal mutex (entries are small strings — metrics, not STGs — so

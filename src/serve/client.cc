@@ -19,6 +19,7 @@ ExploreRun FailedRun(const ExploreCell& cell, std::string error,
   ExploreRun run;
   run.design = cell.design.name;
   run.mode = cell.mode;
+  run.policy = cell.policy;
   run.allocation = cell.alloc.label;
   run.clock = cell.clock.label;
   run.error = std::move(error);

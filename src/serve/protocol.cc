@@ -35,6 +35,7 @@ ExploreSpec CellRequest::ToSpec() const {
   ExploreSpec spec;
   spec.designs = {design};
   spec.modes = {mode};
+  spec.policies = {policy};
   spec.allocations = {alloc};
   spec.clocks = {clock};
   spec.num_stimuli = num_stimuli;
@@ -43,6 +44,7 @@ ExploreSpec CellRequest::ToSpec() const {
   spec.measure_sim_enc = measure_sim_enc;
   spec.measure_area = measure_area;
   spec.base_options.mode = mode;
+  spec.base_options.policy = policy;
   spec.base_options.clock = clock.clock;
   spec.base_options.lookahead = lookahead;
   spec.base_options.gc_window = gc_window;
@@ -52,13 +54,14 @@ ExploreSpec CellRequest::ToSpec() const {
 }
 
 ExploreCell CellRequest::ToCell() const {
-  return ExploreCell{design, mode, alloc, clock};
+  return ExploreCell{design, mode, policy, alloc, clock};
 }
 
 CellRequest MakeCellRequest(const ExploreSpec& spec, const ExploreCell& cell) {
   CellRequest req;
   req.design = cell.design;
   req.mode = cell.mode;
+  req.policy = cell.policy;
   req.alloc = cell.alloc;
   req.clock = cell.clock;
   req.lookahead = spec.base_options.lookahead;
@@ -128,6 +131,7 @@ std::string EncodeCellRequest(const CellRequest& req) {
   w.Str(req.design.name);
   w.Str(req.design.source);
   w.U8(static_cast<std::uint8_t>(req.mode));
+  w.U8(static_cast<std::uint8_t>(req.policy));
   w.Str(req.alloc.label);
   w.Str(req.alloc.spec);
   w.Str(req.clock.label);
@@ -151,6 +155,7 @@ Result<CellRequest> DecodeCellRequest(std::string_view body) {
   req.design.name = r.Str();
   req.design.source = r.Str();
   const std::uint8_t mode = r.U8();
+  const std::uint8_t policy = r.U8();
   req.alloc.label = r.Str();
   req.alloc.spec = r.Str();
   req.clock.label = r.Str();
@@ -166,10 +171,12 @@ Result<CellRequest> DecodeCellRequest(std::string_view body) {
   req.measure_area = r.U8() != 0;
   req.deadline_ms = r.I64();
   if (!r.AtEnd() ||
-      mode > static_cast<std::uint8_t>(SpeculationMode::kWaveschedSpec)) {
+      mode > static_cast<std::uint8_t>(SpeculationMode::kWaveschedSpec) ||
+      policy > static_cast<std::uint8_t>(kMaxSelectionPolicy)) {
     return Malformed("CellRequest");
   }
   req.mode = static_cast<SpeculationMode>(mode);
+  req.policy = static_cast<SelectionPolicy>(policy);
   return req;
 }
 

@@ -33,8 +33,14 @@
 
 namespace ws {
 
+// Wire version history (checked for strict equality in both directions —
+// client and server must be built from the same protocol revision):
+//   1  initial layout.
+//   2  CellRequest gains the selection-policy byte after the speculation
+//      mode; the SCHEDULE response run body gains the policy byte and
+//      phase.select_ns (explore/run_codec.h / io/codec.h version 2).
 inline constexpr std::uint32_t kWireMagic = 0x57535256;  // "WSRV"
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
 
 enum class Verb : std::uint8_t {
   kSchedule = 1,
@@ -62,6 +68,7 @@ const char* ResponseStatusName(ResponseStatus status);
 struct CellRequest {
   DesignSpec design;
   SpeculationMode mode = SpeculationMode::kWaveschedSpec;
+  SelectionPolicy policy = SelectionPolicy::kCriticality;
   AllocationSpec alloc;
   ClockSpec clock;
 

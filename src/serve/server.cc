@@ -68,6 +68,7 @@ ServeServer::ServeServer(ServerOptions options)
   sched_successor_us_ = metrics_.histogram("serve.sched_successor_us");
   sched_cofactor_us_ = metrics_.histogram("serve.sched_cofactor_us");
   sched_closure_us_ = metrics_.histogram("serve.sched_closure_us");
+  sched_select_us_ = metrics_.histogram("serve.sched_select_us");
   sched_gc_us_ = metrics_.histogram("serve.sched_gc_us");
 }
 
@@ -88,12 +89,13 @@ Status ServeServer::Start() {
     // Warm-start the in-memory cache: the store enumerates least recently
     // used first, so replaying through the LRU cache reproduces recency
     // (capacity overflow keeps exactly the most recent entries). Cache
-    // values are raw response payloads; store values wrap them in artifact
-    // envelopes — unwrap, skipping anything undecodable.
+    // values are current-version response payloads; store values wrap a
+    // possibly older payload layout in an artifact envelope — decode at the
+    // stored version and re-encode at the current one, skipping anything
+    // undecodable.
     store_->ForEachLru([this](const Fp128& key, const std::string& artifact) {
-      Result<std::string> payload =
-          DecodeArtifact(ArtifactKind::kExploreRun, artifact);
-      if (payload.ok()) cache_.Put(key, *std::move(payload));
+      Result<ExploreRun> run = DecodeRunArtifact(artifact);
+      if (run.ok()) cache_.Put(key, EncodeRunBody(*run));
     });
   }
 
@@ -313,8 +315,8 @@ ServeServer::ScheduleOutcome ServeServer::ExecuteSchedule(
   }
 
   // Canonical request fingerprint -> cache probe. Deadline fields never
-  // participate (fingerprint.h), so a deadline-bounded request hits results
-  // cached by unbounded ones and vice versa.
+  // participate (sched/closure.h), so a deadline-bounded request hits
+  // results cached by unbounded ones and vice versa.
   const ScheduleRequest sched_request =
       MakeCellScheduleRequest(spec, *bench, *allocation, cell);
   const Fp128 key = ExploreCellKey(spec, cell, sched_request);
@@ -330,19 +332,20 @@ ServeServer::ScheduleOutcome ServeServer::ExecuteSchedule(
   cache_misses_->Increment();
 
   // Second-level probe: the durable store (survives restarts and in-memory
-  // eviction). A hit replays the exact response payload once computed for
-  // this key and re-primes the cache.
+  // eviction). A hit replays the result once computed for this key and
+  // re-primes the cache. The stored payload may predate the current wire
+  // layout, so decode at the envelope's version and re-encode at the
+  // current one rather than forwarding the stored bytes verbatim.
   if (store_ != nullptr) {
     if (std::optional<std::string> artifact = store_->Get(key);
         artifact.has_value()) {
-      Result<std::string> payload =
-          DecodeArtifact(ArtifactKind::kExploreRun, *artifact);
-      if (payload.ok()) {
+      Result<ExploreRun> replay = DecodeRunArtifact(*artifact);
+      if (replay.ok()) {
         store_hits_->Increment();
-        cache_.Put(key, *payload);
         outcome.status = ResponseStatus::kOk;
         outcome.cache_hit = true;
-        outcome.body = *std::move(payload);
+        outcome.body = EncodeRunBody(*replay);
+        cache_.Put(key, outcome.body);
         return outcome;
       }
     }
@@ -362,6 +365,7 @@ ServeServer::ScheduleOutcome ServeServer::ExecuteSchedule(
   sched_successor_us_->Record(run.stats.phase.successor_ns / 1000);
   sched_cofactor_us_->Record(run.stats.phase.cofactor_ns / 1000);
   sched_closure_us_->Record(run.stats.phase.closure_ns / 1000);
+  sched_select_us_->Record(run.stats.phase.select_ns / 1000);
   sched_gc_us_->Record(run.stats.phase.gc_ns / 1000);
 
   // Completed outcomes — including deterministic scheduling failures such

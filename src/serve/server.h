@@ -158,6 +158,7 @@ class ServeServer {
   Histogram* sched_successor_us_;
   Histogram* sched_cofactor_us_;
   Histogram* sched_closure_us_;
+  Histogram* sched_select_us_;
   Histogram* sched_gc_us_;
 };
 

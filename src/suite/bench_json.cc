@@ -41,6 +41,7 @@ void AppendStats(std::ostringstream& os, const ScheduleStats& s,
      << indent << "  \"successor_ns\": " << s.phase.successor_ns << ",\n"
      << indent << "  \"cofactor_ns\": " << s.phase.cofactor_ns << ",\n"
      << indent << "  \"closure_ns\": " << s.phase.closure_ns << ",\n"
+     << indent << "  \"select_ns\": " << s.phase.select_ns << ",\n"
      << indent << "  \"gc_ns\": " << s.phase.gc_ns << ",\n"
      << indent << "  \"total_ns\": " << s.phase.total_ns << "\n"
      << indent << "}\n";

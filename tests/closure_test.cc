@@ -1,0 +1,181 @@
+// Unit tests for the closure detector (sched/closure.h) in isolation — the
+// shift-canonical tokenization invariants behind the paper's relabeling map
+// M. Two path states must fold onto one STG state exactly when they are
+// equal modulo a uniform per-loop iteration shift; the detector keys a
+// fingerprint of the token stream, so these tests pin down that the stream
+// is (a) invariant under the shift, (b) sensitive to real structural
+// differences, and (c) in agreement with the legacy string signature.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "cdfg/builder.h"
+#include "sched/closure.h"
+#include "sched/engine_state.h"
+#include "sched/guards.h"
+
+namespace ws {
+namespace {
+
+// The convergence-loop shape closure actually fires on: while (k > i) i++.
+struct LoopFixture {
+  // Declared before `graph`: Build fills them while graph initializes.
+  NodeId cond;
+  NodeId body;
+  Cdfg graph;
+  LoopId loop;
+
+  LoopFixture() : graph(Build(&cond, &body)) {
+    loop = graph.node(cond).loop;
+    graph.set_cond_probability(cond, 0.7);
+  }
+
+  static Cdfg Build(NodeId* cond, NodeId* body) {
+    CdfgBuilder b("closure_probe");
+    NodeId k = b.Input("k");
+    NodeId zero = b.Konst(0);
+    b.BeginLoop("main");
+    NodeId i = b.LoopPhi("i", zero);
+    NodeId c = b.Op(OpKind::kGt, ">1", {k, i});
+    b.SetLoopCondition(c);
+    NodeId i1 = b.Op(OpKind::kInc, "++1", {i});
+    b.SetLoopBack(i, i1);
+    b.EndLoop();
+    b.Output("out", i);
+    *cond = c;
+    *body = i1;
+    return b.Finish();
+  }
+};
+
+// Everything a detector test needs, wired like the scheduler wires it.
+struct Harness {
+  LoopFixture f;
+  BddManager mgr;
+  ScheduleStats stats;
+  GuardEngine guards;
+  ClosureDetector closure;
+
+  Harness() : guards(f.graph, mgr), closure(f.graph, mgr, guards, stats) {}
+
+  Binding MakeBinding(Bdd guard, bool completed) {
+    Binding b;
+    b.guard = guard;
+    b.completed = completed;
+    return b;
+  }
+
+  // The symbolic front at loop iteration `iter`: conditions 0..iter-1
+  // resolved true, every earlier instance completed under a now-constant
+  // guard, and the body of iteration `iter` in flight under this
+  // iteration's condition variable.
+  PathState FrontAtIteration(int iter) {
+    PathState ps;
+    ps.loops.resize(f.graph.num_loops());
+    ps.loops[f.loop.value()].next_unresolved = iter;
+    for (int k = 0; k < iter; ++k) {
+      ps.resolved[MakeInstKey(f.cond, k)] = true;
+      ps.bindings[MakeInstKey(f.cond, k)] = {MakeBinding(mgr.True(), true)};
+      ps.bindings[MakeInstKey(f.body, k)] = {MakeBinding(mgr.True(), true)};
+    }
+    // Current iteration's condition evaluation is committed work too.
+    ps.bindings[MakeInstKey(f.cond, iter)] = {MakeBinding(mgr.True(), true)};
+    const Bdd ci = mgr.Var(guards.CondVar(f.cond, iter));
+    ps.bindings[MakeInstKey(f.body, iter)] = {MakeBinding(ci, false)};
+    return ps;
+  }
+};
+
+TEST(ClosureDetectorTest, IdenticalStatesFoldWithNoShift) {
+  Harness h;
+  PathState a = h.FrontAtIteration(0);
+  ASSERT_FALSE(h.closure.Lookup(a).has_value());
+  h.closure.Insert(StateId(7), a);
+
+  PathState again = h.FrontAtIteration(0);
+  const auto hit = h.closure.Lookup(again);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->sid.value(), 7u);
+  EXPECT_TRUE(hit->shift.empty());  // only nonzero deltas are reported
+  EXPECT_EQ(h.stats.closure_hits, 1);
+  EXPECT_EQ(h.stats.signature_collisions, 0);
+}
+
+TEST(ClosureDetectorTest, UniformIterationShiftFoldsWithTheRelabelDelta) {
+  Harness h;
+  PathState a = h.FrontAtIteration(0);
+  ASSERT_FALSE(h.closure.Lookup(a).has_value());
+  h.closure.Insert(StateId(0), a);
+
+  // The same front two iterations later: every key slid by +2 and the guard
+  // variable is the iteration-2 condition instance. Tokenization must
+  // relabel it onto the stored canonical form.
+  PathState b = h.FrontAtIteration(2);
+  const auto hit = h.closure.Lookup(b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->sid.value(), 0u);
+  ASSERT_EQ(hit->shift.size(), 1u);
+  EXPECT_EQ(hit->shift[0].first, h.f.loop);
+  EXPECT_EQ(hit->shift[0].second, 2);
+}
+
+TEST(ClosureDetectorTest, ShiftedStatesShareTheDebugSignature) {
+  Harness h;
+  PathState a = h.FrontAtIteration(0);
+  PathState b = h.FrontAtIteration(3);
+  std::vector<int> bases_a;
+  std::vector<int> bases_b;
+  const std::string sig_a = h.closure.DebugSignature(a, &bases_a);
+  const std::string sig_b = h.closure.DebugSignature(b, &bases_b);
+  EXPECT_EQ(sig_a, sig_b);
+  EXPECT_EQ(bases_a[h.f.loop.value()], 0);
+  EXPECT_EQ(bases_b[h.f.loop.value()], 3);
+}
+
+TEST(ClosureDetectorTest, StructuralDifferencesDoNotFold) {
+  Harness h;
+  PathState a = h.FrontAtIteration(1);
+  ASSERT_FALSE(h.closure.Lookup(a).has_value());
+  h.closure.Insert(StateId(0), a);
+
+  // Negated in-flight guard: same keys, different Boolean function.
+  PathState negated = h.FrontAtIteration(1);
+  negated.bindings[MakeInstKey(h.f.body, 1)] = {h.MakeBinding(
+      h.mgr.NotVar(h.guards.CondVar(h.f.cond, 1)), false)};
+  EXPECT_FALSE(h.closure.Lookup(negated).has_value());
+
+  // Completed-instead-of-in-flight execution: same guard, different status.
+  PathState completed = h.FrontAtIteration(1);
+  completed.bindings[MakeInstKey(h.f.body, 1)] = {h.MakeBinding(
+      h.mgr.Var(h.guards.CondVar(h.f.cond, 1)), true)};
+  EXPECT_FALSE(h.closure.Lookup(completed).has_value());
+
+  // An exited loop must not fold onto a running one even when the keys line
+  // up after shifting.
+  PathState exited = h.FrontAtIteration(1);
+  exited.loops[h.f.loop.value()].exited = true;
+  exited.loops[h.f.loop.value()].exit_iter = 1;
+  EXPECT_FALSE(h.closure.Lookup(exited).has_value());
+
+  EXPECT_EQ(h.stats.closure_hits, 0);
+}
+
+TEST(ClosureDetectorTest, PendingObligationsBlockFolding) {
+  Harness h;
+  // Iteration-1 front with iteration 0 fully discharged: canonical.
+  PathState clean = h.FrontAtIteration(1);
+  ASSERT_FALSE(h.closure.Lookup(clean).has_value());
+  h.closure.Insert(StateId(0), clean);
+
+  // The same front, but iteration 0's body execution never happened: the
+  // committed region still owes work, which the pending section must keep
+  // visible (merging the two would drop the obligation).
+  PathState owing = h.FrontAtIteration(1);
+  owing.bindings.erase(MakeInstKey(h.f.body, 0));
+  EXPECT_FALSE(h.closure.Lookup(owing).has_value());
+}
+
+}  // namespace
+}  // namespace ws

@@ -147,6 +147,7 @@ TEST(ScheduleStatsCodecTest, RoundTripsEveryField) {
   stats.phase.cofactor_ns = 2222;
   stats.phase.closure_ns = 3333;
   stats.phase.gc_ns = 4444;
+  stats.phase.select_ns = 555;
   stats.phase.total_ns = 11110;
 
   const std::string bytes = EncodeScheduleStats(stats);
@@ -156,7 +157,44 @@ TEST(ScheduleStatsCodecTest, RoundTripsEveryField) {
   // byte equality of re-encoded stats is field equality.
   EXPECT_EQ(EncodeScheduleStats(*round), bytes);
   EXPECT_EQ(round->bdd_ops, stats.bdd_ops);
+  EXPECT_EQ(round->phase.select_ns, stats.phase.select_ns);
   EXPECT_EQ(round->phase.total_ns, stats.phase.total_ns);
+}
+
+TEST(ScheduleStatsCodecTest, ReadsVersion1ArtifactsWithoutSelectNs) {
+  // A hand-built v1 payload: the current layout minus phase.select_ns,
+  // wrapped in an envelope whose version byte says 1 — what a store written
+  // before the selection-policy refactor holds on disk.
+  ByteWriter w;
+  w.U32(17);  // states_created
+  w.U32(5);   // closure_hits
+  w.U32(9);   // speculative_ops
+  w.U32(2);   // squashed_ops
+  w.U32(61);  // total_ops
+  w.I64(12345);
+  w.U64(0xdeadbeefcafeull);
+  w.U64(777);
+  w.I64(1);
+  w.I64(1111);   // successor_ns
+  w.I64(2222);   // cofactor_ns
+  w.I64(3333);   // closure_ns
+  w.I64(4444);   // gc_ns
+  w.I64(11110);  // total_ns (v1 has no select_ns before it)
+  std::string artifact =
+      EncodeArtifact(ArtifactKind::kScheduleStats, w.Take());
+  artifact[4] = 1;  // version byte; the CRC only covers the payload
+
+  const Result<ScheduleStats> stats = DecodeScheduleStats(artifact);
+  ASSERT_TRUE(stats.ok()) << stats.error();
+  EXPECT_EQ(stats->states_created, 17);
+  EXPECT_EQ(stats->phase.gc_ns, 4444);
+  EXPECT_EQ(stats->phase.select_ns, 0);  // absent in v1 — defaults to 0
+  EXPECT_EQ(stats->phase.total_ns, 11110);
+
+  const Result<DecodedArtifact> decoded =
+      DecodeArtifactWithVersion(ArtifactKind::kScheduleStats, artifact);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded->version, 1);
 }
 
 TEST(StgCodecTest, SuiteSchedulesRoundTripExactly) {

@@ -13,7 +13,7 @@
 
 #include "cdfg/builder.h"
 #include "hw/resources.h"
-#include "sched/fingerprint.h"
+#include "sched/closure.h"
 #include "sched/scheduler.h"
 
 namespace ws {
@@ -45,6 +45,7 @@ struct RequestParams {
 
   // Scheduler options.
   SpeculationMode mode = SpeculationMode::kWaveschedSpec;
+  SelectionPolicy policy = SelectionPolicy::kCriticality;
   double period_ns = 1.0;
   bool allow_chaining = true;
   int lookahead = 8;
@@ -97,6 +98,7 @@ Fp128 FingerprintOf(const RequestParams& p) {
   alloc.Set(lib, p.fu_name, p.fu_count);
   SchedulerOptions options;
   options.mode = p.mode;
+  options.policy = p.policy;
   options.clock.period_ns = p.period_ns;
   options.clock.allow_chaining = p.allow_chaining;
   options.lookahead = p.lookahead;
@@ -168,6 +170,8 @@ TEST(FingerprintTest, EveryFieldPerturbationMovesTheFingerprint) {
       {"fu_area", [](RequestParams& p) { p.fu_area = 11.0; }},
       {"fu_count", [](RequestParams& p) { p.fu_count = 1; }},
       {"mode", [](RequestParams& p) { p.mode = SpeculationMode::kWavesched; }},
+      {"policy",
+       [](RequestParams& p) { p.policy = SelectionPolicy::kFifo; }},
       {"period_ns", [](RequestParams& p) { p.period_ns = 2.0; }},
       {"allow_chaining", [](RequestParams& p) { p.allow_chaining = false; }},
       {"lookahead", [](RequestParams& p) { p.lookahead = 9; }},

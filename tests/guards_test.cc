@@ -1,0 +1,221 @@
+// Unit tests for the guard-algebra layer (sched/guards.h) in isolation —
+// the cofactor identities the rest of the engine leans on. The fork engine
+// partitions states by restricting guards on condition variables, and the
+// closure detector renames them; both are sound only if guard construction
+// obeys the Shannon expansion and the loop exit guards partition the
+// condition space.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "cdfg/builder.h"
+#include "sched/engine_state.h"
+#include "sched/guards.h"
+
+namespace ws {
+namespace {
+
+// One convergence loop: while (k > i) i++. The continue condition `c` gets
+// a 0.7 profiled probability so probability-sensitive identities are not
+// degenerate at 0.5.
+struct LoopFixture {
+  // Declared before `graph`: Build fills them while graph initializes.
+  NodeId cond;
+  NodeId body;    // ++ node: a loop-body member
+  Cdfg graph;
+  LoopId loop;
+
+  LoopFixture() : graph(Build(&cond, &body)) {
+    loop = graph.node(cond).loop;
+    graph.set_cond_probability(cond, 0.7);
+  }
+
+  static Cdfg Build(NodeId* cond, NodeId* body) {
+    CdfgBuilder b("guards_probe");
+    NodeId k = b.Input("k");
+    NodeId zero = b.Konst(0);
+    b.BeginLoop("main");
+    NodeId i = b.LoopPhi("i", zero);
+    NodeId c = b.Op(OpKind::kGt, ">1", {k, i});
+    b.SetLoopCondition(c);
+    NodeId i1 = b.Op(OpKind::kInc, "++1", {i});
+    b.SetLoopBack(i, i1);
+    b.EndLoop();
+    b.Output("out", i);
+    *cond = c;
+    *body = i1;
+    return b.Finish();
+  }
+
+  PathState FreshState() const {
+    PathState ps;
+    ps.loops.resize(graph.num_loops());
+    return ps;
+  }
+};
+
+TEST(GuardEngineTest, CondVarIsMintedOncePerInstanceWithProfiledProbability) {
+  LoopFixture f;
+  BddManager mgr;
+  GuardEngine guards(f.graph, mgr);
+
+  const int v0 = guards.CondVar(f.cond, 0);
+  const int v1 = guards.CondVar(f.cond, 1);
+  EXPECT_NE(v0, v1);
+  EXPECT_EQ(guards.CondVar(f.cond, 0), v0);  // idempotent
+  ASSERT_GT(guards.var_probs().size(), static_cast<std::size_t>(v1));
+  EXPECT_DOUBLE_EQ(guards.var_probs()[static_cast<std::size_t>(v0)], 0.7);
+  EXPECT_DOUBLE_EQ(guards.var_probs()[static_cast<std::size_t>(v1)], 0.7);
+  EXPECT_TRUE(guards.likely_assignment().at(v0));  // p >= 0.5 => likely true
+}
+
+TEST(GuardEngineTest, ResolvedCondLitsAreConstants) {
+  LoopFixture f;
+  BddManager mgr;
+  GuardEngine guards(f.graph, mgr);
+  PathState ps = f.FreshState();
+
+  ps.resolved[MakeInstKey(f.cond, 0)] = true;
+  EXPECT_TRUE(mgr.IsTrue(guards.CondLit(ps, f.cond, 0, true)));
+  EXPECT_TRUE(mgr.IsFalse(guards.CondLit(ps, f.cond, 0, false)));
+
+  // Unresolved instances stay symbolic literals.
+  const Bdd lit = guards.CondLit(ps, f.cond, 1, true);
+  EXPECT_FALSE(mgr.IsTrue(lit));
+  EXPECT_FALSE(mgr.IsFalse(lit));
+  EXPECT_EQ(lit, mgr.Var(guards.CondVar(f.cond, 1)));
+}
+
+TEST(GuardEngineTest, CtrlGuardObeysTheShannonExpansion) {
+  LoopFixture f;
+  BddManager mgr;
+  GuardEngine guards(f.graph, mgr);
+  PathState ps = f.FreshState();
+
+  // Body iteration 2 requires continue-conditions 0..2.
+  const Bdd guard = guards.CtrlGuard(ps, f.body, 2);
+  const std::vector<int> support = mgr.Support(guard);
+  EXPECT_EQ(support.size(), 3u);
+  for (const int var : support) {
+    // Shannon: g == ite(v, g|v=1, g|v=0), for every support variable.
+    const Bdd hi = mgr.Restrict(guard, var, true);
+    const Bdd lo = mgr.Restrict(guard, var, false);
+    EXPECT_EQ(guard, mgr.Ite(mgr.Var(var), hi, lo));
+    // A conjunction dies under any negative cofactor of its support...
+    EXPECT_TRUE(mgr.IsFalse(lo));
+    // ...and the positive cofactor drops exactly that variable.
+    EXPECT_TRUE(mgr.Covers(hi, guard));
+  }
+  // Restricting every condition true leaves the constant 1.
+  Bdd rest = guard;
+  for (const int var : support) rest = mgr.Restrict(rest, var, true);
+  EXPECT_TRUE(mgr.IsTrue(rest));
+}
+
+TEST(GuardEngineTest, LoopHeaderNodesNeedOneFewerCondition) {
+  LoopFixture f;
+  BddManager mgr;
+  GuardEngine guards(f.graph, mgr);
+  PathState ps = f.FreshState();
+
+  // The condition node itself computes iteration 2's continue decision; its
+  // guard is conditions 0 and 1 only.
+  const Bdd header = guards.CtrlGuard(ps, f.cond, 2);
+  const Bdd expect = mgr.And(guards.CondLit(ps, f.cond, 0, true),
+                             guards.CondLit(ps, f.cond, 1, true));
+  EXPECT_EQ(header, expect);
+
+  // Resolving condition 0 (next_unresolved = 1) cofactors it out of every
+  // guard built afterwards: CtrlGuard(hdr, 2) == old guard | c0=1.
+  ps.loops[f.loop.value()].next_unresolved = 1;
+  const Bdd after = guards.CtrlGuard(ps, f.cond, 2);
+  EXPECT_EQ(after,
+            mgr.Restrict(header, guards.CondVar(f.cond, 0), true));
+}
+
+TEST(GuardEngineTest, ExitGuardsPartitionTheConditionSpace) {
+  LoopFixture f;
+  BddManager mgr;
+  GuardEngine guards(f.graph, mgr);
+  PathState ps = f.FreshState();
+
+  constexpr int kIters = 4;
+  std::vector<Bdd> exits;
+  for (int i = 0; i < kIters; ++i) {
+    exits.push_back(guards.ExitGuard(ps, f.loop, i));
+  }
+  // Pairwise disjoint: a loop exits at exactly one iteration.
+  for (int i = 0; i < kIters; ++i) {
+    for (int j = i + 1; j < kIters; ++j) {
+      EXPECT_TRUE(mgr.IsFalse(mgr.And(exits[static_cast<std::size_t>(i)],
+                                      exits[static_cast<std::size_t>(j)])))
+          << "exit guards " << i << " and " << j << " overlap";
+    }
+  }
+  // Exhaustive up to the horizon: exiting within kIters iterations is the
+  // complement of all kIters conditions holding.
+  Bdd any_exit = mgr.OrAll(exits);
+  Bdd all_continue = mgr.True();
+  for (int i = 0; i < kIters; ++i) {
+    all_continue = mgr.And(all_continue, guards.CondLit(ps, f.cond, i, true));
+  }
+  EXPECT_EQ(any_exit, mgr.Not(all_continue));
+}
+
+TEST(GuardEngineTest, ExitGuardRespectsResolutionAndExitedLoops) {
+  LoopFixture f;
+  BddManager mgr;
+  GuardEngine guards(f.graph, mgr);
+  PathState ps = f.FreshState();
+
+  // Conditions 0 and 1 resolved true: exiting before iteration 2 is
+  // impossible on this path.
+  ps.loops[f.loop.value()].next_unresolved = 2;
+  EXPECT_TRUE(mgr.IsFalse(guards.ExitGuard(ps, f.loop, 0)));
+  EXPECT_TRUE(mgr.IsFalse(guards.ExitGuard(ps, f.loop, 1)));
+  EXPECT_FALSE(mgr.IsFalse(guards.ExitGuard(ps, f.loop, 2)));
+
+  // Once the path has committed to an exit, the guard collapses to a
+  // constant indicator.
+  ps.loops[f.loop.value()].exited = true;
+  ps.loops[f.loop.value()].exit_iter = 3;
+  EXPECT_TRUE(mgr.IsTrue(guards.ExitGuard(ps, f.loop, 3)));
+  EXPECT_TRUE(mgr.IsFalse(guards.ExitGuard(ps, f.loop, 2)));
+}
+
+TEST(GuardEngineTest, InstanceCoverageNeedsASingleCoveringBinding) {
+  LoopFixture f;
+  BddManager mgr;
+  GuardEngine guards(f.graph, mgr);
+  PathState ps = f.FreshState();
+
+  const Bdd c0 = mgr.Var(guards.CondVar(f.cond, 0));
+  const Bdd c1 = mgr.Var(guards.CondVar(f.cond, 1));
+  const InstKey key = MakeInstKey(f.body, 0);
+
+  // Two partial bindings whose union covers c0 — but no single one does, so
+  // the instance is NOT covered (Lemma 1: a consumer would need a mux).
+  Binding lo;
+  lo.guard = mgr.And(c0, c1);
+  lo.completed = true;
+  Binding hi;
+  hi.guard = mgr.And(c0, mgr.Not(c1));
+  hi.completed = true;
+  ps.bindings[key] = {lo, hi};
+  EXPECT_FALSE(guards.InstanceCovered(ps, key, c0, /*require_completed=*/true));
+
+  // One binding whose validity guard covers the control guard qualifies.
+  Binding full;
+  full.guard = c0;
+  full.completed = false;
+  ps.bindings[key].push_back(full);
+  EXPECT_TRUE(guards.InstanceCovered(ps, key, c0, /*require_completed=*/false));
+  // ...but not when completion is required and it is still in flight.
+  EXPECT_FALSE(guards.InstanceCovered(ps, key, c0, /*require_completed=*/true));
+
+  EXPECT_EQ(guards.BindingGuard(ps, key, 2), c0);
+}
+
+}  // namespace
+}  // namespace ws

@@ -1,0 +1,179 @@
+// Selection-policy tests (sched/policy.h): the admission tie-break's exact
+// semantics, and the determinism regression the tie-break exists for — the
+// Eq. 5 criticality schedule must be byte-identical across repeated runs
+// and across explore worker counts, and every alternative policy must
+// produce a valid schedule that the engine distinguishes by fingerprint.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "explore/explore.h"
+#include "explore/report.h"
+#include "io/codec.h"
+#include "sched/closure.h"
+#include "sched/policy.h"
+#include "sched/scheduler.h"
+#include "stg/stg.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+Candidate MakeCandidate(std::uint32_t node, int iter, double priority) {
+  Candidate c;
+  c.node = NodeId(node);
+  c.iter = iter;
+  c.priority = priority;
+  return c;
+}
+
+TEST(BetterCandidateTest, HigherPriorityWinsOutsideTheTolerance) {
+  const Candidate lo = MakeCandidate(9, 0, 1.0);
+  const Candidate hi = MakeCandidate(3, 5, 1.5);
+  EXPECT_TRUE(BetterCandidate(hi, lo));
+  EXPECT_FALSE(BetterCandidate(lo, hi));
+}
+
+TEST(BetterCandidateTest, NearTiesFallBackToIterationThenNode) {
+  // Within 1e-12 the priorities tie (they are products of profiled floats;
+  // exact equality would be fragile) and (iter, node) decides — a total,
+  // generation-order-independent order.
+  const Candidate a = MakeCandidate(7, 1, 0.5);
+  const Candidate b = MakeCandidate(2, 2, 0.5 + 1e-14);
+  EXPECT_TRUE(BetterCandidate(a, b));   // earlier iteration
+  EXPECT_FALSE(BetterCandidate(b, a));
+
+  const Candidate c = MakeCandidate(4, 1, 0.5);
+  EXPECT_TRUE(BetterCandidate(c, a));   // same iteration, lower node id
+  EXPECT_FALSE(BetterCandidate(a, c));
+
+  // Identical key: neither improves on the other (admission keeps `best`).
+  EXPECT_FALSE(BetterCandidate(a, a));
+}
+
+TEST(SelectionPolicyTest, NamesRoundTripAndRejectUnknowns) {
+  for (const SelectionPolicy p :
+       {SelectionPolicy::kCriticality, SelectionPolicy::kProbabilityOnly,
+        SelectionPolicy::kPathLengthOnly, SelectionPolicy::kFifo}) {
+    const Result<SelectionPolicy> round =
+        ParseSelectionPolicy(SelectionPolicyName(p));
+    ASSERT_TRUE(round.ok()) << SelectionPolicyName(p);
+    EXPECT_EQ(*round, p);
+  }
+  EXPECT_TRUE(ParseSelectionPolicy("criticality").ok());
+  EXPECT_FALSE(ParseSelectionPolicy("greedy").ok());
+  EXPECT_FALSE(ParseSelectionPolicy("").ok());
+}
+
+TEST(PolicyDeterminismTest, CriticalityScheduleIsByteIdenticalAcrossRuns) {
+  const Result<Benchmark> bench = MakeBenchmarkByName("gcd", 5, 1998);
+  ASSERT_TRUE(bench.ok()) << bench.error();
+  SchedulerOptions options;
+  options.mode = SpeculationMode::kWaveschedSpec;
+  options.lookahead = bench->lookahead;
+
+  std::string first;
+  for (int run = 0; run < 3; ++run) {
+    const Result<ScheduleReport> report = ScheduleBenchmark(*bench, options);
+    ASSERT_TRUE(report.ok()) << report.error();
+    const std::string bytes = EncodeStg(report->stg);
+    if (run == 0) {
+      first = bytes;
+    } else {
+      // Eq. 5 priorities are float products; only the deterministic
+      // (iteration, node) tie-break keeps repeated runs byte-identical.
+      EXPECT_EQ(bytes, first) << "run " << run << " diverged";
+    }
+  }
+}
+
+TEST(PolicyDeterminismTest, ExploreReportsAgreeAcrossWorkerCounts) {
+  // The tie-break must also be immune to scheduling-order perturbations from
+  // the explore pool: the canonical (timing-free) report for a
+  // design x mode x policy grid is one byte string, whatever the worker
+  // count.
+  ReportRenderOptions render;
+  render.include_timing = false;
+
+  std::string baseline;
+  for (const int workers : {0, 1, 4}) {
+    ExploreSpec spec;
+    spec.designs = {DesignSpec{"gcd", ""}, DesignSpec{"test1", ""}};
+    spec.modes = {SpeculationMode::kWavesched,
+                  SpeculationMode::kWaveschedSpec};
+    spec.policies = {SelectionPolicy::kCriticality, SelectionPolicy::kFifo};
+    spec.workers = workers;
+    spec.num_stimuli = 5;
+    const Result<ExploreReport> report = RunExplore(spec);
+    ASSERT_TRUE(report.ok()) << report.error();
+    const std::string json = ExploreReportToJson(*report, render);
+    if (baseline.empty()) {
+      baseline = json;
+    } else {
+      EXPECT_EQ(json, baseline) << "workers=" << workers << " diverged";
+    }
+  }
+}
+
+TEST(SelectionPolicyTest, EveryPolicySchedulesTheSuiteValidly) {
+  const Result<Benchmark> bench = MakeBenchmarkByName("gcd", 5, 1998);
+  ASSERT_TRUE(bench.ok()) << bench.error();
+  for (const SelectionPolicy policy :
+       {SelectionPolicy::kCriticality, SelectionPolicy::kProbabilityOnly,
+        SelectionPolicy::kPathLengthOnly, SelectionPolicy::kFifo}) {
+    SchedulerOptions options;
+    options.mode = SpeculationMode::kWaveschedSpec;
+    options.lookahead = bench->lookahead;
+    options.policy = policy;
+    const Result<ScheduleReport> report = ScheduleBenchmark(*bench, options);
+    ASSERT_TRUE(report.ok())
+        << SelectionPolicyName(policy) << ": " << report.error();
+    report->stg.Validate();
+    EXPECT_GT(report->stg.num_work_states(), 0u) << SelectionPolicyName(policy);
+  }
+}
+
+TEST(SelectionPolicyTest, DefaultOptionsMeanCriticality) {
+  const Result<Benchmark> bench = MakeBenchmarkByName("tlc", 5, 1998);
+  ASSERT_TRUE(bench.ok()) << bench.error();
+  SchedulerOptions plain;
+  plain.mode = SpeculationMode::kWaveschedSpec;
+  plain.lookahead = bench->lookahead;
+  SchedulerOptions explicit_crit = plain;
+  explicit_crit.policy = SelectionPolicy::kCriticality;
+
+  const Result<ScheduleReport> a = ScheduleBenchmark(*bench, plain);
+  const Result<ScheduleReport> b = ScheduleBenchmark(*bench, explicit_crit);
+  ASSERT_TRUE(a.ok()) << a.error();
+  ASSERT_TRUE(b.ok()) << b.error();
+  EXPECT_EQ(EncodeStg(a->stg), EncodeStg(b->stg));
+}
+
+TEST(SelectionPolicyTest, PolicyMovesTheRequestFingerprint) {
+  const Result<Benchmark> bench = MakeBenchmarkByName("gcd", 5, 1998);
+  ASSERT_TRUE(bench.ok()) << bench.error();
+  ScheduleRequest request;
+  request.graph = &bench->graph;
+  request.library = &bench->library;
+  request.allocation = &bench->allocation;
+  request.options.mode = SpeculationMode::kWaveschedSpec;
+
+  std::vector<Fp128> fps;
+  for (const SelectionPolicy policy :
+       {SelectionPolicy::kCriticality, SelectionPolicy::kProbabilityOnly,
+        SelectionPolicy::kPathLengthOnly, SelectionPolicy::kFifo}) {
+    request.options.policy = policy;
+    fps.push_back(FingerprintScheduleRequest(request));
+  }
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    for (std::size_t j = i + 1; j < fps.size(); ++j) {
+      EXPECT_TRUE(fps[i].lo != fps[j].lo || fps[i].hi != fps[j].hi)
+          << "policies " << i << " and " << j
+          << " share a fingerprint — the store would cross-serve artifacts";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ws

@@ -31,6 +31,9 @@ const ws::ToolInfo kTool = {
     "  shutdown              ask the server to drain and exit\n"
     "  schedule DESIGN       schedule one design; prints the run as JSON\n"
     "    --mode ws|single|spec   speculation mode (default spec)\n"
+    "    --policy crit|prob|lambda|fifo\n"
+    "                            operation-selection policy (default crit,\n"
+    "                            the paper's Eq. 5 criticality)\n"
     "    --alloc SPEC            allocation: default, unlimited, none, or\n"
     "                            unit=count,... overrides\n"
     "    --clock P               clock period in ns (default 1.0)\n"
@@ -77,6 +80,10 @@ int main(int argc, char** argv) {
       else if (m == "single") request.mode = SpeculationMode::kSinglePath;
       else if (m == "spec") request.mode = SpeculationMode::kWaveschedSpec;
       else UsageError(kTool, "unknown --mode: " + m);
+    } else if (arg == "--policy") {
+      const Result<SelectionPolicy> policy = ParseSelectionPolicy(next());
+      if (!policy.ok()) UsageError(kTool, "--policy: " + policy.error());
+      request.policy = *policy;
     } else if (arg == "--alloc") {
       const std::string a = next();
       request.alloc = AllocationSpec{a, a};

@@ -1,18 +1,21 @@
 // ws_explore — design-space exploration driver.
 //
-// Sweeps benchmark × speculation-mode × allocation × clock grids through
-// the parallel explore engine and emits a JSON report (stdout), optionally
-// with a human-readable table on stderr.
+// Sweeps benchmark × speculation-mode × selection-policy × allocation ×
+// clock grids through the parallel explore engine and emits a JSON report
+// (stdout), optionally with a human-readable table on stderr.
 //
 // Usage:
 //   ws_explore [design.beh ...] [--suite] [--bench name,name,...]
-//              [--modes ws,single,spec] [--alloc spec]... [--clocks p,p,...]
+//              [--modes ws,single,spec] [--policies crit,prob,lambda,fifo]
+//              [--alloc spec]... [--clocks p,p,...]
 //              [--workers N] [--stimuli N] [--seed S]
 //              [--area] [--no-sim] [--no-timing] [--table]
 //
 //   design.beh     behavioral sources, compiled per worker
 //   --suite        add the five Table 1 suite benchmarks
 //   --bench        add suite benchmarks by name (gcd, test1, fig4:0.3, ...)
+//   --policies     comma list of operation-selection policies (sched/policy.h):
+//                  crit (Eq. 5, default), prob, lambda, fifo
 //   --alloc        one allocation grid point per flag: "default",
 //                  "unlimited", "none", or "unit=count,..." overrides
 //                  ("inf" = unlimited); default grid is the benchmark's own
@@ -50,7 +53,8 @@ namespace {
 const ws::ToolInfo kTool = {
     "ws_explore",
     "usage: ws_explore [design.beh ...] [--suite] [--bench names]\n"
-    "                  [--modes ws,single,spec] [--alloc spec]...\n"
+    "                  [--modes ws,single,spec]\n"
+    "                  [--policies crit,prob,lambda,fifo] [--alloc spec]...\n"
     "                  [--clocks p,p,...] [--workers N] [--stimuli N]\n"
     "                  [--seed S] [--area] [--no-sim] [--no-timing]\n"
     "                  [--table] [--server ADDR] [--deadline-ms N]\n"
@@ -104,6 +108,13 @@ int main(int argc, char** argv) {
         else if (m == "single") spec.modes.push_back(SpeculationMode::kSinglePath);
         else if (m == "spec") spec.modes.push_back(SpeculationMode::kWaveschedSpec);
         else Usage("unknown mode: " + m);
+      }
+    } else if (arg == "--policies") {
+      spec.policies.clear();
+      for (const std::string& p : SplitCommas(next())) {
+        const Result<SelectionPolicy> policy = ParseSelectionPolicy(p);
+        if (!policy.ok()) Usage("--policies: " + policy.error());
+        spec.policies.push_back(*policy);
       }
     } else if (arg == "--alloc") {
       const std::string a = next();
