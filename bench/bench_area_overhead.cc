@@ -25,8 +25,7 @@ int main() {
   SchedulerOptions ws_opts;
   ws_opts.mode = SpeculationMode::kWavesched;
   ws_opts.lookahead = b.lookahead;
-  const ScheduleResult ws = Schedule(b.graph, b.library, b.allocation,
-                                     ws_opts);
+  const ScheduleResult ws = Schedule({&b.graph, &b.library, &b.allocation, ws_opts}).value();
   const AreaReport base = EstimateArea(ws.stg, b.graph, b.library,
                                        b.stimuli[0], AreaModel{},
                                        &b.allocation);
@@ -39,8 +38,7 @@ int main() {
     SchedulerOptions sp_opts = ws_opts;
     sp_opts.mode = SpeculationMode::kWaveschedSpec;
     sp_opts.lookahead = lookahead;
-    const ScheduleResult sp = Schedule(b.graph, b.library, b.allocation,
-                                       sp_opts);
+    const ScheduleResult sp = Schedule({&b.graph, &b.library, &b.allocation, sp_opts}).value();
     const AreaReport area = EstimateArea(sp.stg, b.graph, b.library,
                                          b.stimuli[0], AreaModel{},
                                          &b.allocation);

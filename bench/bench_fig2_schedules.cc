@@ -25,8 +25,8 @@ int main() {
   SchedulerOptions sp_opts = ws_opts;
   sp_opts.mode = SpeculationMode::kWaveschedSpec;
 
-  const ScheduleResult ws = Schedule(b.graph, b.library, unlimited, ws_opts);
-  const ScheduleResult sp = Schedule(b.graph, b.library, unlimited, sp_opts);
+  const ScheduleResult ws = Schedule({&b.graph, &b.library, &unlimited, ws_opts}).value();
+  const ScheduleResult sp = Schedule({&b.graph, &b.library, &unlimited, sp_opts}).value();
 
   std::printf("=== Figure 2(a): schedule without speculative execution ===\n");
   std::printf("%s\n", StgToText(ws.stg, b.graph).c_str());

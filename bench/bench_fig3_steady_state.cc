@@ -26,7 +26,7 @@ int main() {
   SchedulerOptions opts;
   opts.mode = SpeculationMode::kWaveschedSpec;
   opts.lookahead = b.lookahead;
-  const ScheduleResult sp = Schedule(b.graph, b.library, unlimited, opts);
+  const ScheduleResult sp = Schedule({&b.graph, &b.library, &unlimited, opts}).value();
 
   StgSimOptions sim_opts;
   sim_opts.record_visited = true;

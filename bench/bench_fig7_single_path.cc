@@ -37,9 +37,9 @@ int main() {
   SchedulerOptions single = multi;
   single.mode = SpeculationMode::kSinglePath;
 
-  const ScheduleResult rm = Schedule(b.graph, b.library, b.allocation, multi);
+  const ScheduleResult rm = Schedule({&b.graph, &b.library, &b.allocation, multi}).value();
   const ScheduleResult rs =
-      Schedule(b.graph, b.library, b.allocation, single);
+      Schedule({&b.graph, &b.library, &b.allocation, single}).value();
 
   std::printf("=== multi-path speculative schedule (Fig. 5(b)) ===\n%s\n",
               StgToText(rm.stg, b.graph).c_str());

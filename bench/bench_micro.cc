@@ -166,7 +166,7 @@ void ScheduleBenchmark(benchmark::State& state, const char* which,
     opts.mode = mode;
     opts.lookahead = b.lookahead;
     benchmark::DoNotOptimize(
-        Schedule(b.graph, b.library, b.allocation, opts));
+        Schedule({&b.graph, &b.library, &b.allocation, opts}).value());
   }
 }
 
@@ -198,7 +198,7 @@ void BM_SimulateGcdSpec(benchmark::State& state) {
   SchedulerOptions opts;
   opts.mode = SpeculationMode::kWaveschedSpec;
   opts.lookahead = b.lookahead;
-  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+  const ScheduleResult r = Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
   for (auto _ : state) {
     benchmark::DoNotOptimize(SimulateStg(r.stg, b.graph, b.stimuli[0]));
   }
@@ -210,7 +210,7 @@ void BM_MarkovExpectedCycles(benchmark::State& state) {
   SchedulerOptions opts;
   opts.mode = SpeculationMode::kWaveschedSpec;
   opts.lookahead = b.lookahead;
-  const ScheduleResult r = Schedule(b.graph, b.library, b.allocation, opts);
+  const ScheduleResult r = Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
   for (auto _ : state) {
     benchmark::DoNotOptimize(ExpectedCycles(r.stg, b.graph));
   }

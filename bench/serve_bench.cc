@@ -1,0 +1,246 @@
+// serve_bench — throughput/latency benchmark for the continuous-batching
+// serve loop, swept over shard counts.
+//
+// For each shard count (default 1/2/4/8) it stands up an in-process
+// ServeServer on a Unix socket with one worker per shard, drives a mixed
+// workload from concurrent clients (three quarters distinct-seed computes
+// that defeat the cache, one quarter a shared cacheable cell that exercises
+// the single-flight/cache path), and reports throughput plus p50/p99
+// request latency from the server's own `serve.latency_us` histogram.
+//
+// Output: a human-readable table on stderr, or `--ws_json[=PATH]` for the
+// machine-readable document committed as BENCH_serve.json. Numbers are
+// wall-clock measurements on whatever host runs this; the document records
+// the CPU count so scaling claims can be read in context.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/metrics.h"
+#include "serve/server.h"
+
+namespace ws {
+namespace {
+
+struct BenchConfig {
+  std::vector<int> shard_counts = {1, 2, 4, 8};
+  int clients = 4;
+  int per_client = 24;
+  int num_stimuli = 5;
+};
+
+struct ShardResult {
+  int shards = 0;
+  int workers = 0;
+  int requests = 0;
+  int errors = 0;
+  double seconds = 0.0;
+  double throughput_rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::int64_t sched_runs = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t coalesced = 0;
+};
+
+std::string SocketPath(int shards) {
+  return "/tmp/ws_serve_bench_" + std::to_string(::getpid()) + "_s" +
+         std::to_string(shards) + ".sock";
+}
+
+ShardResult RunOne(const BenchConfig& config, int shards) {
+  ShardResult result;
+  result.shards = shards;
+  result.workers = shards;  // one worker per shard: scaling is the question
+  result.requests = config.clients * config.per_client;
+
+  ServerOptions options;
+  options.unix_path = SocketPath(shards);
+  options.shards = shards;
+  options.workers = shards;
+  options.max_queue = 4096;  // never shed: we are measuring, not protecting
+  ServeServer server(options);
+  if (const Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "serve_bench: start(shards=%d): %s\n", shards,
+                 started.message().c_str());
+    result.errors = result.requests;
+    return result;
+  }
+  const ServeAddress address{/*is_unix=*/true, options.unix_path, "", 0};
+
+  std::vector<int> errors(static_cast<std::size_t>(config.clients), 0);
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(config.clients));
+  for (int c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&config, &address, &errors, c] {
+      Result<ServeClient> client = ServeClient::Connect(address);
+      if (!client.ok()) {
+        errors[static_cast<std::size_t>(c)] = config.per_client;
+        return;
+      }
+      for (int r = 0; r < config.per_client; ++r) {
+        CellRequest request;
+        request.num_stimuli = config.num_stimuli;
+        if (r % 4 == 3) {
+          // Shared cacheable cell: all clients repeat it, so it lands as a
+          // cache hit or coalesces onto an in-flight computation.
+          request.design = DesignSpec{"tlc", ""};
+        } else {
+          // Distinct fingerprint per request: always a real compute.
+          request.design = DesignSpec{"gcd", ""};
+          request.seed = 100000 + static_cast<std::uint64_t>(c) * 1000 +
+                         static_cast<std::uint64_t>(r);
+        }
+        const Result<ScheduleArtifact> artifact = client->Schedule(request);
+        if (!artifact.ok() || !artifact->run.ok) {
+          ++errors[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  result.seconds = std::chrono::duration<double>(end - begin).count();
+  for (const int e : errors) result.errors += e;
+  result.throughput_rps =
+      result.seconds > 0.0 ? result.requests / result.seconds : 0.0;
+  const Histogram* latency = server.metrics().histogram("serve.latency_us");
+  result.p50_us = latency->Quantile(0.5);
+  result.p99_us = latency->Quantile(0.99);
+  result.sched_runs = server.metrics().counter("serve.sched_runs")->value();
+  result.cache_hits = server.metrics().counter("serve.cache_hits")->value();
+  result.coalesced = server.metrics().counter("serve.coalesced")->value();
+
+  server.Stop();
+  std::remove(options.unix_path.c_str());
+  return result;
+}
+
+std::string RenderJson(const BenchConfig& config,
+                       const std::vector<ShardResult>& results) {
+  std::string out;
+  char buf[512];
+  out += "{\n";
+  out += "  \"schema\": \"ws-bench-serve-v1\",\n";
+  out +=
+      "  \"comment\": \"Continuous-batching serve loop swept over shard "
+      "counts; one worker per shard, mixed workload (3/4 distinct-seed "
+      "computes, 1/4 shared cacheable cell). Latency quantiles come from "
+      "the server's serve.latency_us histogram. Regenerate with: "
+      "bench/serve_bench --ws_json=BENCH_serve.json\",\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"config\": {\"clients\": %d, \"per_client\": %d, "
+                "\"num_stimuli\": %d, \"cpus\": %u},\n",
+                config.clients, config.per_client, config.num_stimuli,
+                std::thread::hardware_concurrency());
+  out += buf;
+  out += "  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ShardResult& r = results[i];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"shards\": %d, \"workers\": %d, \"requests\": %d, "
+        "\"errors\": %d, \"seconds\": %.3f, \"throughput_rps\": %.1f, "
+        "\"p50_us\": %.0f, \"p99_us\": %.0f, \"sched_runs\": %lld, "
+        "\"cache_hits\": %lld, \"coalesced\": %lld}%s\n",
+        r.shards, r.workers, r.requests, r.errors, r.seconds,
+        r.throughput_rps, r.p50_us, r.p99_us,
+        static_cast<long long>(r.sched_runs),
+        static_cast<long long>(r.cache_hits),
+        static_cast<long long>(r.coalesced),
+        i + 1 < results.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+}  // namespace ws
+
+int main(int argc, char** argv) {
+  using namespace ws;
+  BenchConfig config;
+  std::string json_path;
+  bool json_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--ws_json") == 0) {
+      json_mode = true;
+    } else if (std::strncmp(arg, "--ws_json=", 10) == 0) {
+      json_mode = true;
+      json_path = arg + 10;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      config.shard_counts.clear();
+      for (const char* p = arg + 9; *p != '\0';) {
+        char* end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p || v < 1) {
+          std::fprintf(stderr, "serve_bench: bad --shards list: %s\n", arg);
+          return 1;
+        }
+        config.shard_counts.push_back(static_cast<int>(v));
+        p = *end == ',' ? end + 1 : end;
+      }
+    } else if (std::strncmp(arg, "--clients=", 10) == 0) {
+      config.clients = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--per_client=", 13) == 0) {
+      config.per_client = std::atoi(arg + 13);
+    } else {
+      std::fprintf(stderr,
+                   "usage: serve_bench [--shards=1,2,4,8] [--clients=N]\n"
+                   "                   [--per_client=N] [--ws_json[=PATH]]\n");
+      return std::strcmp(arg, "--help") == 0 ? 0 : 1;
+    }
+  }
+  if (config.clients < 1 || config.per_client < 1 ||
+      config.shard_counts.empty()) {
+    std::fprintf(stderr, "serve_bench: nothing to run\n");
+    return 1;
+  }
+
+  std::vector<ShardResult> results;
+  for (const int shards : config.shard_counts) {
+    const ShardResult r = RunOne(config, shards);
+    std::fprintf(stderr,
+                 "shards=%d workers=%d: %d req in %.3fs = %.1f req/s  "
+                 "p50=%.0fus p99=%.0fus  runs=%lld hits=%lld coalesced=%lld "
+                 "errors=%d\n",
+                 r.shards, r.workers, r.requests, r.seconds,
+                 r.throughput_rps, r.p50_us, r.p99_us,
+                 static_cast<long long>(r.sched_runs),
+                 static_cast<long long>(r.cache_hits),
+                 static_cast<long long>(r.coalesced), r.errors);
+    if (r.errors != 0) {
+      std::fprintf(stderr, "serve_bench: %d request(s) failed\n", r.errors);
+      return 1;
+    }
+    results.push_back(r);
+  }
+
+  if (json_mode) {
+    const std::string doc = RenderJson(config, results);
+    if (json_path.empty()) {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "serve_bench: cannot open %s\n",
+                     json_path.c_str());
+        return 1;
+      }
+      std::fputs(doc.c_str(), f);
+      std::fclose(f);
+    }
+  }
+  return 0;
+}

@@ -37,7 +37,7 @@ int main() {
       opts.mode = SpeculationMode::kWaveschedSpec;
       opts.lookahead = lookahead;
       try {
-        const ScheduleResult r = Schedule(b.graph, b.library, alloc, opts);
+        const ScheduleResult r = Schedule({&b.graph, &b.library, &alloc, opts}).value();
         const StgSimResult sim = SimulateStg(r.stg, b.graph, st);
         std::printf("%-10s %-6d %9d %10lld %10.2f\n", "spec", mults,
                     lookahead, static_cast<long long>(sim.cycles),
@@ -55,7 +55,7 @@ int main() {
     opts.mode = SpeculationMode::kWavesched;
     opts.lookahead = 8;
     const ScheduleResult r =
-        Schedule(b.graph, b.library, b.allocation, opts);
+        Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
     const StgSimResult sim = SimulateStg(r.stg, b.graph, st);
     std::printf("%-10s %-6s %9s %10lld %10.2f  (the serial bound the paper "
                 "breaks)\n",

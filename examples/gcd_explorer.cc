@@ -75,7 +75,7 @@ int main() {
     opts.mode = pt.mode;
     opts.lookahead = 2;
     try {
-      const ScheduleResult r = Schedule(g, lib, alloc, opts);
+      const ScheduleResult r = Schedule({&g, &lib, &alloc, opts}).value();
       const double enc = MeasureExpectedCycles(r.stg, g, stimuli);
       const AreaReport area =
           EstimateArea(r.stg, g, lib, stimuli[0], AreaModel{}, &alloc);

@@ -67,9 +67,9 @@ int main() {
   SchedulerOptions opts;
   opts.lookahead = 6;
   opts.mode = SpeculationMode::kWavesched;
-  const ScheduleResult ws = Schedule(g, lib, alloc, opts);
+  const ScheduleResult ws = Schedule({&g, &lib, &alloc, opts}).value();
   opts.mode = SpeculationMode::kWaveschedSpec;
-  const ScheduleResult spec = Schedule(g, lib, alloc, opts);
+  const ScheduleResult spec = Schedule({&g, &lib, &alloc, opts}).value();
 
   std::printf("=== non-speculative schedule (Wavesched) ===\n%s\n",
               StgToText(ws.stg, g).c_str());

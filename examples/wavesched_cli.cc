@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
     SchedulerOptions opts;
     opts.mode = mode;
     opts.lookahead = lookahead;
-    const ScheduleResult r = Schedule(g, lib, alloc, opts);
+    const ScheduleResult r = Schedule({&g, &lib, &alloc, opts}).value();
 
     if (dot == "cdfg") {
       std::printf("%s", CdfgToDot(g).c_str());

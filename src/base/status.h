@@ -29,7 +29,7 @@ class Error : public std::runtime_error {
 // Cooperative cancellation outcomes, raised by the scheduler when a
 // per-request deadline expires or a caller-owned cancel flag is set. They
 // subclass Error so legacy catch sites keep working, but carry a distinct
-// type so request/response layers (ScheduleOrError, the serving daemon) can
+// type so request/response layers (Schedule, the serving daemon) can
 // map them to typed statuses instead of generic failures.
 class DeadlineExceededError : public Error {
  public:
@@ -48,8 +48,10 @@ enum class StatusCode {
   kInvalidArgument,   // malformed request/options; retrying is pointless
   kDeadlineExceeded,  // cooperative deadline expired mid-run
   kCancelled,         // caller-owned cancel flag observed
-  kUnavailable,       // transient resource pressure (queue full, I/O)
+  kUnavailable,       // transient resource pressure (I/O, dead peer)
   kInternal,          // everything else (the pre-StatusCode default)
+  kOverloaded,        // server shed the request (admission queue full);
+                      // retrying after backoff is expected to succeed
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -101,6 +103,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kOverloaded: return "overloaded";
   }
   return "unknown";
 }

@@ -125,7 +125,7 @@ ExploreRun RunBenchmarkCell(const ExploreSpec& spec, const Benchmark& b,
   const ScheduleRequest request =
       MakeCellScheduleRequest(spec, b, allocation, cell);
 
-  Result<ScheduleReport> report = ScheduleOrError(request);
+  Result<ScheduleReport> report = Schedule(request);
   if (!report.ok()) {
     run.error = report.error();
     run.error_code = report.status().code();

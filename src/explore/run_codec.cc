@@ -61,7 +61,7 @@ Result<ExploreRun> DecodeRunBody(std::string_view body,
   if (!r.AtEnd() ||
       mode > static_cast<std::uint8_t>(SpeculationMode::kWaveschedSpec) ||
       policy > static_cast<std::uint8_t>(kMaxSelectionPolicy) ||
-      code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+      code > static_cast<std::uint8_t>(StatusCode::kOverloaded)) {
     return Status::MakeError(StatusCode::kInvalidArgument,
                              "malformed ExploreRun message");
   }

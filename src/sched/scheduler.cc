@@ -551,7 +551,7 @@ Status SchedulerOptions::Validate() const {
   return Status::Ok();
 }
 
-Result<ScheduleReport> ScheduleOrError(const ScheduleRequest& request) {
+Result<ScheduleReport> Schedule(const ScheduleRequest& request) {
   if (request.graph == nullptr) {
     return Status::MakeError(StatusCode::kInvalidArgument,
                              "ScheduleRequest: graph is null");
@@ -576,24 +576,6 @@ Result<ScheduleReport> ScheduleOrError(const ScheduleRequest& request) {
   } catch (const Error& e) {
     return Status::MakeError(e.what());
   }
-}
-
-ScheduleResult Schedule(const Cdfg& g, const FuLibrary& lib,
-                        const Allocation& alloc,
-                        const SchedulerOptions& options) {
-  ScheduleRequest request;
-  request.graph = &g;
-  request.library = &lib;
-  request.allocation = &alloc;
-  request.options = options;
-  Result<ScheduleReport> result = ScheduleOrError(request);
-  if (!result.ok()) {
-    // Re-enter the throwing world with the carried Status intact: the code
-    // picks the exception type (deadline/cancel stay distinguishable) and
-    // the message is ScheduleOrError's, verbatim.
-    result.status().ThrowIfError();
-  }
-  return *std::move(result);
 }
 
 }  // namespace ws

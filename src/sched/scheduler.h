@@ -79,7 +79,7 @@ struct SchedulerOptions {
 
   // Cooperative cancellation, checked between worklist states and candidate
   // passes (millisecond granularity on the paper suite). When the deadline
-  // passes, ScheduleOrError returns a kDeadlineExceeded Status — never a
+  // passes, Schedule returns a kDeadlineExceeded Status — never a
   // partial STG. `cancel` is borrowed, may be null, and is polled with
   // relaxed loads; setting it from another thread makes the run return
   // kCancelled. Neither field participates in request fingerprints (see
@@ -148,16 +148,19 @@ struct ScheduleReport {
 // The historical name for the response; kept as an alias for existing code.
 using ScheduleResult = ScheduleReport;
 
-// Schedules request.graph under the given library/allocation/options without
-// throwing: every failure (invalid request or options, unsatisfiable
-// constraints, exhausted exploration caps) is returned as an error Result.
-// Safe to call from worker threads; runs share nothing.
-Result<ScheduleReport> ScheduleOrError(const ScheduleRequest& request);
+// The scheduling entry point. Schedules request.graph under the given
+// library/allocation/options without throwing: every failure (invalid
+// request or options, unsatisfiable constraints, exhausted exploration
+// caps, an expired deadline, cancellation) is returned as a typed error
+// Result. Safe to call from worker threads; runs share nothing. Callers
+// that want the historical throwing behavior chain .value(), which raises
+// ws::Error with the same message.
+Result<ScheduleReport> Schedule(const ScheduleRequest& request);
 
-// Throwing shim over ScheduleOrError: raises ws::Error on failure.
-ScheduleResult Schedule(const Cdfg& g, const FuLibrary& lib,
-                        const Allocation& alloc,
-                        const SchedulerOptions& options);
+[[deprecated("call Schedule(const ScheduleRequest&)")]]
+inline Result<ScheduleReport> ScheduleOrError(const ScheduleRequest& request) {
+  return Schedule(request);
+}
 
 }  // namespace ws
 

@@ -52,4 +52,43 @@ std::int64_t ResultCache::evictions() const {
   return evictions_;
 }
 
+ShardedResultCache::ShardedResultCache(std::size_t capacity, int shards)
+    : capacity_(capacity) {
+  if (shards < 1) shards = 1;
+  // Divide the budget; a nonzero total keeps every shard usable so a key's
+  // cacheability never depends on which shard it hashes to.
+  std::size_t per_shard =
+      capacity == 0 ? 0
+                    : (capacity + static_cast<std::size_t>(shards) - 1) /
+                          static_cast<std::size_t>(shards);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<ResultCache>(per_shard));
+  }
+}
+
+std::size_t ShardedResultCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+std::int64_t ShardedResultCache::hits() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->hits();
+  return total;
+}
+
+std::int64_t ShardedResultCache::misses() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->misses();
+  return total;
+}
+
+std::int64_t ShardedResultCache::evictions() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->evictions();
+  return total;
+}
+
 }  // namespace ws

@@ -1,20 +1,29 @@
-// Bounded LRU result cache for the scheduling service.
+// Bounded LRU result cache for the scheduling service, sharded by
+// fingerprint hash.
 //
 // Keys are 128-bit request fingerprints (sched/closure.h); values are
 // encoded response payloads, stored verbatim so a hit replays the exact
-// bytes of the original response. Thread-safe; every public member takes the
-// one internal mutex (entries are small strings — metrics, not STGs — so
-// the critical sections are copies, not computation).
+// bytes of the original response.
+//
+// `ResultCache` is one LRU segment behind one mutex (entries are small
+// strings — metrics, not STGs — so the critical sections are copies, not
+// computation). `ShardedResultCache` splits the key space across N such
+// segments so concurrent requests with different fingerprints never contend
+// on a shared cache mutex; the shard of a key is the same function the
+// dispatcher uses to pick a worker shard, which is what gives each serve
+// shard sole ownership of its LRU segment.
 #ifndef WS_SERVE_CACHE_H
 #define WS_SERVE_CACHE_H
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "base/hashing.h"
 
@@ -48,6 +57,44 @@ class ResultCache {
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
   std::int64_t evictions_ = 0;
+};
+
+// N independent LRU segments; a key always lives in shard_of(key). The
+// total capacity is divided evenly (each shard gets at least one entry
+// unless the whole cache is disabled with capacity 0), and the aggregate
+// counters sum over segments, so a 1-shard instance behaves exactly like a
+// bare ResultCache.
+class ShardedResultCache {
+ public:
+  ShardedResultCache(std::size_t capacity, int shards);
+
+  // The owning shard: stable for a key, uniform over the fingerprint space
+  // (the lanes are SplitMix64-mixed already, so modulo is unbiased enough).
+  int shard_of(const Fp128& key) const {
+    return static_cast<int>((key.hi ^ key.lo) %
+                            static_cast<std::uint64_t>(shards_.size()));
+  }
+
+  std::optional<std::string> Get(const Fp128& key) {
+    return shards_[static_cast<std::size_t>(shard_of(key))]->Get(key);
+  }
+  void Put(const Fp128& key, std::string payload) {
+    shards_[static_cast<std::size_t>(shard_of(key))]->Put(key,
+                                                          std::move(payload));
+  }
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  std::size_t capacity() const { return capacity_; }
+
+  // Aggregates across shards.
+  std::size_t size() const;
+  std::int64_t hits() const;
+  std::int64_t misses() const;
+  std::int64_t evictions() const;
+
+ private:
+  const std::size_t capacity_;
+  std::vector<std::unique_ptr<ResultCache>> shards_;
 };
 
 }  // namespace ws

@@ -37,42 +37,71 @@ ExploreRun RunRemoteCell(const ExploreSpec& spec, const ServeAddress& address,
     if (!client.ok()) {
       return FailedRun(cell, client.error(), StatusCode::kUnavailable);
     }
-    Result<WireResponse> response = client->Schedule(request);
-    if (!response.ok()) {
-      return FailedRun(cell, response.error(), StatusCode::kUnavailable);
-    }
-    switch (response->status) {
-      case ResponseStatus::kOk: {
-        Result<ExploreRun> run = DecodeRun(response->payload);
-        if (!run.ok()) {
-          return FailedRun(cell, run.error(), StatusCode::kInternal);
-        }
-        return *std::move(run);
-      }
-      case ResponseStatus::kInvalidRequest:
+    Result<ScheduleArtifact> artifact = client->Schedule(request);
+    if (artifact.ok()) return std::move(artifact)->run;
+    switch (artifact.status().code()) {
+      case StatusCode::kInvalidArgument:
         // The server ran the same build path and failed the same way a local
         // sweep would; its message is the exact local error string.
-        return FailedRun(cell, response->payload,
-                         StatusCode::kInvalidArgument);
-      case ResponseStatus::kDeadlineExceeded:
-        return FailedRun(cell, response->payload,
+        return FailedRun(cell, artifact.error(), StatusCode::kInvalidArgument);
+      case StatusCode::kDeadlineExceeded:
+        return FailedRun(cell, artifact.error(),
                          StatusCode::kDeadlineExceeded);
-      case ResponseStatus::kOverloaded:
+      case StatusCode::kOverloaded:
         if (attempt < kOverloadRetries) {
           std::this_thread::sleep_for(
               std::chrono::milliseconds(5LL << attempt));
           continue;
         }
-        return FailedRun(cell, response->payload, StatusCode::kUnavailable);
-      case ResponseStatus::kInternalError:
-        return FailedRun(cell, response->payload, StatusCode::kInternal);
+        return FailedRun(cell, artifact.error(), StatusCode::kUnavailable);
+      case StatusCode::kInternal:
+        return FailedRun(cell, artifact.error(), StatusCode::kInternal);
+      default:
+        // Transport-level failures (send/recv, undecodable frame).
+        return FailedRun(cell, artifact.error(), StatusCode::kUnavailable);
     }
-    return FailedRun(cell, "unrecognized response status",
-                     StatusCode::kInternal);
   }
 }
 
+Result<std::string> ExpectOk(Result<WireResponse> response) {
+  if (!response.ok()) return response.status();
+  if (response->status != ResponseStatus::kOk) {
+    return Status::MakeError(
+        StatusCode::kUnavailable,
+        std::string("server replied ") + ResponseStatusName(response->status) +
+            ": " + response->payload);
+  }
+  return std::move(response->payload);
+}
+
 }  // namespace
+
+Result<ScheduleArtifact> DecodeScheduleResponse(const WireResponse& response) {
+  switch (response.status) {
+    case ResponseStatus::kOk: {
+      Result<ExploreRun> run = DecodeRun(response.payload);
+      if (!run.ok()) return run.status();
+      ScheduleArtifact artifact;
+      artifact.run = *std::move(run);
+      artifact.cache_hit = response.cache_hit;
+      return artifact;
+    }
+    // The payload travels verbatim as the message: remote failure reports
+    // must be byte-identical to what a local sweep would record.
+    case ResponseStatus::kInvalidRequest:
+      return Status::MakeError(StatusCode::kInvalidArgument,
+                               response.payload);
+    case ResponseStatus::kDeadlineExceeded:
+      return Status::MakeError(StatusCode::kDeadlineExceeded,
+                               response.payload);
+    case ResponseStatus::kOverloaded:
+      return Status::MakeError(StatusCode::kOverloaded, response.payload);
+    case ResponseStatus::kInternalError:
+      return Status::MakeError(StatusCode::kInternal, response.payload);
+  }
+  return Status::MakeError(StatusCode::kInternal,
+                           "unrecognized response status");
+}
 
 Result<ServeClient> ServeClient::Connect(const std::string& address_text) {
   Result<ServeAddress> address = ParseServeAddress(address_text);
@@ -96,22 +125,31 @@ Result<WireResponse> ServeClient::Call(Verb verb, const std::string& body) {
   return DecodeResponseFrame(*frame);
 }
 
-Result<WireResponse> ServeClient::Schedule(const CellRequest& request) {
-  return Call(Verb::kSchedule, EncodeCellRequest(request));
-}
-
-namespace {
-Result<std::string> ExpectOk(Result<WireResponse> response) {
+Result<Ticket> ServeClient::Submit(const CellRequest& request) {
+  Result<WireResponse> response =
+      Call(Verb::kSubmit, EncodeCellRequest(request));
   if (!response.ok()) return response.status();
   if (response->status != ResponseStatus::kOk) {
-    return Status::MakeError(
-        StatusCode::kUnavailable,
-        std::string("server replied ") + ResponseStatusName(response->status) +
-            ": " + response->payload);
+    return Status::MakeError(StatusCode::kInvalidArgument, response->payload);
   }
-  return std::move(response->payload);
+  Result<std::uint64_t> id = DecodeTicketBody(response->payload);
+  if (!id.ok()) return id.status();
+  return Ticket{*id};
 }
-}  // namespace
+
+Result<ScheduleArtifact> ServeClient::Wait(Ticket ticket) {
+  Result<WireResponse> response =
+      Call(Verb::kWait, EncodeTicketBody(ticket.id));
+  if (!response.ok()) return response.status();
+  return DecodeScheduleResponse(*response);
+}
+
+Result<ScheduleArtifact> ServeClient::Schedule(const CellRequest& request) {
+  Result<WireResponse> response =
+      Call(Verb::kSchedule, EncodeCellRequest(request));
+  if (!response.ok()) return response.status();
+  return DecodeScheduleResponse(*response);
+}
 
 Result<std::string> ServeClient::Ping() { return ExpectOk(Call(Verb::kPing, "")); }
 

@@ -1,10 +1,20 @@
 // Client side of the serving protocol: a blocking one-connection client and
 // the remote explore backend (`ws_explore --server`).
 //
-// A ServeClient owns one connection and speaks strict request/response; a
-// caller that wants parallelism opens more clients (RunExploreRemote opens
-// one per in-flight cell). All failures are value-based — a dead server is
-// an environmental condition, not a programming error.
+// A ServeClient owns one connection and speaks strict request/response. The
+// typed API is Submit/Wait: Submit admits a request and returns a Ticket
+// immediately, Wait redeems the ticket for the finished ScheduleArtifact —
+// so one connection can pipeline many requests (submit a batch, then wait
+// the tickets in turn). Schedule() composes the two in one round trip for
+// callers that want the classic blocking call. A caller that wants true
+// parallelism still opens more clients (RunExploreRemote opens one per
+// in-flight cell).
+//
+// All failures are value-based — a dead server is an environmental
+// condition, not a programming error. Typed server responses map onto
+// StatusCodes (kInvalidArgument, kDeadlineExceeded, kOverloaded, kInternal)
+// with the server's payload verbatim as the message; transport failures
+// surface as kUnavailable.
 #ifndef WS_SERVE_CLIENT_H
 #define WS_SERVE_CLIENT_H
 
@@ -18,6 +28,28 @@
 
 namespace ws {
 
+// A claim on one submitted request, redeemable exactly once with
+// ServeClient::Wait on the connection that issued it.
+struct Ticket {
+  std::uint64_t id = 0;
+};
+
+// A finished scheduling request: the decoded run plus whether the server
+// answered from its result cache (or durable store).
+struct ScheduleArtifact {
+  ExploreRun run;
+  bool cache_hit = false;
+};
+
+// The one place a decoded response frame becomes a typed result: kOk
+// payloads decode into a ScheduleArtifact; typed non-Ok responses become
+// error statuses carrying the server's payload verbatim as the message
+// (kInvalidRequest -> kInvalidArgument, kDeadlineExceeded ->
+// kDeadlineExceeded, kOverloaded -> kOverloaded, kInternalError ->
+// kInternal). Shared by ServeClient::Wait/Schedule and every tool that
+// speaks the protocol, so status mapping can never drift between them.
+Result<ScheduleArtifact> DecodeScheduleResponse(const WireResponse& response);
+
 class ServeClient {
  public:
   // Connects to "unix:/path" or "[host:]port" (ParseServeAddress forms).
@@ -27,13 +59,27 @@ class ServeClient {
   ServeClient(ServeClient&&) = default;
   ServeClient& operator=(ServeClient&&) = default;
 
-  // One request/response round trip. Transport failures only; protocol-level
-  // failures come back inside the WireResponse.
+  // Admits one request into the server's step loop; returns as soon as the
+  // server acks admission with a ticket. Errors are transport failures or
+  // an undecodable request body — admission outcomes (overload sheds,
+  // invalid specs) arrive at Wait().
+  Result<Ticket> Submit(const CellRequest& request);
+
+  // Redeems a ticket for its outcome, blocking until the server replies
+  // (bounded by the request's own deadline_ms, queue time included).
+  // Tickets are consumed by their first Wait and die with the connection.
+  Result<ScheduleArtifact> Wait(Ticket ticket);
+
+  // Submit + Wait in one round trip.
+  Result<ScheduleArtifact> Schedule(const CellRequest& request);
+
+  // One raw request/response round trip. Transport failures only;
+  // protocol-level failures come back inside the WireResponse. The typed
+  // calls above are preferred; this remains for protocol-level tooling.
   Result<WireResponse> Call(Verb verb, const std::string& body);
 
-  // Verb shorthands. The string-returning ones demand a kOk reply and
-  // surface anything else as an error status.
-  Result<WireResponse> Schedule(const CellRequest& request);
+  // Verb shorthands; they demand a kOk reply and surface anything else as
+  // an error status.
   Result<std::string> Ping();
   Result<std::string> Stats();
   Result<std::string> Shutdown();

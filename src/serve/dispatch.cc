@@ -1,0 +1,319 @@
+#include "serve/dispatch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/strings.h"
+#include "explore/run_codec.h"
+#include "io/artifact_store.h"
+#include "io/codec.h"
+
+namespace ws {
+namespace {
+
+ServeOutcome DeadlineOutcome(std::int64_t deadline_ms,
+                             const std::string& detail) {
+  ServeOutcome outcome;
+  outcome.status = ResponseStatus::kDeadlineExceeded;
+  outcome.body = detail.empty()
+                     ? StrCat("deadline of ", deadline_ms, " ms expired")
+                     : detail;
+  return outcome;
+}
+
+}  // namespace
+
+void PendingResult::Fulfill(const ServeOutcome& outcome) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (done_) return;
+    done_ = true;
+    outcome_ = outcome;
+  }
+  cv_.notify_all();
+}
+
+ServeOutcome PendingResult::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (deadline_.has_value()) {
+    if (!cv_.wait_until(lock, *deadline_, [this] { return done_; })) {
+      // This waiter's own deadline expired; the computation (if any) keeps
+      // running for other waiters and the cache, but this request's answer
+      // is final.
+      return DeadlineOutcome(deadline_ms_, "");
+    }
+  } else {
+    cv_.wait(lock, [this] { return done_; });
+  }
+  return outcome_;
+}
+
+ServeDispatcher::ServeDispatcher(DispatcherOptions options,
+                                 MetricsRegistry* metrics)
+    : options_(options),
+      cache_(options.cache_capacity, options.shards) {
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int s = 0; s < options_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  sched_runs_ = metrics->counter("serve.sched_runs");
+  coalesced_ = metrics->counter("serve.coalesced");
+  cache_hits_ = metrics->counter("serve.cache_hits");
+  cache_misses_ = metrics->counter("serve.cache_misses");
+  store_hits_ = metrics->counter("serve.store_hits");
+  store_misses_ = metrics->counter("serve.store_misses");
+  queue_depth_ = metrics->gauge("serve.queue_depth");
+  sched_total_us_ = metrics->histogram("serve.sched_total_us");
+  sched_successor_us_ = metrics->histogram("serve.sched_successor_us");
+  sched_cofactor_us_ = metrics->histogram("serve.sched_cofactor_us");
+  sched_closure_us_ = metrics->histogram("serve.sched_closure_us");
+  sched_select_us_ = metrics->histogram("serve.sched_select_us");
+  sched_gc_us_ = metrics->histogram("serve.sched_gc_us");
+}
+
+ServeDispatcher::~ServeDispatcher() { Drain(); }
+
+void ServeDispatcher::Start() {
+  if (started_) return;
+  started_ = true;
+  // Spread the worker budget: every shard gets at least one thread; the
+  // remainder lands on the lowest-numbered shards.
+  const int shards = options_.shards;
+  const int base = std::max(1, options_.workers / shards);
+  int extra = std::max(0, options_.workers - base * shards);
+  for (auto& shard : shards_) {
+    int count = base + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    for (int w = 0; w < count; ++w) {
+      shard->workers.emplace_back([this, s = shard.get()] { WorkerLoop(s); });
+    }
+  }
+}
+
+void ServeDispatcher::Drain() {
+  if (!started_ || drained_) return;
+  drained_ = true;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    {
+      // Taking the lock orders the flag store before any worker's next
+      // predicate evaluation (no lost wakeup).
+      std::lock_guard<std::mutex> lock(shard->mu);
+    }
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    for (std::thread& t : shard->workers) t.join();
+    shard->workers.clear();
+  }
+}
+
+PendingHandle ServeDispatcher::Submit(const CellRequest& request,
+                                      Clock::time_point admitted) {
+  auto pending =
+      std::make_shared<PendingResult>(admitted, request.deadline_ms);
+  auto reject = [&pending](ResponseStatus status, std::string message) {
+    ServeOutcome outcome;
+    outcome.status = status;
+    outcome.body = std::move(message);
+    pending->Fulfill(outcome);
+    return pending;
+  };
+
+  ExploreSpec spec = request.ToSpec();
+  if (const Status valid = spec.Validate(); !valid.ok()) {
+    return reject(ResponseStatus::kInvalidRequest, valid.message());
+  }
+  const ExploreCell cell = request.ToCell();
+
+  // The same build path RunExploreCell takes; build failures are invalid
+  // requests at the protocol level (the design or allocation text itself is
+  // wrong), with the exact message local sweeps would record in the run.
+  Result<Benchmark> bench = BuildExploreDesign(cell.design, spec);
+  if (!bench.ok()) {
+    return reject(ResponseStatus::kInvalidRequest, bench.error());
+  }
+  Result<Allocation> allocation = BuildExploreAllocation(*bench, cell.alloc);
+  if (!allocation.ok()) {
+    return reject(ResponseStatus::kInvalidRequest, allocation.error());
+  }
+
+  // Canonical request fingerprint. Deadline fields never participate
+  // (sched/closure.h), so a deadline-bounded request coalesces with — and
+  // hits results cached by — unbounded ones and vice versa.
+  const ScheduleRequest sched_request =
+      MakeCellScheduleRequest(spec, *bench, *allocation, cell);
+  const Fp128 key = ExploreCellKey(spec, cell, sched_request);
+  Shard& shard = *shards_[static_cast<std::size_t>(cache_.shard_of(key))];
+
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    if (stopping_.load(std::memory_order_acquire)) {
+      lock.unlock();
+      return reject(ResponseStatus::kOverloaded, "server is draining");
+    }
+    // Single-flight: an in-flight computation for this fingerprint absorbs
+    // the request as a follower — no new work, one more waiter.
+    if (auto it = shard.inflight.find(key); it != shard.inflight.end()) {
+      it->second.push_back(pending);
+      admitted_.fetch_add(1, std::memory_order_acq_rel);
+      queue_depth_->Add(1);
+      coalesced_->Increment();
+      return pending;
+    }
+    // Cache fast path: answered at admission, never queued.
+    if (std::optional<std::string> hit = cache_.Get(key); hit.has_value()) {
+      lock.unlock();
+      cache_hits_->Increment();
+      ServeOutcome outcome;
+      outcome.status = ResponseStatus::kOk;
+      outcome.cache_hit = true;
+      outcome.body = *std::move(hit);
+      pending->Fulfill(outcome);
+      return pending;
+    }
+    cache_misses_->Increment();
+    // A new leader occupies a worker: apply the admission cap.
+    if (admitted_.fetch_add(1, std::memory_order_acq_rel) >=
+        options_.max_queue) {
+      admitted_.fetch_sub(1, std::memory_order_acq_rel);
+      lock.unlock();
+      return reject(ResponseStatus::kOverloaded,
+                    StrCat("admission queue full (", options_.max_queue,
+                           " requests in flight); retry later"));
+    }
+    queue_depth_->Add(1);
+    shard.inflight.emplace(key, std::vector<PendingHandle>{pending});
+    shard.queue.push_back(Job{key, request, *std::move(bench),
+                              *std::move(allocation)});
+  }
+  shard.cv.notify_one();
+  return pending;
+}
+
+void ServeDispatcher::WorkerLoop(Shard* shard) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      shard->cv.wait(lock, [this, shard] {
+        return !shard->queue.empty() ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      if (shard->queue.empty()) {
+        // stopping_ and an empty queue, observed under the shard mutex: no
+        // further job can be enqueued (Submit sheds once stopping_), so the
+        // drain is complete for this worker.
+        return;
+      }
+      job = std::move(shard->queue.front());
+      shard->queue.pop_front();
+    }
+    Execute(shard, std::move(job));
+  }
+}
+
+void ServeDispatcher::Execute(Shard* shard, Job job) {
+  // The compute deadline is the least restrictive over the waiters attached
+  // so far: any waiter without a deadline makes the run unbounded, else the
+  // latest deadline wins. Each waiter's *reply* is still bounded by its own
+  // deadline inside PendingResult::Wait.
+  std::optional<Clock::time_point> deadline;
+  bool unbounded = false;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const PendingHandle& waiter : shard->inflight[job.key]) {
+      if (!waiter->deadline().has_value()) {
+        unbounded = true;
+        break;
+      }
+      if (!deadline.has_value() || *waiter->deadline() > *deadline) {
+        deadline = waiter->deadline();
+      }
+    }
+  }
+  if (unbounded) deadline.reset();
+
+  ServeOutcome outcome;
+  bool computed = false;
+  if (deadline.has_value() && Clock::now() >= *deadline) {
+    outcome = DeadlineOutcome(
+        job.request.deadline_ms,
+        StrCat("deadline of ", job.request.deadline_ms,
+               " ms expired in the admission queue"));
+  } else {
+    // Second-level probe: the durable store (survives restarts and
+    // in-memory eviction). A hit replays the result once computed for this
+    // key. The stored payload may predate the current wire layout, so
+    // decode at the envelope's version and re-encode at the current one
+    // rather than forwarding the stored bytes verbatim.
+    if (options_.store != nullptr) {
+      if (std::optional<std::string> artifact = options_.store->Get(job.key);
+          artifact.has_value()) {
+        if (Result<ExploreRun> replay = DecodeRunArtifact(*artifact);
+            replay.ok()) {
+          store_hits_->Increment();
+          outcome.status = ResponseStatus::kOk;
+          outcome.cache_hit = true;
+          outcome.body = EncodeRunBody(*replay);
+          computed = true;
+        }
+      }
+      if (!computed) store_misses_->Increment();
+    }
+    if (!computed) {
+      ExploreSpec spec = job.request.ToSpec();
+      spec.base_options.deadline = deadline;
+      sched_runs_->Increment();
+      const ExploreRun run =
+          RunBenchmarkCell(spec, job.bench, job.allocation,
+                           job.request.ToCell());
+      if (run.error_code == StatusCode::kDeadlineExceeded ||
+          run.error_code == StatusCode::kCancelled) {
+        outcome = DeadlineOutcome(job.request.deadline_ms, run.error);
+      } else {
+        sched_total_us_->Record(run.stats.phase.total_ns / 1000);
+        sched_successor_us_->Record(run.stats.phase.successor_ns / 1000);
+        sched_cofactor_us_->Record(run.stats.phase.cofactor_ns / 1000);
+        sched_closure_us_->Record(run.stats.phase.closure_ns / 1000);
+        sched_select_us_->Record(run.stats.phase.select_ns / 1000);
+        sched_gc_us_->Record(run.stats.phase.gc_ns / 1000);
+        // Completed outcomes — including deterministic scheduling failures
+        // such as exhausted caps — are cacheable; deadline expiries are
+        // not.
+        outcome.status = ResponseStatus::kOk;
+        outcome.body = EncodeRunBody(run);
+      }
+    }
+  }
+
+  // Publish to the cache/store *before* retiring the single-flight entry:
+  // a concurrent identical Submit either attaches to the in-flight entry
+  // (and is fulfilled below) or — once the entry is gone — finds the value
+  // in the cache. There is no window where it would recompute.
+  if (outcome.status == ResponseStatus::kOk) {
+    cache_.Put(job.key, outcome.body);
+    if (options_.store != nullptr && !outcome.cache_hit) {
+      // Write-through: the store value is the response payload in an
+      // artifact envelope, so a later (possibly post-restart) hit replays
+      // these exact bytes. An I/O failure degrades durability, not the
+      // response.
+      (void)options_.store->Put(
+          job.key, EncodeArtifact(ArtifactKind::kExploreRun, outcome.body));
+    }
+  }
+
+  std::vector<PendingHandle> waiters;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto it = shard->inflight.find(job.key);
+    waiters = std::move(it->second);
+    shard->inflight.erase(it);
+  }
+  for (const PendingHandle& waiter : waiters) waiter->Fulfill(outcome);
+  const int n = static_cast<int>(waiters.size());
+  admitted_.fetch_sub(n, std::memory_order_acq_rel);
+  queue_depth_->Add(-n);
+}
+
+}  // namespace ws

@@ -1,0 +1,204 @@
+// The continuous-batching core of the scheduling service: a dispatcher that
+// admits CellRequests into fingerprint-sharded worker queues, coalesces
+// concurrent identical requests into one in-flight computation, and hands
+// every admitted request a PendingResult its submitter can wait on.
+//
+// Step loop (per shard worker):
+//   admission → (coalesce | cache fast-path | enqueue) → compute → publish.
+//
+// Sharding: a request's 128-bit canonical fingerprint picks the shard
+// (the same function that picks its LRU cache segment — see
+// ShardedResultCache::shard_of), so one shard exclusively owns a key's
+// queue slot, its single-flight entry, and its cache segment. Workers of
+// different shards share no mutex on the hot path, and every scheduling run
+// owns its private BDD arena (Schedule's shared-nothing convention),
+// so shard workers never contend on a unique table or cache lock.
+//
+// Single-flight: the first admitted request for a fingerprint is the
+// leader; it enqueues the one compute job. Requests for the same
+// fingerprint that arrive while the leader is queued or running attach as
+// followers and never enqueue work. When the computation publishes, every
+// attached waiter receives the *same* ServeOutcome — one compute, N
+// byte-identical replies. Followers keep their own deadlines: a follower
+// whose deadline_ms expires mid-wait gets kDeadlineExceeded from
+// PendingResult::Wait even if the leader later completes.
+//
+// Ordering/starvation: each shard queue is FIFO, so two requests that hash
+// to the same shard complete in admission order (followers piggyback on the
+// earliest admitted leader, which only moves them earlier). The admission
+// cap bounds queued+running requests globally; beyond it, new leaders are
+// shed with kOverloaded while followers and cache hits — which consume no
+// worker time — are always accepted.
+#ifndef WS_SERVE_DISPATCH_H
+#define WS_SERVE_DISPATCH_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hashing.h"
+#include "explore/explore.h"
+#include "serve/cache.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+
+namespace ws {
+
+class ArtifactStore;  // io/artifact_store.h
+
+// The outcome of one admitted request: a typed response status and the
+// encoded payload the connection writer sends verbatim.
+struct ServeOutcome {
+  ResponseStatus status = ResponseStatus::kInternalError;
+  bool cache_hit = false;
+  std::string body;  // encoded ExploreRun on kOk, message otherwise
+};
+
+// One admitted request's completion slot. Produced by the dispatcher
+// (possibly shared between a single-flight leader and its followers — each
+// follower holds its own PendingResult, the *outcome* is what they share),
+// consumed by exactly one waiter.
+class PendingResult {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  PendingResult(Clock::time_point admitted, std::int64_t deadline_ms)
+      : admitted_(admitted),
+        deadline_ms_(deadline_ms),
+        deadline_(deadline_ms > 0
+                      ? std::optional<Clock::time_point>(
+                            admitted + std::chrono::milliseconds(deadline_ms))
+                      : std::nullopt) {}
+
+  // Publishes the outcome; idempotent (the first fulfillment wins) and safe
+  // to call after a waiter has already timed out and gone away.
+  void Fulfill(const ServeOutcome& outcome);
+
+  // Blocks until fulfilled, bounded by this request's own deadline; a
+  // timeout yields kDeadlineExceeded regardless of what the (possibly
+  // coalesced) computation later produces.
+  ServeOutcome Wait();
+
+  Clock::time_point admitted() const { return admitted_; }
+  const std::optional<Clock::time_point>& deadline() const {
+    return deadline_;
+  }
+
+ private:
+  const Clock::time_point admitted_;
+  const std::int64_t deadline_ms_;
+  const std::optional<Clock::time_point> deadline_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  ServeOutcome outcome_;
+};
+
+using PendingHandle = std::shared_ptr<PendingResult>;
+
+struct DispatcherOptions {
+  // Worker shards; each owns a FIFO queue, a single-flight table, and an
+  // LRU cache segment.
+  int shards = 1;
+  // Total worker-thread budget, spread across shards (each shard gets at
+  // least one).
+  int workers = 4;
+  // Admitted-but-unfinished cap across all shards; beyond it new leaders
+  // are shed with kOverloaded.
+  int max_queue = 64;
+  std::size_t cache_capacity = 256;  // total LRU entries; 0 disables
+  // Durable write-through store; borrowed, may be null. Must outlive the
+  // dispatcher.
+  ArtifactStore* store = nullptr;
+};
+
+class ServeDispatcher {
+ public:
+  // Metrics are registered on construction; the registry must outlive the
+  // dispatcher.
+  ServeDispatcher(DispatcherOptions options, MetricsRegistry* metrics);
+  ~ServeDispatcher();
+
+  ServeDispatcher(const ServeDispatcher&) = delete;
+  ServeDispatcher& operator=(const ServeDispatcher&) = delete;
+
+  // Spawns the shard workers.
+  void Start();
+
+  // Stops admission, lets workers finish every queued job (fulfilling all
+  // attached waiters), and joins them. Idempotent.
+  void Drain();
+
+  // Admission. Validates and fingerprints the request on the calling
+  // thread, then either fulfills the returned handle immediately (invalid
+  // request, cache hit, shed, draining) or routes it to the owning shard
+  // (as a new leader's compute job or a coalesced follower). Never blocks
+  // on scheduling work; the caller collects the outcome via
+  // PendingResult::Wait().
+  PendingHandle Submit(const CellRequest& request,
+                       PendingResult::Clock::time_point admitted);
+
+  ShardedResultCache& cache() { return cache_; }
+  const ShardedResultCache& cache() const { return cache_; }
+
+ private:
+  using Clock = PendingResult::Clock;
+
+  // A leader's compute job: the prebuilt inputs RunBenchmarkCell needs,
+  // owned by the job so shard workers share nothing.
+  struct Job {
+    Fp128 key;
+    CellRequest request;
+    Benchmark bench;
+    Allocation allocation;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Job> queue;
+    // fingerprint → waiters of the in-flight (queued or running) compute.
+    std::unordered_map<Fp128, std::vector<PendingHandle>, Fp128Hash> inflight;
+    std::vector<std::thread> workers;
+  };
+
+  void WorkerLoop(Shard* shard);
+  void Execute(Shard* shard, Job job);
+
+  const DispatcherOptions options_;
+  ShardedResultCache cache_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> admitted_{0};
+  bool started_ = false;
+  bool drained_ = false;
+
+  // Pre-registered hot-path metrics (pointers into the registry).
+  Counter* sched_runs_;
+  Counter* coalesced_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Counter* store_hits_;
+  Counter* store_misses_;
+  Gauge* queue_depth_;
+  Histogram* sched_total_us_;
+  Histogram* sched_successor_us_;
+  Histogram* sched_cofactor_us_;
+  Histogram* sched_closure_us_;
+  Histogram* sched_select_us_;
+  Histogram* sched_gc_us_;
+};
+
+}  // namespace ws
+
+#endif  // WS_SERVE_DISPATCH_H

@@ -102,7 +102,7 @@ Result<std::pair<Verb, std::string>> DecodeRequestFrame(
   if (r.U8() != kWireVersion) return Malformed("request (bad version)");
   const std::uint8_t verb = r.U8();
   if (!r.ok() || verb < static_cast<std::uint8_t>(Verb::kSchedule) ||
-      verb > static_cast<std::uint8_t>(Verb::kShutdown)) {
+      verb > static_cast<std::uint8_t>(Verb::kWait)) {
     return Malformed("request (bad verb)");
   }
   return std::make_pair(static_cast<Verb>(verb),
@@ -178,6 +178,19 @@ Result<CellRequest> DecodeCellRequest(std::string_view body) {
   req.mode = static_cast<SpeculationMode>(mode);
   req.policy = static_cast<SelectionPolicy>(policy);
   return req;
+}
+
+std::string EncodeTicketBody(std::uint64_t ticket) {
+  ByteWriter w;
+  w.U64(ticket);
+  return w.Take();
+}
+
+Result<std::uint64_t> DecodeTicketBody(std::string_view body) {
+  ByteReader r(body);
+  const std::uint64_t ticket = r.U64();
+  if (!r.ok() || !r.AtEnd()) return Malformed("ticket");
+  return ticket;
 }
 
 // The response-body layout lives in explore/run_codec.h now, shared with

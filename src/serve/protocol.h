@@ -17,6 +17,22 @@
 //              or unvalidatable request), kDeadlineExceeded (the request's
 //              deadline_ms expired in queue or mid-run), kOverloaded
 //              (admission queue full — retry later), kInternalError.
+//              Equivalent to kSubmit immediately followed by kWait, in one
+//              round trip.
+//   kSubmit    body = CellRequest; the request is admitted into the step
+//              loop and the reply returns immediately — kOk with a u64
+//              ticket (EncodeTicketBody), or kInvalidRequest when the body
+//              is undecodable. Admission outcomes (an unvalidatable spec,
+//              a kOverloaded shed, a cache hit) ride the ticket and are
+//              delivered by kWait. A connection may hold many outstanding
+//              tickets (pipelining); tickets are connection-scoped and die
+//              with the connection.
+//   kWait      body = u64 ticket; blocks until that ticket's outcome is
+//              ready (or its deadline_ms expires — each ticket keeps its
+//              own deadline even when its computation was coalesced onto
+//              another request's) and replies exactly like kSchedule. A
+//              ticket is consumed by its first kWait; waiting twice or on
+//              an unknown ticket is kInvalidRequest.
 //   kStats     body empty; reply carries the metrics registry rendered as
 //              text (see serve/metrics.h).
 //   kPing      body empty; reply carries "pong".
@@ -39,14 +55,19 @@ namespace ws {
 //   2  CellRequest gains the selection-policy byte after the speculation
 //      mode; the SCHEDULE response run body gains the policy byte and
 //      phase.select_ns (explore/run_codec.h / io/codec.h version 2).
+//   3  the continuous-batching serve loop: kSubmit/kWait ticket verbs
+//      (async submit-then-wait with connection-scoped u64 tickets);
+//      kSchedule is unchanged on the wire and now means submit+wait.
 inline constexpr std::uint32_t kWireMagic = 0x57535256;  // "WSRV"
-inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kWireVersion = 3;
 
 enum class Verb : std::uint8_t {
   kSchedule = 1,
   kStats = 2,
   kPing = 3,
   kShutdown = 4,
+  kSubmit = 5,
+  kWait = 6,
 };
 
 enum class ResponseStatus : std::uint8_t {
@@ -114,6 +135,10 @@ Result<WireResponse> DecodeResponseFrame(std::string_view frame);
 
 std::string EncodeCellRequest(const CellRequest& request);
 Result<CellRequest> DecodeCellRequest(std::string_view body);
+
+// kSubmit's kOk reply body and kWait's request body: one u64 ticket.
+std::string EncodeTicketBody(std::uint64_t ticket);
+Result<std::uint64_t> DecodeTicketBody(std::string_view body);
 
 // ExploreRun minus the STG (schedules stay server-side; metrics travel).
 std::string EncodeRun(const ExploreRun& run);

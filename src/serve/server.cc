@@ -1,15 +1,13 @@
 #include "serve/server.h"
 
 #include <chrono>
-#include <future>
 #include <unistd.h>
+#include <unordered_map>
 #include <utility>
 
 #include "base/strings.h"
-#include "explore/explore.h"
 #include "explore/run_codec.h"
 #include "io/artifact_store.h"
-#include "io/codec.h"
 
 namespace ws {
 namespace {
@@ -35,6 +33,11 @@ Status ServerOptions::Validate() const {
         StatusCode::kInvalidArgument,
         StrCat("ServerOptions: tcp_port out of range: ", tcp_port));
   }
+  if (shards < 1 || shards > 256) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        StrCat("ServerOptions: shards must be in [1, 256], got ", shards));
+  }
   if (workers < 1) {
     return Status::MakeError(
         StatusCode::kInvalidArgument,
@@ -49,27 +52,31 @@ Status ServerOptions::Validate() const {
 }
 
 ServeServer::ServeServer(ServerOptions options)
-    : options_(std::move(options)), cache_(options_.cache_capacity) {
+    : options_(std::move(options)) {
   req_total_ = metrics_.counter("serve.requests_total");
   resp_ok_ = metrics_.counter("serve.responses_ok");
   resp_invalid_ = metrics_.counter("serve.responses_invalid_request");
   resp_deadline_ = metrics_.counter("serve.responses_deadline_exceeded");
   resp_overloaded_ = metrics_.counter("serve.responses_overloaded");
   resp_internal_ = metrics_.counter("serve.responses_internal_error");
-  cache_hits_ = metrics_.counter("serve.cache_hits");
-  cache_misses_ = metrics_.counter("serve.cache_misses");
-  store_hits_ = metrics_.counter("serve.store_hits");
-  store_misses_ = metrics_.counter("serve.store_misses");
   connections_total_ = metrics_.counter("serve.connections_total");
-  queue_depth_ = metrics_.gauge("serve.queue_depth");
   open_connections_ = metrics_.gauge("serve.open_connections");
   latency_us_ = metrics_.histogram("serve.latency_us");
-  sched_total_us_ = metrics_.histogram("serve.sched_total_us");
-  sched_successor_us_ = metrics_.histogram("serve.sched_successor_us");
-  sched_cofactor_us_ = metrics_.histogram("serve.sched_cofactor_us");
-  sched_closure_us_ = metrics_.histogram("serve.sched_closure_us");
-  sched_select_us_ = metrics_.histogram("serve.sched_select_us");
-  sched_gc_us_ = metrics_.histogram("serve.sched_gc_us");
+  // Registered up front so STATS renders the full namespace from the first
+  // request; the dispatcher fetches the same entries by name.
+  metrics_.counter("serve.sched_runs");
+  metrics_.counter("serve.coalesced");
+  metrics_.counter("serve.cache_hits");
+  metrics_.counter("serve.cache_misses");
+  metrics_.counter("serve.store_hits");
+  metrics_.counter("serve.store_misses");
+  metrics_.gauge("serve.queue_depth");
+  metrics_.histogram("serve.sched_total_us");
+  metrics_.histogram("serve.sched_successor_us");
+  metrics_.histogram("serve.sched_cofactor_us");
+  metrics_.histogram("serve.sched_closure_us");
+  metrics_.histogram("serve.sched_select_us");
+  metrics_.histogram("serve.sched_gc_us");
 }
 
 ServeServer::~ServeServer() { Stop(); }
@@ -86,16 +93,29 @@ Status ServeServer::Start() {
         ArtifactStore::Open(std::move(store_options));
     if (!store.ok()) return store.status();
     store_ = std::move(store).value();
+  }
+
+  DispatcherOptions dispatch_options;
+  dispatch_options.shards = options_.shards;
+  dispatch_options.workers = options_.workers;
+  dispatch_options.max_queue = options_.max_queue;
+  dispatch_options.cache_capacity = options_.cache_capacity;
+  dispatch_options.store = store_.get();
+  dispatcher_ =
+      std::make_unique<ServeDispatcher>(dispatch_options, &metrics_);
+
+  if (store_ != nullptr) {
     // Warm-start the in-memory cache: the store enumerates least recently
     // used first, so replaying through the LRU cache reproduces recency
     // (capacity overflow keeps exactly the most recent entries). Cache
     // values are current-version response payloads; store values wrap a
     // possibly older payload layout in an artifact envelope — decode at the
     // stored version and re-encode at the current one, skipping anything
-    // undecodable.
+    // undecodable. Sharding is transparent here: Put routes each key to the
+    // segment its requests will probe.
     store_->ForEachLru([this](const Fp128& key, const std::string& artifact) {
       Result<ExploreRun> run = DecodeRunArtifact(artifact);
-      if (run.ok()) cache_.Put(key, EncodeRunBody(*run));
+      if (run.ok()) dispatcher_->cache().Put(key, EncodeRunBody(*run));
     });
   }
 
@@ -114,7 +134,7 @@ Status ServeServer::Start() {
     unix_listener_ = std::move(listener).value();
   }
 
-  pool_ = std::make_unique<ThreadPool>(options_.workers);
+  dispatcher_->Start();
   if (tcp_listener_.valid()) {
     acceptors_.emplace_back([this] { AcceptLoop(&tcp_listener_); });
   }
@@ -151,7 +171,8 @@ void ServeServer::Stop() {
   for (std::thread& t : acceptors_) t.join();
   acceptors_.clear();
   // Connection threads exit at their next poll tick, after finishing any
-  // in-flight request (whose pool task the thread is blocked on).
+  // in-flight wait; the dispatcher workers are still running, so every
+  // admitted request is fulfilled before its waiter unblocks.
   for (;;) {
     std::vector<std::thread> batch;
     {
@@ -161,7 +182,7 @@ void ServeServer::Stop() {
     if (batch.empty()) break;
     for (std::thread& t : batch) t.join();
   }
-  pool_->Shutdown();
+  dispatcher_->Drain();
   tcp_listener_.Close();
   unix_listener_.Close();
   if (!options_.unix_path.empty()) {
@@ -184,8 +205,28 @@ void ServeServer::AcceptLoop(Socket* listener) {
   }
 }
 
+std::string ServeServer::FinishRequest(const PendingHandle& handle) {
+  const ServeOutcome outcome = handle->Wait();
+  switch (outcome.status) {
+    case ResponseStatus::kOk: resp_ok_->Increment(); break;
+    case ResponseStatus::kInvalidRequest: resp_invalid_->Increment(); break;
+    case ResponseStatus::kDeadlineExceeded:
+      resp_deadline_->Increment();
+      break;
+    case ResponseStatus::kOverloaded: resp_overloaded_->Increment(); break;
+    case ResponseStatus::kInternalError: resp_internal_->Increment(); break;
+  }
+  latency_us_->Record(MicrosSince(handle->admitted()));
+  return EncodeResponseFrame(outcome.status, outcome.cache_hit, outcome.body);
+}
+
 void ServeServer::HandleConnection(Socket conn) {
   open_connections_->Add(1);
+  // Tickets are connection-scoped: issued by kSubmit, consumed by the first
+  // kWait, gone when the connection closes. No cross-connection table, no
+  // shared lock — the map lives on this thread's stack.
+  std::unordered_map<std::uint64_t, PendingHandle> tickets;
+  std::uint64_t next_ticket = 1;
   while (!stopping_.load(std::memory_order_relaxed)) {
     Result<bool> readable = WaitReadable(conn, /*timeout_ms=*/100);
     if (!readable.ok()) break;
@@ -219,60 +260,55 @@ void ServeServer::HandleConnection(Socket conn) {
                                             "draining"));
         RequestStop();
         break;
-      case Verb::kSchedule: {
-        ScheduleOutcome outcome;
+      case Verb::kSubmit: {
         Result<CellRequest> request = DecodeCellRequest(decoded->second);
         if (!request.ok()) {
-          outcome.status = ResponseStatus::kInvalidRequest;
-          outcome.body = request.error();
-        } else if (const Status valid = request->ToSpec().Validate();
-                   !valid.ok()) {
-          outcome.status = ResponseStatus::kInvalidRequest;
-          outcome.body = valid.message();
-        } else if (admitted_.fetch_add(1, std::memory_order_acq_rel) >=
-                   options_.max_queue) {
-          admitted_.fetch_sub(1, std::memory_order_acq_rel);
-          outcome.status = ResponseStatus::kOverloaded;
-          outcome.body =
-              StrCat("admission queue full (", options_.max_queue,
-                     " requests in flight); retry later");
-        } else {
-          queue_depth_->Add(1);
-          std::promise<ScheduleOutcome> promise;
-          std::future<ScheduleOutcome> future = promise.get_future();
-          const CellRequest cell = *std::move(request);
-          pool_->Submit([this, cell, admitted, &promise] {
-            try {
-              promise.set_value(ExecuteSchedule(cell, admitted));
-            } catch (const std::exception& e) {
-              ScheduleOutcome failed;
-              failed.status = ResponseStatus::kInternalError;
-              failed.body = e.what();
-              promise.set_value(std::move(failed));
-            }
-            queue_depth_->Add(-1);
-            admitted_.fetch_sub(1, std::memory_order_acq_rel);
-          });
-          outcome = future.get();
+          resp_invalid_->Increment();
+          SendFrame(conn, EncodeResponseFrame(ResponseStatus::kInvalidRequest,
+                                              false, request.error()));
+          break;
         }
-        switch (outcome.status) {
-          case ResponseStatus::kOk: resp_ok_->Increment(); break;
-          case ResponseStatus::kInvalidRequest:
-            resp_invalid_->Increment();
-            break;
-          case ResponseStatus::kDeadlineExceeded:
-            resp_deadline_->Increment();
-            break;
-          case ResponseStatus::kOverloaded:
-            resp_overloaded_->Increment();
-            break;
-          case ResponseStatus::kInternalError:
-            resp_internal_->Increment();
-            break;
+        const std::uint64_t ticket = next_ticket++;
+        tickets.emplace(ticket, dispatcher_->Submit(*request, admitted));
+        SendFrame(conn, EncodeResponseFrame(ResponseStatus::kOk, false,
+                                            EncodeTicketBody(ticket)));
+        break;
+      }
+      case Verb::kWait: {
+        Result<std::uint64_t> ticket = DecodeTicketBody(decoded->second);
+        if (!ticket.ok()) {
+          resp_invalid_->Increment();
+          SendFrame(conn, EncodeResponseFrame(ResponseStatus::kInvalidRequest,
+                                              false, ticket.error()));
+          break;
         }
-        latency_us_->Record(MicrosSince(admitted));
-        SendFrame(conn, EncodeResponseFrame(outcome.status,
-                                            outcome.cache_hit, outcome.body));
+        auto it = tickets.find(*ticket);
+        if (it == tickets.end()) {
+          resp_invalid_->Increment();
+          SendFrame(conn,
+                    EncodeResponseFrame(
+                        ResponseStatus::kInvalidRequest, false,
+                        StrCat("unknown or already-consumed ticket ",
+                               *ticket)));
+          break;
+        }
+        const PendingHandle handle = std::move(it->second);
+        tickets.erase(it);
+        SendFrame(conn, FinishRequest(handle));
+        break;
+      }
+      case Verb::kSchedule: {
+        Result<CellRequest> request = DecodeCellRequest(decoded->second);
+        if (!request.ok()) {
+          resp_invalid_->Increment();
+          SendFrame(conn, EncodeResponseFrame(ResponseStatus::kInvalidRequest,
+                                              false, request.error()));
+          break;
+        }
+        // Submit + wait in one round trip; shares the dispatcher path with
+        // kSubmit, so coalescing and sharding apply identically.
+        SendFrame(conn,
+                  FinishRequest(dispatcher_->Submit(*request, admitted)));
         break;
       }
     }
@@ -280,112 +316,9 @@ void ServeServer::HandleConnection(Socket conn) {
   open_connections_->Add(-1);
 }
 
-ServeServer::ScheduleOutcome ServeServer::ExecuteSchedule(
-    const CellRequest& request, Clock::time_point admitted) {
-  ScheduleOutcome outcome;
-  const std::optional<Clock::time_point> deadline =
-      request.deadline_ms > 0
-          ? std::optional<Clock::time_point>(
-                admitted + std::chrono::milliseconds(request.deadline_ms))
-          : std::nullopt;
-  if (deadline.has_value() && Clock::now() >= *deadline) {
-    outcome.status = ResponseStatus::kDeadlineExceeded;
-    outcome.body = StrCat("deadline of ", request.deadline_ms,
-                          " ms expired in the admission queue");
-    return outcome;
-  }
-
-  ExploreSpec spec = request.ToSpec();
-  const ExploreCell cell = request.ToCell();
-
-  // The same build path RunExploreCell takes; build failures are invalid
-  // requests at the protocol level (the design or allocation text itself is
-  // wrong), with the exact message local sweeps would record in the run.
-  Result<Benchmark> bench = BuildExploreDesign(cell.design, spec);
-  if (!bench.ok()) {
-    outcome.status = ResponseStatus::kInvalidRequest;
-    outcome.body = bench.error();
-    return outcome;
-  }
-  Result<Allocation> allocation = BuildExploreAllocation(*bench, cell.alloc);
-  if (!allocation.ok()) {
-    outcome.status = ResponseStatus::kInvalidRequest;
-    outcome.body = allocation.error();
-    return outcome;
-  }
-
-  // Canonical request fingerprint -> cache probe. Deadline fields never
-  // participate (sched/closure.h), so a deadline-bounded request hits
-  // results cached by unbounded ones and vice versa.
-  const ScheduleRequest sched_request =
-      MakeCellScheduleRequest(spec, *bench, *allocation, cell);
-  const Fp128 key = ExploreCellKey(spec, cell, sched_request);
-
-  if (std::optional<std::string> cached = cache_.Get(key);
-      cached.has_value()) {
-    cache_hits_->Increment();
-    outcome.status = ResponseStatus::kOk;
-    outcome.cache_hit = true;
-    outcome.body = *std::move(cached);
-    return outcome;
-  }
-  cache_misses_->Increment();
-
-  // Second-level probe: the durable store (survives restarts and in-memory
-  // eviction). A hit replays the result once computed for this key and
-  // re-primes the cache. The stored payload may predate the current wire
-  // layout, so decode at the envelope's version and re-encode at the
-  // current one rather than forwarding the stored bytes verbatim.
-  if (store_ != nullptr) {
-    if (std::optional<std::string> artifact = store_->Get(key);
-        artifact.has_value()) {
-      Result<ExploreRun> replay = DecodeRunArtifact(*artifact);
-      if (replay.ok()) {
-        store_hits_->Increment();
-        outcome.status = ResponseStatus::kOk;
-        outcome.cache_hit = true;
-        outcome.body = EncodeRunBody(*replay);
-        cache_.Put(key, outcome.body);
-        return outcome;
-      }
-    }
-    store_misses_->Increment();
-  }
-
-  spec.base_options.deadline = deadline;
-  ExploreRun run = RunBenchmarkCell(spec, *bench, *allocation, cell);
-  if (run.error_code == StatusCode::kDeadlineExceeded ||
-      run.error_code == StatusCode::kCancelled) {
-    outcome.status = ResponseStatus::kDeadlineExceeded;
-    outcome.body = run.error;
-    return outcome;
-  }
-
-  sched_total_us_->Record(run.stats.phase.total_ns / 1000);
-  sched_successor_us_->Record(run.stats.phase.successor_ns / 1000);
-  sched_cofactor_us_->Record(run.stats.phase.cofactor_ns / 1000);
-  sched_closure_us_->Record(run.stats.phase.closure_ns / 1000);
-  sched_select_us_->Record(run.stats.phase.select_ns / 1000);
-  sched_gc_us_->Record(run.stats.phase.gc_ns / 1000);
-
-  // Completed outcomes — including deterministic scheduling failures such
-  // as exhausted caps — are cacheable; deadline expiries (above) are not.
-  outcome.status = ResponseStatus::kOk;
-  outcome.body = EncodeRun(run);
-  cache_.Put(key, outcome.body);
-  if (store_ != nullptr) {
-    // Write-through: the store value is the response payload in an artifact
-    // envelope, so a later (possibly post-restart) hit replays these exact
-    // bytes. An I/O failure degrades durability, not the response.
-    (void)store_->Put(key, EncodeArtifact(ArtifactKind::kExploreRun,
-                                          outcome.body));
-  }
-  return outcome;
-}
-
 std::string ServeServer::StatsText() {
-  const std::int64_t hits = cache_hits_->value();
-  const std::int64_t misses = cache_misses_->value();
+  const std::int64_t hits = metrics_.counter("serve.cache_hits")->value();
+  const std::int64_t misses = metrics_.counter("serve.cache_misses")->value();
   const double rate =
       hits + misses == 0
           ? 0.0
@@ -394,8 +327,9 @@ std::string ServeServer::StatsText() {
   std::string text =
       metrics_.RenderText() +
       StrPrintf("serve.cache_entries %lld\n",
-                static_cast<long long>(cache_.size())) +
-      StrPrintf("serve.cache_hit_rate_pct %.2f\n", rate);
+                static_cast<long long>(dispatcher_->cache().size())) +
+      StrPrintf("serve.cache_hit_rate_pct %.2f\n", rate) +
+      StrPrintf("serve.shards %d\n", options_.shards);
   if (store_ != nullptr) {
     const ArtifactStoreCounters c = store_->counters();
     text += StrPrintf("serve.store_entries %lld\n",

@@ -1,32 +1,40 @@
 // The scheduling service: accepts length-prefixed protocol connections on
-// localhost TCP and/or a Unix domain socket, admits SCHEDULE requests into a
-// bounded queue drained by a ThreadPool, serves repeated requests from a
+// localhost TCP and/or a Unix domain socket, admits scheduling requests into
+// a continuous step loop (serve/dispatch.h) of fingerprint-sharded workers
+// with single-flight coalescing, serves repeated requests from a sharded
 // fingerprint-keyed LRU result cache, and exposes live metrics via STATS.
 //
 // Threading model:
 //  * one acceptor thread per listener;
-//  * one thread per live connection, processing its requests in order (a
-//    connection has at most one request in flight — clients open more
-//    connections for parallelism, as `ws_explore --server` does);
-//  * scheduling work runs on the shared pool; the connection thread blocks
-//    on the outcome and writes the response itself, so every socket is
+//  * one thread per live connection, decoding frames in order. kSubmit
+//    admits a request and replies with a ticket immediately — admission
+//    never blocks on scheduling work, so one connection can pipeline many
+//    requests. kWait (and the one-round-trip kSchedule) blocks the
+//    connection thread on that request's PendingResult; every socket is
 //    written by exactly one thread and every request gets exactly one
-//    response.
+//    response;
+//  * scheduling work runs on the dispatcher's shard workers. A request's
+//    128-bit fingerprint picks its shard; each shard owns its FIFO queue,
+//    its single-flight table, and its LRU cache segment, and every
+//    scheduling run owns a private BDD arena — shard workers share no mutex
+//    or unique table on the hot path.
 //
-// Admission control: at most `max_queue` SCHEDULE requests may be admitted
-// (queued + running) at once; beyond that the server sheds immediately with
-// a typed kOverloaded response instead of building backlog. Deadlines are
-// measured from admission, so time spent queued counts against the request.
+// Admission control: at most `max_queue` requests may be admitted
+// (queued + running) at once; beyond that new computations are shed
+// immediately with a typed kOverloaded response instead of building backlog
+// (coalesced followers and cache hits consume no worker and are never
+// shed). Deadlines are measured from admission, so time spent queued counts
+// against the request; a coalesced follower keeps its own deadline.
 //
 // Shutdown: RequestStop() (the SHUTDOWN verb, or the daemon's SIGTERM
 // handler via stop polling) makes Wait() return; Stop() then drains —
-// listeners close first, live connections finish their in-flight request,
-// the pool joins, and the Unix socket file is unlinked.
+// listeners close first, live connections finish their in-flight waits
+// (every admitted request is fulfilled), the dispatcher drains its shard
+// queues and joins its workers, and the Unix socket file is unlinked.
 #ifndef WS_SERVE_SERVER_H
 #define WS_SERVE_SERVER_H
 
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -37,8 +45,8 @@
 
 #include "base/net.h"
 #include "base/status.h"
-#include "base/thread_pool.h"
 #include "serve/cache.h"
+#include "serve/dispatch.h"
 #include "serve/metrics.h"
 #include "serve/protocol.h"
 
@@ -54,8 +62,11 @@ struct ServerOptions {
   // Unix-domain listener: empty disables. A stale socket file is replaced.
   std::string unix_path;
 
-  int workers = 4;             // scheduling pool size
-  int max_queue = 64;          // admitted-but-unfinished SCHEDULE cap
+  // Worker shards (serve/dispatch.h): each owns a queue, a single-flight
+  // table, and a cache segment.
+  int shards = 1;
+  int workers = 4;             // total worker threads across all shards
+  int max_queue = 64;          // admitted-but-unfinished request cap
   std::size_t cache_capacity = 256;  // LRU entries; 0 disables the cache
 
   // Durable artifact store directory (io/artifact_store.h); empty disables.
@@ -95,43 +106,33 @@ class ServeServer {
   int tcp_port() const { return bound_tcp_port_; }
 
   MetricsRegistry& metrics() { return metrics_; }
-  const ResultCache& cache() const { return cache_; }
+  // The sharded result cache (valid after Start()).
+  const ShardedResultCache& cache() const { return dispatcher_->cache(); }
   // The durable store, or null when store_dir is empty (set after Start()).
   const ArtifactStore* store() const { return store_.get(); }
 
  private:
-  // The outcome of one SCHEDULE request, produced on a pool worker and
-  // consumed by the connection thread.
-  struct ScheduleOutcome {
-    ResponseStatus status = ResponseStatus::kInternalError;
-    bool cache_hit = false;
-    std::string body;  // encoded ExploreRun on kOk, message otherwise
-  };
-
   void AcceptLoop(Socket* listener);
   void HandleConnection(Socket conn);
-  // Executes one admitted request on the calling (pool) thread.
-  ScheduleOutcome ExecuteSchedule(
-      const CellRequest& request,
-      std::chrono::steady_clock::time_point admitted);
+  // Waits for an admitted request's outcome, counts the typed response and
+  // its latency, and returns the encoded response frame.
+  std::string FinishRequest(const PendingHandle& handle);
   std::string StatsText();
 
   const ServerOptions options_;
   MetricsRegistry metrics_;
-  ResultCache cache_;
   std::unique_ptr<ArtifactStore> store_;  // null when store_dir is empty
+  std::unique_ptr<ServeDispatcher> dispatcher_;  // created by Start()
 
   Socket tcp_listener_;
   Socket unix_listener_;
   int bound_tcp_port_ = -1;
 
-  std::unique_ptr<ThreadPool> pool_;
   std::vector<std::thread> acceptors_;
   std::mutex conn_mu_;
   std::vector<std::thread> connections_;
 
-  std::atomic<bool> stopping_{false};        // loops exit when set
-  std::atomic<int> admitted_{0};             // SCHEDULE requests in the system
+  std::atomic<bool> stopping_{false};  // loops exit when set
   bool started_ = false;
   bool stopped_ = false;
 
@@ -139,27 +140,18 @@ class ServeServer {
   std::condition_variable stop_cv_;
   bool stop_requested_ = false;
 
-  // Pre-registered hot-path metrics (pointers into metrics_).
+  // Pre-registered hot-path metrics (pointers into metrics_). The
+  // dispatcher registers the queue/cache/store/sched metrics under the same
+  // registry, so STATS renders one flat namespace.
   Counter* req_total_;
   Counter* resp_ok_;
   Counter* resp_invalid_;
   Counter* resp_deadline_;
   Counter* resp_overloaded_;
   Counter* resp_internal_;
-  Counter* cache_hits_;
-  Counter* cache_misses_;
-  Counter* store_hits_;
-  Counter* store_misses_;
   Counter* connections_total_;
-  Gauge* queue_depth_;
   Gauge* open_connections_;
   Histogram* latency_us_;
-  Histogram* sched_total_us_;
-  Histogram* sched_successor_us_;
-  Histogram* sched_cofactor_us_;
-  Histogram* sched_closure_us_;
-  Histogram* sched_select_us_;
-  Histogram* sched_gc_us_;
 };
 
 }  // namespace ws

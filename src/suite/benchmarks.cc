@@ -368,7 +368,7 @@ Result<ScheduleReport> ScheduleBenchmark(const Benchmark& b,
   request.library = &b.library;
   request.allocation = &b.allocation;
   request.options = options;
-  return ScheduleOrError(request);
+  return Schedule(request);
 }
 
 Result<ScheduleReport> ScheduleBenchmark(const Benchmark& b,

@@ -100,7 +100,7 @@ TEST_P(MarkovVsSimTest, AnalyticTracksSimulation) {
   SchedulerOptions opts;
   opts.mode = SpeculationMode::kWaveschedSpec;
   opts.lookahead = b.lookahead;
-  const ScheduleResult r = ScheduleOrError({&b.graph, &b.library, &b.allocation, opts}).value();
+  const ScheduleResult r = Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
   const double sim = MeasureExpectedCycles(r.stg, b.graph, b.stimuli);
   const double markov = ExpectedCycles(r.stg, b.graph);
   // Loose bound: the Markov model assumes per-iteration independence, which

@@ -1,0 +1,214 @@
+// Single-flight coalescing and shard invariance in the serve dispatcher:
+// N concurrent identical requests must cost exactly one scheduler execution
+// and produce N byte-identical replies; followers keep their own deadlines;
+// tickets are consumed exactly once; and results are byte-identical across
+// shard counts.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "explore/report.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace ws {
+namespace {
+
+std::string TestSocketPath(const char* tag) {
+  return "/tmp/ws_coalesce_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+// A request the single worker will be busy with while the interesting
+// requests pile up behind it. A distinct seed keeps its fingerprint away
+// from everything else in the test.
+CellRequest BlockerRequest() {
+  CellRequest request;
+  request.design = DesignSpec{"gcd", ""};
+  request.seed = 900001;
+  request.num_stimuli = 5;
+  return request;
+}
+
+TEST(CoalesceTest, IdenticalRequestsComputeOnceAndReplyIdentically) {
+  ServerOptions options;
+  options.unix_path = TestSocketPath("once");
+  options.shards = 1;
+  options.workers = 1;  // FIFO: the blocker runs before the shared leader
+  ServeServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const ServeAddress address{/*is_unix=*/true, options.unix_path, "", 0};
+
+  Result<ServeClient> client = ServeClient::Connect(address);
+  ASSERT_TRUE(client.ok()) << client.error();
+
+  // Occupy the only worker first. While it runs, all N identical requests
+  // are admitted: the first becomes the leader of a queued job, the rest
+  // attach as followers — the computation has not started, so none of them
+  // can be answered from the cache.
+  const Result<Ticket> blocker = client->Submit(BlockerRequest());
+  ASSERT_TRUE(blocker.ok()) << blocker.error();
+
+  constexpr int kIdentical = 8;
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < kIdentical; ++i) {
+    CellRequest request;
+    request.design = DesignSpec{"tlc", ""};
+    request.num_stimuli = 5;
+    const Result<Ticket> ticket = client->Submit(request);
+    ASSERT_TRUE(ticket.ok()) << ticket.error();
+    tickets.push_back(*ticket);
+  }
+
+  const Result<ScheduleArtifact> blocked = client->Wait(*blocker);
+  ASSERT_TRUE(blocked.ok()) << blocked.error();
+
+  std::vector<std::string> replies;
+  for (const Ticket& ticket : tickets) {
+    const Result<ScheduleArtifact> artifact = client->Wait(ticket);
+    ASSERT_TRUE(artifact.ok()) << artifact.error();
+    ASSERT_TRUE(artifact->run.ok) << artifact->run.error;
+    // Encoding is deterministic and bit-exact, so equal encodings mean the
+    // wire replies were byte-identical.
+    replies.push_back(EncodeRun(artifact->run));
+  }
+  for (int i = 1; i < kIdentical; ++i) {
+    EXPECT_EQ(replies[static_cast<std::size_t>(i)], replies[0]) << i;
+  }
+
+  // Exactly one scheduler execution for the N identical requests (plus the
+  // blocker's), and N-1 coalesced followers.
+  EXPECT_EQ(server.metrics().counter("serve.sched_runs")->value(), 2);
+  EXPECT_EQ(server.metrics().counter("serve.coalesced")->value(),
+            kIdentical - 1);
+
+  server.Stop();
+  std::remove(options.unix_path.c_str());
+}
+
+TEST(CoalesceTest, FollowerKeepsItsOwnDeadline) {
+  ServerOptions options;
+  options.unix_path = TestSocketPath("deadline");
+  options.shards = 1;
+  options.workers = 1;
+  ServeServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const ServeAddress address{/*is_unix=*/true, options.unix_path, "", 0};
+
+  Result<ServeClient> client = ServeClient::Connect(address);
+  ASSERT_TRUE(client.ok()) << client.error();
+
+  const Result<Ticket> blocker = client->Submit(BlockerRequest());
+  ASSERT_TRUE(blocker.ok()) << blocker.error();
+
+  // Leader: unbounded. Follower: 1 ms budget, long expired by the time the
+  // worker gets past the blocker. Deadlines never participate in the
+  // fingerprint, so the two requests coalesce.
+  CellRequest shared;
+  shared.design = DesignSpec{"tlc", ""};
+  shared.num_stimuli = 5;
+  const Result<Ticket> leader = client->Submit(shared);
+  ASSERT_TRUE(leader.ok()) << leader.error();
+  shared.deadline_ms = 1;
+  const Result<Ticket> follower = client->Submit(shared);
+  ASSERT_TRUE(follower.ok()) << follower.error();
+
+  // The follower's reply is bounded by its own deadline even though the
+  // coalesced computation continues for the leader.
+  const Result<ScheduleArtifact> expired = client->Wait(*follower);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+
+  const Result<ScheduleArtifact> computed = client->Wait(*leader);
+  ASSERT_TRUE(computed.ok()) << computed.error();
+  EXPECT_TRUE(computed->run.ok) << computed->run.error;
+
+  ASSERT_TRUE(client->Wait(*blocker).ok());
+  EXPECT_EQ(server.metrics().counter("serve.coalesced")->value(), 1);
+
+  server.Stop();
+  std::remove(options.unix_path.c_str());
+}
+
+TEST(CoalesceTest, TicketsAreConsumedExactlyOnce) {
+  ServerOptions options;
+  options.unix_path = TestSocketPath("tickets");
+  options.shards = 1;
+  options.workers = 1;
+  ServeServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const ServeAddress address{/*is_unix=*/true, options.unix_path, "", 0};
+
+  Result<ServeClient> client = ServeClient::Connect(address);
+  ASSERT_TRUE(client.ok()) << client.error();
+
+  CellRequest request;
+  request.design = DesignSpec{"gcd", ""};
+  request.num_stimuli = 5;
+  const Result<Ticket> ticket = client->Submit(request);
+  ASSERT_TRUE(ticket.ok()) << ticket.error();
+
+  ASSERT_TRUE(client->Wait(*ticket).ok());
+
+  // Waiting twice on the same ticket is an invalid request...
+  const Result<ScheduleArtifact> again = client->Wait(*ticket);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kInvalidArgument);
+
+  // ...and so is a ticket this connection never received.
+  const Result<ScheduleArtifact> unknown = client->Wait(Ticket{987654321});
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+
+  server.Stop();
+  std::remove(options.unix_path.c_str());
+}
+
+TEST(CoalesceTest, ArtifactsAreByteIdenticalAcrossShardCounts) {
+  const std::vector<std::string> designs = {"gcd", "tlc", "findmin"};
+  std::vector<std::vector<std::string>> replies;  // [shard config][design]
+
+  for (const int shards : {1, 4}) {
+    ServerOptions options;
+    options.unix_path =
+        TestSocketPath(("shards" + std::to_string(shards)).c_str());
+    options.shards = shards;
+    options.workers = 4;
+    ServeServer server(options);
+    ASSERT_TRUE(server.Start().ok());
+    const ServeAddress address{/*is_unix=*/true, options.unix_path, "", 0};
+
+    std::vector<std::string> round;
+    for (const std::string& design : designs) {
+      Result<ServeClient> client = ServeClient::Connect(address);
+      ASSERT_TRUE(client.ok()) << client.error();
+      CellRequest request;
+      request.design = DesignSpec{design, ""};
+      request.num_stimuli = 5;
+      const Result<ScheduleArtifact> artifact = client->Schedule(request);
+      ASSERT_TRUE(artifact.ok()) << artifact.error();
+      ASSERT_TRUE(artifact->run.ok) << artifact->run.error;
+      // Canonical rendering: wall-clock phase timings legitimately differ
+      // between processes; everything the scheduler decided must not.
+      const ReportRenderOptions canonical{/*include_timing=*/false};
+      round.push_back(ExploreRunToJson(artifact->run, canonical));
+    }
+    replies.push_back(std::move(round));
+
+    server.Stop();
+    std::remove(options.unix_path.c_str());
+  }
+
+  ASSERT_EQ(replies.size(), 2u);
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    EXPECT_EQ(replies[0][i], replies[1][i]) << designs[i];
+  }
+}
+
+}  // namespace
+}  // namespace ws

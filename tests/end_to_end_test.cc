@@ -43,7 +43,7 @@ FlowResult RunFlow(const std::string& name, const std::string& source,
     opts.mode = speculate ? SpeculationMode::kWaveschedSpec
                           : SpeculationMode::kWavesched;
     opts.lookahead = lookahead;
-    const ScheduleResult r = ScheduleOrError({&g, &lib, &alloc, opts}).value();
+    const ScheduleResult r = Schedule({&g, &lib, &alloc, opts}).value();
     const double enc = MeasureExpectedCycles(r.stg, g, stimuli);
     (speculate ? result.enc_spec : result.enc_ws) = enc;
   }

@@ -40,7 +40,7 @@ TEST_P(EquivalenceTest, ScheduleMatchesInterpreter) {
   SchedulerOptions opts;
   opts.mode = static_cast<SpeculationMode>(mode_int);
   opts.lookahead = b.lookahead;
-  const ScheduleResult r = ScheduleOrError({&b.graph, &b.library, &b.allocation, opts}).value();
+  const ScheduleResult r = Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
 
   for (const Stimulus& st : b.stimuli) {
     const StgSimResult sim = SimulateStg(r.stg, b.graph, st);
@@ -75,7 +75,7 @@ TEST_P(LookaheadTest, DepthIndependentCorrectness) {
   SchedulerOptions opts;
   opts.mode = SpeculationMode::kWaveschedSpec;
   opts.lookahead = GetParam();
-  const ScheduleResult r = ScheduleOrError({&b.graph, &b.library, &b.allocation, opts}).value();
+  const ScheduleResult r = Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
   for (const Stimulus& st : b.stimuli) {
     const StgSimResult sim = SimulateStg(r.stg, b.graph, st);
     const InterpResult golden = Interpret(b.graph, st);
@@ -98,7 +98,7 @@ TEST(LookaheadMonotonicityTest, DeeperIsNotSlower) {
     opts.mode = SpeculationMode::kWaveschedSpec;
     opts.lookahead = lookahead;
     const ScheduleResult r =
-        ScheduleOrError({&b.graph, &b.library, &b.allocation, opts}).value();
+        Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
     const double enc = MeasureExpectedCycles(r.stg, b.graph, b.stimuli);
     EXPECT_LE(enc, prev * 1.02 + 1e-9) << "lookahead " << lookahead;
     prev = enc;

@@ -67,7 +67,7 @@ TEST(AreaTest, ReportComponentsArePositiveAndSum) {
   SchedulerOptions opts;
   opts.mode = SpeculationMode::kWavesched;
   opts.lookahead = 2;
-  const ScheduleResult r = ScheduleOrError({&b.graph, &b.library, &b.allocation, opts}).value();
+  const ScheduleResult r = Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
   const AreaReport a =
       EstimateArea(r.stg, b.graph, b.library, b.stimuli[0]);
   EXPECT_GT(a.fu_area, 0.0);
@@ -83,7 +83,7 @@ TEST(AreaTest, AllocationChargingIsAFloor) {
   SchedulerOptions opts;
   opts.mode = SpeculationMode::kWavesched;
   opts.lookahead = 2;
-  const ScheduleResult r = ScheduleOrError({&b.graph, &b.library, &b.allocation, opts}).value();
+  const ScheduleResult r = Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
   const AreaReport used =
       EstimateArea(r.stg, b.graph, b.library, b.stimuli[0]);
   const AreaReport charged = EstimateArea(
@@ -101,7 +101,7 @@ TEST(AreaTest, BindingRespectsConcurrency) {
   SchedulerOptions opts;
   opts.mode = SpeculationMode::kWaveschedSpec;
   opts.lookahead = 2;
-  const ScheduleResult r = ScheduleOrError({&b.graph, &b.library, &b.allocation, opts}).value();
+  const ScheduleResult r = Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
   const AreaReport a =
       EstimateArea(r.stg, b.graph, b.library, b.stimuli[0]);
   EXPECT_EQ(a.units_used.at("sub1"), 2);
@@ -114,8 +114,8 @@ TEST(AreaTest, SpeculationCostsArea) {
   ws.lookahead = 2;
   SchedulerOptions sp = ws;
   sp.mode = SpeculationMode::kWaveschedSpec;
-  const ScheduleResult rw = ScheduleOrError({&b.graph, &b.library, &b.allocation, ws}).value();
-  const ScheduleResult rs = ScheduleOrError({&b.graph, &b.library, &b.allocation, sp}).value();
+  const ScheduleResult rw = Schedule({&b.graph, &b.library, &b.allocation, ws}).value();
+  const ScheduleResult rs = Schedule({&b.graph, &b.library, &b.allocation, sp}).value();
   const AreaReport aw = EstimateArea(rw.stg, b.graph, b.library,
                                      b.stimuli[0], AreaModel{},
                                      &b.allocation);

@@ -21,9 +21,9 @@ Pair MeasureBoth(const Benchmark& b) {
   SchedulerOptions o;
   o.lookahead = b.lookahead;
   o.mode = SpeculationMode::kWavesched;
-  const ScheduleResult ws = ScheduleOrError({&b.graph, &b.library, &b.allocation, o}).value();
+  const ScheduleResult ws = Schedule({&b.graph, &b.library, &b.allocation, o}).value();
   o.mode = SpeculationMode::kWaveschedSpec;
-  const ScheduleResult sp = ScheduleOrError({&b.graph, &b.library, &b.allocation, o}).value();
+  const ScheduleResult sp = Schedule({&b.graph, &b.library, &b.allocation, o}).value();
   return Pair{MeasureExpectedCycles(ws.stg, b.graph, b.stimuli),
               MeasureExpectedCycles(sp.stg, b.graph, b.stimuli),
               BestCaseCycles(ws.stg),
@@ -105,9 +105,9 @@ TEST(PaperResultsTest, Fig6CrossoverAndDominance) {
   SchedulerOptions o;
   o.mode = SpeculationMode::kWaveschedSpec;
   o.lookahead = 4;
-  const Stg sa = ScheduleOrError({&ba.graph, &ba.library, &ba.allocation, o}).value().stg;
-  const Stg sb = ScheduleOrError({&bb.graph, &bb.library, &bb.allocation, o}).value().stg;
-  const Stg sc = ScheduleOrError({&bc.graph, &bc.library, &bc.allocation, o}).value().stg;
+  const Stg sa = Schedule({&ba.graph, &ba.library, &ba.allocation, o}).value().stg;
+  const Stg sb = Schedule({&bb.graph, &bb.library, &bb.allocation, o}).value().stg;
+  const Stg sc = Schedule({&bc.graph, &bc.library, &bc.allocation, o}).value().stg;
 
   auto cond_of = [](const Cdfg& g) {
     for (const Node& n : g.nodes()) {
@@ -139,9 +139,9 @@ TEST(PaperResultsTest, SinglePathDominatedByMultiPath) {
   SchedulerOptions o;
   o.lookahead = 4;
   o.mode = SpeculationMode::kWaveschedSpec;
-  const Stg multi = ScheduleOrError({&b.graph, &b.library, &b.allocation, o}).value().stg;
+  const Stg multi = Schedule({&b.graph, &b.library, &b.allocation, o}).value().stg;
   o.mode = SpeculationMode::kSinglePath;
-  const Stg single = ScheduleOrError({&b.graph, &b.library, &b.allocation, o}).value().stg;
+  const Stg single = Schedule({&b.graph, &b.library, &b.allocation, o}).value().stg;
   auto cond_of = [&] {
     for (const Node& n : b.graph.nodes()) {
       if (n.name == ">1") return n.id;

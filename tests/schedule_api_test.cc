@@ -1,6 +1,6 @@
-// The request/response scheduling API: SchedulerOptions validation,
-// non-throwing ScheduleOrError, and its equivalence with the throwing
-// Schedule() shim.
+// The request/response scheduling API: SchedulerOptions validation, the
+// Result-returning Schedule entry point, the .value() bridge back into the
+// throwing world, and the deprecated ScheduleOrError wrapper.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -48,65 +48,68 @@ TEST(SchedulerOptionsTest, RejectsNonPositiveClockPeriod) {
   EXPECT_FALSE(opts.Validate().ok());
 }
 
-TEST(ScheduleOrErrorTest, NullGraphIsAnErrorNotAThrow) {
+TEST(ScheduleTest, NullGraphIsAnErrorNotAThrow) {
   ScheduleRequest req;  // all pointers null
-  const Result<ScheduleReport> r = ScheduleOrError(req);
+  const Result<ScheduleReport> r = Schedule(req);
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.error().find("graph"), std::string::npos);
 }
 
-TEST(ScheduleOrErrorTest, InvalidOptionsAreAnError) {
+TEST(ScheduleTest, InvalidOptionsAreAnError) {
   const Benchmark b = MakeBenchmarkByName("gcd", 1, 1998).value();
   ScheduleRequest req{&b.graph, &b.library, &b.allocation, {}};
   req.options.lookahead = -5;
-  const Result<ScheduleReport> r = ScheduleOrError(req);
+  const Result<ScheduleReport> r = Schedule(req);
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.error().find("lookahead"), std::string::npos);
 }
 
-TEST(ScheduleOrErrorTest, ExhaustedStateCapIsAnError) {
+TEST(ScheduleTest, ExhaustedStateCapIsAnError) {
   const Benchmark b = MakeBenchmarkByName("gcd", 1, 1998).value();
   ScheduleRequest req{&b.graph, &b.library, &b.allocation, {}};
   req.options.lookahead = b.lookahead;
   req.options.max_states = 1;  // closure can never be reached
-  const Result<ScheduleReport> r = ScheduleOrError(req);
+  const Result<ScheduleReport> r = Schedule(req);
   EXPECT_FALSE(r.ok());
   EXPECT_FALSE(r.error().empty());
 }
 
-TEST(ScheduleOrErrorTest, SuccessMatchesThrowingShim) {
-  const Benchmark b = MakeBenchmarkByName("findmin", 1, 1998).value();
-  SchedulerOptions opts;
-  opts.lookahead = b.lookahead;
-
-  ScheduleRequest req{&b.graph, &b.library, &b.allocation, opts};
-  const Result<ScheduleReport> r = ScheduleOrError(req);
-  ASSERT_TRUE(r.ok()) << r.error();
-
-  const ScheduleResult via_shim =
-      Schedule(b.graph, b.library, b.allocation, opts);
-  EXPECT_EQ(StgToText(r->stg, b.graph), StgToText(via_shim.stg, b.graph));
-  EXPECT_EQ(r->stats.states_created, via_shim.stats.states_created);
-  EXPECT_EQ(r->stats.total_ops, via_shim.stats.total_ops);
-}
-
-TEST(ScheduleOrErrorTest, FillsInstrumentation) {
+TEST(ScheduleTest, FillsInstrumentation) {
   const Benchmark b = MakeBenchmarkByName("tlc", 1, 1998).value();
   ScheduleRequest req{&b.graph, &b.library, &b.allocation, {}};
   req.options.lookahead = b.lookahead;
-  const Result<ScheduleReport> r = ScheduleOrError(req);
+  const Result<ScheduleReport> r = Schedule(req);
   ASSERT_TRUE(r.ok()) << r.error();
   EXPECT_GT(r->stats.candidates_generated, 0);
   EXPECT_GT(r->stats.bdd_nodes, 0u);
   EXPECT_GT(r->stats.phase.total_ns, 0);
 }
 
-TEST(ScheduleShimTest, ThrowsOnFailure) {
-  ScheduleRequest req;
+TEST(ScheduleTest, ValueBridgesIntoTheThrowingWorld) {
+  const Benchmark b = MakeBenchmarkByName("gcd", 1, 1998).value();
   SchedulerOptions opts;
   opts.max_states = 0;
-  const Benchmark b = MakeBenchmarkByName("gcd", 1, 1998).value();
-  EXPECT_THROW(Schedule(b.graph, b.library, b.allocation, opts), Error);
+  EXPECT_THROW(Schedule({&b.graph, &b.library, &b.allocation, opts}).value(),
+               Error);
+}
+
+TEST(ScheduleTest, DeprecatedWrapperIsTheSameCall) {
+  const Benchmark b = MakeBenchmarkByName("findmin", 1, 1998).value();
+  SchedulerOptions opts;
+  opts.lookahead = b.lookahead;
+
+  ScheduleRequest req{&b.graph, &b.library, &b.allocation, opts};
+  const Result<ScheduleReport> r = Schedule(req);
+  ASSERT_TRUE(r.ok()) << r.error();
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const Result<ScheduleReport> via_wrapper = ScheduleOrError(req);
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(via_wrapper.ok()) << via_wrapper.error();
+  EXPECT_EQ(StgToText(r->stg, b.graph), StgToText(via_wrapper->stg, b.graph));
+  EXPECT_EQ(r->stats.states_created, via_wrapper->stats.states_created);
+  EXPECT_EQ(r->stats.total_ops, via_wrapper->stats.total_ops);
 }
 
 TEST(CancellationTest, ExpiredDeadlineIsTypedError) {
@@ -114,7 +117,7 @@ TEST(CancellationTest, ExpiredDeadlineIsTypedError) {
   ScheduleRequest req{&b.graph, &b.library, &b.allocation, {}};
   req.options.lookahead = b.lookahead;
   req.options.deadline = std::chrono::steady_clock::now();  // already over
-  const Result<ScheduleReport> r = ScheduleOrError(req);
+  const Result<ScheduleReport> r = Schedule(req);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_NE(r.error().find("deadline"), std::string::npos);
@@ -126,7 +129,7 @@ TEST(CancellationTest, PresetCancelFlagIsTypedError) {
   ScheduleRequest req{&b.graph, &b.library, &b.allocation, {}};
   req.options.lookahead = b.lookahead;
   req.options.cancel = &cancel;
-  const Result<ScheduleReport> r = ScheduleOrError(req);
+  const Result<ScheduleReport> r = Schedule(req);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
 }
@@ -142,27 +145,28 @@ TEST(CancellationTest, UnsetCancelFlagDoesNotPerturbTheSchedule) {
   guarded.options.deadline =
       std::chrono::steady_clock::now() + std::chrono::hours(1);
 
-  const Result<ScheduleReport> a = ScheduleOrError(plain);
-  const Result<ScheduleReport> c = ScheduleOrError(guarded);
+  const Result<ScheduleReport> a = Schedule(plain);
+  const Result<ScheduleReport> c = Schedule(guarded);
   ASSERT_TRUE(a.ok()) << a.error();
   ASSERT_TRUE(c.ok()) << c.error();
   EXPECT_EQ(StgToText(a->stg, b.graph), StgToText(c->stg, b.graph));
 }
 
-TEST(CancellationTest, ShimThrowsTypedExceptions) {
+TEST(CancellationTest, ValueThrowsTypedExceptions) {
   const Benchmark b = MakeBenchmarkByName("gcd", 1, 1998).value();
   SchedulerOptions opts;
   opts.lookahead = b.lookahead;
   opts.deadline = std::chrono::steady_clock::now();
-  EXPECT_THROW(Schedule(b.graph, b.library, b.allocation, opts),
+  EXPECT_THROW(Schedule({&b.graph, &b.library, &b.allocation, opts}).value(),
                DeadlineExceededError);
 
   std::atomic<bool> cancel{true};
   SchedulerOptions copts;
   copts.lookahead = b.lookahead;
   copts.cancel = &cancel;
-  EXPECT_THROW(Schedule(b.graph, b.library, b.allocation, copts),
-               CancelledError);
+  EXPECT_THROW(
+      Schedule({&b.graph, &b.library, &b.allocation, copts}).value(),
+      CancelledError);
 }
 
 TEST(ResultTest, ValueAndErrorAccessors) {

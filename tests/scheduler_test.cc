@@ -32,7 +32,7 @@ ScheduleResult Sched(const Benchmark& b, SpeculationMode mode,
   req.allocation = &b.allocation;
   req.options.mode = mode;
   req.options.lookahead = lookahead < 0 ? b.lookahead : lookahead;
-  Result<ScheduleReport> r = ScheduleOrError(req);
+  Result<ScheduleReport> r = Schedule(req);
   EXPECT_TRUE(r.ok()) << r.error();
   return std::move(r).value();
 }
@@ -220,7 +220,10 @@ TEST(SchedulerTest, UnsatisfiableAllocationIsLoudError) {
   // No subtracter at all: the loop body cannot be scheduled.
   SchedulerOptions opts;
   opts.lookahead = 2;
-  EXPECT_THROW(Schedule(b.graph, b.library, none, opts), Error);
+  const Result<ScheduleReport> r =
+      Schedule({&b.graph, &b.library, &none, opts});
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(r.error().empty());
 }
 
 TEST(SchedulerTest, StateCapIsEnforced) {
@@ -228,7 +231,10 @@ TEST(SchedulerTest, StateCapIsEnforced) {
   SchedulerOptions opts;
   opts.lookahead = b.lookahead;
   opts.max_states = 2;
-  EXPECT_THROW(Schedule(b.graph, b.library, b.allocation, opts), Error);
+  const Result<ScheduleReport> r =
+      Schedule({&b.graph, &b.library, &b.allocation, opts});
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(r.error().empty());
 }
 
 // --- Structural invariants across the whole suite ------------------------------

@@ -97,6 +97,15 @@ TEST(ProtocolTest, RunRoundTripsBitExactly) {
             ExploreRunToJson(run, canonical));
 }
 
+TEST(ProtocolTest, TicketBodyRoundTrips) {
+  const Result<std::uint64_t> round =
+      DecodeTicketBody(EncodeTicketBody(0xdeadbeefcafef00dull));
+  ASSERT_TRUE(round.ok()) << round.error();
+  EXPECT_EQ(*round, 0xdeadbeefcafef00dull);
+  EXPECT_FALSE(DecodeTicketBody("").ok());
+  EXPECT_FALSE(DecodeTicketBody("123456789").ok());  // 9 bytes, not 8
+}
+
 TEST(ProtocolTest, MalformedFramesAreTypedErrors) {
   EXPECT_FALSE(DecodeRequestFrame("short").ok());
   EXPECT_FALSE(DecodeResponseFrame("short").ok());
@@ -131,6 +140,47 @@ TEST(ResultCacheTest, ZeroCapacityDisables) {
   cache.Put(Fp128{1, 1}, "A");
   EXPECT_FALSE(cache.Get(Fp128{1, 1}).has_value());
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedResultCacheTest, RoutesByFingerprintAndAggregates) {
+  ShardedResultCache cache(8, 4);
+  EXPECT_EQ(cache.shards(), 4);
+  // shard_of is the dispatcher's routing function too: stable, in range.
+  const Fp128 a{1, 2}, b{5, 9}, c{0xffffffffffffffffull, 0};
+  for (const Fp128& key : {a, b, c}) {
+    const int shard = cache.shard_of(key);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+    EXPECT_EQ(shard, cache.shard_of(key));
+  }
+  cache.Put(a, "A");
+  cache.Put(b, "B");
+  EXPECT_EQ(cache.Get(a).value(), "A");
+  EXPECT_EQ(cache.Get(b).value(), "B");
+  EXPECT_FALSE(cache.Get(c).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 2);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.evictions(), 0);
+}
+
+TEST(ShardedResultCacheTest, ZeroCapacityDisablesEveryShard) {
+  ShardedResultCache cache(0, 4);
+  cache.Put(Fp128{1, 1}, "A");
+  cache.Put(Fp128{2, 2}, "B");
+  EXPECT_FALSE(cache.Get(Fp128{1, 1}).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedResultCacheTest, NonzeroCapacityKeepsEveryShardUsable) {
+  // Total capacity below the shard count must not leave any shard with a
+  // zero-entry (disabled) segment: cacheability can't depend on the hash.
+  ShardedResultCache cache(2, 4);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const Fp128 key{i, i * 31};
+    cache.Put(key, "v");
+    EXPECT_TRUE(cache.Get(key).has_value()) << i;
+  }
 }
 
 // --- metrics --------------------------------------------------------------
@@ -182,18 +232,15 @@ TEST(ServeEndToEndTest, SecondRoundIsCacheServedAndIdentical) {
       ASSERT_TRUE(client.ok()) << client.error();
       CellRequest request;
       request.design = DesignSpec{designs[i], ""};
-      const Result<WireResponse> response = client->Schedule(request);
-      ASSERT_TRUE(response.ok()) << response.error();
-      ASSERT_EQ(response->status, ResponseStatus::kOk) << response->payload;
-      const Result<ExploreRun> run = DecodeRun(response->payload);
-      ASSERT_TRUE(run.ok()) << run.error();
-      ASSERT_TRUE(run->ok) << run->error;
-      const std::string json = ExploreRunToJson(*run, canonical);
+      const Result<ScheduleArtifact> artifact = client->Schedule(request);
+      ASSERT_TRUE(artifact.ok()) << artifact.error();
+      ASSERT_TRUE(artifact->run.ok) << artifact->run.error;
+      const std::string json = ExploreRunToJson(artifact->run, canonical);
       if (round == 0) {
-        EXPECT_FALSE(response->cache_hit) << designs[i];
+        EXPECT_FALSE(artifact->cache_hit) << designs[i];
         first_round.push_back(json);
       } else {
-        EXPECT_TRUE(response->cache_hit) << designs[i];
+        EXPECT_TRUE(artifact->cache_hit) << designs[i];
         EXPECT_EQ(json, first_round[i]) << designs[i];
       }
     }
@@ -219,10 +266,10 @@ TEST(ServeEndToEndTest, VerbsAndTypedFailures) {
   // An unknown design is a typed invalid request, not a dead connection.
   CellRequest bad;
   bad.design = DesignSpec{"no_such_design", ""};
-  const Result<WireResponse> invalid = client->Schedule(bad);
-  ASSERT_TRUE(invalid.ok()) << invalid.error();
-  EXPECT_EQ(invalid->status, ResponseStatus::kInvalidRequest);
-  EXPECT_NE(invalid->payload.find("no_such_design"), std::string::npos);
+  const Result<ScheduleArtifact> invalid = client->Schedule(bad);
+  ASSERT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(invalid.error().find("no_such_design"), std::string::npos);
 
   // The connection survives; stats reflect both requests.
   const Result<std::string> stats = client->Stats();
@@ -262,11 +309,12 @@ TEST(ServeEndToEndTest, RestartServesRoundTwoFromTheWarmStore) {
       ASSERT_TRUE(client.ok()) << client.error();
       CellRequest request;
       request.design = DesignSpec{design, ""};
-      const Result<WireResponse> response = client->Schedule(request);
-      ASSERT_TRUE(response.ok()) << response.error();
-      ASSERT_EQ(response->status, ResponseStatus::kOk) << response->payload;
-      EXPECT_FALSE(response->cache_hit) << design;
-      first_round.push_back(response->payload);
+      const Result<ScheduleArtifact> artifact = client->Schedule(request);
+      ASSERT_TRUE(artifact.ok()) << artifact.error();
+      EXPECT_FALSE(artifact->cache_hit) << design;
+      // Re-encoding is bit-exact (doubles travel as bit patterns), so this
+      // is the response payload byte for byte.
+      first_round.push_back(EncodeRun(artifact->run));
     }
     ASSERT_NE(server.store(), nullptr);
     EXPECT_EQ(server.store()->entries(), designs.size());
@@ -287,11 +335,10 @@ TEST(ServeEndToEndTest, RestartServesRoundTwoFromTheWarmStore) {
     ASSERT_TRUE(client.ok()) << client.error();
     CellRequest request;
     request.design = DesignSpec{designs[i], ""};
-    const Result<WireResponse> response = client->Schedule(request);
-    ASSERT_TRUE(response.ok()) << response.error();
-    ASSERT_EQ(response->status, ResponseStatus::kOk) << response->payload;
-    EXPECT_TRUE(response->cache_hit) << designs[i];
-    EXPECT_EQ(response->payload, first_round[i]) << designs[i];
+    const Result<ScheduleArtifact> artifact = client->Schedule(request);
+    ASSERT_TRUE(artifact.ok()) << artifact.error();
+    EXPECT_TRUE(artifact->cache_hit) << designs[i];
+    EXPECT_EQ(EncodeRun(artifact->run), first_round[i]) << designs[i];
 
     const Result<std::string> stats = client->Stats();
     ASSERT_TRUE(stats.ok()) << stats.error();

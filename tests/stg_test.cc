@@ -48,7 +48,7 @@ TEST(StgTest, TextAndDotRendering) {
   SchedulerOptions opts;
   opts.mode = SpeculationMode::kWaveschedSpec;
   opts.lookahead = 2;
-  const ScheduleResult r = ScheduleOrError({&b.graph, &b.library, &b.allocation, opts}).value();
+  const ScheduleResult r = Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
   const std::string text = StgToText(r.stg, b.graph);
   EXPECT_NE(text.find("STOP"), std::string::npos);
   EXPECT_NE(text.find("/"), std::string::npos);  // speculative annotation
@@ -64,7 +64,7 @@ TEST(StgSimTest, RecordsVisitedSequence) {
   SchedulerOptions opts;
   opts.mode = SpeculationMode::kWavesched;
   opts.lookahead = 2;
-  const ScheduleResult r = ScheduleOrError({&b.graph, &b.library, &b.allocation, opts}).value();
+  const ScheduleResult r = Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
   StgSimOptions so;
   so.record_visited = true;
   const StgSimResult sim = SimulateStg(r.stg, b.graph, st, so);
@@ -80,7 +80,7 @@ TEST(StgSimTest, LifetimesArePlausible) {
   SchedulerOptions opts;
   opts.mode = SpeculationMode::kWavesched;
   opts.lookahead = 2;
-  const ScheduleResult r = ScheduleOrError({&b.graph, &b.library, &b.allocation, opts}).value();
+  const ScheduleResult r = Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
   StgSimOptions so;
   so.record_lifetimes = true;
   const StgSimResult sim = SimulateStg(r.stg, b.graph, st, so);
@@ -99,7 +99,7 @@ TEST(StgSimTest, MaxCyclesGuard) {
   SchedulerOptions opts;
   opts.mode = SpeculationMode::kWavesched;
   opts.lookahead = 2;
-  const ScheduleResult r = ScheduleOrError({&b.graph, &b.library, &b.allocation, opts}).value();
+  const ScheduleResult r = Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
   StgSimOptions so;
   so.max_cycles = 10;
   EXPECT_THROW(SimulateStg(r.stg, b.graph, st, so), Error);
@@ -110,7 +110,7 @@ TEST(StgSimTest, MeasureChecksOutputsAgainstInterpreter) {
   SchedulerOptions opts;
   opts.mode = SpeculationMode::kWaveschedSpec;
   opts.lookahead = 2;
-  ScheduleResult r = ScheduleOrError({&b.graph, &b.library, &b.allocation, opts}).value();
+  ScheduleResult r = Schedule({&b.graph, &b.library, &b.allocation, opts}).value();
   // Sanity path first.
   EXPECT_GT(MeasureExpectedCycles(r.stg, b.graph, b.stimuli), 0.0);
   // Corrupt every stop-edge output binding: the cross-check must fire on

@@ -139,23 +139,14 @@ int main(int argc, char** argv) {
   if (design.empty()) UsageError(kTool, "schedule wants a DESIGN name");
   request.design = DesignSpec{design, ""};
 
-  const Result<WireResponse> response = client->Schedule(request);
-  if (!response.ok()) {
-    std::fprintf(stderr, "ws_client: %s\n", response.error().c_str());
-    return 1;
-  }
-  if (response->status != ResponseStatus::kOk) {
+  const Result<ScheduleArtifact> artifact = client->Schedule(request);
+  if (!artifact.ok()) {
     std::fprintf(stderr, "ws_client: %s: %s\n",
-                 ResponseStatusName(response->status),
-                 response->payload.c_str());
+                 StatusCodeName(artifact.status().code()),
+                 artifact.error().c_str());
     return 1;
   }
-  const Result<ExploreRun> run = DecodeRun(response->payload);
-  if (!run.ok()) {
-    std::fprintf(stderr, "ws_client: %s\n", run.error().c_str());
-    return 1;
-  }
-  std::fputs(ExploreRunToJson(*run, render).c_str(), stdout);
-  if (response->cache_hit) std::fprintf(stderr, "ws_client: cache hit\n");
-  return run->ok ? 0 : 3;
+  std::fputs(ExploreRunToJson(artifact->run, render).c_str(), stdout);
+  if (artifact->cache_hit) std::fprintf(stderr, "ws_client: cache hit\n");
+  return artifact->run.ok ? 0 : 3;
 }

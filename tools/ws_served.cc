@@ -1,9 +1,10 @@
 // ws_served — the scheduling service daemon.
 //
-// Listens on localhost TCP and/or a Unix domain socket, schedules requests
-// on a worker pool behind a bounded admission queue, caches results by
-// request fingerprint, and drains gracefully on SIGTERM/SIGINT or a
-// SHUTDOWN request.
+// Listens on localhost TCP and/or a Unix domain socket, admits requests into
+// a continuous step loop of fingerprint-sharded workers with single-flight
+// coalescing behind a bounded admission queue, caches results by request
+// fingerprint, and drains gracefully on SIGTERM/SIGINT or a SHUTDOWN
+// request.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -19,13 +20,17 @@ namespace {
 const ws::ToolInfo kTool = {
     "ws_served",
     "usage: ws_served [--unix PATH] [--tcp HOST] [--port N]\n"
-    "                 [--workers N] [--queue N] [--cache N]\n"
+    "                 [--shards N] [--workers N] [--queue N] [--cache N]\n"
     "                 [--store DIR] [--store-max-bytes N]\n"
     "\n"
     "  --unix PATH   listen on a Unix domain socket at PATH\n"
     "  --tcp HOST    TCP bind host (default 127.0.0.1; implies --port 0)\n"
     "  --port N      TCP port (0 = ephemeral; the bound port is printed)\n"
-    "  --workers N   scheduling worker threads (default 4)\n"
+    "  --shards N    worker shards (default 1); requests route to shards by\n"
+    "                their 128-bit fingerprint, each shard owns its queue,\n"
+    "                single-flight table and cache segment\n"
+    "  --workers N   scheduling worker threads across all shards (default 4;\n"
+    "                every shard gets at least one)\n"
     "  --queue N     max admitted-but-unfinished requests (default 64)\n"
     "  --cache N     LRU result-cache entries, 0 disables (default 256)\n"
     "  --store DIR   durable artifact store: warm-start the cache from DIR\n"
@@ -72,6 +77,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--port") {
       options.tcp_port = ParseInt(next(), "--port");
       port_given = true;
+    } else if (arg == "--shards") {
+      options.shards = ParseInt(next(), "--shards");
     } else if (arg == "--workers") {
       options.workers = ParseInt(next(), "--workers");
     } else if (arg == "--queue") {
