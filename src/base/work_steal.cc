@@ -1,0 +1,130 @@
+#include "base/work_steal.h"
+
+#include <utility>
+
+#include "base/status.h"
+
+namespace ws {
+
+WorkStealingPool::WorkStealingPool(int num_workers) {
+  WS_CHECK(num_workers >= 0);
+  deques_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<std::size_t>(i)); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() { Stop(); }
+
+void WorkStealingPool::Push(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // sequential mode: same code path minus the threads
+    return;
+  }
+  const std::size_t target = push_cursor_;
+  push_cursor_ = (push_cursor_ + 1) % deques_.size();
+  {
+    std::lock_guard<std::mutex> lock(deques_[target]->mu);
+    deques_[target]->tasks.push_back(std::move(task));
+  }
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++pending_;
+    // Lazy wake: with exactly one task outstanding the producer itself is
+    // the fastest consumer (it helps via TryRunOne before it ever blocks),
+    // so waking a worker would either lose the race or — on a single-CPU
+    // host — burn a context-switch pair for nothing. Workers are woken only
+    // when there is genuine parallel slack (two or more queued tasks).
+    wake = pending_ >= 2;
+  }
+  if (wake) wake_cv_.notify_one();
+}
+
+bool WorkStealingPool::TryRunOne() {
+  for (auto& dq : deques_) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(dq->mu);
+      if (dq->tasks.empty()) continue;
+      task = std::move(dq->tasks.front());
+      dq->tasks.pop_front();
+    }
+    {
+      // Same take-time decrement discipline as WorkerLoop.
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      --pending_;
+    }
+    task();
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingPool::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  // Discard queued tasks so joins only wait on the ones already running.
+  for (auto& dq : deques_) {
+    std::lock_guard<std::mutex> lock(dq->mu);
+    dq->tasks.clear();
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+std::function<void()> WorkStealingPool::TakeTask(std::size_t self) {
+  // Own deque first, newest task (LIFO).
+  {
+    WorkerDeque& own = *deques_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      std::function<void()> task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return task;
+    }
+  }
+  // Steal sweep: victims in ring order, oldest task (FIFO).
+  for (std::size_t k = 1; k < deques_.size(); ++k) {
+    WorkerDeque& victim = *deques_[(self + k) % deques_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      std::function<void()> task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void WorkStealingPool::WorkerLoop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task = TakeTask(self);
+    if (task != nullptr) {
+      {
+        // Decrement at take time (not completion): the counter gates worker
+        // sleep, and a long-running task must not read as "work available".
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        --pending_;
+      }
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] { return stop_ || pending_ > 0; });
+    if (stop_) return;
+    // pending_ > 0: somebody pushed since our sweep — loop and retry. A
+    // sibling may beat us to the task; the next sweep just comes up empty.
+  }
+}
+
+}  // namespace ws

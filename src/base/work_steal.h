@@ -1,0 +1,100 @@
+// A work-stealing task pool: per-worker deques plus a steal path.
+//
+// Built for the scheduler's parallel wave loop, whose frontier items are
+// coarse (one whole state expansion — typically tens of microseconds to
+// milliseconds each) and arrive from a single producer thread. That shapes
+// the design:
+//  * Push() distributes tasks round-robin across the worker deques, so a
+//    burst of sibling states lands spread out instead of piled on one
+//    worker. The cursor is deterministic, but which worker runs a task is
+//    not part of any result — tasks must be independent.
+//  * A worker pops its own deque LIFO (newest first — best cache affinity
+//    for freshly forked states) and steals FIFO from its victims (oldest
+//    first — the classic Chase-Lev discipline, stealing the work least
+//    likely to be in anyone's cache).
+//  * Each deque is guarded by its own mutex rather than a lock-free
+//    protocol: with coarse tasks the lock is never contended long enough to
+//    matter, and the implementation stays obviously correct under TSan.
+//  * num_workers == 0 degenerates to inline execution in Push() — the
+//    sequential engine is exactly the same code path minus the threads.
+//
+// Tasks must not throw (capture errors into the task's own result slot);
+// completion signalling is the caller's business — the scheduler tracks its
+// frontier items itself.
+#ifndef WS_BASE_WORK_STEAL_H
+#define WS_BASE_WORK_STEAL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ws {
+
+class WorkStealingPool {
+ public:
+  explicit WorkStealingPool(int num_workers);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  // Enqueues `task` on the next deque (round-robin); runs it inline when
+  // the pool has no workers. Must not be called after Stop().
+  //
+  // Contract: a single queued task does not wake a worker (see the lazy
+  // wake note in Push) — the producer must drain stragglers itself via
+  // TryRunOne before blocking on task results, as the scheduler's commit
+  // loop does. Fire-and-forget producers that block without helping would
+  // strand the last task until the next Push.
+  void Push(std::function<void()> task);
+
+  // Runs one queued task inline on the calling thread; returns false when
+  // every deque is empty (any task not queued is already running on a
+  // worker). Lets a coordinator thread that would otherwise block waiting
+  // for results help drain the queue instead — on a single-CPU host this
+  // removes the two context switches a blocking hand-off costs per task.
+  // Takes the oldest task (FIFO across deques), which for the scheduler's
+  // single-producer push order is the one nearest the frontier head.
+  bool TryRunOne();
+
+  // Lets running tasks finish, discards queued ones, joins the workers.
+  // Idempotent; also run by the destructor.
+  void Stop();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  // One worker's deque. Own pops take the back (LIFO), thieves take the
+  // front (FIFO). unique_ptr keeps the mutex address stable in the vector.
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(std::size_t self);
+  // Pops from own deque, then sweeps the victims. Empty when idle.
+  std::function<void()> TakeTask(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::vector<std::thread> workers_;
+
+  // Wake-up plumbing: pending_ counts queued-but-untaken tasks; workers
+  // sleep on wake_cv_ when they find nothing to run or steal. Signed: a
+  // worker may take a task in the window between its enqueue and the
+  // producer's increment, transiently driving the counter negative.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  long long pending_ = 0;
+  bool stop_ = false;
+
+  std::size_t push_cursor_ = 0;  // producer-side round-robin
+};
+
+}  // namespace ws
+
+#endif  // WS_BASE_WORK_STEAL_H

@@ -33,6 +33,20 @@ BddManager::BddManager() {
   ite_slots_.assign(kInitialIteCapacity, IteEntry{});
 }
 
+void BddManager::Reset() {
+  nodes_.resize(2);  // the two terminals; capacity is retained
+  var_names_.clear();
+  var_in_use_.clear();
+  num_ops_ = 0;
+  std::fill(unique_slots_.begin(), unique_slots_.end(), kEmptySlot);
+  unique_size_ = 0;
+  std::fill(ite_slots_.begin(), ite_slots_.end(), IteEntry{});
+  ite_size_ = 0;
+  // The node-indexed scratch memo needs no clearing: stamps older than
+  // memo_epoch_ are already invalid, and its size only ever needs to cover
+  // the current node count, which just shrank.
+}
+
 int BddManager::NewVar(const std::string& name) {
   var_names_.push_back(name);
   return static_cast<int>(var_names_.size()) - 1;
@@ -86,6 +100,10 @@ std::uint32_t BddManager::MakeNode(int var, std::uint32_t low,
   nodes_.push_back({var, low, high});
   unique_slots_[i] = index;
   ++unique_size_;
+  if (static_cast<std::size_t>(var) >= var_in_use_.size()) {
+    var_in_use_.resize(static_cast<std::size_t>(var) + 1, 0);
+  }
+  var_in_use_[static_cast<std::size_t>(var)] = 1;
   return index;
 }
 
@@ -191,7 +209,7 @@ Bdd BddManager::OrAll(const std::vector<Bdd>& fs) {
   return reduce_scratch_[0];
 }
 
-void BddManager::BeginMemoEpoch() {
+void BddManager::BeginMemoEpoch(std::size_t min_nodes) {
   ++memo_epoch_;
   if (memo_epoch_ == 0) {
     // Stamp wrap-around: every stale stamp could now alias the live epoch.
@@ -199,9 +217,22 @@ void BddManager::BeginMemoEpoch() {
     std::fill(memo_stamp_.begin(), memo_stamp_.end(), 0u);
     memo_epoch_ = 1;
   }
-  if (memo_stamp_.size() < nodes_.size()) {
-    memo_stamp_.resize(nodes_.size(), 0u);
-    memo_value_.resize(nodes_.size());
+  const std::size_t need = std::max(nodes_.size(), min_nodes);
+  if (memo_stamp_.size() < need) {
+    memo_stamp_.resize(need, 0u);
+    memo_value_.resize(need);
+  }
+}
+
+void BddManager::BeginMigrateEpoch(std::size_t src_nodes) {
+  ++migrate_epoch_;
+  if (migrate_epoch_ == 0) {
+    std::fill(migrate_stamp_.begin(), migrate_stamp_.end(), 0u);
+    migrate_epoch_ = 1;
+  }
+  if (migrate_stamp_.size() < src_nodes) {
+    migrate_stamp_.resize(src_nodes, 0u);
+    migrate_value_.resize(src_nodes);
   }
 }
 
@@ -332,6 +363,56 @@ std::uint32_t BddManager::RenameDenseRec(std::uint32_t n,
       IteRec(MakeNode(new_var, 0, 1), high, low);
   memo_stamp_[n] = memo_epoch_;
   memo_value_[n] = result;
+  return result;
+}
+
+Bdd BddManager::Migrate(const BddManager& src, Bdd f,
+                        const std::vector<int>& var_map, bool fresh_map) {
+  WS_CHECK(&src != this);
+  ++num_ops_;
+  // The memo is keyed by *source* node index: size it for the source store.
+  if (fresh_map) BeginMigrateEpoch(src.nodes_.size());
+  return Bdd(MigrateRec(src, f.index(), var_map));
+}
+
+std::uint32_t BddManager::MigrateRec(const BddManager& src, std::uint32_t n,
+                                     const std::vector<int>& var_map) {
+  // Terminal indices coincide across managers (0 = false, 1 = true).
+  if (n <= 1) return n;
+  if (migrate_stamp_[n] == migrate_epoch_) return migrate_value_[n];
+  const int src_var = src.var_of(n);
+  WS_CHECK(static_cast<std::size_t>(src_var) < var_map.size());
+  const int new_var = var_map[static_cast<std::size_t>(src_var)];
+  WS_CHECK(new_var >= 0 && new_var < num_vars());
+  const std::uint32_t low = MigrateRec(src, src.nodes_[n].low, var_map);
+  const std::uint32_t high = MigrateRec(src, src.nodes_[n].high, var_map);
+  // Rebuild through ITE (as RenameDenseRec does) so maps that change the
+  // relative variable order still produce the canonical ROBDD here.
+  const std::uint32_t result = IteRec(MakeNode(new_var, 0, 1), high, low);
+  migrate_stamp_[n] = migrate_epoch_;
+  migrate_value_[n] = result;
+  return result;
+}
+
+Bdd BddManager::Copy(const BddManager& src, Bdd f, bool fresh_map) {
+  WS_CHECK(&src != this);
+  ++num_ops_;
+  if (fresh_map) BeginMigrateEpoch(src.nodes_.size());
+  return Bdd(CopyRec(src, f.index()));
+}
+
+std::uint32_t BddManager::CopyRec(const BddManager& src, std::uint32_t n) {
+  if (n <= 1) return n;
+  if (migrate_stamp_[n] == migrate_epoch_) return migrate_value_[n];
+  const std::uint32_t low = CopyRec(src, src.nodes_[n].low);
+  const std::uint32_t high = CopyRec(src, src.nodes_[n].high);
+  const int var = src.var_of(n);
+  WS_CHECK(var < num_vars());
+  // Identity variable map: the source graph's order is this manager's
+  // order, so the plain structural copy is already the canonical ROBDD.
+  const std::uint32_t result = MakeNode(var, low, high);
+  migrate_stamp_[n] = migrate_epoch_;
+  migrate_value_[n] = result;
   return result;
 }
 

@@ -68,6 +68,12 @@ class BddManager {
  public:
   BddManager();
 
+  // Returns the manager to its just-constructed state while keeping every
+  // table's and the node store's capacity. The scheduler's wave loop
+  // recycles per-branch sub-arenas through a pool; reallocating the flat
+  // tables for every frontier state was measurable.
+  void Reset();
+
   // --- Variables -----------------------------------------------------------
 
   // Creates a fresh variable, ordered after all existing ones. `name` is used
@@ -76,6 +82,15 @@ class BddManager {
 
   int num_vars() const { return static_cast<int>(var_names_.size()); }
   const std::string& var_name(int var) const;
+
+  // True iff a node labeled `var` has ever been created, i.e. the variable
+  // can appear in some live function. Registered-but-unused variables (the
+  // wave loop's identity import registers the whole main registry) always
+  // cofactor to a no-op, which callers use to skip whole sweeps.
+  bool VarInUse(int var) const {
+    return static_cast<std::size_t>(var) < var_in_use_.size() &&
+           var_in_use_[static_cast<std::size_t>(var)] != 0;
+  }
 
   // --- Constants and literals ----------------------------------------------
 
@@ -143,6 +158,29 @@ class BddManager {
   // (`fresh_map` starts a new epoch).
   Bdd RenameDense(Bdd f, const std::vector<int>& var_map, bool fresh_map);
 
+  // Copies `f` — a function owned by `src` — into this manager, with every
+  // source variable v replaced by this manager's variable var_map[v] (dense,
+  // indexed by source variable; every variable in f's support must map to a
+  // valid variable here). Rebuilt bottom-up through ITE, so maps that change
+  // relative variable order still yield the canonical ROBDD. The memo is a
+  // dedicated epoch-stamped scratch keyed by *source* node index, shared
+  // across calls with the same (src, var_map) (`fresh_map` starts a new
+  // epoch) — the scheduler migrates a whole commit's leaves in one epoch,
+  // and native operations (Restrict/RenameDense, closure probes) may freely
+  // interleave without disturbing it. `src` must not be this manager and
+  // must not mutate between calls of a shared epoch.
+  Bdd Migrate(const BddManager& src, Bdd f, const std::vector<int>& var_map,
+              bool fresh_map);
+
+  // Migrate's fast path for the identity variable map: copies `f` from `src`
+  // with every variable keeping its index, which must preserve the relative
+  // variable order (true whenever this manager's variables 0..k are the same
+  // variables, in the same order, as src's — the wave loop's identity import
+  // discipline). The source ROBDD is then already canonically ordered here,
+  // so one structural MakeNode pass per source node replaces the ITE
+  // rebuild. Memo/epoch semantics are exactly Migrate's.
+  Bdd Copy(const BddManager& src, Bdd f, bool fresh_map);
+
   // A disjoint sum-of-products cover of f (one cube per 1-path of the BDD).
   // Deterministic for a given manager, so usable in canonical signatures.
   std::vector<BddCube> ToSop(Bdd f) const;
@@ -176,6 +214,9 @@ class BddManager {
   std::uint32_t RestrictRec(std::uint32_t f, int var, bool value);
   std::uint32_t RenameDenseRec(std::uint32_t f,
                                const std::vector<int>& var_map);
+  std::uint32_t MigrateRec(const BddManager& src, std::uint32_t f,
+                           const std::vector<int>& var_map);
+  std::uint32_t CopyRec(const BddManager& src, std::uint32_t f);
   double ProbRec(std::uint32_t f, const std::vector<double>& prob_true,
                  std::unordered_map<std::uint32_t, double>& memo) const;
 
@@ -186,12 +227,21 @@ class BddManager {
   // Starts a fresh epoch of the node-indexed scratch memo (value table
   // `memo_value_` guarded by `memo_stamp_`), sized for the current node
   // count. O(1) amortized: stamps invalidate without clearing.
-  void BeginMemoEpoch();
+  void BeginMemoEpoch(std::size_t min_nodes = 0);
+
+  // Same, for the dedicated Migrate/Copy memo. Cross-manager rebuilds key
+  // their memo by *source* node index, and their epochs deliberately span
+  // interleaved native operations (the scheduler migrates a whole commit's
+  // leaves in one epoch, with closure probes in between), so they cannot
+  // share the native scratch: a Restrict/RenameDense epoch in the middle
+  // would leave stale source-indexed entries aliased to main-indexed ones.
+  void BeginMigrateEpoch(std::size_t src_nodes);
 
   int var_of(std::uint32_t n) const { return nodes_[n].var; }
 
   std::vector<Node> nodes_;
   std::vector<std::string> var_names_;
+  std::vector<char> var_in_use_;  // by variable; see VarInUse
   std::uint64_t num_ops_ = 0;
 
   // Unique table: open-addressed, power-of-two, linear probing. Slots hold
@@ -218,6 +268,12 @@ class BddManager {
   std::vector<std::uint32_t> memo_value_;
   std::vector<std::uint32_t> memo_stamp_;
   std::uint32_t memo_epoch_ = 0;
+
+  // Dedicated Migrate/Copy memo, keyed by source node index (see
+  // BeginMigrateEpoch for why it cannot share the scratch above).
+  std::vector<std::uint32_t> migrate_value_;
+  std::vector<std::uint32_t> migrate_stamp_;
+  std::uint32_t migrate_epoch_ = 0;
 
   // Scratch for the balanced AndAll/OrAll reduction.
   std::vector<Bdd> reduce_scratch_;

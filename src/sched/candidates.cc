@@ -52,9 +52,8 @@ std::vector<ResolvedVersion> CandidateGenerator::VersionsAt(
     case OpKind::kSelect: {
       // A select materialized as a register transfer publishes a version
       // like any other operation.
-      auto ait = ps.available.find(MakeInstKey(m, iter));
-      if (ait != ps.available.end()) {
-        for (const VersionRec& v : ait->second) {
+      if (const auto* avail = ps.available.Find(MakeInstKey(m, iter))) {
+        for (const VersionRec& v : *avail) {
           const Bdd guard =
               guards_.BindingGuard(ps, MakeInstKey(m, iter), v.version);
           if (mgr_.IsFalse(guard)) continue;
@@ -69,10 +68,8 @@ std::vector<ResolvedVersion> CandidateGenerator::VersionsAt(
           sel_node.loop == n.loop ? iter : 0;  // same-scope or top-level
       // Resolved but not yet materialized: forward through the chosen side
       // only (the mux steering is known).
-      auto rit = ps.resolved.find(MakeInstKey(sel, sel_iter));
-      if (rit != ps.resolved.end()) {
-        return Versions(ps, n.inputs[rit->second ? 1 : 2], n.loop, iter,
-                        depth + 1);
+      if (const bool* rv = ps.resolved.Find(MakeInstKey(sel, sel_iter))) {
+        return Versions(ps, n.inputs[*rv ? 1 : 2], n.loop, iter, depth + 1);
       }
       // Speculation through an unresolved select (Observation 1) is only
       // useful when the steering condition is control-relevant: the
@@ -115,9 +112,9 @@ std::vector<ResolvedVersion> CandidateGenerator::VersionsAt(
       return Versions(ps, n.inputs[0], n.loop, iter, depth + 1);
     default: {
       // A scheduled kind: completed bindings of (m, iter).
-      auto it = ps.available.find(MakeInstKey(m, iter));
-      if (it == ps.available.end()) return out;
-      for (const VersionRec& v : it->second) {
+      const auto* avail = ps.available.Find(MakeInstKey(m, iter));
+      if (avail == nullptr) return out;
+      for (const VersionRec& v : *avail) {
         const Bdd guard =
             guards_.BindingGuard(ps, MakeInstKey(m, iter), v.version);
         if (mgr_.IsFalse(guard)) continue;
@@ -126,6 +123,22 @@ std::vector<ResolvedVersion> CandidateGenerator::VersionsAt(
       return out;
     }
   }
+}
+
+bool CandidateGenerator::WidenDuplicate(PathState& ps, const InstKey& key,
+                                        const std::vector<InstRef>& operands,
+                                        Bdd guard) {
+  const std::vector<Binding>* blist = ps.bindings.Find(key);
+  if (blist == nullptr) return false;
+  for (std::size_t i = 0; i < blist->size(); ++i) {
+    if ((*blist)[i].operands != operands) continue;
+    // Copy-on-write: re-fetch mutably only on a hit (Find's pointer is
+    // const and may live in the shared base block).
+    Binding& b = ps.bindings.Mutable(key)[i];
+    b.guard = mgr_.Or(b.guard, guard);
+    return true;
+  }
+  return false;
 }
 
 void CandidateGenerator::GenerateSelectCandidates(
@@ -141,15 +154,7 @@ void CandidateGenerator::GenerateSelectCandidates(
 
   auto emit = [&](std::vector<InstRef> operands, Bdd guard, double offset) {
     if (mgr_.IsFalse(guard)) return;
-    auto bit = ps.bindings.find(MakeInstKey(n.id, iter));
-    if (bit != ps.bindings.end()) {
-      for (Binding& b : bit->second) {
-        if (b.operands == operands) {
-          b.guard = mgr_.Or(b.guard, guard);
-          return;
-        }
-      }
-    }
+    if (WidenDuplicate(ps, MakeInstKey(n.id, iter), operands, guard)) return;
     Candidate c;
     c.node = n.id;
     c.iter = iter;
@@ -255,7 +260,6 @@ void CandidateGenerator::GenerateCandidates(PathState& ps,
       // Coverage: skip once a single existing binding's guard covers the
       // control guard (one execution delivers a correct value on every live
       // branch).
-      auto bit = ps.bindings.find(key);
       if (guards_.InstanceCovered(ps, key, ctrl,
                                   /*require_completed=*/false)) {
         continue;
@@ -328,17 +332,7 @@ void CandidateGenerator::GenerateCandidates(PathState& ps,
           // Deduplicate against existing bindings with identical operands:
           // the physical result is the same, so widen its validity guard
           // instead of re-executing.
-          bool duplicate = false;
-          if (bit != ps.bindings.end()) {
-            for (Binding& b : bit->second) {
-              if (b.operands == operands) {
-                b.guard = mgr_.Or(b.guard, guard);
-                duplicate = true;
-                break;
-              }
-            }
-          }
-          if (!duplicate) {
+          if (!WidenDuplicate(ps, key, operands, guard)) {
             Candidate c;
             c.node = n.id;
             c.iter = iter;

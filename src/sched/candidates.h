@@ -68,6 +68,11 @@ class CandidateGenerator {
  private:
   std::vector<ResolvedVersion> VersionsAt(const PathState& ps, NodeId m,
                                           int iter, int depth);
+  // If bindings[key] already holds an execution with identical operands,
+  // widens its validity guard by `guard` (the physical result is the same)
+  // and returns true; otherwise leaves `ps` untouched and returns false.
+  bool WidenDuplicate(PathState& ps, const InstKey& key,
+                      const std::vector<InstRef>& operands, Bdd guard);
   void GenerateSelectCandidates(PathState& ps, const Node& n, int iter,
                                 Bdd ctrl, std::vector<Candidate>* cands);
 

@@ -639,8 +639,10 @@ void MixOptions(FpHasher& h, const SchedulerOptions& options) {
   h.Mix(static_cast<std::uint64_t>(options.gc_window));
   h.Mix(static_cast<std::uint64_t>(options.max_states));
   h.Mix(static_cast<std::uint64_t>(options.max_ops_per_state));
-  // options.deadline / options.cancel intentionally excluded: per-call
-  // bounds, not result-affecting inputs.
+  // options.deadline / options.cancel / options.wave_workers intentionally
+  // excluded: the first two are per-call bounds, and wave_workers only picks
+  // how many threads expand the frontier — the parallel engine is
+  // byte-deterministic at any worker count, so none affect the result.
 }
 
 Fp128 FingerprintScheduleRequest(const ScheduleRequest& request) {

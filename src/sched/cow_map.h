@@ -1,0 +1,244 @@
+// Copy-on-write ordered map for PathState forking.
+//
+// PartitionLeaves copies the whole PathState once per fork-tree branch (2^k
+// leaves for k resolvable conditions), and before this type existed every
+// copy duplicated four std::maps wholesale even though a fold typically
+// touches a handful of entries. A CowMap instead keeps an immutable *base*
+// block shared between all siblings (a shared_ptr<const std::map>) plus a
+// small per-branch *overlay* of changed entries; copying a CowMap copies the
+// overlay and bumps a refcount. `nullopt` in the overlay is a tombstone for
+// a key that exists in the base; the invariant that tombstones only shadow
+// base keys is what lets iteration advance base and overlay in lockstep.
+//
+// Mutation is explicit: Mutable(key) copies the entry up into the overlay
+// (std::map node stability keeps the returned reference valid across later
+// Mutable/Erase calls on *other* keys). Read paths use Find/contains/at and
+// the merged ordered const_iterator, which interleaves base and overlay in
+// key order — overlay entries win on equal keys — so ranged-for call sites
+// behave exactly like iterating the flattened map.
+//
+// Compact() folds the accumulated overlay back into a fresh shared base.
+// The scheduler calls it when a forked state is admitted to the frontier:
+// by then its siblings have been copied, so flattening no longer loses
+// sharing, and the next fork tree starts from a clean base again.
+#ifndef WS_SCHED_COW_MAP_H
+#define WS_SCHED_COW_MAP_H
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace ws {
+
+template <typename Key, typename Value>
+class CowMap {
+ public:
+  using base_map = std::map<Key, Value>;
+
+ private:
+  using BaseMap = base_map;
+  using OverlayMap = std::map<Key, std::optional<Value>>;
+
+ public:
+  CowMap() = default;
+  // Copies share the base block; only the overlay is duplicated.
+  CowMap(const CowMap&) = default;
+  CowMap& operator=(const CowMap&) = default;
+  CowMap(CowMap&&) noexcept = default;
+  CowMap& operator=(CowMap&&) noexcept = default;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  // Pointer to the live value for `key`, or nullptr. Stable across mutation
+  // of other keys; invalidated by Mutable/Erase/Compact on this key.
+  const Value* Find(const Key& key) const {
+    if (overlay_.empty()) return FindInBase(key);  // common post-Compact case
+    auto it = overlay_.find(key);
+    if (it != overlay_.end()) {
+      return it->second.has_value() ? &*it->second : nullptr;
+    }
+    return FindInBase(key);
+  }
+
+  bool contains(const Key& key) const { return Find(key) != nullptr; }
+
+  const Value& at(const Key& key) const {
+    const Value* v = Find(key);
+    WS_CHECK(v != nullptr);
+    return *v;
+  }
+
+  // Mutable access with operator[] create-or-copy-up semantics: an existing
+  // entry is copied into the overlay on first touch, a missing one is
+  // default-constructed.
+  Value& Mutable(const Key& key) {
+    auto [it, inserted] = overlay_.try_emplace(key);
+    if (inserted) {
+      if (const Value* from_base = FindInBase(key)) {
+        it->second = *from_base;
+      } else {
+        it->second.emplace();
+        ++size_;
+      }
+    } else if (!it->second.has_value()) {
+      // Reviving a tombstoned key: fresh default value.
+      it->second.emplace();
+      ++size_;
+    }
+    return *it->second;
+  }
+
+  void Erase(const Key& key) {
+    auto it = overlay_.find(key);
+    if (it != overlay_.end()) {
+      if (!it->second.has_value()) return;  // already erased
+      --size_;
+      if (FindInBase(key) != nullptr) {
+        it->second.reset();  // tombstone a base key
+      } else {
+        overlay_.erase(it);  // overlay-only key vanishes outright
+      }
+    } else if (FindInBase(key) != nullptr) {
+      overlay_.emplace(key, std::nullopt);
+      --size_;
+    }
+  }
+
+  // Folds the overlay into a fresh shared base block (one pass over base +
+  // overlay). Cheap no-op while the overlay is small.
+  void Compact(std::size_t min_overlay = 1) {
+    if (overlay_.size() < min_overlay) return;
+    BaseMap merged = base_ ? *base_ : BaseMap();
+    for (auto& [key, value] : overlay_) {
+      if (value.has_value()) {
+        merged.insert_or_assign(key, std::move(*value));
+      } else {
+        merged.erase(key);
+      }
+    }
+    base_ = std::make_shared<const BaseMap>(std::move(merged));
+    overlay_.clear();
+  }
+
+  // Installs `m` as the new shared base and drops the overlay. The wave
+  // loop's import/migrate passes rebuild whole tables (every guard handle
+  // changes manager); building the replacement as a plain map and
+  // installing it here is one pass, where a Mutable sweep would copy every
+  // entry into the overlay and then pay to flatten it again.
+  void Rebase(base_map&& m) {
+    size_ = m.size();
+    base_ = std::make_shared<const BaseMap>(std::move(m));
+    overlay_.clear();
+  }
+
+  // Number of overlay entries (changed/tombstoned keys since the last
+  // Compact). Compaction policy input.
+  std::size_t overlay_size() const { return overlay_.size(); }
+
+  // Merged ordered view: base and overlay interleaved by key, overlay
+  // entries shadowing base ones, tombstones skipped. operator* returns a
+  // pair of references (not a reference to a pair), so ranged-for must bind
+  // by value or structured binding — `for (const auto& [k, v] : m)` works.
+  class const_iterator {
+   public:
+    using value_type = std::pair<const Key&, const Value&>;
+
+    value_type operator*() const {
+      if (AtBase()) return value_type(base_it_->first, base_it_->second);
+      return value_type(overlay_it_->first, *overlay_it_->second);
+    }
+
+    const_iterator& operator++() {
+      Advance();
+      Settle();
+      return *this;
+    }
+
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.base_it_ == b.base_it_ && a.overlay_it_ == b.overlay_it_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    friend class CowMap;
+
+    // True when the current position is the base entry (strictly smaller
+    // key, or overlay exhausted). On equal keys the overlay wins.
+    bool AtBase() const {
+      if (overlay_it_ == overlay_end_) return true;
+      if (base_it_ == base_end_) return false;
+      return base_it_->first < overlay_it_->first;
+    }
+
+    void Advance() {
+      if (AtBase()) {
+        ++base_it_;
+        return;
+      }
+      // Overlay position; an equal-keyed base entry is shadowed — step over
+      // both so the pair stays in lockstep.
+      if (base_it_ != base_end_ && !(overlay_it_->first < base_it_->first)) {
+        ++base_it_;
+      }
+      ++overlay_it_;
+    }
+
+    // Skips tombstones. A tombstone always shadows a base key, so when the
+    // merged position lands on one, Advance steps over both halves.
+    void Settle() {
+      while (overlay_it_ != overlay_end_ && !AtBase() &&
+             !overlay_it_->second.has_value()) {
+        Advance();
+      }
+    }
+
+    typename BaseMap::const_iterator base_it_, base_end_;
+    typename OverlayMap::const_iterator overlay_it_, overlay_end_;
+  };
+
+  const_iterator begin() const {
+    const_iterator it;
+    it.base_it_ = base().begin();
+    it.base_end_ = base().end();
+    it.overlay_it_ = overlay_.begin();
+    it.overlay_end_ = overlay_.end();
+    it.Settle();
+    return it;
+  }
+
+  const_iterator end() const {
+    const_iterator it;
+    it.base_it_ = base().end();
+    it.base_end_ = base().end();
+    it.overlay_it_ = overlay_.end();
+    it.overlay_end_ = overlay_.end();
+    return it;
+  }
+
+ private:
+  const Value* FindInBase(const Key& key) const {
+    if (base_ == nullptr) return nullptr;
+    auto it = base_->find(key);
+    return it != base_->end() ? &it->second : nullptr;
+  }
+
+  const BaseMap& base() const {
+    static const BaseMap kEmpty;
+    return base_ ? *base_ : kEmpty;
+  }
+
+  std::shared_ptr<const BaseMap> base_;
+  OverlayMap overlay_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ws
+
+#endif  // WS_SCHED_COW_MAP_H

@@ -13,13 +13,14 @@
 #define WS_SCHED_ENGINE_STATE_H
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bdd/bdd.h"
 #include "cdfg/cdfg.h"
+#include "sched/cow_map.h"
 #include "stg/stg.h"
 
 namespace ws {
@@ -41,7 +42,10 @@ struct Binding {
   std::vector<InstRef> operands;
   Bdd guard;
   bool completed = false;
-  std::string guard_at_schedule;  // paper-style annotation, frozen
+  // Paper-style annotation, frozen at admission. Shared, not inline: the
+  // fork tree copies bindings across branches (and the wave loop across
+  // arenas) where the text never changes, so copies bump a refcount.
+  std::shared_ptr<const std::string> guard_at_schedule;
 };
 
 // A published result version available for consumption: (version index into
@@ -73,14 +77,32 @@ struct LatchedVersion {
   int version = 0;
 };
 
-// The symbolic execution front along one control path.
+// The symbolic execution front along one control path. The four instance
+// tables are copy-on-write (sched/cow_map.h): PartitionLeaves copies the
+// whole PathState once per fork-tree branch, and a fold touches only the
+// entries the resolved condition reaches, so branches share the untouched
+// bulk of every table. Reads go through Find/contains/at or ranged-for;
+// writes must use Mutable/Erase (two-phase when driven by iteration).
 struct PathState {
-  std::map<InstKey, std::vector<Binding>> bindings;
-  std::map<InstKey, std::vector<VersionRec>> available;
+  CowMap<InstKey, std::vector<Binding>> bindings;
+  CowMap<InstKey, std::vector<VersionRec>> available;
   std::vector<InFlight> inflight;
-  std::map<InstKey, bool> resolved;                       // condition instances
-  std::map<InstKey, std::vector<LatchedVersion>> latched;  // unresolved conds
+  CowMap<InstKey, bool> resolved;                          // condition instances
+  CowMap<InstKey, std::vector<LatchedVersion>> latched;    // unresolved conds
   std::vector<LoopState> loops;
+
+  // Folds the per-branch overlays into shared immutable blocks. Called when
+  // a state is admitted to the frontier — its fork siblings have already
+  // been copied, so flattening no longer loses sharing. Flattening rebuilds
+  // the whole base block, so each table folds only once its overlay has
+  // grown to a quarter of the table; smaller overlays stay (reads tolerate
+  // them) and fold into a later, better-amortized compaction.
+  void Compact() {
+    bindings.Compact(1 + bindings.size() / 4);
+    available.Compact(1 + available.size() / 4);
+    resolved.Compact(1 + resolved.size() / 4);
+    latched.Compact(1 + latched.size() / 4);
+  }
 };
 
 // A schedulable candidate produced by the successor computation

@@ -1,16 +1,35 @@
 #include "sched/fork.h"
 
 #include <utility>
+#include <vector>
 
 namespace ws {
 
 void ForkEngine::Fold(PathState& ps, NodeId cond, int iter, bool value) {
-  ps.resolved[MakeInstKey(cond, iter)] = value;
+  ps.resolved.Mutable(MakeInstKey(cond, iter)) = value;
   auto vit = guards_.cond_vars().find(MakeInstKey(cond, iter));
-  if (vit != guards_.cond_vars().end()) {
+  // A variable no node was ever labeled with cannot appear in any guard, so
+  // every cofactor below would be a no-op: skip the sweeps. (The identity
+  // import registers the whole main registry in each arena, so a
+  // registered-but-unused variable is the common case for conditions that
+  // resolve without speculation.)
+  if (vit != guards_.cond_vars().end() && mgr_.VarInUse(vit->second)) {
     const int var = vit->second;
-    for (auto& [key, blist] : ps.bindings) {
-      for (Binding& b : blist) {
+    // Two-phase copy-on-write sweep: scan the shared view for binding lists
+    // the cofactor actually changes, then copy up only those. Most folds
+    // touch a handful of lists, so the untouched bulk stays in the shared
+    // base block.
+    std::vector<InstKey> dirty;
+    for (const auto& [key, blist] : ps.bindings) {
+      for (const Binding& b : blist) {
+        if (mgr_.Restrict(b.guard, var, value) != b.guard) {
+          dirty.push_back(key);
+          break;
+        }
+      }
+    }
+    for (const InstKey& key : dirty) {
+      for (Binding& b : ps.bindings.Mutable(key)) {
         b.guard = mgr_.Restrict(b.guard, var, value);
         // A dead binding's operands are never consulted again (it cannot be
         // widened back — identical-operand candidates are rare and simply
@@ -26,7 +45,7 @@ void ForkEngine::Fold(PathState& ps, NodeId cond, int iter, bool value) {
         stats_.squashed_ops++;
         // Invalidate the binding too: the physical result will never be
         // correct on this path and must not publish a version.
-        Binding& dead = ps.bindings[MakeInstKey(f.inst)]
+        Binding& dead = ps.bindings.Mutable(MakeInstKey(f.inst))
             [static_cast<std::size_t>(f.inst.version)];
         dead.guard = mgr_.False();
         dead.operands.clear();
@@ -37,24 +56,56 @@ void ForkEngine::Fold(PathState& ps, NodeId cond, int iter, bool value) {
     ps.inflight = std::move(kept);
   }
 
-  // Drop dead versions / latched values (guard folded to 0).
-  for (auto it = ps.available.begin(); it != ps.available.end();) {
-    auto& versions = it->second;
-    std::erase_if(versions, [&](const VersionRec& v) {
-      return mgr_.IsFalse(guards_.BindingGuard(ps, it->first, v.version));
-    });
-    it = versions.empty() ? ps.available.erase(it) : std::next(it);
+  // Drop dead versions / latched values (guard folded to 0). Two-phase like
+  // the binding sweep: classify against the shared view, then copy up or
+  // erase only the touched entries.
+  std::vector<InstKey> dirty;
+  std::vector<InstKey> dead;
+  for (const auto& [key, versions] : ps.available) {
+    bool any_dead = false;
+    bool all_dead = true;
+    for (const VersionRec& v : versions) {
+      const bool d = mgr_.IsFalse(guards_.BindingGuard(ps, key, v.version));
+      any_dead |= d;
+      all_dead &= d;
+    }
+    if (versions.empty() || all_dead) {
+      dead.push_back(key);
+    } else if (any_dead) {
+      dirty.push_back(key);
+    }
   }
-  for (auto it = ps.latched.begin(); it != ps.latched.end();) {
-    if (ps.resolved.contains(it->first)) {
-      it = ps.latched.erase(it);
+  for (const InstKey& key : dead) ps.available.Erase(key);
+  for (const InstKey& key : dirty) {
+    std::erase_if(ps.available.Mutable(key), [&](const VersionRec& v) {
+      return mgr_.IsFalse(guards_.BindingGuard(ps, key, v.version));
+    });
+  }
+  dirty.clear();
+  dead.clear();
+  for (const auto& [key, versions] : ps.latched) {
+    if (ps.resolved.contains(key)) {
+      dead.push_back(key);
       continue;
     }
-    auto& versions = it->second;
-    std::erase_if(versions, [&](const LatchedVersion& v) {
-      return mgr_.IsFalse(guards_.BindingGuard(ps, it->first, v.version));
+    bool any_dead = false;
+    bool all_dead = true;
+    for (const LatchedVersion& v : versions) {
+      const bool d = mgr_.IsFalse(guards_.BindingGuard(ps, key, v.version));
+      any_dead |= d;
+      all_dead &= d;
+    }
+    if (versions.empty() || all_dead) {
+      dead.push_back(key);
+    } else if (any_dead) {
+      dirty.push_back(key);
+    }
+  }
+  for (const InstKey& key : dead) ps.latched.Erase(key);
+  for (const InstKey& key : dirty) {
+    std::erase_if(ps.latched.Mutable(key), [&](const LatchedVersion& v) {
+      return mgr_.IsFalse(guards_.BindingGuard(ps, key, v.version));
     });
-    it = versions.empty() ? ps.latched.erase(it) : std::next(it);
   }
 
   // Advance loop fronts.
@@ -62,10 +113,10 @@ void ForkEngine::Fold(PathState& ps, NodeId cond, int iter, bool value) {
     LoopState& ls = ps.loops[loop.id.value()];
     if (ls.exited) continue;
     for (;;) {
-      auto rit =
-          ps.resolved.find(MakeInstKey(loop.cond, ls.next_unresolved));
-      if (rit == ps.resolved.end()) break;
-      if (rit->second) {
+      const bool* resolved =
+          ps.resolved.Find(MakeInstKey(loop.cond, ls.next_unresolved));
+      if (resolved == nullptr) break;
+      if (*resolved) {
         ls.next_unresolved++;
       } else {
         ls.exited = true;
@@ -99,6 +150,8 @@ void ForkEngine::PartitionLeaves(const PathState& ps,
   const NodeId cond(key.first);
   const int iter = key.second;
   for (const bool value : {true, false}) {
+    // Copy-on-write: the branch shares the parent's table base blocks and
+    // Fold populates only its overlay.
     PathState branch = ps;
     Fold(branch, cond, iter, value);
     cube.push_back(CondLiteral{InstRef{cond, iter, version}, value});

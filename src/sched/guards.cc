@@ -14,6 +14,9 @@ int GuardEngine::CondVar(NodeId cond, int iter) {
       g_.node(cond).name + "_" + std::to_string(iter);
   const int var = mgr_.NewVar(name);
   cond_vars_.emplace(key, var);
+  var_keys_.resize(static_cast<std::size_t>(var) + 1,
+                   InstKey{0xffffffffu, 0});
+  var_keys_[static_cast<std::size_t>(var)] = key;
   const double p = g_.cond_probability(cond);
   var_probs_.resize(static_cast<std::size_t>(var) + 1, 0.5);
   var_probs_[static_cast<std::size_t>(var)] = p;
@@ -21,11 +24,28 @@ int GuardEngine::CondVar(NodeId cond, int iter) {
   return var;
 }
 
+void GuardEngine::Reset() {
+  cond_vars_.clear();
+  var_keys_.clear();
+  var_probs_.clear();
+  likely_assignment_.clear();
+}
+
+void GuardEngine::MintFrom(const GuardEngine& src, const BddManager& src_mgr) {
+  WS_CHECK(var_keys_.empty() && mgr_.num_vars() == 0);
+  cond_vars_ = src.cond_vars_;
+  var_keys_ = src.var_keys_;
+  var_probs_ = src.var_probs_;
+  likely_assignment_ = src.likely_assignment_;
+  for (std::size_t v = 0; v < var_keys_.size(); ++v) {
+    mgr_.NewVar(src_mgr.var_name(static_cast<int>(v)));
+  }
+}
+
 Bdd GuardEngine::CondLit(const PathState& ps, NodeId cond, int iter,
                          bool polarity) {
-  auto it = ps.resolved.find(MakeInstKey(cond, iter));
-  if (it != ps.resolved.end()) {
-    return it->second == polarity ? mgr_.True() : mgr_.False();
+  if (const bool* value = ps.resolved.Find(MakeInstKey(cond, iter))) {
+    return *value == polarity ? mgr_.True() : mgr_.False();
   }
   const int var = CondVar(cond, iter);
   return polarity ? mgr_.Var(var) : mgr_.NotVar(var);
@@ -76,18 +96,17 @@ Bdd GuardEngine::ExitGuard(const PathState& ps, LoopId loop_id,
 
 Bdd GuardEngine::BindingGuard(const PathState& ps, const InstKey& key,
                               int version) const {
-  auto it = ps.bindings.find(key);
-  WS_CHECK(it != ps.bindings.end());
-  WS_CHECK(version >= 0 &&
-           static_cast<std::size_t>(version) < it->second.size());
-  return it->second[static_cast<std::size_t>(version)].guard;
+  const std::vector<Binding>* blist = ps.bindings.Find(key);
+  WS_CHECK(blist != nullptr);
+  WS_CHECK(version >= 0 && static_cast<std::size_t>(version) < blist->size());
+  return (*blist)[static_cast<std::size_t>(version)].guard;
 }
 
 bool GuardEngine::InstanceCovered(const PathState& ps, const InstKey& key,
                                   Bdd ctrl, bool require_completed) {
-  auto it = ps.bindings.find(key);
-  if (it == ps.bindings.end()) return false;
-  for (const Binding& b : it->second) {
+  const std::vector<Binding>* blist = ps.bindings.Find(key);
+  if (blist == nullptr) return false;
+  for (const Binding& b : *blist) {
     if (require_completed && !b.completed) continue;
     if (mgr_.Covers(b.guard, ctrl)) return true;
   }

@@ -43,6 +43,16 @@ class GuardEngine {
   // use with the node's profiled probability.
   int CondVar(NodeId cond, int iter);
 
+  // Forgets every minted variable. Used when an arena is recycled; the
+  // manager must be Reset() alongside (variable indices restart at 0).
+  void Reset();
+
+  // Bulk-adopts every variable of `src` (an engine over `src_mgr`) in
+  // ascending variable order, so that this engine's variable v is the same
+  // condition instance as src's variable v — the wave loop's identity
+  // import discipline. Requires a fresh (or just-Reset) engine and manager.
+  void MintFrom(const GuardEngine& src, const BddManager& src_mgr);
+
   // The literal for (cond, iter) as seen from `ps`: a constant when the path
   // has resolved the instance, the (possibly negated) variable otherwise.
   Bdd CondLit(const PathState& ps, NodeId cond, int iter, bool polarity);
@@ -64,6 +74,12 @@ class GuardEngine {
   // fork engine and closure detector read it to invert variable lookups.
   const std::map<InstKey, int>& cond_vars() const { return cond_vars_; }
 
+  // The inverse map: BDD variable -> condition instance, dense by variable.
+  // Covers every variable this engine minted (the scheduler mints all of a
+  // manager's variables through here); the wave loop uses it to rebuild a
+  // guard's variables inside another manager.
+  const std::vector<InstKey>& var_keys() const { return var_keys_; }
+
   // Per-variable probability of the condition instance being true, indexed
   // by BDD variable. Grows as variables are minted; feed to
   // BddManager::Probability.
@@ -78,6 +94,7 @@ class GuardEngine {
   const Cdfg& g_;
   BddManager& mgr_;
   std::map<InstKey, int> cond_vars_;
+  std::vector<InstKey> var_keys_;
   std::vector<double> var_probs_;
   std::unordered_map<int, bool> likely_assignment_;  // single-path mode
 };

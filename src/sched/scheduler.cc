@@ -2,17 +2,42 @@
 // guard algebra in sched/guards.cc, successor computation in
 // sched/candidates.cc, fork-time validation/invalidation in sched/fork.cc,
 // closure detection in sched/closure.cc, selection policies in
-// sched/policy.cc. What remains here is the per-run orchestration: the
-// worklist loop, greedy candidate admission against the resource/clock
-// constraints, frontier garbage collection, termination detection, and the
-// public entry points.
+// sched/policy.cc, and the per-state expansion pipeline (greedy admission,
+// fork partitioning, GC, termination) in sched/wave.cc. What remains here is
+// the per-run orchestration: the frontier loop split into parallel expansion
+// and in-order commit, plus the public entry points.
+//
+// Expand/commit pipeline (the parallel wave loop):
+//
+//   * Every frontier state is a WaveItem: its PathState imported into a
+//     private BDD sub-arena. Items are pushed to a work-stealing pool
+//     (base/work_steal.h) the moment they are created; workers expand them
+//     concurrently — candidate admission, fork tree, GC — touching only
+//     their own arena. With wave_workers == 0 the push runs the expansion
+//     inline, which *is* the sequential engine.
+//
+//   * The commit loop consumes items in strict FIFO frontier order — the
+//     exact order the sequential worklist would process them. For each item
+//     it replays the arena's variable mints into the main guard engine,
+//     migrates surviving leaf guards into the main manager, runs closure
+//     lookup / state numbering / transition construction, and turns fresh
+//     leaves into new frontier items.
+//
+//   Determinism follows by construction: an expansion is a pure function of
+//   its item (built from committed data only), and everything order-
+//   sensitive — closure, StateId assignment, stats accumulation — happens
+//   on this thread in frontier order. Worker count changes when expansions
+//   run, never what they compute, so EncodeStg bytes and stats counters are
+//   identical at any setting. parallel_wave_test enforces this.
 #include "sched/scheduler.h"
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <tuple>
@@ -21,14 +46,14 @@
 
 #include "base/phase_timer.h"
 #include "base/strings.h"
+#include "base/work_steal.h"
 #include "bdd/bdd.h"
-#include "sched/candidates.h"
 #include "sched/closure.h"
 #include "sched/engine_state.h"
-#include "sched/fork.h"
 #include "sched/guards.h"
 #include "sched/lambda.h"
 #include "sched/policy.h"
+#include "sched/wave.h"
 
 namespace ws {
 
@@ -43,6 +68,22 @@ const char* SpeculationModeName(SpeculationMode mode) {
 
 namespace {
 
+// Folds one expansion's counters and phase times into the run totals.
+// Called in commit order, so the counter sums are deterministic (the phase
+// times are wall clock and excluded from canonical renderings anyway).
+void AccumulateStats(const ScheduleStats& from, ScheduleStats* into) {
+  into->speculative_ops += from.speculative_ops;
+  into->squashed_ops += from.squashed_ops;
+  into->total_ops += from.total_ops;
+  into->candidates_generated += from.candidates_generated;
+  into->bdd_ops += from.bdd_ops;
+  into->bdd_nodes += from.bdd_nodes;
+  into->phase.successor_ns += from.phase.successor_ns;
+  into->phase.cofactor_ns += from.phase.cofactor_ns;
+  into->phase.gc_ns += from.phase.gc_ns;
+  into->phase.select_ns += from.phase.select_ns;
+}
+
 class SchedulerImpl {
  public:
   SchedulerImpl(const Cdfg& g, const FuLibrary& lib, const Allocation& alloc,
@@ -54,18 +95,15 @@ class SchedulerImpl {
         stg_(g.name()),
         guards_(g, mgr_),
         policy_(MakeSelectionPolicy(options.policy)),
-        candidates_(g, lib, options, mgr_, guards_, *policy_, lambda_,
-                    stats_),
-        fork_(g, mgr_, guards_, stats_),
-        closure_(g, mgr_, guards_, stats_) {}
+        closure_(g, mgr_, guards_, stats_),
+        pool_(options.wave_workers) {}
 
   ScheduleResult Run();
 
  private:
-  // Cooperative cancellation: polls the caller-owned cancel flag and the
-  // deadline. Called once per worklist state and once per candidate
-  // admission pass, so a run is abandoned within one state's work of the
-  // trigger and never yields a partial STG.
+  // Cooperative cancellation on the commit thread; expansions poll the same
+  // flag/deadline independently (see wave.cc), so a run is abandoned within
+  // one state's work of the trigger and never yields a partial STG.
   void CheckCancellation() const {
     if (opts_.cancel != nullptr &&
         opts_.cancel->load(std::memory_order_relaxed)) {
@@ -77,23 +115,24 @@ class SchedulerImpl {
     }
   }
 
-  void FillState(StateId sid, PathState& ps);
-
-  // --- Lifecycle ----------------------------------------------------------------
-  struct HardUse {
-    NodeId node;
-    int delta;
-  };
   void ComputeHardUses();
-  void GarbageCollect(PathState& ps);
-  bool IsDone(const PathState& ps, std::vector<OutputBinding>* outputs);
 
   struct GetResult {
     StateId sid;
     std::vector<std::pair<LoopId, int>> shift;
     bool fresh = false;
   };
-  GetResult CreateOrGet(PathState ps);
+  // Closure lookup / state numbering. Commit-thread only: running it in
+  // frontier order is what keeps StateIds identical to the sequential
+  // engine at any worker count.
+  GetResult CreateOrGet(const PathState& ps);
+
+  // Builds a WaveItem for a fresh state (importing `ps` into a new
+  // sub-arena), appends it to the frontier, and hands it to the pool.
+  void EnqueueExpansion(StateId sid, const PathState& ps);
+
+  // Pops the frontier head and blocks until its expansion completes.
+  std::unique_ptr<WaveItem> AwaitFrontierHead();
 
   // --- Members -------------------------------------------------------------------
   const Cdfg& g_;
@@ -109,148 +148,33 @@ class SchedulerImpl {
   std::vector<std::vector<HardUse>> hard_uses_;  // by node
   std::vector<int> escape_delta_;                // by node; -1 = no escape
 
-  // The engine layers. Construction order matters: every layer borrows
-  // guards_ (and candidates_ additionally borrows policy_ and lambda_ — the
-  // latter an empty vector until Run() fills it, which is fine because the
-  // reference binds to the vector object, not its contents).
+  // Main-manager engine layers (commit side). Construction order matters:
+  // closure_ borrows guards_.
   GuardEngine guards_;
   std::unique_ptr<SelectionPolicyImpl> policy_;
-  CandidateGenerator candidates_;
-  ForkEngine fork_;
   ClosureDetector closure_;
 
-  std::deque<std::pair<StateId, PathState>> worklist_;
+  // Read-only expansion inputs; built in Run() once lambda_/hard_uses_ are
+  // populated, before the first expansion is enqueued.
+  WaveShared shared_;
+
+  // Recycled branch arenas. A committed item's arena is Reset() and reused
+  // by a later EnqueueExpansion, keeping its flat tables' capacity. Touched
+  // only by the commit thread, and only after AwaitFrontierHead confirmed
+  // the expanding worker is done with the arena.
+  std::vector<std::unique_ptr<BranchArena>> arena_pool_;
+
+  // FIFO frontier of in-flight and not-yet-committed expansions. Workers
+  // signal completion through ready_cv_ (WaveItem::ready is guarded by
+  // ready_mu_). Declared before pool_ so the pool destructor — which joins
+  // workers still running expansions — executes first (members destroy in
+  // reverse order).
+  std::deque<std::unique_ptr<WaveItem>> frontier_;
+  std::mutex ready_mu_;
+  std::condition_variable ready_cv_;
+
+  WorkStealingPool pool_;
 };
-
-void SchedulerImpl::FillState(StateId sid, PathState& ps) {
-  State& state = stg_.state(sid);
-
-  // Resource occupancy for this cycle.
-  std::vector<int> initiations(static_cast<std::size_t>(lib_.num_types()), 0);
-  std::vector<int> active(static_cast<std::size_t>(lib_.num_types()), 0);
-
-  // Place continuations of in-flight multi-cycle operations.
-  std::vector<InFlight> still_flying;
-  std::vector<std::pair<InstKey, int>> completions;  // (key, version)
-  for (InFlight& f : ps.inflight) {
-    ScheduledOp op;
-    op.inst = f.inst;
-    op.guard = ps.bindings[MakeInstKey(f.inst)]
-                   [static_cast<std::size_t>(f.inst.version)]
-                       .guard_at_schedule;
-    op.fu_type = f.fu_type;
-    op.stage = f.latency - f.remaining;
-    state.ops.push_back(op);
-    if (!lib_.type(f.fu_type).pipelined) {
-      active[static_cast<std::size_t>(f.fu_type)]++;
-    }
-    if (--f.remaining == 0) {
-      completions.emplace_back(MakeInstKey(f.inst), f.inst.version);
-    } else {
-      still_flying.push_back(f);
-    }
-  }
-  ps.inflight = std::move(still_flying);
-
-  // Greedy admission in policy-priority order (Eq. 5 criticality under the
-  // default policy), regenerating candidates after each admission so newly
-  // chainable consumers are considered. The candidate vector lives outside
-  // the loop so its capacity is reused.
-  std::vector<Candidate> cands;
-  for (;;) {
-    if (static_cast<int>(state.ops.size()) >= opts_.max_ops_per_state) break;
-    CheckCancellation();
-    candidates_.GenerateCandidates(ps, &cands);
-
-    // Admission filters: resources and clock period. The surviving argmax
-    // (with its deterministic tie-break) is the policy's Step 3 decision,
-    // attributed to select_ns.
-    const Candidate* best = nullptr;
-    {
-      const PhaseTimer select_timer(&stats_.phase.select_ns);
-      for (const Candidate& c : cands) {
-        const int t = c.fu_type;
-        const int count = alloc_.Count(t);
-        if (count != Allocation::kUnlimited) {
-          if (initiations[static_cast<std::size_t>(t)] >= count) continue;
-          if (!lib_.type(t).pipelined &&
-              active[static_cast<std::size_t>(t)] +
-                      initiations[static_cast<std::size_t>(t)] >=
-                  count) {
-            continue;
-          }
-        }
-        if (c.start_offset > 0.0) {
-          if (!opts_.clock.allow_chaining) continue;
-          if (c.latency > 1) continue;  // multi-cycle starts at a boundary
-        }
-        if (!opts_.clock.Fits(c.start_offset, c.delay)) continue;
-        if (best == nullptr || BetterCandidate(c, *best)) {
-          best = &c;
-        }
-      }
-    }
-    if (best == nullptr) break;
-
-    // Admit.
-    const InstKey key = MakeInstKey(best->node, best->iter);
-    auto& blist = ps.bindings[key];
-    const int version = static_cast<int>(blist.size());
-    Binding b;
-    b.operands = best->operands;
-    b.guard = best->guard;
-    b.guard_at_schedule = mgr_.ToString(best->guard);
-    blist.push_back(std::move(b));
-
-    initiations[static_cast<std::size_t>(best->fu_type)]++;
-
-    ScheduledOp op;
-    op.inst = InstRef{best->node, best->iter, version};
-    op.operands = best->operands;
-    op.guard = blist.back().guard_at_schedule;
-    op.fu_type = best->fu_type;
-    op.stage = 0;
-    op.start_offset_ns = best->start_offset;
-    state.ops.push_back(op);
-    stats_.total_ops++;
-    if (!mgr_.IsTrue(best->guard)) stats_.speculative_ops++;
-
-    if (best->latency == 1) {
-      // Completes this cycle: publish immediately so later admissions in
-      // this same state may chain off it.
-      blist.back().completed = true;
-      ps.available[key].push_back(
-          {version, best->start_offset + best->delay});
-      if (g_.is_control_condition(best->node)) {
-        ps.latched[key].push_back({version});
-      }
-    } else {
-      InFlight f;
-      f.inst = op.inst;
-      f.guard = best->guard;
-      f.remaining = best->latency - 1;
-      f.latency = best->latency;
-      f.fu_type = best->fu_type;
-      ps.inflight.push_back(f);
-    }
-  }
-
-  // Multi-cycle completions land at the end of this cycle.
-  for (const auto& [key, version] : completions) {
-    auto& blist = ps.bindings[key];
-    blist[static_cast<std::size_t>(version)].completed = true;
-    ps.available[key].push_back({version, 0.0});
-    if (g_.is_control_condition(
-            NodeId(key.first))) {
-      ps.latched[key].push_back({version});
-    }
-  }
-
-  // Reset chaining offsets: results are registered at the cycle boundary.
-  for (auto& [key, versions] : ps.available) {
-    for (VersionRec& v : versions) v.ready_offset = 0.0;
-  }
-}
 
 void SchedulerImpl::ComputeHardUses() {
   const std::size_t num = g_.num_nodes();
@@ -315,92 +239,7 @@ void SchedulerImpl::ComputeHardUses() {
   }
 }
 
-void SchedulerImpl::GarbageCollect(PathState& ps) {
-  // Drop versions of committed iterations whose value can no longer be
-  // consumed: every transitive hard consumer instance is either
-  // control-pruned or already covered by a binding, no exit read can still
-  // observe it, and (for condition values) the resolution has happened.
-  // Exact garbage collection is what lets steady-state signatures converge,
-  // closing the STG via the paper's relabeling map M.
-  for (auto it = ps.available.begin(); it != ps.available.end();) {
-    const InstKey key = it->first;
-    const NodeId node(key.first);
-    const int iter = key.second;
-    const Node& n = g_.node(node);
-    bool keep = true;
-    do {
-      if (!n.loop.valid()) break;  // top-level values: keep (single iter)
-      const LoopState& ls = ps.loops[n.loop.value()];
-      const int r = ls.base();
-      if (iter >= r) break;  // live frontier / exit values
-      if (g_.is_control_condition(node) && !ps.resolved.contains(key)) break;
-      const int esc = escape_delta_[node.value()];
-      // Exit read still possible (or, once exited, this value is what the
-      // exit actually observes).
-      if (esc >= 0 && iter + esc >= r) break;
-      bool needed = false;
-      for (const HardUse& use : hard_uses_[node.value()]) {
-        const int citer = iter + use.delta;
-        const Bdd ctrl = guards_.CtrlGuard(ps, use.node, citer);
-        if (mgr_.IsFalse(ctrl)) continue;
-        if (!guards_.InstanceCovered(ps, MakeInstKey(use.node, citer), ctrl,
-                                     /*require_completed=*/false)) {
-          needed = true;
-          break;
-        }
-      }
-      keep = needed;
-    } while (false);
-    it = keep ? std::next(it) : ps.available.erase(it);
-  }
-}
-
-bool SchedulerImpl::IsDone(const PathState& ps,
-                           std::vector<OutputBinding>* outputs) {
-  for (const Loop& loop : g_.loops()) {
-    if (!ps.loops[loop.id.value()].exited) return false;
-  }
-  if (!ps.inflight.empty()) return false;
-
-  for (const Node& n : g_.nodes()) {
-    if (!IsScheduledKind(n.kind)) continue;
-    int hi = 0;
-    if (n.loop.valid()) {
-      const LoopState& ls = ps.loops[n.loop.value()];
-      hi = g_.InLoopHeader(n.id) ? ls.exit_iter : ls.exit_iter - 1;
-    }
-    for (int iter = 0; iter <= hi; ++iter) {
-      const Bdd ctrl = guards_.CtrlGuard(ps, n.id, iter);
-      if (mgr_.IsFalse(ctrl)) continue;
-      if (!mgr_.IsTrue(ctrl)) return false;  // unresolved control remains
-      // Satisfied when a single completed execution's guard covers the
-      // (here, constant-true) control guard.
-      if (!guards_.InstanceCovered(ps, MakeInstKey(n.id, iter), ctrl,
-                                   /*require_completed=*/true)) {
-        return false;
-      }
-    }
-  }
-
-  outputs->clear();
-  for (NodeId out : g_.outputs()) {
-    const Node& n = g_.node(out);
-    std::vector<ResolvedVersion> vs =
-        candidates_.Versions(ps, n.inputs[0], LoopId::invalid(), 0);
-    const ResolvedVersion* chosen = nullptr;
-    for (const ResolvedVersion& v : vs) {
-      if (mgr_.IsTrue(v.guard)) {
-        chosen = &v;
-        break;
-      }
-    }
-    if (chosen == nullptr) return false;
-    outputs->push_back(OutputBinding{out, chosen->producer});
-  }
-  return true;
-}
-
-SchedulerImpl::GetResult SchedulerImpl::CreateOrGet(PathState ps) {
+SchedulerImpl::GetResult SchedulerImpl::CreateOrGet(const PathState& ps) {
   const PhaseTimer timer(&stats_.phase.closure_ns);
   if (std::optional<ClosureDetector::Hit> hit = closure_.Lookup(ps)) {
     return GetResult{hit->sid, std::move(hit->shift), /*fresh=*/false};
@@ -414,14 +253,63 @@ SchedulerImpl::GetResult SchedulerImpl::CreateOrGet(PathState ps) {
                "state cap exceeded (" << opts_.max_states
                                       << "); no closure found");
   closure_.Insert(r.sid, ps);
-  worklist_.emplace_back(r.sid, std::move(ps));
   return r;
+}
+
+void SchedulerImpl::EnqueueExpansion(StateId sid, const PathState& ps) {
+  auto item = std::make_unique<WaveItem>();
+  item->sid = sid;
+  if (!arena_pool_.empty()) {
+    // Recycled arenas are Reset() to a state indistinguishable from new
+    // (indices, orders, counters restart), just with tables pre-sized.
+    item->arena = std::move(arena_pool_.back());
+    arena_pool_.pop_back();
+  } else {
+    item->arena = std::make_unique<BranchArena>(g_);
+  }
+  item->imported_vars = static_cast<int>(guards_.var_keys().size());
+  item->ps = ImportPathState(ps, mgr_, guards_, item->arena.get());
+  WaveItem* raw = item.get();
+  frontier_.push_back(std::move(item));
+  // With zero workers Push runs the expansion inline right here — the
+  // sequential engine with the same code path.
+  pool_.Push([this, raw] {
+    ExpandWaveItem(shared_, raw);
+    {
+      std::lock_guard<std::mutex> lock(ready_mu_);
+      raw->ready = true;
+    }
+    ready_cv_.notify_all();
+  });
+}
+
+std::unique_ptr<WaveItem> SchedulerImpl::AwaitFrontierHead() {
+  std::unique_ptr<WaveItem> item = std::move(frontier_.front());
+  frontier_.pop_front();
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(ready_mu_);
+      if (item->ready) return item;
+    }
+    // Help instead of blocking: run a queued expansion on this thread.
+    // Which thread expands an item never affects its result, so helping
+    // cannot perturb determinism — and on a single-CPU host it removes the
+    // per-item context-switch pair a blocking hand-off would cost.
+    if (pool_.TryRunOne()) continue;
+    // Every queued task is taken, so the head is running on a worker right
+    // now (or just finished); sleep until it signals.
+    std::unique_lock<std::mutex> lock(ready_mu_);
+    ready_cv_.wait(lock, [&] { return item->ready; });
+    return item;
+  }
 }
 
 ScheduleResult SchedulerImpl::Run() {
   const auto run_start = std::chrono::steady_clock::now();
   lambda_ = ComputeLambda(g_, lib_);
   ComputeHardUses();
+  shared_ = WaveShared{&g_,      &lib_,       &alloc_,     &opts_,
+                       policy_.get(), &lambda_, &hard_uses_, &escape_delta_};
 
   // Speculative stores are forbidden; conditional memory accesses would make
   // the token chain control-dependent, which this scheduler does not model.
@@ -435,57 +323,50 @@ ScheduleResult SchedulerImpl::Run() {
 
   PathState initial;
   initial.loops.resize(g_.num_loops());
-  const GetResult entry = CreateOrGet(std::move(initial));
+  const GetResult entry = CreateOrGet(initial);
   stg_.set_entry(entry.sid);
+  EnqueueExpansion(entry.sid, initial);
 
-  while (!worklist_.empty()) {
+  while (!frontier_.empty()) {
     CheckCancellation();
-    auto [sid, ps] = std::move(worklist_.front());
-    worklist_.pop_front();
+    std::unique_ptr<WaveItem> item = AwaitFrontierHead();
+    // Rethrow the head's failure here, in frontier order: a later item's
+    // error never preempts an earlier item's result, so error reporting is
+    // as deterministic as success. (Cancellation/deadline are observed by
+    // every in-flight expansion independently, so abandoned runs unwind
+    // promptly; the pool destructor discards queued expansions.)
+    if (item->error != nullptr) std::rethrow_exception(item->error);
+    AccumulateStats(item->stats, &stats_);
 
-    FillState(sid, ps);
-    if (stg_.state(sid).ops.empty() && ps.inflight.empty()) {
-      std::vector<OutputBinding> outs;
-      if (!IsDone(ps, &outs)) {
-        std::vector<int> bases;
-        WS_THROW("deadlock: state "
-                 << sid.value()
-                 << " schedules nothing but work remains (check "
-                    "allocation); state: "
-                 << closure_.DebugSignature(ps, &bases));
-      }
-    }
-
-    std::vector<CondLiteral> cube;
-    std::vector<ForkEngine::Leaf> leaves;
-    {
-      const PhaseTimer timer(&stats_.phase.cofactor_ns);
-      fork_.PartitionLeaves(ps, cube, leaves, 0);
-    }
+    const StateId sid = item->sid;
+    // Replay the arena's variable mints into the main engine (fresh conds
+    // minted during expansion get their main variables here, in expansion
+    // first-touch order), then adopt the expansion's schedule.
+    const std::vector<int> to_main =
+        BindArenaVars(*item->arena, item->imported_vars, &guards_);
+    stg_.state(sid).ops = std::move(item->ops);
 
     // Merge leaves that land on the same successor (same target, same
     // relabel shift, and — for stop edges — the same output bindings).
     std::map<std::string, std::size_t> merged;  // key -> index in state.out
-    for (ForkEngine::Leaf& leaf : leaves) {
-      {
-        const PhaseTimer timer(&stats_.phase.gc_ns);
-        GarbageCollect(leaf.ps);
-      }
-      std::vector<OutputBinding> outs;
+    bool fresh_migrate = true;  // one memo epoch spans all of this item's leaves
+    for (WaveItem::LeafResult& leaf : item->leaves) {
+      MigrateToMain(*item->arena, to_main, &mgr_, &leaf.ps, &fresh_migrate);
       StateId target;
       std::vector<std::pair<LoopId, int>> shift;
-      if (IsDone(leaf.ps, &outs)) {
+      if (leaf.done) {
         target = stg_.AddStopState();
       } else {
-        const GetResult r = CreateOrGet(std::move(leaf.ps));
+        const GetResult r = CreateOrGet(leaf.ps);
         target = r.sid;
         shift = r.shift;
+        if (r.fresh) EnqueueExpansion(r.sid, leaf.ps);
       }
       std::string mkey = StrCat("t", target.value(), "/");
       for (const auto& [loop, delta] : shift) {
         mkey += StrCat(loop.value(), ":", delta, ";");
       }
-      for (const OutputBinding& ob : outs) {
+      for (const OutputBinding& ob : leaf.outputs) {
         mkey += StrCat("o", ob.output.value(), "=", ob.value.node.value(),
                        "_", ob.value.iter, ".", ob.value.version, ";");
       }
@@ -493,23 +374,30 @@ ScheduleResult SchedulerImpl::Run() {
       // source state must be re-fetched on every use.
       auto mit = merged.find(mkey);
       if (mit != merged.end()) {
-        stg_.state(sid).out[mit->second].cubes.push_back(leaf.cube);
+        stg_.state(sid).out[mit->second].cubes.push_back(
+            std::move(leaf.cube));
       } else {
         Transition t;
         t.from = sid;
         t.to = target;
-        t.cubes.push_back(leaf.cube);
+        t.cubes.push_back(std::move(leaf.cube));
         t.iter_shift = shift;
-        t.outputs = std::move(outs);
+        t.outputs = std::move(leaf.outputs);
         merged.emplace(mkey, stg_.state(sid).out.size());
         stg_.state(sid).out.push_back(std::move(t));
       }
     }
+
+    // This item is fully committed (its leaves hold main-manager handles
+    // now); recycle the arena for a later frontier state.
+    item->arena->Reset();
+    arena_pool_.push_back(std::move(item->arena));
   }
 
   stg_.Validate();
-  stats_.bdd_ops = mgr_.num_ops();
-  stats_.bdd_nodes = mgr_.num_nodes();
+  // Main-manager totals on top of the per-arena counts accumulated above.
+  stats_.bdd_ops += mgr_.num_ops();
+  stats_.bdd_nodes += mgr_.num_nodes();
   stats_.phase.total_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - run_start)
@@ -541,6 +429,12 @@ Status SchedulerOptions::Validate() const {
         StatusCode::kInvalidArgument,
         StrCat("SchedulerOptions: max_ops_per_state must be >= 1, got ",
                max_ops_per_state));
+  }
+  if (wave_workers < 0) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        StrCat("SchedulerOptions: wave_workers must be >= 0, got ",
+               wave_workers));
   }
   if (!(clock.period_ns > 0.0)) {
     return Status::MakeError(

@@ -77,6 +77,16 @@ struct SchedulerOptions {
   int max_states = 2000;
   int max_ops_per_state = 256;
 
+  // Worker threads for the intra-run wave loop: frontier states expand in
+  // parallel on a work-stealing pool, each in its own BDD sub-arena, while
+  // closure detection and state numbering stay on the calling thread in
+  // frontier order. 0 = expand inline on the calling thread (the sequential
+  // engine — identical code path minus the threads). Never result-affecting:
+  // the STG, stats counters, and report bytes are byte-identical at any
+  // setting (enforced by parallel_wave_test), so like deadline/cancel below
+  // the field is excluded from request fingerprints.
+  int wave_workers = 0;
+
   // Cooperative cancellation, checked between worklist states and candidate
   // passes (millisecond granularity on the paper suite). When the deadline
   // passes, Schedule returns a kDeadlineExceeded Status — never a
@@ -156,11 +166,6 @@ using ScheduleResult = ScheduleReport;
 // that want the historical throwing behavior chain .value(), which raises
 // ws::Error with the same message.
 Result<ScheduleReport> Schedule(const ScheduleRequest& request);
-
-[[deprecated("call Schedule(const ScheduleRequest&)")]]
-inline Result<ScheduleReport> ScheduleOrError(const ScheduleRequest& request) {
-  return Schedule(request);
-}
 
 }  // namespace ws
 

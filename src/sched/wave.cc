@@ -1,0 +1,417 @@
+#include "sched/wave.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "base/phase_timer.h"
+#include "base/status.h"
+#include "sched/candidates.h"
+#include "sched/closure.h"
+#include "sched/fork.h"
+
+namespace ws {
+namespace {
+
+// One expansion's working set: the engine layers instantiated over the
+// item's private sub-arena. Construction is cheap relative to an expansion
+// (the layers are reference bundles plus small scratch vectors).
+class WaveExpander {
+ public:
+  WaveExpander(const WaveShared& shared, BranchArena& arena,
+               ScheduleStats& stats)
+      : g_(*shared.g),
+        lib_(*shared.lib),
+        alloc_(*shared.alloc),
+        opts_(*shared.opts),
+        hard_uses_(*shared.hard_uses),
+        escape_delta_(*shared.escape_delta),
+        mgr_(arena.mgr),
+        guards_(arena.guards),
+        stats_(stats),
+        candidates_(g_, lib_, opts_, mgr_, guards_, *shared.policy,
+                    *shared.lambda, stats_),
+        fork_(g_, mgr_, guards_, stats_) {}
+
+  void Expand(WaveItem* item);
+
+ private:
+  void CheckCancellation() const {
+    if (opts_.cancel != nullptr &&
+        opts_.cancel->load(std::memory_order_relaxed)) {
+      throw CancelledError("schedule cancelled by caller");
+    }
+    if (opts_.deadline.has_value() &&
+        std::chrono::steady_clock::now() >= *opts_.deadline) {
+      throw DeadlineExceededError("schedule deadline exceeded");
+    }
+  }
+
+  void FillState(PathState& ps, std::vector<ScheduledOp>* ops);
+  void GarbageCollect(PathState& ps);
+  bool IsDone(const PathState& ps, std::vector<OutputBinding>* outputs);
+
+  const Cdfg& g_;
+  const FuLibrary& lib_;
+  const Allocation& alloc_;
+  const SchedulerOptions& opts_;
+  const std::vector<std::vector<HardUse>>& hard_uses_;
+  const std::vector<int>& escape_delta_;
+
+  BddManager& mgr_;
+  GuardEngine& guards_;
+  ScheduleStats& stats_;
+  CandidateGenerator candidates_;
+  ForkEngine fork_;
+};
+
+void WaveExpander::FillState(PathState& ps, std::vector<ScheduledOp>* ops) {
+  // Resource occupancy for this cycle.
+  std::vector<int> initiations(static_cast<std::size_t>(lib_.num_types()), 0);
+  std::vector<int> active(static_cast<std::size_t>(lib_.num_types()), 0);
+
+  // Place continuations of in-flight multi-cycle operations.
+  std::vector<InFlight> still_flying;
+  std::vector<std::pair<InstKey, int>> completions;  // (key, version)
+  for (InFlight& f : ps.inflight) {
+    ScheduledOp op;
+    op.inst = f.inst;
+    op.guard = *ps.bindings.at(MakeInstKey(f.inst))
+                    [static_cast<std::size_t>(f.inst.version)]
+                        .guard_at_schedule;
+    op.fu_type = f.fu_type;
+    op.stage = f.latency - f.remaining;
+    ops->push_back(op);
+    if (!lib_.type(f.fu_type).pipelined) {
+      active[static_cast<std::size_t>(f.fu_type)]++;
+    }
+    if (--f.remaining == 0) {
+      completions.emplace_back(MakeInstKey(f.inst), f.inst.version);
+    } else {
+      still_flying.push_back(f);
+    }
+  }
+  ps.inflight = std::move(still_flying);
+
+  // Greedy admission in policy-priority order (Eq. 5 criticality under the
+  // default policy), regenerating candidates after each admission so newly
+  // chainable consumers are considered. The candidate vector lives outside
+  // the loop so its capacity is reused.
+  std::vector<Candidate> cands;
+  for (;;) {
+    if (static_cast<int>(ops->size()) >= opts_.max_ops_per_state) break;
+    CheckCancellation();
+    candidates_.GenerateCandidates(ps, &cands);
+
+    // Admission filters: resources and clock period. The surviving argmax
+    // (with its deterministic tie-break) is the policy's Step 3 decision,
+    // attributed to select_ns.
+    const Candidate* best = nullptr;
+    {
+      const PhaseTimer select_timer(&stats_.phase.select_ns);
+      for (const Candidate& c : cands) {
+        const int t = c.fu_type;
+        const int count = alloc_.Count(t);
+        if (count != Allocation::kUnlimited) {
+          if (initiations[static_cast<std::size_t>(t)] >= count) continue;
+          if (!lib_.type(t).pipelined &&
+              active[static_cast<std::size_t>(t)] +
+                      initiations[static_cast<std::size_t>(t)] >=
+                  count) {
+            continue;
+          }
+        }
+        if (c.start_offset > 0.0) {
+          if (!opts_.clock.allow_chaining) continue;
+          if (c.latency > 1) continue;  // multi-cycle starts at a boundary
+        }
+        if (!opts_.clock.Fits(c.start_offset, c.delay)) continue;
+        if (best == nullptr || BetterCandidate(c, *best)) {
+          best = &c;
+        }
+      }
+    }
+    if (best == nullptr) break;
+
+    // Admit.
+    const InstKey key = MakeInstKey(best->node, best->iter);
+    auto& blist = ps.bindings.Mutable(key);
+    const int version = static_cast<int>(blist.size());
+    Binding b;
+    b.operands = best->operands;
+    b.guard = best->guard;
+    b.guard_at_schedule =
+        std::make_shared<const std::string>(mgr_.ToString(best->guard));
+    blist.push_back(std::move(b));
+
+    initiations[static_cast<std::size_t>(best->fu_type)]++;
+
+    ScheduledOp op;
+    op.inst = InstRef{best->node, best->iter, version};
+    op.operands = best->operands;
+    op.guard = *blist.back().guard_at_schedule;
+    op.fu_type = best->fu_type;
+    op.stage = 0;
+    op.start_offset_ns = best->start_offset;
+    ops->push_back(op);
+    stats_.total_ops++;
+    if (!mgr_.IsTrue(best->guard)) stats_.speculative_ops++;
+
+    if (best->latency == 1) {
+      // Completes this cycle: publish immediately so later admissions in
+      // this same state may chain off it.
+      blist.back().completed = true;
+      ps.available.Mutable(key).push_back(
+          {version, best->start_offset + best->delay});
+      if (g_.is_control_condition(best->node)) {
+        ps.latched.Mutable(key).push_back({version});
+      }
+    } else {
+      InFlight f;
+      f.inst = op.inst;
+      f.guard = best->guard;
+      f.remaining = best->latency - 1;
+      f.latency = best->latency;
+      f.fu_type = best->fu_type;
+      ps.inflight.push_back(f);
+    }
+  }
+
+  // Multi-cycle completions land at the end of this cycle.
+  for (const auto& [key, version] : completions) {
+    auto& blist = ps.bindings.Mutable(key);
+    blist[static_cast<std::size_t>(version)].completed = true;
+    ps.available.Mutable(key).push_back({version, 0.0});
+    if (g_.is_control_condition(NodeId(key.first))) {
+      ps.latched.Mutable(key).push_back({version});
+    }
+  }
+
+  // Reset chaining offsets: results are registered at the cycle boundary.
+  // Two-phase over the COW table — copy up only the lists with a nonzero
+  // offset (typically just the versions published this cycle).
+  std::vector<InstKey> to_reset;
+  for (const auto& [key, versions] : ps.available) {
+    for (const VersionRec& v : versions) {
+      if (v.ready_offset != 0.0) {
+        to_reset.push_back(key);
+        break;
+      }
+    }
+  }
+  for (const InstKey& key : to_reset) {
+    for (VersionRec& v : ps.available.Mutable(key)) v.ready_offset = 0.0;
+  }
+}
+
+void WaveExpander::GarbageCollect(PathState& ps) {
+  // Drop versions of committed iterations whose value can no longer be
+  // consumed: every transitive hard consumer instance is either
+  // control-pruned or already covered by a binding, no exit read can still
+  // observe it, and (for condition values) the resolution has happened.
+  // Exact garbage collection is what lets steady-state signatures converge,
+  // closing the STG via the paper's relabeling map M.
+  std::vector<InstKey> doomed;
+  for (const auto& [key, versions] : ps.available) {
+    const NodeId node(key.first);
+    const int iter = key.second;
+    const Node& n = g_.node(node);
+    bool keep = true;
+    do {
+      if (!n.loop.valid()) break;  // top-level values: keep (single iter)
+      const LoopState& ls = ps.loops[n.loop.value()];
+      const int r = ls.base();
+      if (iter >= r) break;  // live frontier / exit values
+      if (g_.is_control_condition(node) && !ps.resolved.contains(key)) break;
+      const int esc = escape_delta_[node.value()];
+      // Exit read still possible (or, once exited, this value is what the
+      // exit actually observes).
+      if (esc >= 0 && iter + esc >= r) break;
+      bool needed = false;
+      for (const HardUse& use : hard_uses_[node.value()]) {
+        const int citer = iter + use.delta;
+        const Bdd ctrl = guards_.CtrlGuard(ps, use.node, citer);
+        if (mgr_.IsFalse(ctrl)) continue;
+        if (!guards_.InstanceCovered(ps, MakeInstKey(use.node, citer), ctrl,
+                                     /*require_completed=*/false)) {
+          needed = true;
+          break;
+        }
+      }
+      keep = needed;
+    } while (false);
+    if (!keep) doomed.push_back(key);
+  }
+  for (const InstKey& key : doomed) ps.available.Erase(key);
+}
+
+bool WaveExpander::IsDone(const PathState& ps,
+                          std::vector<OutputBinding>* outputs) {
+  for (const Loop& loop : g_.loops()) {
+    if (!ps.loops[loop.id.value()].exited) return false;
+  }
+  if (!ps.inflight.empty()) return false;
+
+  for (const Node& n : g_.nodes()) {
+    if (!IsScheduledKind(n.kind)) continue;
+    int hi = 0;
+    if (n.loop.valid()) {
+      const LoopState& ls = ps.loops[n.loop.value()];
+      hi = g_.InLoopHeader(n.id) ? ls.exit_iter : ls.exit_iter - 1;
+    }
+    for (int iter = 0; iter <= hi; ++iter) {
+      const Bdd ctrl = guards_.CtrlGuard(ps, n.id, iter);
+      if (mgr_.IsFalse(ctrl)) continue;
+      if (!mgr_.IsTrue(ctrl)) return false;  // unresolved control remains
+      // Satisfied when a single completed execution's guard covers the
+      // (here, constant-true) control guard.
+      if (!guards_.InstanceCovered(ps, MakeInstKey(n.id, iter), ctrl,
+                                   /*require_completed=*/true)) {
+        return false;
+      }
+    }
+  }
+
+  outputs->clear();
+  for (NodeId out : g_.outputs()) {
+    const Node& n = g_.node(out);
+    std::vector<ResolvedVersion> vs =
+        candidates_.Versions(ps, n.inputs[0], LoopId::invalid(), 0);
+    const ResolvedVersion* chosen = nullptr;
+    for (const ResolvedVersion& v : vs) {
+      if (mgr_.IsTrue(v.guard)) {
+        chosen = &v;
+        break;
+      }
+    }
+    if (chosen == nullptr) return false;
+    outputs->push_back(OutputBinding{out, chosen->producer});
+  }
+  return true;
+}
+
+void WaveExpander::Expand(WaveItem* item) {
+  // Flatten the COW overlays accumulated by the parent's fork: siblings
+  // were copied when this item was created, so compaction is free of
+  // sharing loss, and this branch's own fork tree starts from clean bases.
+  item->ps.Compact();
+
+  FillState(item->ps, &item->ops);
+  if (item->ops.empty() && item->ps.inflight.empty()) {
+    std::vector<OutputBinding> outs;
+    if (!IsDone(item->ps, &outs)) {
+      // Deadlock diagnostics: an arena-local detector renders the state
+      // (DebugSignature never feeds results back into scheduling).
+      ClosureDetector diag(g_, mgr_, guards_, stats_);
+      std::vector<int> bases;
+      WS_THROW("deadlock: state "
+               << item->sid.value()
+               << " schedules nothing but work remains (check "
+                  "allocation); state: "
+               << diag.DebugSignature(item->ps, &bases));
+    }
+  }
+
+  std::vector<CondLiteral> cube;
+  std::vector<ForkEngine::Leaf> leaves;
+  {
+    const PhaseTimer timer(&stats_.phase.cofactor_ns);
+    fork_.PartitionLeaves(item->ps, cube, leaves, 0);
+  }
+
+  item->leaves.reserve(leaves.size());
+  for (ForkEngine::Leaf& leaf : leaves) {
+    {
+      const PhaseTimer timer(&stats_.phase.gc_ns);
+      GarbageCollect(leaf.ps);
+    }
+    WaveItem::LeafResult result;
+    result.cube = std::move(leaf.cube);
+    result.done = IsDone(leaf.ps, &result.outputs);
+    result.ps = std::move(leaf.ps);
+    item->leaves.push_back(std::move(result));
+  }
+}
+
+}  // namespace
+
+void ExpandWaveItem(const WaveShared& shared, WaveItem* item) {
+  try {
+    WaveExpander expander(shared, *item->arena, item->stats);
+    expander.Expand(item);
+    // Arena totals, accumulated into the run's stats at commit.
+    item->stats.bdd_ops = item->arena->mgr.num_ops();
+    item->stats.bdd_nodes = item->arena->mgr.num_nodes();
+  } catch (...) {
+    item->error = std::current_exception();
+  }
+}
+
+PathState ImportPathState(const PathState& main_ps, const BddManager& main_mgr,
+                          const GuardEngine& main_guards, BranchArena* arena) {
+  // Identity import: adopt the entire main registry in order, so arena
+  // variable v is main variable v. Relative variable order is then
+  // trivially preserved for every stored guard (the wave.h discipline), and
+  // migration degenerates to a structural copy — no support computation, no
+  // ITE rebuild.
+  arena->guards.MintFrom(main_guards, main_mgr);
+
+  PathState out = main_ps;
+  bool fresh = true;
+  auto copy = [&](Bdd f) {
+    const Bdd r = arena->mgr.Copy(main_mgr, f, fresh);
+    fresh = false;
+    return r;
+  };
+  // Bindings and in-flight records are the only PathState members holding
+  // Bdds. Every binding list carries guards, so the whole table is rebuilt
+  // as a fresh base block (ascending hinted inserts) rather than churned
+  // through the COW overlay.
+  CowMap<InstKey, std::vector<Binding>>::base_map bindings;
+  for (const auto& [key, blist] : main_ps.bindings) {
+    std::vector<Binding>& rebuilt =
+        bindings.emplace_hint(bindings.end(), key, blist)->second;
+    for (Binding& b : rebuilt) b.guard = copy(b.guard);
+  }
+  out.bindings.Rebase(std::move(bindings));
+  for (InFlight& f : out.inflight) f.guard = copy(f.guard);
+  return out;
+}
+
+std::vector<int> BindArenaVars(const BranchArena& arena, int imported_vars,
+                               GuardEngine* main_guards) {
+  const std::vector<InstKey>& keys = arena.guards.var_keys();
+  std::vector<int> to_main(keys.size(), -1);
+  for (std::size_t v = 0; v < keys.size(); ++v) {
+    if (v < static_cast<std::size_t>(imported_vars)) {
+      // Identity prefix: the import adopted main's registry in order, and
+      // main variables are never renumbered.
+      to_main[v] = static_cast<int>(v);
+      continue;
+    }
+    // Replay expansion-minted variables in arena order: instances another
+    // item committed meanwhile resolve to their existing main variables,
+    // genuinely fresh ones mint in first-touch order.
+    to_main[v] = main_guards->CondVar(NodeId(keys[v].first), keys[v].second);
+  }
+  return to_main;
+}
+
+void MigrateToMain(const BranchArena& arena, const std::vector<int>& to_main,
+                   BddManager* main, PathState* ps, bool* fresh) {
+  auto migrate = [&](Bdd f) {
+    const Bdd r = main->Migrate(arena.mgr, f, to_main, *fresh);
+    *fresh = false;
+    return r;
+  };
+  CowMap<InstKey, std::vector<Binding>>::base_map bindings;
+  for (const auto& [key, blist] : ps->bindings) {
+    std::vector<Binding>& rebuilt =
+        bindings.emplace_hint(bindings.end(), key, blist)->second;
+    for (Binding& b : rebuilt) b.guard = migrate(b.guard);
+  }
+  ps->bindings.Rebase(std::move(bindings));
+  for (InFlight& f : ps->inflight) f.guard = migrate(f.guard);
+}
+
+}  // namespace ws

@@ -1,0 +1,149 @@
+// The parallel wave loop's expansion side: everything a frontier state needs
+// to be scheduled, forked, and garbage-collected *without touching shared
+// engine structures*.
+//
+// The scheduler splits each worklist iteration into two halves:
+//
+//   expand  (any worker thread)   FillState -> PartitionLeaves -> GC/IsDone,
+//                                 entirely inside a per-branch BDD sub-arena;
+//   commit  (the Schedule caller) guard migration into the main manager,
+//                                 closure lookup, state numbering, transition
+//                                 construction — in strict frontier order.
+//
+// An expansion is a pure function of the WaveItem built at commit time (its
+// imported PathState plus the read-only WaveShared inputs): it mints
+// condition variables in its own arena, runs the same greedy admission and
+// fork logic as the sequential engine, and never reads another branch's
+// data. That is the whole determinism argument — parallelism changes *when*
+// expansions run, never *what* they compute, and the commit order is the
+// sequential worklist order by construction. See DESIGN.md §9.
+//
+// Variable-order discipline (what makes arena results equal to main-manager
+// results): ImportPathState adopts the main registry wholesale, so arena
+// variable v *is* main variable v — stored guards migrate by structural
+// copy (BddManager::Copy) with their relative variable order trivially
+// preserved. New variables minted during expansion land after the imports
+// in first-touch order, and BindArenaVars replays exactly that order into
+// the main engine at commit. ROBDDs, rendered guard strings, and
+// probability sums are therefore identical to the sequential engine's.
+#ifndef WS_SCHED_WAVE_H
+#define WS_SCHED_WAVE_H
+
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "cdfg/cdfg.h"
+#include "hw/resources.h"
+#include "sched/engine_state.h"
+#include "sched/guards.h"
+#include "sched/policy.h"
+#include "sched/scheduler.h"
+#include "stg/stg.h"
+
+namespace ws {
+
+// A hard consumer of a value instance: `node` reads the value produced
+// `delta` iterations earlier. Precomputed once per run (see
+// ComputeHardUses in scheduler.cc), read by every expansion's GC.
+struct HardUse {
+  NodeId node;
+  int delta;
+};
+
+// A per-branch BDD sub-arena: a private manager plus the guard engine that
+// mints condition variables in it. Workers operate exclusively on their
+// item's arena, so they never contend on the main unique/ITE tables.
+struct BranchArena {
+  BddManager mgr;
+  GuardEngine guards;
+
+  explicit BranchArena(const Cdfg& g) : guards(g, mgr) {}
+
+  // Returns the arena to a fresh state, keeping the flat tables' capacity.
+  // The scheduler pools arenas across frontier states; a recycled arena is
+  // indistinguishable from a new one (indices, orders, counters all
+  // restart), so pooling cannot perturb results.
+  void Reset() {
+    mgr.Reset();
+    guards.Reset();
+  }
+};
+
+// The read-only inputs every expansion shares. All pointers are borrowed
+// from the scheduler for the duration of the run; nothing behind them is
+// mutated while workers are live.
+struct WaveShared {
+  const Cdfg* g = nullptr;
+  const FuLibrary* lib = nullptr;
+  const Allocation* alloc = nullptr;
+  const SchedulerOptions* opts = nullptr;
+  const SelectionPolicyImpl* policy = nullptr;
+  const std::vector<double>* lambda = nullptr;
+  const std::vector<std::vector<HardUse>>* hard_uses = nullptr;
+  const std::vector<int>* escape_delta = nullptr;
+};
+
+// One frontier entry: a fresh STG state with its private sub-arena, plus
+// the slots its expansion fills. The commit loop builds the input half,
+// hands the item to a worker, and consumes the result half strictly in
+// frontier (FIFO) order once `ready` flips.
+struct WaveItem {
+  // --- Inputs (built at commit time) --------------------------------------
+  StateId sid;
+  std::unique_ptr<BranchArena> arena;
+  PathState ps;        // guard handles owned by *arena
+  int imported_vars = 0;  // main variable count at import (identity prefix)
+
+  // --- Results (written by the expansion worker) --------------------------
+  struct LeafResult {
+    std::vector<CondLiteral> cube;
+    PathState ps;  // arena handles; migrated to the main manager at commit
+    bool done = false;
+    std::vector<OutputBinding> outputs;  // valid when done
+  };
+  std::vector<ScheduledOp> ops;   // this state's schedule
+  std::vector<LeafResult> leaves;
+  ScheduleStats stats;            // expansion-local counters/timers
+  std::exception_ptr error;       // set instead of results on failure
+
+  // Completion flag, guarded by the scheduler's frontier mutex.
+  bool ready = false;
+};
+
+// Expands one frontier state entirely inside its branch arena: greedy
+// candidate admission, fork-tree partitioning, per-leaf GC and termination
+// detection. Captures any exception (including cancellation/deadline, which
+// each expansion observes independently through shared.opts) into
+// item->error; never throws.
+void ExpandWaveItem(const WaveShared& shared, WaveItem* item);
+
+// Builds a frontier item's sub-arena state from a main-manager PathState:
+// adopts the whole main variable registry (arena variable v == main
+// variable v), then copies every stored guard structurally. The fresh base
+// blocks it installs also mean the expansion starts from fully-compacted
+// COW tables.
+PathState ImportPathState(const PathState& main_ps, const BddManager& main_mgr,
+                          const GuardEngine& main_guards, BranchArena* arena);
+
+// Replays the arena's variable mints into the main guard engine and returns
+// the dense arena -> main variable map for Migrate. The first
+// `imported_vars` entries are the identity by the import discipline; only
+// expansion-minted variables resolve through the main engine (fresh ones
+// mint in expansion first-touch order — exactly when the sequential engine
+// would have minted them).
+std::vector<int> BindArenaVars(const BranchArena& arena, int imported_vars,
+                               GuardEngine* main_guards);
+
+// Rewrites every guard handle in `ps` (arena handles) into `main`. `fresh`
+// spans one item's commit: the first leaf starts the migration memo epoch,
+// later leaves of the same item reuse it (same source arena, same map —
+// sibling leaves share most guards through the COW tables, so their
+// migrations are memo hits).
+void MigrateToMain(const BranchArena& arena, const std::vector<int>& to_main,
+                   BddManager* main, PathState* ps, bool* fresh);
+
+}  // namespace ws
+
+#endif  // WS_SCHED_WAVE_H

@@ -264,6 +264,7 @@ void ServeDispatcher::Execute(Shard* shard, Job job) {
     if (!computed) {
       ExploreSpec spec = job.request.ToSpec();
       spec.base_options.deadline = deadline;
+      spec.base_options.wave_workers = options_.wave_workers;
       sched_runs_->Increment();
       const ExploreRun run =
           RunBenchmarkCell(spec, job.bench, job.allocation,

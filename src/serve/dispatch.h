@@ -117,6 +117,11 @@ struct DispatcherOptions {
   // are shed with kOverloaded.
   int max_queue = 64;
   std::size_t cache_capacity = 256;  // total LRU entries; 0 disables
+  // Intra-run wave-loop threads given to every scheduling run
+  // (SchedulerOptions::wave_workers). A server-side execution hint, never
+  // part of the wire protocol or any fingerprint: results are
+  // byte-identical at any setting, so cache and store keys are unaffected.
+  int wave_workers = 0;
   // Durable write-through store; borrowed, may be null. Must outlive the
   // dispatcher.
   ArtifactStore* store = nullptr;

@@ -48,6 +48,12 @@ Status ServerOptions::Validate() const {
         StatusCode::kInvalidArgument,
         StrCat("ServerOptions: max_queue must be >= 1, got ", max_queue));
   }
+  if (wave_workers < 0) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        StrCat("ServerOptions: wave_workers must be >= 0, got ",
+               wave_workers));
+  }
   return Status::Ok();
 }
 
@@ -100,6 +106,7 @@ Status ServeServer::Start() {
   dispatch_options.workers = options_.workers;
   dispatch_options.max_queue = options_.max_queue;
   dispatch_options.cache_capacity = options_.cache_capacity;
+  dispatch_options.wave_workers = options_.wave_workers;
   dispatch_options.store = store_.get();
   dispatcher_ =
       std::make_unique<ServeDispatcher>(dispatch_options, &metrics_);

@@ -68,6 +68,10 @@ struct ServerOptions {
   int workers = 4;             // total worker threads across all shards
   int max_queue = 64;          // admitted-but-unfinished request cap
   std::size_t cache_capacity = 256;  // LRU entries; 0 disables the cache
+  // Intra-run wave-loop threads per scheduling run (0 = expand inline).
+  // An execution hint only — results, cache keys and store keys are
+  // byte-identical at any setting — so it never enters the wire protocol.
+  int wave_workers = 0;
 
   // Durable artifact store directory (io/artifact_store.h); empty disables.
   // On Start() the in-memory cache is warm-started from the store (recency

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "base/strings.h"
@@ -67,9 +68,13 @@ Result<std::string> RenderBenchJson(const BenchJsonOptions& options) {
       Cell cell;
       cell.benchmark = name;
       cell.mode = SpeculationModeName(mode);
+      SchedulerOptions sched_options;
+      sched_options.mode = mode;
+      sched_options.lookahead = b.value().lookahead;
+      sched_options.wave_workers = options.wave_workers;
       for (int rep = 0; rep < options.repetitions; ++rep) {
         const std::int64_t start = NowNs();
-        Result<ScheduleReport> r = ScheduleBenchmark(b.value(), mode);
+        Result<ScheduleReport> r = ScheduleBenchmark(b.value(), sched_options);
         const std::int64_t elapsed = NowNs() - start;
         if (!r.ok()) return r.status();
         if (rep == 0 || elapsed < cell.wall_ns_min) {
@@ -89,7 +94,9 @@ Result<std::string> RenderBenchJson(const BenchJsonOptions& options) {
      << "  \"config\": {\n"
      << "    \"repetitions\": " << options.repetitions << ",\n"
      << "    \"num_stimuli\": " << options.num_stimuli << ",\n"
-     << "    \"seed\": " << options.seed << "\n"
+     << "    \"seed\": " << options.seed << ",\n"
+     << "    \"wave_workers\": " << options.wave_workers << ",\n"
+     << "    \"cpus\": " << std::thread::hardware_concurrency() << "\n"
      << "  },\n"
      << "  \"runs\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {

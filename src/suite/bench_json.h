@@ -26,6 +26,12 @@ struct BenchJsonOptions {
   // but part of the Benchmark bundle).
   int num_stimuli = 2;
   std::uint64_t seed = 7;
+  // Intra-run wave-loop threads handed to every timed Schedule call
+  // (SchedulerOptions::wave_workers). Recorded in the document's config
+  // block: a timing delta only means something when compared at the same
+  // worker count. Results are byte-identical at any setting, so the stats
+  // counters never move with this knob — only the wall times do.
+  int wave_workers = 0;
   // Free-form tag recorded in the document, e.g. "baseline" or a git SHA.
   std::string label = "current";
 };

@@ -76,14 +76,14 @@ struct Harness {
     ps.loops.resize(f.graph.num_loops());
     ps.loops[f.loop.value()].next_unresolved = iter;
     for (int k = 0; k < iter; ++k) {
-      ps.resolved[MakeInstKey(f.cond, k)] = true;
-      ps.bindings[MakeInstKey(f.cond, k)] = {MakeBinding(mgr.True(), true)};
-      ps.bindings[MakeInstKey(f.body, k)] = {MakeBinding(mgr.True(), true)};
+      ps.resolved.Mutable(MakeInstKey(f.cond, k)) = true;
+      ps.bindings.Mutable(MakeInstKey(f.cond, k)) = {MakeBinding(mgr.True(), true)};
+      ps.bindings.Mutable(MakeInstKey(f.body, k)) = {MakeBinding(mgr.True(), true)};
     }
     // Current iteration's condition evaluation is committed work too.
-    ps.bindings[MakeInstKey(f.cond, iter)] = {MakeBinding(mgr.True(), true)};
+    ps.bindings.Mutable(MakeInstKey(f.cond, iter)) = {MakeBinding(mgr.True(), true)};
     const Bdd ci = mgr.Var(guards.CondVar(f.cond, iter));
-    ps.bindings[MakeInstKey(f.body, iter)] = {MakeBinding(ci, false)};
+    ps.bindings.Mutable(MakeInstKey(f.body, iter)) = {MakeBinding(ci, false)};
     return ps;
   }
 };
@@ -142,13 +142,13 @@ TEST(ClosureDetectorTest, StructuralDifferencesDoNotFold) {
 
   // Negated in-flight guard: same keys, different Boolean function.
   PathState negated = h.FrontAtIteration(1);
-  negated.bindings[MakeInstKey(h.f.body, 1)] = {h.MakeBinding(
+  negated.bindings.Mutable(MakeInstKey(h.f.body, 1)) = {h.MakeBinding(
       h.mgr.NotVar(h.guards.CondVar(h.f.cond, 1)), false)};
   EXPECT_FALSE(h.closure.Lookup(negated).has_value());
 
   // Completed-instead-of-in-flight execution: same guard, different status.
   PathState completed = h.FrontAtIteration(1);
-  completed.bindings[MakeInstKey(h.f.body, 1)] = {h.MakeBinding(
+  completed.bindings.Mutable(MakeInstKey(h.f.body, 1)) = {h.MakeBinding(
       h.mgr.Var(h.guards.CondVar(h.f.cond, 1)), true)};
   EXPECT_FALSE(h.closure.Lookup(completed).has_value());
 
@@ -173,7 +173,7 @@ TEST(ClosureDetectorTest, PendingObligationsBlockFolding) {
   // committed region still owes work, which the pending section must keep
   // visible (merging the two would drop the obligation).
   PathState owing = h.FrontAtIteration(1);
-  owing.bindings.erase(MakeInstKey(h.f.body, 0));
+  owing.bindings.Erase(MakeInstKey(h.f.body, 0));
   EXPECT_FALSE(h.closure.Lookup(owing).has_value());
 }
 

@@ -76,7 +76,7 @@ TEST(GuardEngineTest, ResolvedCondLitsAreConstants) {
   GuardEngine guards(f.graph, mgr);
   PathState ps = f.FreshState();
 
-  ps.resolved[MakeInstKey(f.cond, 0)] = true;
+  ps.resolved.Mutable(MakeInstKey(f.cond, 0)) = true;
   EXPECT_TRUE(mgr.IsTrue(guards.CondLit(ps, f.cond, 0, true)));
   EXPECT_TRUE(mgr.IsFalse(guards.CondLit(ps, f.cond, 0, false)));
 
@@ -202,14 +202,14 @@ TEST(GuardEngineTest, InstanceCoverageNeedsASingleCoveringBinding) {
   Binding hi;
   hi.guard = mgr.And(c0, mgr.Not(c1));
   hi.completed = true;
-  ps.bindings[key] = {lo, hi};
+  ps.bindings.Mutable(key) = {lo, hi};
   EXPECT_FALSE(guards.InstanceCovered(ps, key, c0, /*require_completed=*/true));
 
   // One binding whose validity guard covers the control guard qualifies.
   Binding full;
   full.guard = c0;
   full.completed = false;
-  ps.bindings[key].push_back(full);
+  ps.bindings.Mutable(key).push_back(full);
   EXPECT_TRUE(guards.InstanceCovered(ps, key, c0, /*require_completed=*/false));
   // ...but not when completion is required and it is still in flight.
   EXPECT_FALSE(guards.InstanceCovered(ps, key, c0, /*require_completed=*/true));

@@ -1,0 +1,120 @@
+// Standalone (non-gtest) fork-storm stress for the parallel wave loop: a
+// synthetic design whose every state boundary resolves a stack of
+// independent conditions, so one commit fans dozens of fresh branches into
+// the work-stealing pool at once — per-branch BDD sub-arenas, COW PathState
+// paging, and the migrate-at-commit path all under maximum sibling
+// pressure. Output bytes must match the inline engine at every worker
+// count. Used directly as a smoke test and as a workload of the TSan/ASan
+// sub-builds (tests/run_tsan_check.cmake), where the pool's
+// synchronization and the arenas' isolation are what is actually under
+// test.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "cdfg/builder.h"
+#include "hw/resources.h"
+#include "io/codec.h"
+#include "sched/scheduler.h"
+#include "suite/benchmarks.h"
+
+namespace {
+
+using namespace ws;
+
+// `depth` chained compare/branch/join stages over fresh inputs: with
+// unlimited units every comparison issues immediately, so the first state
+// boundary resolves up to `depth` conditions at once and the STG forks into
+// 2^depth sibling branches — the widest frontier one commit can produce.
+Cdfg BuildForkStorm(int depth) {
+  CdfgBuilder b("fork_storm");
+  std::vector<NodeId> in;
+  for (int i = 0; i <= depth; ++i) in.push_back(b.Input(StrCat("x", i)));
+  NodeId acc = in[0];
+  for (int d = 0; d < depth; ++d) {
+    const NodeId c = b.Op(OpKind::kGt, StrCat("c", d), {acc, in[d + 1]});
+    b.SetProbability(c, 0.25 + 0.05 * d);
+    b.BeginIf(c);
+    const NodeId t = b.Op(OpKind::kAdd, StrCat("t", d), {acc, in[d + 1]});
+    b.BeginElse();
+    const NodeId e = b.Op(OpKind::kSub, StrCat("e", d), {acc, in[d + 1]});
+    b.EndIf();
+    acc = b.Select(StrCat("j", d), c, t, e);
+  }
+  b.Output("out", acc);
+  return b.Finish();
+}
+
+std::string Digest(const ScheduleReport& report) {
+  return StrCat(EncodeStg(report.stg), "#", report.stats.states_created, "|",
+                report.stats.closure_hits, "|", report.stats.speculative_ops,
+                "|", report.stats.squashed_ops, "|", report.stats.total_ops,
+                "|", report.stats.candidates_generated, "|",
+                report.stats.bdd_ops, "|", report.stats.bdd_nodes);
+}
+
+// Schedules the request at workers {0, 1, 4}; returns false (and prints)
+// unless every run succeeds with identical bytes.
+bool CheckInvariant(const char* label, ScheduleRequest request) {
+  std::string golden;
+  for (const int workers : {0, 1, 4}) {
+    request.options.wave_workers = workers;
+    const Result<ScheduleReport> report = Schedule(request);
+    if (!report.ok()) {
+      std::fprintf(stderr, "FAIL: %s workers=%d: %s\n", label, workers,
+                   report.error().c_str());
+      return false;
+    }
+    const std::string digest = Digest(*report);
+    if (workers == 0) {
+      golden = digest;
+    } else if (digest != golden) {
+      std::fprintf(stderr,
+                   "FAIL: %s workers=%d diverged from inline engine "
+                   "(%zu vs %zu bytes)\n",
+                   label, workers, digest.size(), golden.size());
+      return false;
+    }
+  }
+  std::printf("OK: %s byte-identical for workers {0,1,4} (%zu bytes)\n",
+              label, golden.size());
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  // The synthetic storm: 2^6 sibling branches per boundary, speculated.
+  const Cdfg storm = BuildForkStorm(6);
+  const FuLibrary lib = FuLibrary::PaperLibrary();
+  const Allocation unlimited = Allocation::Unlimited(lib);
+  ScheduleRequest request;
+  request.graph = &storm;
+  request.library = &lib;
+  request.allocation = &unlimited;
+  request.options.mode = SpeculationMode::kWaveschedSpec;
+  request.options.lookahead = 8;
+  if (!CheckInvariant("fork_storm/spec", request)) return 1;
+  request.options.mode = SpeculationMode::kSinglePath;
+  if (!CheckInvariant("fork_storm/single", request)) return 1;
+
+  // Loop-closure stress on real suite designs: forked branches must fold
+  // onto already-committed states identically whatever thread expanded
+  // them (closure runs commit-side, migration worker-side).
+  for (const char* name : {"gcd", "barcode"}) {
+    const Result<Benchmark> bench = MakeBenchmarkByName(name, 2, 7);
+    if (!bench.ok()) {
+      std::fprintf(stderr, "FAIL: %s: %s\n", name, bench.error().c_str());
+      return 1;
+    }
+    ScheduleRequest suite_request;
+    suite_request.graph = &bench->graph;
+    suite_request.library = &bench->library;
+    suite_request.allocation = &bench->allocation;
+    suite_request.options.mode = SpeculationMode::kWaveschedSpec;
+    suite_request.options.lookahead = bench->lookahead;
+    if (!CheckInvariant(name, suite_request)) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// The parallel wave loop's headline guarantee (sched/wave.h): a Schedule()
+// call produces byte-identical artifacts at any wave_workers setting. The
+// frontier is committed in FIFO order — exactly the sequential worklist
+// order — so state numbering, the encoded STG, and every deterministic
+// ScheduleStats counter must be invariant under the worker count. These
+// tests pin that down for every suite benchmark under every speculation
+// mode, and check that wave_workers stays out of request fingerprints
+// (it is an execution hint, not a result-affecting option).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "io/codec.h"
+#include "sched/closure.h"
+#include "sched/scheduler.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+// Every worker-count-invariant ScheduleStats field. Wall-clock phase times
+// are excluded — they are the one thing parallelism is allowed to change.
+std::string StatsDigest(const ScheduleStats& s) {
+  return StrCat(s.states_created, "|", s.closure_hits, "|", s.speculative_ops,
+                "|", s.squashed_ops, "|", s.total_ops, "|",
+                s.candidates_generated, "|", s.bdd_ops, "|", s.bdd_nodes, "|",
+                s.signature_collisions);
+}
+
+TEST(ParallelWaveTest, SuiteByteIdenticalAcrossWorkerCounts) {
+  const SpeculationMode kModes[] = {SpeculationMode::kWavesched,
+                                    SpeculationMode::kSinglePath,
+                                    SpeculationMode::kWaveschedSpec};
+  for (const std::string& name : BenchmarkNames()) {
+    const Result<Benchmark> bench = MakeBenchmarkByName(name, 2, 7);
+    ASSERT_TRUE(bench.ok()) << bench.error();
+    for (const SpeculationMode mode : kModes) {
+      SchedulerOptions options;
+      options.mode = mode;
+      options.lookahead = bench->lookahead;
+
+      std::string golden_stg;
+      std::string golden_stats;
+      for (const int workers : {0, 1, 4}) {
+        options.wave_workers = workers;
+        const Result<ScheduleReport> report =
+            ScheduleBenchmark(*bench, options);
+        ASSERT_TRUE(report.ok())
+            << name << "/" << SpeculationModeName(mode) << " workers="
+            << workers << ": " << report.error();
+        const std::string stg = EncodeStg(report->stg);
+        const std::string stats = StatsDigest(report->stats);
+        if (workers == 0) {
+          golden_stg = stg;
+          golden_stats = stats;
+        } else {
+          EXPECT_EQ(stg, golden_stg)
+              << name << "/" << SpeculationModeName(mode)
+              << ": STG bytes diverged at workers=" << workers;
+          EXPECT_EQ(stats, golden_stats)
+              << name << "/" << SpeculationModeName(mode)
+              << ": stats diverged at workers=" << workers;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelWaveTest, MoreWorkersThanFrontierStates) {
+  // A pool much wider than the frontier ever gets: most workers only ever
+  // steal nothing. Must behave exactly like the inline engine.
+  const Result<Benchmark> bench = MakeBenchmarkByName("test1", 2, 7);
+  ASSERT_TRUE(bench.ok()) << bench.error();
+  SchedulerOptions options;
+  options.mode = SpeculationMode::kWaveschedSpec;
+  options.lookahead = bench->lookahead;
+  const Result<ScheduleReport> inline_run = ScheduleBenchmark(*bench, options);
+  ASSERT_TRUE(inline_run.ok()) << inline_run.error();
+
+  options.wave_workers = 16;
+  const Result<ScheduleReport> wide_run = ScheduleBenchmark(*bench, options);
+  ASSERT_TRUE(wide_run.ok()) << wide_run.error();
+  EXPECT_EQ(EncodeStg(inline_run->stg), EncodeStg(wide_run->stg));
+  EXPECT_EQ(StatsDigest(inline_run->stats), StatsDigest(wide_run->stats));
+}
+
+TEST(ParallelWaveTest, WaveWorkersExcludedFromRequestFingerprints) {
+  // wave_workers picks how many threads expand the frontier, never what the
+  // run produces — so, like deadline/cancel, it must not move the durable
+  // store's key (a split here would recompute or, worse, shadow identical
+  // artifacts).
+  const Result<Benchmark> bench = MakeBenchmarkByName("gcd", 2, 7);
+  ASSERT_TRUE(bench.ok()) << bench.error();
+  ScheduleRequest request;
+  request.graph = &bench->graph;
+  request.library = &bench->library;
+  request.allocation = &bench->allocation;
+  request.options.lookahead = bench->lookahead;
+
+  const Fp128 base = FingerprintScheduleRequest(request);
+  for (const int workers : {1, 4, 64}) {
+    ScheduleRequest threaded = request;
+    threaded.options.wave_workers = workers;
+    const Fp128 fp = FingerprintScheduleRequest(threaded);
+    EXPECT_EQ(fp.lo, base.lo) << "workers=" << workers;
+    EXPECT_EQ(fp.hi, base.hi) << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace ws

@@ -1,6 +1,6 @@
 // The request/response scheduling API: SchedulerOptions validation, the
-// Result-returning Schedule entry point, the .value() bridge back into the
-// throwing world, and the deprecated ScheduleOrError wrapper.
+// Result-returning Schedule entry point, and the .value() bridge back into
+// the throwing world.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -40,6 +40,14 @@ TEST(SchedulerOptionsTest, RejectsMaxStatesBelowOne) {
   const Status s = opts.Validate();
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("max_states"), std::string::npos);
+}
+
+TEST(SchedulerOptionsTest, RejectsNegativeWaveWorkers) {
+  SchedulerOptions opts;
+  opts.wave_workers = -1;
+  const Status s = opts.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("wave_workers"), std::string::npos);
 }
 
 TEST(SchedulerOptionsTest, RejectsNonPositiveClockPeriod) {
@@ -93,7 +101,7 @@ TEST(ScheduleTest, ValueBridgesIntoTheThrowingWorld) {
                Error);
 }
 
-TEST(ScheduleTest, DeprecatedWrapperIsTheSameCall) {
+TEST(ScheduleTest, WaveWorkersDoNotPerturbTheSchedule) {
   const Benchmark b = MakeBenchmarkByName("findmin", 1, 1998).value();
   SchedulerOptions opts;
   opts.lookahead = b.lookahead;
@@ -102,14 +110,13 @@ TEST(ScheduleTest, DeprecatedWrapperIsTheSameCall) {
   const Result<ScheduleReport> r = Schedule(req);
   ASSERT_TRUE(r.ok()) << r.error();
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const Result<ScheduleReport> via_wrapper = ScheduleOrError(req);
-#pragma GCC diagnostic pop
-  ASSERT_TRUE(via_wrapper.ok()) << via_wrapper.error();
-  EXPECT_EQ(StgToText(r->stg, b.graph), StgToText(via_wrapper->stg, b.graph));
-  EXPECT_EQ(r->stats.states_created, via_wrapper->stats.states_created);
-  EXPECT_EQ(r->stats.total_ops, via_wrapper->stats.total_ops);
+  ScheduleRequest threaded = req;
+  threaded.options.wave_workers = 2;
+  const Result<ScheduleReport> p = Schedule(threaded);
+  ASSERT_TRUE(p.ok()) << p.error();
+  EXPECT_EQ(StgToText(r->stg, b.graph), StgToText(p->stg, b.graph));
+  EXPECT_EQ(r->stats.states_created, p->stats.states_created);
+  EXPECT_EQ(r->stats.total_ops, p->stats.total_ops);
 }
 
 TEST(CancellationTest, ExpiredDeadlineIsTypedError) {

@@ -1,6 +1,7 @@
 // Writes the scheduler perf-trajectory snapshot (BENCH_sched.json).
 //
 // Usage: bench_to_json [output.json] [--label=NAME] [--reps=N]
+//        [--wave-workers=N]
 //
 // Times every Table-1 suite benchmark under every speculation mode
 // (minimum-of-N wall time) and records the full per-phase ScheduleStats,
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
       options.label = arg.substr(8);
     } else if (ws::StartsWith(arg, "--reps=")) {
       options.repetitions = std::atoi(arg.c_str() + 7);
+    } else if (ws::StartsWith(arg, "--wave-workers=")) {
+      options.wave_workers = std::atoi(arg.c_str() + 15);
     } else if (!arg.empty() && arg[0] == '-') {
       ws::UsageError(kTool, "unrecognized argument: " + arg);
     } else {
@@ -41,7 +44,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_to_json: %s\n", s.message().c_str());
     return 1;
   }
-  std::printf("wrote %s (label=%s, reps=%d)\n", path.c_str(),
-              options.label.c_str(), options.repetitions);
+  std::printf("wrote %s (label=%s, reps=%d, wave_workers=%d)\n",
+              path.c_str(), options.label.c_str(), options.repetitions,
+              options.wave_workers);
   return 0;
 }

@@ -8,7 +8,7 @@
 //   ws_explore [design.beh ...] [--suite] [--bench name,name,...]
 //              [--modes ws,single,spec] [--policies crit,prob,lambda,fifo]
 //              [--alloc spec]... [--clocks p,p,...]
-//              [--workers N] [--stimuli N] [--seed S]
+//              [--workers N] [--wave-workers N] [--stimuli N] [--seed S]
 //              [--area] [--no-sim] [--no-timing] [--table]
 //
 //   design.beh     behavioral sources, compiled per worker
@@ -21,6 +21,10 @@
 //                  ("inf" = unlimited); default grid is the benchmark's own
 //   --clocks       comma list of clock periods in ns; default 1.0
 //   --workers      worker threads (0 = sequential); default 4
+//   --wave-workers intra-run wave-loop threads inside each scheduling run
+//                  (0 = inline, the default). Reports are byte-identical
+//                  at any setting — parallelism inside one cell, like
+//                  parallelism across cells, never changes the bytes
 //   --no-timing    canonical output: omit wall-clock fields (diffable
 //                  across worker counts)
 //   --server       run the sweep against a ws_served instance instead of
@@ -55,7 +59,8 @@ const ws::ToolInfo kTool = {
     "usage: ws_explore [design.beh ...] [--suite] [--bench names]\n"
     "                  [--modes ws,single,spec]\n"
     "                  [--policies crit,prob,lambda,fifo] [--alloc spec]...\n"
-    "                  [--clocks p,p,...] [--workers N] [--stimuli N]\n"
+    "                  [--clocks p,p,...] [--workers N] [--wave-workers N]\n"
+    "                  [--stimuli N]\n"
     "                  [--seed S] [--area] [--no-sim] [--no-timing]\n"
     "                  [--table] [--server ADDR] [--deadline-ms N]\n"
     "                  [--store DIR]\n"};
@@ -128,6 +133,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--workers") {
       spec.workers = std::atoi(next().c_str());
+    } else if (arg == "--wave-workers") {
+      spec.base_options.wave_workers = std::atoi(next().c_str());
     } else if (arg == "--stimuli") {
       spec.num_stimuli = std::atoi(next().c_str());
     } else if (arg == "--seed") {

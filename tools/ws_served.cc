@@ -20,7 +20,8 @@ namespace {
 const ws::ToolInfo kTool = {
     "ws_served",
     "usage: ws_served [--unix PATH] [--tcp HOST] [--port N]\n"
-    "                 [--shards N] [--workers N] [--queue N] [--cache N]\n"
+    "                 [--shards N] [--workers N] [--wave-workers N]\n"
+    "                 [--queue N] [--cache N]\n"
     "                 [--store DIR] [--store-max-bytes N]\n"
     "\n"
     "  --unix PATH   listen on a Unix domain socket at PATH\n"
@@ -31,6 +32,10 @@ const ws::ToolInfo kTool = {
     "                single-flight table and cache segment\n"
     "  --workers N   scheduling worker threads across all shards (default 4;\n"
     "                every shard gets at least one)\n"
+    "  --wave-workers N  intra-run wave-loop threads per scheduling run\n"
+    "                (default 0 = inline). Execution hint only: responses,\n"
+    "                cache keys and store keys are byte-identical at any\n"
+    "                setting\n"
     "  --queue N     max admitted-but-unfinished requests (default 64)\n"
     "  --cache N     LRU result-cache entries, 0 disables (default 256)\n"
     "  --store DIR   durable artifact store: warm-start the cache from DIR\n"
@@ -81,6 +86,8 @@ int main(int argc, char** argv) {
       options.shards = ParseInt(next(), "--shards");
     } else if (arg == "--workers") {
       options.workers = ParseInt(next(), "--workers");
+    } else if (arg == "--wave-workers") {
+      options.wave_workers = ParseInt(next(), "--wave-workers");
     } else if (arg == "--queue") {
       options.max_queue = ParseInt(next(), "--queue");
     } else if (arg == "--cache") {
