@@ -159,6 +159,7 @@ void ScheduleBenchmark(benchmark::State& state, const char* which,
   Benchmark b = [&] {
     if (std::string(which) == "gcd") return MakeGcd(4, 7);
     if (std::string(which) == "test1") return MakeTest1(4, 7);
+    if (std::string(which) == "histogram") return MakeHistogram(4, 7);
     return MakeFindmin(4, 7);
   }();
   for (auto _ : state) {
@@ -184,6 +185,27 @@ void BM_ScheduleTest1Spec(benchmark::State& state) {
   ScheduleBenchmark(state, "test1", SpeculationMode::kWaveschedSpec);
 }
 BENCHMARK(BM_ScheduleTest1Spec);
+
+// Memory speculation: the LSQ-relaxed histogram schedule — disambiguation
+// pass, minted comparator literals, alias forks — vs. the same design on
+// the conservative program-order chain (BM_ScheduleHistogramChain).
+void BM_ScheduleHistogramMemSpec(benchmark::State& state) {
+  Benchmark b = MakeHistogram(4, 7);
+  for (auto _ : state) {
+    SchedulerOptions opts;
+    opts.mode = SpeculationMode::kWaveschedSpec;
+    opts.lookahead = b.lookahead;
+    opts.mem_spec = true;
+    benchmark::DoNotOptimize(
+        Schedule({&b.graph, &b.library, &b.allocation, opts}).value());
+  }
+}
+BENCHMARK(BM_ScheduleHistogramMemSpec);
+
+void BM_ScheduleHistogramChain(benchmark::State& state) {
+  ScheduleBenchmark(state, "histogram", SpeculationMode::kWaveschedSpec);
+}
+BENCHMARK(BM_ScheduleHistogramChain);
 
 void BM_InterpretGcd(benchmark::State& state) {
   Benchmark b = MakeGcd(4, 7);

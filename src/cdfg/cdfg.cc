@@ -30,6 +30,7 @@ const char* OpKindName(OpKind kind) {
     case OpKind::kMemRead: return "mrd";
     case OpKind::kMemWrite: return "mwr";
     case OpKind::kOutput: return "out";
+    case OpKind::kDisambig: return "a!=";
   }
   return "?";
 }
@@ -133,6 +134,13 @@ void Cdfg::RebuildDerived() {
   control_cond_set_.clear();
   for (const Node& n : nodes_) {
     if (n.kind == OpKind::kSelect) cond_node_set_.insert(n.inputs[0]);
+    // Disambiguation comparators fork the controller (alias -> squash and
+    // re-execute the bypassing load), so they are control conditions even
+    // though no node carries them as an if-nest guard.
+    if (n.kind == OpKind::kDisambig) {
+      cond_node_set_.insert(n.id);
+      control_cond_set_.insert(n.id);
+    }
     for (const ControlLiteral& lit : n.ctrl) {
       cond_node_set_.insert(lit.cond);
       control_cond_set_.insert(lit.cond);
@@ -195,6 +203,7 @@ void Cdfg::Validate() const {
         break;
       case OpKind::kLoopPhi:
       case OpKind::kMemWrite:
+      case OpKind::kDisambig:
         arity = 2;
         break;
       default:

@@ -72,6 +72,11 @@ enum class OpKind {
   kMemRead,  // inputs: [addr]
   kMemWrite, // inputs: [addr, value]; side effect on `array`
   kOutput,   // inputs: [value]
+  kDisambig, // inputs: [addr_a, addr_b]; yields 1 iff the two addresses map
+             // to different elements of `array` after wrapping. Minted by
+             // the memory-speculation pass (mem/disambig.h), never by the
+             // frontend; always a control condition (its outcome decides
+             // whether a bypassing load keeps its speculated value).
 };
 
 // Printable mnemonic ("+", ">", "sel", ...).
@@ -195,6 +200,8 @@ class Cdfg {
  private:
   friend class CdfgBuilder;
   friend Cdfg EliminateDeadCode(const Cdfg& g, struct DceStats* stats);
+  friend struct MemSpecRewriter;  // mem/disambig.cc: appends disambiguation
+                                  // comparators and address-history phis
 
   void RebuildDerived();
 

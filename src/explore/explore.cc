@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <optional>
 #include <utility>
 
 #include "analysis/metrics.h"
@@ -10,6 +11,7 @@
 #include "explore/run_codec.h"
 #include "io/artifact_store.h"
 #include "lang/lower.h"
+#include "mem/disambig.h"
 #include "rtl/rtl.h"
 #include "sim/interpreter.h"
 #include "sim/stg_sim.h"
@@ -106,6 +108,7 @@ ScheduleRequest MakeCellScheduleRequest(const ExploreSpec& spec,
   request.options = spec.base_options;
   request.options.mode = cell.mode;
   request.options.policy = cell.policy;
+  request.options.mem_spec = cell.mem_spec;
   request.options.clock = cell.clock.clock;
   request.options.lookahead = b.lookahead;
   return request;
@@ -119,11 +122,29 @@ ExploreRun RunBenchmarkCell(const ExploreSpec& spec, const Benchmark& b,
   run.design = cell.design.name;
   run.mode = cell.mode;
   run.policy = cell.policy;
+  run.mem_spec = cell.mem_spec;
   run.allocation = cell.alloc.label;
   run.clock = cell.clock.label;
 
   const ScheduleRequest request =
       MakeCellScheduleRequest(spec, b, allocation, cell);
+
+  // A mem_spec schedule is built from (and references the disambiguation
+  // ops of) the relaxed graph, so every downstream analysis — Markov E.N.C.,
+  // trace simulation, area — must run against the same graph. Mirrors the
+  // activation predicate inside Schedule(); when the pass is a no-op (no
+  // modeled arrays, or plain kWavesched), the original graph is the one the
+  // scheduler used.
+  std::optional<MemSpecResult> relaxed;
+  const Cdfg* analysis_graph = &b.graph;
+  if (request.options.mem_spec &&
+      request.options.mode != SpeculationMode::kWavesched) {
+    MemSpecResult r = ApplyMemSpec(b.graph);
+    if (r.lsq.active()) {
+      relaxed = std::move(r);
+      analysis_graph = &relaxed->graph;
+    }
+  }
 
   Result<ScheduleReport> report = Schedule(request);
   if (!report.ok()) {
@@ -138,16 +159,17 @@ ExploreRun RunBenchmarkCell(const ExploreSpec& spec, const Benchmark& b,
   run.op_initiations = report->stg.num_op_initiations();
   run.worst_case_budget = b.worst_case_budget;
   try {
-    run.enc_markov = ExpectedCycles(report->stg, b.graph);
+    run.enc_markov = ExpectedCycles(report->stg, *analysis_graph);
     run.best_case = BestCaseCycles(report->stg);
     run.worst_case = WorstCaseCycles(report->stg, b.worst_case_budget);
     if (spec.measure_sim_enc) {
-      run.enc_sim = MeasureExpectedCycles(report->stg, b.graph, b.stimuli);
+      run.enc_sim =
+          MeasureExpectedCycles(report->stg, *analysis_graph, b.stimuli);
     }
     if (spec.measure_area) {
       const AreaReport area =
-          EstimateArea(report->stg, b.graph, b.library, b.stimuli.at(0),
-                       AreaModel{}, &allocation);
+          EstimateArea(report->stg, *analysis_graph, b.library,
+                       b.stimuli.at(0), AreaModel{}, &allocation);
       run.area = area.total;
     }
   } catch (const Error& e) {
@@ -171,6 +193,7 @@ ExploreRun RunExploreCell(const ExploreSpec& spec, const ExploreCell& cell) {
     run.design = cell.design.name;
     run.mode = cell.mode;
     run.policy = cell.policy;
+    run.mem_spec = cell.mem_spec;
     run.allocation = cell.alloc.label;
     run.clock = cell.clock.label;
     run.error = bench.error();
@@ -185,6 +208,7 @@ ExploreRun RunExploreCell(const ExploreSpec& spec, const ExploreCell& cell) {
     run.design = cell.design.name;
     run.mode = cell.mode;
     run.policy = cell.policy;
+    run.mem_spec = cell.mem_spec;
     run.allocation = cell.alloc.label;
     run.clock = cell.clock.label;
     run.error = allocation.error();
@@ -253,10 +277,12 @@ const ExploreRun* ExploreReport::Find(const std::string& design,
                                       SpeculationMode mode,
                                       const std::string& allocation_label,
                                       const std::string& clock_label,
-                                      SelectionPolicy policy) const {
+                                      SelectionPolicy policy,
+                                      bool mem_spec) const {
   for (const ExploreRun& run : runs) {
     if (run.design == design && run.mode == mode && run.policy == policy &&
-        run.allocation == allocation_label && run.clock == clock_label) {
+        run.mem_spec == mem_spec && run.allocation == allocation_label &&
+        run.clock == clock_label) {
       return &run;
     }
   }
@@ -264,6 +290,9 @@ const ExploreRun* ExploreReport::Find(const std::string& design,
 }
 
 std::vector<ExploreCell> ExpandExploreGrid(const ExploreSpec& spec) {
+  const std::vector<bool> mem_specs =
+      spec.mem_specs.empty() ? std::vector<bool>{spec.base_options.mem_spec}
+                             : spec.mem_specs;
   const std::vector<AllocationSpec> allocations =
       spec.allocations.empty() ? std::vector<AllocationSpec>{{}}
                                : spec.allocations;
@@ -272,13 +301,16 @@ std::vector<ExploreCell> ExpandExploreGrid(const ExploreSpec& spec) {
 
   std::vector<ExploreCell> grid;
   grid.reserve(spec.designs.size() * spec.modes.size() *
-               spec.policies.size() * allocations.size() * clocks.size());
+               spec.policies.size() * mem_specs.size() * allocations.size() *
+               clocks.size());
   for (const DesignSpec& d : spec.designs) {
     for (const SpeculationMode mode : spec.modes) {
       for (const SelectionPolicy policy : spec.policies) {
-        for (const AllocationSpec& a : allocations) {
-          for (const ClockSpec& c : clocks) {
-            grid.push_back(ExploreCell{d, mode, policy, a, c});
+        for (const bool mem_spec : mem_specs) {
+          for (const AllocationSpec& a : allocations) {
+            for (const ClockSpec& c : clocks) {
+              grid.push_back(ExploreCell{d, mode, policy, mem_spec, a, c});
+            }
           }
         }
       }
@@ -294,7 +326,7 @@ void ApplyAreaOverheads(ExploreReport* report) {
     if (!run.ok || run.mode == SpeculationMode::kWavesched) continue;
     const ExploreRun* base =
         report->Find(run.design, SpeculationMode::kWavesched, run.allocation,
-                     run.clock, run.policy);
+                     run.clock, run.policy, run.mem_spec);
     if (base != nullptr && base->ok && base->area > 0.0) {
       run.area_overhead_pct = 100.0 * (run.area - base->area) / base->area;
       run.has_area_overhead = true;

@@ -62,6 +62,10 @@ struct ExploreSpec {
                                         SpeculationMode::kWaveschedSpec};
   // Selection-policy grid axis (sched/policy.h); must be non-empty.
   std::vector<SelectionPolicy> policies = {SelectionPolicy::kCriticality};
+  // Memory-disambiguation grid axis (SchedulerOptions::mem_spec); empty
+  // falls back to a single entry carrying base_options.mem_spec. The LSQ
+  // window depth is not an axis — it comes from base_options.lsq_depth.
+  std::vector<bool> mem_specs;
   // Empty grids fall back to a single default entry.
   std::vector<AllocationSpec> allocations;
   std::vector<ClockSpec> clocks;
@@ -99,6 +103,7 @@ struct ExploreRun {
   std::string design;
   SpeculationMode mode = SpeculationMode::kWavesched;
   SelectionPolicy policy = SelectionPolicy::kCriticality;
+  bool mem_spec = false;   // speculative memory disambiguation on this run
   std::string allocation;  // AllocationSpec label
   std::string clock;       // ClockSpec label
 
@@ -129,7 +134,7 @@ struct ExploreRun {
 
 struct ExploreReport {
   std::vector<ExploreRun> runs;  // cross-product order: design-major, then
-                                 // mode, policy, allocation, clock
+                                 // mode, policy, mem_spec, allocation, clock
   int workers = 0;
   double wall_ms = 0.0;
 
@@ -137,7 +142,8 @@ struct ExploreReport {
   const ExploreRun* Find(
       const std::string& design, SpeculationMode mode,
       const std::string& allocation_label, const std::string& clock_label,
-      SelectionPolicy policy = SelectionPolicy::kCriticality) const;
+      SelectionPolicy policy = SelectionPolicy::kCriticality,
+      bool mem_spec = false) const;
 };
 
 // Runs the whole grid. Per-run failures (unschedulable configurations,
@@ -156,13 +162,14 @@ struct ExploreCell {
   DesignSpec design;
   SpeculationMode mode = SpeculationMode::kWavesched;
   SelectionPolicy policy = SelectionPolicy::kCriticality;
+  bool mem_spec = false;
   AllocationSpec alloc;
   ClockSpec clock;
 };
 
-// The spec's full task grid, design-major then mode/policy/allocation/clock,
-// with empty allocation/clock grids already defaulted — exactly the order of
-// ExploreReport::runs.
+// The spec's full task grid, design-major then
+// mode/policy/mem_spec/allocation/clock, with empty mem_spec/allocation/
+// clock grids already defaulted — exactly the order of ExploreReport::runs.
 std::vector<ExploreCell> ExpandExploreGrid(const ExploreSpec& spec);
 
 // The task-local benchmark build: registry lookup for named designs, a full

@@ -53,6 +53,7 @@ void AppendRun(std::ostringstream& os, const ExploreRun& run,
   os << "{\"design\":" << Quoted(run.design)
      << ",\"mode\":" << Quoted(SpeculationModeName(run.mode))
      << ",\"policy\":" << Quoted(SelectionPolicyName(run.policy))
+     << ",\"mem_spec\":" << (run.mem_spec ? "true" : "false")
      << ",\"allocation\":" << Quoted(run.allocation)
      << ",\"clock\":" << Quoted(run.clock)
      << ",\"ok\":" << (run.ok ? "true" : "false");
@@ -99,7 +100,8 @@ std::string ExploreReportToJson(const ExploreReport& report,
                                 const ReportRenderOptions& options) {
   std::ostringstream os;
   // v2: every run row gains "policy", and timing phases gain "select_ns".
-  os << "{\"schema\":\"ws-explore-report-v2\"";
+  // v3: every run row gains "mem_spec" (speculative memory disambiguation).
+  os << "{\"schema\":\"ws-explore-report-v3\"";
   if (options.include_timing) {
     os << ",\"workers\":" << report.workers
        << ",\"wall_ms\":" << Num(report.wall_ms);
@@ -118,28 +120,30 @@ std::string ExploreReportToTable(const ExploreReport& report) {
   std::ostringstream os;
   char line[256];
   std::snprintf(line, sizeof(line),
-                "%-10s %-14s %-6s %-10s %-8s %6s %9s %9s %6s %7s %6s %8s\n",
-                "design", "mode", "policy", "alloc", "clock", "states",
+                "%-10s %-14s %-6s %-4s %-10s %-8s %6s %9s %9s %6s %7s %6s "
+                "%8s\n",
+                "design", "mode", "policy", "mem", "alloc", "clock", "states",
                 "enc(sim)", "enc(mkv)", "best", "worst", "spec", "time_ms");
   os << line;
   for (const ExploreRun& run : report.runs) {
     if (!run.ok) {
       std::snprintf(line, sizeof(line),
-                    "%-10s %-14s %-6s %-10s %-8s ERROR %s\n",
+                    "%-10s %-14s %-6s %-4s %-10s %-8s ERROR %s\n",
                     run.design.c_str(), SpeculationModeName(run.mode),
-                    SelectionPolicyName(run.policy), run.allocation.c_str(),
+                    SelectionPolicyName(run.policy),
+                    run.mem_spec ? "on" : "off", run.allocation.c_str(),
                     run.clock.c_str(), run.error.c_str());
       os << line;
       continue;
     }
     std::snprintf(
         line, sizeof(line),
-        "%-10s %-14s %-6s %-10s %-8s %6zu %9.1f %9.1f %6lld %7lld %6d "
+        "%-10s %-14s %-6s %-4s %-10s %-8s %6zu %9.1f %9.1f %6lld %7lld %6d "
         "%8.1f\n",
         run.design.c_str(), SpeculationModeName(run.mode),
-        SelectionPolicyName(run.policy), run.allocation.c_str(),
-        run.clock.c_str(), run.states, run.enc_sim, run.enc_markov,
-        static_cast<long long>(run.best_case),
+        SelectionPolicyName(run.policy), run.mem_spec ? "on" : "off",
+        run.allocation.c_str(), run.clock.c_str(), run.states, run.enc_sim,
+        run.enc_markov, static_cast<long long>(run.best_case),
         static_cast<long long>(run.worst_case), run.stats.speculative_ops,
         run.wall_ms);
     os << line;

@@ -11,6 +11,7 @@ std::string EncodeRunBody(const ExploreRun& run) {
   w.Str(run.design);
   w.U8(static_cast<std::uint8_t>(run.mode));
   w.U8(static_cast<std::uint8_t>(run.policy));
+  w.U8(run.mem_spec ? 1 : 0);
   w.Str(run.allocation);
   w.Str(run.clock);
   w.U8(run.ok ? 1 : 0);
@@ -41,6 +42,9 @@ Result<ExploreRun> DecodeRunBody(std::string_view body,
   const std::uint8_t policy =
       version >= 2 ? r.U8()
                    : static_cast<std::uint8_t>(SelectionPolicy::kCriticality);
+  // v2 predates speculative memory disambiguation; every older run was
+  // scheduled with the conservative memory chain.
+  run.mem_spec = version >= 3 && r.U8() != 0;
   run.allocation = r.Str();
   run.clock = r.Str();
   run.ok = r.U8() != 0;

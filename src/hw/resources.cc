@@ -66,6 +66,11 @@ FuLibrary FuLibrary::PaperLibrary() {
                .delay_ns = 0.40, .area = 16});
   lib.AddType({.name = "mem1", .latency = 1, .pipelined = false,
                .delay_ns = 0.99, .area = 0});
+  // Address-disambiguation comparator of the load-store queue. Part of the
+  // memory subsystem (one per port), not a datapath unit, so it is never
+  // allocation-constrained — like mem1 itself.
+  lib.AddType({.name = "lsq1", .latency = 1, .pipelined = false,
+               .delay_ns = 0.60, .area = 90});
   // Muxes: resolved selects scheduled as zero-delay register transfers.
   lib.AddType({.name = "mux1", .latency = 1, .pipelined = false,
                .delay_ns = 0.0, .area = 24});
@@ -90,6 +95,7 @@ FuLibrary FuLibrary::PaperLibrary() {
   lib.Select(OpKind::kMemRead, "mem1");
   lib.Select(OpKind::kMemWrite, "mem1");
   lib.Select(OpKind::kSelect, "mux1");
+  lib.Select(OpKind::kDisambig, "lsq1");
   return lib;
 }
 
@@ -123,7 +129,8 @@ Allocation Allocation::None(const FuLibrary& lib) {
   for (int i = 0; i < lib.num_types(); ++i) {
     const std::string& name = lib.type(i).name;
     if (name == "not1" || name == "or1" || name == "and1" ||
-        name == "xor1" || name == "mem1" || name == "mux1") {
+        name == "xor1" || name == "mem1" || name == "mux1" ||
+        name == "lsq1") {
       a.counts_[static_cast<std::size_t>(i)] = kUnlimited;
     }
   }

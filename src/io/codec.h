@@ -21,6 +21,9 @@
 //      payload (explore/run_codec.h) gains the selection policy byte after
 //      the speculation mode. v1 artifacts decode with select_ns = 0 and
 //      policy = kCriticality (the only v1 behavior).
+//   3  the ExploreRun payload gains the mem_spec byte after the policy
+//      byte (speculative memory disambiguation, mem/disambig.h). Older
+//      artifacts decode with mem_spec = false — the only pre-v3 behavior.
 //
 // The codecs promise exact round trips: decode(encode(x)) is structurally
 // equal to x, and encode(decode(bytes)) == bytes for any bytes this version
@@ -40,7 +43,7 @@
 namespace ws {
 
 inline constexpr std::uint32_t kArtifactMagic = 0x52415357;  // "WSAR"
-inline constexpr std::uint8_t kArtifactVersion = 2;
+inline constexpr std::uint8_t kArtifactVersion = 3;
 
 enum class ArtifactKind : std::uint8_t {
   kStg = 1,

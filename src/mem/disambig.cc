@@ -1,0 +1,195 @@
+#include "mem/disambig.h"
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "base/strings.h"
+#include "cdfg/eval.h"
+
+namespace ws {
+namespace {
+
+// An array is analyzable when every access shares one scope (all in the same
+// loop, or all top-level) and none is under an if-nest guard: the dependence
+// deltas are then plain iteration distances. Anything else keeps the
+// conservative token chain.
+bool ModeledArray(const Cdfg& g, const MemArray& arr) {
+  const std::vector<NodeId>& accesses = g.array_accesses(arr.id);
+  if (accesses.empty()) return false;
+  const LoopId scope = g.node(accesses.front()).loop;
+  for (NodeId a : accesses) {
+    const Node& n = g.node(a);
+    if (n.loop != scope || !n.ctrl.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// Friend of Cdfg: appends disambiguation comparators and address-history
+// phis to a copy of the graph. Appended ids never disturb existing ones, so
+// the original graph's stimuli/outputs/profiles stay valid.
+struct MemSpecRewriter {
+  Cdfg g;
+  LsqModel lsq;
+
+  explicit MemSpecRewriter(const Cdfg& in) : g(in) {}
+
+  NodeId Append(Node n) {
+    const NodeId id = NodeId(static_cast<std::uint32_t>(g.nodes_.size()));
+    n.id = id;
+    const LoopId loop = n.loop;
+    const bool is_phi = n.kind == OpKind::kLoopPhi;
+    g.nodes_.push_back(std::move(n));
+    if (loop.valid()) {
+      g.loops_[loop.value()].body.push_back(id);
+      if (is_phi) g.loops_[loop.value()].phis.push_back(id);
+    }
+    return id;
+  }
+
+  void Run() {
+    lsq.modeled_.assign(g.arrays().size(), false);
+    lsq.cmps_.assign(g.arrays().size(), {});
+    for (const MemArray& arr : g.arrays()) {
+      if (!ModeledArray(g, arr)) continue;
+      lsq.modeled_[arr.id.value()] = true;
+      lsq.active_ = true;
+      RelaxArray(arr.id, arr.size, g.array_accesses(arr.id));
+    }
+    if (lsq.active_) {
+      g.RebuildDerived();
+      g.Validate();
+    }
+  }
+
+  void RelaxArray(ArrayId arr, int size,
+                  const std::vector<NodeId>& accesses) {
+    const bool in_loop = g.node(accesses.front()).loop.valid();
+    std::vector<NodeId> stores;
+    for (NodeId a : accesses) {
+      if (g.node(a).kind == OpKind::kMemWrite) stores.push_back(a);
+    }
+
+    for (std::size_t p = 0; p < accesses.size(); ++p) {
+      const NodeId a = accesses[p];
+      if (g.node(a).kind == OpKind::kMemWrite) {
+        // Stores never bypass: hard edges to every earlier access of this
+        // iteration and every access of the previous one. Older iterations
+        // are ordered transitively through the store chain.
+        auto& d = lsq.deps_[a];
+        for (std::size_t q = 0; q < p; ++q) {
+          d.push_back({accesses[q], 0, NodeId()});
+        }
+        if (in_loop) {
+          for (NodeId b : accesses) d.push_back({b, 1, NodeId()});
+        }
+      } else {
+        // Loads order only against stores; the edges are speculative where
+        // the addresses cannot be compared statically.
+        for (std::size_t q = 0; q < p; ++q) {
+          if (g.node(accesses[q]).kind == OpKind::kMemWrite) {
+            AddLoadDep(arr, size, a, accesses[q], 0);
+          }
+        }
+        if (in_loop && !stores.empty()) {
+          for (NodeId s : stores) AddLoadDep(arr, size, a, s, 1);
+          // RAW horizon: the last store two iterations back is awaited
+          // unconditionally. It is itself ordered behind everything older,
+          // so this bounds the bypass distance without more comparators.
+          lsq.deps_[a].push_back({stores.back(), 2, NodeId()});
+        }
+      }
+    }
+  }
+
+  void AddLoadDep(ArrayId arr, int size, NodeId load, NodeId store,
+                  int delta) {
+    const NodeId la = g.node(load).inputs[0];
+    const NodeId sa = g.node(store).inputs[0];
+    const OpKind la_kind = g.node(la).kind;
+    const OpKind sa_kind = g.node(sa).kind;
+    if (la_kind == OpKind::kConst && sa_kind == OpKind::kConst) {
+      const bool alias = WrapAddress(g.node(la).const_value, size) ==
+                         WrapAddress(g.node(sa).const_value, size);
+      if (alias) lsq.deps_[load].push_back({store, delta, NodeId()});
+      return;  // trivially disjoint: no edge, no comparator, no fork
+    }
+    const bool sa_invariant = !g.node(sa).loop.valid();
+    if (la == sa && (delta == 0 || sa_invariant)) {
+      // The same address expression: a certain alias. (Across iterations
+      // this only holds when the address is loop-invariant.)
+      lsq.deps_[load].push_back({store, delta, NodeId()});
+      return;
+    }
+    NodeId rhs = sa;
+    if (delta == 1 && !sa_invariant) rhs = AddressHistoryPhi(store);
+    const NodeId cmp = Comparator(arr, load, store, la, rhs, delta);
+    lsq.deps_[load].push_back({store, delta, cmp});
+  }
+
+  NodeId Comparator(ArrayId arr, NodeId load, NodeId store, NodeId la,
+                    NodeId rhs, int delta) {
+    // One comparator per distinct (address, address) pair: a loop-invariant
+    // store address yields the same comparison at every delta.
+    const auto key = std::make_pair(la.value(), rhs.value());
+    auto it = cmp_memo_.find(key);
+    if (it != cmp_memo_.end()) return it->second;
+    Node cmp;
+    cmp.kind = OpKind::kDisambig;
+    cmp.name = StrCat("lsq!=", g.node(load).name, ",", g.node(store).name,
+                      delta == 1 ? "'" : "");
+    cmp.inputs = {la, rhs};
+    cmp.loop = g.node(load).loop;
+    cmp.array = arr;
+    const NodeId id = Append(std::move(cmp));
+    // Bypasses usually survive: addresses of distinct accesses rarely
+    // collide. Drives Eq. 5 criticality and the single-path likely profile.
+    g.set_cond_probability(id, 0.9);
+    lsq.cmps_[arr.value()].push_back(id);
+    cmp_memo_.emplace(key, id);
+    return id;
+  }
+
+  NodeId AddressHistoryPhi(NodeId store) {
+    auto it = addr_phi_.find(store);
+    if (it != addr_phi_.end()) return it->second;
+    if (!init_const_.valid()) {
+      Node k;
+      k.kind = OpKind::kConst;
+      k.name = "lsq$init";
+      k.const_value = -1;
+      init_const_ = Append(std::move(k));
+    }
+    Node phi;
+    phi.kind = OpKind::kLoopPhi;
+    phi.name = StrCat("lsq$addr,", g.node(store).name);
+    phi.inputs = {init_const_, g.node(store).inputs[0]};
+    phi.loop = g.node(store).loop;
+    const NodeId id = Append(std::move(phi));
+    // The init value is arbitrary (-1 wraps to a real address): the phi is
+    // only consulted through delta-1 edges, which are vacuous at iteration 0.
+    addr_phi_.emplace(store, id);
+    return id;
+  }
+
+  std::unordered_map<NodeId, NodeId> addr_phi_;  // store -> history phi
+  std::map<std::pair<std::uint32_t, std::uint32_t>, NodeId> cmp_memo_;
+  NodeId init_const_;
+};
+
+bool MemSpecApplicable(const Cdfg& g) {
+  for (const MemArray& arr : g.arrays()) {
+    if (ModeledArray(g, arr)) return true;
+  }
+  return false;
+}
+
+MemSpecResult ApplyMemSpec(const Cdfg& g) {
+  MemSpecRewriter rw(g);
+  rw.Run();
+  return MemSpecResult{std::move(rw.g), std::move(rw.lsq)};
+}
+
+}  // namespace ws

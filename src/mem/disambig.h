@@ -1,0 +1,50 @@
+// The dependence-relaxation pass behind SchedulerOptions::mem_spec.
+//
+// ApplyMemSpec copies the graph and, for every array whose accesses all live
+// in one scope, replaces the conservative program-order memory chain with
+// the LSQ dependence model (mem/lsq.h). For each load/store pair whose
+// ordering can be speculated away it appends an OpKind::kDisambig comparator
+// `addr_load != addr_store`; cross-iteration pairs compare against an
+// address-history loop-phi carrying the store's address from the previous
+// iteration. Comparators are control conditions: the existing fork /
+// validate / invalidate machinery resolves them at state boundaries exactly
+// like branch conditions, squashing mis-speculated bypassing loads.
+//
+// Trivially-disjoint pairs (two distinct constant addresses) fold statically:
+// the edge is simply dropped and no comparator — hence no controller fork —
+// is ever paid. Provably-aliasing pairs (same address node, or equal
+// constants) fold to hard edges the same way.
+//
+// The appended nodes never disturb existing ids, so stimuli, outputs and
+// profile annotations made against the original graph stay valid; the
+// relaxed graph computes the same outputs (comparators feed only the
+// controller). Any STG scheduled from the relaxed graph must also be
+// *simulated* against it — its scheduled ops reference comparator ids the
+// original graph does not have.
+#ifndef WS_MEM_DISAMBIG_H
+#define WS_MEM_DISAMBIG_H
+
+#include "cdfg/cdfg.h"
+#include "mem/lsq.h"
+
+namespace ws {
+
+struct MemSpecResult {
+  Cdfg graph;    // the relaxed copy (== input when !lsq.active())
+  LsqModel lsq;  // dependence model over the relaxed graph's ids
+};
+
+// True when ApplyMemSpec would model at least one array of `g` — i.e. when
+// enabling mem_spec changes this design at all. Cheap (no graph copy);
+// callers that need the graph an STG was scheduled against use this to
+// decide between the original and ApplyMemSpec(g).graph.
+bool MemSpecApplicable(const Cdfg& g);
+
+// Builds the relaxed graph and its LSQ model. Deterministic: comparators and
+// address phis are appended in array/program order, so two calls yield
+// structurally identical graphs.
+MemSpecResult ApplyMemSpec(const Cdfg& g);
+
+}  // namespace ws
+
+#endif  // WS_MEM_DISAMBIG_H

@@ -1,0 +1,19 @@
+#include "mem/lsq.h"
+
+namespace ws {
+namespace {
+const std::vector<MemDep> kNoDeps;
+const std::vector<NodeId> kNoCmps;
+}  // namespace
+
+const std::vector<MemDep>& LsqModel::DepsFor(NodeId access) const {
+  auto it = deps_.find(access);
+  return it == deps_.end() ? kNoDeps : it->second;
+}
+
+const std::vector<NodeId>& LsqModel::Comparators(ArrayId arr) const {
+  if (!arr.valid() || arr.value() >= cmps_.size()) return kNoCmps;
+  return cmps_[arr.value()];
+}
+
+}  // namespace ws

@@ -1,0 +1,79 @@
+// Load-store queue (LSQ) dependence model: the relaxed per-array memory
+// ordering that replaces the conservative program-order token chain when
+// speculative memory disambiguation is enabled (SchedulerOptions::mem_spec).
+//
+// The conservative scheduler orders every pair of same-array accesses by a
+// token chain, which serializes loads behind stores whose addresses they can
+// never conflict with. The LSQ model keeps only the edges the memory
+// semantics actually require:
+//
+//   * a load depends on an earlier store — but the edge may be *conditional*:
+//     when the addresses are not yet comparable at schedule time, the load
+//     may issue past the store carrying the disambiguation literal
+//     `addr_load != addr_store` (an OpKind::kDisambig comparator minted by
+//     mem/disambig.cc) in its path guard. An alias resolution squashes the
+//     bypassing load and it re-executes behind the store.
+//   * a store depends unconditionally (a hard edge) on every earlier access
+//     it could conflict with: stores are irreversible, so they never issue
+//     speculatively and never bypass.
+//   * loads no longer order against other loads at all.
+//
+// The model is built once per scheduling run by ApplyMemSpec (disambig.h)
+// and consumed by the candidate generator (dependence tests + the
+// lsq_depth window) and by the scheduler's GC hard-use computation.
+#ifndef WS_MEM_LSQ_H
+#define WS_MEM_LSQ_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "cdfg/cdfg.h"
+
+namespace ws {
+
+// One ordering edge of the relaxed memory dependence graph: the access owning
+// this edge must observe the completion token of `pred` executed `delta`
+// iterations earlier — unless `cmp` is valid and resolves true (the two
+// addresses are provably different elements), in which case the edge
+// dissolves. An invalid `cmp` marks a hard (unconditional) edge.
+struct MemDep {
+  NodeId pred;
+  int delta = 0;
+  NodeId cmp;
+};
+
+// The per-run dependence model. An array is "modeled" when the relaxation
+// pass could analyze it (all accesses in one scope); accesses of unmodeled
+// arrays keep the conservative token chain.
+class LsqModel {
+ public:
+  bool Models(ArrayId arr) const {
+    return arr.valid() && arr.value() < modeled_.size() &&
+           modeled_[arr.value()];
+  }
+
+  // The relaxed dependence edges of `access` (empty for non-access nodes and
+  // for accesses of unmodeled arrays).
+  const std::vector<MemDep>& DepsFor(NodeId access) const;
+
+  // Every disambiguation comparator minted for `arr`, in creation order.
+  // The candidate generator counts their unresolved instances against the
+  // lsq_depth window.
+  const std::vector<NodeId>& Comparators(ArrayId arr) const;
+
+  // True when at least one array is modeled — i.e. the relaxation changes
+  // anything at all for this graph.
+  bool active() const { return active_; }
+
+ private:
+  friend struct MemSpecRewriter;  // mem/disambig.cc builds the model
+
+  std::vector<bool> modeled_;                            // by array
+  std::vector<std::vector<NodeId>> cmps_;                // by array
+  std::unordered_map<NodeId, std::vector<MemDep>> deps_;  // by access node
+  bool active_ = false;
+};
+
+}  // namespace ws
+
+#endif  // WS_MEM_LSQ_H

@@ -209,6 +209,59 @@ void CandidateGenerator::GenerateSelectCandidates(
   }
 }
 
+int CandidateGenerator::OutstandingDisambigs(const PathState& ps,
+                                             const Node& n, int iter) const {
+  // Every not-yet-resolved disambiguation instance of this array between the
+  // speculation base and the access's own iteration occupies an LSQ entry.
+  // Instances below the base are resolved (their loads are committed), so
+  // the window slides forward as the controller retires comparisons.
+  const int lo = n.loop.valid() ? spec_base_[n.loop.value()] : 0;
+  int count = 0;
+  for (NodeId c : lsq_->Comparators(n.array)) {
+    for (int j = lo; j <= iter; ++j) {
+      if (!ps.resolved.contains(MakeInstKey(c, j))) count++;
+    }
+  }
+  return count;
+}
+
+bool CandidateGenerator::AppendLsqDeps(
+    PathState& ps, const Node& n, int iter,
+    std::vector<std::vector<ResolvedVersion>>* operand_versions,
+    Bdd* issue_guard) {
+  for (const MemDep& d : lsq_->DepsFor(n.id)) {
+    const int p_iter = iter - d.delta;
+    if (p_iter < 0) continue;  // before the first iteration: vacuous
+    if (d.cmp.valid()) {
+      const bool* rv = ps.resolved.Find(MakeInstKey(d.cmp, iter));
+      if (rv != nullptr && *rv) continue;  // proven disjoint: edge dissolves
+      if (rv == nullptr) {
+        std::vector<ResolvedVersion> tokens =
+            VersionsAt(ps, d.pred, p_iter, 0);
+        if (!tokens.empty()) {
+          // The store already completed: take the free conservative edge
+          // rather than spending an LSQ entry on a pointless bypass.
+          operand_versions->push_back(std::move(tokens));
+          continue;
+        }
+        // Bypass the unresolved store, speculating on non-aliasing — if the
+        // LSQ window has room for one more unresolved disambiguation.
+        if (OutstandingDisambigs(ps, n, iter) > opts_.lsq_depth) return false;
+        *issue_guard =
+            mgr_.And(*issue_guard, guards_.CondLit(ps, d.cmp, iter, true));
+        if (mgr_.IsFalse(*issue_guard)) return false;
+        continue;
+      }
+      // Proven alias: the load must observe the store — fall through to the
+      // hard edge.
+    }
+    std::vector<ResolvedVersion> tokens = VersionsAt(ps, d.pred, p_iter, 0);
+    if (tokens.empty()) return false;  // predecessor access not done yet
+    operand_versions->push_back(std::move(tokens));
+  }
+  return true;
+}
+
 void CandidateGenerator::GenerateCandidates(PathState& ps,
                                             std::vector<Candidate>* out) {
   const PhaseTimer timer(&stats_.phase.successor_ns);
@@ -289,31 +342,41 @@ void CandidateGenerator::GenerateCandidates(PathState& ps,
       }
       if (!feasible) continue;
 
-      // Memory token: same-array accesses execute in program order.
+      // Memory ordering: the LSQ's relaxed dependence edges when the array
+      // is modeled (loads may bypass unresolved stores behind a
+      // disambiguation literal folded into `issue_guard`), the conservative
+      // program-order token chain otherwise.
+      Bdd issue_guard = ctrl;
       if (n.kind == OpKind::kMemRead || n.kind == OpKind::kMemWrite) {
-        const auto& accesses = g_.array_accesses(n.array);
-        auto pos = std::find(accesses.begin(), accesses.end(), n.id);
-        WS_CHECK(pos != accesses.end());
-        NodeId prev;
-        int prev_iter = iter;
-        if (pos != accesses.begin()) {
-          prev = *(pos - 1);
-        } else if (n.loop.valid() && iter > 0) {
-          prev = accesses.back();
-          prev_iter = iter - 1;
-        }
-        if (prev.valid()) {
-          std::vector<ResolvedVersion> tokens =
-              VersionsAt(ps, prev, prev_iter, 0);
-          if (tokens.empty()) continue;  // predecessor access not done yet
-          operand_versions.push_back(std::move(tokens));
+        if (lsq_ != nullptr && lsq_->Models(n.array)) {
+          if (!AppendLsqDeps(ps, n, iter, &operand_versions, &issue_guard)) {
+            continue;
+          }
+        } else {
+          const auto& accesses = g_.array_accesses(n.array);
+          auto pos = std::find(accesses.begin(), accesses.end(), n.id);
+          WS_CHECK(pos != accesses.end());
+          NodeId prev;
+          int prev_iter = iter;
+          if (pos != accesses.begin()) {
+            prev = *(pos - 1);
+          } else if (n.loop.valid() && iter > 0) {
+            prev = accesses.back();
+            prev_iter = iter - 1;
+          }
+          if (prev.valid()) {
+            std::vector<ResolvedVersion> tokens =
+                VersionsAt(ps, prev, prev_iter, 0);
+            if (tokens.empty()) continue;  // predecessor access not done yet
+            operand_versions.push_back(std::move(tokens));
+          }
         }
       }
 
       // Cartesian product of operand choices.
       std::vector<std::size_t> idx(operand_versions.size(), 0);
       for (;;) {
-        Bdd guard = ctrl;
+        Bdd guard = issue_guard;
         double start = 0.0;
         std::vector<InstRef> operands;
         operands.reserve(operand_versions.size());

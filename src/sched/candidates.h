@@ -18,6 +18,7 @@
 #include "bdd/bdd.h"
 #include "cdfg/cdfg.h"
 #include "hw/resources.h"
+#include "mem/lsq.h"
 #include "sched/engine_state.h"
 #include "sched/guards.h"
 #include "sched/policy.h"
@@ -40,10 +41,13 @@ class CandidateGenerator {
   // construction (the reference binds to the vector object); it must be
   // populated before the first GenerateCandidates call. `stats` receives
   // candidates_generated and the successor/select phase times.
+  // `lsq` is the relaxed memory-dependence model of a mem_spec run (may be
+  // null: conservative token-chain ordering for every array).
   CandidateGenerator(const Cdfg& g, const FuLibrary& lib,
                      const SchedulerOptions& opts, BddManager& mgr,
                      GuardEngine& guards, const SelectionPolicyImpl& policy,
-                     const std::vector<double>& lambda, ScheduleStats& stats)
+                     const std::vector<double>& lambda, ScheduleStats& stats,
+                     const LsqModel* lsq = nullptr)
       : g_(g),
         lib_(lib),
         opts_(opts),
@@ -51,7 +55,8 @@ class CandidateGenerator {
         guards_(guards),
         policy_(policy),
         lambda_(lambda),
-        stats_(stats) {}
+        stats_(stats),
+        lsq_(lsq) {}
 
   // All versions of operand `m` as seen by a consumer in scope
   // (consumer_loop, consumer_iter).
@@ -75,6 +80,20 @@ class CandidateGenerator {
                       const std::vector<InstRef>& operands, Bdd guard);
   void GenerateSelectCandidates(PathState& ps, const Node& n, int iter,
                                 Bdd ctrl, std::vector<Candidate>* cands);
+  // LSQ-relaxed memory ordering for access instance (n, iter): appends the
+  // completion tokens of hard (and resolved-alias) edges to
+  // `operand_versions`, conjoins disambiguation literals of bypassed edges
+  // into `issue_guard`. Returns false when the instance cannot issue yet
+  // (a hard predecessor's token is missing, the LSQ window is full, or the
+  // guard collapses to false).
+  bool AppendLsqDeps(PathState& ps, const Node& n, int iter,
+                     std::vector<std::vector<ResolvedVersion>>* operand_versions,
+                     Bdd* issue_guard);
+  // Unresolved disambiguation instances of `n`'s array in the window
+  // [speculation base, iter] — the LSQ occupancy charged against lsq_depth.
+  // Purely a function of the path state (never of the global mint registry),
+  // so closure-equivalent states see identical occupancy.
+  int OutstandingDisambigs(const PathState& ps, const Node& n, int iter) const;
 
   const Cdfg& g_;
   const FuLibrary& lib_;
@@ -84,6 +103,7 @@ class CandidateGenerator {
   const SelectionPolicyImpl& policy_;
   const std::vector<double>& lambda_;
   ScheduleStats& stats_;
+  const LsqModel* lsq_;
 
   // Scratch buffers reused across hot-path calls (cleared, never shrunk).
   std::vector<int> spec_base_;

@@ -611,7 +611,7 @@ void MixLibrary(FpHasher& h, const FuLibrary& lib) {
     MixDouble(h, t.area);
   }
   // Kind -> unit selection, enumerated in OpKind declaration order.
-  for (int k = 0; k <= static_cast<int>(OpKind::kOutput); ++k) {
+  for (int k = 0; k <= static_cast<int>(OpKind::kDisambig); ++k) {
     const OpKind kind = static_cast<OpKind>(k);
     h.Mix(lib.HasTypeFor(kind)
               ? static_cast<std::uint64_t>(lib.TypeFor(kind))
@@ -639,6 +639,10 @@ void MixOptions(FpHasher& h, const SchedulerOptions& options) {
   h.Mix(static_cast<std::uint64_t>(options.gc_window));
   h.Mix(static_cast<std::uint64_t>(options.max_states));
   h.Mix(static_cast<std::uint64_t>(options.max_ops_per_state));
+  // Memory speculation rewrites the dependence graph and the LSQ depth
+  // bounds how far loads run ahead — both reshape the schedule.
+  h.Mix(options.mem_spec ? 1 : 0);
+  h.Mix(static_cast<std::uint64_t>(options.lsq_depth));
   // options.deadline / options.cancel / options.wave_workers intentionally
   // excluded: the first two are per-call bounds, and wave_workers only picks
   // how many threads expand the frontier — the parallel engine is

@@ -48,6 +48,7 @@
 #include "base/strings.h"
 #include "base/work_steal.h"
 #include "bdd/bdd.h"
+#include "mem/disambig.h"
 #include "sched/closure.h"
 #include "sched/engine_state.h"
 #include "sched/guards.h"
@@ -86,12 +87,16 @@ void AccumulateStats(const ScheduleStats& from, ScheduleStats* into) {
 
 class SchedulerImpl {
  public:
+  // `lsq` is the relaxed memory-dependence model when the run speculates on
+  // memory (then `g` is the relaxed graph ApplyMemSpec built); null keeps
+  // the conservative token chain.
   SchedulerImpl(const Cdfg& g, const FuLibrary& lib, const Allocation& alloc,
-                const SchedulerOptions& options)
+                const SchedulerOptions& options, const LsqModel* lsq)
       : g_(g),
         lib_(lib),
         alloc_(alloc),
         opts_(options),
+        lsq_(lsq),
         stg_(g.name()),
         guards_(g, mgr_),
         policy_(MakeSelectionPolicy(options.policy)),
@@ -139,6 +144,7 @@ class SchedulerImpl {
   const FuLibrary& lib_;
   const Allocation& alloc_;
   const SchedulerOptions& opts_;
+  const LsqModel* lsq_;
 
   BddManager mgr_;
   Stg stg_;
@@ -221,10 +227,13 @@ void SchedulerImpl::ComputeHardUses() {
     }
   }
 
-  // Memory-token consumers: the next same-array access reads this access's
-  // completion token (program order), so an access's version must survive
-  // until its successor access is covered.
+  // Memory-token consumers: an access's completion token must survive until
+  // every later access ordered behind it is covered. Modeled (LSQ) arrays
+  // use the relaxed dependence edges — every edge retains its predecessor,
+  // including speculative ones, since an alias resolution turns those hard.
+  // Unmodeled arrays keep the program-order chain.
   for (const MemArray& arr : g_.arrays()) {
+    if (lsq_ != nullptr && lsq_->Models(arr.id)) continue;
     const auto& accesses = g_.array_accesses(arr.id);
     for (std::size_t i = 0; i < accesses.size(); ++i) {
       const NodeId cur = accesses[i];
@@ -234,6 +243,13 @@ void SchedulerImpl::ComputeHardUses() {
       if (i + 1 == accesses.size() && g_.node(cur).loop.valid() &&
           g_.node(accesses.front()).loop == g_.node(cur).loop) {
         hard_uses_[cur.value()].push_back({accesses.front(), 1});
+      }
+    }
+  }
+  if (lsq_ != nullptr) {
+    for (const Node& n : g_.nodes()) {
+      for (const MemDep& d : lsq_->DepsFor(n.id)) {
+        hard_uses_[d.pred.value()].push_back({n.id, d.delta});
       }
     }
   }
@@ -309,7 +325,8 @@ ScheduleResult SchedulerImpl::Run() {
   lambda_ = ComputeLambda(g_, lib_);
   ComputeHardUses();
   shared_ = WaveShared{&g_,      &lib_,       &alloc_,     &opts_,
-                       policy_.get(), &lambda_, &hard_uses_, &escape_delta_};
+                       policy_.get(), &lambda_, &hard_uses_, &escape_delta_,
+                       lsq_};
 
   // Speculative stores are forbidden; conditional memory accesses would make
   // the token chain control-dependent, which this scheduler does not model.
@@ -436,6 +453,11 @@ Status SchedulerOptions::Validate() const {
         StrCat("SchedulerOptions: wave_workers must be >= 0, got ",
                wave_workers));
   }
+  if (lsq_depth < 1) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        StrCat("SchedulerOptions: lsq_depth must be >= 1, got ", lsq_depth));
+  }
   if (!(clock.period_ns > 0.0)) {
     return Status::MakeError(
         StatusCode::kInvalidArgument,
@@ -460,8 +482,20 @@ Result<ScheduleReport> Schedule(const ScheduleRequest& request) {
   }
   if (const Status s = request.options.Validate(); !s.ok()) return s;
   try {
-    SchedulerImpl impl(*request.graph, *request.library, *request.allocation,
-                       request.options);
+    // Speculative memory disambiguation: relax the per-array token chain
+    // into LSQ dependence edges. A silent no-op for designs without
+    // analyzable arrays and under kWavesched (which never speculates, so a
+    // conditional edge could never be taken).
+    std::optional<MemSpecResult> mem_spec;
+    if (request.options.mem_spec &&
+        request.options.mode != SpeculationMode::kWavesched) {
+      MemSpecResult r = ApplyMemSpec(*request.graph);
+      if (r.lsq.active()) mem_spec = std::move(r);
+    }
+    const Cdfg& graph = mem_spec ? mem_spec->graph : *request.graph;
+    const LsqModel* lsq = mem_spec ? &mem_spec->lsq : nullptr;
+    SchedulerImpl impl(graph, *request.library, *request.allocation,
+                       request.options, lsq);
     return impl.Run();
   } catch (const DeadlineExceededError& e) {
     return Status::MakeError(StatusCode::kDeadlineExceeded, e.what());

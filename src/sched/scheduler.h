@@ -77,6 +77,23 @@ struct SchedulerOptions {
   int max_states = 2000;
   int max_ops_per_state = 256;
 
+  // Speculative memory disambiguation (mem/disambig.h): when enabled (and
+  // the mode speculates), the per-array program-order token chain is relaxed
+  // into conditional dependence edges — a load may schedule past an earlier
+  // store whose address is unresolved, carrying the disambiguation literal
+  // `addr_load != addr_store` in its path guard; an alias squashes the
+  // bypass and the load re-executes behind the store. A no-op for designs
+  // without arrays and under kWavesched (which never speculates).
+  // Result-affecting: participates in fingerprints, the wire protocol, and
+  // stored artifacts.
+  bool mem_spec = false;
+
+  // Capacity of the modeled load-store queue window, per array: the maximum
+  // number of simultaneously unresolved disambiguation instances. Once the
+  // window is full, further loads issue conservatively (token order) until
+  // comparators resolve. Must be >= 1. Result-affecting like mem_spec.
+  int lsq_depth = 4;
+
   // Worker threads for the intra-run wave loop: frontier states expand in
   // parallel on a work-stealing pool, each in its own BDD sub-arena, while
   // closure detection and state numbering stay on the calling thread in

@@ -26,11 +26,12 @@ class WaveExpander {
         opts_(*shared.opts),
         hard_uses_(*shared.hard_uses),
         escape_delta_(*shared.escape_delta),
+        lsq_(shared.lsq),
         mgr_(arena.mgr),
         guards_(arena.guards),
         stats_(stats),
         candidates_(g_, lib_, opts_, mgr_, guards_, *shared.policy,
-                    *shared.lambda, stats_),
+                    *shared.lambda, stats_, shared.lsq),
         fork_(g_, mgr_, guards_, stats_) {}
 
   void Expand(WaveItem* item);
@@ -57,6 +58,7 @@ class WaveExpander {
   const SchedulerOptions& opts_;
   const std::vector<std::vector<HardUse>>& hard_uses_;
   const std::vector<int>& escape_delta_;
+  const LsqModel* lsq_;
 
   BddManager& mgr_;
   GuardEngine& guards_;
@@ -69,6 +71,21 @@ void WaveExpander::FillState(PathState& ps, std::vector<ScheduledOp>* ops) {
   // Resource occupancy for this cycle.
   std::vector<int> initiations(static_cast<std::size_t>(lib_.num_types()), 0);
   std::vector<int> active(static_cast<std::size_t>(lib_.num_types()), 0);
+  // Per-array port occupancy: one access per cycle per array (MemArray's
+  // contract). The conservative token chain enforces this implicitly; the
+  // LSQ's relaxed edges need the explicit cap.
+  std::vector<int> mem_ports;
+  if (lsq_ != nullptr) {
+    mem_ports.assign(g_.arrays().size(), 0);
+  }
+  auto port_array = [&](NodeId node) {
+    if (lsq_ == nullptr) return ArrayId::invalid();
+    const Node& pn = g_.node(node);
+    if (pn.kind != OpKind::kMemRead && pn.kind != OpKind::kMemWrite) {
+      return ArrayId::invalid();
+    }
+    return lsq_->Models(pn.array) ? pn.array : ArrayId::invalid();
+  };
 
   // Place continuations of in-flight multi-cycle operations.
   std::vector<InFlight> still_flying;
@@ -126,6 +143,10 @@ void WaveExpander::FillState(PathState& ps, std::vector<ScheduledOp>* ops) {
           if (c.latency > 1) continue;  // multi-cycle starts at a boundary
         }
         if (!opts_.clock.Fits(c.start_offset, c.delay)) continue;
+        if (const ArrayId arr = port_array(c.node);
+            arr.valid() && mem_ports[arr.value()] >= 1) {
+          continue;  // the array's single port is taken this cycle
+        }
         if (best == nullptr || BetterCandidate(c, *best)) {
           best = &c;
         }
@@ -145,6 +166,9 @@ void WaveExpander::FillState(PathState& ps, std::vector<ScheduledOp>* ops) {
     blist.push_back(std::move(b));
 
     initiations[static_cast<std::size_t>(best->fu_type)]++;
+    if (const ArrayId arr = port_array(best->node); arr.valid()) {
+      mem_ports[arr.value()]++;
+    }
 
     ScheduledOp op;
     op.inst = InstRef{best->node, best->iter, version};

@@ -36,6 +36,7 @@
 #include "bdd/bdd.h"
 #include "cdfg/cdfg.h"
 #include "hw/resources.h"
+#include "mem/lsq.h"
 #include "sched/engine_state.h"
 #include "sched/guards.h"
 #include "sched/policy.h"
@@ -83,6 +84,10 @@ struct WaveShared {
   const std::vector<double>* lambda = nullptr;
   const std::vector<std::vector<HardUse>>* hard_uses = nullptr;
   const std::vector<int>* escape_delta = nullptr;
+  // Relaxed memory-dependence model (mem_spec); null when the run keeps the
+  // conservative token chain. When set, `g` is the relaxed graph the model's
+  // comparator ids live in.
+  const LsqModel* lsq = nullptr;
 };
 
 // One frontier entry: a fresh STG state with its private sub-arena, plus

@@ -50,11 +50,14 @@ ExploreSpec CellRequest::ToSpec() const {
   spec.base_options.gc_window = gc_window;
   spec.base_options.max_states = max_states;
   spec.base_options.max_ops_per_state = max_ops_per_state;
+  spec.mem_specs = {mem_spec};
+  spec.base_options.mem_spec = mem_spec;
+  spec.base_options.lsq_depth = lsq_depth;
   return spec;
 }
 
 ExploreCell CellRequest::ToCell() const {
-  return ExploreCell{design, mode, policy, alloc, clock};
+  return ExploreCell{design, mode, policy, mem_spec, alloc, clock};
 }
 
 CellRequest MakeCellRequest(const ExploreSpec& spec, const ExploreCell& cell) {
@@ -68,6 +71,8 @@ CellRequest MakeCellRequest(const ExploreSpec& spec, const ExploreCell& cell) {
   req.gc_window = spec.base_options.gc_window;
   req.max_states = spec.base_options.max_states;
   req.max_ops_per_state = spec.base_options.max_ops_per_state;
+  req.mem_spec = cell.mem_spec;
+  req.lsq_depth = spec.base_options.lsq_depth;
   req.num_stimuli = spec.num_stimuli;
   req.seed = spec.seed;
   req.measure_sim_enc = spec.measure_sim_enc;
@@ -141,6 +146,8 @@ std::string EncodeCellRequest(const CellRequest& req) {
   w.U32(static_cast<std::uint32_t>(req.gc_window));
   w.U32(static_cast<std::uint32_t>(req.max_states));
   w.U32(static_cast<std::uint32_t>(req.max_ops_per_state));
+  w.U8(req.mem_spec ? 1 : 0);
+  w.U32(static_cast<std::uint32_t>(req.lsq_depth));
   w.U32(static_cast<std::uint32_t>(req.num_stimuli));
   w.U64(req.seed);
   w.U8(req.measure_sim_enc ? 1 : 0);
@@ -165,6 +172,8 @@ Result<CellRequest> DecodeCellRequest(std::string_view body) {
   req.gc_window = static_cast<int>(r.U32());
   req.max_states = static_cast<int>(r.U32());
   req.max_ops_per_state = static_cast<int>(r.U32());
+  req.mem_spec = r.U8() != 0;
+  req.lsq_depth = static_cast<int>(r.U32());
   req.num_stimuli = static_cast<int>(r.U32());
   req.seed = r.U64();
   req.measure_sim_enc = r.U8() != 0;

@@ -58,8 +58,12 @@ namespace ws {
 //   3  the continuous-batching serve loop: kSubmit/kWait ticket verbs
 //      (async submit-then-wait with connection-scoped u64 tickets);
 //      kSchedule is unchanged on the wire and now means submit+wait.
+//   4  CellRequest gains mem_spec (u8) and lsq_depth (u32) after
+//      max_ops_per_state — speculative memory disambiguation
+//      (mem/disambig.h); the run body gains the mem_spec byte
+//      (io/codec.h version 3).
 inline constexpr std::uint32_t kWireMagic = 0x57535256;  // "WSRV"
-inline constexpr std::uint8_t kWireVersion = 3;
+inline constexpr std::uint8_t kWireVersion = 4;
 
 enum class Verb : std::uint8_t {
   kSchedule = 1,
@@ -99,6 +103,8 @@ struct CellRequest {
   int gc_window = 4;
   int max_states = 2000;
   int max_ops_per_state = 256;
+  bool mem_spec = false;
+  int lsq_depth = 4;
 
   int num_stimuli = 50;
   std::uint64_t seed = 1998;

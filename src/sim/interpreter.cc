@@ -148,6 +148,16 @@ class Interp {
         value = 0;  // token
         break;
       }
+      case OpKind::kDisambig: {
+        // Address disambiguation: 1 iff the two addresses select different
+        // elements of `array`. Wrapping must match the memory ops, or a pair
+        // of out-of-range aliases would be declared disjoint.
+        const std::int64_t a = OperandValue(n.inputs[0], n.loop, iter);
+        const std::int64_t b = OperandValue(n.inputs[1], n.loop, iter);
+        const int size = static_cast<int>(arrays_[n.array.value()].size());
+        value = WrapAddress(a, size) != WrapAddress(b, size) ? 1 : 0;
+        break;
+      }
       case OpKind::kOutput:
         value = OperandValue(n.inputs[0], n.loop, iter);
         break;

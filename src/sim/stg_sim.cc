@@ -124,6 +124,15 @@ class StgSim {
         value = 0;  // token
         break;
       }
+      case OpKind::kDisambig: {
+        // Same wrapping as the memory ops (see interpreter.cc): 1 iff the
+        // two addresses select different elements of the array.
+        const std::int64_t a = Value(op.operands[0]);
+        const std::int64_t b = Value(op.operands[1]);
+        const int size = static_cast<int>(arrays_[n.array.value()].size());
+        value = WrapAddress(a, size) != WrapAddress(b, size) ? 1 : 0;
+        break;
+      }
       case OpKind::kSelect:
         if (op.operands.size() == 3) {
           // Full datapath mux: [steer, on_true, on_false].

@@ -301,6 +301,160 @@ Benchmark MakeFindmin(int num_stimuli, std::uint64_t seed) {
   return bench;
 }
 
+Benchmark MakeHistogram(int num_stimuli, std::uint64_t seed) {
+  CdfgBuilder b("histogram");
+  const NodeId n = b.Input("n");
+  const ArrayId xs = b.Array("X", 64);
+  const ArrayId hist = b.Array("H", 16);
+  const NodeId i0 = b.Konst(0);
+  const NodeId h0 = b.Konst(0);
+
+  b.BeginLoop("scan");
+  const NodeId i = b.LoopPhi("i", i0);
+  const NodeId h = b.LoopPhi("h", h0);
+  const NodeId cond = b.Op(OpKind::kLt, "<1", {i, n});
+  b.SetLoopCondition(cond);
+  const NodeId bin = b.MemRead("X", xs, i);
+  const NodeId hv = b.MemRead("H", hist, bin);
+  const NodeId hv1 = b.Op(OpKind::kInc, "++h", {hv});
+  b.MemWrite("H", hist, bin, hv1);
+  const NodeId i1 = b.Op(OpKind::kInc, "++i", {i});
+  b.SetLoopBack(i, i1);
+  b.SetLoopBack(h, hv1);
+  b.EndLoop();
+  b.Output("count", i);
+  b.Output("last", h);
+
+  Benchmark bench;
+  bench.name = "Histogram";
+  bench.graph = b.Finish();
+  bench.library = FuLibrary::PaperLibrary();
+  bench.allocation = Allocation::None(bench.library);
+  bench.allocation.Set(bench.library, "comp1", 1);
+  bench.allocation.Set(bench.library, "inc1", 2);
+  bench.worst_case_budget = 96;
+  bench.lookahead = 6;
+
+  Rng rng(seed);
+  for (int s = 0; s < num_stimuli; ++s) {
+    Stimulus st;
+    st.inputs[n] = AbsGauss(rng, 24.0, 1, 64);
+    std::vector<std::int64_t> bins(64);
+    for (auto& val : bins) val = rng.NextInt(0, 15);
+    st.arrays[xs] = std::move(bins);
+    st.arrays[hist] = std::vector<std::int64_t>(16, 0);
+    bench.stimuli.push_back(std::move(st));
+  }
+  Profile(bench);
+  return bench;
+}
+
+Benchmark MakeSieve(int num_stimuli, std::uint64_t seed) {
+  CdfgBuilder b("sieve");
+  const NodeId p = b.Input("p");
+  const NodeId n = b.Input("n");
+  const ArrayId c = b.Array("C", 32);
+  const NodeId i0 = b.Konst(0);
+  const NodeId j0 = b.Konst(0);
+  const NodeId m0 = b.Konst(0);
+
+  b.BeginLoop("mark");
+  const NodeId i = b.LoopPhi("i", i0);
+  const NodeId j = b.LoopPhi("j", j0);
+  const NodeId m = b.LoopPhi("m", m0);
+  const NodeId cond = b.Op(OpKind::kLt, "<1", {i, n});
+  b.SetLoopCondition(cond);
+  const NodeId v = b.MemRead("C", c, j);
+  const NodeId v1 = b.Op(OpKind::kInc, "++v", {v});
+  b.MemWrite("C", c, j, v1);
+  const NodeId m1 = b.Op(OpKind::kAdd, "+m", {m, v});
+  const NodeId j1 = b.Op(OpKind::kAdd, "+j", {j, p});
+  const NodeId i1 = b.Op(OpKind::kInc, "++i", {i});
+  b.SetLoopBack(i, i1);
+  b.SetLoopBack(j, j1);
+  b.SetLoopBack(m, m1);
+  b.EndLoop();
+  b.Output("marks", m);
+
+  Benchmark bench;
+  bench.name = "Sieve";
+  bench.graph = b.Finish();
+  bench.library = FuLibrary::PaperLibrary();
+  bench.allocation = Allocation::None(bench.library);
+  bench.allocation.Set(bench.library, "comp1", 1);
+  bench.allocation.Set(bench.library, "add1", 2);
+  bench.allocation.Set(bench.library, "inc1", 2);
+  bench.worst_case_budget = 128;
+  bench.lookahead = 6;
+
+  Rng rng(seed);
+  for (int s = 0; s < num_stimuli; ++s) {
+    Stimulus st;
+    st.inputs[p] = AbsGauss(rng, 8.0, 1, 31);
+    st.inputs[n] = AbsGauss(rng, 40.0, 1, 96);
+    std::vector<std::int64_t> contents(32);
+    for (auto& val : contents) val = std::llabs(rng.NextGaussianInt(4.0));
+    st.arrays[c] = std::move(contents);
+    bench.stimuli.push_back(std::move(st));
+  }
+  Profile(bench);
+  return bench;
+}
+
+Benchmark MakeSparseAccum(int num_stimuli, std::uint64_t seed) {
+  CdfgBuilder b("sparse_accum");
+  const NodeId n = b.Input("n");
+  const ArrayId idx = b.Array("IDX", 64);
+  const ArrayId val = b.Array("VAL", 64);
+  const ArrayId acc = b.Array("ACC", 16);
+  const NodeId i0 = b.Konst(0);
+  const NodeId s0 = b.Konst(0);
+
+  b.BeginLoop("gather");
+  const NodeId i = b.LoopPhi("i", i0);
+  const NodeId s = b.LoopPhi("s", s0);
+  const NodeId cond = b.Op(OpKind::kLt, "<1", {i, n});
+  b.SetLoopCondition(cond);
+  const NodeId k = b.MemRead("IDX", idx, i);
+  const NodeId v = b.MemRead("VAL", val, i);
+  const NodeId a = b.MemRead("ACC", acc, k);
+  const NodeId a1 = b.Op(OpKind::kAdd, "+a", {a, v});
+  b.MemWrite("ACC", acc, k, a1);
+  const NodeId s1 = b.Op(OpKind::kAdd, "+s", {s, a});
+  const NodeId i1 = b.Op(OpKind::kInc, "++i", {i});
+  b.SetLoopBack(i, i1);
+  b.SetLoopBack(s, s1);
+  b.EndLoop();
+  b.Output("sum", s);
+
+  Benchmark bench;
+  bench.name = "SparseAccum";
+  bench.graph = b.Finish();
+  bench.library = FuLibrary::PaperLibrary();
+  bench.allocation = Allocation::None(bench.library);
+  bench.allocation.Set(bench.library, "comp1", 1);
+  bench.allocation.Set(bench.library, "add1", 2);
+  bench.allocation.Set(bench.library, "inc1", 1);
+  bench.worst_case_budget = 96;
+  bench.lookahead = 6;
+
+  Rng rng(seed);
+  for (int s2 = 0; s2 < num_stimuli; ++s2) {
+    Stimulus st;
+    st.inputs[n] = AbsGauss(rng, 24.0, 1, 64);
+    std::vector<std::int64_t> indices(64);
+    for (auto& x : indices) x = rng.NextInt(0, 15);
+    std::vector<std::int64_t> values(64);
+    for (auto& x : values) x = rng.NextGaussianInt(50.0);
+    st.arrays[idx] = std::move(indices);
+    st.arrays[val] = std::move(values);
+    st.arrays[acc] = std::vector<std::int64_t>(16, 0);
+    bench.stimuli.push_back(std::move(st));
+  }
+  Profile(bench);
+  return bench;
+}
+
 std::vector<Benchmark> MakeTable1Suite(int num_stimuli, std::uint64_t seed) {
   std::vector<Benchmark> suite;
   suite.push_back(MakeBarcode(num_stimuli, seed + 1));
@@ -312,7 +466,8 @@ std::vector<Benchmark> MakeTable1Suite(int num_stimuli, std::uint64_t seed) {
 }
 
 std::vector<std::string> BenchmarkNames() {
-  return {"barcode", "gcd", "test1", "tlc", "findmin", "fig4"};
+  return {"barcode", "gcd",  "test1",     "tlc",   "findmin",
+          "fig4",    "histogram", "sieve", "sparse_accum"};
 }
 
 Result<Benchmark> MakeBenchmarkByName(const std::string& name,
@@ -352,6 +507,9 @@ Result<Benchmark> MakeBenchmarkByName(const std::string& name,
   if (key == "test1") return MakeTest1(num_stimuli, seed + 3);
   if (key == "tlc") return MakeTlc(num_stimuli, seed + 4);
   if (key == "findmin") return MakeFindmin(num_stimuli, seed + 5);
+  if (key == "histogram") return MakeHistogram(num_stimuli, seed + 6);
+  if (key == "sieve") return MakeSieve(num_stimuli, seed + 7);
+  if (key == "sparse_accum") return MakeSparseAccum(num_stimuli, seed + 8);
   std::string known;
   for (const std::string& n : BenchmarkNames()) {
     if (!known.empty()) known += ", ";

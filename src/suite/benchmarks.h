@@ -58,6 +58,26 @@ Benchmark MakeTlc(int num_stimuli, std::uint64_t seed);
 // Index of the minimum element of an array.
 Benchmark MakeFindmin(int num_stimuli, std::uint64_t seed);
 
+// --- Memory-disambiguation workloads --------------------------------------
+//
+// Three designs whose per-iteration load addresses are data-dependent, so
+// the conservative program-order memory chain serializes loop iterations
+// that almost never actually alias. These are the benchmarks for
+// SchedulerOptions::mem_spec (mem/disambig.h); they are not Table 1 rows.
+
+// Histogram: per-element increment of a data-dependent bin. The load H[b]
+// of one iteration aliases the previous iteration's store only when two
+// consecutive elements fall in the same bin.
+Benchmark MakeHistogram(int num_stimuli, std::uint64_t seed);
+
+// One strided marking pass of a sieve: read-modify-write at addresses
+// j, j+p, 2p... (mod the array size), with a data-dependent stride.
+Benchmark MakeSieve(int num_stimuli, std::uint64_t seed);
+
+// Sparse accumulation ACC[IDX[i]] += VAL[i]: a gather/scatter pair whose
+// store address is itself loaded from memory, so it resolves late.
+Benchmark MakeSparseAccum(int num_stimuli, std::uint64_t seed);
+
 // All five Table 1 rows in paper order.
 std::vector<Benchmark> MakeTable1Suite(int num_stimuli, std::uint64_t seed);
 
@@ -72,7 +92,8 @@ Benchmark MakeFig4(double p_true, int num_stimuli, std::uint64_t seed);
 // benchmarks as strings and every worker can rebuild its own shared-nothing
 // copy deterministically.
 
-// Registered names, lower-case: the five Table 1 rows plus "fig4".
+// Registered names, lower-case: the five Table 1 rows, "fig4", and the
+// three memory-disambiguation workloads.
 std::vector<std::string> BenchmarkNames();
 
 // Builds a benchmark by (case-insensitive) name. "fig4" takes an optional

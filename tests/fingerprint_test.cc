@@ -52,6 +52,8 @@ struct RequestParams {
   int gc_window = 4;
   int max_states = 2000;
   int max_ops_per_state = 256;
+  bool mem_spec = false;
+  int lsq_depth = 4;
 };
 
 Cdfg BuildGraph(const RequestParams& p) {
@@ -105,6 +107,8 @@ Fp128 FingerprintOf(const RequestParams& p) {
   options.gc_window = p.gc_window;
   options.max_states = p.max_states;
   options.max_ops_per_state = p.max_ops_per_state;
+  options.mem_spec = p.mem_spec;
+  options.lsq_depth = p.lsq_depth;
   ScheduleRequest request;
   request.graph = &graph;
   request.library = &lib;
@@ -178,6 +182,8 @@ TEST(FingerprintTest, EveryFieldPerturbationMovesTheFingerprint) {
       {"gc_window", [](RequestParams& p) { p.gc_window = 5; }},
       {"max_states", [](RequestParams& p) { p.max_states = 1999; }},
       {"max_ops_per_state", [](RequestParams& p) { p.max_ops_per_state = 255; }},
+      {"mem_spec", [](RequestParams& p) { p.mem_spec = true; }},
+      {"lsq_depth", [](RequestParams& p) { p.lsq_depth = 5; }},
   };
 
   const Fp128 base = FingerprintOf(RequestParams{});

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "base/status.h"
+#include "io/codec.h"
 #include "sched/scheduler.h"
+#include "suite/benchmarks.h"
 
 namespace ws {
 namespace {
@@ -29,6 +31,7 @@ const std::vector<RejectRow>& RejectTable() {
       {"max_ops_per_state",
        [](SchedulerOptions* o) { o->max_ops_per_state = 0; }},
       {"clock", [](SchedulerOptions* o) { o->clock.period_ns = 0.0; }},
+      {"lsq_depth", [](SchedulerOptions* o) { o->lsq_depth = 0; }},
   };
   return table;
 }
@@ -57,6 +60,7 @@ TEST(OptionsValidateTable, BoundaryValuesPass) {
   options.max_states = 1;
   options.max_ops_per_state = 1;
   options.clock.period_ns = std::numeric_limits<double>::min();
+  options.lsq_depth = 1;
   EXPECT_TRUE(options.Validate().ok());
 }
 
@@ -83,8 +87,24 @@ TEST(OptionsValidateTable, AllRowsCoverDistinctFields) {
     EXPECT_TRUE(fields.insert(row.field).second)
         << "duplicate table row for " << row.field;
   }
-  EXPECT_EQ(fields.size(), 5u)
+  EXPECT_EQ(fields.size(), 6u)
       << "SchedulerOptions::Validate rejects a new field? Add its row.";
+}
+
+TEST(OptionsValidateTable, MemSpecOnArraylessDesignIsANoOp) {
+  // Turning on memory speculation for a design with no (modeled) arrays
+  // must schedule exactly as if the flag were off — a silent no-op, never
+  // an error. gcd has no arrays at all.
+  const Benchmark gcd = MakeGcd(2, 7);
+  SchedulerOptions options;
+  options.mode = SpeculationMode::kWaveschedSpec;
+  options.lookahead = gcd.lookahead;
+  const Result<ScheduleReport> off = ScheduleBenchmark(gcd, options);
+  ASSERT_TRUE(off.ok()) << off.error();
+  options.mem_spec = true;
+  const Result<ScheduleReport> on = ScheduleBenchmark(gcd, options);
+  ASSERT_TRUE(on.ok()) << on.error();
+  EXPECT_EQ(EncodeStg(off->stg), EncodeStg(on->stg));
 }
 
 }  // namespace

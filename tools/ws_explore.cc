@@ -7,6 +7,7 @@
 // Usage:
 //   ws_explore [design.beh ...] [--suite] [--bench name,name,...]
 //              [--modes ws,single,spec] [--policies crit,prob,lambda,fifo]
+//              [--mem-spec on,off] [--lsq-depth N]
 //              [--alloc spec]... [--clocks p,p,...]
 //              [--workers N] [--wave-workers N] [--stimuli N] [--seed S]
 //              [--area] [--no-sim] [--no-timing] [--table]
@@ -16,6 +17,12 @@
 //   --bench        add suite benchmarks by name (gcd, test1, fig4:0.3, ...)
 //   --policies     comma list of operation-selection policies (sched/policy.h):
 //                  crit (Eq. 5, default), prob, lambda, fifo
+//   --mem-spec     speculative memory disambiguation grid axis
+//                  (mem/disambig.h): comma list of on/off; default off.
+//                  "--mem-spec on,off" sweeps both and the report carries a
+//                  mem_spec column per run
+//   --lsq-depth    in-flight speculative-access window per array (>= 1,
+//                  default 4); not a grid axis
 //   --alloc        one allocation grid point per flag: "default",
 //                  "unlimited", "none", or "unit=count,..." overrides
 //                  ("inf" = unlimited); default grid is the benchmark's own
@@ -58,7 +65,8 @@ const ws::ToolInfo kTool = {
     "ws_explore",
     "usage: ws_explore [design.beh ...] [--suite] [--bench names]\n"
     "                  [--modes ws,single,spec]\n"
-    "                  [--policies crit,prob,lambda,fifo] [--alloc spec]...\n"
+    "                  [--policies crit,prob,lambda,fifo]\n"
+    "                  [--mem-spec on,off] [--lsq-depth N] [--alloc spec]...\n"
     "                  [--clocks p,p,...] [--workers N] [--wave-workers N]\n"
     "                  [--stimuli N]\n"
     "                  [--seed S] [--area] [--no-sim] [--no-timing]\n"
@@ -121,6 +129,15 @@ int main(int argc, char** argv) {
         if (!policy.ok()) Usage("--policies: " + policy.error());
         spec.policies.push_back(*policy);
       }
+    } else if (arg == "--mem-spec") {
+      spec.mem_specs.clear();
+      for (const std::string& m : SplitCommas(next())) {
+        if (m == "on") spec.mem_specs.push_back(true);
+        else if (m == "off") spec.mem_specs.push_back(false);
+        else Usage("--mem-spec wants a comma list of on/off, got: " + m);
+      }
+    } else if (arg == "--lsq-depth") {
+      spec.base_options.lsq_depth = std::atoi(next().c_str());
     } else if (arg == "--alloc") {
       const std::string a = next();
       spec.allocations.push_back(AllocationSpec{a, a});
