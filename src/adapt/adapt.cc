@@ -1,0 +1,170 @@
+#include "adapt/adapt.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "base/strings.h"
+#include "base/thread_pool.h"
+#include "mem/disambig.h"
+#include "sched/policy.h"
+
+namespace ws {
+namespace {
+
+// Inverts every control condition's annotated probability. Loop-continue
+// conditions are control conditions too, so a skewed loop also mispredicts
+// its trip count.
+void SkewProbabilities(Cdfg* g) {
+  for (std::size_t i = 0; i < g->num_nodes(); ++i) {
+    const NodeId id(static_cast<std::uint32_t>(i));
+    if (!g->is_control_condition(id)) continue;
+    g->set_cond_probability(id, 1.0 - g->cond_probability(id));
+  }
+}
+
+AdaptCellResult AdaptCell(const ExploreSpec& spec, const ExploreCell& cell,
+                          const AdaptOptions& options) {
+  AdaptCellResult result;
+  result.design = cell.design.name;
+  result.mode = cell.mode;
+  result.policy = cell.policy;
+  result.mem_spec = cell.mem_spec;
+  result.allocation = cell.alloc.label;
+  result.clock = cell.clock.label;
+
+  Result<Benchmark> bench = BuildExploreDesign(cell.design, spec);
+  if (!bench.ok()) {
+    result.error = bench.error();
+    return result;
+  }
+  Result<Allocation> allocation = BuildExploreAllocation(*bench, cell.alloc);
+  if (!allocation.ok()) {
+    result.error = allocation.error();
+    return result;
+  }
+  Benchmark& b = *bench;
+  if (options.skew) SkewProbabilities(&b.graph);
+
+  BranchProfile accumulated;
+  for (int iter = 0; iter <= options.max_iterations; ++iter) {
+    const ExploreRun run = RunBenchmarkCell(spec, b, *allocation, cell);
+    if (!run.ok) {
+      result.error = run.error;
+      return result;
+    }
+    AdaptIteration row;
+    row.iteration = iter;
+    row.enc_sim = run.enc_sim;
+    row.enc_markov = run.enc_markov;
+    row.states = run.states;
+
+    // Profile this iteration's schedule on the benchmark's own stimuli.
+    // A mem_spec schedule references the relaxed graph's minted ops, so the
+    // trace replay must run against the same graph Schedule used (the
+    // RunBenchmarkCell mirror); derivation later skips the minted ids.
+    std::optional<MemSpecResult> relaxed;
+    const Cdfg* analysis_graph = &b.graph;
+    if (cell.mem_spec && cell.mode != SpeculationMode::kWavesched) {
+      MemSpecResult r = ApplyMemSpec(b.graph);
+      if (r.lsq.active()) {
+        relaxed = std::move(r);
+        analysis_graph = &relaxed->graph;
+      }
+    }
+    MergeProfile(accumulated,
+                 ProfileFromStgSim(run.stg, *analysis_graph, b.stimuli));
+
+    const ApplyProfileResult applied =
+        ApplyProfileToGraph(b.graph, accumulated);
+    row.applied = applied.applied;
+    row.max_delta = applied.max_delta;
+    row.traces = accumulated.traces;
+    result.iterations.push_back(row);
+
+    if (applied.max_delta < options.convergence_delta) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.profile = std::move(accumulated);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+double AdaptCellResult::improvement_pct() const {
+  if (iterations.empty() || iterations.front().enc_sim <= 0.0) return 0.0;
+  const double first = iterations.front().enc_sim;
+  double best = first;
+  for (const AdaptIteration& row : iterations) {
+    best = std::min(best, row.enc_sim);
+  }
+  return 100.0 * (first - best) / first;
+}
+
+AdaptReport RunAdaptExplore(const ExploreSpec& spec,
+                            const AdaptOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+
+  ExploreSpec adapted_spec = spec;
+  adapted_spec.measure_sim_enc = true;  // the loop's feedback signal
+  adapted_spec.store = nullptr;         // every iteration recomputes
+
+  const std::vector<ExploreCell> grid = ExpandExploreGrid(adapted_spec);
+
+  AdaptReport report;
+  report.options = options;
+  report.cells.resize(grid.size());
+  {
+    ThreadPool pool(adapted_spec.workers);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const ExploreCell* cell = &grid[i];
+      AdaptCellResult* slot = &report.cells[i];
+      pool.Submit([&adapted_spec, &options, cell, slot] {
+        *slot = AdaptCell(adapted_spec, *cell, options);
+      });
+    }
+    pool.Wait();
+  }
+
+  report.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+std::string RenderAdaptReport(const AdaptReport& report) {
+  std::string out;
+  for (const AdaptCellResult& cell : report.cells) {
+    out += StrPrintf("%s mode=%s policy=%s%s alloc=%s clock=%s%s\n",
+                     cell.design.c_str(), SpeculationModeName(cell.mode),
+                     SelectionPolicyName(cell.policy),
+                     cell.mem_spec ? " mem_spec" : "",
+                     cell.allocation.c_str(), cell.clock.c_str(),
+                     report.options.skew ? " (skewed start)" : "");
+    if (!cell.ok) {
+      out += StrCat("  error: ", cell.error, "\n");
+      continue;
+    }
+    out += "  iter    enc_sim  enc_markov  states  applied  max_delta"
+           "   traces\n";
+    for (const AdaptIteration& row : cell.iterations) {
+      out += StrPrintf("  %4d  %9.3f  %10.3f  %6zu  %7d  %9.4f  %7lld\n",
+                       row.iteration, row.enc_sim, row.enc_markov, row.states,
+                       row.applied, row.max_delta,
+                       static_cast<long long>(row.traces));
+    }
+    out += StrPrintf(
+        "  %s after %zu iteration%s; enc_sim improvement %.1f%%\n",
+        cell.converged ? "converged" : "iteration budget exhausted",
+        cell.iterations.size(), cell.iterations.size() == 1 ? "" : "s",
+        cell.improvement_pct());
+  }
+  return out;
+}
+
+}  // namespace ws

@@ -1,0 +1,95 @@
+// Offline fixed-point adaptive re-scheduling (`ws_explore --adapt N`).
+//
+// The feedback loop the serving daemon runs incrementally (dispatch.h's
+// adapt lane), iterated to convergence in one process:
+//
+//   schedule -> simulate the schedule on the benchmark's stimuli ->
+//   profile the observed branch outcomes -> re-derive smoothed
+//   probabilities -> re-schedule with them -> repeat
+//
+// Iteration 0 schedules with the graph's own annotations (optionally
+// skew-inverted — the controlled way to start from wrong probabilities and
+// watch the loop recover); every later iteration schedules with
+// probabilities derived from the *accumulated* profile of all earlier
+// iterations. The loop stops when the largest probability update falls
+// below the convergence threshold or the iteration budget runs out.
+//
+// Determinism: cells rebuild their own benchmark and mutate only their own
+// graph copy (the explore engine's shared-nothing convention), stimuli and
+// profiling are deterministic in the spec's seed, and smoothing is pure
+// arithmetic — so the report is byte-identical (modulo timing) for any
+// worker count.
+#ifndef WS_ADAPT_ADAPT_H
+#define WS_ADAPT_ADAPT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adapt/profile.h"
+#include "explore/explore.h"
+
+namespace ws {
+
+struct AdaptOptions {
+  // Re-schedule rounds after iteration 0 (the annotation schedule). The
+  // loop may stop earlier on convergence.
+  int max_iterations = 5;
+  // Invert every control condition's annotated probability (p -> 1-p)
+  // before iteration 0: a worst-case-wrong starting point for demos and
+  // tests of the recovery loop.
+  bool skew = false;
+  // Converged when no derived probability moved more than this between
+  // consecutive iterations.
+  double convergence_delta = 0.01;
+};
+
+// One row of the per-cell convergence trace.
+struct AdaptIteration {
+  int iteration = 0;
+  double enc_sim = 0.0;     // cycles per trace of this iteration's schedule
+  double enc_markov = 0.0;  // analytic E.N.C. under this iteration's priors
+  std::size_t states = 0;
+  int applied = 0;          // conditions whose probability was re-derived
+  double max_delta = 0.0;   // largest probability change applied after this
+                            // iteration's profile merge
+  std::int64_t traces = 0;  // cumulative profiled traces
+};
+
+struct AdaptCellResult {
+  // Grid coordinates, mirroring ExploreRun's key fields.
+  std::string design;
+  SpeculationMode mode = SpeculationMode::kWavesched;
+  SelectionPolicy policy = SelectionPolicy::kCriticality;
+  bool mem_spec = false;
+  std::string allocation;
+  std::string clock;
+
+  bool ok = false;
+  std::string error;
+  bool converged = false;
+  std::vector<AdaptIteration> iterations;
+  BranchProfile profile;  // final accumulated profile
+
+  // enc_sim improvement of the best iteration over iteration 0, percent.
+  double improvement_pct() const;
+};
+
+struct AdaptReport {
+  AdaptOptions options;
+  std::vector<AdaptCellResult> cells;  // ExpandExploreGrid order
+  double wall_ms = 0.0;
+};
+
+// Runs the loop over every cell of the spec's grid. measure_sim_enc is
+// forced on (the loop's feedback signal is the trace simulation); the
+// spec's store is ignored — every iteration recomputes.
+AdaptReport RunAdaptExplore(const ExploreSpec& spec,
+                            const AdaptOptions& options);
+
+// Human-readable convergence tables, one block per cell.
+std::string RenderAdaptReport(const AdaptReport& report);
+
+}  // namespace ws
+
+#endif  // WS_ADAPT_ADAPT_H

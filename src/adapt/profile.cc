@@ -1,0 +1,211 @@
+#include "adapt/profile.h"
+
+#include <algorithm>
+
+#include "base/codec.h"
+#include "base/strings.h"
+#include "io/codec.h"
+#include "sim/interpreter.h"
+#include "sim/stg_sim.h"
+
+namespace ws {
+namespace {
+
+Status Malformed(const char* what) {
+  return Status::MakeError(StatusCode::kInvalidArgument,
+                           StrCat("malformed ", what));
+}
+
+// The static profiler's clamp band (sim/interpreter.cc): probabilities never
+// reach 0 or 1, so no branch is ever scheduled as impossible.
+constexpr double kProbFloor = 0.005;
+constexpr double kProbCeil = 0.995;
+
+}  // namespace
+
+void MergeProfile(BranchProfile& into, const BranchProfile& from) {
+  into.traces += from.traces;
+  into.cycles += from.cycles;
+  for (const auto& [node, counts] : from.conds) {
+    CondCounts& c = into.conds[node];
+    c.taken += counts.taken;
+    c.not_taken += counts.not_taken;
+  }
+  for (const auto& [loop, histogram] : from.loops) {
+    std::map<std::int64_t, std::int64_t>& h = into.loops[loop];
+    for (const auto& [trips, count] : histogram) h[trips] += count;
+  }
+}
+
+std::string EncodeProfilePayload(const BranchProfile& profile) {
+  ByteWriter w;
+  w.I64(profile.traces);
+  w.I64(profile.cycles);
+  w.U32(static_cast<std::uint32_t>(profile.conds.size()));
+  for (const auto& [node, counts] : profile.conds) {
+    w.U32(node);
+    w.I64(counts.taken);
+    w.I64(counts.not_taken);
+  }
+  w.U32(static_cast<std::uint32_t>(profile.loops.size()));
+  for (const auto& [loop, histogram] : profile.loops) {
+    w.U32(loop);
+    w.U32(static_cast<std::uint32_t>(histogram.size()));
+    for (const auto& [trips, count] : histogram) {
+      w.I64(trips);
+      w.I64(count);
+    }
+  }
+  return w.Take();
+}
+
+Result<BranchProfile> DecodeProfilePayload(std::string_view payload) {
+  ByteReader r(payload);
+  BranchProfile p;
+  p.traces = r.I64();
+  p.cycles = r.I64();
+  const std::uint32_t num_conds = r.U32();
+  if (!r.ok()) return Malformed("BranchProfile header");
+  for (std::uint32_t i = 0; i < num_conds; ++i) {
+    const std::uint32_t node = r.U32();
+    CondCounts counts;
+    counts.taken = r.I64();
+    counts.not_taken = r.I64();
+    if (!r.ok() || counts.taken < 0 || counts.not_taken < 0) {
+      return Malformed("BranchProfile condition counts");
+    }
+    p.conds[node] = counts;
+  }
+  const std::uint32_t num_loops = r.U32();
+  if (!r.ok()) return Malformed("BranchProfile loop section");
+  for (std::uint32_t i = 0; i < num_loops; ++i) {
+    const std::uint32_t loop = r.U32();
+    const std::uint32_t buckets = r.U32();
+    if (!r.ok()) return Malformed("BranchProfile loop header");
+    std::map<std::int64_t, std::int64_t>& h = p.loops[loop];
+    for (std::uint32_t b = 0; b < buckets; ++b) {
+      const std::int64_t trips = r.I64();
+      const std::int64_t count = r.I64();
+      if (!r.ok() || count < 0) return Malformed("BranchProfile histogram");
+      h[trips] += count;
+    }
+  }
+  if (!r.AtEnd()) return Malformed("BranchProfile (trailing bytes)");
+  return p;
+}
+
+std::string EncodeProfileArtifact(const BranchProfile& profile) {
+  ArtifactMeta meta;
+  meta.profile_digest = ProfileDigest(profile);
+  return EncodeArtifactWithMeta(ArtifactKind::kBranchProfile,
+                                EncodeProfilePayload(profile), meta);
+}
+
+Result<BranchProfile> DecodeProfileArtifact(std::string_view bytes) {
+  Result<std::string> payload =
+      DecodeArtifact(ArtifactKind::kBranchProfile, bytes);
+  if (!payload.ok()) return payload.status();
+  return DecodeProfilePayload(*payload);
+}
+
+Fp128 ProfileDigest(const BranchProfile& profile) {
+  const std::string payload = EncodeProfilePayload(profile);
+  FpHasher h;
+  h.Mix(payload.size());
+  std::size_t i = 0;
+  for (; i + 8 <= payload.size(); i += 8) {
+    std::uint64_t chunk = 0;
+    for (int b = 0; b < 8; ++b) {
+      chunk |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(payload[i + b]))
+               << (8 * b);
+    }
+    h.Mix(chunk);
+  }
+  std::uint64_t tail = 0;
+  for (int b = 0; i < payload.size(); ++i, ++b) {
+    tail |= static_cast<std::uint64_t>(static_cast<unsigned char>(payload[i]))
+            << (8 * b);
+  }
+  h.Mix(tail);
+  return h.digest();
+}
+
+Fp128 ProfileStoreKey(const Fp128& cell_key) {
+  FpHasher h;
+  h.Mix(cell_key.lo);
+  h.Mix(cell_key.hi);
+  h.Mix(0x70726f66696c6531ull);  // "profile1" salt
+  return h.digest();
+}
+
+double SmoothedProbability(const CondCounts& counts) {
+  const double p = (static_cast<double>(counts.taken) + 1.0) /
+                   (static_cast<double>(counts.total()) + 2.0);
+  return std::min(kProbCeil, std::max(kProbFloor, p));
+}
+
+std::map<NodeId, double> DeriveProbabilities(const Cdfg& g,
+                                             const BranchProfile& profile) {
+  std::map<NodeId, double> out;
+  for (const auto& [raw, counts] : profile.conds) {
+    const NodeId node(raw);
+    if (raw >= g.num_nodes() || !g.is_control_condition(node)) continue;
+    out[node] = SmoothedProbability(counts);
+  }
+  return out;
+}
+
+ApplyProfileResult ApplyProfileToGraph(Cdfg& g, const BranchProfile& profile) {
+  ApplyProfileResult result;
+  for (const auto& [node, p] : DeriveProbabilities(g, profile)) {
+    const double delta = p - g.cond_probability(node);
+    g.set_cond_probability(node, p);
+    ++result.applied;
+    result.max_delta = std::max(result.max_delta,
+                                delta < 0.0 ? -delta : delta);
+  }
+  return result;
+}
+
+BranchProfile ProfileFromStgSim(const Stg& stg, const Cdfg& g,
+                                const std::vector<Stimulus>& stimuli) {
+  BranchProfile profile;
+  StgSimOptions options;
+  options.record_cond_profile = true;
+  for (const Stimulus& stimulus : stimuli) {
+    const StgSimResult r = SimulateStg(stg, g, stimulus, options);
+    ++profile.traces;
+    profile.cycles += r.cycles;
+    for (const auto& [node, counts] : r.cond_counts) {
+      CondCounts& c = profile.conds[node.value()];
+      c.taken += counts.first;
+      c.not_taken += counts.second;
+    }
+    for (const auto& [loop, trips] : r.loop_trips) {
+      profile.loops[loop.value()][trips] += 1;
+    }
+  }
+  return profile;
+}
+
+BranchProfile ProfileFromInterp(const Cdfg& g,
+                                const std::vector<Stimulus>& stimuli) {
+  BranchProfile profile;
+  for (const Stimulus& stimulus : stimuli) {
+    const InterpResult r = Interpret(g, stimulus);
+    ++profile.traces;
+    for (const auto& [node, outcomes] : r.cond_outcomes) {
+      CondCounts& c = profile.conds[node.value()];
+      for (const bool outcome : outcomes) {
+        if (outcome) ++c.taken; else ++c.not_taken;
+      }
+    }
+    for (const auto& [loop, iterations] : r.loop_iterations) {
+      profile.loops[loop.value()][iterations] += 1;
+    }
+  }
+  return profile;
+}
+
+}  // namespace ws

@@ -1,0 +1,125 @@
+// Branch-execution profiles: the feedback half of adaptive re-scheduling.
+//
+// A BranchProfile aggregates what a set of executed traces revealed about a
+// design's control flow — per-conditional taken/not-taken counts and
+// per-loop trip-count histograms — independent of where the traces came
+// from: the cycle-accurate STG simulator (ProfileFromStgSim, the daemon's
+// own replay and `ws_explore --adapt`), or the golden CDFG interpreter
+// (ProfileFromInterp, what a client reports over the PROFILE verb without
+// needing the schedule).
+//
+// Everything downstream is deterministic: profiles encode to canonical
+// bytes (sorted maps, fixed-width little-endian fields), merge by plain
+// addition, and derive smoothed probabilities by a pure closed form
+// (Laplace / add-one smoothing, clamped to the same [0.005, 0.995] band the
+// static profiler uses):
+//
+//     P(cond = true) = (taken + 1) / (taken + not_taken + 2)
+//
+// so for a fixed profile set, the derived probabilities — and therefore the
+// re-scheduled artifact and every adaptive explore report — are
+// byte-identical at any worker count.
+#ifndef WS_ADAPT_PROFILE_H
+#define WS_ADAPT_PROFILE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/hashing.h"
+#include "base/status.h"
+#include "cdfg/cdfg.h"
+#include "sim/stimulus.h"
+#include "stg/stg.h"
+
+namespace ws {
+
+// Outcome counts for one condition node.
+struct CondCounts {
+  std::int64_t taken = 0;      // resolved true
+  std::int64_t not_taken = 0;  // resolved false
+
+  std::int64_t total() const { return taken + not_taken; }
+  bool operator==(const CondCounts&) const = default;
+};
+
+struct BranchProfile {
+  // Traces aggregated into this profile and their total simulated cycles
+  // (0 when the producer has no cycle notion, e.g. the interpreter).
+  std::int64_t traces = 0;
+  std::int64_t cycles = 0;
+
+  // Per-conditional outcome counts, keyed by raw node id. Ordered maps keep
+  // the encoding canonical.
+  std::map<std::uint32_t, CondCounts> conds;
+
+  // Per-loop trip-count histograms, keyed by raw loop id:
+  // trips -> number of traces that ran the loop body exactly `trips` times.
+  std::map<std::uint32_t, std::map<std::int64_t, std::int64_t>> loops;
+
+  bool empty() const { return conds.empty() && loops.empty(); }
+  bool operator==(const BranchProfile&) const = default;
+};
+
+// Accumulates `from` into `into` (counts add, histograms add bucket-wise).
+void MergeProfile(BranchProfile& into, const BranchProfile& from);
+
+// Canonical byte encoding (deterministic across platforms) and its inverse.
+// The payload is what travels in the PROFILE wire verb and what the store
+// persists under an ArtifactKind::kBranchProfile envelope.
+std::string EncodeProfilePayload(const BranchProfile& profile);
+Result<BranchProfile> DecodeProfilePayload(std::string_view payload);
+
+// Envelope convenience (io/codec.h, kind kBranchProfile; the meta carries
+// the profile's own digest).
+std::string EncodeProfileArtifact(const BranchProfile& profile);
+Result<BranchProfile> DecodeProfileArtifact(std::string_view bytes);
+
+// 128-bit digest of the canonical encoding. Equal profiles — regardless of
+// how their counts were accumulated — digest equally.
+Fp128 ProfileDigest(const BranchProfile& profile);
+
+// The store key a cell's accumulated profile lives under: a salted
+// derivative of the cell's own artifact key, so run artifact and profile
+// pair up without colliding.
+Fp128 ProfileStoreKey(const Fp128& cell_key);
+
+// The smoothed P(true) for one condition's counts (the closed form above).
+double SmoothedProbability(const CondCounts& counts);
+
+// Derived probabilities for every profiled condition that is a control
+// condition of `g` (profiles may carry ids minted on a relaxed mem-spec
+// graph or from another design revision; those are skipped).
+std::map<NodeId, double> DeriveProbabilities(const Cdfg& g,
+                                             const BranchProfile& profile);
+
+// Applies DeriveProbabilities to the graph's probability annotations.
+struct ApplyProfileResult {
+  int applied = 0;        // conditions whose annotation was updated
+  double max_delta = 0.0; // largest |new - old| over applied conditions
+};
+ApplyProfileResult ApplyProfileToGraph(Cdfg& g, const BranchProfile& profile);
+
+// --- producers -------------------------------------------------------------
+
+// Replays every stimulus through the cycle-accurate STG simulator with
+// condition recording on and aggregates the observed outcomes. `g` must be
+// the graph the STG was scheduled from (the relaxed graph for mem-spec
+// schedules). Counts only genuinely *resolved* condition instances — the
+// ones transition cubes consumed — so speculated-and-squashed evaluations
+// never pollute the profile.
+BranchProfile ProfileFromStgSim(const Stg& stg, const Cdfg& g,
+                                const std::vector<Stimulus>& stimuli);
+
+// Schedule-free producer on the golden interpreter (what `ws_client
+// profile` reports): per-condition outcome sequences and loop iteration
+// counts, no cycle totals.
+BranchProfile ProfileFromInterp(const Cdfg& g,
+                                const std::vector<Stimulus>& stimuli);
+
+}  // namespace ws
+
+#endif  // WS_ADAPT_PROFILE_H

@@ -196,27 +196,55 @@ const char* ArtifactKindName(ArtifactKind kind) {
     case ArtifactKind::kScheduleStats: return "schedule_stats";
     case ArtifactKind::kScheduleReport: return "schedule_report";
     case ArtifactKind::kExploreRun: return "explore_run";
+    case ArtifactKind::kBranchProfile: return "branch_profile";
   }
   return "unknown";
 }
 
-std::string EncodeArtifact(ArtifactKind kind, std::string_view payload) {
+namespace {
+
+// v4 CRC coverage: the adaptive meta fields followed by the payload bytes,
+// so a flipped bit anywhere past the fixed header is caught. Pre-v4
+// envelopes (which have no meta fields) check the payload alone.
+std::uint32_t MetaPayloadCrc(const ArtifactMeta& meta,
+                             std::string_view payload) {
+  ByteWriter mw;
+  mw.U32(meta.generation);
+  mw.U64(meta.profile_digest.lo);
+  mw.U64(meta.profile_digest.hi);
+  const std::string meta_bytes = mw.Take();
+  return Crc32(payload.data(), payload.size(), Crc32(meta_bytes));
+}
+
+}  // namespace
+
+std::string EncodeArtifactWithMeta(ArtifactKind kind, std::string_view payload,
+                                   const ArtifactMeta& meta) {
   ByteWriter w;
   w.U32(kArtifactMagic);
   w.U8(kArtifactVersion);
   w.U8(static_cast<std::uint8_t>(kind));
+  w.U32(meta.generation);
+  w.U64(meta.profile_digest.lo);
+  w.U64(meta.profile_digest.hi);
   w.Str(payload);
-  w.U32(Crc32(payload));
+  w.U32(MetaPayloadCrc(meta, payload));
   return w.Take();
+}
+
+std::string EncodeArtifact(ArtifactKind kind, std::string_view payload) {
+  return EncodeArtifactWithMeta(kind, payload, ArtifactMeta{});
 }
 
 namespace {
 
 // Shared header walk for Peek/Decode. On success `r` is positioned at the
-// payload length field and `*version_out` (when non-null) holds the stored
-// on-disk version.
+// payload length field, `*version_out` (when non-null) holds the stored
+// on-disk version, and `*meta_out` (when non-null) the stored adaptive meta
+// (the zero meta for pre-v4 envelopes, which predate the fields).
 Result<ArtifactKind> ReadArtifactHeader(ByteReader& r,
-                                        std::uint8_t* version_out = nullptr) {
+                                        std::uint8_t* version_out = nullptr,
+                                        ArtifactMeta* meta_out = nullptr) {
   if (r.U32() != kArtifactMagic) {
     if (!r.ok()) return Corrupt("truncated header");
     return Corrupt("bad magic");
@@ -233,9 +261,17 @@ Result<ArtifactKind> ReadArtifactHeader(ByteReader& r,
                static_cast<int>(kArtifactVersion),
                "; refusing to guess at its layout"));
   }
+  if (version >= 4) {
+    ArtifactMeta meta;
+    meta.generation = r.U32();
+    meta.profile_digest.lo = r.U64();
+    meta.profile_digest.hi = r.U64();
+    if (!r.ok()) return Corrupt("truncated header");
+    if (meta_out != nullptr) *meta_out = meta;
+  }
   if (version == 0 ||
       kind < static_cast<std::uint8_t>(ArtifactKind::kStg) ||
-      kind > static_cast<std::uint8_t>(ArtifactKind::kExploreRun)) {
+      kind > static_cast<std::uint8_t>(ArtifactKind::kBranchProfile)) {
     return Corrupt("bad version/kind");
   }
   return static_cast<ArtifactKind>(kind);
@@ -248,11 +284,19 @@ Result<ArtifactKind> PeekArtifactKind(std::string_view bytes) {
   return ReadArtifactHeader(r);
 }
 
+Result<ArtifactMeta> PeekArtifactMeta(std::string_view bytes) {
+  ByteReader r(bytes);
+  ArtifactMeta meta;
+  Result<ArtifactKind> kind = ReadArtifactHeader(r, nullptr, &meta);
+  if (!kind.ok()) return kind.status();
+  return meta;
+}
+
 Result<DecodedArtifact> DecodeArtifactWithVersion(ArtifactKind expected,
                                                   std::string_view bytes) {
   ByteReader r(bytes);
   DecodedArtifact out;
-  Result<ArtifactKind> kind = ReadArtifactHeader(r, &out.version);
+  Result<ArtifactKind> kind = ReadArtifactHeader(r, &out.version, &out.meta);
   if (!kind.ok()) return kind.status();
   if (*kind != expected) {
     return Status::MakeError(
@@ -263,7 +307,10 @@ Result<DecodedArtifact> DecodeArtifactWithVersion(ArtifactKind expected,
   out.payload = r.Str();
   const std::uint32_t stored_crc = r.U32();
   if (!r.AtEnd()) return Corrupt("truncated or oversized body");
-  if (Crc32(out.payload) != stored_crc) {
+  const std::uint32_t want_crc = out.version >= 4
+                                     ? MetaPayloadCrc(out.meta, out.payload)
+                                     : Crc32(out.payload);
+  if (want_crc != stored_crc) {
     return Corrupt("payload CRC mismatch");
   }
   return out;

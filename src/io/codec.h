@@ -5,11 +5,15 @@
 //   u32  magic    "WSAR" (0x52415357 little-endian on the wire)
 //   u8   version  on-disk format version (kArtifactVersion)
 //   u8   kind     ArtifactKind discriminator
+//   u32  generation     (v4+) adaptive re-schedule generation; 0 = first
+//   u64  digest.lo      (v4+) digest of the BranchProfile the payload was
+//   u64  digest.hi      (v4+) derived from; 0/0 = none (src/adapt/)
 //   u32  length   payload byte count
 //   ...  payload  kind-specific encoding (little-endian; doubles as IEEE-754
 //                 bit patterns — the same idiom as the serving wire protocol,
 //                 so round trips are exact)
-//   u32  crc32    CRC-32 (IEEE) of the payload bytes
+//   u32  crc32    CRC-32 (IEEE) of the meta fields + payload bytes (v4+;
+//                 pre-v4 envelopes cover the payload alone)
 //
 // Compatibility rule: a decoder REJECTS artifacts whose version is newer
 // than the build's kArtifactVersion (it cannot know what changed) and READS
@@ -24,6 +28,13 @@
 //   3  the ExploreRun payload gains the mem_spec byte after the policy
 //      byte (speculative memory disambiguation, mem/disambig.h). Older
 //      artifacts decode with mem_spec = false — the only pre-v3 behavior.
+//   4  the envelope header gains the adaptive re-scheduling meta fields
+//      {u32 generation, u64 profile digest lo, u64 hi} between the kind
+//      byte and the payload length, and ArtifactKind::kBranchProfile joins
+//      the kind space (src/adapt/profile.h payloads). Payload layouts are
+//      unchanged; older envelopes decode with generation 0 and a zero
+//      digest — every pre-v4 artifact is a first-generation, unprofiled
+//      schedule.
 //
 // The codecs promise exact round trips: decode(encode(x)) is structurally
 // equal to x, and encode(decode(bytes)) == bytes for any bytes this version
@@ -36,6 +47,7 @@
 #include <string_view>
 
 #include "base/codec.h"
+#include "base/hashing.h"
 #include "base/status.h"
 #include "sched/scheduler.h"
 #include "stg/stg.h"
@@ -43,21 +55,37 @@
 namespace ws {
 
 inline constexpr std::uint32_t kArtifactMagic = 0x52415357;  // "WSAR"
-inline constexpr std::uint8_t kArtifactVersion = 3;
+inline constexpr std::uint8_t kArtifactVersion = 4;
 
 enum class ArtifactKind : std::uint8_t {
   kStg = 1,
   kScheduleStats = 2,
   kScheduleReport = 3,
-  kExploreRun = 4,  // payload encoded by explore/run_codec.h
+  kExploreRun = 4,      // payload encoded by explore/run_codec.h
+  kBranchProfile = 5,   // payload encoded by adapt/profile.h
 };
 
 const char* ArtifactKindName(ArtifactKind kind);
 
+// Envelope metadata introduced by v4: which adaptive generation the payload
+// is (0 = the schedule computed from the request's own annotations) and the
+// digest of the branch profile it was derived from (zero when none).
+struct ArtifactMeta {
+  std::uint32_t generation = 0;
+  Fp128 profile_digest{0, 0};
+
+  bool operator==(const ArtifactMeta&) const = default;
+};
+
 // --- envelope --------------------------------------------------------------
 
-// Wraps an already-encoded payload in the envelope above.
+// Wraps an already-encoded payload in the envelope above (default meta:
+// generation 0, no profile digest).
 std::string EncodeArtifact(ArtifactKind kind, std::string_view payload);
+
+// Same, carrying explicit adaptive-re-scheduling metadata.
+std::string EncodeArtifactWithMeta(ArtifactKind kind, std::string_view payload,
+                                   const ArtifactMeta& meta);
 
 // Verifies magic/version/length/CRC and returns the payload bytes.
 // `expected` must match the stored kind. Typed kInvalidArgument errors name
@@ -71,11 +99,17 @@ Result<std::string> DecodeArtifact(ArtifactKind expected,
 // verify the CRC).
 Result<ArtifactKind> PeekArtifactKind(std::string_view bytes);
 
-// DecodeArtifact plus the stored on-disk version, for payload codecs whose
-// layout changed across versions (ReadScheduleStats, explore/run_codec.h).
+// The stored adaptive metadata (header checks only; pre-v4 envelopes report
+// the zero meta).
+Result<ArtifactMeta> PeekArtifactMeta(std::string_view bytes);
+
+// DecodeArtifact plus the stored on-disk version and meta, for payload
+// codecs whose layout changed across versions (ReadScheduleStats,
+// explore/run_codec.h) and consumers of the generation/digest fields.
 struct DecodedArtifact {
   std::string payload;
   std::uint8_t version = kArtifactVersion;
+  ArtifactMeta meta;
 };
 Result<DecodedArtifact> DecodeArtifactWithVersion(ArtifactKind expected,
                                                   std::string_view bytes);

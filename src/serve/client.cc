@@ -151,6 +151,22 @@ Result<ScheduleArtifact> ServeClient::Schedule(const CellRequest& request) {
   return DecodeScheduleResponse(*response);
 }
 
+Result<std::string> ServeClient::ReportProfile(const CellRequest& request,
+                                               const BranchProfile& profile) {
+  if (profile.empty()) {
+    return Status::MakeError(StatusCode::kInvalidArgument,
+                             "refusing to report an empty profile");
+  }
+  Result<WireResponse> response = Call(
+      Verb::kProfile, EncodeProfileReportBody(EncodeCellRequest(request),
+                                              EncodeProfilePayload(profile)));
+  if (!response.ok()) return response.status();
+  if (response->status != ResponseStatus::kOk) {
+    return Status::MakeError(StatusCode::kInvalidArgument, response->payload);
+  }
+  return std::move(response->payload);
+}
+
 Result<std::string> ServeClient::Ping() { return ExpectOk(Call(Verb::kPing, "")); }
 
 Result<std::string> ServeClient::Stats() {

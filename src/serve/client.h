@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 
+#include "adapt/profile.h"
 #include "base/net.h"
 #include "base/status.h"
 #include "explore/explore.h"
@@ -77,6 +78,14 @@ class ServeClient {
   // protocol-level failures come back inside the WireResponse. The typed
   // calls above are preferred; this remains for protocol-level tooling.
   Result<WireResponse> Call(Verb verb, const std::string& body);
+
+  // Reports client-observed branch outcomes for the request's fingerprint
+  // (Verb::kProfile). The server merges the profile synchronously and
+  // re-schedules on its background lane; the returned string is the
+  // server's accumulation ack. The request identifies the fingerprint —
+  // its deadline_ms is ignored server-side.
+  Result<std::string> ReportProfile(const CellRequest& request,
+                                    const BranchProfile& profile);
 
   // Verb shorthands; they demand a kOk reply and surface anything else as
   // an error status.

@@ -69,6 +69,10 @@ ServeDispatcher::ServeDispatcher(DispatcherOptions options,
   sched_closure_us_ = metrics->histogram("serve.sched_closure_us");
   sched_select_us_ = metrics->histogram("serve.sched_select_us");
   sched_gc_us_ = metrics->histogram("serve.sched_gc_us");
+  adapt_profiles_ = metrics->counter("serve.adapt_profiles");
+  adapt_swaps_ = metrics->counter("serve.adapt_swaps");
+  adapt_rejected_ = metrics->counter("serve.adapt_rejected");
+  adapt_resched_us_ = metrics->histogram("serve.adapt_resched_us");
 }
 
 ServeDispatcher::~ServeDispatcher() { Drain(); }
@@ -191,25 +195,93 @@ PendingHandle ServeDispatcher::Submit(const CellRequest& request,
   return pending;
 }
 
+Result<std::string> ServeDispatcher::ReportProfile(
+    const CellRequest& request, const BranchProfile& profile) {
+  if (profile.empty()) {
+    return Status::MakeError(StatusCode::kInvalidArgument,
+                             "profile report carries no observations");
+  }
+  if (!request.measure_sim_enc) {
+    return Status::MakeError(
+        StatusCode::kInvalidArgument,
+        "profile reports require measure_sim_enc: the swap guard compares "
+        "trace-measured cycles");
+  }
+  ExploreSpec spec = request.ToSpec();
+  if (const Status valid = spec.Validate(); !valid.ok()) return valid;
+  const ExploreCell cell = request.ToCell();
+  Result<Benchmark> bench = BuildExploreDesign(cell.design, spec);
+  if (!bench.ok()) return bench.status();
+  Result<Allocation> allocation = BuildExploreAllocation(*bench, cell.alloc);
+  if (!allocation.ok()) return allocation.status();
+  const ScheduleRequest sched_request =
+      MakeCellScheduleRequest(spec, *bench, *allocation, cell);
+  const Fp128 key = ExploreCellKey(spec, cell, sched_request);
+  Shard& shard = *shards_[static_cast<std::size_t>(cache_.shard_of(key))];
+
+  std::int64_t traces = 0;
+  std::uint32_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (stopping_.load(std::memory_order_acquire)) {
+      return Status::MakeError(StatusCode::kOverloaded, "server is draining");
+    }
+    AdaptEntry& entry = shard.adapt[key];
+    if (entry.seq == 0) {
+      entry.request = request;
+      // Adapt runs are unbounded background work; a reporter's deadline
+      // never applies to them.
+      entry.request.deadline_ms = 0;
+    }
+    MergeProfile(entry.profile, profile);
+    ++entry.seq;
+    if (!entry.queued) {
+      entry.queued = true;
+      shard.adapt_queue.push_back(key);
+    }
+    traces = entry.profile.traces;
+    generation = entry.generation;
+  }
+  shard.cv.notify_one();
+  adapt_profiles_->Increment();
+  return StrCat("profile accepted: ", traces,
+                " traces accumulated, generation ", generation);
+}
+
 void ServeDispatcher::WorkerLoop(Shard* shard) {
   for (;;) {
     Job job;
+    Fp128 adapt_key{0, 0};
+    bool run_adapt = false;
     {
       std::unique_lock<std::mutex> lock(shard->mu);
       shard->cv.wait(lock, [this, shard] {
-        return !shard->queue.empty() ||
+        return !shard->queue.empty() || !shard->adapt_queue.empty() ||
                stopping_.load(std::memory_order_acquire);
       });
-      if (shard->queue.empty()) {
-        // stopping_ and an empty queue, observed under the shard mutex: no
-        // further job can be enqueued (Submit sheds once stopping_), so the
-        // drain is complete for this worker.
+      // Request work always preempts the adapt lane: background
+      // re-optimization only runs when no served request is waiting.
+      if (!shard->queue.empty()) {
+        job = std::move(shard->queue.front());
+        shard->queue.pop_front();
+      } else if (stopping_.load(std::memory_order_acquire)) {
+        // stopping_ and an empty request queue, observed under the shard
+        // mutex: no further job can be enqueued (Submit sheds once
+        // stopping_), so the drain is complete for this worker. Queued
+        // adapt work is dropped — it is best-effort optimization with no
+        // attached waiters.
         return;
+      } else {
+        adapt_key = shard->adapt_queue.front();
+        shard->adapt_queue.pop_front();
+        run_adapt = true;
       }
-      job = std::move(shard->queue.front());
-      shard->queue.pop_front();
     }
-    Execute(shard, std::move(job));
+    if (run_adapt) {
+      ExecuteAdapt(shard, adapt_key);
+    } else {
+      Execute(shard, std::move(job));
+    }
   }
 }
 
@@ -315,6 +387,169 @@ void ServeDispatcher::Execute(Shard* shard, Job job) {
   const int n = static_cast<int>(waiters.size());
   admitted_.fetch_sub(n, std::memory_order_acq_rel);
   queue_depth_->Add(-n);
+}
+
+void ServeDispatcher::ExecuteAdapt(Shard* shard, const Fp128& key) {
+  // First run for this fingerprint: fold in any profile persisted by an
+  // earlier process under the derived profile key. The store read happens
+  // off the shard mutex — we are on the background lane, but Submit's hot
+  // path shares the lock.
+  if (options_.store != nullptr) {
+    bool need_load = false;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      auto it = shard->adapt.find(key);
+      if (it == shard->adapt.end()) return;
+      need_load = !it->second.loaded_store;
+    }
+    if (need_load) {
+      BranchProfile persisted;
+      bool have = false;
+      if (std::optional<std::string> stored =
+              options_.store->Get(ProfileStoreKey(key));
+          stored.has_value()) {
+        if (Result<BranchProfile> decoded = DecodeProfileArtifact(*stored);
+            decoded.ok()) {
+          persisted = *std::move(decoded);
+          have = true;
+        }
+      }
+      std::lock_guard<std::mutex> lock(shard->mu);
+      auto it = shard->adapt.find(key);
+      if (it != shard->adapt.end() && !it->second.loaded_store) {
+        it->second.loaded_store = true;
+        if (have) MergeProfile(it->second.profile, persisted);
+      }
+    }
+  }
+
+  // Snapshot under the lock; derivation and re-scheduling run on the
+  // snapshot with no lock held. `seq` detects reports that land mid-run.
+  CellRequest request;
+  BranchProfile profile;
+  std::uint64_t seq = 0;
+  std::uint32_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto it = shard->adapt.find(key);
+    if (it == shard->adapt.end()) return;
+    request = it->second.request;
+    profile = it->second.profile;
+    seq = it->second.seq;
+    generation = it->second.generation;
+  }
+
+  // Persist the accumulated profile so it survives restarts and eviction,
+  // whether or not this round swaps anything.
+  if (options_.store != nullptr) {
+    (void)options_.store->Put(ProfileStoreKey(key),
+                              EncodeProfileArtifact(profile));
+  }
+
+  const auto start = Clock::now();
+  bool swapped = false;
+  [&] {
+    ExploreSpec spec = request.ToSpec();
+    spec.base_options.wave_workers = options_.wave_workers;
+    const ExploreCell cell = request.ToCell();
+    Result<Benchmark> bench = BuildExploreDesign(cell.design, spec);
+    if (!bench.ok()) return;
+    Result<Allocation> allocation =
+        BuildExploreAllocation(*bench, cell.alloc);
+    if (!allocation.ok()) return;
+
+    // Baseline: the currently published run for this fingerprint — cache
+    // first, then store. When neither has one (nobody scheduled this key
+    // yet, or it aged out), compute it from the request's own annotations
+    // and publish it as generation 0, exactly as a served request would.
+    ExploreRun baseline;
+    bool have_baseline = false;
+    if (std::optional<std::string> hit = cache_.Get(key); hit.has_value()) {
+      if (Result<ExploreRun> decoded = DecodeRunBody(*hit); decoded.ok()) {
+        baseline = *std::move(decoded);
+        have_baseline = true;
+      }
+    }
+    if (!have_baseline && options_.store != nullptr) {
+      if (std::optional<std::string> artifact = options_.store->Get(key);
+          artifact.has_value()) {
+        if (Result<ExploreRun> decoded = DecodeRunArtifact(*artifact);
+            decoded.ok()) {
+          baseline = *std::move(decoded);
+          have_baseline = true;
+        }
+      }
+    }
+    if (!have_baseline) {
+      baseline = RunBenchmarkCell(spec, *bench, *allocation, cell);
+      if (!baseline.ok) return;
+      const std::string body = EncodeRunBody(baseline);
+      cache_.Put(key, body);
+      if (options_.store != nullptr) {
+        (void)options_.store->Put(
+            key, EncodeArtifact(ArtifactKind::kExploreRun, body));
+      }
+    }
+    if (!baseline.ok) return;
+
+    // Re-schedule with profile-derived probabilities on a copy of the
+    // graph; the fingerprint — and thus the key being swapped — stays the
+    // original request's.
+    Benchmark adapted = *bench;
+    const ApplyProfileResult derived =
+        ApplyProfileToGraph(adapted.graph, profile);
+    if (derived.applied == 0) return;
+    const ExploreRun candidate =
+        RunBenchmarkCell(spec, adapted, *allocation, cell);
+
+    // Never swap worse: the candidate must measure strictly better on the
+    // request's own trace set. enc_sim is the only probability-independent
+    // metric the two runs share (enc_markov is computed against each run's
+    // own annotations).
+    if (!candidate.ok || !(candidate.enc_sim < baseline.enc_sim)) return;
+
+    ArtifactMeta meta;
+    meta.generation = generation + 1;
+    meta.profile_digest = ProfileDigest(profile);
+    const std::string body = EncodeRunBody(candidate);
+    // Whole-value cache/store writes under their own locks: an in-flight
+    // WAIT observes either the old bytes or the new bytes, never a mix.
+    cache_.Put(key, body);
+    if (options_.store != nullptr) {
+      (void)options_.store->Put(
+          key,
+          EncodeArtifactWithMeta(ArtifactKind::kExploreRun, body, meta));
+    }
+    swapped = true;
+  }();
+  adapt_resched_us_->Record(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+  if (swapped) {
+    adapt_swaps_->Increment();
+  } else {
+    adapt_rejected_->Increment();
+  }
+
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto it = shard->adapt.find(key);
+    if (it != shard->adapt.end()) {
+      if (swapped) it->second.generation = generation + 1;
+      if (it->second.seq != seq &&
+          !stopping_.load(std::memory_order_acquire)) {
+        // Reports merged while we were re-scheduling: go again with the
+        // richer profile (entry stays queued).
+        shard->adapt_queue.push_back(key);
+        notify = true;
+      } else {
+        it->second.queued = false;
+      }
+    }
+  }
+  if (notify) shard->cv.notify_one();
 }
 
 }  // namespace ws

@@ -29,6 +29,21 @@
 // cap bounds queued+running requests globally; beyond it, new leaders are
 // shed with kOverloaded while followers and cache hits — which consume no
 // worker time — are always accepted.
+//
+// Adaptive re-scheduling (src/adapt/): ReportProfile accumulates
+// client-observed branch profiles per fingerprint on the owning shard and
+// enqueues one re-schedule job onto the shard's *low-priority* adapt lane —
+// workers only pick adapt work when the request queue is empty, so
+// background optimization never delays a served request. The adapt job
+// derives smoothed probabilities from the accumulated profile, re-runs the
+// cell, and — only when the candidate measures strictly better on the
+// request's own trace set (enc_sim) — swaps the encoded run into the result
+// cache and writes it through to the store under a generation-tagged
+// envelope. Cache reads/writes are whole-value under the segment mutex, so
+// an in-flight WAIT can never observe a half-swapped entry: it gets either
+// the old bytes or the new bytes, both complete. Profiles are not part of
+// the request fingerprint — a swap changes which artifact a fingerprint
+// maps to, never the fingerprint itself.
 #ifndef WS_SERVE_DISPATCH_H
 #define WS_SERVE_DISPATCH_H
 
@@ -45,6 +60,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "adapt/profile.h"
 #include "base/hashing.h"
 #include "explore/explore.h"
 #include "serve/cache.h"
@@ -153,6 +169,16 @@ class ServeDispatcher {
   PendingHandle Submit(const CellRequest& request,
                        PendingResult::Clock::time_point admitted);
 
+  // Accumulates a client-reported branch profile for the request's
+  // fingerprint and schedules a background re-schedule on the owning
+  // shard's low-priority lane (one in flight per fingerprint; a report
+  // arriving mid-re-schedule re-queues it). Validates/fingerprints exactly
+  // like Submit; returns a short human-readable ack on success. Requests
+  // without trace measurement (measure_sim_enc == false) are rejected — the
+  // swap guard compares trace-measured cycles.
+  Result<std::string> ReportProfile(const CellRequest& request,
+                                    const BranchProfile& profile);
+
   ShardedResultCache& cache() { return cache_; }
   const ShardedResultCache& cache() const { return cache_; }
 
@@ -168,10 +194,24 @@ class ServeDispatcher {
     Allocation allocation;
   };
 
+  // Accumulated profile state for one fingerprint, owned by its shard.
+  struct AdaptEntry {
+    CellRequest request;     // rebuilds the benchmark deterministically
+    BranchProfile profile;   // merged across reports (and the store)
+    std::uint64_t seq = 0;   // bumped per merge; detects mid-run reports
+    std::uint32_t generation = 0;  // artifact generations swapped so far
+    bool queued = false;     // an adapt job is queued or running
+    bool loaded_store = false;  // persisted profile already merged in
+  };
+
   struct Shard {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Job> queue;
+    // Low-priority lane: fingerprints with fresh profile data awaiting a
+    // background re-schedule. Drained only when `queue` is empty.
+    std::deque<Fp128> adapt_queue;
+    std::unordered_map<Fp128, AdaptEntry, Fp128Hash> adapt;
     // fingerprint → waiters of the in-flight (queued or running) compute.
     std::unordered_map<Fp128, std::vector<PendingHandle>, Fp128Hash> inflight;
     std::vector<std::thread> workers;
@@ -179,6 +219,7 @@ class ServeDispatcher {
 
   void WorkerLoop(Shard* shard);
   void Execute(Shard* shard, Job job);
+  void ExecuteAdapt(Shard* shard, const Fp128& key);
 
   const DispatcherOptions options_;
   ShardedResultCache cache_;
@@ -202,6 +243,10 @@ class ServeDispatcher {
   Histogram* sched_closure_us_;
   Histogram* sched_select_us_;
   Histogram* sched_gc_us_;
+  Counter* adapt_profiles_;
+  Counter* adapt_swaps_;
+  Counter* adapt_rejected_;
+  Histogram* adapt_resched_us_;
 };
 
 }  // namespace ws

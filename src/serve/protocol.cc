@@ -107,7 +107,7 @@ Result<std::pair<Verb, std::string>> DecodeRequestFrame(
   if (r.U8() != kWireVersion) return Malformed("request (bad version)");
   const std::uint8_t verb = r.U8();
   if (!r.ok() || verb < static_cast<std::uint8_t>(Verb::kSchedule) ||
-      verb > static_cast<std::uint8_t>(Verb::kWait)) {
+      verb > static_cast<std::uint8_t>(Verb::kProfile)) {
     return Malformed("request (bad verb)");
   }
   return std::make_pair(static_cast<Verb>(verb),
@@ -187,6 +187,23 @@ Result<CellRequest> DecodeCellRequest(std::string_view body) {
   req.mode = static_cast<SpeculationMode>(mode);
   req.policy = static_cast<SelectionPolicy>(policy);
   return req;
+}
+
+std::string EncodeProfileReportBody(const std::string& cell_request,
+                                    const std::string& profile_payload) {
+  ByteWriter w;
+  w.Str(cell_request);
+  w.Str(profile_payload);
+  return w.Take();
+}
+
+Result<ProfileReportBody> DecodeProfileReportBody(std::string_view body) {
+  ByteReader r(body);
+  ProfileReportBody out;
+  out.cell_request = r.Str();
+  out.profile_payload = r.Str();
+  if (!r.ok() || !r.AtEnd()) return Malformed("profile report");
+  return out;
 }
 
 std::string EncodeTicketBody(std::uint64_t ticket) {

@@ -37,6 +37,16 @@
 //              text (see serve/metrics.h).
 //   kPing      body empty; reply carries "pong".
 //   kShutdown  body empty; reply acknowledges, then the server drains.
+//   kProfile   body = EncodeProfileReportBody: the CellRequest identifying
+//              the fingerprint plus an encoded BranchProfile
+//              (adapt/profile.h) of client-observed traces for it. The
+//              server accumulates the profile and, on a low-priority
+//              background lane, re-derives branch probabilities,
+//              re-schedules, and swaps the artifact for that fingerprint
+//              when the re-schedule measures better. Reply: kOk with a
+//              short text ack (synchronous accumulation; the re-schedule is
+//              asynchronous), kInvalidRequest for an undecodable or
+//              unvalidatable body.
 #ifndef WS_SERVE_PROTOCOL_H
 #define WS_SERVE_PROTOCOL_H
 
@@ -62,8 +72,11 @@ namespace ws {
 //      max_ops_per_state — speculative memory disambiguation
 //      (mem/disambig.h); the run body gains the mem_spec byte
 //      (io/codec.h version 3).
+//   5  the kProfile verb: clients report observed branch outcomes for a
+//      fingerprint (adapt/profile.h) and the server adaptively re-schedules
+//      in the background. Existing verbs are unchanged on the wire.
 inline constexpr std::uint32_t kWireMagic = 0x57535256;  // "WSRV"
-inline constexpr std::uint8_t kWireVersion = 4;
+inline constexpr std::uint8_t kWireVersion = 5;
 
 enum class Verb : std::uint8_t {
   kSchedule = 1,
@@ -72,6 +85,7 @@ enum class Verb : std::uint8_t {
   kShutdown = 4,
   kSubmit = 5,
   kWait = 6,
+  kProfile = 7,
 };
 
 enum class ResponseStatus : std::uint8_t {
@@ -145,6 +159,18 @@ Result<CellRequest> DecodeCellRequest(std::string_view body);
 // kSubmit's kOk reply body and kWait's request body: one u64 ticket.
 std::string EncodeTicketBody(std::uint64_t ticket);
 Result<std::uint64_t> DecodeTicketBody(std::string_view body);
+
+// kProfile's request body: the encoded CellRequest naming the fingerprint,
+// then the encoded BranchProfile payload — both length-prefixed, so the
+// protocol layer stays independent of the profile codec (the server hands
+// the profile bytes to adapt/profile.h).
+std::string EncodeProfileReportBody(const std::string& cell_request,
+                                    const std::string& profile_payload);
+struct ProfileReportBody {
+  std::string cell_request;     // EncodeCellRequest bytes
+  std::string profile_payload;  // EncodeProfilePayload bytes
+};
+Result<ProfileReportBody> DecodeProfileReportBody(std::string_view body);
 
 // ExploreRun minus the STG (schedules stay server-side; metrics travel).
 std::string EncodeRun(const ExploreRun& run);

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "adapt/profile.h"
 #include "base/strings.h"
 #include "explore/run_codec.h"
 #include "io/artifact_store.h"
@@ -83,6 +84,10 @@ ServeServer::ServeServer(ServerOptions options)
   metrics_.histogram("serve.sched_closure_us");
   metrics_.histogram("serve.sched_select_us");
   metrics_.histogram("serve.sched_gc_us");
+  metrics_.counter("serve.adapt_profiles");
+  metrics_.counter("serve.adapt_swaps");
+  metrics_.counter("serve.adapt_rejected");
+  metrics_.histogram("serve.adapt_resched_us");
 }
 
 ServeServer::~ServeServer() { Stop(); }
@@ -316,6 +321,37 @@ void ServeServer::HandleConnection(Socket conn) {
         // kSubmit, so coalescing and sharding apply identically.
         SendFrame(conn,
                   FinishRequest(dispatcher_->Submit(*request, admitted)));
+        break;
+      }
+      case Verb::kProfile: {
+        Result<ProfileReportBody> body =
+            DecodeProfileReportBody(decoded->second);
+        Result<CellRequest> request =
+            body.ok() ? DecodeCellRequest(body->cell_request)
+                      : Result<CellRequest>(body.status());
+        Result<BranchProfile> profile =
+            body.ok() ? DecodeProfilePayload(body->profile_payload)
+                      : Result<BranchProfile>(body.status());
+        if (!request.ok() || !profile.ok()) {
+          resp_invalid_->Increment();
+          SendFrame(conn,
+                    EncodeResponseFrame(
+                        ResponseStatus::kInvalidRequest, false,
+                        !request.ok() ? request.error() : profile.error()));
+          break;
+        }
+        // Accumulation is synchronous (the ack means the profile is merged
+        // and queued); the re-schedule itself runs on the background lane.
+        Result<std::string> ack =
+            dispatcher_->ReportProfile(*request, *profile);
+        if (!ack.ok()) {
+          resp_invalid_->Increment();
+          SendFrame(conn, EncodeResponseFrame(ResponseStatus::kInvalidRequest,
+                                              false, ack.error()));
+          break;
+        }
+        resp_ok_->Increment();
+        SendFrame(conn, EncodeResponseFrame(ResponseStatus::kOk, false, *ack));
         break;
       }
     }

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "cdfg/eval.h"
 #include "sim/interpreter.h"
@@ -66,6 +67,7 @@ class StgSim {
       }
       WS_CHECK_MSG(taken != nullptr,
                    "no transition matches in state " << s.id.value());
+      if (opts_.record_cond_profile) RecordResolvedConds(*taken);
       for (const auto& [loop, delta] : taken->iter_shift) {
         offsets_[loop.value()] += delta;
       }
@@ -77,6 +79,17 @@ class StgSim {
       cur = taken->to;
     }
     if (opts_.record_lifetimes) result.lifetimes = std::move(lifetimes_);
+    if (opts_.record_cond_profile) {
+      result.cond_counts = std::move(cond_counts_);
+      // A loop's trip count is its continue condition's true count on this
+      // trace; report every loop whose condition resolved at all (a loop
+      // that exits immediately has 0 trips, not "no data").
+      for (const Loop& loop : g_.loops()) {
+        if (result.cond_counts.count(loop.cond) != 0) {
+          result.loop_trips[loop.id] = loop_trues_[loop.id.value()];
+        }
+      }
+    }
     return result;
   }
 
@@ -160,16 +173,45 @@ class StgSim {
     if (opts_.record_lifetimes) lifetimes_[key] = {cycle_, cycle_};
   }
 
-  bool Matches(const Transition& t) const {
-    for (const auto& cube : t.cubes) {
-      bool ok = true;
+  // Profiles the branch outcomes the taken transition resolved: every
+  // literal of its matching cube(s) names a condition instance the
+  // controller genuinely consumed this cycle, with its observed value.
+  // Deduped on (condition node, actual iteration) so multi-state loop
+  // bodies that re-test a resolved condition don't double-count it.
+  void RecordResolvedConds(const Transition& taken) {
+    if (loop_trues_.empty()) loop_trues_.assign(g_.num_loops(), 0);
+    for (const auto& cube : taken.cubes) {
+      if (!Matches1(cube)) continue;
       for (const CondLiteral& lit : cube) {
-        if ((Value(lit.cond) != 0) != lit.value) {
-          ok = false;
-          break;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(lit.cond.node.value()) << 32) ^
+            static_cast<std::uint32_t>(
+                ActualIter(lit.cond.node, lit.cond.iter));
+        if (!cond_seen_.insert(key).second) continue;
+        auto& counts = cond_counts_[lit.cond.node];
+        if (lit.value) {
+          ++counts.first;
+          const Node& n = g_.node(lit.cond.node);
+          if (n.loop.valid() && g_.loop(n.loop).cond == lit.cond.node) {
+            ++loop_trues_[n.loop.value()];
+          }
+        } else {
+          ++counts.second;
         }
       }
-      if (ok) return true;
+    }
+  }
+
+  bool Matches1(const std::vector<CondLiteral>& cube) const {
+    for (const CondLiteral& lit : cube) {
+      if ((Value(lit.cond) != 0) != lit.value) return false;
+    }
+    return true;
+  }
+
+  bool Matches(const Transition& t) const {
+    for (const auto& cube : t.cubes) {
+      if (Matches1(cube)) return true;
     }
     return false;
   }
@@ -184,6 +226,11 @@ class StgSim {
   std::int64_t cycle_ = 0;
   std::vector<int> offsets_;
   std::vector<std::vector<std::int64_t>> arrays_;
+  // record_cond_profile state: deduped resolved (cond, actual-iter)
+  // instances, their outcome counts, and per-loop continue-true counts.
+  std::unordered_set<std::uint64_t> cond_seen_;
+  std::map<NodeId, std::pair<std::int64_t, std::int64_t>> cond_counts_;
+  std::vector<std::int64_t> loop_trues_;
 };
 
 }  // namespace

@@ -30,12 +30,22 @@ struct StgSimResult {
   // the last cycle it was read (register-allocation input for the RTL area
   // model). Key packs (node, actual iteration, version).
   std::map<std::uint64_t, std::pair<std::int64_t, std::int64_t>> lifetimes;
+  // With record_cond_profile: per condition node, how many of its instances
+  // resolved true/false on this trace. Only instances a taken transition's
+  // cube actually consumed count — a speculated-and-squashed evaluation is
+  // not an observed branch outcome — and each (condition, iteration)
+  // instance counts once however many states re-test it.
+  std::map<NodeId, std::pair<std::int64_t, std::int64_t>> cond_counts;
+  // With record_cond_profile: per loop whose continue condition resolved at
+  // least once, the number of body executions (continue-condition trues).
+  std::map<LoopId, std::int64_t> loop_trips;
 };
 
 struct StgSimOptions {
   std::int64_t max_cycles = 2000000;
   bool record_visited = false;
   bool record_lifetimes = false;
+  bool record_cond_profile = false;
 };
 
 StgSimResult SimulateStg(const Stg& stg, const Cdfg& g,

@@ -1,0 +1,300 @@
+// Concurrency check for the adaptive re-scheduling lane, run both natively
+// and under the TSan sub-build (tests/run_tsan_check.cmake).
+//
+// Drives an in-process server over a Unix domain socket with scheduling
+// clients and PROFILE-reporting clients hammering the same fingerprint
+// concurrently, and asserts the adapt lane's contract:
+//   * every in-flight SCHEDULE during the swap window gets a complete,
+//     decodable run — the old bytes or the new bytes, never a torn mix;
+//   * the served enc_sim never regresses below the baseline (the
+//     never-swap-worse guard), and when a swap lands the improvement is
+//     visible to later requests;
+//   * every accepted report is counted, and the swapped artifact reaches
+//     the durable store under a bumped generation with the profile digest;
+//   * shutdown drains cleanly with reports still arriving.
+// Exits 0 on success; prints the first failure and exits 1 otherwise.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapt/profile.h"
+#include "explore/explore.h"
+#include "explore/run_codec.h"
+#include "io/artifact_store.h"
+#include "io/codec.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace ws;
+
+int g_failures = 0;
+
+#define CHECK_TRUE(cond, what)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__, what); \
+      ++g_failures;                                                       \
+    }                                                                     \
+  } while (0)
+
+// The demo cell: fig4's annotation says p(true) = 0.1 but the Gaussian
+// stimuli resolve the branch near 50/50, so honest profile feedback makes
+// the single-path schedule measurably better — a genuine swap.
+CellRequest Fig4Request() {
+  CellRequest request;
+  request.design = DesignSpec{"fig4:0.1", ""};
+  request.mode = SpeculationMode::kSinglePath;
+  return request;
+}
+
+void AdaptUnderLoad(const std::string& store_dir) {
+  ServerOptions options;
+  options.unix_path =
+      "/tmp/ws_adapt_check_" + std::to_string(::getpid()) + ".sock";
+  options.shards = 2;
+  options.workers = 4;
+  options.store_dir = store_dir;
+  ServeServer server(options);
+  const Status started = server.Start();
+  CHECK_TRUE(started.ok(), started.message().c_str());
+  if (!started.ok()) return;
+  const ServeAddress address{/*is_unix=*/true, options.unix_path, "", 0};
+
+  const CellRequest fig = Fig4Request();
+
+  // Baseline: schedule the cell once before any profile arrives.
+  double baseline = 0.0;
+  {
+    Result<ServeClient> client = ServeClient::Connect(address);
+    CHECK_TRUE(client.ok(), "baseline connect");
+    if (!client.ok()) return;
+    const Result<ScheduleArtifact> artifact = client->Schedule(fig);
+    CHECK_TRUE(artifact.ok() && artifact->run.ok, "baseline schedule");
+    if (!artifact.ok() || !artifact->run.ok) return;
+    baseline = artifact->run.enc_sim;
+  }
+
+  // The profile clients rebuild the design deterministically, like
+  // `ws_client profile` does.
+  const Result<Benchmark> bench =
+      BuildExploreDesign(fig.design, fig.ToSpec());
+  CHECK_TRUE(bench.ok(), "profile benchmark build");
+  if (!bench.ok()) return;
+  const BranchProfile observed =
+      ProfileFromInterp(bench->graph, bench->stimuli);
+  CHECK_TRUE(!observed.empty(), "observed profile is empty");
+
+  // Mixed load: schedulers re-request the cell (plus unrelated traffic)
+  // while reporters feed the adapt lane the same fingerprint.
+  constexpr int kSchedulers = 4;
+  constexpr int kReporters = 3;
+  constexpr int kRounds = 12;
+  std::atomic<int> schedule_failures{0};
+  std::atomic<int> torn{0};
+  std::atomic<int> worse{0};
+  std::atomic<int> reports_accepted{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kSchedulers + kReporters);
+  for (int c = 0; c < kSchedulers; ++c) {
+    threads.emplace_back([&, c] {
+      Result<ServeClient> client = ServeClient::Connect(address);
+      if (!client.ok()) {
+        ++schedule_failures;
+        return;
+      }
+      for (int r = 0; r < kRounds; ++r) {
+        CellRequest request = fig;
+        if (r % 3 == 2) {  // unrelated traffic on the other shard(s)
+          request.design = DesignSpec{"gcd", ""};
+          request.num_stimuli = 5;
+          request.seed = 1998 + static_cast<std::uint64_t>(c);
+        }
+        const Result<ScheduleArtifact> artifact = client->Schedule(request);
+        if (!artifact.ok() || !artifact->run.ok) {
+          ++schedule_failures;
+          continue;
+        }
+        // A torn read would decode garbage or the wrong design; a mid-swap
+        // read must be exactly the old or the new complete artifact.
+        if (artifact->run.design != request.design.name) ++torn;
+        if (request.design.name == fig.design.name &&
+            artifact->run.enc_sim > baseline + 1e-9) {
+          ++worse;
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kReporters; ++c) {
+    threads.emplace_back([&] {
+      Result<ServeClient> client = ServeClient::Connect(address);
+      if (!client.ok()) return;
+      for (int r = 0; r < kRounds / 2; ++r) {
+        const Result<std::string> ack = client->ReportProfile(fig, observed);
+        if (ack.ok()) ++reports_accepted;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  CHECK_TRUE(schedule_failures.load() == 0, "schedules failed under load");
+  CHECK_TRUE(torn.load() == 0, "torn or misrouted artifact observed");
+  CHECK_TRUE(worse.load() == 0, "a served run regressed past the baseline");
+  CHECK_TRUE(reports_accepted.load() > 0, "no profile report was accepted");
+  CHECK_TRUE(server.metrics().counter("serve.adapt_profiles")->value() ==
+                 reports_accepted.load(),
+             "accepted reports must all be counted");
+
+  // Let the background lane finish the last queued re-schedule.
+  Counter* swaps = server.metrics().counter("serve.adapt_swaps");
+  Counter* rejected = server.metrics().counter("serve.adapt_rejected");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (swaps->value() + rejected->value() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  CHECK_TRUE(swaps->value() + rejected->value() > 0,
+             "the adapt lane never reached a verdict");
+  CHECK_TRUE(swaps->value() >= 1,
+             "honest fig4 feedback must swap in a better schedule");
+  CHECK_TRUE(server.metrics().histogram("serve.adapt_resched_us")->count() >=
+                 swaps->value() + rejected->value(),
+             "re-schedule latency must be recorded");
+
+  // The swap is visible: a fresh request now serves the better schedule.
+  double final_enc = baseline;
+  {
+    Result<ServeClient> client = ServeClient::Connect(address);
+    CHECK_TRUE(client.ok(), "final connect");
+    if (client.ok()) {
+      const Result<ScheduleArtifact> artifact = client->Schedule(fig);
+      CHECK_TRUE(artifact.ok() && artifact->run.ok, "final schedule");
+      if (artifact.ok() && artifact->run.ok) {
+        final_enc = artifact->run.enc_sim;
+        CHECK_TRUE(final_enc < baseline - 1e-9,
+                   "swapped schedule must measure better than the baseline");
+      }
+    }
+  }
+
+  // Reports racing shutdown must not wedge the drain.
+  std::thread late([&] {
+    Result<ServeClient> client = ServeClient::Connect(address);
+    if (!client.ok()) return;
+    for (int r = 0; r < 4; ++r) {
+      (void)client->ReportProfile(fig, observed);
+    }
+  });
+  server.Stop();
+  late.join();
+  std::remove(options.unix_path.c_str());
+
+  std::fprintf(stderr,
+               "adapt: baseline=%.4f final=%.4f swaps=%lld rejected=%lld "
+               "reports=%d\n",
+               baseline, final_enc,
+               static_cast<long long>(swaps->value()),
+               static_cast<long long>(rejected->value()),
+               reports_accepted.load());
+}
+
+// After the server exits, the durable store must hold the swapped run under
+// a bumped generation tagged with the accumulated profile's digest, and the
+// profile itself under the salted profile key.
+void StoreCarriesGenerationAndProfile(const std::string& store_dir) {
+  const CellRequest fig = Fig4Request();
+  const ExploreSpec spec = fig.ToSpec();
+  const ExploreCell cell = fig.ToCell();
+  const Result<Benchmark> bench = BuildExploreDesign(cell.design, spec);
+  CHECK_TRUE(bench.ok(), "store check benchmark build");
+  if (!bench.ok()) return;
+  const Result<Allocation> allocation =
+      BuildExploreAllocation(*bench, cell.alloc);
+  CHECK_TRUE(allocation.ok(), "store check allocation build");
+  if (!allocation.ok()) return;
+  const Fp128 key = ExploreCellKey(
+      spec, cell, MakeCellScheduleRequest(spec, *bench, *allocation, cell));
+
+  ArtifactStoreOptions options;
+  options.dir = store_dir;
+  Result<std::unique_ptr<ArtifactStore>> store =
+      ArtifactStore::Open(std::move(options));
+  CHECK_TRUE(store.ok(), "store reopen");
+  if (!store.ok()) return;
+
+  const std::optional<std::string> artifact = (*store)->Get(key);
+  CHECK_TRUE(artifact.has_value(), "swapped run artifact not in the store");
+  const std::optional<std::string> profile_bytes =
+      (*store)->Get(ProfileStoreKey(key));
+  CHECK_TRUE(profile_bytes.has_value(), "profile not persisted");
+  if (!artifact.has_value() || !profile_bytes.has_value()) return;
+
+  const Result<ArtifactMeta> meta = PeekArtifactMeta(*artifact);
+  CHECK_TRUE(meta.ok(), "swapped artifact meta undecodable");
+  const Result<BranchProfile> profile = DecodeProfileArtifact(*profile_bytes);
+  CHECK_TRUE(profile.ok(), "persisted profile undecodable");
+  if (!meta.ok() || !profile.ok()) return;
+  CHECK_TRUE(meta->generation >= 1, "swap must bump the generation");
+  // Every report merged the same observed profile, so the artifact's digest
+  // — stamped at swap time, possibly before the last report landed — must
+  // be the digest of observed-times-k for some report count k, and the
+  // persisted profile itself the full accumulation.
+  const Result<Benchmark> fig_bench = BuildExploreDesign(fig.design, spec);
+  CHECK_TRUE(fig_bench.ok(), "store check profile rebuild");
+  if (!fig_bench.ok()) return;
+  const BranchProfile observed =
+      ProfileFromInterp(fig_bench->graph, fig_bench->stimuli);
+  CHECK_TRUE(observed.traces > 0 &&
+                 profile->traces % observed.traces == 0,
+             "persisted traces must be a whole number of reports");
+  const std::int64_t total_reports =
+      observed.traces > 0 ? profile->traces / observed.traces : 0;
+  BranchProfile accumulated;
+  bool digest_found = false;
+  for (std::int64_t k = 1; k <= total_reports; ++k) {
+    MergeProfile(accumulated, observed);
+    if (ProfileDigest(accumulated) == meta->profile_digest) {
+      digest_found = true;
+    }
+  }
+  CHECK_TRUE(digest_found,
+             "artifact digest must match an accumulated report prefix");
+  CHECK_TRUE(accumulated == *profile,
+             "persisted profile must be the full accumulation");
+
+  const Result<ExploreRun> run = DecodeRunArtifact(*artifact);
+  CHECK_TRUE(run.ok() && run->ok, "swapped run undecodable");
+  std::fprintf(stderr, "store: generation=%u profile_traces=%lld\n",
+               meta->generation,
+               static_cast<long long>(profile->traces));
+}
+
+}  // namespace
+
+int main() {
+  char dir_template[] = "/tmp/ws_adapt_check_XXXXXX";
+  char* dir = ::mkdtemp(dir_template);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "adapt_check: mkdtemp failed\n");
+    return 1;
+  }
+  AdaptUnderLoad(dir);
+  StoreCarriesGenerationAndProfile(dir);
+  if (g_failures != 0) {
+    std::fprintf(stderr, "adapt_check: %d failure(s)\n", g_failures);
+    return 1;
+  }
+  std::fprintf(stderr, "adapt_check: OK\n");
+  return 0;
+}

@@ -1,0 +1,273 @@
+// The adaptive re-scheduling subsystem (src/adapt/): probability derivation
+// is pure and byte-reproducible, profile producers agree, a daemon-style
+// artifact swap decodes and measures identically to a fresh schedule at the
+// derived probabilities, the dispatcher's background lane never swaps in a
+// worse schedule, and the offline fixed-point loop (`ws_explore --adapt`)
+// renders byte-identical reports at any worker count.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "adapt/adapt.h"
+#include "adapt/profile.h"
+#include "explore/explore.h"
+#include "explore/report.h"
+#include "explore/run_codec.h"
+#include "io/codec.h"
+#include "serve/dispatch.h"
+#include "serve/metrics.h"
+#include "suite/benchmarks.h"
+
+namespace ws {
+namespace {
+
+TEST(SmoothingTest, ClosedFormWithLaplacePriorAndClamp) {
+  // (taken + 1) / (total + 2), clamped to [0.005, 0.995].
+  EXPECT_DOUBLE_EQ(SmoothedProbability(CondCounts{0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(SmoothedProbability(CondCounts{40, 10}), 41.0 / 52.0);
+  EXPECT_DOUBLE_EQ(SmoothedProbability(CondCounts{1, 3}), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(SmoothedProbability(CondCounts{1000000, 0}), 0.995);
+  EXPECT_DOUBLE_EQ(SmoothedProbability(CondCounts{0, 1000000}), 0.005);
+}
+
+TEST(ProfileKeyTest, StoreKeyIsSaltedAndStable) {
+  const Fp128 cell{0x1234, 0x5678};
+  const Fp128 profile_key = ProfileStoreKey(cell);
+  EXPECT_NE(profile_key, cell);                        // never collides with
+  EXPECT_EQ(profile_key, ProfileStoreKey(cell));       // the run artifact
+  EXPECT_NE(profile_key, ProfileStoreKey(Fp128{0x1234, 0x5679}));
+}
+
+TEST(DerivationTest, AppliesControlConditionsAndSkipsForeignIds) {
+  const Result<Benchmark> bench = MakeBenchmarkByName("gcd", 5, 1998);
+  ASSERT_TRUE(bench.ok()) << bench.error();
+  Cdfg graph = bench->graph;
+
+  // The first control condition of the graph.
+  NodeId cond = NodeId::invalid();
+  for (std::size_t i = 0; i < graph.num_nodes(); ++i) {
+    const NodeId id(static_cast<std::uint32_t>(i));
+    if (graph.is_control_condition(id)) {
+      cond = id;
+      break;
+    }
+  }
+  ASSERT_TRUE(cond.valid()) << "gcd has control conditions";
+
+  BranchProfile profile;
+  profile.traces = 10;
+  profile.conds[cond.value()] = CondCounts{9, 1};
+  // Foreign ids — minted on a relaxed mem-spec graph or from another design
+  // revision — must be skipped, not crash or misapply.
+  profile.conds[static_cast<std::uint32_t>(graph.num_nodes()) + 5] =
+      CondCounts{3, 3};
+
+  const double before = graph.cond_probability(cond);
+  const ApplyProfileResult applied = ApplyProfileToGraph(graph, profile);
+  EXPECT_EQ(applied.applied, 1);
+  const double expected = SmoothedProbability(CondCounts{9, 1});
+  EXPECT_DOUBLE_EQ(graph.cond_probability(cond), expected);
+  EXPECT_DOUBLE_EQ(applied.max_delta, expected > before ? expected - before
+                                                        : before - expected);
+
+  // Pure: the same profile applied to a fresh copy derives the same map.
+  Cdfg again = bench->graph;
+  const ApplyProfileResult repeat = ApplyProfileToGraph(again, profile);
+  EXPECT_EQ(repeat.applied, applied.applied);
+  EXPECT_DOUBLE_EQ(repeat.max_delta, applied.max_delta);
+  EXPECT_DOUBLE_EQ(again.cond_probability(cond), expected);
+  const std::map<NodeId, double> derived =
+      DeriveProbabilities(bench->graph, profile);
+  ASSERT_EQ(derived.size(), 1u);
+  EXPECT_EQ(derived.begin()->first, cond);
+}
+
+TEST(ProducerTest, StgSimAndInterpAgreeOnSinglePathOutcomes) {
+  // Single-path schedules evaluate exactly the conditions the golden
+  // interpreter does (no speculation, so nothing is squashed): both
+  // producers must observe identical outcome counts.
+  const Result<Benchmark> bench = MakeBenchmarkByName("gcd", 10, 1998);
+  ASSERT_TRUE(bench.ok()) << bench.error();
+  const Result<ScheduleReport> report =
+      ScheduleBenchmark(*bench, SpeculationMode::kSinglePath);
+  ASSERT_TRUE(report.ok()) << report.error();
+
+  const BranchProfile from_sim =
+      ProfileFromStgSim(report->stg, bench->graph, bench->stimuli);
+  const BranchProfile from_interp =
+      ProfileFromInterp(bench->graph, bench->stimuli);
+
+  EXPECT_EQ(from_sim.traces, 10);
+  EXPECT_EQ(from_interp.traces, 10);
+  EXPECT_GT(from_sim.cycles, 0);    // the simulator counts cycles
+  EXPECT_EQ(from_interp.cycles, 0); // the interpreter has no cycle notion
+  EXPECT_EQ(from_sim.conds, from_interp.conds);
+}
+
+TEST(SwapTest, SwappedArtifactMatchesFreshScheduleAtDerivedProbabilities) {
+  // The daemon's swap, replayed inline: profile the baseline schedule,
+  // re-schedule at the derived probabilities, wrap the candidate exactly as
+  // ExecuteAdapt does (generation-tagged v4 envelope), and check the stored
+  // bytes decode to the same run a fresh computation produces.
+  CellRequest request;
+  request.design = DesignSpec{"gcd", ""};
+  request.mode = SpeculationMode::kSinglePath;
+  request.num_stimuli = 10;
+  const ExploreSpec spec = request.ToSpec();
+  const ExploreCell cell = request.ToCell();
+  const Result<Benchmark> bench = BuildExploreDesign(cell.design, spec);
+  ASSERT_TRUE(bench.ok()) << bench.error();
+  const Result<Allocation> allocation =
+      BuildExploreAllocation(*bench, cell.alloc);
+  ASSERT_TRUE(allocation.ok()) << allocation.error();
+
+  const ExploreRun baseline =
+      RunBenchmarkCell(spec, *bench, *allocation, cell);
+  ASSERT_TRUE(baseline.ok) << baseline.error;
+  const BranchProfile profile =
+      ProfileFromStgSim(baseline.stg, bench->graph, bench->stimuli);
+  ASSERT_FALSE(profile.empty());
+
+  Benchmark adapted = *bench;
+  ApplyProfileToGraph(adapted.graph, profile);
+  const ExploreRun candidate =
+      RunBenchmarkCell(spec, adapted, *allocation, cell);
+  ASSERT_TRUE(candidate.ok) << candidate.error;
+
+  ArtifactMeta meta;
+  meta.generation = 1;
+  meta.profile_digest = ProfileDigest(profile);
+  const std::string artifact =
+      EncodeArtifactWithMeta(ArtifactKind::kExploreRun,
+                             EncodeRunBody(candidate), meta);
+
+  const Result<ArtifactMeta> stored_meta = PeekArtifactMeta(artifact);
+  ASSERT_TRUE(stored_meta.ok()) << stored_meta.error();
+  EXPECT_EQ(*stored_meta, meta);
+
+  const Result<ExploreRun> decoded = DecodeRunArtifact(artifact);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  // Bit-exact metric fields: the swapped bytes measure exactly like the
+  // fresh computation they came from.
+  EXPECT_EQ(decoded->enc_sim, candidate.enc_sim);
+  EXPECT_EQ(decoded->enc_markov, candidate.enc_markov);
+  EXPECT_EQ(decoded->states, candidate.states);
+  EXPECT_EQ(decoded->op_initiations, candidate.op_initiations);
+  EXPECT_EQ(decoded->best_case, candidate.best_case);
+  EXPECT_EQ(decoded->worst_case, candidate.worst_case);
+
+  // And a second fresh computation at the same derived probabilities is
+  // canonically identical (the determinism the swap protocol rests on).
+  Benchmark adapted2 = *bench;
+  ApplyProfileToGraph(adapted2.graph, profile);
+  const ExploreRun candidate2 =
+      RunBenchmarkCell(spec, adapted2, *allocation, cell);
+  ASSERT_TRUE(candidate2.ok) << candidate2.error;
+  const ReportRenderOptions canonical{/*include_timing=*/false};
+  EXPECT_EQ(ExploreRunToJson(*decoded, canonical),
+            ExploreRunToJson(candidate2, canonical));
+}
+
+TEST(GuardTest, DispatcherNeverSwapsInAWorseSchedule) {
+  MetricsRegistry metrics;
+  DispatcherOptions options;
+  options.shards = 1;
+  options.workers = 2;
+  ServeDispatcher dispatcher(options, &metrics);
+  dispatcher.Start();
+
+  CellRequest request;
+  request.design = DesignSpec{"gcd", ""};
+  request.mode = SpeculationMode::kSinglePath;
+  request.num_stimuli = 10;
+
+  const PendingHandle first =
+      dispatcher.Submit(request, PendingResult::Clock::now());
+  const ServeOutcome baseline = first->Wait();
+  ASSERT_EQ(baseline.status, ResponseStatus::kOk);
+
+  // An adversarial profile: the truth, inverted. The re-schedule it induces
+  // must measure worse on the real traces, so the guard rejects the swap.
+  const Result<Benchmark> bench =
+      BuildExploreDesign(request.design, request.ToSpec());
+  ASSERT_TRUE(bench.ok()) << bench.error();
+  const BranchProfile truth =
+      ProfileFromInterp(bench->graph, bench->stimuli);
+  ASSERT_FALSE(truth.empty());
+  BranchProfile inverted = truth;
+  for (auto& [node, counts] : inverted.conds) {
+    std::swap(counts.taken, counts.not_taken);
+  }
+
+  const Result<std::string> ack = dispatcher.ReportProfile(request, inverted);
+  ASSERT_TRUE(ack.ok()) << ack.error();
+
+  // The adapt lane is asynchronous; wait for the verdict.
+  Counter* swaps = metrics.counter("serve.adapt_swaps");
+  Counter* rejected = metrics.counter("serve.adapt_rejected");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (swaps->value() + rejected->value() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(swaps->value(), 0);
+  EXPECT_EQ(rejected->value(), 1);
+  EXPECT_EQ(metrics.counter("serve.adapt_profiles")->value(), 1);
+
+  // The served artifact is untouched: a re-request returns the baseline
+  // bytes from the cache.
+  const PendingHandle second =
+      dispatcher.Submit(request, PendingResult::Clock::now());
+  const ServeOutcome after = second->Wait();
+  ASSERT_EQ(after.status, ResponseStatus::kOk);
+  EXPECT_EQ(after.body, baseline.body);
+
+  dispatcher.Drain();
+}
+
+TEST(AdaptLoopTest, SkewedStartRecoversAndConverges) {
+  ExploreSpec spec;
+  spec.designs = {DesignSpec{"gcd", ""}};
+  spec.modes = {SpeculationMode::kSinglePath};
+  spec.num_stimuli = 25;
+  spec.workers = 0;
+
+  AdaptOptions options;
+  options.max_iterations = 5;
+  options.skew = true;
+  const AdaptReport report = RunAdaptExplore(spec, options);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const AdaptCellResult& cell = report.cells[0];
+  ASSERT_TRUE(cell.ok) << cell.error;
+  ASSERT_GE(cell.iterations.size(), 2u);
+  // Feedback from the profiled traces must recover the skew-inverted start:
+  // a later iteration beats iteration 0, and the loop settles.
+  EXPECT_GT(cell.improvement_pct(), 5.0);
+  EXPECT_TRUE(cell.converged);
+  EXPECT_EQ(cell.profile.traces,
+            cell.iterations.back().traces);
+}
+
+TEST(AdaptLoopTest, ReportIsByteIdenticalAcrossWorkerCounts) {
+  ExploreSpec spec;
+  spec.designs = {DesignSpec{"gcd", ""}, DesignSpec{"test1", ""}};
+  spec.modes = {SpeculationMode::kSinglePath};
+  spec.num_stimuli = 10;
+
+  AdaptOptions options;
+  options.max_iterations = 2;
+  options.skew = true;
+
+  spec.workers = 0;
+  const std::string sequential = RenderAdaptReport(RunAdaptExplore(spec, options));
+  spec.workers = 4;
+  const std::string parallel = RenderAdaptReport(RunAdaptExplore(spec, options));
+  EXPECT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, parallel);
+}
+
+}  // namespace
+}  // namespace ws

@@ -9,8 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "adapt/profile.h"
 #include "base/codec.h"
 #include "io/codec.h"
+#include "serve/protocol.h"
 #include "suite/benchmarks.h"
 
 namespace ws {
@@ -106,7 +108,12 @@ TEST(ArtifactEnvelopeTest, DetectsCorruptionAndTruncation) {
       EncodeArtifact(ArtifactKind::kScheduleStats, "some payload");
   {
     std::string corrupt = artifact;
-    corrupt[12] ^= 0x40;  // flip a payload bit
+    corrupt[12] ^= 0x40;  // flip a meta bit (profile digest)
+    EXPECT_FALSE(DecodeArtifact(ArtifactKind::kScheduleStats, corrupt).ok());
+  }
+  {
+    std::string corrupt = artifact;
+    corrupt[31] ^= 0x40;  // flip a payload bit (payload starts at 30)
     EXPECT_FALSE(DecodeArtifact(ArtifactKind::kScheduleStats, corrupt).ok());
   }
   {
@@ -128,6 +135,60 @@ TEST(ArtifactEnvelopeTest, DetectsCorruptionAndTruncation) {
   }
   EXPECT_FALSE(DecodeArtifact(ArtifactKind::kStg, "").ok());
   EXPECT_FALSE(DecodeArtifact(ArtifactKind::kStg, "WSARnope").ok());
+}
+
+TEST(ArtifactEnvelopeTest, MetaRoundTripsAndPeeks) {
+  ArtifactMeta meta;
+  meta.generation = 7;
+  meta.profile_digest = Fp128{0x1122334455667788ull, 0x99aabbccddeeff00ull};
+  const std::string artifact =
+      EncodeArtifactWithMeta(ArtifactKind::kExploreRun, "run-bytes", meta);
+
+  const Result<ArtifactMeta> peeked = PeekArtifactMeta(artifact);
+  ASSERT_TRUE(peeked.ok()) << peeked.error();
+  EXPECT_EQ(*peeked, meta);
+
+  const Result<DecodedArtifact> decoded =
+      DecodeArtifactWithVersion(ArtifactKind::kExploreRun, artifact);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded->version, kArtifactVersion);
+  EXPECT_EQ(decoded->meta, meta);
+  EXPECT_EQ(decoded->payload, "run-bytes");
+
+  // Re-encoding the decoded parts is byte-identical — the store's replay
+  // guarantee extends to the meta fields.
+  EXPECT_EQ(EncodeArtifactWithMeta(ArtifactKind::kExploreRun,
+                                   decoded->payload, decoded->meta),
+            artifact);
+
+  // The meta-free wrapper is exactly the zero meta.
+  const Result<ArtifactMeta> plain =
+      PeekArtifactMeta(EncodeArtifact(ArtifactKind::kExploreRun, "x"));
+  ASSERT_TRUE(plain.ok()) << plain.error();
+  EXPECT_EQ(*plain, ArtifactMeta{});
+}
+
+TEST(ArtifactEnvelopeTest, ReadsPreMetaEnvelopesWithZeroMeta) {
+  // A hand-built v3 envelope: no meta fields between the kind byte and the
+  // payload length, CRC over the payload alone — what any store written
+  // before the adaptive re-scheduling release holds on disk.
+  ByteWriter env;
+  env.U32(kArtifactMagic);
+  env.U8(3);  // last pre-meta version
+  env.U8(static_cast<std::uint8_t>(ArtifactKind::kStg));
+  env.Str("old payload");
+  env.U32(Crc32(std::string_view("old payload")));
+  const std::string artifact = env.Take();
+
+  const Result<DecodedArtifact> decoded =
+      DecodeArtifactWithVersion(ArtifactKind::kStg, artifact);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded->version, 3);
+  EXPECT_EQ(decoded->meta, ArtifactMeta{});  // read-older: zero meta
+  EXPECT_EQ(decoded->payload, "old payload");
+  const Result<ArtifactMeta> peeked = PeekArtifactMeta(artifact);
+  ASSERT_TRUE(peeked.ok()) << peeked.error();
+  EXPECT_EQ(*peeked, ArtifactMeta{});
 }
 
 // --- whole-artifact round trips over the benchmark suite -------------------
@@ -180,9 +241,15 @@ TEST(ScheduleStatsCodecTest, ReadsVersion1ArtifactsWithoutSelectNs) {
   w.I64(3333);   // closure_ns
   w.I64(4444);   // gc_ns
   w.I64(11110);  // total_ns (v1 has no select_ns before it)
-  std::string artifact =
-      EncodeArtifact(ArtifactKind::kScheduleStats, w.Take());
-  artifact[4] = 1;  // version byte; the CRC only covers the payload
+  // v1 envelope layout: no meta fields, CRC over the payload alone.
+  const std::string payload = w.Take();
+  ByteWriter env;
+  env.U32(kArtifactMagic);
+  env.U8(1);  // version
+  env.U8(static_cast<std::uint8_t>(ArtifactKind::kScheduleStats));
+  env.Str(payload);
+  env.U32(Crc32(payload));
+  const std::string artifact = env.Take();
 
   const Result<ScheduleStats> stats = DecodeScheduleStats(artifact);
   ASSERT_TRUE(stats.ok()) << stats.error();
@@ -258,6 +325,118 @@ TEST(StgCodecTest, EmptyAndCorruptStgsAreHandled) {
       ADD_FAILURE() << "bit flip at offset " << i << " went undetected";
     }
   }
+}
+
+// --- branch-profile payloads (adapt/profile.h) -----------------------------
+
+BranchProfile SampleProfile() {
+  BranchProfile p;
+  p.traces = 50;
+  p.cycles = 1234;
+  p.conds[3] = CondCounts{40, 10};
+  p.conds[9] = CondCounts{0, 50};
+  p.loops[3][7] = 48;
+  p.loops[3][9] = 2;
+  return p;
+}
+
+TEST(ProfileCodecTest, PayloadAndArtifactRoundTripExactly) {
+  const BranchProfile profile = SampleProfile();
+  const std::string payload = EncodeProfilePayload(profile);
+  const Result<BranchProfile> round = DecodeProfilePayload(payload);
+  ASSERT_TRUE(round.ok()) << round.error();
+  EXPECT_EQ(*round, profile);
+  // Canonical bytes: encode(decode(bytes)) == bytes.
+  EXPECT_EQ(EncodeProfilePayload(*round), payload);
+
+  const std::string artifact = EncodeProfileArtifact(profile);
+  EXPECT_EQ(PeekArtifactKind(artifact).value(), ArtifactKind::kBranchProfile);
+  // The artifact's meta carries the profile's own digest.
+  const Result<ArtifactMeta> meta = PeekArtifactMeta(artifact);
+  ASSERT_TRUE(meta.ok()) << meta.error();
+  EXPECT_EQ(meta->profile_digest, ProfileDigest(profile));
+  const Result<BranchProfile> stored = DecodeProfileArtifact(artifact);
+  ASSERT_TRUE(stored.ok()) << stored.error();
+  EXPECT_EQ(*stored, profile);
+}
+
+TEST(ProfileCodecTest, MalformedPayloadsAreTypedErrors) {
+  EXPECT_FALSE(DecodeProfilePayload("").ok());
+  EXPECT_FALSE(DecodeProfilePayload("garbage").ok());
+  const std::string payload = EncodeProfilePayload(SampleProfile());
+  EXPECT_FALSE(DecodeProfilePayload(payload.substr(0, 9)).ok());
+  EXPECT_FALSE(DecodeProfilePayload(payload + "x").ok());
+}
+
+TEST(ProfileCodecTest, DigestIsCanonicalAndMergeOrderIndependent) {
+  BranchProfile a, b;
+  a.traces = 1;
+  a.conds[4] = CondCounts{3, 1};
+  b.traces = 2;
+  b.conds[4] = CondCounts{1, 3};
+  b.conds[8] = CondCounts{2, 0};
+
+  BranchProfile ab, ba;
+  MergeProfile(ab, a);
+  MergeProfile(ab, b);
+  MergeProfile(ba, b);
+  MergeProfile(ba, a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ProfileDigest(ab), ProfileDigest(ba));
+  EXPECT_EQ(EncodeProfilePayload(ab), EncodeProfilePayload(ba));
+  EXPECT_NE(ProfileDigest(a), ProfileDigest(b));
+}
+
+// --- wire v5: the PROFILE verb ---------------------------------------------
+
+TEST(WireProtocolTest, ProfileVerbFramesRoundTrip) {
+  CellRequest request;
+  request.design = DesignSpec{"gcd", ""};
+  const std::string body = EncodeProfileReportBody(
+      EncodeCellRequest(request), EncodeProfilePayload(SampleProfile()));
+  const std::string frame = EncodeRequestFrame(Verb::kProfile, body);
+
+  const Result<std::pair<Verb, std::string>> decoded =
+      DecodeRequestFrame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded->first, Verb::kProfile);
+  const Result<ProfileReportBody> report =
+      DecodeProfileReportBody(decoded->second);
+  ASSERT_TRUE(report.ok()) << report.error();
+  const Result<CellRequest> cell = DecodeCellRequest(report->cell_request);
+  ASSERT_TRUE(cell.ok()) << cell.error();
+  EXPECT_EQ(cell->design.name, "gcd");
+  const Result<BranchProfile> profile =
+      DecodeProfilePayload(report->profile_payload);
+  ASSERT_TRUE(profile.ok()) << profile.error();
+  EXPECT_EQ(*profile, SampleProfile());
+}
+
+TEST(WireProtocolTest, RejectsUnknownVerbsAndForeignVersions) {
+  // Verb 7 (kProfile) is the newest; one past it must be rejected.
+  std::string frame = EncodeRequestFrame(Verb::kProfile, "body");
+  EXPECT_TRUE(DecodeRequestFrame(frame).ok());
+  frame[5] = 8;  // one past the verb range (header: u32 magic, u8 ver, u8 verb)
+  EXPECT_FALSE(DecodeRequestFrame(frame).ok());
+
+  // Strict version equality in both directions.
+  for (const int wrong : {kWireVersion - 1, kWireVersion + 1}) {
+    std::string old = EncodeRequestFrame(Verb::kPing, "");
+    old[4] = static_cast<char>(wrong);
+    EXPECT_FALSE(DecodeRequestFrame(old).ok()) << "version " << wrong;
+  }
+}
+
+TEST(WireProtocolTest, MalformedProfileBodiesAreTypedErrors) {
+  EXPECT_FALSE(DecodeProfileReportBody("").ok());
+  EXPECT_FALSE(DecodeProfileReportBody("xy").ok());
+  const std::string body = EncodeProfileReportBody("req", "prof");
+  const Result<ProfileReportBody> round = DecodeProfileReportBody(body);
+  ASSERT_TRUE(round.ok()) << round.error();
+  EXPECT_EQ(round->cell_request, "req");
+  EXPECT_EQ(round->profile_payload, "prof");
+  EXPECT_FALSE(DecodeProfileReportBody(body.substr(0, body.size() - 1)).ok());
+  EXPECT_FALSE(DecodeProfileReportBody(body + "x").ok());
 }
 
 }  // namespace

@@ -20,6 +20,8 @@
 #include <unistd.h>
 #include <vector>
 
+#include "adapt/profile.h"
+#include "explore/explore.h"
 #include "explore/report.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
@@ -96,10 +98,27 @@ void MixedWorkload(int shards) {
   constexpr int kPerClient = 28;  // 224 requests total
   ResponseTally tally;
 
+  // PROFILE reporters ride along with the scheduling traffic: observed
+  // branch outcomes for the shared gcd cell, built the way `ws_client
+  // profile` builds them. The adapt lane is low-priority, so the reports
+  // must not perturb any of the response-contract assertions below.
+  CellRequest profiled;
+  profiled.design = DesignSpec{"gcd", ""};
+  profiled.num_stimuli = 5;
+  const Result<Benchmark> profiled_bench =
+      BuildExploreDesign(profiled.design, profiled.ToSpec());
+  CHECK_TRUE(profiled_bench.ok(), "mixed: profile benchmark build");
+  const BranchProfile observed =
+      profiled_bench.ok()
+          ? ProfileFromInterp(profiled_bench->graph, profiled_bench->stimuli)
+          : BranchProfile{};
+  std::atomic<int> reports_accepted{0};
+
   std::vector<std::thread> clients;
   clients.reserve(kClients);
   for (int c = 0; c < kClients; ++c) {
-    clients.emplace_back([&address, &tally, c] {
+    clients.emplace_back([&address, &tally, &profiled, &observed,
+                          &reports_accepted, c] {
       Result<ServeClient> client = ServeClient::Connect(address);
       if (!client.ok()) {
         std::fprintf(stderr, "connect: %s\n", client.error().c_str());
@@ -127,6 +146,13 @@ void MixedWorkload(int shards) {
             break;
         }
         Tally(client->Schedule(request), &tally);
+        // Every other round, interleave a PROFILE report for the shared
+        // cell on the same connection.
+        if (r % 2 == 0 && !observed.empty()) {
+          const Result<std::string> ack =
+              client->ReportProfile(profiled, observed);
+          if (ack.ok()) ++reports_accepted;
+        }
       }
     });
   }
@@ -149,12 +175,18 @@ void MixedWorkload(int shards) {
              "mixed: no cache hits or coalesced requests");
   CHECK_TRUE(server.cache().hits() + coalesced > 0,
              "mixed: server-side hit counter");
+  CHECK_TRUE(reports_accepted.load() > 0,
+             "mixed: profile reports must be accepted alongside traffic");
+  CHECK_TRUE(server.metrics().counter("serve.adapt_profiles")->value() ==
+                 reports_accepted.load(),
+             "mixed: accepted profile reports must all be counted");
   std::fprintf(stderr,
                "mixed[shards=%d]: ok=%d (hits=%d coalesced=%lld) invalid=%d "
-               "deadline=%d overloaded=%d\n",
+               "deadline=%d overloaded=%d profiles=%d\n",
                shards, tally.ok.load(), tally.cache_hits.load(),
                static_cast<long long>(coalesced), tally.invalid.load(),
-               tally.deadline.load(), tally.overloaded.load());
+               tally.deadline.load(), tally.overloaded.load(),
+               reports_accepted.load());
 
   server.Stop();
   std::remove(options.unix_path.c_str());

@@ -1,0 +1,241 @@
+// ws_adapt — inspect and replay the adaptive re-scheduling state of an
+// artifact store directory (the `--store DIR` of ws_served).
+//
+// Commands:
+//   ws_adapt ls DIR                list stored branch profiles (profile key,
+//                                  traces, conditions, digest) and, when the
+//                                  paired run artifact exists, its adaptive
+//                                  generation
+//   ws_adapt replay DIR DESIGN     re-run one cell's adaptation offline:
+//                                  look up the cell's stored profile, derive
+//                                  probabilities, re-schedule, and compare
+//                                  against the stored (or freshly computed)
+//                                  baseline — printing the swap verdict the
+//                                  daemon's background lane would reach
+//     --mode ws|single|spec --policy crit|prob|lambda|fifo --alloc SPEC
+//     --clock P --stimuli N --seed S   (cell coordinates, as in ws_client)
+//
+// `replay` recomputes deterministically from the store's bytes: the same
+// profile always derives the same probabilities and the same candidate
+// schedule, so the printed verdict is reproducible.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "adapt/profile.h"
+#include "base/cli.h"
+#include "explore/explore.h"
+#include "explore/run_codec.h"
+#include "io/artifact_store.h"
+#include "io/codec.h"
+#include "sched/policy.h"
+#include "serve/protocol.h"
+
+namespace {
+
+const ws::ToolInfo kTool = {
+    "ws_adapt",
+    "usage: ws_adapt ls DIR\n"
+    "       ws_adapt replay DIR DESIGN [--mode ws|single|spec]\n"
+    "                [--policy crit|prob|lambda|fifo] [--alloc SPEC]\n"
+    "                [--clock P] [--stimuli N] [--seed S]\n"
+    "\n"
+    "Inspects stored branch profiles and replays a cell's adaptive\n"
+    "re-schedule offline, printing the swap verdict the serving daemon's\n"
+    "background lane would reach for the same bytes.\n"};
+
+std::string KeyToHex(const ws::Fp128& key) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(key.hi),
+                static_cast<unsigned long long>(key.lo));
+  return buf;
+}
+
+ws::Result<std::unique_ptr<ws::ArtifactStore>> OpenStore(
+    const std::string& dir) {
+  ws::ArtifactStoreOptions options;
+  options.dir = dir;
+  return ws::ArtifactStore::Open(std::move(options));
+}
+
+int CmdLs(const std::string& dir) {
+  ws::Result<std::unique_ptr<ws::ArtifactStore>> store = OpenStore(dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "ws_adapt: %s\n", store.error().c_str());
+    return 1;
+  }
+  std::printf("%-32s  %7s  %5s  %5s  %s\n", "profile_key", "traces", "conds",
+              "loops", "digest");
+  int profiles = 0;
+  (*store)->ForEachLru(
+      [&profiles](const ws::Fp128& key, const std::string& value) {
+        const ws::Result<ws::ArtifactKind> kind =
+            ws::PeekArtifactKind(value);
+        if (!kind.ok() || *kind != ws::ArtifactKind::kBranchProfile) return;
+        const ws::Result<ws::BranchProfile> profile =
+            ws::DecodeProfileArtifact(value);
+        if (!profile.ok()) return;
+        ++profiles;
+        std::printf("%s  %7lld  %5zu  %5zu  %s\n", KeyToHex(key).c_str(),
+                    static_cast<long long>(profile->traces),
+                    profile->conds.size(), profile->loops.size(),
+                    KeyToHex(ws::ProfileDigest(*profile)).c_str());
+      });
+  std::fprintf(stderr, "ws_adapt: %d stored profile%s\n", profiles,
+               profiles == 1 ? "" : "s");
+  return 0;
+}
+
+int CmdReplay(const std::string& dir, const ws::CellRequest& request) {
+  using namespace ws;
+  Result<std::unique_ptr<ArtifactStore>> store = OpenStore(dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "ws_adapt: %s\n", store.error().c_str());
+    return 1;
+  }
+
+  // The cell's key, computed exactly like the daemon computes it.
+  const ExploreSpec spec = request.ToSpec();
+  if (const Status valid = spec.Validate(); !valid.ok()) {
+    std::fprintf(stderr, "ws_adapt: %s\n", valid.message().c_str());
+    return 1;
+  }
+  const ExploreCell cell = request.ToCell();
+  Result<Benchmark> bench = BuildExploreDesign(cell.design, spec);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "ws_adapt: %s\n", bench.error().c_str());
+    return 1;
+  }
+  Result<Allocation> allocation = BuildExploreAllocation(*bench, cell.alloc);
+  if (!allocation.ok()) {
+    std::fprintf(stderr, "ws_adapt: %s\n", allocation.error().c_str());
+    return 1;
+  }
+  const ScheduleRequest sched_request =
+      MakeCellScheduleRequest(spec, *bench, *allocation, cell);
+  const Fp128 key = ExploreCellKey(spec, cell, sched_request);
+  std::printf("cell_key        %s\n", KeyToHex(key).c_str());
+
+  const std::optional<std::string> profile_bytes =
+      (*store)->Get(ProfileStoreKey(key));
+  if (!profile_bytes.has_value()) {
+    std::fprintf(stderr, "ws_adapt: no stored profile for this cell\n");
+    return 1;
+  }
+  const Result<BranchProfile> profile = DecodeProfileArtifact(*profile_bytes);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "ws_adapt: %s\n", profile.error().c_str());
+    return 1;
+  }
+  std::printf("profile_traces  %lld\n",
+              static_cast<long long>(profile->traces));
+  std::printf("profile_digest  %s\n",
+              KeyToHex(ProfileDigest(*profile)).c_str());
+
+  // Baseline: the stored run artifact when present, else freshly computed
+  // from the request's own annotations (what the daemon would publish as
+  // generation 0).
+  ExploreRun baseline;
+  bool stored_baseline = false;
+  if (const std::optional<std::string> artifact = (*store)->Get(key);
+      artifact.has_value()) {
+    if (Result<ExploreRun> decoded = DecodeRunArtifact(*artifact);
+        decoded.ok()) {
+      baseline = *std::move(decoded);
+      stored_baseline = true;
+      const Result<ArtifactMeta> meta = PeekArtifactMeta(*artifact);
+      if (meta.ok()) std::printf("generation      %u\n", meta->generation);
+    }
+  }
+  if (!stored_baseline) {
+    baseline = RunBenchmarkCell(spec, *bench, *allocation, cell);
+    if (!baseline.ok) {
+      std::fprintf(stderr, "ws_adapt: baseline run failed: %s\n",
+                   baseline.error.c_str());
+      return 1;
+    }
+  }
+  std::printf("baseline        %s enc_sim %.6f (states %zu)\n",
+              stored_baseline ? "stored" : "computed", baseline.enc_sim,
+              baseline.states);
+
+  Benchmark adapted = *bench;
+  const ApplyProfileResult derived =
+      ApplyProfileToGraph(adapted.graph, *profile);
+  std::printf("derived         %d condition%s, max_delta %.4f\n",
+              derived.applied, derived.applied == 1 ? "" : "s",
+              derived.max_delta);
+  if (derived.applied == 0) {
+    std::printf("verdict         no-op (profile matches no control "
+                "condition)\n");
+    return 0;
+  }
+  const ExploreRun candidate =
+      RunBenchmarkCell(spec, adapted, *allocation, cell);
+  if (!candidate.ok) {
+    std::fprintf(stderr, "ws_adapt: candidate run failed: %s\n",
+                 candidate.error.c_str());
+    return 1;
+  }
+  std::printf("candidate       enc_sim %.6f (states %zu)\n",
+              candidate.enc_sim, candidate.states);
+  const bool swap = candidate.enc_sim < baseline.enc_sim;
+  std::printf("verdict         %s (%.6f %s %.6f)\n",
+              swap ? "swap" : "keep", candidate.enc_sim,
+              swap ? "<" : ">=", baseline.enc_sim);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ws;
+  HandleStandardFlags(kTool, argc, argv);
+  if (argc < 3) UsageError(kTool, "want a command and a store directory");
+  const std::string command = argv[1];
+  const std::string dir = argv[2];
+  if (command == "ls") {
+    if (argc != 3) UsageError(kTool, "ls wants exactly a store directory");
+    return CmdLs(dir);
+  }
+  if (command != "replay") UsageError(kTool, "unknown command: " + command);
+  if (argc < 4) UsageError(kTool, "replay wants DIR and DESIGN");
+
+  CellRequest request;
+  request.design = DesignSpec{argv[3], ""};
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) UsageError(kTool, arg + " wants a value");
+      return argv[++i];
+    };
+    if (arg == "--mode") {
+      const std::string m = next();
+      if (m == "ws") request.mode = SpeculationMode::kWavesched;
+      else if (m == "single") request.mode = SpeculationMode::kSinglePath;
+      else if (m == "spec") request.mode = SpeculationMode::kWaveschedSpec;
+      else UsageError(kTool, "unknown --mode: " + m);
+    } else if (arg == "--policy") {
+      const Result<SelectionPolicy> policy = ParseSelectionPolicy(next());
+      if (!policy.ok()) UsageError(kTool, "--policy: " + policy.error());
+      request.policy = *policy;
+    } else if (arg == "--alloc") {
+      const std::string a = next();
+      request.alloc = AllocationSpec{a, a};
+    } else if (arg == "--clock") {
+      const std::string p = next();
+      request.clock.label = p + "ns";
+      request.clock.clock.period_ns = std::atof(p.c_str());
+    } else if (arg == "--stimuli") {
+      request.num_stimuli = std::atoi(next().c_str());
+    } else if (arg == "--seed") {
+      request.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else {
+      UsageError(kTool, "unrecognized argument: " + arg);
+    }
+  }
+  return CmdReplay(dir, request);
+}

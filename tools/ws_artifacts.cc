@@ -2,7 +2,8 @@
 // (the `--store DIR` of ws_served / ws_explore).
 //
 // Commands:
-//   ws_artifacts ls DIR            list entries (key, kind, payload bytes),
+//   ws_artifacts ls DIR            list entries (key, kind, payload bytes,
+//                                  adaptive generation, profile digest),
 //                                  least recently used first
 //   ws_artifacts get DIR KEY       decode one artifact; metric rows print as
 //                                  text, raw payloads dump to stdout
@@ -17,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "adapt/profile.h"
 #include "base/cli.h"
 #include "base/hashing.h"
 #include "explore/run_codec.h"
@@ -72,10 +74,17 @@ int CmdLs(const std::string& dir) {
     std::fprintf(stderr, "ws_artifacts: %s\n", store.error().c_str());
     return 1;
   }
-  std::printf("%-32s  %-16s  %s\n", "key", "kind", "bytes");
+  std::printf("%-32s  %-16s  %8s  %3s  %s\n", "key", "kind", "bytes", "gen",
+              "profile_digest");
   (*store)->ForEachLru([](const ws::Fp128& key, const std::string& value) {
-    std::printf("%s  %-16s  %zu\n", KeyToHex(key).c_str(),
-                PeekKindName(value), value.size());
+    // The adaptive columns come from the v4 envelope header; pre-v4
+    // entries (and undecodable ones) report generation 0, no digest.
+    const ws::Result<ws::ArtifactMeta> meta = ws::PeekArtifactMeta(value);
+    const ws::ArtifactMeta m = meta.ok() ? *meta : ws::ArtifactMeta{};
+    const bool profiled = m.profile_digest != ws::Fp128{0, 0};
+    std::printf("%s  %-16s  %8zu  %3u  %s\n", KeyToHex(key).c_str(),
+                PeekKindName(value), value.size(), m.generation,
+                profiled ? KeyToHex(m.profile_digest).c_str() : "-");
   });
   const ws::ArtifactStoreCounters c = (*store)->counters();
   std::fprintf(stderr,
@@ -131,6 +140,36 @@ int CmdGet(const std::string& dir, const std::string& key_hex) {
                 static_cast<long long>(run->best_case));
     std::printf("worst_case      %lld\n",
                 static_cast<long long>(run->worst_case));
+    return 0;
+  }
+  if (kind.ok() && *kind == ws::ArtifactKind::kBranchProfile) {
+    const ws::Result<ws::BranchProfile> profile =
+        ws::DecodeProfileArtifact(*artifact);
+    if (!profile.ok()) {
+      std::fprintf(stderr, "ws_artifacts: %s\n", profile.error().c_str());
+      return 1;
+    }
+    const ws::Fp128 digest = ws::ProfileDigest(*profile);
+    std::printf("kind            branch_profile\n");
+    std::printf("digest          %s\n", KeyToHex(digest).c_str());
+    std::printf("traces          %lld\n",
+                static_cast<long long>(profile->traces));
+    std::printf("cycles          %lld\n",
+                static_cast<long long>(profile->cycles));
+    for (const auto& [node, counts] : profile->conds) {
+      std::printf("cond %-6u      taken %lld  not_taken %lld  p %.4f\n",
+                  node, static_cast<long long>(counts.taken),
+                  static_cast<long long>(counts.not_taken),
+                  ws::SmoothedProbability(counts));
+    }
+    for (const auto& [loop, hist] : profile->loops) {
+      std::printf("loop %u trips  ", loop);
+      for (const auto& [trips, count] : hist) {
+        std::printf(" %lld:%lld", static_cast<long long>(trips),
+                    static_cast<long long>(count));
+      }
+      std::printf("\n");
+    }
     return 0;
   }
   // Unknown payload shape: report the kind and dump the raw envelope, so

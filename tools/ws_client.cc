@@ -4,16 +4,26 @@
 //   ws_client --server ADDR stats
 //   ws_client --server ADDR shutdown
 //   ws_client --server ADDR schedule DESIGN [options]
+//   ws_client --server ADDR profile DESIGN [options]
 //
 // `schedule` prints the run's canonical JSON (the same rendering the run
 // gets inside a ws_explore report) and exits 0 on a scheduled run, 3 when
 // the run itself failed (e.g. exhausted caps), 1 on transport or typed
 // protocol errors.
+//
+// `profile` rebuilds the named design and its stimulus set locally (the
+// same deterministic construction the server performs), replays the traces
+// through the golden interpreter to observe every branch outcome, and
+// reports the resulting BranchProfile over the PROFILE verb — after which
+// the server re-schedules that fingerprint in the background and swaps in
+// the result if it measures better.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "adapt/profile.h"
 #include "base/cli.h"
+#include "explore/explore.h"
 #include "explore/report.h"
 #include "serve/client.h"
 
@@ -30,6 +40,10 @@ const ws::ToolInfo kTool = {
     "  stats                 print the server's live metrics\n"
     "  shutdown              ask the server to drain and exit\n"
     "  schedule DESIGN       schedule one design; prints the run as JSON\n"
+    "  profile DESIGN        replay the design's stimuli through the golden\n"
+    "                        interpreter locally and report the observed\n"
+    "                        branch profile (PROFILE verb); the server\n"
+    "                        re-schedules in the background\n"
     "    --mode ws|single|spec   speculation mode (default spec)\n"
     "    --policy crit|prob|lambda|fifo\n"
     "                            operation-selection policy (default crit,\n"
@@ -105,7 +119,8 @@ int main(int argc, char** argv) {
       UsageError(kTool, "unrecognized argument: " + arg);
     } else if (command.empty()) {
       command = arg;
-    } else if (command == "schedule" && design.empty()) {
+    } else if ((command == "schedule" || command == "profile") &&
+               design.empty()) {
       design = arg;
     } else {
       UsageError(kTool, "unexpected argument: " + arg);
@@ -133,11 +148,33 @@ int main(int argc, char** argv) {
     if (!reply->empty() && reply->back() != '\n') std::fputc('\n', stdout);
     return 0;
   }
-  if (command != "schedule") {
+  if (command != "schedule" && command != "profile") {
     UsageError(kTool, "unknown command: " + command);
   }
-  if (design.empty()) UsageError(kTool, "schedule wants a DESIGN name");
+  if (design.empty()) UsageError(kTool, command + " wants a DESIGN name");
   request.design = DesignSpec{design, ""};
+
+  if (command == "profile") {
+    // Observe the branches locally: the benchmark (graph + stimuli) is
+    // rebuilt by the same deterministic construction the server uses, so
+    // the profiled conditions are the server's node ids.
+    const Result<Benchmark> bench =
+        BuildExploreDesign(request.design, request.ToSpec());
+    if (!bench.ok()) {
+      std::fprintf(stderr, "ws_client: %s\n", bench.error().c_str());
+      return 1;
+    }
+    const BranchProfile profile =
+        ProfileFromInterp(bench->graph, bench->stimuli);
+    const Result<std::string> ack = client->ReportProfile(request, profile);
+    if (!ack.ok()) {
+      std::fprintf(stderr, "ws_client: %s: %s\n",
+                   StatusCodeName(ack.status().code()), ack.error().c_str());
+      return 1;
+    }
+    std::fprintf(stdout, "%s\n", ack->c_str());
+    return 0;
+  }
 
   const Result<ScheduleArtifact> artifact = client->Schedule(request);
   if (!artifact.ok()) {

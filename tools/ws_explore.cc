@@ -41,6 +41,14 @@
 //                  written through — a killed sweep rerun with the same
 //                  flags resumes where it stopped and produces a report
 //                  byte-identical to an uninterrupted run
+//   --adapt N      offline adaptive re-scheduling (adapt/adapt.h): instead
+//                  of one sweep, iterate schedule -> simulate -> profile ->
+//                  re-derive probabilities -> re-schedule up to N rounds per
+//                  cell and print the convergence table (cycles per trace
+//                  per iteration) on stdout
+//   --adapt-skew   invert every annotated branch probability before
+//                  iteration 0 — start the loop from maximally wrong priors
+//                  and watch the profile feedback recover
 //
 // Example — the full Table 1 sweep on 4 workers with area accounting:
 //   ws_explore --suite --modes ws,spec --area --workers 4 --table
@@ -53,6 +61,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/adapt.h"
 #include "base/cli.h"
 #include "explore/explore.h"
 #include "explore/report.h"
@@ -71,7 +80,7 @@ const ws::ToolInfo kTool = {
     "                  [--stimuli N]\n"
     "                  [--seed S] [--area] [--no-sim] [--no-timing]\n"
     "                  [--table] [--server ADDR] [--deadline-ms N]\n"
-    "                  [--store DIR]\n"};
+    "                  [--store DIR] [--adapt N] [--adapt-skew]\n"};
 
 [[noreturn]] void Usage(const std::string& message) {
   ws::UsageError(kTool, message);
@@ -99,6 +108,8 @@ int main(int argc, char** argv) {
   std::string server;
   std::string store_dir;
   std::int64_t deadline_ms = 0;
+  int adapt_iterations = 0;
+  bool adapt_skew = false;
 
   std::vector<std::string> beh_files;
   for (int i = 1; i < argc; ++i) {
@@ -170,6 +181,11 @@ int main(int argc, char** argv) {
       store_dir = next();
     } else if (arg == "--deadline-ms") {
       deadline_ms = std::atoll(next().c_str());
+    } else if (arg == "--adapt") {
+      adapt_iterations = std::atoi(next().c_str());
+      if (adapt_iterations < 1) Usage("--adapt wants an iteration count >= 1");
+    } else if (arg == "--adapt-skew") {
+      adapt_skew = true;
     } else if (!arg.empty() && arg[0] == '-') {
       Usage("unrecognized argument: " + arg);
     } else {
@@ -218,6 +234,22 @@ int main(int argc, char** argv) {
     }
     store = std::move(opened).value();
     spec.store = store.get();
+  }
+
+  if (adapt_iterations > 0) {
+    if (!server.empty()) {
+      Usage("--adapt is an in-process loop; the server adapts on its own "
+            "via the PROFILE verb");
+    }
+    AdaptOptions adapt_options;
+    adapt_options.max_iterations = adapt_iterations;
+    adapt_options.skew = adapt_skew;
+    const AdaptReport adapt_report = RunAdaptExplore(spec, adapt_options);
+    std::fputs(RenderAdaptReport(adapt_report).c_str(), stdout);
+    for (const AdaptCellResult& cell : adapt_report.cells) {
+      if (!cell.ok) return 3;
+    }
+    return 0;
   }
 
   Result<ExploreReport> report = Status::MakeError("unreachable");
